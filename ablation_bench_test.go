@@ -1,0 +1,313 @@
+// Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+// layer fusion on/off, int8 kernels on/off (the "co-optimization" claim),
+// DDNN confidence-threshold sweep, partitioning policy, FastGRNN vs a
+// dense baseline on sequence data, the MUVR-style result cache on/off,
+// and the event-driven scheduler vs goroutine-per-task.
+//
+// Run: go test -bench=Ablation -benchmem .
+package openei
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/collab"
+	"openei/internal/dataset"
+	"openei/internal/hardware"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/runenv"
+)
+
+// BenchmarkAblationFusionAndInt8 measures the modelled latency of lenet
+// under every (fusion, int8) combination on an rpi4, isolating each
+// optimization's contribution.
+func BenchmarkAblationFusionAndInt8(b *testing.B) {
+	e := env(b)
+	model := e.Models["lenet"]
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := alem.PackageByName("eipkg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		fusion bool
+		int8   bool
+	}{
+		{"plain", false, false},
+		{"fusion", true, false},
+		{"int8", false, true},
+		{"fusion+int8", true, true},
+	}
+	for _, c := range cases {
+		pkg := base
+		pkg.SupportsFusion = c.fusion
+		pkg.SupportsInt8 = c.int8
+		b.Run(c.name, func(b *testing.B) {
+			prof := alem.NewProfiler(e.ShapesTest)
+			var lat time.Duration
+			for i := 0; i < b.N; i++ {
+				a, err := prof.Profile(model, pkg, dev, alem.Variant{Quantized: c.int8})
+				if err != nil {
+					b.Fatal(err)
+				}
+				lat = a.Latency
+			}
+			b.ReportMetric(float64(lat.Microseconds()), "modelled-us")
+		})
+	}
+}
+
+// BenchmarkAblationDDNNThreshold sweeps the early-exit confidence
+// threshold, reporting offload fraction and modelled latency.
+func BenchmarkAblationDDNNThreshold(b *testing.B) {
+	e := env(b)
+	edge := benchManager(b, "eipkg", "rpi3")
+	if err := edge.Load(e.Models["bonsai-m"], pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	cld := benchManager(b, "cloudpkg-m", "cloud-gpu")
+	if err := cld.Load(e.Models["vgg-m"], pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	batch, err := e.ShapesTest.Slice(0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, th := range []float64{0, 0.5, 0.9} {
+		b.Run(fmt.Sprintf("threshold=%.1f", th), func(b *testing.B) {
+			d := &collab.DDNN{
+				Edge: edge, EdgeModel: "bonsai-m",
+				Cloud: cld, CloudName: "vgg-m",
+				Link: netsim.WAN, Threshold: th,
+			}
+			var offloaded int
+			var lat time.Duration
+			for i := 0; i < b.N; i++ {
+				r, err := d.Infer(batch.X)
+				if err != nil {
+					b.Fatal(err)
+				}
+				offloaded = r.Offloaded
+				lat = r.ModelLatency
+			}
+			b.ReportMetric(float64(offloaded), "offloaded")
+			b.ReportMetric(float64(lat.Microseconds()), "modelled-us")
+		})
+	}
+}
+
+// BenchmarkAblationPartitionPolicy compares FLOP-proportional partitioning
+// against a naive equal split on a heterogeneous pair (tx2 + rpi3): the
+// proportional policy's critical path should be far shorter.
+func BenchmarkAblationPartitionPolicy(b *testing.B) {
+	e := env(b)
+	model := e.Models["vgg-m"]
+	fast := benchManager(b, "eipkg", "jetson-tx2")
+	slow := benchManager(b, "eipkg", "rpi3")
+	for _, m := range []*pkgmgr.Manager{fast, slow} {
+		if err := m.Load(model, pkgmgr.LoadOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batch, err := e.ShapesTest.Slice(0, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("flop-proportional", func(b *testing.B) {
+		var lat time.Duration
+		for i := 0; i < b.N; i++ {
+			r, err := collab.PartitionedInfer([]*pkgmgr.Manager{fast, slow}, model.Name, batch.X, netsim.LAN)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat = r.ModelLatency
+		}
+		b.ReportMetric(float64(lat.Microseconds()), "modelled-us")
+	})
+	b.Run("equal-split-strawman", func(b *testing.B) {
+		// Simulate an equal split: each peer infers half the batch; the
+		// critical path is the slow peer's half.
+		half, err := e.ShapesTest.Slice(0, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var lat time.Duration
+		for i := 0; i < b.N; i++ {
+			rf, err := fast.Infer(model.Name, half.X)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs, err := slow.Infer(model.Name, half.X)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat = rf.ModelLatency
+			if rs.ModelLatency > lat {
+				lat = rs.ModelLatency
+			}
+		}
+		b.ReportMetric(float64(lat.Microseconds()), "modelled-us")
+	})
+}
+
+// BenchmarkAblationRNNvsMLP compares FastGRNN against a dense baseline on
+// the wearable activity task: comparable accuracy at a fraction of the
+// parameters (the §IV.A.2 kilobyte-RNN premise).
+func BenchmarkAblationRNNvsMLP(b *testing.B) {
+	cfg := dataset.ActivityConfig{Samples: 600, Window: 16, Noise: 0.15, Seed: 70}
+	train, test, err := dataset.Activity(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmTrain, err := dataset.ActivityTimeMajor(train, cfg.Window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmTest, err := dataset.ActivityTimeMajor(test, cfg.Window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rnn := nn.MustModel("fastgrnn", []int{48}, []nn.LayerSpec{
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{T: cfg.Window, D: 3, H: 12}},
+		{Type: "dense", In: 12, Out: 4},
+	})
+	rnn.InitParams(rng)
+	mlp := nn.MustModel("mlp", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 64},
+		{Type: "relu"},
+		{Type: "dense", In: 64, Out: 4},
+	})
+	mlp.InitParams(rng)
+	if _, _, err := nn.Train(rnn, tmTrain, nn.TrainConfig{Epochs: 15, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := nn.Train(mlp, train, nn.TrainConfig{Epochs: 15, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		b.Fatal(err)
+	}
+	accRNN, err := nn.Accuracy(rnn, tmTest.X, tmTest.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	accMLP, err := nn.Accuracy(mlp, test.X, test.Y)
+	if err != nil {
+		b.Fatal(err)
+	}
+	one, err := tmTest.Slice(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oneMLP, err := test.Slice(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fastgrnn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rnn.Forward(one.X, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(accRNN, "accuracy")
+		b.ReportMetric(float64(rnn.ParamCount()), "params")
+	})
+	b.Run("mlp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mlp.Forward(oneMLP.X, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(accMLP, "accuracy")
+		b.ReportMetric(float64(mlp.ParamCount()), "params")
+	})
+}
+
+// BenchmarkAblationResultCache measures repeated identical requests (the
+// MUVR multi-user pattern of §V.C) with and without the result cache: the
+// warm path should be orders of magnitude cheaper than re-running the
+// model.
+func BenchmarkAblationResultCache(b *testing.B) {
+	e := env(b)
+	mgr := benchManager(b, "eipkg", "rpi4")
+	if err := mgr.Load(e.Models["lenet"], pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	one, err := e.ShapesTest.Slice(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mgr.Infer("lenet", one.X); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		c := pkgmgr.NewResultCache(64, 0)
+		if _, _, err := c.Infer(mgr, "lenet", one.X); err != nil {
+			b.Fatal(err) // warm the entry
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, hit, err := c.Infer(mgr, "lenet", one.X); err != nil || !hit {
+				b.Fatalf("hit=%v err=%v", hit, err)
+			}
+		}
+		st := c.Stats()
+		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses), "hit-rate")
+	})
+}
+
+// BenchmarkAblationScheduler compares the runenv event-driven scheduler
+// against naive goroutine-per-task dispatch for short tasks — the TinyOS
+// premise that run-to-completion scheduling beats thread churn on
+// constrained hardware.
+func BenchmarkAblationScheduler(b *testing.B) {
+	work := func() {
+		s := 0
+		for i := 0; i < 256; i++ {
+			s += i
+		}
+		_ = s
+	}
+	b.Run("event-driven", func(b *testing.B) {
+		s := runenv.NewScheduler(1 << 16)
+		defer s.Close()
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wg.Add(1)
+			if err := s.Post(runenv.Task{Name: "w", Run: func() {
+				work()
+				wg.Done()
+			}}); err != nil {
+				wg.Done()
+				i-- // queue full: retry this iteration
+				continue
+			}
+		}
+		wg.Wait()
+	})
+	b.Run("goroutine-per-task", func(b *testing.B) {
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wg.Add(1)
+			go func() {
+				work()
+				wg.Done()
+			}()
+		}
+		wg.Wait()
+	})
+}

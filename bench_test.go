@@ -1,0 +1,456 @@
+// Benchmarks regenerating every table and figure of the paper (E1–E8; see
+// DESIGN.md §4 and EXPERIMENTS.md). Each BenchmarkEx corresponds to one
+// artifact; cmd/experiments prints the full tables, while these benches
+// measure the underlying operations and assert nothing (shape assertions
+// live in internal/experiments tests).
+//
+// Run: go test -bench=. -benchmem .
+package openei
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/apps"
+	"openei/internal/collab"
+	"openei/internal/compress"
+	"openei/internal/dataset"
+	"openei/internal/datastore"
+	"openei/internal/experiments"
+	"openei/internal/hardware"
+	"openei/internal/libei"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/selector"
+	"openei/internal/sensors"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *experiments.Env
+	benchErr  error
+)
+
+// env builds the shared fixture (dataset + trained zoo) once per process.
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = experiments.NewEnv(experiments.EnvConfig{Samples: 700, Epochs: 8, Seed: 3})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv
+}
+
+func benchManager(b *testing.B, pkgName, devName string) *pkgmgr.Manager {
+	b.Helper()
+	pkg, err := alem.PackageByName(pkgName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := hardware.ByName(devName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := pkgmgr.New(pkg, dev)
+	b.Cleanup(m.Close)
+	return m
+}
+
+// BenchmarkE1DataDeluge regenerates Figure 1's bandwidth accounting.
+func BenchmarkE1DataDeluge(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.E1DataDeluge(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2Collaboration measures edge–edge partitioned inference
+// (Figure 2) at 1 and 4 peers.
+func BenchmarkE2Collaboration(b *testing.B) {
+	e := env(b)
+	model := e.Models["vgg-m"]
+	batch, err := e.ShapesTest.Slice(0, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, peers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			var ms []*pkgmgr.Manager
+			for i := 0; i < peers; i++ {
+				m := benchManager(b, "eipkg", "rpi3")
+				if err := m.Load(model, pkgmgr.LoadOptions{}); err != nil {
+					b.Fatal(err)
+				}
+				ms = append(ms, m)
+			}
+			b.ResetTimer()
+			var modelled time.Duration
+			for i := 0; i < b.N; i++ {
+				r, err := collab.PartitionedInfer(ms, model.Name, batch.X, netsim.LAN)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modelled = r.ModelLatency
+			}
+			b.ReportMetric(float64(modelled.Microseconds()), "modelled-us")
+		})
+	}
+}
+
+// BenchmarkE3Dataflows measures the three Figure 3 dataflows for a single
+// camera frame.
+func BenchmarkE3Dataflows(b *testing.B) {
+	e := env(b)
+	model := e.Models["lenet"]
+	one, err := e.ShapesTest.Slice(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frameBytes := int64(4 * one.X.Len())
+
+	cloudMgr := benchManager(b, "cloudpkg-m", "cloud-gpu")
+	if err := cloudMgr.Load(model, pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	edgeMgr := benchManager(b, "eipkg", "rpi4")
+	if err := edgeMgr.Load(model, pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("DF1-cloud", func(b *testing.B) {
+		var modelled time.Duration
+		for i := 0; i < b.N; i++ {
+			up, err := netsim.WAN.Transfer(frameBytes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := cloudMgr.Infer(model.Name, one.X)
+			if err != nil {
+				b.Fatal(err)
+			}
+			down, err := netsim.WAN.Transfer(96)
+			if err != nil {
+				b.Fatal(err)
+			}
+			modelled = up + r.ModelLatency + down
+		}
+		b.ReportMetric(float64(modelled.Microseconds()), "modelled-us")
+	})
+	b.Run("DF2-edge", func(b *testing.B) {
+		var modelled time.Duration
+		for i := 0; i < b.N; i++ {
+			r, err := edgeMgr.Infer(model.Name, one.X)
+			if err != nil {
+				b.Fatal(err)
+			}
+			modelled = r.ModelLatency
+		}
+		b.ReportMetric(float64(modelled.Microseconds()), "modelled-us")
+	})
+	b.Run("DF3-edge-retrained", func(b *testing.B) {
+		// Retraining happens once; the steady-state cost is identical to
+		// DF2 but with the personalized model.
+		small, err := e.ShapesTrain.Slice(0, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := edgeMgr.TransferLearn(model.Name, small, 1, 1, rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := edgeMgr.Infer(model.Name, one.X); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE4Pipeline measures the full Figure 4 request path.
+func BenchmarkE4Pipeline(b *testing.B) {
+	e := env(b)
+	mgr := benchManager(b, "eipkg", "rpi4")
+	model := e.Models["lenet"]
+	if err := mgr.Load(model, pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	store := datastore.New(16)
+	cam, err := sensors.NewCamera("camera1", 16, 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sensors.Feed(store, cam, 8, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), time.Second); err != nil {
+		b.Fatal(err)
+	}
+	srv := libei.NewServer("bench", store, mgr)
+	if err := srv.RegisterAll(apps.Safety(apps.SafetyConfig{
+		Store: store, Manager: mgr, ModelName: model.Name, DefaultCamera: "camera1",
+	})); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+	client := libei.NewClient(ts.URL)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var det apps.Detection
+		if err := client.CallAlgorithm("safety", "detection", url.Values{"video": {"camera1"}}, &det); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5Selector measures Equation 1 solving over the full 3-D space
+// (profiles are cached after the first iteration, so steady-state numbers
+// reflect pure search cost — the quantity that matters for re-selection on
+// changing requirements).
+func BenchmarkE5Selector(b *testing.B) {
+	e := env(b)
+	cands := selector.Variants(e.Models, true)
+	pkgs := alem.Packages()
+	devs := hardware.EdgeCatalog()
+	req := selector.Requirements{Objective: selector.MinLatency, MinAccuracy: 0.7}
+	for _, strat := range []string{"exhaustive", "greedy", "qlearning"} {
+		b.Run(strat, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var err error
+				switch strat {
+				case "exhaustive":
+					_, err = selector.Exhaustive(cands, pkgs, devs, req, e.Profiler)
+				case "greedy":
+					_, err = selector.Greedy(cands, pkgs, devs, req, e.Profiler)
+				case "qlearning":
+					q := &selector.QLearner{Episodes: 500, Epsilon: 0.2, Rand: rand.New(rand.NewSource(int64(i)))}
+					_, err = q.Select(cands, pkgs, devs, req, e.Profiler)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6RESTAPI measures libei endpoint throughput (Figure 6).
+func BenchmarkE6RESTAPI(b *testing.B) {
+	e := env(b)
+	mgr := benchManager(b, "eipkg", "edge-server")
+	if err := mgr.Load(e.Models["mlp"], pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	store := datastore.New(16)
+	cam, err := sensors.NewCamera("camera1", 16, 6, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sensors.Feed(store, cam, 16, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), time.Second); err != nil {
+		b.Fatal(err)
+	}
+	srv := libei.NewServer("bench", store, mgr)
+	ts := httptest.NewServer(srv)
+	b.Cleanup(ts.Close)
+	client := libei.NewClient(ts.URL)
+
+	b.Run("ei_data-realtime", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Realtime("camera1", 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ei_status", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Status(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ei_models", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Models(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7Compression measures each Table I transform on the lenet
+// model.
+func BenchmarkE7Compression(b *testing.B) {
+	e := env(b)
+	base := e.Models["lenet"]
+	b.Run("prune", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := base.Clone()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := compress.Prune(m, 0.8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kmeans", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < b.N; i++ {
+			m, err := base.Clone()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := compress.KMeansShare(m, 16, 8, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := base.Clone()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := compress.Binarize(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("int8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := base.Clone()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := compress.QuantizeInt8(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("deep-compress", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(3))
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			m, err := base.Clone()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := compress.DeepCompress(m, 0.8, 16, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ratio = rep.Ratio()
+		}
+		b.ReportMetric(ratio, "ratio")
+	})
+	b.Run("lowrank", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := compress.LowRank(base, 0.4, rng); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8Headline measures the actual in-process inference of the E8
+// baseline (vgg-m) versus the co-optimized deployment (selector's choice),
+// so the wall-clock ratio accompanies the modelled ALEM gains.
+func BenchmarkE8Headline(b *testing.B) {
+	e := env(b)
+	one, err := e.ShapesTest.Slice(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := benchManager(b, "cloudpkg-m", "rpi3")
+	if err := baseline.Load(e.Models["vgg-m"], pkgmgr.LoadOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	optimized := benchManager(b, "eipkg", "rpi3")
+	if err := optimized.Load(e.Models["lenet"], pkgmgr.LoadOptions{Quantize: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("baseline-vgg-cloudpkg", func(b *testing.B) {
+		var modelled time.Duration
+		for i := 0; i < b.N; i++ {
+			r, err := baseline.Infer("vgg-m", one.X)
+			if err != nil {
+				b.Fatal(err)
+			}
+			modelled = r.ModelLatency
+		}
+		b.ReportMetric(float64(modelled.Microseconds()), "modelled-us")
+	})
+	b.Run("optimized-lenet-int8-eipkg", func(b *testing.B) {
+		var modelled time.Duration
+		for i := 0; i < b.N; i++ {
+			r, err := optimized.Infer("lenet", one.X)
+			if err != nil {
+				b.Fatal(err)
+			}
+			modelled = r.ModelLatency
+		}
+		b.ReportMetric(float64(modelled.Microseconds()), "modelled-us")
+	})
+}
+
+// BenchmarkInferenceByModel measures raw in-process forward latency of
+// every zoo family at batch 1 — the ablation data behind the model axis of
+// Figure 5.
+func BenchmarkInferenceByModel(b *testing.B) {
+	e := env(b)
+	one, err := e.ShapesTest.Slice(0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"mlp", "lenet", "alexnet-m", "vgg-m", "squeezenet-m", "mobilenet-m", "bonsai-m", "protonn-m"} {
+		m := e.Models[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Forward(one.X, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTrainingStep measures one minibatch SGD step on the lenet
+// family — the local-training cost behind Dataflow 3.
+func BenchmarkTrainingStep(b *testing.B) {
+	e := env(b)
+	m, err := e.Models["lenet"].Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch, err := e.ShapesTrain.Slice(0, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := nn.Train(m, batch, nn.TrainConfig{Epochs: 1, BatchSize: 32, LR: 0.01, Rand: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataset measures procedural dataset generation throughput.
+func BenchmarkDataset(b *testing.B) {
+	cfg := dataset.ShapesConfig{Samples: 100, Size: 16, Classes: 6, Noise: 0.3, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dataset.Shapes(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

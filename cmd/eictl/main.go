@@ -1,0 +1,174 @@
+// Command eictl is the CLI client for an OpenEI node's libei API.
+//
+// Usage:
+//
+//	eictl -addr http://localhost:8080 status
+//	eictl -addr http://localhost:8080 models
+//	eictl -addr http://localhost:8080 data realtime camera1 -n 3
+//	eictl -addr http://localhost:8080 data historical camera1 -start 2026-06-12T00:00:00Z -end 2026-06-12T01:00:00Z
+//	eictl -addr http://localhost:8080 call safety/detection video=camera1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"openei/internal/libei"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eictl: ")
+	addr := flag.String("addr", "http://localhost:8080", "node base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	client := libei.NewClient(*addr)
+	if err := dispatch(client, args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `eictl — OpenEI node client
+
+usage: eictl [-addr URL] <command>
+
+commands:
+  status                                node identity and capabilities
+  models                                loaded models with ALEM costs
+  resources                             device capacity + live VCU allocations
+  algorithms                            registered scenario/algorithm pairs
+  data realtime <sensor> [-n K]         recent samples
+  data historical <sensor> -start T -end T   RFC3339 range query
+  call <scenario>/<algorithm> [k=v ...] invoke an algorithm
+`)
+}
+
+func dispatch(client *libei.Client, args []string) error {
+	switch args[0] {
+	case "status":
+		st, err := client.Status()
+		if err != nil {
+			return err
+		}
+		return printJSON(st)
+	case "models":
+		ms, err := client.Models()
+		if err != nil {
+			return err
+		}
+		return printJSON(ms)
+	case "resources":
+		rs, err := client.Resources()
+		if err != nil {
+			return err
+		}
+		return printJSON(rs)
+	case "algorithms":
+		as, err := client.Algorithms()
+		if err != nil {
+			return err
+		}
+		return printJSON(as)
+	case "data":
+		return dataCmd(client, args[1:])
+	case "call":
+		return callCmd(client, args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func dataCmd(client *libei.Client, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: data realtime|historical <sensor> [flags]")
+	}
+	kind, sensor := args[0], args[1]
+	fs := flag.NewFlagSet("data", flag.ContinueOnError)
+	n := fs.Int("n", 1, "samples to fetch (realtime)")
+	startS := fs.String("start", "", "range start, RFC3339 (historical)")
+	endS := fs.String("end", "", "range end, RFC3339 (historical)")
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	switch kind {
+	case "realtime":
+		samples, err := client.Realtime(sensor, *n)
+		if err != nil {
+			return err
+		}
+		return printSamples(samples)
+	case "historical":
+		start, err := time.Parse(time.RFC3339, *startS)
+		if err != nil {
+			return fmt.Errorf("bad -start: %w", err)
+		}
+		end, err := time.Parse(time.RFC3339, *endS)
+		if err != nil {
+			return fmt.Errorf("bad -end: %w", err)
+		}
+		samples, err := client.Historical(sensor, start, end)
+		if err != nil {
+			return err
+		}
+		return printSamples(samples)
+	default:
+		return fmt.Errorf("unknown data type %q (want realtime or historical)", kind)
+	}
+}
+
+func printSamples(samples []libei.DataSample) error {
+	for _, s := range samples {
+		preview := s.Payload
+		suffix := ""
+		if len(preview) > 8 {
+			preview = preview[:8]
+			suffix = fmt.Sprintf(" … (%d values)", len(s.Payload))
+		}
+		fmt.Printf("%s %v%s\n", s.At.Format(time.RFC3339), preview, suffix)
+	}
+	if len(samples) == 0 {
+		fmt.Println("(no samples)")
+	}
+	return nil
+}
+
+func callCmd(client *libei.Client, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: call <scenario>/<algorithm> [key=value ...]")
+	}
+	scenario, name, ok := strings.Cut(args[0], "/")
+	if !ok {
+		return fmt.Errorf("algorithm must be <scenario>/<name>, got %q", args[0])
+	}
+	q := url.Values{}
+	for _, kv := range args[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("argument %q is not key=value", kv)
+		}
+		q.Set(k, v)
+	}
+	var out any
+	if err := client.CallAlgorithm(scenario, name, q, &out); err != nil {
+		return err
+	}
+	return printJSON(out)
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/datastore"
+	"openei/internal/hardware"
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/runenv"
+)
+
+// testClient spins a full libei node (datastore + manager + VCU + one
+// algorithm) and returns a client pointed at it.
+func testClient(t *testing.T) *libei.Client {
+	t.Helper()
+	store := datastore.New(8)
+	if err := store.Register(datastore.SensorInfo{ID: "camera1", Kind: "camera", Dim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		if err := store.Append("camera1", datastore.Sample{
+			At:      t0.Add(time.Duration(i) * time.Second),
+			Payload: []float32{float32(i), 0, 0, 0},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	model := nn.MustModel("tiny", []int{4}, []nn.LayerSpec{{Type: "dense", In: 4, Out: 2}})
+	model.InitParams(rand.New(rand.NewSource(1)))
+	if err := mgr.Load(model, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := libei.NewServer("edge-1", store, mgr)
+	if err := srv.Register(libei.Registration{
+		Scenario: "safety", Name: "echo",
+		Fn: func(args url.Values) (any, error) {
+			return map[string]string{"video": args.Get("video")}, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vcu := runenv.NewVCU(dev)
+	if _, err := vcu.Allocate(runenv.Request{App: "safety", ComputeShare: 0.5, MemBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetVCU(vcu)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return libei.NewClient(ts.URL)
+}
+
+func TestDispatchSimpleCommands(t *testing.T) {
+	c := testClient(t)
+	for _, cmd := range [][]string{
+		{"status"},
+		{"models"},
+		{"resources"},
+		{"algorithms"},
+		{"call", "safety/echo", "video=camera1"},
+		{"data", "realtime", "camera1", "-n", "2"},
+		{"data", "historical", "camera1",
+			"-start", "2026-06-12T00:00:00Z", "-end", "2026-06-12T00:00:05Z"},
+	} {
+		if err := dispatch(c, cmd); err != nil {
+			t.Errorf("dispatch(%v): %v", cmd, err)
+		}
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	c := testClient(t)
+	for _, cmd := range [][]string{
+		{"frobnicate"},
+		{"call"},
+		{"call", "no-slash"},
+		{"call", "safety/echo", "not-key-value"},
+		{"data"},
+		{"data", "bogus", "camera1"},
+		{"data", "historical", "camera1", "-start", "junk", "-end", "junk"},
+		{"call", "safety/missing"},
+		{"data", "realtime", "ghost-sensor"},
+	} {
+		if err := dispatch(c, cmd); err == nil {
+			t.Errorf("dispatch(%v) succeeded, want error", cmd)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command experiments regenerates every table and figure of the paper
+// (E1–E8; see DESIGN.md §4 and EXPERIMENTS.md) as text tables.
+//
+// Usage:
+//
+//	experiments [-run E1,E3,E8] [-samples 1200] [-epochs 10] [-seed 1]
+//
+// Building the fixture trains the full model zoo, which takes about a
+// minute at the default size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"openei/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		run     = flag.String("run", "E1,E2,E3,E4,E5,E7,E8", "comma-separated experiment IDs to run (E6 is benchmark-only; see bench_test.go)")
+		samples = flag.Int("samples", 1200, "shapes dataset size")
+		epochs  = flag.Int("epochs", 10, "zoo training epochs")
+		seed    = flag.Int64("seed", 1, "global seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+
+	fmt.Fprintf(os.Stderr, "building fixture (samples=%d, epochs=%d, seed=%d): training the model zoo...\n", *samples, *epochs, *seed)
+	start := time.Now()
+	env, err := experiments.NewEnv(experiments.EnvConfig{Samples: *samples, Epochs: *epochs, Seed: *seed})
+	if err != nil {
+		log.Fatalf("build env: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fixture ready in %v\n\n", time.Since(start).Round(time.Second))
+
+	type exp struct {
+		id  string
+		run func() (string, error)
+	}
+	all := []exp{
+		{"E1", func() (string, error) { r, err := env.E1DataDeluge(); return r.Table, err }},
+		{"E2", func() (string, error) { r, err := env.E2Collaboration(); return r.Table, err }},
+		{"E3", func() (string, error) { r, err := env.E3Dataflows(); return r.Table, err }},
+		{"E4", func() (string, error) { r, err := env.E4Pipeline(); return r.Table, err }},
+		{"E5", func() (string, error) { r, err := env.E5Selector(); return r.Table, err }},
+		{"E7", func() (string, error) { r, err := env.E7Compression(); return r.Table, err }},
+		{"E8", func() (string, error) { r, err := env.E8Headline(); return r.Table, err }},
+	}
+	ran := 0
+	for _, e := range all {
+		if !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		tbl, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+		fmt.Println(tbl)
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if want["E6"] {
+		fmt.Println("E6 (Figure 6) is benchmark-only: run `go test -bench=BenchmarkE6 -benchmem .`")
+	}
+	if ran == 0 && !want["E6"] {
+		log.Fatalf("no experiments matched -run=%s", *run)
+	}
+}

@@ -1,0 +1,114 @@
+// Command openei-cloud runs the cloud side of Figure 2/3: a model registry
+// served over HTTP, pre-populated by training the model zoo on the
+// synthetic shapes corpus (Dataflow 1: the cloud trains on gathered data;
+// Dataflow 2: edges download the published models).
+//
+// Usage:
+//
+//	openei-cloud -addr :9090 [-epochs 10] [-samples 1200] [-seed 1]
+//
+// Endpoints:
+//
+//	GET  /registry            — list published models
+//	GET  /registry/{name}     — download a model blob
+//	POST /registry/{name}     — publish a (re)trained model (edge uploads)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"openei/internal/cloud"
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/zoo"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("openei-cloud: ")
+	var (
+		addr    = flag.String("addr", ":9090", "listen address")
+		samples = flag.Int("samples", 1200, "training corpus size")
+		epochs  = flag.Int("epochs", 10, "training epochs")
+		seed    = flag.Int64("seed", 1, "training seed")
+		state   = flag.String("state", "", "directory to persist the registry; reused on restart")
+	)
+	flag.Parse()
+	if err := run(*addr, *samples, *epochs, *seed, *state); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, samples, epochs int, seed int64, stateDir string) error {
+	if stateDir != "" {
+		if loaded, err := cloud.LoadRegistry(stateDir); err == nil && len(loaded.List()) > 0 {
+			log.Printf("restored %d models from %s; skipping training", len(loaded.List()), stateDir)
+			return serve(addr, loaded)
+		}
+	}
+	reg := cloud.NewRegistry()
+
+	log.Printf("training the model zoo (%d samples, %d epochs)...", samples, epochs)
+	start := time.Now()
+	train, test, err := dataset.Shapes(dataset.ShapesConfig{Samples: samples, Size: 16, Classes: 6, Noise: 0.3, Seed: seed})
+	if err != nil {
+		return err
+	}
+	models, err := zoo.TrainAll(train, 16, 6, epochs, seed)
+	if err != nil {
+		return err
+	}
+	for name, m := range models {
+		acc, err := nn.Accuracy(m, test.X, test.Y)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.PublishModel(m); err != nil {
+			return err
+		}
+		log.Printf("published %-14s acc=%.3f params=%d", name, acc, m.ParamCount())
+	}
+	// Publish the best CNN under the alias the edge bootstrap expects.
+	detector, err := models["lenet"].Clone()
+	if err != nil {
+		return err
+	}
+	detector.Name = "detector"
+	if _, err := reg.PublishModel(detector); err != nil {
+		return err
+	}
+	log.Printf("zoo ready in %v (%d models)", time.Since(start).Round(time.Second), len(reg.List()))
+	if stateDir != "" {
+		if err := reg.Save(stateDir); err != nil {
+			return err
+		}
+		log.Printf("registry persisted to %s", stateDir)
+	}
+	return serve(addr, reg)
+}
+
+func serve(addr string, reg *cloud.Registry) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: &cloud.RegistryServer{Registry: reg}, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("registry serving on %s", addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shut down")
+	return nil
+}

@@ -1,0 +1,298 @@
+// Command openei-server runs one OpenEI edge node: it deploys the
+// framework on a chosen device profile, bootstraps demo sensors and a
+// trained model (fetched from a cloud registry when -cloud is given,
+// trained locally otherwise), enables the four Section V scenarios, and
+// serves the libei REST API.
+//
+// Usage:
+//
+//	openei-server -addr :8080 -node kitchen-pi -device rpi3 \
+//	    [-cloud http://cloud:9090] [-peers http://other-edge:8081]
+//
+// Then, per Figure 6:
+//
+//	curl http://localhost:8080/ei_status
+//	curl http://localhost:8080/ei_resources
+//	curl http://localhost:8080/ei_data/realtime/camera1?n=1
+//	curl http://localhost:8080/ei_algorithms/safety/detection?video=camera1
+//	curl http://localhost:8080/ei_algorithms/safety/mask?video=camera1
+//
+// With -peers, the node polls each peer's /ei_status every 2 s and logs
+// live↔suspect transitions (the §IV.C availability loop).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"openei"
+	"openei/internal/cloud"
+	"openei/internal/collab"
+	"openei/internal/dataset"
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/runenv"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("openei-server: ")
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		nodeID   = flag.String("node", "edge-1", "node identifier")
+		device   = flag.String("device", "rpi3", "hardware profile (see openei.Devices)")
+		pkgName  = flag.String("package", "eipkg", "runtime package profile")
+		cloudURL = flag.String("cloud", "", "cloud registry base URL; empty trains the demo model locally")
+		peers    = flag.String("peers", "", "comma-separated peer base URLs to watch via /ei_status heartbeats")
+		seed     = flag.Int64("seed", 1, "seed for demo data and training")
+	)
+	flag.Parse()
+	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64) error {
+	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	const (
+		size    = 16
+		classes = 6
+	)
+	model, err := bootstrapModel(cloudURL, size, classes, seed)
+	if err != nil {
+		return err
+	}
+	if err := node.LoadModel(model, node.Package().SupportsInt8); err != nil {
+		return err
+	}
+	log.Printf("loaded model %q on %s/%s", model.Name, pkgName, device)
+
+	// Demo sensors: one camera, one power meter, one wearable IMU.
+	cam, err := sensors.NewCamera("camera1", size, classes, seed)
+	if err != nil {
+		return err
+	}
+	meter, err := sensors.NewPowerMeter("meter1", 32, seed+1)
+	if err != nil {
+		return err
+	}
+	imu, err := sensors.NewIMU("imu1", 16, 0, seed+2)
+	if err != nil {
+		return err
+	}
+	for _, d := range []sensors.Driver{cam, meter, imu} {
+		if err := node.Store.Register(d.Info()); err != nil {
+			return err
+		}
+	}
+
+	// Scenario models for meter and IMU, trained at startup (small nets,
+	// a few seconds).
+	powerModel, actModel, err := scenarioModels(seed)
+	if err != nil {
+		return err
+	}
+	if err := node.LoadModel(powerModel, false); err != nil {
+		return err
+	}
+	if err := node.LoadModel(actModel, false); err != nil {
+		return err
+	}
+	if err := node.EnableSafety(model.Name, "camera1", dataset.ShapeClassNames[:classes], 3); err != nil {
+		return err
+	}
+	if err := node.EnableVehicles("camera1", 8); err != nil {
+		return err
+	}
+	if err := node.EnableHome(powerModel.Name, "meter1", dataset.PowerClassNames); err != nil {
+		return err
+	}
+	if err := node.EnableHealth(actModel.Name, "imu1", dataset.ActivityClassNames, 3); err != nil {
+		return err
+	}
+	if err := node.EnableMask("camera1"); err != nil {
+		return err
+	}
+
+	// Carve the device between the scenarios (OpenVDAP-style) and expose
+	// the allocations at GET /ei_resources.
+	vcu := openei.NewVCU(node.Device())
+	for _, a := range []openei.VCURequest{
+		{App: "safety", ComputeShare: 0.4, MemBytes: 32 << 20},
+		{App: "vehicles", ComputeShare: 0.2, MemBytes: 16 << 20},
+		{App: "home", ComputeShare: 0.1, MemBytes: 8 << 20},
+		{App: "health", ComputeShare: 0.1, MemBytes: 8 << 20},
+	} {
+		if _, err := vcu.Allocate(a); err != nil {
+			return err
+		}
+	}
+	node.AttachVCU(vcu)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Feed the sensors continuously until shutdown.
+	go feedLoop(ctx, node, []sensors.Driver{cam, meter, imu})
+
+	// Watch peers via their /ei_status heartbeats (§IV.C availability).
+	if peers != "" {
+		go watchPeers(ctx, peers)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: node.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("node %q serving libei on %s", nodeID, addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("shut down")
+	return nil
+}
+
+// bootstrapModel fetches the detection model from the cloud registry, or
+// trains one locally when no cloud is configured (edge-autonomy mode).
+func bootstrapModel(cloudURL string, size, classes int, seed int64) (*openei.Model, error) {
+	if cloudURL != "" {
+		c := cloud.NewRegistryClient(cloudURL)
+		blob, version, err := c.Fetch("detector")
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("fetched detector v%d from %s (%d bytes)", version, cloudURL, len(blob))
+		return nn.DecodeModel(blob)
+	}
+	log.Printf("no cloud registry configured; training detector locally")
+	train, _, err := dataset.Shapes(dataset.ShapesConfig{Samples: 900, Size: size, Classes: classes, Noise: 0.3, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m, err := zoo.Build("lenet", size, classes, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func scenarioModels(seed int64) (power, activity *openei.Model, err error) {
+	pTrain, _, err := dataset.Power(dataset.PowerConfig{Samples: 600, Window: 32, Noise: 0.08, Seed: seed + 10})
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 11))
+	power = nn.MustModel("power-net", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 24},
+		{Type: "relu"},
+		{Type: "dense", In: 24, Out: len(dataset.PowerClassNames)},
+	})
+	power.InitParams(rng)
+	if _, _, err := nn.Train(power, pTrain, nn.TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		return nil, nil, err
+	}
+	aTrain, _, err := dataset.Activity(dataset.ActivityConfig{Samples: 600, Window: 16, Noise: 0.15, Seed: seed + 12})
+	if err != nil {
+		return nil, nil, err
+	}
+	activity = nn.MustModel("activity-net", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 32},
+		{Type: "relu"},
+		{Type: "dense", In: 32, Out: len(dataset.ActivityClassNames)},
+	})
+	activity.InitParams(rng)
+	if _, _, err := nn.Train(activity, aTrain, nn.TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		return nil, nil, err
+	}
+	return power, activity, nil
+}
+
+// watchPeers polls each peer's /ei_status every 2 s, records heartbeats
+// in a failure detector, and logs live↔suspect transitions — the §IV.C
+// availability loop, runnable across real processes.
+func watchPeers(ctx context.Context, peerList string) {
+	const (
+		interval = 2 * time.Second
+		timeout  = 3 * interval
+	)
+	clients := map[string]*libei.Client{}
+	for _, u := range strings.Split(peerList, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			clients[u] = libei.NewClient(u)
+		}
+	}
+	if len(clients) == 0 {
+		return
+	}
+	mon := runenv.NewMonitor(timeout)
+	wasLive := map[string]bool{}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			alive, errs := collab.PollHeartbeats(mon, clients, now)
+			for _, id := range alive {
+				if !wasLive[id] {
+					log.Printf("peer %q is live", id)
+					wasLive[id] = true
+				}
+			}
+			for id := range wasLive {
+				if !wasLive[id] {
+					continue
+				}
+				if st, err := mon.State(id, now); err == nil && st == runenv.NodeSuspect {
+					log.Printf("peer %q is SUSPECT (no heartbeat for %v)", id, timeout)
+					wasLive[id] = false
+				}
+			}
+			// Probe errors for peers never seen are start-order noise;
+			// transitions of known peers are already logged above.
+			_ = errs
+		}
+	}
+}
+
+// feedLoop appends fresh sensor samples until the context is cancelled.
+func feedLoop(ctx context.Context, node *openei.Node, drivers []sensors.Driver) {
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-ticker.C:
+			for _, d := range drivers {
+				if err := node.Store.Append(d.Info().ID, d.Next(now)); err != nil {
+					log.Printf("feed %s: %v", d.Info().ID, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Health runs the paper's smart-and-connected-health scenario (§V.D) with
+// DDNN-style cloud–edge split inference [17]: a kilobyte-scale model on
+// the wearable answers confidently-easy windows locally (low latency,
+// private), and only uncertain windows are offloaded to the large cloud
+// model. The example sweeps the confidence threshold to show the
+// accuracy / offload / latency trade-off, then raises a fall alert through
+// the REST API.
+//
+// Run: go run ./examples/health
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"time"
+
+	"openei"
+	"openei/internal/apps"
+	"openei/internal/collab"
+	"openei/internal/dataset"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	train, test, err := dataset.Activity(dataset.ActivityConfig{Samples: 900, Window: 16, Noise: 0.25, Seed: 30})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(5))
+
+	// Edge: the wearable (phone-class) runs a tiny projection model.
+	wearable, err := openei.New(openei.Config{NodeID: "wearable-1", Device: "phone"})
+	if err != nil {
+		return err
+	}
+	defer wearable.Close()
+	small := nn.MustModel("act-tiny", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 8},
+		{Type: "relu"},
+		{Type: "dense", In: 8, Out: len(dataset.ActivityClassNames)},
+	})
+	small.InitParams(rng)
+	if _, _, err := nn.Train(small, train, nn.TrainConfig{Epochs: 3, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		return err
+	}
+
+	// Cloud: a large accurate model.
+	cloudNode, err := openei.New(openei.Config{NodeID: "cloud", Device: "cloud-gpu", Package: "cloudpkg-m"})
+	if err != nil {
+		return err
+	}
+	defer cloudNode.Close()
+	big := nn.MustModel("act-big", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 96},
+		{Type: "relu"},
+		{Type: "dense", In: 96, Out: 48},
+		{Type: "relu"},
+		{Type: "dense", In: 48, Out: len(dataset.ActivityClassNames)},
+	})
+	big.InitParams(rng)
+	if _, _, err := nn.Train(big, train, nn.TrainConfig{Epochs: 15, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		return err
+	}
+	if err := wearable.LoadModel(small, false); err != nil {
+		return err
+	}
+	if err := cloudNode.LoadModel(big, false); err != nil {
+		return err
+	}
+
+	// DDNN threshold sweep.
+	fmt.Println("DDNN split inference (edge act-tiny → cloud act-big over the WAN)")
+	fmt.Printf("%-10s %-10s %-10s %-12s\n", "threshold", "accuracy", "offloaded", "latency")
+	for _, th := range []float64{0, 0.5, 0.7, 0.9, 0.99} {
+		d := &collab.DDNN{
+			Edge: wearable.Manager, EdgeModel: "act-tiny",
+			Cloud: cloudNode.Manager, CloudName: "act-big",
+			Link: netsim.WAN, Threshold: th,
+		}
+		res, err := d.Infer(test.X)
+		if err != nil {
+			return err
+		}
+		correct := 0
+		for i, c := range res.Classes {
+			if c == test.Y[i] {
+				correct++
+			}
+		}
+		fmt.Printf("%-10.2f %-10.3f %-10s %-12v\n",
+			th, float64(correct)/float64(len(res.Classes)),
+			fmt.Sprintf("%d/%d", res.Offloaded, test.Samples()),
+			res.ModelLatency.Round(time.Microsecond))
+	}
+
+	// Fall detection through the REST API (pre-hospital EMS, §V.D).
+	imu, err := sensors.NewIMU("imu1", 16, 0, 31)
+	if err != nil {
+		return err
+	}
+	if err := wearable.Store.Register(imu.Info()); err != nil {
+		return err
+	}
+	// Feed until a fall window lands last.
+	at := time.Now().Add(-time.Hour)
+	for i := 0; ; i++ {
+		if err := wearable.Store.Append("imu1", imu.Next(at.Add(time.Duration(i)*time.Second))); err != nil {
+			return err
+		}
+		if imu.LastLabel() == 3 || i > 500 {
+			break
+		}
+	}
+	if err := wearable.EnableHealth("act-tiny", "imu1", dataset.ActivityClassNames, 3); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(wearable.Handler())
+	defer ts.Close()
+	var reading apps.ActivityReading
+	if err := openei.Dial(ts.URL).CallAlgorithm("health", "fall_detection", url.Values{"sensor": {"imu1"}}, &reading); err != nil {
+		return err
+	}
+	fmt.Printf("\nGET /ei_algorithms/health/fall_detection → activity=%q confidence=%.2f alert=%v\n",
+		reading.Activity, reading.Confidence, reading.Alert)
+	if reading.Alert {
+		fmt.Println("EMS channel: fall alert raised from the wearable — no cloud round-trip required")
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+// Pipeline demonstrates the §IV.C running environment end to end: camera
+// frames flow over a ROS-style pub/sub bus into a TinyOS-style
+// event-driven scheduler, inference runs on an edge whose safety app
+// holds an OpenVDAP-style VCU allocation, repeated frames are served
+// from a MUVR-style result cache (§V.C), frames are privacy-masked
+// (§V.A) before leaving the edge, and when the edge stops heartbeating
+// its detection task migrates to the surviving peer — the paper's §IV.C
+// high-availability open problem.
+//
+// Run: go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"openei"
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+const (
+	frameSize = 16
+	classes   = 4
+	camID     = "camera1"
+	topic     = "camera/gate"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Train one detection model in the "cloud" and deploy two edges.
+	fmt.Println("== 1. deploy two OpenEI edges with a shared detection model")
+	model, err := trainDetector()
+	if err != nil {
+		return err
+	}
+	gate, err := newEdge("gate-pi", "rpi3", model)
+	if err != nil {
+		return err
+	}
+	defer gate.Close()
+	yard, err := newEdge("yard-pi", "rpi4", model)
+	if err != nil {
+		return err
+	}
+	defer yard.Close()
+	fmt.Printf("  gate-pi (%s) and yard-pi (%s) are up\n",
+		gate.Device().Name, yard.Device().Name)
+
+	// 2. OpenVDAP-style VCU: the safety app gets 60 % of the gate Pi,
+	// leaving headroom for the vehicle tracker; oversubscription is
+	// refused.
+	fmt.Println("\n== 2. VCU resource allocation (§IV.C, OpenVDAP)")
+	vcu := openei.NewVCU(gate.Device())
+	alloc, err := vcu.Allocate(openei.VCURequest{App: "safety", ComputeShare: 0.6, MemBytes: 8 << 20})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  safety app holds %.0f%% of %s → %.2g FLOP/s\n",
+		alloc.Share*100, gate.Device().Name, alloc.FLOPS())
+	if _, err := vcu.Allocate(openei.VCURequest{App: "greedy", ComputeShare: 0.7, MemBytes: 8 << 20}); err != nil {
+		fmt.Printf("  oversubscription refused: %v\n", err)
+	}
+	gate.AttachVCU(vcu) // expose allocations at GET /ei_resources
+
+	// 3. Camera → bus → scheduler → inference, detections on the urgent
+	// lane, repeated frames served by the result cache.
+	fmt.Println("\n== 3. camera → bus → scheduler → inference (§IV.C, ROS + TinyOS)")
+	cam, err := sensors.NewCamera(camID, frameSize, classes, 7)
+	if err != nil {
+		return err
+	}
+	bus := openei.NewBus()
+	defer bus.Close()
+	sub, err := bus.Subscribe(topic, 32)
+	if err != nil {
+		return err
+	}
+	sched := openei.NewScheduler(64)
+	defer sched.Close()
+	cache := openei.NewResultCache(32, time.Minute)
+
+	const frames = 12
+	truths := make([]int, 0, frames)
+	at := time.Now()
+	var lastFrame []float32
+	for i := 0; i < frames; i++ {
+		sample := cam.Next(at)
+		truths = append(truths, cam.LastLabel())
+		lastFrame = sample.Payload
+		if err := bus.Publish(topic, sample.Payload); err != nil {
+			return err
+		}
+		at = at.Add(33 * time.Millisecond)
+	}
+
+	results := make(chan detection, frames)
+	for i := 0; i < frames; i++ {
+		msg := <-sub.C()
+		frame := msg.Payload.([]float32)
+		idx := i
+		err := sched.Post(openei.SchedulerTask{
+			Name:     fmt.Sprintf("detect-%02d", idx),
+			Priority: openei.TaskUrgent, // VAPS is the urgent lane
+			Run: func() {
+				cls, conf, hit, err := infer(gate, cache, model.Name, frame)
+				results <- detection{idx: idx, class: cls, conf: conf, cached: hit, err: err}
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+	correct := 0
+	for i := 0; i < frames; i++ {
+		d := <-results
+		if d.err != nil {
+			return d.err
+		}
+		if d.class == truths[d.idx] {
+			correct++
+		}
+	}
+	st := sched.Stats()
+	fmt.Printf("  %d frames inferred on gate-pi, %d/%d correct (urgent-lane tasks: %d, bus drops: %d)\n",
+		frames, correct, frames, st.ExecutedUrgent, bus.Stats().Dropped)
+
+	// 4. MUVR-style cache: a second user polling the same scene is served
+	// without re-running the model.
+	fmt.Println("\n== 4. result cache on a repeated frame (§V.C, MUVR)")
+	if _, _, _, err := infer(gate, cache, model.Name, lastFrame); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	_, _, hit, err := infer(gate, cache, model.Name, lastFrame)
+	if err != nil {
+		return err
+	}
+	cs := cache.Stats()
+	fmt.Printf("  second identical request: cache hit=%v in %s (hits=%d misses=%d)\n",
+		hit, time.Since(t0).Round(time.Microsecond), cs.Hits, cs.Misses)
+
+	// 5. Privacy masking before upload (§V.A), through the Figure 6 REST
+	// API.
+	fmt.Println("\n== 5. privacy masking before upload (§V.A)")
+	if _, err := sensors.Feed(gate.Store, cam, 1, at, time.Second); err != nil {
+		return err
+	}
+	if err := gate.EnableMask(camID); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: gate.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	var masked struct {
+		Box          [4]int `json:"box"`
+		MaskedPixels int    `json:"masked_pixels"`
+		TotalPixels  int    `json:"total_pixels"`
+	}
+	client := openei.Dial("http://" + ln.Addr().String())
+	if err := client.CallAlgorithm("safety", "mask", url.Values{"video": {camID}}, &masked); err != nil {
+		return err
+	}
+	fmt.Printf("  GET /ei_algorithms/safety/mask → box %v, %d/%d pixels blanked before upload\n",
+		masked.Box, masked.MaskedPixels, masked.TotalPixels)
+	rs, err := client.Resources()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  GET /ei_resources → %s: compute %.0f%% used, %.0f MB of %.0f MB allocated to %q\n",
+		rs.Device, rs.ComputeUsedPct, rs.MemoryUsedMB, rs.MemoryTotalMB, rs.Allocations[0].App)
+
+	// 6. Failure and migration: gate-pi goes silent; the detection task
+	// moves to yard-pi and keeps answering.
+	fmt.Println("\n== 6. heartbeat failure detection + computation migration (§IV.C)")
+	mon := openei.NewMonitor(2 * time.Second)
+	mig := openei.NewMigrator(map[string]float64{
+		"gate-pi": gate.Device().FLOPS,
+		"yard-pi": yard.Device().FLOPS,
+	})
+	now := time.Now()
+	mon.Heartbeat("gate-pi", now)
+	mon.Heartbeat("yard-pi", now)
+	// Four scenario tasks: the balancer stacks the fast yard-pi (3× the
+	// FLOPS) until its expected runtime exceeds gate-pi's, so gate-pi
+	// receives the fourth.
+	for _, task := range []string{"safety/detection", "vehicles/tracking", "home/power_monitor", "health/activity"} {
+		if _, err := mig.Assign(task, float64(model.FLOPs(1)), mon.Live(now)); err != nil {
+			return err
+		}
+	}
+	for _, p := range mig.Placements() {
+		fmt.Printf("  task %q placed on %s\n", p.Task, p.Node)
+	}
+
+	// gate-pi crashes: only yard-pi keeps beating.
+	later := now.Add(5 * time.Second)
+	mon.Heartbeat("yard-pi", later)
+	live := mon.Live(later)
+	fmt.Printf("  after 5s of silence, live set = %v\n", live)
+	moved, err := mig.MigrateOff(live)
+	if err != nil {
+		return err
+	}
+	for _, p := range moved {
+		fmt.Printf("  migrated %q → %s\n", p.Task, p.Node)
+	}
+	cls, _, _, err := infer(yard, openei.NewResultCache(4, 0), model.Name, lastFrame)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  yard-pi serves the next detection: class %d (truth %d)\n", cls, truths[frames-1])
+	return nil
+}
+
+type detection struct {
+	idx    int
+	class  int
+	conf   float64
+	cached bool
+	err    error
+}
+
+// infer runs one flattened frame through the node's cached inference.
+func infer(node *openei.Node, cache *openei.ResultCache, modelName string, frame []float32) (int, float64, bool, error) {
+	x, err := openei.NewTensor(frame, 1, 1, frameSize, frameSize)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	cls, conf, hit, err := node.CachedInfer(cache, modelName, x)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return cls[0], conf[0], hit, nil
+}
+
+func trainDetector() (*openei.Model, error) {
+	cfg := dataset.ShapesConfig{Samples: 700, Size: frameSize, Classes: classes, Noise: 0.2, Seed: 5}
+	train, _, err := dataset.Shapes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(1))
+	model, err := zoo.Build("lenet", frameSize, classes, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := nn.Train(model, train, nn.TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+func newEdge(id, device string, model *openei.Model) (*openei.Node, error) {
+	node, err := openei.New(openei.Config{NodeID: id, Device: device})
+	if err != nil {
+		return nil, err
+	}
+	if err := node.LoadModel(model, false); err != nil {
+		node.Close()
+		return nil, err
+	}
+	return node, nil
+}

@@ -1,0 +1,138 @@
+// Quickstart reproduces the paper's §III.E walk-through end to end on the
+// public API: deploy OpenEI on a (simulated) Raspberry Pi, let the model
+// selector pick a detection model under default accuracy-oriented
+// requirements, wire a camera, and drive the node purely through the
+// Figure 6 REST URLs.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"time"
+
+	"openei"
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Deploy OpenEI on the Pi ("deploy and play").
+	node, err := openei.New(openei.Config{NodeID: "rpi-demo", Device: "rpi4"})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+	fmt.Printf("deployed OpenEI node %q on %s with package %s\n",
+		node.ID, node.Device().Name, node.Package().Name)
+
+	// 2. Train two candidate models (in production these come from the
+	//    cloud registry; see examples/smart_home for that flow).
+	const (
+		size    = 16
+		classes = 4
+	)
+	train, test, err := dataset.Shapes(dataset.ShapesConfig{
+		Samples: 800, Size: size, Classes: classes, Noise: 0.25, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	models := map[string]*openei.Model{}
+	for _, name := range []string{"lenet", "mlp"} {
+		m, err := zoo.Build(name, size, classes, rng)
+		if err != nil {
+			return err
+		}
+		if _, _, err := nn.Train(m, train, nn.TrainConfig{
+			Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng,
+		}); err != nil {
+			return err
+		}
+		models[name] = m
+	}
+
+	// 3. The model selector solves Equation 1 for this device (default:
+	//    accuracy-oriented with a 100 ms budget).
+	choice, err := node.SelectModel(models, test, openei.DefaultRequirements())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selector picked: %s\n", choice)
+	if err := node.DeploySelected(models, choice); err != nil {
+		return err
+	}
+
+	// 4. Wire a camera and enable the public-safety scenario.
+	cam, err := sensors.NewCamera("camera1", size, classes, 42)
+	if err != nil {
+		return err
+	}
+	if _, err := sensors.Feed(node.Store, cam, 10, time.Now().Add(-10*time.Second), time.Second); err != nil {
+		return err
+	}
+	if err := node.EnableSafety(choice.ModelName, "camera1", dataset.ShapeClassNames[:classes], 3); err != nil {
+		return err
+	}
+
+	// 5. Serve libei and talk to the node over HTTP only.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: node.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	client := openei.Dial(base)
+	fmt.Printf("libei serving at %s\n\n", base)
+
+	// GET /ei_data/realtime/camera1 — the paper's first walk-through step.
+	frames, err := client.Realtime("camera1", 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GET /ei_data/realtime/camera1 → %d frame(s), %d pixels, at %s\n",
+		len(frames), len(frames[0].Payload), frames[0].At.Format(time.RFC3339))
+
+	// GET /ei_algorithms/safety/detection — the second step.
+	var det struct {
+		Label      string  `json:"label"`
+		Confidence float64 `json:"confidence"`
+	}
+	if err := client.CallAlgorithm("safety", "detection", url.Values{"video": {"camera1"}}, &det); err != nil {
+		return err
+	}
+	fmt.Printf("GET /ei_algorithms/safety/detection?video=camera1 → %q (confidence %.2f)\n", det.Label, det.Confidence)
+
+	// Introspection: what the node is running and what it costs.
+	status, err := client.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("GET /ei_status → node=%s device=%s algorithms=%v\n", status.NodeID, status.Device, status.Algorithms)
+	ms, err := client.Models()
+	if err != nil {
+		return err
+	}
+	for _, m := range ms {
+		fmt.Printf("GET /ei_models → %s: latency=%.2fms energy=%.4fJ memory=%.1fMB\n",
+			m.Name, m.LatencyMS, m.EnergyJ, m.MemoryMB)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Safety_video runs the paper's Video Analytics in Public Safety scenario
+// (§V.A): a camera streams frames into the edge datastore, the node runs
+// firearm detection at real-time priority on every frame, raises alerts,
+// and reports detection quality plus the bandwidth saved by not uploading
+// the video (Dataflow 2 vs Dataflow 1).
+//
+// Run: go run ./examples/safety_video
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"openei"
+	"openei/internal/dataset"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		size         = 16
+		classes      = 4
+		firearmClass = 3 // the "cross" glyph stands in for the threat class
+		frames       = 120
+	)
+
+	// Edge node on a body-camera-class device.
+	node, err := openei.New(openei.Config{NodeID: "bodycam-7", Device: "phone"})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	// Train the detector (cloud-side in production).
+	train, test, err := dataset.Shapes(dataset.ShapesConfig{
+		Samples: 900, Size: size, Classes: classes, Noise: 0.25, Seed: 11,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(2))
+	detector, err := zoo.Build("lenet", size, classes, rng)
+	if err != nil {
+		return err
+	}
+	if _, _, err := nn.Train(detector, train, nn.TrainConfig{
+		Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng,
+	}); err != nil {
+		return err
+	}
+	acc, err := nn.Accuracy(detector, test.X, test.Y)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("detector ready: test accuracy %.3f\n", acc)
+	// Quantize at load: the phone package supports int8 kernels.
+	if err := node.LoadModel(detector, true); err != nil {
+		return err
+	}
+	if err := node.EnableSafety(detector.Name, "camera1", dataset.ShapeClassNames[:classes], firearmClass); err != nil {
+		return err
+	}
+
+	// Stream frames and run firearm detection on each.
+	cam, err := sensors.NewCamera("camera1", size, classes, 33)
+	if err != nil {
+		return err
+	}
+	if err := node.Store.Register(cam.Info()); err != nil {
+		return err
+	}
+	var (
+		alerts, truePos, falsePos, falseNeg, correct int
+		start                                        = time.Now().Add(-frames * time.Second)
+	)
+	for i := 0; i < frames; i++ {
+		if err := node.Store.Append("camera1", cam.Next(start.Add(time.Duration(i)*time.Second))); err != nil {
+			return err
+		}
+		truth := cam.LastLabel()
+		frame, err := node.Store.Latest("camera1")
+		if err != nil {
+			return err
+		}
+		x, err := openei.NewTensor(frame.Payload, 1, 1, size, size)
+		if err != nil {
+			return err
+		}
+		classesOut, confs, err := node.Infer(detector.Name, x)
+		if err != nil {
+			return err
+		}
+		pred := classesOut[0]
+		if pred == truth {
+			correct++
+		}
+		alert := pred == firearmClass
+		if alert {
+			alerts++
+			if truth == firearmClass {
+				truePos++
+				fmt.Printf("frame %3d: ALERT firearm detected (confidence %.2f) — confirmed\n", i, confs[0])
+			} else {
+				falsePos++
+				fmt.Printf("frame %3d: ALERT firearm detected (confidence %.2f) — FALSE ALARM (was %s)\n",
+					i, confs[0], dataset.ShapeClassNames[truth])
+			}
+		} else if truth == firearmClass {
+			falseNeg++
+		}
+	}
+
+	fmt.Printf("\n%d frames: accuracy %.3f, %d alerts (%d true, %d false), %d missed\n",
+		frames, float64(correct)/frames, alerts, truePos, falsePos, falseNeg)
+
+	// Bandwidth story (Figure 1 / Dataflow 2): the node uploaded alerts,
+	// not video.
+	rawBytes := int64(frames * 4 * size * size)
+	alertBytes := int64(alerts * 96)
+	dfRaw, err := netsim.WAN.Transfer(rawBytes)
+	if err != nil {
+		return err
+	}
+	dfAlert, err := netsim.WAN.Transfer(alertBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uplink if streaming video: %d bytes (%v on the WAN)\n", rawBytes, dfRaw.Round(time.Millisecond))
+	fmt.Printf("uplink with edge analytics: %d bytes (%v) — %.0fx less\n",
+		alertBytes, dfAlert.Round(time.Millisecond), float64(rawBytes)/float64(max64(alertBytes, 1)))
+	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+// Smart_home runs the paper's smart-home scenario (§V.C) across the full
+// cloud–edge loop of Figure 3:
+//
+//	Dataflow 2: the cloud trains the power-monitor model on a general
+//	            corpus and the home gateway downloads it over the WAN.
+//	Dataflow 3: the gateway retrains the head on this home's own meter
+//	            data (which never leaves the house — the privacy argument)
+//	            and the personalized model wins on local data; the
+//	            retrained weights are uploaded back for aggregation.
+//
+// It closes with the §II.C edge–edge coordination story: the phone's
+// on-device activity model predicts the user approaching home and the
+// thermostat pre-heats, coordinated over the pub/sub bus with no cloud
+// in the loop.
+//
+// Run: go run ./examples/smart_home
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"openei"
+	"openei/internal/cloud"
+	"openei/internal/collab"
+	"openei/internal/dataset"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/sensors"
+)
+
+func main() {
+	log.SetFlags(0)
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Cloud side: train the general power-monitor model and publish it.
+	registry := cloud.NewRegistry()
+	svc := &cloud.TrainService{Registry: registry}
+	general, _, err := dataset.Power(dataset.PowerConfig{Samples: 800, Window: 32, Noise: 0.08, Seed: 20})
+	if err != nil {
+		return err
+	}
+	model := nn.MustModel("power-monitor", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 24},
+		{Type: "relu"},
+		{Type: "dense", In: 24, Out: len(dataset.PowerClassNames)},
+	})
+	model.InitParams(rand.New(rand.NewSource(3)))
+	version, trainAcc, err := svc.TrainAndPublish(model, general, 12, 21)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cloud: published power-monitor v%d (train accuracy %.3f)\n", version, trainAcc)
+
+	// Home gateway: a Raspberry Pi 3 running OpenEI.
+	node, err := openei.New(openei.Config{NodeID: "home-gw", Device: "rpi3"})
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	// Dataflow 2: download the model over the WAN.
+	meterNet := netsim.NewMeter()
+	rep, err := collab.Deploy(registry, node.Manager, "power-monitor", netsim.WAN, meterNet, pkgmgr.LoadOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge: downloaded %s v%d — %d bytes in %v over the WAN\n",
+		rep.Model, rep.Version, rep.BytesMoved, rep.TransferTime.Round(time.Millisecond))
+
+	// This home's appliances draw differently (a biased meter and noisier
+	// wiring): a shifted distribution, never uploaded anywhere.
+	homeTrain, homeTest, err := dataset.Power(dataset.PowerConfig{Samples: 500, Window: 32, Noise: 0.15, Seed: 99, Bias: 0.3})
+	if err != nil {
+		return err
+	}
+	before, err := accuracyOn(node, "power-monitor", homeTest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge: general model on this home's data: accuracy %.3f\n", before)
+
+	// Dataflow 3: retrain the head locally.
+	if err := node.TransferLearn("power-monitor", homeTrain, 6, 5); err != nil {
+		return err
+	}
+	after, err := accuracyOn(node, "power-monitor", homeTest)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge: personalized model after local transfer learning: accuracy %.3f (Δ%+.3f)\n", after, after-before)
+
+	// Upload the retrained weights for cloud aggregation.
+	v, bytes, err := collab.UploadRetrained(node.Manager, registry, "power-monitor", "power-monitor-home-gw", netsim.WAN, meterNet)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge: uploaded personalized weights as v%d (%d bytes); total WAN traffic %d bytes\n",
+		v, bytes, meterNet.Bytes("wan"))
+
+	// Live monitoring through the smart-home algorithm.
+	if err := node.EnableHome("power-monitor", "meter1", dataset.PowerClassNames); err != nil {
+		return err
+	}
+	pm, err := sensors.NewPowerMeter("meter1", 32, 77)
+	if err != nil {
+		return err
+	}
+	if _, err := sensors.Feed(node.Store, pm, 5, time.Now().Add(-5*time.Minute), time.Minute); err != nil {
+		return err
+	}
+	sample, err := node.Store.Latest("meter1")
+	if err != nil {
+		return err
+	}
+	x, err := openei.NewTensor(sample.Payload, 1, len(sample.Payload))
+	if err != nil {
+		return err
+	}
+	classes, confs, err := node.Infer("power-monitor", x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edge: /ei_algorithms/home/power_monitor → appliance %q (confidence %.2f)\n",
+		dataset.PowerClassNames[classes[0]], confs[0])
+
+	// Edge–edge coordination (§II.C): "a smartphone predicts when a user
+	// is approaching home … and the smart thermostat will be triggered to
+	// set the suitable temperature". The phone classifies its IMU stream;
+	// a run of "walk" becomes a presence prediction on the bus, and
+	// the thermostat node reacts — no cloud in the loop.
+	return coordinateThermostat(node)
+}
+
+// coordinateThermostat runs the §II.C phone→thermostat hand-off over the
+// running environment's pub/sub bus.
+func coordinateThermostat(gateway *openei.Node) error {
+	phone, err := openei.New(openei.Config{NodeID: "phone", Device: "phone"})
+	if err != nil {
+		return err
+	}
+	defer phone.Close()
+
+	// The phone's activity model (trained on the wearable corpus).
+	actTrain, _, err := dataset.Activity(dataset.ActivityConfig{Samples: 600, Window: 16, Noise: 0.15, Seed: 41})
+	if err != nil {
+		return err
+	}
+	act := nn.MustModel("activity", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 32},
+		{Type: "relu"},
+		{Type: "dense", In: 32, Out: len(dataset.ActivityClassNames)},
+	})
+	act.InitParams(rand.New(rand.NewSource(42)))
+	if _, _, err := nn.Train(act, actTrain, nn.TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rand.New(rand.NewSource(43))}); err != nil {
+		return err
+	}
+	if err := phone.LoadModel(act, false); err != nil {
+		return err
+	}
+
+	bus := openei.NewBus()
+	defer bus.Close()
+	thermostat, err := bus.Subscribe("home/presence", 4)
+	if err != nil {
+		return err
+	}
+
+	// The phone classifies a walking IMU stream; two consecutive
+	// "walk" windows predict the user is approaching home.
+	imu, err := sensors.NewIMU("phone-imu", 16, 0, 44)
+	if err != nil {
+		return err
+	}
+	walkingStreak := 0
+	at := time.Now()
+	for walkingStreak < 2 {
+		s := imu.Next(at)
+		at = at.Add(2 * time.Second)
+		if dataset.ActivityClassNames[imu.LastLabel()] != "walk" {
+			walkingStreak = 0
+			continue // the generator cycles activities; wait for a walk
+		}
+		x, err := openei.NewTensor(s.Payload, 1, len(s.Payload))
+		if err != nil {
+			return err
+		}
+		cls, _, err := phone.Infer("activity", x)
+		if err != nil {
+			return err
+		}
+		if dataset.ActivityClassNames[cls[0]] == "walk" {
+			walkingStreak++
+		} else {
+			walkingStreak = 0
+		}
+	}
+	if err := bus.Publish("home/presence", "user approaching"); err != nil {
+		return err
+	}
+	fmt.Println("phone: two walking windows classified → published \"user approaching\" on home/presence")
+
+	msg := <-thermostat.C()
+	fmt.Printf("thermostat (%s gateway): received %q → pre-heating to comfort temperature\n",
+		gateway.ID, msg.Payload)
+	return nil
+}
+
+func accuracyOn(node *openei.Node, model string, d openei.Dataset) (float64, error) {
+	classes, _, err := node.Infer(model, d.X)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, c := range classes {
+		if c == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(classes)), nil
+}

@@ -1,0 +1,149 @@
+package openei_test
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"openei"
+	"openei/internal/collab"
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+// TestFailoverIntegration exercises the §IV.C high-availability pipeline
+// over real HTTP: two edges serve the same detection algorithm, a
+// monitor tracks their heartbeats, and when the primary's server dies
+// the migrator moves the task to the survivor, where the next REST call
+// succeeds.
+func TestFailoverIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	const (
+		size    = 16
+		classes = 4
+	)
+	rng := rand.New(rand.NewSource(2))
+	train, _, err := dataset.Shapes(dataset.ShapesConfig{
+		Samples: 500, Size: size, Classes: classes, Noise: 0.2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := zoo.Build("lenet", size, classes, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(model, train, nn.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deploy two edges, each with the model, a fed camera, and the safety
+	// scenario over HTTP.
+	newServingEdge := func(id, device string, camSeed int64) (*openei.Node, *httptest.Server) {
+		node, err := openei.New(openei.Config{NodeID: id, Device: device})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Close)
+		if err := node.LoadModel(model, false); err != nil {
+			t.Fatal(err)
+		}
+		cam, err := sensors.NewCamera("camera1", size, classes, camSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sensors.Feed(node.Store, cam, 4, time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC), time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.EnableSafety("lenet", "camera1", dataset.ShapeClassNames[:classes], 3); err != nil {
+			t.Fatal(err)
+		}
+		return node, httptest.NewServer(node.Handler())
+	}
+	primary, primaryHTTP := newServingEdge("edge-a", "rpi3", 5)
+	_, backupHTTP := newServingEdge("edge-b", "rpi4", 6)
+	defer backupHTTP.Close()
+
+	clients := map[string]*openei.Client{
+		"edge-a": openei.Dial(primaryHTTP.URL),
+		"edge-b": openei.Dial(backupHTTP.URL),
+	}
+
+	// Place the detection task; with equal expected runtimes the balancer
+	// is deterministic, so pin the task to the primary by capacity tie.
+	// Heartbeats come from the real REST probe: a peer that answers
+	// /ei_status is alive (collab.PollHeartbeats).
+	mon := openei.NewMonitor(2 * time.Second)
+	mig := openei.NewMigrator(map[string]float64{
+		"edge-a": 2 * primary.Device().FLOPS, // primary looks faster: task lands there
+		"edge-b": primary.Device().FLOPS,
+	})
+	now := time.Unix(5000, 0)
+	if alive, _ := collab.PollHeartbeats(mon, clients, now); len(alive) != 2 {
+		t.Fatalf("initial heartbeat poll: alive = %v", alive)
+	}
+	placed, err := mig.Assign("safety/detection", float64(model.FLOPs(1)), mon.Live(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placed.Node != "edge-a" {
+		t.Fatalf("task placed on %s, want edge-a", placed.Node)
+	}
+
+	// route calls the task's current host over REST.
+	route := func() (string, error) {
+		host := mig.Placements()[0].Node
+		var det struct {
+			Label string `json:"label"`
+		}
+		err := clients[host].CallAlgorithm("safety", "detection", url.Values{"video": {"camera1"}}, &det)
+		if err != nil {
+			return host, err
+		}
+		if det.Label == "" {
+			t.Fatalf("empty detection from %s", host)
+		}
+		return host, nil
+	}
+	if host, err := route(); err != nil || host != "edge-a" {
+		t.Fatalf("pre-failure route: host=%s err=%v", host, err)
+	}
+
+	// The primary dies: its HTTP server closes, so the next probe round
+	// only refreshes the survivor.
+	primaryHTTP.Close()
+	later := now.Add(5 * time.Second)
+	alive, probeErrs := collab.PollHeartbeats(mon, clients, later)
+	if len(alive) != 1 || alive[0] != "edge-b" || probeErrs["edge-a"] == nil {
+		t.Fatalf("post-failure poll: alive=%v errs=%v", alive, probeErrs)
+	}
+	if host, err := route(); err == nil {
+		t.Fatalf("call to dead primary %s unexpectedly succeeded", host)
+	} else if !strings.Contains(err.Error(), "refused") && !strings.Contains(err.Error(), "connect") {
+		t.Logf("dead-primary error (transport-specific, informational): %v", err)
+	}
+
+	live := mon.Live(later)
+	if len(live) != 1 || live[0] != "edge-b" {
+		t.Fatalf("live set after silence = %v", live)
+	}
+	moved, err := mig.MigrateOff(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 1 || moved[0].Node != "edge-b" {
+		t.Fatalf("migration result = %+v", moved)
+	}
+
+	// The same REST call now succeeds on the survivor.
+	if host, err := route(); err != nil || host != "edge-b" {
+		t.Fatalf("post-failure route: host=%s err=%v", host, err)
+	}
+}

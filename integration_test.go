@@ -1,0 +1,195 @@
+package openei_test
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"openei"
+	"openei/internal/cloud"
+	"openei/internal/collab"
+	"openei/internal/dataset"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+// TestFullSystemIntegration drives the whole Figure 2 topology over real
+// HTTP: a cloud registry serves a trained model; edge A pulls it through
+// the registry client; edge B pulls the same model from *edge A* through
+// libei's model-blob endpoint (edge–edge sharing); and a DDNN splits
+// inference between edge A and the cloud.
+func TestFullSystemIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	const (
+		size    = 16
+		classes = 4
+	)
+	rng := rand.New(rand.NewSource(1))
+	train, test, err := dataset.Shapes(dataset.ShapesConfig{
+		Samples: 700, Size: size, Classes: classes, Noise: 0.25, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- Cloud: train, publish, serve the registry over HTTP.
+	registry := cloud.NewRegistry()
+	svc := &cloud.TrainService{Registry: registry}
+	detector, err := zoo.Build("lenet", size, classes, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, acc, err := svc.TrainAndPublish(detector, train, 6, 2); err != nil {
+		t.Fatal(err)
+	} else if acc < 0.8 {
+		t.Fatalf("cloud training accuracy = %v", acc)
+	}
+	cloudHTTP := httptest.NewServer(&cloud.RegistryServer{Registry: registry})
+	defer cloudHTTP.Close()
+
+	// ---- Edge A: pull the model from the cloud over HTTP, serve libei.
+	edgeA, err := openei.New(openei.Config{NodeID: "edge-a", Device: "rpi4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edgeA.Close()
+	regClient := cloud.NewRegistryClient(cloudHTTP.URL)
+	blob, version, err := regClient.Fetch("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Errorf("fetched version = %d", version)
+	}
+	model, err := nn.DecodeModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeA.LoadModel(model, false); err != nil {
+		t.Fatal(err)
+	}
+	cam, err := sensors.NewCamera("camera1", size, classes, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sensors.Feed(edgeA.Store, cam, 6, time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeA.EnableSafety("lenet", "camera1", dataset.ShapeClassNames[:classes], 3); err != nil {
+		t.Fatal(err)
+	}
+	edgeAHTTP := httptest.NewServer(edgeA.Handler())
+	defer edgeAHTTP.Close()
+
+	// The REST walk-through against edge A.
+	clientA := openei.Dial(edgeAHTTP.URL)
+	var det struct {
+		Label      string  `json:"label"`
+		Confidence float64 `json:"confidence"`
+	}
+	if err := clientA.CallAlgorithm("safety", "detection", url.Values{"video": {"camera1"}}, &det); err != nil {
+		t.Fatal(err)
+	}
+	if det.Label == "" || det.Confidence <= 0 {
+		t.Errorf("detection over HTTP = %+v", det)
+	}
+
+	// ---- Edge B: fetch the model from EDGE A (not the cloud) via libei.
+	edgeB, err := openei.New(openei.Config{NodeID: "edge-b", Device: "rpi3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer edgeB.Close()
+	peerBlob, err := clientA.ModelBlob("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerModel, err := nn.DecodeModel(peerBlob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := edgeB.LoadModel(peerModel, false); err != nil {
+		t.Fatal(err)
+	}
+	// Both edges must agree on every test sample (same weights).
+	clsA, _, err := edgeA.Infer("lenet", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clsB, _, err := edgeB.Infer("lenet", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clsA {
+		if clsA[i] != clsB[i] {
+			t.Fatalf("edge A and B disagree at %d after edge-edge model share", i)
+		}
+	}
+
+	// ---- DDNN: edge A early-exits, cloud (a big model) takes the rest.
+	cloudNode, err := openei.New(openei.Config{NodeID: "cloud", Device: "cloud-gpu", Package: "cloudpkg-m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cloudNode.Close()
+	big, err := zoo.Build("vgg-m", size, classes, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(big, train, nn.TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cloudNode.LoadModel(big, false); err != nil {
+		t.Fatal(err)
+	}
+	ddnn := &collab.DDNN{
+		Edge: edgeA.Manager, EdgeModel: "lenet",
+		Cloud: cloudNode.Manager, CloudName: "vgg-m",
+		Link: netsim.WAN, Threshold: 0.8,
+	}
+	res, err := ddnn.Infer(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, c := range res.Classes {
+		if c == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(res.Classes)); acc < 0.8 {
+		t.Errorf("DDNN accuracy = %v", acc)
+	}
+	if res.Offloaded == 0 {
+		t.Log("DDNN offloaded nothing at threshold 0.8 (edge fully confident) — acceptable")
+	}
+
+	// ---- Edge B uploads a retrained model back to the cloud over HTTP.
+	if err := edgeB.TransferLearn("lenet", train, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	retrained, err := edgeB.Manager.Snapshot("lenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := regClient.Publish("lenet-edge-b", retrained)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("uploaded version = %d", v)
+	}
+	infos, err := regClient.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Errorf("registry has %d models, want 2", len(infos))
+	}
+}

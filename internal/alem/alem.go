@@ -1,0 +1,283 @@
+// Package alem implements the paper's central formalism: the EI-capability
+// four-tuple ALEM <Accuracy, Latency, Energy, Memory footprint> (§II.B) and
+// the profiler that measures it for a (model, package, device) combination —
+// one point in the 3-D selection space of Figure 5.
+//
+// Accuracy is measured by actually running the model on a held-out
+// evaluation set. Latency, Energy and Memory come from the calibrated
+// hardware model (internal/hardware) parameterized by the package profile,
+// which is the substitution for profiling real boards (DESIGN.md §2).
+package alem
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"openei/internal/hardware"
+	"openei/internal/nn"
+)
+
+// ErrNoEvalData is returned when the profiler has no evaluation dataset.
+var ErrNoEvalData = errors.New("alem: profiler has no evaluation data")
+
+// ALEM is the paper's four-element capability tuple.
+type ALEM struct {
+	// Accuracy is task accuracy in [0,1] on the evaluation set.
+	Accuracy float64
+	// Latency is the modelled per-inference latency.
+	Latency time.Duration
+	// Energy is the modelled marginal energy per inference, in joules.
+	Energy float64
+	// Memory is the modelled peak memory footprint in bytes.
+	Memory int64
+}
+
+// String implements fmt.Stringer.
+func (a ALEM) String() string {
+	return fmt.Sprintf("<A=%.3f, L=%v, E=%.4fJ, M=%.1fMB>",
+		a.Accuracy, a.Latency.Round(time.Microsecond), a.Energy, float64(a.Memory)/(1<<20))
+}
+
+// Package models one deep-learning runtime on the selector's second axis.
+// The parameters encode the pCAMP [48] finding that no framework wins every
+// dimension: high-efficiency runtimes are heavier, light runtimes slower.
+type Package struct {
+	Name string
+	// Efficiency is the fraction of the device's effective FLOPS this
+	// runtime's kernels achieve.
+	Efficiency float64
+	// RuntimeBytes is the resident footprint of the runtime itself.
+	RuntimeBytes int64
+	// SupportsInt8 enables quantized kernels on this runtime.
+	SupportsInt8 bool
+	// SupportsFusion halves dispatch overhead via layer fusion.
+	SupportsFusion bool
+	// DispatchScale multiplies the device's per-inference dispatch cost;
+	// cloud frameworks pay far more session overhead than lean edge
+	// interpreters (pCAMP [48]). 0 means 1.
+	DispatchScale float64
+	// SupportsTraining marks runtimes able to run local (transfer)
+	// training — the package-manager feature the paper adds over TF-Lite.
+	SupportsTraining bool
+}
+
+// Packages returns the built-in package catalog, sorted by name.
+//
+//	cloudpkg-m : a cloud framework run unmodified on the edge (TensorFlow-
+//	             style): high overhead, no quantization. The paper's
+//	             baseline for the order-of-magnitude claim.
+//	caffe2-m   : mid-weight mobile build, decent kernels, no int8.
+//	mxnet-m    : light flexible runtime, modest kernels (pCAMP's memory
+//	             winner on small models).
+//	tflite-m   : optimized interpreter with int8 kernels; inference only.
+//	eipkg      : OpenEI's package manager — co-optimized kernels, fusion,
+//	             int8, and local training (§III.B).
+func Packages() []Package {
+	ps := []Package{
+		{Name: "cloudpkg-m", Efficiency: 0.35, RuntimeBytes: 220 << 20, DispatchScale: 4.0, SupportsTraining: true},
+		{Name: "caffe2-m", Efficiency: 0.70, RuntimeBytes: 40 << 20, DispatchScale: 1.5},
+		{Name: "mxnet-m", Efficiency: 0.60, RuntimeBytes: 11 << 20, DispatchScale: 1.2, SupportsTraining: true},
+		{Name: "tflite-m", Efficiency: 0.85, RuntimeBytes: 3 << 20, DispatchScale: 0.8, SupportsInt8: true, SupportsFusion: true},
+		{Name: "eipkg", Efficiency: 0.92, RuntimeBytes: 2 << 20, DispatchScale: 0.7, SupportsInt8: true, SupportsFusion: true, SupportsTraining: true},
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Name < ps[j].Name })
+	return ps
+}
+
+// PackageByName looks up a package profile.
+func PackageByName(name string) (Package, error) {
+	for _, p := range Packages() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Package{}, fmt.Errorf("alem: unknown package %q", name)
+}
+
+// Variant identifies the model artifact being profiled: the float model or
+// its int8-quantized form (only meaningful on packages with int8 support).
+type Variant struct {
+	Quantized bool
+}
+
+// Profiler measures ALEM tuples and caches them. It is safe for concurrent
+// use.
+type Profiler struct {
+	mu   sync.Mutex
+	eval nn.Dataset
+	// accCache caches measured accuracy per (model, quantized) — accuracy
+	// is device- and package-independent, and the forward passes are the
+	// expensive part of profiling.
+	accCache map[accKey]float64
+	cache    map[profKey]ALEM
+}
+
+type accKey struct {
+	model     string
+	quantized bool
+}
+
+type profKey struct {
+	model     string
+	pkg       string
+	device    string
+	quantized bool
+}
+
+// NewProfiler returns a profiler that measures accuracy on eval.
+func NewProfiler(eval nn.Dataset) *Profiler {
+	return &Profiler{
+		eval:     eval,
+		accCache: map[accKey]float64{},
+		cache:    map[profKey]ALEM{},
+	}
+}
+
+// Profile measures the ALEM tuple of running model m under pkg on dev.
+// If v.Quantized is set, the model is profiled as its int8 artifact: the
+// accuracy is measured through an int8 round trip of the weights, and the
+// cost model uses quantized kernels when the package supports them.
+func (p *Profiler) Profile(m *nn.Model, pkg Package, dev hardware.Device, v Variant) (ALEM, error) {
+	if p.eval.Samples() == 0 {
+		return ALEM{}, ErrNoEvalData
+	}
+	key := profKey{model: m.Name, pkg: pkg.Name, device: dev.Name, quantized: v.Quantized}
+	p.mu.Lock()
+	if a, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return a, nil
+	}
+	p.mu.Unlock()
+
+	acc, err := p.accuracy(m, v)
+	if err != nil {
+		return ALEM{}, err
+	}
+	w := p.workload(m, pkg, v)
+	lat, err := dev.Latency(w)
+	if err != nil {
+		return ALEM{}, err
+	}
+	energy, err := dev.EnergyJoules(w)
+	if err != nil {
+		return ALEM{}, err
+	}
+	a := ALEM{
+		Accuracy: acc,
+		Latency:  lat,
+		Energy:   energy,
+		Memory:   dev.MemoryBytes(w) + pkg.RuntimeBytes,
+	}
+	p.mu.Lock()
+	p.cache[key] = a
+	p.mu.Unlock()
+	return a, nil
+}
+
+// Fits reports whether the (model, package) workload fits the device's
+// memory at all — the hard feasibility check used before constraint checks.
+func (p *Profiler) Fits(m *nn.Model, pkg Package, dev hardware.Device, v Variant) bool {
+	w := p.workload(m, pkg, v)
+	return dev.MemoryBytes(w)+pkg.RuntimeBytes <= dev.MemBytes
+}
+
+func (p *Profiler) workload(m *nn.Model, pkg Package, v Variant) hardware.Workload {
+	w := hardware.Workload{
+		FLOPs:           m.FLOPs(1),
+		WeightBytes:     m.WeightBytes(),
+		ActivationBytes: m.ActivationBytes(),
+		EfficiencyScale: pkg.Efficiency,
+		DispatchScale:   pkg.DispatchScale,
+		LayerCount:      len(m.Layers),
+	}
+	if v.Quantized && pkg.SupportsInt8 {
+		w.Int8 = true
+	}
+	if pkg.SupportsFusion && w.LayerCount > 1 {
+		w.LayerCount = (w.LayerCount + 1) / 2
+	}
+	return w
+}
+
+// accuracy measures (and caches) eval accuracy for the model or its int8
+// round-tripped variant.
+func (p *Profiler) accuracy(m *nn.Model, v Variant) (float64, error) {
+	k := accKey{model: m.Name, quantized: v.Quantized}
+	p.mu.Lock()
+	if a, ok := p.accCache[k]; ok {
+		p.mu.Unlock()
+		return a, nil
+	}
+	p.mu.Unlock()
+
+	target := m
+	if v.Quantized {
+		clone, err := m.Clone()
+		if err != nil {
+			return 0, err
+		}
+		if err := quantizeWeights(clone); err != nil {
+			return 0, err
+		}
+		target = clone
+	}
+	acc, err := nn.Accuracy(target, p.eval.X, p.eval.Y)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.accCache[k] = acc
+	p.mu.Unlock()
+	return acc, nil
+}
+
+// quantizeWeights rounds every weight tensor through int8, reproducing the
+// accuracy effect of post-training quantization without importing
+// internal/compress (which depends on nn only, but keeping alem independent
+// of compress avoids a layering cycle when compress later wants ALEM
+// reports).
+func quantizeWeights(m *nn.Model) error {
+	for _, l := range m.Layers {
+		for _, w := range l.Params() {
+			if w.Dims() < 2 {
+				continue // leave biases in float, as real int8 schemes do
+			}
+			q := quantizeRoundTrip(w.Data())
+			copy(w.Data(), q)
+		}
+	}
+	return nil
+}
+
+func quantizeRoundTrip(d []float32) []float32 {
+	var m float32
+	for _, v := range d {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	scale := m / 127
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]float32, len(d))
+	for i, v := range d {
+		q := int(v/scale + 0.5)
+		if v < 0 {
+			q = int(v/scale - 0.5)
+		}
+		if q > 127 {
+			q = 127
+		} else if q < -127 {
+			q = -127
+		}
+		out[i] = float32(q) * scale
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+package alem
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/dataset"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+)
+
+func probeModel(t *testing.T) (*nn.Model, nn.Dataset) {
+	t.Helper()
+	cfg := dataset.PowerConfig{Samples: 400, Window: 32, Noise: 0.05, Seed: 20}
+	train, test, err := dataset.Power(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	m := nn.MustModel("probe", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 32},
+		{Type: "relu"},
+		{Type: "dense", In: 32, Out: 5},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	return m, test
+}
+
+func TestPackagesCatalog(t *testing.T) {
+	ps := Packages()
+	if len(ps) != 5 {
+		t.Fatalf("package catalog size = %d, want 5", len(ps))
+	}
+	var eipkg, cloudpkg Package
+	for _, p := range ps {
+		if p.Efficiency <= 0 || p.Efficiency > 1 {
+			t.Errorf("%s efficiency %v outside (0,1]", p.Name, p.Efficiency)
+		}
+		if p.RuntimeBytes <= 0 {
+			t.Errorf("%s runtime bytes %d", p.Name, p.RuntimeBytes)
+		}
+		switch p.Name {
+		case "eipkg":
+			eipkg = p
+		case "cloudpkg-m":
+			cloudpkg = p
+		}
+	}
+	// The co-optimized edge package must beat the cloud package on every
+	// static dimension (the paper's "optimization for the edge" claim).
+	if !(eipkg.Efficiency > cloudpkg.Efficiency && eipkg.RuntimeBytes < cloudpkg.RuntimeBytes) {
+		t.Error("eipkg must dominate cloudpkg-m in efficiency and footprint")
+	}
+	if !eipkg.SupportsInt8 || !eipkg.SupportsFusion || !eipkg.SupportsTraining {
+		t.Error("eipkg must support int8, fusion and training")
+	}
+	if _, err := PackageByName("eipkg"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PackageByName("torch"); err == nil {
+		t.Error("unknown package should fail")
+	}
+}
+
+func TestProfileProducesSensibleTuple(t *testing.T) {
+	m, test := probeModel(t)
+	prof := NewProfiler(test)
+	pkg, err := PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := prof.Profile(m, pkg, dev, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Accuracy < 0.6 {
+		t.Errorf("accuracy = %v, want well above chance", a.Accuracy)
+	}
+	if a.Latency <= 0 || a.Energy <= 0 || a.Memory <= 0 {
+		t.Errorf("non-positive cost dimensions: %v", a)
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestProfileNoEvalData(t *testing.T) {
+	m, _ := probeModel(t)
+	prof := NewProfiler(nn.Dataset{})
+	pkg := Packages()[0]
+	dev, err := hardware.ByName("rpi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prof.Profile(m, pkg, dev, Variant{}); !errors.Is(err, ErrNoEvalData) {
+		t.Errorf("err = %v, want ErrNoEvalData", err)
+	}
+}
+
+func TestProfilePackageOrdering(t *testing.T) {
+	// On the same device and model, eipkg must be faster and smaller than
+	// cloudpkg-m — the E8 headline's mechanism.
+	m, test := probeModel(t)
+	prof := NewProfiler(test)
+	dev, err := hardware.ByName("rpi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := PackageByName("cloudpkg-m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aEI, err := prof.Profile(m, ei, dev, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aCloud, err := prof.Profile(m, cloud, dev, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aEI.Latency >= aCloud.Latency {
+		t.Errorf("eipkg latency %v not below cloudpkg %v", aEI.Latency, aCloud.Latency)
+	}
+	if aEI.Memory >= aCloud.Memory {
+		t.Errorf("eipkg memory %d not below cloudpkg %d", aEI.Memory, aCloud.Memory)
+	}
+	if aEI.Energy >= aCloud.Energy {
+		t.Errorf("eipkg energy %v not below cloudpkg %v", aEI.Energy, aCloud.Energy)
+	}
+	// Accuracy must be identical: same float model.
+	if aEI.Accuracy != aCloud.Accuracy {
+		t.Errorf("accuracy differs across packages: %v vs %v", aEI.Accuracy, aCloud.Accuracy)
+	}
+}
+
+func TestQuantizedVariantFasterOnInt8Package(t *testing.T) {
+	m, test := probeModel(t)
+	prof := NewProfiler(test)
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32, err := prof.Profile(m, ei, dev, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i8, err := prof.Profile(m, ei, dev, Variant{Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i8.Latency >= f32.Latency {
+		t.Errorf("quantized latency %v not below float %v", i8.Latency, f32.Latency)
+	}
+	if i8.Memory >= f32.Memory {
+		t.Errorf("quantized memory %d not below float %d", i8.Memory, f32.Memory)
+	}
+	// Quantization costs at most a little accuracy.
+	if i8.Accuracy < f32.Accuracy-0.05 {
+		t.Errorf("quantized accuracy %v too far below float %v", i8.Accuracy, f32.Accuracy)
+	}
+	// On a package without int8 kernels, quantization must not speed up.
+	caffe, err := PackageByName("caffe2-m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf32, err := prof.Profile(m, caffe, dev, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci8, err := prof.Profile(m, caffe, dev, Variant{Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci8.Latency < cf32.Latency {
+		t.Error("quantized variant should not be faster on a package without int8 kernels")
+	}
+}
+
+func TestProfileCaching(t *testing.T) {
+	m, test := probeModel(t)
+	prof := NewProfiler(test)
+	pkg := Packages()[0]
+	dev, err := hardware.ByName("laptop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := prof.Profile(m, pkg, dev, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	a2, err := prof.Profile(m, pkg, dev, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Error("cached profile differs")
+	}
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("cached profile took too long; cache not working")
+	}
+}
+
+func TestProfileConcurrentSafe(t *testing.T) {
+	m, test := probeModel(t)
+	prof := NewProfiler(test)
+	devs := hardware.Catalog()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(devs)*len(Packages()))
+	for _, d := range devs {
+		for _, p := range Packages() {
+			wg.Add(1)
+			go func(d hardware.Device, p Package) {
+				defer wg.Done()
+				if _, err := prof.Profile(m, p, d, Variant{Quantized: p.SupportsInt8}); err != nil {
+					errs <- err
+				}
+			}(d, p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestFits(t *testing.T) {
+	m, test := probeModel(t)
+	prof := NewProfiler(test)
+	uno, err := hardware.ByName("arduino-uno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := hardware.ByName("edge-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Fits(m, ei, uno, Variant{}) {
+		t.Error("an MLP + runtime must not fit a 2kB MCU")
+	}
+	if !prof.Fits(m, ei, server, Variant{}) {
+		t.Error("the probe model must fit an edge server")
+	}
+}

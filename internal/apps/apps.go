@@ -1,0 +1,304 @@
+// Package apps wires the paper's four application scenarios (§V) into
+// libei algorithm registrations, giving exactly the URLs of Figure 4:
+//
+//	/ei_algorithms/safety/detection           — VAPS object detection
+//	/ei_algorithms/safety/firearm_detection   — VAPS alerting
+//	/ei_algorithms/vehicles/tracking          — CAV object tracking
+//	/ei_algorithms/home/power_monitor         — smart-home appliance state
+//	/ei_algorithms/health/activity_recognition — wearable activity
+//	/ei_algorithms/health/fall_detection      — pre-hospital EMS alerting
+//
+// Each algorithm reads its input from the node's datastore (the data the
+// sensors produced) and runs inference through the package manager, so a
+// request exercises the full Figure 4 pipeline.
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+
+	"openei/internal/datastore"
+	"openei/internal/libei"
+	"openei/internal/pkgmgr"
+	"openei/internal/tensor"
+)
+
+// ErrNoData is returned when a scenario's sensor has produced no samples.
+var ErrNoData = errors.New("apps: no sensor data")
+
+// Detection is the response of the safety detection algorithms.
+type Detection struct {
+	Class      int     `json:"class"`
+	Label      string  `json:"label"`
+	Confidence float64 `json:"confidence"`
+	Alert      bool    `json:"alert,omitempty"`
+}
+
+// frameTensor converts a flattened square camera frame to model input.
+func frameTensor(payload []float32) (*tensor.Tensor, error) {
+	size := int(math.Round(math.Sqrt(float64(len(payload)))))
+	if size*size != len(payload) {
+		return nil, fmt.Errorf("apps: frame of %d values is not square", len(payload))
+	}
+	data := append([]float32(nil), payload...)
+	return tensor.NewFrom(data, 1, 1, size, size)
+}
+
+// classify runs the latest sample of sensorID through modelName at
+// real-time priority (VAPS and EMS are the paper's urgent workloads).
+func classify(store *datastore.Store, mgr *pkgmgr.Manager, modelName, sensorID string, toTensor func([]float32) (*tensor.Tensor, error)) (int, float64, error) {
+	sample, err := store.Latest(sensorID)
+	if err != nil {
+		if errors.Is(err, datastore.ErrEmpty) {
+			return 0, 0, fmt.Errorf("%w: sensor %q", ErrNoData, sensorID)
+		}
+		return 0, 0, err
+	}
+	x, err := toTensor(sample.Payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := mgr.InferUrgent(modelName, x)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Classes[0], res.Confidences[0], nil
+}
+
+func labelOf(labels []string, class int) string {
+	if class >= 0 && class < len(labels) {
+		return labels[class]
+	}
+	return fmt.Sprintf("class-%d", class)
+}
+
+// SafetyConfig configures the VAPS scenario.
+type SafetyConfig struct {
+	Store     *datastore.Store
+	Manager   *pkgmgr.Manager
+	ModelName string
+	// DefaultCamera is used when the request has no video= argument.
+	DefaultCamera string
+	// Labels maps class indices to names.
+	Labels []string
+	// FirearmClass is the class index that triggers the firearm alert.
+	FirearmClass int
+}
+
+// Safety returns the VAPS registrations (Figure 6's
+// /ei_algorithms/safety/detection{video} example).
+func Safety(cfg SafetyConfig) []libei.Registration {
+	run := func(args url.Values, alertOn int) (any, error) {
+		cam := args.Get("video")
+		if cam == "" {
+			cam = cfg.DefaultCamera
+		}
+		class, conf, err := classify(cfg.Store, cfg.Manager, cfg.ModelName, cam, frameTensor)
+		if err != nil {
+			return nil, err
+		}
+		return Detection{
+			Class:      class,
+			Label:      labelOf(cfg.Labels, class),
+			Confidence: conf,
+			Alert:      alertOn >= 0 && class == alertOn,
+		}, nil
+	}
+	return []libei.Registration{
+		{Scenario: "safety", Name: "detection", Fn: func(args url.Values) (any, error) {
+			return run(args, -1)
+		}},
+		{Scenario: "safety", Name: "firearm_detection", Fn: func(args url.Values) (any, error) {
+			return run(args, cfg.FirearmClass)
+		}},
+	}
+}
+
+// Track is the response of the vehicle tracking algorithm: the estimated
+// object path over the recent frame window plus its velocity.
+type Track struct {
+	Positions [][2]float64 `json:"positions"`
+	Velocity  [2]float64   `json:"velocity"`
+	Frames    int          `json:"frames"`
+}
+
+// VehiclesConfig configures the CAV scenario.
+type VehiclesConfig struct {
+	Store *datastore.Store
+	// DefaultCamera is the on-board camera sensor ID.
+	DefaultCamera string
+	// Window is the number of recent frames to track over.
+	Window int
+}
+
+// Vehicles returns the CAV registrations: a brightness-centroid tracker
+// over the recent camera window (the classic pre-DL tracking baseline the
+// on-vehicle pipeline runs between detector invocations).
+func Vehicles(cfg VehiclesConfig) []libei.Registration {
+	window := cfg.Window
+	if window <= 0 {
+		window = 8
+	}
+	return []libei.Registration{
+		{Scenario: "vehicles", Name: "tracking", Fn: func(args url.Values) (any, error) {
+			cam := args.Get("video")
+			if cam == "" {
+				cam = cfg.DefaultCamera
+			}
+			frames, err := cfg.Store.Realtime(cam, window)
+			if err != nil {
+				return nil, err
+			}
+			if len(frames) == 0 {
+				return nil, fmt.Errorf("%w: sensor %q", ErrNoData, cam)
+			}
+			tr := Track{Frames: len(frames)}
+			for _, f := range frames {
+				x, y := centroid(f.Payload)
+				tr.Positions = append(tr.Positions, [2]float64{x, y})
+			}
+			if n := len(tr.Positions); n >= 2 {
+				dt := float64(n - 1)
+				tr.Velocity = [2]float64{
+					(tr.Positions[n-1][0] - tr.Positions[0][0]) / dt,
+					(tr.Positions[n-1][1] - tr.Positions[0][1]) / dt,
+				}
+			}
+			return tr, nil
+		}},
+	}
+}
+
+// centroid returns the intensity-weighted centroid of a flattened square
+// frame (clamping negative noise to zero).
+func centroid(payload []float32) (cx, cy float64) {
+	size := int(math.Round(math.Sqrt(float64(len(payload)))))
+	if size == 0 || size*size != len(payload) {
+		return 0, 0
+	}
+	var sum, sx, sy float64
+	for i, v := range payload {
+		w := float64(v)
+		if w < 0 {
+			w = 0
+		}
+		sum += w
+		sx += w * float64(i%size)
+		sy += w * float64(i/size)
+	}
+	if sum == 0 {
+		return float64(size) / 2, float64(size) / 2
+	}
+	return sx / sum, sy / sum
+}
+
+// PowerReading is the response of the power monitor.
+type PowerReading struct {
+	Class      int     `json:"class"`
+	Appliance  string  `json:"appliance"`
+	Confidence float64 `json:"confidence"`
+	// MeanDraw is the mean normalized draw over the window, a direct
+	// energy-saving signal (PowerAnalyzer [77]).
+	MeanDraw float64 `json:"mean_draw"`
+}
+
+// HomeConfig configures the smart-home scenario.
+type HomeConfig struct {
+	Store        *datastore.Store
+	Manager      *pkgmgr.Manager
+	ModelName    string
+	DefaultMeter string
+	Labels       []string
+}
+
+// Home returns the smart-home registrations (IEHouse-style appliance state
+// recognition behind /ei_algorithms/home/power_monitor).
+func Home(cfg HomeConfig) []libei.Registration {
+	return []libei.Registration{
+		{Scenario: "home", Name: "power_monitor", Fn: func(args url.Values) (any, error) {
+			meter := args.Get("sensor")
+			if meter == "" {
+				meter = cfg.DefaultMeter
+			}
+			sample, err := cfg.Store.Latest(meter)
+			if err != nil {
+				if errors.Is(err, datastore.ErrEmpty) {
+					return nil, fmt.Errorf("%w: sensor %q", ErrNoData, meter)
+				}
+				return nil, err
+			}
+			x, err := tensor.NewFrom(append([]float32(nil), sample.Payload...), 1, len(sample.Payload))
+			if err != nil {
+				return nil, err
+			}
+			res, err := cfg.Manager.Infer(cfg.ModelName, x)
+			if err != nil {
+				return nil, err
+			}
+			var mean float64
+			for _, v := range sample.Payload {
+				mean += float64(v)
+			}
+			mean /= float64(len(sample.Payload))
+			return PowerReading{
+				Class:      res.Classes[0],
+				Appliance:  labelOf(cfg.Labels, res.Classes[0]),
+				Confidence: res.Confidences[0],
+				MeanDraw:   mean,
+			}, nil
+		}},
+	}
+}
+
+// ActivityReading is the response of the health algorithms.
+type ActivityReading struct {
+	Class      int     `json:"class"`
+	Activity   string  `json:"activity"`
+	Confidence float64 `json:"confidence"`
+	Alert      bool    `json:"alert,omitempty"`
+}
+
+// HealthConfig configures the connected-health scenario.
+type HealthConfig struct {
+	Store      *datastore.Store
+	Manager    *pkgmgr.Manager
+	ModelName  string
+	DefaultIMU string
+	Labels     []string
+	// FallClass triggers the EMS alert in fall_detection.
+	FallClass int
+}
+
+// Health returns the connected-health registrations: wearable activity
+// recognition ([84]-style) and fall detection for pre-hospital EMS (§V.D).
+func Health(cfg HealthConfig) []libei.Registration {
+	vec := func(p []float32) (*tensor.Tensor, error) {
+		return tensor.NewFrom(append([]float32(nil), p...), 1, len(p))
+	}
+	run := func(args url.Values, alertOn int) (any, error) {
+		imu := args.Get("sensor")
+		if imu == "" {
+			imu = cfg.DefaultIMU
+		}
+		class, conf, err := classify(cfg.Store, cfg.Manager, cfg.ModelName, imu, vec)
+		if err != nil {
+			return nil, err
+		}
+		return ActivityReading{
+			Class:      class,
+			Activity:   labelOf(cfg.Labels, class),
+			Confidence: conf,
+			Alert:      alertOn >= 0 && class == alertOn,
+		}, nil
+	}
+	return []libei.Registration{
+		{Scenario: "health", Name: "activity_recognition", Fn: func(args url.Values) (any, error) {
+			return run(args, -1)
+		}},
+		{Scenario: "health", Name: "fall_detection", Fn: func(args url.Values) (any, error) {
+			return run(args, cfg.FallClass)
+		}},
+	}
+}

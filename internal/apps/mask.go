@@ -1,0 +1,118 @@
+package apps
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+
+	"openei/internal/datastore"
+	"openei/internal/libei"
+)
+
+// MaskedFrame is the response of the privacy-masking algorithm: the
+// frame with the detected subject region blanked, plus what was masked.
+// §V.A: "for some applications like High-Definition Map generation,
+// masking some private information like people's face is also a
+// potential VAPS application. The objective is to enable the edge server
+// to mask the private information before uploading the data."
+type MaskedFrame struct {
+	// Frame is the masked flattened image, safe to upload.
+	Frame []float32 `json:"frame"`
+	// Box is the masked region as [x0, y0, x1, y1], inclusive.
+	Box [4]int `json:"box"`
+	// MaskedPixels counts pixels blanked inside the box.
+	MaskedPixels int `json:"masked_pixels"`
+	// TotalPixels is the frame size.
+	TotalPixels int `json:"total_pixels"`
+}
+
+// MaskConfig configures the privacy-masking registration.
+type MaskConfig struct {
+	Store         *datastore.Store
+	DefaultCamera string
+	// Threshold separates subject from background; ≤0 means 0.5 (glyph
+	// pixels are ≈1, noise ≈0).
+	Threshold float32
+	// Margin expands the detected box by this many pixels on each side
+	// (a face box is padded before blurring); <0 means 1.
+	Margin int
+}
+
+// Mask returns the /ei_algorithms/safety/mask registration. It detects
+// the bright subject region of the latest frame (or of the frame named
+// by video=) and blanks it so the frame can leave the edge without the
+// private content.
+func Mask(cfg MaskConfig) []libei.Registration {
+	threshold := cfg.Threshold
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	margin := cfg.Margin
+	if margin < 0 {
+		margin = 1
+	}
+	return []libei.Registration{
+		{Scenario: "safety", Name: "mask", Fn: func(args url.Values) (any, error) {
+			cam := args.Get("video")
+			if cam == "" {
+				cam = cfg.DefaultCamera
+			}
+			sample, err := cfg.Store.Latest(cam)
+			if err != nil {
+				if errors.Is(err, datastore.ErrEmpty) {
+					return nil, fmt.Errorf("%w: sensor %q", ErrNoData, cam)
+				}
+				return nil, err
+			}
+			return maskFrame(sample.Payload, threshold, margin)
+		}},
+	}
+}
+
+// maskFrame blanks the bounding box of above-threshold pixels, expanded
+// by margin. A frame with no subject is returned unchanged with an empty
+// box.
+func maskFrame(payload []float32, threshold float32, margin int) (MaskedFrame, error) {
+	size := int(math.Round(math.Sqrt(float64(len(payload)))))
+	if size == 0 || size*size != len(payload) {
+		return MaskedFrame{}, fmt.Errorf("apps: frame of %d values is not square", len(payload))
+	}
+	x0, y0, x1, y1 := size, size, -1, -1
+	for i, v := range payload {
+		if v < threshold {
+			continue
+		}
+		x, y := i%size, i/size
+		if x < x0 {
+			x0 = x
+		}
+		if y < y0 {
+			y0 = y
+		}
+		if x > x1 {
+			x1 = x
+		}
+		if y > y1 {
+			y1 = y
+		}
+	}
+	out := MaskedFrame{
+		Frame:       append([]float32(nil), payload...),
+		TotalPixels: len(payload),
+	}
+	if x1 < 0 { // nothing above threshold: nothing private to hide
+		out.Box = [4]int{0, 0, -1, -1}
+		return out, nil
+	}
+	x0, y0 = max(0, x0-margin), max(0, y0-margin)
+	x1, y1 = min(size-1, x1+margin), min(size-1, y1+margin)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			out.Frame[y*size+x] = 0
+			out.MaskedPixels++
+		}
+	}
+	out.Box = [4]int{x0, y0, x1, y1}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package apps
+
+import (
+	"errors"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openei/internal/datastore"
+	"openei/internal/libei"
+	"openei/internal/sensors"
+)
+
+// maskFixture feeds one camera and registers only the mask algorithm.
+func maskFixture(t *testing.T) (*libei.Client, *datastore.Store) {
+	t.Helper()
+	store := datastore.New(8)
+	cam, err := sensors.NewCamera("camera1", 16, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sensors.Feed(store, cam, 4, t0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv := libei.NewServer("edge-1", store, newManager(t))
+	if err := srv.RegisterAll(Mask(MaskConfig{Store: store, DefaultCamera: "camera1"})); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return libei.NewClient(ts.URL), store
+}
+
+func TestMaskBlanksSubjectOverREST(t *testing.T) {
+	c, store := maskFixture(t)
+	before, err := store.Latest("camera1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	countBright := func(p []float32) int {
+		n := 0
+		for _, v := range p {
+			if v >= 0.5 {
+				n++
+			}
+		}
+		return n
+	}
+	brightBefore := countBright(before.Payload)
+	if brightBefore == 0 {
+		t.Fatal("fixture frame has no subject")
+	}
+
+	var masked MaskedFrame
+	if err := c.CallAlgorithm("safety", "mask", url.Values{"video": {"camera1"}}, &masked); err != nil {
+		t.Fatal(err)
+	}
+	if masked.TotalPixels != 256 || len(masked.Frame) != 256 {
+		t.Fatalf("frame size: %d/%d", masked.TotalPixels, len(masked.Frame))
+	}
+	if got := countBright(masked.Frame); got != 0 {
+		t.Fatalf("masked frame still has %d bright pixels (was %d)", got, brightBefore)
+	}
+	if masked.MaskedPixels < brightBefore {
+		t.Fatalf("masked %d < subject %d", masked.MaskedPixels, brightBefore)
+	}
+	// The box must be valid and contain every pre-mask bright pixel.
+	x0, y0, x1, y1 := masked.Box[0], masked.Box[1], masked.Box[2], masked.Box[3]
+	if x0 > x1 || y0 > y1 {
+		t.Fatalf("empty box %v despite a subject", masked.Box)
+	}
+	for i, v := range before.Payload {
+		if v < 0.5 {
+			continue
+		}
+		x, y := i%16, i/16
+		if x < x0 || x > x1 || y < y0 || y > y1 {
+			t.Fatalf("bright pixel (%d,%d) outside box %v", x, y, masked.Box)
+		}
+	}
+	// The store still holds the unmasked original: masking is applied to
+	// the outgoing copy, not the local data (the edge keeps its raw data).
+	after, err := store.Latest("camera1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countBright(after.Payload) != brightBefore {
+		t.Fatal("mask mutated the stored frame")
+	}
+}
+
+func TestMaskEmptyFrameUntouched(t *testing.T) {
+	out, err := maskFrame(make([]float32, 64), 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MaskedPixels != 0 {
+		t.Fatalf("masked %d pixels of an empty frame", out.MaskedPixels)
+	}
+	if out.Box != [4]int{0, 0, -1, -1} {
+		t.Fatalf("box = %v, want empty sentinel", out.Box)
+	}
+	for _, v := range out.Frame {
+		if v != 0 {
+			t.Fatal("empty frame changed")
+		}
+	}
+}
+
+func TestMaskRejectsNonSquare(t *testing.T) {
+	if _, err := maskFrame(make([]float32, 10), 0.5, 1); err == nil {
+		t.Fatal("non-square frame accepted")
+	}
+}
+
+func TestMaskNoData(t *testing.T) {
+	store := datastore.New(4)
+	if err := store.Register(datastore.SensorInfo{ID: "cam", Kind: "camera", Dim: 256}); err != nil {
+		t.Fatal(err)
+	}
+	regs := Mask(MaskConfig{Store: store, DefaultCamera: "cam"})
+	if _, err := regs[0].Fn(nil); !errors.Is(err, ErrNoData) {
+		t.Fatalf("want ErrNoData, got %v", err)
+	}
+}
+
+// Property: after masking, no pixel ≥ threshold survives, and pixels
+// outside the box are bit-identical to the input.
+func TestMaskProperty(t *testing.T) {
+	check := func(raw []float32) bool {
+		// Shape into an 8×8 frame regardless of generator output length.
+		frame := make([]float32, 64)
+		for i := range frame {
+			if len(raw) > 0 {
+				frame[i] = raw[i%len(raw)]
+			}
+			if frame[i] != frame[i] { // NaN breaks the identity check below
+				frame[i] = 0
+			}
+		}
+		out, err := maskFrame(frame, 0.5, 1)
+		if err != nil {
+			return false
+		}
+		x0, y0, x1, y1 := out.Box[0], out.Box[1], out.Box[2], out.Box[3]
+		for i, v := range out.Frame {
+			x, y := i%8, i/8
+			inBox := x >= x0 && x <= x1 && y >= y0 && y <= y1
+			if inBox && v != 0 {
+				return false
+			}
+			if !inBox && v != frame[i] {
+				return false
+			}
+			if v >= 0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

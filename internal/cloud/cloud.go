@@ -1,0 +1,190 @@
+// Package cloud implements the cloud side of Figure 2/3: a model registry
+// that serves trained artifacts to edges (Dataflow 2), a training service
+// that fits models on uploaded data (Dataflow 1), and the aggregator that
+// merges retrained edge models back into a global model ("the retrained
+// models will be uploaded to the cloud and combined into a general and
+// global model").
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"openei/internal/nn"
+)
+
+// Errors returned by the cloud components.
+var (
+	// ErrUnknownModel is returned when fetching an unpublished model.
+	ErrUnknownModel = errors.New("cloud: unknown model")
+	// ErrNoModels is returned when aggregating an empty set.
+	ErrNoModels = errors.New("cloud: no models to aggregate")
+	// ErrIncompatible is returned when aggregating models with different
+	// architectures.
+	ErrIncompatible = errors.New("cloud: incompatible model architectures")
+)
+
+// ModelInfo describes a registry entry.
+type ModelInfo struct {
+	Name    string
+	Version int
+	Bytes   int64
+}
+
+// Registry is the cloud model store. The zero value is not usable; call
+// NewRegistry. Registry is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	blobs   map[string][]byte
+	version map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{blobs: map[string][]byte{}, version: map[string]int{}}
+}
+
+// Publish stores a serialized model under its name, bumping the version.
+// The blob is validated by decoding it once.
+func (r *Registry) Publish(name string, blob []byte) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("cloud: empty model name")
+	}
+	if _, err := nn.DecodeModel(blob); err != nil {
+		return 0, fmt.Errorf("cloud: publish %s: %w", name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.version[name]++
+	r.blobs[name] = append([]byte(nil), blob...)
+	return r.version[name], nil
+}
+
+// PublishModel serializes and publishes a model under model.Name.
+func (r *Registry) PublishModel(m *nn.Model) (int, error) {
+	blob, err := nn.EncodeModel(m)
+	if err != nil {
+		return 0, err
+	}
+	return r.Publish(m.Name, blob)
+}
+
+// Fetch returns the current blob and version for the model.
+func (r *Registry) Fetch(name string) ([]byte, int, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	blob, ok := r.blobs[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return append([]byte(nil), blob...), r.version[name], nil
+}
+
+// FetchModel fetches and decodes the model.
+func (r *Registry) FetchModel(name string) (*nn.Model, int, error) {
+	blob, v, err := r.Fetch(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := nn.DecodeModel(blob)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, v, nil
+}
+
+// List returns registry entries sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(r.blobs))
+	for name, blob := range r.blobs {
+		out = append(out, ModelInfo{Name: name, Version: r.version[name], Bytes: int64(len(blob))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TrainService is the cloud training pipeline of Dataflow 1/2: fit a model
+// on (uploaded or cloud-resident) data and publish it.
+type TrainService struct {
+	Registry *Registry
+}
+
+// TrainAndPublish trains the model on data and publishes the result,
+// returning the published version and final training accuracy.
+func (s *TrainService) TrainAndPublish(m *nn.Model, data nn.Dataset, epochs int, seed int64) (version int, acc float64, err error) {
+	if s.Registry == nil {
+		return 0, 0, errors.New("cloud: TrainService has no registry")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	_, acc, err = nn.Train(m, data, nn.TrainConfig{
+		Epochs: epochs, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	version, err = s.Registry.PublishModel(m)
+	return version, acc, err
+}
+
+// Aggregate performs FedAvg-style weighted averaging of serialized models
+// with identical architectures; weights default to uniform when nil. The
+// aggregated model carries the first model's name.
+func Aggregate(blobs [][]byte, weights []float64) ([]byte, error) {
+	if len(blobs) == 0 {
+		return nil, ErrNoModels
+	}
+	if weights != nil && len(weights) != len(blobs) {
+		return nil, fmt.Errorf("cloud: %d weights for %d models", len(weights), len(blobs))
+	}
+	models := make([]*nn.Model, len(blobs))
+	for i, b := range blobs {
+		m, err := nn.DecodeModel(b)
+		if err != nil {
+			return nil, fmt.Errorf("cloud: aggregate model %d: %w", i, err)
+		}
+		models[i] = m
+	}
+	base := models[0]
+	for i, m := range models[1:] {
+		if m.ParamCount() != base.ParamCount() || len(m.Layers) != len(base.Layers) {
+			return nil, fmt.Errorf("%w: model %d", ErrIncompatible, i+1)
+		}
+	}
+	var wsum float64
+	ws := make([]float64, len(models))
+	for i := range models {
+		if weights == nil {
+			ws[i] = 1
+		} else {
+			if weights[i] < 0 {
+				return nil, fmt.Errorf("cloud: negative weight %v", weights[i])
+			}
+			ws[i] = weights[i]
+		}
+		wsum += ws[i]
+	}
+	if wsum == 0 {
+		return nil, fmt.Errorf("cloud: zero total weight")
+	}
+	out, err := base.Clone()
+	if err != nil {
+		return nil, err
+	}
+	params := out.Params()
+	for pi := range params {
+		dst := params[pi].Data()
+		for j := range dst {
+			var acc float64
+			for mi, m := range models {
+				acc += ws[mi] * float64(m.Params()[pi].Data()[j])
+			}
+			dst[j] = float32(acc / wsum)
+		}
+	}
+	return nn.EncodeModel(out)
+}

@@ -1,0 +1,237 @@
+package cloud
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"openei/internal/dataset"
+	"openei/internal/nn"
+)
+
+func smallModel(name string, seed int64) *nn.Model {
+	m := nn.MustModel(name, []int{4}, []nn.LayerSpec{
+		{Type: "dense", In: 4, Out: 6},
+		{Type: "relu"},
+		{Type: "dense", In: 6, Out: 3},
+	})
+	m.InitParams(rand.New(rand.NewSource(seed)))
+	return m
+}
+
+func TestRegistryPublishFetchVersions(t *testing.T) {
+	r := NewRegistry()
+	m := smallModel("net", 1)
+	v1, err := r.PublishModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 {
+		t.Errorf("first version = %d, want 1", v1)
+	}
+	m.Params()[0].Fill(0.5)
+	v2, err := r.PublishModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != 2 {
+		t.Errorf("second version = %d, want 2", v2)
+	}
+	got, v, err := r.FetchModel("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 {
+		t.Errorf("fetched version = %d, want 2", v)
+	}
+	if got.Params()[0].At(0, 0) != 0.5 {
+		t.Error("fetched model does not reflect latest publish")
+	}
+}
+
+func TestRegistryValidatesBlobs(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Publish("bad", []byte("garbage")); err == nil {
+		t.Error("publishing garbage should fail")
+	}
+	if _, err := r.Publish("", nil); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, _, err := r.Fetch("missing"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("fetch missing: err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestRegistryFetchIsolation(t *testing.T) {
+	r := NewRegistry()
+	m := smallModel("net", 2)
+	if _, err := r.PublishModel(m); err != nil {
+		t.Fatal(err)
+	}
+	blob, _, err := r.Fetch("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[0] = 'X' // mutate the returned copy
+	if _, _, err := r.FetchModel("net"); err != nil {
+		t.Error("mutating a fetched blob corrupted the registry")
+	}
+}
+
+func TestRegistryList(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha"} {
+		if _, err := r.PublishModel(smallModel(name, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos := r.List()
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "zeta" {
+		t.Errorf("List = %v", infos)
+	}
+	if infos[0].Bytes <= 0 {
+		t.Error("blob size missing from listing")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.PublishModel(smallModel("net", 4)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if i%2 == 0 {
+					_, _ = r.PublishModel(smallModel("net", int64(i*100+j)))
+				} else {
+					_, _, _ = r.Fetch("net")
+					_ = r.List()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTrainServicePublishesTrainedModel(t *testing.T) {
+	train, test, err := dataset.Power(dataset.PowerConfig{Samples: 400, Window: 32, Noise: 0.08, Seed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	svc := &TrainService{Registry: r}
+	m := nn.MustModel("power", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 24},
+		{Type: "relu"},
+		{Type: "dense", In: 24, Out: 5},
+	})
+	m.InitParams(rand.New(rand.NewSource(5)))
+	v, acc, err := svc.TrainAndPublish(m, train, 10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("version = %d", v)
+	}
+	if acc < 0.7 {
+		t.Errorf("train accuracy = %v", acc)
+	}
+	fetched, _, err := r.FetchModel("power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testAcc, err := nn.Accuracy(fetched, test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testAcc < 0.7 {
+		t.Errorf("published model test accuracy = %v", testAcc)
+	}
+}
+
+func TestTrainServiceNeedsRegistry(t *testing.T) {
+	svc := &TrainService{}
+	if _, _, err := svc.TrainAndPublish(smallModel("x", 1), nn.Dataset{}, 1, 1); err == nil {
+		t.Error("TrainAndPublish without registry should fail")
+	}
+}
+
+func TestAggregateUniform(t *testing.T) {
+	m1 := smallModel("net", 10)
+	m2 := smallModel("net", 11)
+	b1, err := nn.EncodeModel(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := nn.EncodeModel(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Aggregate([][]byte{b1, b2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := nn.DecodeModel(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every parameter must be the mean of the two sources.
+	p1, p2, pm := m1.Params(), m2.Params(), mm.Params()
+	for pi := range pm {
+		for j := range pm[pi].Data() {
+			want := (p1[pi].Data()[j] + p2[pi].Data()[j]) / 2
+			if diff := pm[pi].Data()[j] - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("param %d[%d] = %v, want %v", pi, j, pm[pi].Data()[j], want)
+			}
+		}
+	}
+}
+
+func TestAggregateWeighted(t *testing.T) {
+	m1 := smallModel("net", 12)
+	m2 := smallModel("net", 13)
+	b1, _ := nn.EncodeModel(m1)
+	b2, _ := nn.EncodeModel(m2)
+	merged, err := Aggregate([][]byte{b1, b2}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := nn.DecodeModel(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.75*m1.Params()[0].At(0, 0) + 0.25*m2.Params()[0].At(0, 0)
+	if got := mm.Params()[0].At(0, 0); got-want > 1e-6 || want-got > 1e-6 {
+		t.Errorf("weighted aggregate = %v, want %v", got, want)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(nil, nil); !errors.Is(err, ErrNoModels) {
+		t.Errorf("empty: err = %v, want ErrNoModels", err)
+	}
+	b1, _ := nn.EncodeModel(smallModel("a", 1))
+	other := nn.MustModel("b", []int{4}, []nn.LayerSpec{{Type: "dense", In: 4, Out: 2}})
+	other.InitParams(rand.New(rand.NewSource(1)))
+	b2, _ := nn.EncodeModel(other)
+	if _, err := Aggregate([][]byte{b1, b2}, nil); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("mismatched: err = %v, want ErrIncompatible", err)
+	}
+	if _, err := Aggregate([][]byte{b1}, []float64{1, 2}); err == nil {
+		t.Error("weight count mismatch should fail")
+	}
+	if _, err := Aggregate([][]byte{b1}, []float64{-1}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := Aggregate([][]byte{b1}, []float64{0}); err == nil {
+		t.Error("zero total weight should fail")
+	}
+	if _, err := Aggregate([][]byte{[]byte("junk")}, nil); err == nil {
+		t.Error("junk blob should fail")
+	}
+}

@@ -1,0 +1,148 @@
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// RegistryServer exposes a Registry over HTTP for cmd/openei-cloud:
+//
+//	GET  /registry                  — list models (JSON)
+//	GET  /registry/{name}           — download the current blob
+//	POST /registry/{name}           — publish a blob (body = model bytes)
+//
+// The wire format of blobs is the nn model format; the server validates on
+// publish.
+type RegistryServer struct {
+	Registry *Registry
+	// MaxBlobBytes bounds uploads; default 64 MiB.
+	MaxBlobBytes int64
+}
+
+// ServeHTTP implements http.Handler.
+func (s *RegistryServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.Registry == nil {
+		http.Error(w, "registry not configured", http.StatusInternalServerError)
+		return
+	}
+	parts := strings.Split(strings.Trim(r.URL.Path, "/"), "/")
+	if len(parts) == 0 || parts[0] != "registry" {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case len(parts) == 1 && r.Method == http.MethodGet:
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Registry.List())
+	case len(parts) == 2 && r.Method == http.MethodGet:
+		blob, version, err := s.Registry.Fetch(parts[1])
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrUnknownModel) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-Model-Version", fmt.Sprint(version))
+		_, _ = w.Write(blob)
+	case len(parts) == 2 && r.Method == http.MethodPost:
+		limit := s.MaxBlobBytes
+		if limit <= 0 {
+			limit = 64 << 20
+		}
+		blob, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if int64(len(blob)) > limit {
+			http.Error(w, "blob too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		version, err := s.Registry.Publish(parts[1], blob)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{"version": version})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// RegistryClient talks to a RegistryServer.
+type RegistryClient struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewRegistryClient returns a client with a 30 s timeout (model blobs can
+// be large on slow links).
+func NewRegistryClient(baseURL string) *RegistryClient {
+	return &RegistryClient{BaseURL: baseURL, HTTPClient: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// List fetches the registry contents.
+func (c *RegistryClient) List() ([]ModelInfo, error) {
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/registry")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cloud: list: status %d", resp.StatusCode)
+	}
+	var out []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fetch downloads a model blob and its version.
+func (c *RegistryClient) Fetch(name string) ([]byte, int, error) {
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/registry/" + name)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("cloud: fetch %s: status %d", name, resp.StatusCode)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	var version int
+	_, _ = fmt.Sscan(resp.Header.Get("X-Model-Version"), &version)
+	return blob, version, nil
+}
+
+// Publish uploads a model blob and returns the new version.
+func (c *RegistryClient) Publish(name string, blob []byte) (int, error) {
+	resp, err := c.HTTPClient.Post(c.BaseURL+"/registry/"+name, "application/octet-stream", strings.NewReader(string(blob)))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return 0, fmt.Errorf("cloud: publish %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	var out map[string]int
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, err
+	}
+	return out["version"], nil
+}

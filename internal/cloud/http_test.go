@@ -1,0 +1,110 @@
+package cloud
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"openei/internal/nn"
+)
+
+func registryServer(t *testing.T) (*Registry, *httptest.Server) {
+	t.Helper()
+	reg := NewRegistry()
+	ts := httptest.NewServer(&RegistryServer{Registry: reg})
+	t.Cleanup(ts.Close)
+	return reg, ts
+}
+
+func TestRegistryHTTPRoundTrip(t *testing.T) {
+	_, ts := registryServer(t)
+	c := NewRegistryClient(ts.URL)
+
+	m := smallModel("net", 7)
+	blob, err := nn.EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Publish("net", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("publish version = %d", v)
+	}
+
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "net" {
+		t.Errorf("List = %v", infos)
+	}
+
+	got, version, err := c.Fetch("net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Errorf("fetch version = %d", version)
+	}
+	m2, err := nn.DecodeModel(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.ParamCount() != m.ParamCount() {
+		t.Error("fetched model differs")
+	}
+}
+
+func TestRegistryHTTPFetchMissing(t *testing.T) {
+	_, ts := registryServer(t)
+	c := NewRegistryClient(ts.URL)
+	if _, _, err := c.Fetch("ghost"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestRegistryHTTPRejectsGarbage(t *testing.T) {
+	_, ts := registryServer(t)
+	c := NewRegistryClient(ts.URL)
+	if _, err := c.Publish("bad", []byte("junk")); err == nil {
+		t.Error("publishing junk should fail")
+	}
+}
+
+func TestRegistryHTTPBlobLimit(t *testing.T) {
+	reg := NewRegistry()
+	ts := httptest.NewServer(&RegistryServer{Registry: reg, MaxBlobBytes: 16})
+	defer ts.Close()
+	c := NewRegistryClient(ts.URL)
+	if _, err := c.Publish("big", make([]byte, 64)); err == nil {
+		t.Error("oversized blob should be rejected")
+	}
+}
+
+func TestRegistryHTTPMethodHandling(t *testing.T) {
+	_, ts := registryServer(t)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/registry/x", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bad path status = %d", resp.StatusCode)
+	}
+}

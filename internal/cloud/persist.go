@@ -1,0 +1,108 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Registry persistence: the cloud registry survives restarts by writing
+// each model blob to <dir>/<name>.oeim plus a manifest.json with versions.
+// Names are restricted to a safe charset so they map 1:1 to filenames.
+
+const manifestName = "manifest.json"
+
+type manifest struct {
+	Versions map[string]int `json:"versions"`
+}
+
+// safeName reports whether a model name can be used as a file stem.
+func safeName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(name, ".")
+}
+
+// Save writes every model blob and the version manifest into dir
+// (created if needed). Existing files for absent models are left alone;
+// present models are overwritten atomically (write + rename).
+func (r *Registry) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cloud: save registry: %w", err)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	man := manifest{Versions: map[string]int{}}
+	for name, blob := range r.blobs {
+		if !safeName(name) {
+			return fmt.Errorf("cloud: model name %q is not filesystem-safe", name)
+		}
+		path := filepath.Join(dir, name+".oeim")
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+			return fmt.Errorf("cloud: save %s: %w", name, err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("cloud: save %s: %w", name, err)
+		}
+		man.Versions[name] = r.version[name]
+	}
+	mj, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, mj, 0o644); err != nil {
+		return fmt.Errorf("cloud: save manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("cloud: save manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadRegistry reads a registry previously written by Save. Blobs are
+// validated; a missing manifest yields version 1 for every model.
+func LoadRegistry(dir string) (*Registry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: load registry: %w", err)
+	}
+	man := manifest{Versions: map[string]int{}}
+	if mj, err := os.ReadFile(filepath.Join(dir, manifestName)); err == nil {
+		if err := json.Unmarshal(mj, &man); err != nil {
+			return nil, fmt.Errorf("cloud: bad manifest: %w", err)
+		}
+	}
+	r := NewRegistry()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".oeim") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".oeim")
+		blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("cloud: load %s: %w", name, err)
+		}
+		if _, err := r.Publish(name, blob); err != nil {
+			return nil, fmt.Errorf("cloud: load %s: %w", name, err)
+		}
+		if v, ok := man.Versions[name]; ok && v > 0 {
+			r.mu.Lock()
+			r.version[name] = v
+			r.mu.Unlock()
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,105 @@
+package cloud
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openei/internal/nn"
+)
+
+func TestRegistrySaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	for i, name := range []string{"alpha", "beta"} {
+		if _, err := r.PublishModel(smallModel(name, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bump alpha to version 3.
+	for i := 0; i < 2; i++ {
+		if _, err := r.PublishModel(smallModel("alpha", int64(10+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := loaded.List()
+	if len(infos) != 2 {
+		t.Fatalf("loaded %d models, want 2", len(infos))
+	}
+	m, v, err := loaded.FetchModel("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 {
+		t.Errorf("alpha version = %d, want 3 (from manifest)", v)
+	}
+	// Weights must match the last published alpha.
+	orig, _, err := r.FetchModel("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Params()[0].At(0, 0) != orig.Params()[0].At(0, 0) {
+		t.Error("loaded weights differ")
+	}
+}
+
+func TestRegistrySaveRejectsUnsafeNames(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	m := smallModel("evil", 1)
+	m.Name = "../escape"
+	blob, err := nn.EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Publish("../escape", blob); err != nil {
+		t.Fatal(err) // publish allows it; Save must refuse
+	}
+	if err := r.Save(dir); err == nil {
+		t.Error("Save with path-traversal name should fail")
+	}
+}
+
+func TestLoadRegistryMissingDir(t *testing.T) {
+	if _, err := LoadRegistry(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing dir should fail")
+	}
+}
+
+func TestLoadRegistrySkipsJunkAndNoManifest(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+	if _, err := r.PublishModel(smallModel("good", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Junk files are ignored; a corrupt .oeim fails loudly.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, v, err := loaded.Fetch("good"); err != nil || v != 1 {
+		t.Errorf("fetch good: v=%d err=%v (no manifest → version 1)", v, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.oeim"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRegistry(dir); err == nil {
+		t.Error("corrupt blob should fail the load")
+	}
+}

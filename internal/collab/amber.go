@@ -1,0 +1,84 @@
+package collab
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"sync"
+
+	"openei/internal/apps"
+	"openei/internal/libei"
+)
+
+// This file implements the A3-style [63] distributed collaborative
+// execution of §V.A: an amber-alert-like query fans out to many OpenEI
+// edges over their libei APIs, each edge runs detection on its own camera
+// locally (video never leaves the node), and only sightings come back.
+
+// Sighting is one edge's positive detection.
+type Sighting struct {
+	NodeID     string
+	Label      string
+	Confidence float64
+}
+
+// AmberQuery describes a fan-out detection request.
+type AmberQuery struct {
+	// TargetClass is the class index that counts as a sighting.
+	TargetClass int
+	// Video is the camera argument passed to each node (empty = node
+	// default).
+	Video string
+	// MinConfidence filters weak detections; 0 keeps everything.
+	MinConfidence float64
+}
+
+// AmberAlert queries every node's safety/detection algorithm concurrently
+// and returns the sightings of the target class, sorted by descending
+// confidence. Nodes that fail (offline, no camera data) are skipped and
+// reported in errs, keyed by node status-reported ID or the client base
+// URL when even /ei_status fails — mirroring A3's requirement to keep
+// working when some edges are unreachable.
+func AmberAlert(clients []*libei.Client, q AmberQuery) (sightings []Sighting, errs map[string]error) {
+	errs = map[string]error{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *libei.Client) {
+			defer wg.Done()
+			nodeID := c.BaseURL
+			status, err := c.Status()
+			if err == nil {
+				nodeID = status.NodeID
+			}
+			args := url.Values{}
+			if q.Video != "" {
+				args.Set("video", q.Video)
+			}
+			var det apps.Detection
+			if err := c.CallAlgorithm("safety", "detection", args, &det); err != nil {
+				mu.Lock()
+				errs[nodeID] = fmt.Errorf("collab: amber query: %w", err)
+				mu.Unlock()
+				return
+			}
+			if det.Class != q.TargetClass || det.Confidence < q.MinConfidence {
+				return
+			}
+			mu.Lock()
+			sightings = append(sightings, Sighting{
+				NodeID: nodeID, Label: det.Label, Confidence: det.Confidence,
+			})
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	sort.Slice(sightings, func(i, j int) bool {
+		if sightings[i].Confidence != sightings[j].Confidence {
+			return sightings[i].Confidence > sightings[j].Confidence
+		}
+		return sightings[i].NodeID < sightings[j].NodeID
+	})
+	return sightings, errs
+}

@@ -1,0 +1,131 @@
+package collab
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"openei/internal/apps"
+	"openei/internal/dataset"
+	"openei/internal/datastore"
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+// amberNode spins one edge serving safety/detection over HTTP with a
+// camera that last saw the given class (fed until the label matches).
+func amberNode(t *testing.T, id string, model *nn.Model, wantLast int, seed int64) *libei.Client {
+	t.Helper()
+	mgr := manager(t, "eipkg", "rpi4")
+	if err := mgr.Load(model, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	store := datastore.New(8)
+	cam, err := sensors.NewCamera("camera1", 16, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Register(cam.Info()); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+	for i := 0; ; i++ {
+		if err := store.Append("camera1", cam.Next(at.Add(time.Duration(i)*time.Second))); err != nil {
+			t.Fatal(err)
+		}
+		if cam.LastLabel() == wantLast {
+			break
+		}
+		if i > 500 {
+			t.Fatalf("camera never produced class %d", wantLast)
+		}
+	}
+	srv := libei.NewServer(id, store, mgr)
+	if err := srv.RegisterAll(apps.Safety(apps.SafetyConfig{
+		Store: store, Manager: mgr, ModelName: model.Name,
+		DefaultCamera: "camera1", Labels: dataset.ShapeClassNames[:4], FirearmClass: 3,
+	})); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return libei.NewClient(ts.URL)
+}
+
+func TestAmberAlertFindsTargetAcrossEdges(t *testing.T) {
+	train, _, err := dataset.Shapes(dataset.ShapesConfig{Samples: 700, Size: 16, Classes: 4, Noise: 0.2, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	model, err := zoo.Build("lenet", 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(model, train, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+
+	const target = 3 // "cross"
+	// Node A last saw the target; node B last saw class 0.
+	a := amberNode(t, "edge-a", model, target, 101)
+	b := amberNode(t, "edge-b", model, 0, 102)
+	// A dead node: client pointing at a closed server.
+	dead := httptest.NewServer(nil)
+	deadClient := libei.NewClient(dead.URL)
+	dead.Close()
+
+	sightings, errs := AmberAlert([]*libei.Client{a, b, deadClient},
+		AmberQuery{TargetClass: target, Video: "camera1"})
+	if len(errs) != 1 {
+		t.Errorf("errs = %v, want exactly the dead node", errs)
+	}
+	// Node A must report a sighting (the model is highly accurate on clean
+	// glyphs); node B must not.
+	foundA, foundB := false, false
+	for _, s := range sightings {
+		switch s.NodeID {
+		case "edge-a":
+			foundA = true
+			if s.Confidence <= 0 {
+				t.Errorf("sighting confidence = %v", s.Confidence)
+			}
+		case "edge-b":
+			foundB = true
+		}
+	}
+	if !foundA {
+		t.Error("edge-a did not report the target sighting")
+	}
+	if foundB {
+		t.Error("edge-b reported a sighting it should not have")
+	}
+}
+
+func TestAmberAlertConfidenceFilter(t *testing.T) {
+	train, _, err := dataset.Shapes(dataset.ShapesConfig{Samples: 500, Size: 16, Classes: 4, Noise: 0.2, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	model, err := zoo.Build("lenet", 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(model, train, nn.TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	a := amberNode(t, "edge-a", model, 3, 103)
+	// An impossible confidence bar filters everything out.
+	sightings, errs := AmberAlert([]*libei.Client{a}, AmberQuery{TargetClass: 3, MinConfidence: 1.01})
+	if len(errs) != 0 {
+		t.Errorf("errs = %v", errs)
+	}
+	if len(sightings) != 0 {
+		t.Errorf("sightings = %v, want none above confidence 1.01", sightings)
+	}
+}

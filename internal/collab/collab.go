@@ -1,0 +1,346 @@
+// Package collab implements the two collaboration modes of Figure 2.
+//
+// Cloud–edge: model deployment from the cloud registry to an edge over the
+// WAN (Dataflow 2), upload of retrained models back to the cloud followed
+// by FedAvg aggregation (Dataflow 3 → global model), and DDNN-style [17]
+// split inference with a confidence-based early exit on the edge.
+//
+// Edge–edge: FLOP-proportional partitioning of a compute-intensive batch
+// across peers ("the task will be allocated according to the computing
+// power"), and data-parallel distributed training rounds.
+//
+// All byte movements are charged to netsim links so the E2/E3 experiments
+// can report both latency and bandwidth.
+package collab
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"openei/internal/cloud"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/tensor"
+)
+
+// Errors returned by the collaboration layer.
+var (
+	// ErrNoPeers is returned when partitioning across an empty peer set.
+	ErrNoPeers = errors.New("collab: no peers")
+	// ErrBadThreshold is returned for confidence thresholds outside [0,1].
+	ErrBadThreshold = errors.New("collab: bad confidence threshold")
+)
+
+// DeployReport describes one cloud→edge model deployment.
+type DeployReport struct {
+	Model        string
+	Version      int
+	BytesMoved   int64
+	TransferTime time.Duration
+}
+
+// Deploy fetches the named model from the registry, charges the transfer
+// to link, and loads it into the edge's package manager — the paper's
+// "models are usually trained on the cloud and then downloaded to the
+// edge".
+func Deploy(reg *cloud.Registry, edge *pkgmgr.Manager, modelName string, link netsim.Link, meter *netsim.Meter, opts pkgmgr.LoadOptions) (DeployReport, error) {
+	blob, version, err := reg.Fetch(modelName)
+	if err != nil {
+		return DeployReport{}, err
+	}
+	var d time.Duration
+	if meter != nil {
+		d, err = meter.Record(link, int64(len(blob)))
+	} else {
+		d, err = link.Transfer(int64(len(blob)))
+	}
+	if err != nil {
+		return DeployReport{}, err
+	}
+	m, err := nn.DecodeModel(blob)
+	if err != nil {
+		return DeployReport{}, err
+	}
+	if err := edge.Load(m, opts); err != nil {
+		return DeployReport{}, err
+	}
+	return DeployReport{Model: modelName, Version: version, BytesMoved: int64(len(blob)), TransferTime: d}, nil
+}
+
+// UploadRetrained snapshots the edge's current weights for modelName,
+// charges the WAN transfer, and publishes the artifact to the registry
+// under uploadName (so per-edge personalizations do not clobber the global
+// model). It returns the published version.
+func UploadRetrained(edge *pkgmgr.Manager, reg *cloud.Registry, modelName, uploadName string, link netsim.Link, meter *netsim.Meter) (int, int64, error) {
+	blob, err := edge.Snapshot(modelName)
+	if err != nil {
+		return 0, 0, err
+	}
+	if meter != nil {
+		if _, err := meter.Record(link, int64(len(blob))); err != nil {
+			return 0, 0, err
+		}
+	}
+	v, err := reg.Publish(uploadName, blob)
+	return v, int64(len(blob)), err
+}
+
+// DDNN is a distributed deep neural network across edge and cloud [17]:
+// the edge runs a small model and exits early when its softmax confidence
+// clears Threshold; otherwise the sample is offloaded over Link to the
+// large cloud model.
+type DDNN struct {
+	Edge      *pkgmgr.Manager
+	EdgeModel string
+	Cloud     *pkgmgr.Manager
+	CloudName string
+	Link      netsim.Transferer
+	Threshold float64
+	// FallbackLocal keeps the edge's own (low-confidence) answers when
+	// the offload link fails instead of failing the whole batch — the
+	// availability property EI promises when the cloud is unreachable.
+	FallbackLocal bool
+}
+
+// DDNNResult reports a split-inference batch.
+type DDNNResult struct {
+	Classes []int
+	// Offloaded counts samples sent to the cloud.
+	Offloaded int
+	// BytesMoved is the WAN payload for offloaded samples.
+	BytesMoved int64
+	// ModelLatency is the modelled end-to-end latency of the batch: edge
+	// compute + (transfer + cloud compute if any sample offloaded).
+	ModelLatency time.Duration
+	// FellBack reports that the offload link failed and the edge's own
+	// answers were kept (only with FallbackLocal).
+	FellBack bool
+}
+
+// Infer runs confidence-gated split inference over the batch x.
+func (d *DDNN) Infer(x *tensor.Tensor) (DDNNResult, error) {
+	if d.Threshold < 0 || d.Threshold > 1 {
+		return DDNNResult{}, fmt.Errorf("%w: %v", ErrBadThreshold, d.Threshold)
+	}
+	edgeRes, err := d.Edge.Infer(d.EdgeModel, x)
+	if err != nil {
+		return DDNNResult{}, fmt.Errorf("collab: ddnn edge: %w", err)
+	}
+	batch := x.Dim(0)
+	per := x.Len() / batch
+	classes := append([]int(nil), edgeRes.Classes...)
+	var offloadIdx []int
+	for i, conf := range edgeRes.Confidences {
+		if conf < d.Threshold {
+			offloadIdx = append(offloadIdx, i)
+		}
+	}
+	res := DDNNResult{Classes: classes, ModelLatency: edgeRes.ModelLatency}
+	if len(offloadIdx) == 0 {
+		return res, nil
+	}
+	// Gather offloaded samples into one cloud batch.
+	shape := x.Shape()
+	shape[0] = len(offloadIdx)
+	sub := tensor.New(shape...)
+	for i, j := range offloadIdx {
+		copy(sub.Data()[i*per:(i+1)*per], x.Data()[j*per:(j+1)*per])
+	}
+	bytes := int64(4 * sub.Len())
+	transfer, err := d.Link.Transfer(bytes)
+	if err != nil {
+		if d.FallbackLocal {
+			res.FellBack = true
+			return res, nil
+		}
+		return DDNNResult{}, fmt.Errorf("collab: ddnn offload: %w", err)
+	}
+	cloudRes, err := d.Cloud.Infer(d.CloudName, sub)
+	if err != nil {
+		return DDNNResult{}, fmt.Errorf("collab: ddnn cloud: %w", err)
+	}
+	for i, j := range offloadIdx {
+		classes[j] = cloudRes.Classes[i]
+	}
+	res.Classes = classes
+	res.Offloaded = len(offloadIdx)
+	res.BytesMoved = bytes
+	res.ModelLatency = edgeRes.ModelLatency + transfer + cloudRes.ModelLatency
+	return res, nil
+}
+
+// Partition splits n work items across peers proportionally to their
+// devices' FLOPS ("allocated according to the computing power"). Every
+// peer receives at least zero items and the shares sum to n exactly.
+func Partition(n int, peers []*pkgmgr.Manager) ([]int, error) {
+	if len(peers) == 0 {
+		return nil, ErrNoPeers
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("collab: negative work count %d", n)
+	}
+	var total float64
+	for _, p := range peers {
+		total += p.Device().FLOPS
+	}
+	shares := make([]int, len(peers))
+	assigned := 0
+	for i, p := range peers {
+		shares[i] = int(float64(n) * p.Device().FLOPS / total)
+		assigned += shares[i]
+	}
+	// Hand the integer-truncation remainder to peers in descending-FLOPS
+	// order, one item each, wrapping around if needed.
+	order := make([]int, len(peers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return peers[order[a]].Device().FLOPS > peers[order[b]].Device().FLOPS
+	})
+	for rem, k := n-assigned, 0; rem > 0; rem, k = rem-1, k+1 {
+		shares[order[k%len(order)]]++
+	}
+	return shares, nil
+}
+
+// PartitionedResult reports an edge–edge partitioned inference.
+type PartitionedResult struct {
+	Classes []int
+	// PeerLatency holds each peer's modelled latency for its share.
+	PeerLatency []time.Duration
+	// ModelLatency is the critical path: max peer latency + LAN scatter/
+	// gather.
+	ModelLatency time.Duration
+	BytesMoved   int64
+}
+
+// PartitionedInfer splits the batch across peers (all of which must have
+// modelName loaded), runs the shares, and merges results in order. The
+// coordinator is peers[0]; shares for other peers are charged LAN
+// transfers.
+func PartitionedInfer(peers []*pkgmgr.Manager, modelName string, x *tensor.Tensor, link netsim.Link) (PartitionedResult, error) {
+	if len(peers) == 0 {
+		return PartitionedResult{}, ErrNoPeers
+	}
+	batch := x.Dim(0)
+	shares, err := Partition(batch, peers)
+	if err != nil {
+		return PartitionedResult{}, err
+	}
+	per := x.Len() / batch
+	res := PartitionedResult{Classes: make([]int, batch), PeerLatency: make([]time.Duration, len(peers))}
+	var critical time.Duration
+	lo := 0
+	for i, share := range shares {
+		if share == 0 {
+			continue
+		}
+		hi := lo + share
+		shape := x.Shape()
+		shape[0] = share
+		sub := tensor.New(shape...)
+		copy(sub.Data(), x.Data()[lo*per:hi*per])
+		r, err := peers[i].Infer(modelName, sub)
+		if err != nil {
+			return PartitionedResult{}, fmt.Errorf("collab: peer %d: %w", i, err)
+		}
+		copy(res.Classes[lo:hi], r.Classes)
+		peerLat := r.ModelLatency
+		if i != 0 {
+			bytes := int64(4*sub.Len()) + int64(8*share) // inputs out, labels back
+			transfer, err := link.Transfer(bytes)
+			if err != nil {
+				return PartitionedResult{}, err
+			}
+			peerLat += transfer
+			res.BytesMoved += bytes
+		}
+		res.PeerLatency[i] = peerLat
+		if peerLat > critical {
+			critical = peerLat
+		}
+		lo = hi
+	}
+	res.ModelLatency = critical
+	return res, nil
+}
+
+// RoundReport describes one distributed-training round.
+type RoundReport struct {
+	Round      int
+	BytesMoved int64
+	// Accuracies holds each peer's local training accuracy for the round.
+	Accuracies []float64
+}
+
+// DistributedTrain runs FedAvg data-parallel training across edges: each
+// round, every peer trains its local replica of modelName on its shard,
+// the snapshots are aggregated (weighted by shard size), and the merged
+// model is re-deployed to every peer over link. Peers must all have
+// modelName loaded and a training-capable package.
+func DistributedTrain(peers []*pkgmgr.Manager, modelName string, shards []nn.Dataset, rounds, epochsPerRound int, link netsim.Link, meter *netsim.Meter, seed int64) ([]RoundReport, error) {
+	if len(peers) == 0 {
+		return nil, ErrNoPeers
+	}
+	if len(shards) != len(peers) {
+		return nil, fmt.Errorf("collab: %d shards for %d peers", len(shards), len(peers))
+	}
+	var reports []RoundReport
+	for round := 0; round < rounds; round++ {
+		rep := RoundReport{Round: round, Accuracies: make([]float64, len(peers))}
+		blobs := make([][]byte, len(peers))
+		weights := make([]float64, len(peers))
+		for i, p := range peers {
+			rng := rand.New(rand.NewSource(seed + int64(round*100+i)))
+			_, acc, err := p.Train(modelName, shards[i], nn.TrainConfig{
+				Epochs: epochsPerRound, BatchSize: 16, LR: 0.02, Momentum: 0.9, Rand: rng,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("collab: round %d peer %d: %w", round, i, err)
+			}
+			rep.Accuracies[i] = acc
+			blob, err := p.Snapshot(modelName)
+			if err != nil {
+				return nil, err
+			}
+			blobs[i] = blob
+			weights[i] = float64(shards[i].Samples())
+			if i != 0 { // peer 0 is the aggregator
+				if meter != nil {
+					if _, err := meter.Record(link, int64(len(blob))); err != nil {
+						return nil, err
+					}
+				}
+				rep.BytesMoved += int64(len(blob))
+			}
+		}
+		merged, err := cloud.Aggregate(blobs, weights)
+		if err != nil {
+			return nil, fmt.Errorf("collab: round %d aggregate: %w", round, err)
+		}
+		mergedModel, err := nn.DecodeModel(merged)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range peers {
+			if i != 0 {
+				if meter != nil {
+					if _, err := meter.Record(link, int64(len(merged))); err != nil {
+						return nil, err
+					}
+				}
+				rep.BytesMoved += int64(len(merged))
+			}
+			if err := p.Load(mergedModel, pkgmgr.LoadOptions{}); err != nil {
+				return nil, fmt.Errorf("collab: round %d redeploy peer %d: %w", round, i, err)
+			}
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}

@@ -1,0 +1,451 @@
+package collab
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/cloud"
+	"openei/internal/dataset"
+	"openei/internal/hardware"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+)
+
+func manager(t *testing.T, pkgName, devName string) *pkgmgr.Manager {
+	t.Helper()
+	pkg, err := alem.PackageByName(pkgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName(devName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pkgmgr.New(pkg, dev)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func powerData(t *testing.T, seed int64) (nn.Dataset, nn.Dataset) {
+	t.Helper()
+	train, test, err := dataset.Power(dataset.PowerConfig{Samples: 400, Window: 32, Noise: 0.08, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, test
+}
+
+func trainedNet(t *testing.T, name string, train nn.Dataset, epochs int, hidden int) *nn.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	m := nn.MustModel(name, []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: hidden},
+		{Type: "relu"},
+		{Type: "dense", In: hidden, Out: 5},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: epochs, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestDeployMovesModelToEdge(t *testing.T) {
+	train, test := powerData(t, 70)
+	reg := cloud.NewRegistry()
+	m := trainedNet(t, "power", train, 10, 32)
+	if _, err := reg.PublishModel(m); err != nil {
+		t.Fatal(err)
+	}
+	edge := manager(t, "eipkg", "rpi4")
+	meter := netsim.NewMeter()
+	rep, err := Deploy(reg, edge, "power", netsim.WAN, meter, pkgmgr.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesMoved <= 0 || rep.TransferTime <= 0 {
+		t.Errorf("deploy report %+v", rep)
+	}
+	if meter.Bytes("wan") != rep.BytesMoved {
+		t.Errorf("meter recorded %d, report says %d", meter.Bytes("wan"), rep.BytesMoved)
+	}
+	res, err := edge.Infer("power", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accOf(res.Classes, test.Y); acc < 0.7 {
+		t.Errorf("deployed model accuracy = %v", acc)
+	}
+}
+
+func TestDeployUnknownModel(t *testing.T) {
+	reg := cloud.NewRegistry()
+	edge := manager(t, "eipkg", "rpi4")
+	if _, err := Deploy(reg, edge, "ghost", netsim.WAN, nil, pkgmgr.LoadOptions{}); !errors.Is(err, cloud.ErrUnknownModel) {
+		t.Errorf("err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func accOf(pred, want []int) float64 {
+	c := 0
+	for i := range pred {
+		if pred[i] == want[i] {
+			c++
+		}
+	}
+	return float64(c) / float64(len(pred))
+}
+
+func TestUploadRetrainedPublishes(t *testing.T) {
+	train, _ := powerData(t, 71)
+	reg := cloud.NewRegistry()
+	m := trainedNet(t, "power", train, 5, 24)
+	if _, err := reg.PublishModel(m); err != nil {
+		t.Fatal(err)
+	}
+	edge := manager(t, "eipkg", "laptop")
+	if _, err := Deploy(reg, edge, "power", netsim.WAN, nil, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	if err := edge.TransferLearn("power", train, 1, 2, rng); err != nil {
+		t.Fatal(err)
+	}
+	meter := netsim.NewMeter()
+	v, bytes, err := UploadRetrained(edge, reg, "power", "power-edge1", netsim.WAN, meter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 || bytes <= 0 {
+		t.Errorf("upload v=%d bytes=%d", v, bytes)
+	}
+	if _, _, err := reg.FetchModel("power-edge1"); err != nil {
+		t.Errorf("uploaded model not fetchable: %v", err)
+	}
+}
+
+func TestDDNNEarlyExitSweep(t *testing.T) {
+	train, test := powerData(t, 72)
+	// Small uncertain edge model vs large confident cloud model.
+	edgeModel := trainedNet(t, "edge-net", train, 2, 6)
+	cloudModel := trainedNet(t, "cloud-net", train, 15, 64)
+
+	edge := manager(t, "eipkg", "rpi3")
+	cld := manager(t, "cloudpkg-m", "cloud-gpu")
+	if err := edge.Load(edgeModel, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cld.Load(cloudModel, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	prevOffload := -1
+	var accLow, accHigh float64
+	for _, th := range []float64{0, 0.6, 0.99} {
+		d := &DDNN{Edge: edge, EdgeModel: "edge-net", Cloud: cld, CloudName: "cloud-net", Link: netsim.WAN, Threshold: th}
+		res, err := d.Infer(test.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Offloaded < prevOffload {
+			t.Errorf("offload count decreased as threshold rose: %d -> %d", prevOffload, res.Offloaded)
+		}
+		prevOffload = res.Offloaded
+		acc := accOf(res.Classes, test.Y)
+		switch th {
+		case 0:
+			accLow = acc
+			if res.Offloaded != 0 {
+				t.Errorf("threshold 0 offloaded %d samples", res.Offloaded)
+			}
+		case 0.99:
+			accHigh = acc
+			if res.Offloaded == 0 {
+				t.Error("threshold 0.99 offloaded nothing")
+			}
+			if res.BytesMoved <= 0 {
+				t.Error("offloading moved no bytes")
+			}
+		}
+	}
+	// The DDNN trade-off: offloading more must help accuracy here because
+	// the cloud model is strictly better.
+	if accHigh <= accLow {
+		t.Errorf("offloading did not improve accuracy: %v -> %v", accLow, accHigh)
+	}
+}
+
+func TestDDNNBadThreshold(t *testing.T) {
+	d := &DDNN{Threshold: 1.5}
+	if _, err := d.Infer(nil); !errors.Is(err, ErrBadThreshold) {
+		t.Errorf("err = %v, want ErrBadThreshold", err)
+	}
+}
+
+// TestDDNNLinkFailure covers the availability property: when the offload
+// link is down, FallbackLocal keeps the edge's own answers; without it
+// the failure propagates.
+func TestDDNNLinkFailure(t *testing.T) {
+	train, test := powerData(t, 73)
+	edgeModel := trainedNet(t, "edge-net", train, 2, 6)
+	cloudModel := trainedNet(t, "cloud-net", train, 15, 64)
+	edge := manager(t, "eipkg", "rpi3")
+	cld := manager(t, "cloudpkg-m", "cloud-gpu")
+	if err := edge.Load(edgeModel, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cld.Load(cloudModel, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// A WAN that always fails (failure rate just under the validator cap).
+	dead := netsim.FlakyLink{Link: netsim.WAN, FailureRate: 0.999999, Rand: rand.New(rand.NewSource(1))}
+
+	// Edge-only answers for comparison.
+	edgeRes, err := edge.Infer("edge-net", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := &DDNN{
+		Edge: edge, EdgeModel: "edge-net",
+		Cloud: cld, CloudName: "cloud-net",
+		Link: dead, Threshold: 0.99, FallbackLocal: true,
+	}
+	res, err := d.Infer(test.X)
+	if err != nil {
+		t.Fatalf("fallback mode failed the batch: %v", err)
+	}
+	if !res.FellBack {
+		t.Fatal("FellBack not reported although the link is down")
+	}
+	if res.Offloaded != 0 || res.BytesMoved != 0 {
+		t.Fatalf("fallback result claims offload: %+v", res)
+	}
+	for i := range res.Classes {
+		if res.Classes[i] != edgeRes.Classes[i] {
+			t.Fatalf("fallback answer %d differs from the edge's own", i)
+		}
+	}
+
+	d.FallbackLocal = false
+	if _, err := d.Infer(test.X); !errors.Is(err, netsim.ErrLinkDown) {
+		t.Fatalf("strict mode: err = %v, want ErrLinkDown", err)
+	}
+}
+
+func TestPartitionProportionalToFLOPS(t *testing.T) {
+	fast := manager(t, "eipkg", "jetson-tx2") // 3e11
+	slow := manager(t, "eipkg", "rpi3")       // 2e9
+	shares, err := Partition(100, []*pkgmgr.Manager{fast, slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0]+shares[1] != 100 {
+		t.Fatalf("shares %v do not sum to 100", shares)
+	}
+	if shares[0] < 90 {
+		t.Errorf("fast peer got %d of 100, want ≥ 90 (150× faster)", shares[0])
+	}
+}
+
+func TestPartitionRemainderAndEdgeCases(t *testing.T) {
+	a := manager(t, "eipkg", "rpi4")
+	b := manager(t, "eipkg", "rpi4")
+	c := manager(t, "eipkg", "rpi4")
+	shares, err := Partition(10, []*pkgmgr.Manager{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, s := range shares {
+		sum += s
+		if s < 3 || s > 4 {
+			t.Errorf("equal peers got uneven share %v", shares)
+		}
+	}
+	if sum != 10 {
+		t.Errorf("shares %v sum to %d", shares, sum)
+	}
+	if _, err := Partition(5, nil); !errors.Is(err, ErrNoPeers) {
+		t.Errorf("no peers: err = %v", err)
+	}
+	if _, err := Partition(-1, []*pkgmgr.Manager{a}); err == nil {
+		t.Error("negative n should fail")
+	}
+	zero, err := Partition(0, []*pkgmgr.Manager{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range zero {
+		if s != 0 {
+			t.Errorf("Partition(0) = %v", zero)
+		}
+	}
+}
+
+func TestPartitionedInferMatchesSingleNode(t *testing.T) {
+	train, test := powerData(t, 73)
+	// Edge–edge partitioning pays a LAN RTT per peer, so it only wins on
+	// compute-intensive work ("multiple edges work collaboratively to
+	// accomplish a compute-intensive task") — use a wide model whose solo
+	// latency dwarfs the 2 ms LAN RTT.
+	rng := rand.New(rand.NewSource(7))
+	model := nn.MustModel("power", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 1024},
+		{Type: "relu"},
+		{Type: "dense", In: 1024, Out: 1024},
+		{Type: "relu"},
+		{Type: "dense", In: 1024, Out: 5},
+	})
+	model.InitParams(rng)
+	if _, _, err := nn.Train(model, train, nn.TrainConfig{Epochs: 3, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+
+	solo := manager(t, "eipkg", "rpi3")
+	if err := solo.Load(model, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	soloRes, err := solo.Infer("power", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peers := []*pkgmgr.Manager{
+		manager(t, "eipkg", "rpi3"),
+		manager(t, "eipkg", "rpi3"),
+		manager(t, "eipkg", "rpi3"),
+	}
+	for _, p := range peers {
+		if err := p.Load(model, pkgmgr.LoadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	partRes, err := PartitionedInfer(peers, "power", test.X, netsim.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same model ⇒ identical predictions regardless of partitioning.
+	for i := range soloRes.Classes {
+		if soloRes.Classes[i] != partRes.Classes[i] {
+			t.Fatalf("prediction %d differs: %d vs %d", i, soloRes.Classes[i], partRes.Classes[i])
+		}
+	}
+	// The critical path across 3 equal peers must beat the solo run (the
+	// edge–edge speedup claim); LAN cost is small at this payload size.
+	if partRes.ModelLatency >= soloRes.ModelLatency {
+		t.Errorf("partitioned latency %v not below solo %v", partRes.ModelLatency, soloRes.ModelLatency)
+	}
+	if partRes.BytesMoved <= 0 {
+		t.Error("no LAN bytes recorded")
+	}
+}
+
+func TestPartitionedInferNoPeers(t *testing.T) {
+	if _, err := PartitionedInfer(nil, "x", nil, netsim.LAN); !errors.Is(err, ErrNoPeers) {
+		t.Errorf("err = %v, want ErrNoPeers", err)
+	}
+}
+
+func TestDistributedTrainImprovesGlobalModel(t *testing.T) {
+	train, test := powerData(t, 74)
+	// Start from a barely trained model.
+	model := trainedNet(t, "power", train, 1, 24)
+	base, err := nn.Accuracy(model, test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peers := []*pkgmgr.Manager{
+		manager(t, "eipkg", "rpi4"),
+		manager(t, "eipkg", "rpi4"),
+	}
+	var shards []nn.Dataset
+	half := train.Samples() / 2
+	s1, err := train.Slice(0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := train.Slice(half, train.Samples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards = append(shards, s1, s2)
+	for _, p := range peers {
+		if err := p.Load(model, pkgmgr.LoadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meter := netsim.NewMeter()
+	reports, err := DistributedTrain(peers, "power", shards, 3, 2, netsim.LAN, meter, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reports))
+	}
+	if meter.Bytes("lan") == 0 {
+		t.Error("no LAN traffic metered")
+	}
+	final, err := peers[0].Model("power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nn.Accuracy(final, test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc <= base {
+		t.Errorf("distributed training did not improve: %v -> %v", base, acc)
+	}
+	// Both peers must hold the same merged weights after the last round.
+	other, err := peers[1].Model("power")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Params()[0].At(0, 0) != final.Params()[0].At(0, 0) {
+		t.Error("peers diverged after final redeploy")
+	}
+}
+
+func TestDistributedTrainValidation(t *testing.T) {
+	if _, err := DistributedTrain(nil, "x", nil, 1, 1, netsim.LAN, nil, 1); !errors.Is(err, ErrNoPeers) {
+		t.Errorf("no peers: err = %v", err)
+	}
+	p := manager(t, "eipkg", "rpi4")
+	if _, err := DistributedTrain([]*pkgmgr.Manager{p}, "x", nil, 1, 1, netsim.LAN, nil, 1); err == nil {
+		t.Error("shard count mismatch should fail")
+	}
+}
+
+func TestDDNNLatencyAccounting(t *testing.T) {
+	train, test := powerData(t, 75)
+	edgeModel := trainedNet(t, "edge-net", train, 2, 6)
+	cloudModel := trainedNet(t, "cloud-net", train, 10, 64)
+	edge := manager(t, "eipkg", "rpi3")
+	cld := manager(t, "cloudpkg-m", "cloud-gpu")
+	if err := edge.Load(edgeModel, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cld.Load(cloudModel, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	dLocal := &DDNN{Edge: edge, EdgeModel: "edge-net", Cloud: cld, CloudName: "cloud-net", Link: netsim.WAN, Threshold: 0}
+	rLocal, err := dLocal.Infer(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOff := &DDNN{Edge: edge, EdgeModel: "edge-net", Cloud: cld, CloudName: "cloud-net", Link: netsim.WAN, Threshold: 1}
+	rOff, err := dOff.Infer(test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full offload pays at least one WAN RTT more than pure edge.
+	if rOff.ModelLatency < rLocal.ModelLatency+40*time.Millisecond {
+		t.Errorf("offload latency %v vs local %v: WAN cost missing", rOff.ModelLatency, rLocal.ModelLatency)
+	}
+}

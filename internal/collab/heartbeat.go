@@ -1,0 +1,52 @@
+package collab
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"openei/internal/libei"
+	"openei/internal/runenv"
+)
+
+// This file closes the loop between libei and the §IV.C failure
+// detector: a peer's liveness signal is its own REST API (/ei_status),
+// so "heartbeats" need no extra protocol — an edge that answers the
+// status probe is alive, exactly the availability property the open
+// problem asks for under "dynamic changes in topology".
+
+// PollHeartbeats probes every peer's /ei_status concurrently and records
+// a heartbeat at `now` for each that answers. It returns the node IDs
+// that responded (sorted) and the per-peer errors for those that did not
+// (keyed by the peers map key). Callers loop this at their chosen
+// period; time is injected so tests are deterministic.
+func PollHeartbeats(mon *runenv.Monitor, peers map[string]*libei.Client, now time.Time) ([]string, map[string]error) {
+	var (
+		mu    sync.Mutex
+		alive []string
+		errs  = map[string]error{}
+		wg    sync.WaitGroup
+	)
+	for name, client := range peers {
+		wg.Add(1)
+		go func(name string, client *libei.Client) {
+			defer wg.Done()
+			st, err := client.Status()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[name] = err
+				return
+			}
+			id := st.NodeID
+			if id == "" {
+				id = name
+			}
+			mon.Heartbeat(id, now)
+			alive = append(alive, id)
+		}(name, client)
+	}
+	wg.Wait()
+	sort.Strings(alive)
+	return alive, errs
+}

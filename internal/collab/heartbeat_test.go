@@ -1,0 +1,60 @@
+package collab
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"openei/internal/datastore"
+	"openei/internal/libei"
+	"openei/internal/runenv"
+)
+
+func TestPollHeartbeatsFeedsMonitor(t *testing.T) {
+	// Two live peers over real HTTP, one dead address.
+	mkPeer := func(id string) (*libei.Client, func()) {
+		srv := libei.NewServer(id, datastore.New(4), nil)
+		ts := httptest.NewServer(srv)
+		return libei.NewClient(ts.URL), ts.Close
+	}
+	cA, closeA := mkPeer("edge-a")
+	defer closeA()
+	cB, closeB := mkPeer("edge-b")
+	t.Cleanup(closeB)
+
+	mon := runenv.NewMonitor(2 * time.Second)
+	now := time.Unix(9000, 0)
+	peers := map[string]*libei.Client{
+		"a":    cA,
+		"b":    cB,
+		"dead": libei.NewClient("http://127.0.0.1:1"), // nothing listens here
+	}
+	alive, errs := PollHeartbeats(mon, peers, now)
+	if len(alive) != 2 || alive[0] != "edge-a" || alive[1] != "edge-b" {
+		t.Fatalf("alive = %v", alive)
+	}
+	if len(errs) != 1 || errs["dead"] == nil {
+		t.Fatalf("errs = %v", errs)
+	}
+	if live := mon.Live(now); len(live) != 2 {
+		t.Fatalf("monitor live = %v", live)
+	}
+
+	// edge-a's server dies: the next poll round only refreshes edge-b,
+	// and after the timeout the monitor suspects edge-a.
+	closeA()
+	later := now.Add(3 * time.Second)
+	alive, errs = PollHeartbeats(mon, peers, later)
+	if len(alive) != 1 || alive[0] != "edge-b" {
+		t.Fatalf("alive after failure = %v", alive)
+	}
+	if errs["a"] == nil {
+		t.Fatalf("errs after failure = %v", errs)
+	}
+	if live := mon.Live(later); len(live) != 1 || live[0] != "edge-b" {
+		t.Fatalf("monitor live after failure = %v", live)
+	}
+	if st, _ := mon.State("edge-a", later); st != runenv.NodeSuspect {
+		t.Fatalf("edge-a state = %v, want suspect", st)
+	}
+}

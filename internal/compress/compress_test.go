@@ -1,0 +1,303 @@
+package compress
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// trainedProbe returns a small trained MLP and its train/test data, cached
+// per test process via sync.Once-free simple memoization (tests rebuild it;
+// training is fast at this size).
+func trainedProbe(t *testing.T) (*nn.Model, nn.Dataset, nn.Dataset) {
+	t.Helper()
+	cfg := dataset.PowerConfig{Samples: 500, Window: 32, Noise: 0.05, Seed: 11}
+	train, test, err := dataset.Power(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	m := nn.MustModel("probe", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 48},
+		{Type: "relu"},
+		{Type: "dense", In: 48, Out: 24},
+		{Type: "relu"},
+		{Type: "dense", In: 24, Out: 5},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 12, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	return m, train, test
+}
+
+func accOf(t *testing.T, m *nn.Model, d nn.Dataset) float64 {
+	t.Helper()
+	acc, err := nn.Accuracy(m, d.X, d.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+func TestPruneSparsityAndReport(t *testing.T) {
+	m, _, test := trainedProbe(t)
+	base := accOf(t, m, test)
+	rep, err := Prune(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Sparsity(m); s < 0.45 || s > 0.55 {
+		t.Errorf("sparsity after 50%% prune = %v", s)
+	}
+	if rep.Ratio() < 1.2 {
+		t.Errorf("prune ratio = %v, want > 1.2", rep.Ratio())
+	}
+	// Moderate pruning must not destroy the model.
+	if acc := accOf(t, m, test); acc < base-0.25 {
+		t.Errorf("accuracy fell from %v to %v after 50%% prune", base, acc)
+	}
+}
+
+func TestPruneHeavyThenFineTuneRecovers(t *testing.T) {
+	m, train, test := trainedProbe(t)
+	base := accOf(t, m, test)
+	if _, err := Prune(m, 0.85); err != nil {
+		t.Fatal(err)
+	}
+	hurt := accOf(t, m, test)
+	rng := rand.New(rand.NewSource(5))
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	tuned := accOf(t, m, test)
+	if tuned < hurt {
+		t.Errorf("fine-tuning reduced accuracy: %v -> %v", hurt, tuned)
+	}
+	// The Han et al. claim: prune + retrain approaches the original.
+	if tuned < base-0.15 {
+		t.Errorf("prune+finetune accuracy %v too far below base %v", tuned, base)
+	}
+}
+
+func TestPruneBadSparsity(t *testing.T) {
+	m, _, _ := trainedProbe(t)
+	for _, s := range []float64{-0.1, 1.0, 1.5} {
+		if _, err := Prune(m, s); !errors.Is(err, ErrBadArg) {
+			t.Errorf("Prune(%v): err = %v, want ErrBadArg", s, err)
+		}
+	}
+}
+
+func TestKMeansShareAccuracyAndRatio(t *testing.T) {
+	m, _, test := trainedProbe(t)
+	base := accOf(t, m, test)
+	rng := rand.New(rand.NewSource(6))
+	rep, err := KMeansShare(m, 16, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 bits/weight → ≈8× before codebook overhead.
+	if rep.Ratio() < 6 {
+		t.Errorf("kmeans k=16 ratio = %v, want ≥ 6", rep.Ratio())
+	}
+	// Gong et al.: ~1%-scale accuracy loss for generous k.
+	if acc := accOf(t, m, test); acc < base-0.1 {
+		t.Errorf("kmeans accuracy fell from %v to %v", base, acc)
+	}
+	// Every weight must now be one of ≤16 distinct values per tensor.
+	for _, l := range m.Layers {
+		d, ok := l.(*nn.Dense)
+		if !ok {
+			continue
+		}
+		vals := map[float32]bool{}
+		for _, v := range d.W.Data() {
+			vals[v] = true
+		}
+		if len(vals) > 16 {
+			t.Errorf("dense layer has %d distinct weights after k=16 sharing", len(vals))
+		}
+	}
+}
+
+func TestKMeansShareBadArgs(t *testing.T) {
+	m, _, _ := trainedProbe(t)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := KMeansShare(m, 1, 5, rng); !errors.Is(err, ErrBadArg) {
+		t.Errorf("k=1: err = %v, want ErrBadArg", err)
+	}
+	if _, err := KMeansShare(m, 1000, 5, rng); !errors.Is(err, ErrBadArg) {
+		t.Errorf("k=1000: err = %v, want ErrBadArg", err)
+	}
+	if _, err := KMeansShare(m, 16, 5, nil); !errors.Is(err, ErrBadArg) {
+		t.Errorf("nil rng: err = %v, want ErrBadArg", err)
+	}
+}
+
+func TestBinarizeRatioAndValues(t *testing.T) {
+	m, _, _ := trainedProbe(t)
+	rep, err := Binarize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratio() < 25 {
+		t.Errorf("binary ratio = %v, want ≈32", rep.Ratio())
+	}
+	for _, l := range m.Layers {
+		d, ok := l.(*nn.Dense)
+		if !ok {
+			continue
+		}
+		vals := map[float32]bool{}
+		for _, v := range d.W.Data() {
+			vals[v] = true
+		}
+		if len(vals) > 2 {
+			t.Errorf("binarized layer has %d distinct values, want ≤ 2", len(vals))
+		}
+	}
+}
+
+func TestQuantizeInt8KeepsAccuracy(t *testing.T) {
+	m, _, test := trainedProbe(t)
+	base := accOf(t, m, test)
+	rep, err := QuantizeInt8(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratio() < 3.5 || rep.Ratio() > 4.5 {
+		t.Errorf("int8 ratio = %v, want ≈4", rep.Ratio())
+	}
+	if acc := accOf(t, m, test); acc < base-0.05 {
+		t.Errorf("int8 accuracy fell from %v to %v (want ≈1%% loss regime)", base, acc)
+	}
+	// Dense layers must have quantized weights installed.
+	for _, l := range m.Layers {
+		if d, ok := l.(*nn.Dense); ok && d.QW == nil {
+			t.Error("dense layer missing QW after QuantizeInt8")
+		}
+	}
+}
+
+func TestLowRankShrinksAndFineTuneRecovers(t *testing.T) {
+	m, train, test := trainedProbe(t)
+	base := accOf(t, m, test)
+	rng := rand.New(rand.NewSource(7))
+	lr, rep, err := LowRank(m, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ParamsAfter >= rep.ParamsBefore {
+		t.Errorf("lowrank params %d not below %d", rep.ParamsAfter, rep.ParamsBefore)
+	}
+	// Raw factorization loses some accuracy; Denton et al. keep the loss
+	// within ~1% only after fine-tuning, which we replicate below.
+	raw := accOf(t, lr, test)
+	if raw < base-0.3 {
+		t.Errorf("raw lowrank accuracy fell from %v to %v", base, raw)
+	}
+	// A gentler learning rate is needed when fine-tuning stacked factor
+	// pairs (gradient through W2·W1 compounds).
+	if _, _, err := nn.Train(lr, train, nn.TrainConfig{Epochs: 4, BatchSize: 32, LR: 0.005, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	if tuned := accOf(t, lr, test); tuned < base-0.05 {
+		t.Errorf("fine-tuned lowrank accuracy %v too far below base %v", tuned, base)
+	}
+	// The original model must be untouched.
+	if got := accOf(t, m, test); got != base {
+		t.Errorf("LowRank mutated the original model: %v vs %v", got, base)
+	}
+}
+
+func TestLowRankKeepsConvLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	conv := tensor.Conv2DSpec{InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	m := nn.MustModel("cnn", []int{1, 8, 8}, []nn.LayerSpec{
+		{Type: "conv2d", Conv: &conv},
+		{Type: "relu"},
+		{Type: "flatten"},
+		{Type: "dense", In: 4 * 8 * 8, Out: 64},
+		{Type: "relu"},
+		{Type: "dense", In: 64, Out: 4},
+	})
+	m.InitParams(rng)
+	lr, _, err := LowRank(m, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conv layer must still be first and produce identical outputs for the
+	// same weights (the 64→4 head is too small to factorize profitably at
+	// ratio .25: rank 1 * (64+4) = 68 < 256, so it WILL be factorized;
+	// verify structure only).
+	if lr.Layers[0].Kind() != "conv2d" {
+		t.Errorf("first layer after LowRank = %s, want conv2d", lr.Layers[0].Kind())
+	}
+	x := tensor.New(2, 1, 8, 8)
+	x.Rand(rng, 1)
+	if _, err := lr.Forward(x, false); err != nil {
+		t.Fatalf("lowrank model forward: %v", err)
+	}
+}
+
+func TestLowRankBadArgs(t *testing.T) {
+	m, _, _ := trainedProbe(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []float64{0, -1, 1.5} {
+		if _, _, err := LowRank(m, r, rng); !errors.Is(err, ErrBadArg) {
+			t.Errorf("LowRank(%v): err = %v, want ErrBadArg", r, err)
+		}
+	}
+	if _, _, err := LowRank(m, 0.5, nil); !errors.Is(err, ErrBadArg) {
+		t.Errorf("nil rng: err = %v, want ErrBadArg", err)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Method: "x", ParamsBefore: 100, ParamsAfter: 50, BytesBefore: 400, BytesAfter: 100}
+	if r.Ratio() != 4 {
+		t.Errorf("Ratio = %v, want 4", r.Ratio())
+	}
+	if s := r.String(); s == "" {
+		t.Error("empty report string")
+	}
+	if (Report{}).Ratio() != 0 {
+		t.Error("zero report must have ratio 0")
+	}
+}
+
+// Compression-ordering property from Table I: binary < kmeans < int8 in
+// resulting size (i.e. binary compresses hardest).
+func TestCompressionRatioOrdering(t *testing.T) {
+	m1, _, _ := trainedProbe(t)
+	m2, err := m1.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := m1.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	rb, err := Binarize(m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rk, err := KMeansShare(m2, 16, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := QuantizeInt8(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rb.Ratio() > rk.Ratio() && rk.Ratio() > rq.Ratio()) {
+		t.Errorf("ratio ordering binary(%v) > kmeans(%v) > int8(%v) violated",
+			rb.Ratio(), rk.Ratio(), rq.Ratio())
+	}
+}

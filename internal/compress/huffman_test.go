@@ -1,0 +1,203 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"openei/internal/nn"
+)
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	vals := []float32{0, 0, 0, 0, 0, 1.5, 1.5, -2.25, 1.5, 0, 0.125}
+	code, err := NewHuffmanCode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := code.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := code.Decode(enc, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if dec[i] != vals[i] {
+			t.Fatalf("round trip mismatch at %d: %v != %v", i, dec[i], vals[i])
+		}
+	}
+	if code.Symbols() != 4 {
+		t.Fatalf("symbols = %d, want 4", code.Symbols())
+	}
+}
+
+func TestHuffmanSingleSymbolStream(t *testing.T) {
+	vals := make([]float32, 100) // all zero
+	code, err := NewHuffmanCode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := code.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 13 { // 100 bits, 1 bit per symbol
+		t.Fatalf("single-symbol stream encoded to %d bytes, want 13", len(enc))
+	}
+	dec, err := code.Decode(enc, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 100 || dec[0] != 0 {
+		t.Fatalf("decode: %d values", len(dec))
+	}
+}
+
+func TestHuffmanErrors(t *testing.T) {
+	if _, err := NewHuffmanCode(nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	code, err := NewHuffmanCode([]float32{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := code.Encode([]float32{3}); err == nil {
+		t.Fatal("out-of-codebook value encoded")
+	}
+	enc, err := code.Encode([]float32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := code.Decode(enc, 50); err == nil {
+		t.Fatal("decode past end of stream succeeded")
+	}
+}
+
+// Property: any stream round-trips exactly, and the encoded payload is
+// within one bit per symbol of the Shannon bound (Huffman optimality).
+func TestHuffmanNearEntropyProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// A low-entropy stream like post-k-means weights: few distinct
+		// values with skewed frequencies.
+		distinct := 2 + rng.Intn(14)
+		alphabet := make([]float32, distinct)
+		for i := range alphabet {
+			alphabet[i] = float32(rng.NormFloat64())
+		}
+		vals := make([]float32, 500+rng.Intn(500))
+		for i := range vals {
+			// Squared draw skews toward low indices.
+			j := rng.Intn(distinct) * rng.Intn(distinct) / distinct
+			vals[i] = alphabet[j]
+		}
+		code, err := NewHuffmanCode(vals)
+		if err != nil {
+			return false
+		}
+		enc, err := code.Encode(vals)
+		if err != nil {
+			return false
+		}
+		dec, err := code.Decode(enc, len(vals))
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if math.Float32bits(dec[i]) != math.Float32bits(vals[i]) {
+				return false
+			}
+		}
+		bound := (entropyBits(vals) + 1) * float64(len(vals))
+		return float64(len(enc)*8) <= bound+8 // +8 for final-byte padding
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after KMeansShare(k), every weight tensor holds at most k
+// distinct values (the invariant the bit-packed storage model and the
+// Huffman stage both rely on).
+func TestKMeansDistinctValueBoundProperty(t *testing.T) {
+	model, _, _ := trainedProbe(t)
+	check := func(seed int64) bool {
+		k := 2 + int(uint64(seed)%15) // 2..16
+		m, err := model.Clone()
+		if err != nil {
+			return false
+		}
+		if _, err := KMeansShare(m, k, 5, rand.New(rand.NewSource(seed))); err != nil {
+			return false
+		}
+		for _, w := range weightTensors(m) {
+			distinct := map[float32]bool{}
+			for _, v := range w.Data() {
+				distinct[v] = true
+			}
+			if len(distinct) > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanSizeAfterSharing(t *testing.T) {
+	model, _, _ := trainedProbe(t)
+	rng := rand.New(rand.NewSource(3))
+	if _, err := KMeansShare(model, 16, 10, rng); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := HuffmanSize(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 distinct values → ≤4 bits/value + codebooks, so ≥ ~7×.
+	if rep.Ratio() < 7 {
+		t.Fatalf("huffman after k-means: ratio %.1f, want ≥ 7", rep.Ratio())
+	}
+}
+
+func TestDeepCompressPipeline(t *testing.T) {
+	model, _, test := trainedProbe(t)
+	kmOnly, err := model.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	kmRep, err := KMeansShare(kmOnly, 16, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DeepCompress(model, 0.8, 16, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full pipeline must beat k-means sharing alone (that is the
+	// point of the Huffman stage over the pruned+shared stream).
+	if rep.Ratio() <= kmRep.Ratio() {
+		t.Fatalf("deep-compress %.1fx not better than k-means alone %.1fx", rep.Ratio(), kmRep.Ratio())
+	}
+	// Han et al. report ~35-49× at ImageNet scale. On this miniature
+	// model the per-tensor codebooks are a proportionally large fixed
+	// cost (≈255 of ≈900 compressed bytes), flooring the ratio near 13×;
+	// assert ≥ 12× so a codec regression is caught without overclaiming.
+	if rep.Ratio() < 12 {
+		t.Fatalf("deep-compress ratio %.1f, want ≥ 12", rep.Ratio())
+	}
+	// The compressed model still classifies well above chance (fine-tune
+	// would recover the rest, as E7 shows for the component stages).
+	acc, err := nn.Accuracy(model, test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.5 {
+		t.Fatalf("deep-compressed accuracy %.3f, want ≥ 0.5 before fine-tune", acc)
+	}
+}

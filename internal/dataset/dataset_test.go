@@ -1,0 +1,215 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+func TestShapesDeterministic(t *testing.T) {
+	cfg := DefaultShapes()
+	cfg.Samples = 60
+	tr1, te1, err := Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, te2, err := Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(tr1.X, tr2.X, 0) || !tensor.Equal(te1.X, te2.X, 0) {
+		t.Error("same seed must produce identical datasets")
+	}
+	for i := range tr1.Y {
+		if tr1.Y[i] != tr2.Y[i] {
+			t.Fatal("labels differ between identical seeds")
+		}
+	}
+}
+
+func TestShapesSplitSizes(t *testing.T) {
+	cfg := DefaultShapes()
+	cfg.Samples = 100
+	tr, te, err := Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Samples() != 85 || te.Samples() != 15 {
+		t.Errorf("split = %d/%d, want 85/15", tr.Samples(), te.Samples())
+	}
+	shape := tr.X.Shape()
+	if shape[1] != 1 || shape[2] != cfg.Size || shape[3] != cfg.Size {
+		t.Errorf("image shape = %v", shape)
+	}
+}
+
+func TestShapesLabelsInRange(t *testing.T) {
+	cfg := DefaultShapes()
+	cfg.Samples = 200
+	tr, te, err := Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, d := range []nn.Dataset{tr, te} {
+		for _, y := range d.Y {
+			if y < 0 || y >= cfg.Classes {
+				t.Fatalf("label %d out of range", y)
+			}
+			seen[y] = true
+		}
+	}
+	if len(seen) != cfg.Classes {
+		t.Errorf("only %d of %d classes appear in 200 samples", len(seen), cfg.Classes)
+	}
+}
+
+func TestShapesConfigValidation(t *testing.T) {
+	bad := []ShapesConfig{
+		{Samples: 0, Size: 16, Classes: 4},
+		{Samples: 10, Size: 2, Classes: 4},
+		{Samples: 10, Size: 16, Classes: 1},
+		{Samples: 10, Size: 16, Classes: 99},
+	}
+	for _, cfg := range bad {
+		if _, _, err := Shapes(cfg); err == nil {
+			t.Errorf("Shapes(%+v) should fail", cfg)
+		}
+	}
+}
+
+// A tiny CNN must reach well-above-chance accuracy on the shapes data;
+// this is the sanity check that the dataset is learnable.
+func TestShapesLearnable(t *testing.T) {
+	cfg := ShapesConfig{Samples: 400, Size: 16, Classes: 4, Noise: 0.2, Seed: 5}
+	tr, te, err := Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	conv := tensor.Conv2DSpec{InC: 1, InH: 16, InW: 16, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	pool := tensor.PoolSpec{C: 6, H: 16, W: 16, K: 2, Stride: 2}
+	m := nn.MustModel("probe", []int{1, 16, 16}, []nn.LayerSpec{
+		{Type: "conv2d", Conv: &conv},
+		{Type: "relu"},
+		{Type: "maxpool", Pool: &pool},
+		{Type: "flatten"},
+		{Type: "dense", In: 6 * 8 * 8, Out: 4},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, tr, nn.TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nn.Accuracy(m, te.X, te.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.6 {
+		t.Errorf("CNN test accuracy on shapes = %v, want ≥ 0.6 (chance = 0.25)", acc)
+	}
+}
+
+func TestPowerLearnableAndDeterministic(t *testing.T) {
+	cfg := DefaultPower()
+	cfg.Samples = 300
+	tr, te, err := Power(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, _, err := Power(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(tr.X, tr2.X, 0) {
+		t.Error("power dataset not deterministic")
+	}
+	rng := rand.New(rand.NewSource(2))
+	m := nn.MustModel("p", []int{cfg.Window}, []nn.LayerSpec{
+		{Type: "dense", In: cfg.Window, Out: 24},
+		{Type: "relu"},
+		{Type: "dense", In: 24, Out: len(PowerClassNames)},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, tr, nn.TrainConfig{Epochs: 12, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nn.Accuracy(m, te.X, te.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Errorf("MLP accuracy on power = %v, want ≥ 0.7 (chance = 0.2)", acc)
+	}
+}
+
+func TestActivityBiasShiftsDistribution(t *testing.T) {
+	cfg := DefaultActivity()
+	cfg.Samples = 100
+	trA, _, err := Activity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Bias = 0.8
+	trB, _, err := Activity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanA := trA.X.Sum() / float64(trA.X.Len())
+	meanB := trB.X.Sum() / float64(trB.X.Len())
+	if meanB-meanA < 0.5 {
+		t.Errorf("bias 0.8 shifted mean by only %v", meanB-meanA)
+	}
+}
+
+func TestActivityLearnable(t *testing.T) {
+	cfg := DefaultActivity()
+	cfg.Samples = 400
+	tr, te, err := Activity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	in := 3 * cfg.Window
+	m := nn.MustModel("a", []int{in}, []nn.LayerSpec{
+		{Type: "dense", In: in, Out: 32},
+		{Type: "relu"},
+		{Type: "dense", In: 32, Out: len(ActivityClassNames)},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, tr, nn.TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nn.Accuracy(m, te.X, te.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Errorf("MLP accuracy on activity = %v, want ≥ 0.7 (chance = 0.25)", acc)
+	}
+}
+
+// Property: every generated image has pixel values bounded by glyph value
+// plus a plausible noise envelope.
+func TestShapesPixelRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := ShapesConfig{Samples: 10, Size: 12, Classes: 5, Noise: 0.1, Seed: seed}
+		tr, te, err := Shapes(cfg)
+		if err != nil {
+			return false
+		}
+		for _, d := range []nn.Dataset{tr, te} {
+			for _, v := range d.X.Data() {
+				if v < -1 || v > 2 { // glyph ∈ {0,1}, noise σ=0.1 → ±1 is ~10σ
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+
+	"openei/internal/nn"
+)
+
+func TestActivityTimeMajorLayout(t *testing.T) {
+	cfg := ActivityConfig{Samples: 20, Window: 8, Noise: 0, Seed: 40}
+	train, _, err := Activity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := ActivityTimeMajor(train, cfg.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.Samples() != train.Samples() {
+		t.Fatalf("sample count changed: %d vs %d", tm.Samples(), train.Samples())
+	}
+	// Element (sample i, time t, axis a) must move from axis-major index
+	// a*W+t to time-major index t*3+a.
+	w := cfg.Window
+	for i := 0; i < 5; i++ {
+		for tstep := 0; tstep < w; tstep++ {
+			for axis := 0; axis < 3; axis++ {
+				want := train.X.At(i, axis*w+tstep)
+				got := tm.X.At(i, tstep*3+axis)
+				if want != got {
+					t.Fatalf("sample %d t=%d axis=%d: %v != %v", i, tstep, axis, got, want)
+				}
+			}
+		}
+	}
+	// Labels preserved.
+	for i := range tm.Y {
+		if tm.Y[i] != train.Y[i] {
+			t.Fatal("labels changed")
+		}
+	}
+}
+
+func TestActivityTimeMajorValidation(t *testing.T) {
+	if _, err := ActivityTimeMajor(nn.Dataset{}, 8); err == nil {
+		t.Error("empty dataset should fail")
+	}
+	cfg := ActivityConfig{Samples: 10, Window: 8, Seed: 1}
+	train, _, err := Activity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ActivityTimeMajor(train, 16); err == nil {
+		t.Error("mismatched window should fail")
+	}
+}
+
+// FastGRNN must learn the activity task from the time-major layout — the
+// §IV.A.2 kilobyte-RNN running on the paper's wearable workload.
+func TestFastGRNNLearnsActivity(t *testing.T) {
+	cfg := ActivityConfig{Samples: 500, Window: 16, Noise: 0.15, Seed: 41}
+	train, test, err := Activity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmTrain, err := ActivityTimeMajor(train, cfg.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmTest, err := ActivityTimeMajor(test, cfg.Window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	m := nn.MustModel("act-rnn", []int{48}, []nn.LayerSpec{
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{T: cfg.Window, D: 3, H: 12}},
+		{Type: "dense", In: 12, Out: len(ActivityClassNames)},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, tmTrain, nn.TrainConfig{Epochs: 15, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nn.Accuracy(m, tmTest.X, tmTest.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Errorf("FastGRNN activity accuracy = %v, want ≥ 0.7 (chance 0.25)", acc)
+	}
+	// And it is kilobyte-scale.
+	if m.WeightBytes() > 8<<10 {
+		t.Errorf("FastGRNN model = %d bytes, want ≤ 8kB", m.WeightBytes())
+	}
+}

@@ -1,0 +1,194 @@
+// Package datastore is the edge data layer behind libei's /ei_data API
+// (Figure 6): per-sensor streams with a bounded real-time window and a
+// timestamp-indexed historical log, queryable by time range — "developers
+// will get the data over a period of time by the start and end which are
+// provided by the timestamp argument".
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by the store.
+var (
+	// ErrUnknownSensor is returned for reads from unregistered sensors.
+	ErrUnknownSensor = errors.New("datastore: unknown sensor")
+	// ErrEmpty is returned when a realtime read finds no samples.
+	ErrEmpty = errors.New("datastore: no samples")
+	// ErrBadRange is returned for inverted time ranges.
+	ErrBadRange = errors.New("datastore: bad time range")
+)
+
+// Sample is one sensor reading: a timestamp and a payload vector (camera
+// frames are flattened pixel vectors; meters are single values; IMUs are
+// triples).
+type Sample struct {
+	At      time.Time
+	Payload []float32
+}
+
+// SizeBytes returns the wire size of the sample payload.
+func (s Sample) SizeBytes() int64 { return int64(4 * len(s.Payload)) }
+
+// SensorInfo describes a registered sensor.
+type SensorInfo struct {
+	ID string
+	// Kind is a free-form type tag ("camera", "power-meter", "imu").
+	Kind string
+	// Dim is the payload vector length.
+	Dim int
+}
+
+// Store holds all sensor streams of one edge node. The zero value is not
+// usable; construct with New. Store is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	window   int
+	sensors  map[string]SensorInfo
+	realtime map[string][]Sample // ring-ish: trimmed to window
+	history  map[string][]Sample // append-only, sorted by At
+}
+
+// New returns a store keeping the most recent `window` samples per sensor
+// in the real-time view (history is unbounded).
+func New(window int) *Store {
+	if window <= 0 {
+		window = 64
+	}
+	return &Store{
+		window:   window,
+		sensors:  map[string]SensorInfo{},
+		realtime: map[string][]Sample{},
+		history:  map[string][]Sample{},
+	}
+}
+
+// Register adds (or re-registers) a sensor.
+func (s *Store) Register(info SensorInfo) error {
+	if info.ID == "" || info.Dim <= 0 {
+		return fmt.Errorf("datastore: invalid sensor info %+v", info)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sensors[info.ID] = info
+	return nil
+}
+
+// Sensors lists registered sensors sorted by ID.
+func (s *Store) Sensors() []SensorInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]SensorInfo, 0, len(s.sensors))
+	for _, info := range s.sensors {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Append stores a sample for the sensor. The payload is copied. Samples
+// must be appended in non-decreasing timestamp order per sensor; out-of-
+// order samples are still stored but range queries then use sort order.
+func (s *Store) Append(sensorID string, sample Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.sensors[sensorID]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSensor, sensorID)
+	}
+	if len(sample.Payload) != info.Dim {
+		return fmt.Errorf("datastore: sensor %q payload dim %d, want %d", sensorID, len(sample.Payload), info.Dim)
+	}
+	cp := Sample{At: sample.At, Payload: append([]float32(nil), sample.Payload...)}
+	rt := append(s.realtime[sensorID], cp)
+	if len(rt) > s.window {
+		rt = rt[len(rt)-s.window:]
+	}
+	s.realtime[sensorID] = rt
+	h := s.history[sensorID]
+	// Keep history sorted; the common case is append-at-end.
+	if n := len(h); n > 0 && cp.At.Before(h[n-1].At) {
+		i := sort.Search(n, func(i int) bool { return !h[i].At.Before(cp.At) })
+		h = append(h, Sample{})
+		copy(h[i+1:], h[i:])
+		h[i] = cp
+	} else {
+		h = append(h, cp)
+	}
+	s.history[sensorID] = h
+	return nil
+}
+
+// Latest returns the most recent sample of the sensor.
+func (s *Store) Latest(sensorID string) (Sample, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.sensors[sensorID]; !ok {
+		return Sample{}, fmt.Errorf("%w: %q", ErrUnknownSensor, sensorID)
+	}
+	rt := s.realtime[sensorID]
+	if len(rt) == 0 {
+		return Sample{}, fmt.Errorf("%w: sensor %q", ErrEmpty, sensorID)
+	}
+	return rt[len(rt)-1], nil
+}
+
+// Realtime returns up to n most recent samples (oldest first).
+func (s *Store) Realtime(sensorID string, n int) ([]Sample, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.sensors[sensorID]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSensor, sensorID)
+	}
+	rt := s.realtime[sensorID]
+	if n <= 0 || n > len(rt) {
+		n = len(rt)
+	}
+	out := make([]Sample, n)
+	copy(out, rt[len(rt)-n:])
+	return out, nil
+}
+
+// Range returns historical samples with start ≤ At ≤ end (inclusive),
+// oldest first.
+func (s *Store) Range(sensorID string, start, end time.Time) ([]Sample, error) {
+	if end.Before(start) {
+		return nil, fmt.Errorf("%w: %v after %v", ErrBadRange, start, end)
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.sensors[sensorID]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSensor, sensorID)
+	}
+	h := s.history[sensorID]
+	lo := sort.Search(len(h), func(i int) bool { return !h[i].At.Before(start) })
+	hi := sort.Search(len(h), func(i int) bool { return h[i].At.After(end) })
+	out := make([]Sample, hi-lo)
+	copy(out, h[lo:hi])
+	return out, nil
+}
+
+// Count returns the number of historical samples for the sensor.
+func (s *Store) Count(sensorID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.history[sensorID])
+}
+
+// BytesStored returns the total payload bytes held in history — the "data
+// generated at the edge" numerator of the E1 experiment.
+func (s *Store) BytesStored() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, h := range s.history {
+		for _, smp := range h {
+			n += smp.SizeBytes()
+		}
+	}
+	return n
+}

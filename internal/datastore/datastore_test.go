@@ -1,0 +1,282 @@
+package datastore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s := New(4)
+	if err := s.Register(SensorInfo{ID: "cam1", Kind: "camera", Dim: 3}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := New(0)
+	if err := s.Register(SensorInfo{ID: "", Dim: 3}); err == nil {
+		t.Error("empty ID should fail")
+	}
+	if err := s.Register(SensorInfo{ID: "x", Dim: 0}); err == nil {
+		t.Error("zero dim should fail")
+	}
+}
+
+func TestAppendAndLatest(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.Latest("cam1"); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Latest on empty: err = %v, want ErrEmpty", err)
+	}
+	if err := s.Append("cam1", Sample{At: t0, Payload: []float32{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Latest("cam1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload[2] != 3 || !got.At.Equal(t0) {
+		t.Errorf("Latest = %+v", got)
+	}
+	if _, err := s.Latest("nope"); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("unknown sensor: err = %v, want ErrUnknownSensor", err)
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	s := newStore(t)
+	if err := s.Append("nope", Sample{Payload: []float32{1, 2, 3}}); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("unknown sensor: err = %v", err)
+	}
+	if err := s.Append("cam1", Sample{Payload: []float32{1}}); err == nil {
+		t.Error("wrong dim should fail")
+	}
+}
+
+func TestAppendCopiesPayload(t *testing.T) {
+	s := newStore(t)
+	p := []float32{1, 2, 3}
+	if err := s.Append("cam1", Sample{At: t0, Payload: p}); err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 99
+	got, err := s.Latest("cam1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload[0] != 1 {
+		t.Error("Append must copy the payload")
+	}
+}
+
+func TestRealtimeWindowTrims(t *testing.T) {
+	s := newStore(t) // window = 4
+	for i := 0; i < 10; i++ {
+		if err := s.Append("cam1", Sample{At: t0.Add(time.Duration(i) * time.Second), Payload: []float32{float32(i), 0, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := s.Realtime("cam1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != 4 {
+		t.Fatalf("realtime window = %d samples, want 4", len(rt))
+	}
+	if rt[0].Payload[0] != 6 || rt[3].Payload[0] != 9 {
+		t.Errorf("window contents = %v..%v, want 6..9", rt[0].Payload[0], rt[3].Payload[0])
+	}
+	// History keeps everything.
+	if s.Count("cam1") != 10 {
+		t.Errorf("history count = %d, want 10", s.Count("cam1"))
+	}
+	// Realtime with n smaller than window.
+	rt, err = s.Realtime("cam1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != 2 || rt[1].Payload[0] != 9 {
+		t.Errorf("Realtime(2) = %v", rt)
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Append("cam1", Sample{At: t0.Add(time.Duration(i) * time.Minute), Payload: []float32{float32(i), 0, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Range("cam1", t0.Add(2*time.Minute), t0.Add(5*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("Range = %d samples, want 4 (inclusive)", len(got))
+	}
+	if got[0].Payload[0] != 2 || got[3].Payload[0] != 5 {
+		t.Errorf("Range contents wrong: %v..%v", got[0].Payload[0], got[3].Payload[0])
+	}
+	// Empty range within data.
+	got, err = s.Range("cam1", t0.Add(20*time.Minute), t0.Add(30*time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("out-of-data range returned %d samples", len(got))
+	}
+	if _, err := s.Range("cam1", t0.Add(time.Hour), t0); !errors.Is(err, ErrBadRange) {
+		t.Errorf("inverted range: err = %v, want ErrBadRange", err)
+	}
+	if _, err := s.Range("nope", t0, t0); !errors.Is(err, ErrUnknownSensor) {
+		t.Errorf("unknown sensor: err = %v", err)
+	}
+}
+
+func TestOutOfOrderAppendKeepsHistorySorted(t *testing.T) {
+	s := newStore(t)
+	times := []int{5, 1, 3, 2, 4}
+	for _, m := range times {
+		if err := s.Append("cam1", Sample{At: t0.Add(time.Duration(m) * time.Minute), Payload: []float32{float32(m), 0, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Range("cam1", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].At.Before(got[i-1].At) {
+			t.Fatal("history not sorted after out-of-order appends")
+		}
+	}
+	if len(got) != 5 {
+		t.Errorf("got %d samples, want 5", len(got))
+	}
+}
+
+func TestSensorsListing(t *testing.T) {
+	s := New(8)
+	for _, id := range []string{"z", "a", "m"} {
+		if err := s.Register(SensorInfo{ID: id, Kind: "k", Dim: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Sensors()
+	if len(got) != 3 || got[0].ID != "a" || got[2].ID != "z" {
+		t.Errorf("Sensors = %v, want sorted a,m,z", got)
+	}
+}
+
+func TestBytesStored(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 5; i++ {
+		if err := s.Append("cam1", Sample{At: t0.Add(time.Duration(i) * time.Second), Payload: []float32{1, 2, 3}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.BytesStored(); got != 5*3*4 {
+		t.Errorf("BytesStored = %d, want 60", got)
+	}
+}
+
+func TestConcurrentAppendAndRead(t *testing.T) {
+	s := New(16)
+	if err := s.Register(SensorInfo{ID: "x", Kind: "k", Dim: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.Append("x", Sample{At: t0.Add(time.Duration(g*100+i) * time.Millisecond), Payload: []float32{1}})
+				_, _ = s.Realtime("x", 4)
+				_, _ = s.Range("x", t0, t0.Add(time.Hour))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Count("x") != 800 {
+		t.Errorf("count = %d, want 800", s.Count("x"))
+	}
+}
+
+// Property: for any in-order append sequence, Range(start, end) returns
+// exactly the samples whose timestamps fall in [start, end].
+func TestRangeExactnessProperty(t *testing.T) {
+	f := func(offsets []uint8, loRaw, hiRaw uint8) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		s := New(4)
+		if err := s.Register(SensorInfo{ID: "p", Kind: "k", Dim: 1}); err != nil {
+			return false
+		}
+		at := t0
+		var all []time.Time
+		for i, off := range offsets {
+			at = at.Add(time.Duration(off%16) * time.Second)
+			if err := s.Append("p", Sample{At: at, Payload: []float32{float32(i)}}); err != nil {
+				return false
+			}
+			all = append(all, at)
+		}
+		lo, hi := int(loRaw%64), int(hiRaw%64)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		start := t0.Add(time.Duration(lo) * time.Second)
+		end := t0.Add(time.Duration(hi) * time.Second)
+		got, err := s.Range("p", start, end)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, ts := range all {
+			if !ts.Before(start) && !ts.After(end) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultWindow(t *testing.T) {
+	s := New(0)
+	if err := s.Register(SensorInfo{ID: "d", Kind: "k", Dim: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Append("d", Sample{At: t0.Add(time.Duration(i) * time.Second), Payload: []float32{0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := s.Realtime("d", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rt) != 64 {
+		t.Errorf("default window = %d, want 64", len(rt))
+	}
+}
+
+func ExampleStore() {
+	s := New(8)
+	_ = s.Register(SensorInfo{ID: "camera1", Kind: "camera", Dim: 2})
+	_ = s.Append("camera1", Sample{At: t0, Payload: []float32{0.5, 0.25}})
+	latest, _ := s.Latest("camera1")
+	fmt.Println(len(latest.Payload))
+	// Output: 2
+}

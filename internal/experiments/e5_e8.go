@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/compress"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+	"openei/internal/selector"
+)
+
+// E5Result is the Figure 5 / Equation 1 reproduction.
+type E5Result struct {
+	// TableRows is the full feasible ALEM space.
+	Space []selector.Choice
+	// Selections maps objective name → chosen combination.
+	Selections map[string]selector.Choice
+	// AblationLatency maps strategy → achieved latency under min-latency.
+	AblationLatency map[string]time.Duration
+	// Frontier is the Pareto-optimal subset of the space (every point any
+	// Equation 1 constraint setting could ever select).
+	Frontier []selector.Choice
+	Table    string
+}
+
+// E5Selector profiles the full models × packages × devices space, solves
+// Equation 1 under each objective, and ablates the selection strategy
+// (exhaustive SA vs greedy vs Q-learning).
+func (e *Env) E5Selector() (E5Result, error) {
+	cands := selector.Variants(e.Models, true)
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Name != cands[j].Name {
+			return cands[i].Name < cands[j].Name
+		}
+		return !cands[i].Quantized
+	})
+	pkgs := alem.Packages()
+	devs := []hardware.Device{}
+	for _, name := range []string{"rpi3", "rpi4", "jetson-nano", "jetson-tx2", "phone", "edge-server"} {
+		d, err := hardware.ByName(name)
+		if err != nil {
+			return E5Result{}, err
+		}
+		devs = append(devs, d)
+	}
+	space, err := selector.Table(cands, pkgs, devs, e.Profiler)
+	if err != nil {
+		return E5Result{}, err
+	}
+	res := E5Result{
+		Space:           space,
+		Selections:      map[string]selector.Choice{},
+		AblationLatency: map[string]time.Duration{},
+	}
+
+	// A representative sample of the space for the printed table: the
+	// eipkg/rpi4 column for all float models.
+	var rows [][]string
+	for _, c := range space {
+		if c.Package.Name == "eipkg" && c.Device.Name == "rpi4" && !c.Quantized {
+			rows = append(rows, []string{
+				c.ModelName, f3(c.ALEM.Accuracy),
+				c.ALEM.Latency.Round(time.Microsecond).String(),
+				fmt.Sprintf("%.4f", c.ALEM.Energy), mb(c.ALEM.Memory),
+			})
+		}
+	}
+
+	// Selections under each objective, with paper-style constraints.
+	req := map[string]selector.Requirements{
+		"min-latency":  {Objective: selector.MinLatency, MinAccuracy: 0.7},
+		"max-accuracy": {Objective: selector.MaxAccuracy, MaxLatency: 20 * time.Millisecond},
+		"min-energy":   {Objective: selector.MinEnergy, MinAccuracy: 0.7},
+		"min-memory":   {Objective: selector.MinMemory, MinAccuracy: 0.7},
+	}
+	var selRows [][]string
+	for _, name := range []string{"min-latency", "max-accuracy", "min-energy", "min-memory"} {
+		choice, err := selector.Exhaustive(cands, pkgs, devs, req[name], e.Profiler)
+		if err != nil {
+			return E5Result{}, fmt.Errorf("objective %s: %w", name, err)
+		}
+		res.Selections[name] = choice
+		q := ""
+		if choice.Quantized {
+			q = "+int8"
+		}
+		selRows = append(selRows, []string{
+			name, choice.ModelName + q, choice.Package.Name, choice.Device.Name,
+			f3(choice.ALEM.Accuracy), choice.ALEM.Latency.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.4f", choice.ALEM.Energy), mb(choice.ALEM.Memory),
+		})
+	}
+
+	// Strategy ablation under min-latency.
+	minReq := req["min-latency"]
+	ex, err := selector.Exhaustive(cands, pkgs, devs, minReq, e.Profiler)
+	if err != nil {
+		return E5Result{}, err
+	}
+	gr, err := selector.Greedy(cands, pkgs, devs, minReq, e.Profiler)
+	if err != nil {
+		return E5Result{}, err
+	}
+	ql := &selector.QLearner{Episodes: 3000, Epsilon: 0.3, Rand: e.Rand(51)}
+	qc, err := ql.Select(cands, pkgs, devs, minReq, e.Profiler)
+	if err != nil {
+		return E5Result{}, err
+	}
+	res.AblationLatency["exhaustive"] = ex.ALEM.Latency
+	res.AblationLatency["greedy"] = gr.ALEM.Latency
+	res.AblationLatency["qlearning"] = qc.ALEM.Latency
+	ablRows := [][]string{
+		{"exhaustive (SA)", ex.ALEM.Latency.Round(time.Microsecond).String(), ex.String()},
+		{"greedy baseline", gr.ALEM.Latency.Round(time.Microsecond).String(), gr.String()},
+		{"q-learning", qc.ALEM.Latency.Round(time.Microsecond).String(), qc.String()},
+	}
+
+	res.Frontier = selector.Pareto(space)
+	frontRows := [][]string{}
+	for i, c := range res.Frontier {
+		if i >= 8 { // print the head of the frontier; the struct has it all
+			frontRows = append(frontRows, []string{fmt.Sprintf("… %d more", len(res.Frontier)-8), "", "", ""})
+			break
+		}
+		q := ""
+		if c.Quantized {
+			q = "+int8"
+		}
+		frontRows = append(frontRows, []string{
+			c.ModelName + q + " / " + c.Package.Name + " / " + c.Device.Name,
+			f3(c.ALEM.Accuracy), c.ALEM.Latency.Round(time.Microsecond).String(), mb(c.ALEM.Memory),
+		})
+	}
+
+	res.Table = "E5 (Figure 5 / Eq. 1) — ALEM on eipkg/rpi4 (float models)\n" +
+		table([]string{"model", "A", "L", "E (J)", "M (MB)"}, rows) +
+		"\nE5b — selections under each objective (constraints: A≥0.70 or L≤20ms)\n" +
+		table([]string{"objective", "model", "package", "device", "A", "L", "E", "M (MB)"}, selRows) +
+		"\nE5c — strategy ablation (min-latency, A≥0.70)\n" +
+		table([]string{"strategy", "latency", "choice"}, ablRows) +
+		fmt.Sprintf("\nE5d — Pareto frontier: %d of %d points survive\n", len(res.Frontier), len(space)) +
+		table([]string{"combination", "A", "L", "M (MB)"}, frontRows)
+	return res, nil
+}
+
+// E6 is implemented directly as benchmarks (BenchmarkE6RESTAPI in
+// bench_test.go); Summary prints its description for the harness.
+
+// E7Row is one compression method's quantitative Table I entry.
+type E7Row struct {
+	Method       string
+	Ratio        float64
+	AccBefore    float64
+	AccAfter     float64
+	AccFineTuned float64
+}
+
+// E7Result is the Table I reproduction.
+type E7Result struct {
+	Rows  []E7Row
+	Table string
+}
+
+// E7Compression quantifies Table I on the lenet family: each method's
+// compression ratio and accuracy effect, raw and after a short fine-tune
+// (distillation trains the student from scratch, so its "fine-tuned"
+// column is the distilled result itself).
+func (e *Env) E7Compression() (E7Result, error) {
+	base := e.Models["lenet"]
+	accBase, err := nn.Accuracy(base, e.ShapesTest.X, e.ShapesTest.Y)
+	if err != nil {
+		return E7Result{}, err
+	}
+	fineTune := func(m *nn.Model, stream int64) (float64, error) {
+		if _, _, err := nn.Train(m, e.ShapesTrain, nn.TrainConfig{
+			Epochs: 2, BatchSize: 32, LR: 0.005, Momentum: 0.9, Rand: e.Rand(stream),
+		}); err != nil {
+			return 0, err
+		}
+		return nn.Accuracy(m, e.ShapesTest.X, e.ShapesTest.Y)
+	}
+	accOf := func(m *nn.Model) (float64, error) {
+		return nn.Accuracy(m, e.ShapesTest.X, e.ShapesTest.Y)
+	}
+	var res E7Result
+
+	// Pruning (parameter sharing & pruning, row 1a).
+	{
+		m, err := base.Clone()
+		if err != nil {
+			return E7Result{}, err
+		}
+		rep, err := compress.Prune(m, 0.8)
+		if err != nil {
+			return E7Result{}, err
+		}
+		raw, err := accOf(m)
+		if err != nil {
+			return E7Result{}, err
+		}
+		ft, err := fineTune(m, 71)
+		if err != nil {
+			return E7Result{}, err
+		}
+		res.Rows = append(res.Rows, E7Row{"prune 80%", rep.Ratio(), accBase, raw, ft})
+	}
+	// k-means weight sharing (row 1b).
+	{
+		m, err := base.Clone()
+		if err != nil {
+			return E7Result{}, err
+		}
+		rep, err := compress.KMeansShare(m, 16, 12, e.Rand(72))
+		if err != nil {
+			return E7Result{}, err
+		}
+		raw, err := accOf(m)
+		if err != nil {
+			return E7Result{}, err
+		}
+		res.Rows = append(res.Rows, E7Row{"kmeans k=16", rep.Ratio(), accBase, raw, raw})
+	}
+	// Binary quantization (row 1c).
+	{
+		m, err := base.Clone()
+		if err != nil {
+			return E7Result{}, err
+		}
+		rep, err := compress.Binarize(m)
+		if err != nil {
+			return E7Result{}, err
+		}
+		raw, err := accOf(m)
+		if err != nil {
+			return E7Result{}, err
+		}
+		ft, err := fineTune(m, 73)
+		if err != nil {
+			return E7Result{}, err
+		}
+		res.Rows = append(res.Rows, E7Row{"binary", rep.Ratio(), accBase, raw, ft})
+	}
+	// int8 post-training quantization.
+	{
+		m, err := base.Clone()
+		if err != nil {
+			return E7Result{}, err
+		}
+		rep, err := compress.QuantizeInt8(m)
+		if err != nil {
+			return E7Result{}, err
+		}
+		raw, err := accOf(m)
+		if err != nil {
+			return E7Result{}, err
+		}
+		res.Rows = append(res.Rows, E7Row{"int8", rep.Ratio(), accBase, raw, raw})
+	}
+	// Low-rank factorization (Table I row 2).
+	{
+		lr, rep, err := compress.LowRank(base, 0.4, e.Rand(74))
+		if err != nil {
+			return E7Result{}, err
+		}
+		raw, err := accOf(lr)
+		if err != nil {
+			return E7Result{}, err
+		}
+		ft, err := fineTune(lr, 75)
+		if err != nil {
+			return E7Result{}, err
+		}
+		res.Rows = append(res.Rows, E7Row{"lowrank r=0.4", rep.Ratio(), accBase, raw, ft})
+	}
+	// The full Deep Compression pipeline (Han et al. [19], which Table
+	// I's discussion cites): prune → k-means share → Huffman coding. No
+	// fine-tune between stages: plain retraining would regrow the pruned
+	// zeros (this repo's trainer has no sparsity mask), so the row
+	// reports the raw stacked effect, which is the storage claim anyway.
+	{
+		m, err := base.Clone()
+		if err != nil {
+			return E7Result{}, err
+		}
+		rep, err := compress.DeepCompress(m, 0.8, 16, e.Rand(78))
+		if err != nil {
+			return E7Result{}, err
+		}
+		raw, err := accOf(m)
+		if err != nil {
+			return E7Result{}, err
+		}
+		res.Rows = append(res.Rows, E7Row{"deep-compress", rep.Ratio(), accBase, raw, raw})
+	}
+	// Knowledge transfer / distillation (Table I row 3).
+	{
+		student, err := e.Models["bonsai-m"].Clone()
+		if err != nil {
+			return E7Result{}, err
+		}
+		student.InitParams(e.Rand(76))
+		if _, err := nn.DistillTrain(student, base, e.ShapesTrain, 3, 0.3, nn.TrainConfig{
+			Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: e.Rand(77),
+		}); err != nil {
+			return E7Result{}, err
+		}
+		acc, err := accOf(student)
+		if err != nil {
+			return E7Result{}, err
+		}
+		ratio := float64(base.WeightBytes()) / float64(student.WeightBytes())
+		res.Rows = append(res.Rows, E7Row{"distill→bonsai-m", ratio, accBase, acc, acc})
+	}
+
+	var rows [][]string
+	for _, r := range res.Rows {
+		rows = append(rows, []string{
+			r.Method, fmt.Sprintf("%.1fx", r.Ratio),
+			f3(r.AccBefore), f3(r.AccAfter), f3(r.AccFineTuned),
+		})
+	}
+	res.Table = "E7 (Table I) — compression toolbox on lenet\n" +
+		table([]string{"method", "ratio", "acc before", "acc raw", "acc fine-tuned"}, rows)
+	return res, nil
+}
+
+// E8Row compares baseline vs co-optimized deployment on one device.
+type E8Row struct {
+	Device        string
+	Chosen        string
+	Baseline      alem.ALEM
+	Optimized     alem.ALEM
+	LatencyGain   float64
+	EnergyGain    float64
+	MemoryGain    float64
+	AccuracyDelta float64
+}
+
+// E8Result is the §III headline-claim reproduction.
+type E8Result struct {
+	Rows  []E8Row
+	Table string
+}
+
+// E8Headline tests the paper's goal statement: "the EI attributes …
+// will have an order of magnitude improvement comparing to the current AI
+// algorithms running on the deep learning package". Baseline: vgg-m (the
+// heavyweight cloud-era model) run unmodified on cloudpkg-m. Optimized:
+// whatever OpenEI's own selector picks on eipkg under the constraint that
+// accuracy stays within 5 points of the baseline — the framework's actual
+// mechanism, not a hand-picked model.
+//
+// The claim is evaluated on the constrained SBC class the paper's
+// walk-through targets (Raspberry Pi); on accelerator-class boards the
+// fixed dispatch overhead floors the achievable gain (see EXPERIMENTS.md).
+func (e *Env) E8Headline() (E8Result, error) {
+	baseModel := e.Models["vgg-m"]
+	cloudPkg, err := alem.PackageByName("cloudpkg-m")
+	if err != nil {
+		return E8Result{}, err
+	}
+	eiPkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		return E8Result{}, err
+	}
+	baseAcc, err := nn.Accuracy(baseModel, e.ShapesTest.X, e.ShapesTest.Y)
+	if err != nil {
+		return E8Result{}, err
+	}
+	cands := selector.Variants(e.Models, true)
+	var res E8Result
+	var rows [][]string
+	for _, devName := range []string{"rpi3", "rpi4"} {
+		dev, err := hardware.ByName(devName)
+		if err != nil {
+			return E8Result{}, err
+		}
+		baseA, err := e.Profiler.Profile(baseModel, cloudPkg, dev, alem.Variant{})
+		if err != nil {
+			return E8Result{}, err
+		}
+		choice, err := selector.Exhaustive(cands, []alem.Package{eiPkg}, []hardware.Device{dev},
+			selector.Requirements{Objective: selector.MinLatency, MinAccuracy: baseAcc - 0.05}, e.Profiler)
+		if err != nil {
+			return E8Result{}, err
+		}
+		optA := choice.ALEM
+		chosen := choice.ModelName
+		if choice.Quantized {
+			chosen += "+int8"
+		}
+		row := E8Row{
+			Device: devName, Chosen: chosen, Baseline: baseA, Optimized: optA,
+			LatencyGain:   float64(baseA.Latency) / float64(optA.Latency),
+			EnergyGain:    baseA.Energy / optA.Energy,
+			MemoryGain:    float64(baseA.Memory) / float64(optA.Memory),
+			AccuracyDelta: optA.Accuracy - baseA.Accuracy,
+		}
+		res.Rows = append(res.Rows, row)
+		rows = append(rows, []string{
+			devName, chosen,
+			fmt.Sprintf("%.1fx", row.LatencyGain),
+			fmt.Sprintf("%.1fx", row.EnergyGain),
+			fmt.Sprintf("%.1fx", row.MemoryGain),
+			fmt.Sprintf("%+.3f", row.AccuracyDelta),
+		})
+	}
+	res.Table = "E8 (§III headline) — vgg-m on cloudpkg-m vs the selector's eipkg choice (A ≥ baseline−0.05)\n" +
+		table([]string{"device", "selected", "latency gain", "energy gain", "memory gain", "Δaccuracy"}, rows)
+	return res, nil
+}

@@ -1,0 +1,99 @@
+// Package experiments regenerates every figure and table of the paper as a
+// text report (E1–E8; see DESIGN.md §4 for the index). Each experiment
+// returns structured results plus a rendered table so cmd/experiments can
+// print the same rows the paper reports and bench_test.go can assert the
+// qualitative shape (who wins, by what factor).
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"openei/internal/alem"
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/zoo"
+)
+
+// Env holds the shared fixtures: the shapes dataset and the trained model
+// zoo. Building it trains all eight families, so construct it once and
+// reuse it across experiments.
+type Env struct {
+	// Size and Classes describe the vision task.
+	Size, Classes int
+	// ShapesTrain and ShapesTest are the vision dataset splits.
+	ShapesTrain, ShapesTest nn.Dataset
+	// Models is the trained zoo, keyed by family name.
+	Models map[string]*nn.Model
+	// Profiler measures ALEM tuples on ShapesTest.
+	Profiler *alem.Profiler
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+// EnvConfig controls fixture size; the zero value picks defaults that run
+// the full suite in roughly a minute.
+type EnvConfig struct {
+	Samples int // shapes dataset size (default 1200)
+	Epochs  int // zoo training epochs (default 10)
+	Seed    int64
+}
+
+// NewEnv builds the fixtures: generates the dataset and trains the zoo.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	if cfg.Samples <= 0 {
+		cfg.Samples = 1200
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	sc := dataset.ShapesConfig{Samples: cfg.Samples, Size: 16, Classes: 6, Noise: 0.3, Seed: cfg.Seed}
+	train, test, err := dataset.Shapes(sc)
+	if err != nil {
+		return nil, err
+	}
+	models, err := zoo.TrainAll(train, sc.Size, sc.Classes, cfg.Epochs, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{
+		Size: sc.Size, Classes: sc.Classes,
+		ShapesTrain: train, ShapesTest: test,
+		Models:   models,
+		Profiler: alem.NewProfiler(test),
+		Seed:     cfg.Seed,
+	}, nil
+}
+
+// Rand returns a fresh deterministic source derived from the env seed and
+// a stream tag, so experiments do not perturb each other.
+func (e *Env) Rand(stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.Seed*1000 + stream))
+}
+
+// table renders rows with a header using elastic tabs.
+func table(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	sep := make([]string, len(header))
+	for i, h := range header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(w, strings.Join(sep, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func mb(bytes int64) string { return fmt.Sprintf("%.2f", float64(bytes)/(1<<20)) }

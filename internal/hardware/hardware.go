@@ -1,0 +1,261 @@
+// Package hardware simulates the heterogeneous edge devices of the paper's
+// Figure 5 third axis ("edge hardware": Raspberry Pi, Jetson TX2, Movidius,
+// phones, edge servers, …).
+//
+// Substitution note (see DESIGN.md §2): the paper profiles real boards; this
+// repo cannot, so each device is a calibrated analytical model — a roofline
+// latency model (compute-bound vs memory-bound) plus a power model. The
+// absolute numbers are synthetic, but the ratios between devices follow the
+// public spec sheets of the named hardware, which is what the selector and
+// the dataflow experiments depend on.
+package hardware
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrUnknownDevice is returned when a device name is not in the catalog.
+var ErrUnknownDevice = errors.New("hardware: unknown device")
+
+// Class groups devices by broad capability tier.
+type Class int
+
+// Device classes, from most to least constrained.
+const (
+	ClassMCU Class = iota + 1
+	ClassSBC
+	ClassMobile
+	ClassAccelerator
+	ClassEdgeServer
+	ClassCloud
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassMCU:
+		return "mcu"
+	case ClassSBC:
+		return "sbc"
+	case ClassMobile:
+		return "mobile"
+	case ClassAccelerator:
+		return "accelerator"
+	case ClassEdgeServer:
+		return "edge-server"
+	case ClassCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Device is an analytical model of one hardware platform.
+type Device struct {
+	Name  string
+	Class Class
+
+	// FLOPS is the effective float32 throughput (FLOP/s) a tuned DL
+	// runtime reaches on the device (well below theoretical peak).
+	FLOPS float64
+	// Int8Speedup multiplies FLOPS when running int8-quantized kernels
+	// (NEON/DSP/NPU paths make this >1 on most edge silicon).
+	Int8Speedup float64
+	// MemBytes is the RAM budget available to a model (weights +
+	// activations) before the device starts swapping/failing.
+	MemBytes int64
+	// MemBandwidth is sustained DRAM bandwidth in bytes/s; it bounds
+	// memory-bound layers via the roofline.
+	MemBandwidth float64
+	// IdleWatts and ActiveWatts define the two-point power model;
+	// inference energy = (ActiveWatts − IdleWatts) · latency, matching the
+	// paper's definition of Energy as the *increase* in consumption.
+	IdleWatts   float64
+	ActiveWatts float64
+	// DispatchOverhead is the fixed per-inference runtime cost (syscalls,
+	// graph dispatch); it dominates tiny models, which is why crossovers
+	// between model families move across devices.
+	DispatchOverhead time.Duration
+}
+
+// Catalog returns the built-in device catalog, sorted by name. The entries
+// mirror the platforms named in the paper (§II.B, §IV.D and Figure 5).
+func Catalog() []Device {
+	ds := []Device{
+		{
+			Name: "arduino-uno", Class: ClassMCU,
+			FLOPS: 2e6, Int8Speedup: 2.0, MemBytes: 2 << 10, MemBandwidth: 1e6,
+			IdleWatts: 0.05, ActiveWatts: 0.25, DispatchOverhead: 500 * time.Microsecond,
+		},
+		{
+			Name: "rpi3", Class: ClassSBC,
+			FLOPS: 2.0e9, Int8Speedup: 1.8, MemBytes: 768 << 20, MemBandwidth: 2.0e9,
+			IdleWatts: 1.9, ActiveWatts: 4.6, DispatchOverhead: 300 * time.Microsecond,
+		},
+		{
+			Name: "rpi4", Class: ClassSBC,
+			FLOPS: 6.0e9, Int8Speedup: 2.0, MemBytes: 3 << 30, MemBandwidth: 4.0e9,
+			IdleWatts: 2.7, ActiveWatts: 6.4, DispatchOverhead: 200 * time.Microsecond,
+		},
+		{
+			Name: "phone", Class: ClassMobile,
+			FLOPS: 1.2e10, Int8Speedup: 2.8, MemBytes: 4 << 30, MemBandwidth: 1.2e10,
+			IdleWatts: 0.8, ActiveWatts: 3.5, DispatchOverhead: 150 * time.Microsecond,
+		},
+		{
+			Name: "movidius", Class: ClassAccelerator,
+			FLOPS: 5.0e10, Int8Speedup: 1.0, MemBytes: 512 << 20, MemBandwidth: 8.0e9,
+			IdleWatts: 0.5, ActiveWatts: 1.8, DispatchOverhead: 400 * time.Microsecond,
+		},
+		{
+			Name: "jetson-nano", Class: ClassAccelerator,
+			FLOPS: 1.0e11, Int8Speedup: 2.0, MemBytes: 4 << 30, MemBandwidth: 2.5e10,
+			IdleWatts: 2.0, ActiveWatts: 9.0, DispatchOverhead: 250 * time.Microsecond,
+		},
+		{
+			Name: "jetson-tx2", Class: ClassAccelerator,
+			FLOPS: 3.0e11, Int8Speedup: 2.0, MemBytes: 8 << 30, MemBandwidth: 5.8e10,
+			IdleWatts: 3.5, ActiveWatts: 14.0, DispatchOverhead: 250 * time.Microsecond,
+		},
+		{
+			Name: "laptop", Class: ClassEdgeServer,
+			FLOPS: 1.5e11, Int8Speedup: 1.6, MemBytes: 12 << 30, MemBandwidth: 3.0e10,
+			IdleWatts: 10, ActiveWatts: 38, DispatchOverhead: 100 * time.Microsecond,
+		},
+		{
+			Name: "edge-server", Class: ClassEdgeServer,
+			FLOPS: 8.0e11, Int8Speedup: 2.2, MemBytes: 48 << 30, MemBandwidth: 8.0e10,
+			IdleWatts: 60, ActiveWatts: 180, DispatchOverhead: 80 * time.Microsecond,
+		},
+		{
+			Name: "cloud-gpu", Class: ClassCloud,
+			FLOPS: 1.2e13, Int8Speedup: 2.0, MemBytes: 256 << 30, MemBandwidth: 9.0e11,
+			IdleWatts: 120, ActiveWatts: 420, DispatchOverhead: 60 * time.Microsecond,
+		},
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Name < ds[j].Name })
+	return ds
+}
+
+// ByName looks a device up in the catalog.
+func ByName(name string) (Device, error) {
+	for _, d := range Catalog() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("%w: %q", ErrUnknownDevice, name)
+}
+
+// EdgeCatalog returns the catalog without cloud-class devices — the
+// candidate set the model selector searches for an edge node.
+func EdgeCatalog() []Device {
+	var out []Device
+	for _, d := range Catalog() {
+		if d.Class != ClassCloud {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Workload describes one inference (or training step) for costing.
+type Workload struct {
+	FLOPs int64 // multiply-accumulate dominated compute
+	// WeightBytes and ActivationBytes together bound the working set that
+	// streams through DRAM.
+	WeightBytes     int64
+	ActivationBytes int64
+	// Int8 selects the quantized kernel path.
+	Int8 bool
+	// EfficiencyScale < 1 models an inefficient runtime (an un-optimized
+	// "package" in the paper's 3-D selector space); 1 is the tuned runtime.
+	EfficiencyScale float64
+	// DispatchScale multiplies the device's fixed per-inference dispatch
+	// overhead; heavyweight cloud frameworks pay several times the session
+	// setup cost of a lean interpreter (pCAMP [48]). 0 means 1.
+	DispatchScale float64
+	// LayerCount adds per-layer dispatch cost for deep graphs.
+	LayerCount int
+}
+
+// Validate checks the workload for obviously bad values.
+func (w Workload) Validate() error {
+	if w.FLOPs < 0 || w.WeightBytes < 0 || w.ActivationBytes < 0 || w.LayerCount < 0 {
+		return fmt.Errorf("hardware: negative workload %+v", w)
+	}
+	if w.EfficiencyScale < 0 {
+		return fmt.Errorf("hardware: negative efficiency %v", w.EfficiencyScale)
+	}
+	if w.DispatchScale < 0 {
+		return fmt.Errorf("hardware: negative dispatch scale %v", w.DispatchScale)
+	}
+	return nil
+}
+
+// Latency returns the modelled inference latency of the workload on d using
+// the roofline: time = max(compute time, memory time) + dispatch overhead.
+func (d Device) Latency(w Workload) (time.Duration, error) {
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	eff := w.EfficiencyScale
+	if eff == 0 {
+		eff = 1
+	}
+	flops := d.FLOPS * eff
+	if w.Int8 && d.Int8Speedup > 0 {
+		flops *= d.Int8Speedup
+	}
+	compute := float64(w.FLOPs) / flops
+	bytes := w.WeightBytes + w.ActivationBytes
+	if w.Int8 {
+		// int8 weights stream 4× less data.
+		bytes = w.WeightBytes/4 + w.ActivationBytes
+	}
+	mem := float64(bytes) / d.MemBandwidth
+	secs := compute
+	if mem > secs {
+		secs = mem
+	}
+	dispatch := d.DispatchOverhead
+	if w.DispatchScale > 0 {
+		dispatch = time.Duration(float64(dispatch) * w.DispatchScale)
+	}
+	lat := time.Duration(secs*float64(time.Second)) + dispatch
+	if w.LayerCount > 1 {
+		lat += time.Duration(w.LayerCount-1) * (dispatch / 8)
+	}
+	return lat, nil
+}
+
+// EnergyJoules returns the marginal energy (in joules) of running the
+// workload: (active − idle) power times the modelled latency. This matches
+// the paper's "Energy refers to the increased power consumption … when
+// executing the inference task".
+func (d Device) EnergyJoules(w Workload) (float64, error) {
+	lat, err := d.Latency(w)
+	if err != nil {
+		return 0, err
+	}
+	return (d.ActiveWatts - d.IdleWatts) * lat.Seconds(), nil
+}
+
+// MemoryBytes returns the modelled peak memory of the workload: weights
+// (quartered when int8) plus activations plus a fixed runtime residency.
+func (d Device) MemoryBytes(w Workload) int64 {
+	weights := w.WeightBytes
+	if w.Int8 {
+		weights /= 4
+	}
+	const runtimeResidency = 1 << 20 // lightweight package ≈1 MiB resident
+	return weights + w.ActivationBytes + runtimeResidency
+}
+
+// Fits reports whether the workload's memory footprint fits the device.
+func (d Device) Fits(w Workload) bool {
+	return d.MemoryBytes(w) <= d.MemBytes
+}

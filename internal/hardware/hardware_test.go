@@ -1,0 +1,227 @@
+package hardware
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCatalogSortedAndUniqueNames(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 8 {
+		t.Fatalf("catalog has %d devices, want ≥ 8", len(cat))
+	}
+	seen := map[string]bool{}
+	prev := ""
+	for _, d := range cat {
+		if seen[d.Name] {
+			t.Errorf("duplicate device %q", d.Name)
+		}
+		seen[d.Name] = true
+		if d.Name < prev {
+			t.Errorf("catalog not sorted: %q after %q", d.Name, prev)
+		}
+		prev = d.Name
+		if d.FLOPS <= 0 || d.MemBandwidth <= 0 || d.MemBytes <= 0 {
+			t.Errorf("device %q has non-positive capability", d.Name)
+		}
+		if d.ActiveWatts <= d.IdleWatts {
+			t.Errorf("device %q active power %v not above idle %v", d.Name, d.ActiveWatts, d.IdleWatts)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("rpi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Class != ClassSBC {
+		t.Errorf("rpi3 class = %v, want sbc", d.Class)
+	}
+	if _, err := ByName("cray"); !errors.Is(err, ErrUnknownDevice) {
+		t.Errorf("unknown device: err = %v, want ErrUnknownDevice", err)
+	}
+}
+
+func TestEdgeCatalogExcludesCloud(t *testing.T) {
+	for _, d := range EdgeCatalog() {
+		if d.Class == ClassCloud {
+			t.Errorf("EdgeCatalog contains cloud device %q", d.Name)
+		}
+	}
+	if len(EdgeCatalog()) != len(Catalog())-1 {
+		t.Errorf("EdgeCatalog size %d, want catalog−1", len(EdgeCatalog()))
+	}
+}
+
+func TestLatencyOrderingAcrossDevices(t *testing.T) {
+	// A mid-size CNN must be strictly faster on a TX2 than on an rpi3,
+	// and faster on the cloud GPU than anywhere else.
+	w := Workload{FLOPs: 5e8, WeightBytes: 4 << 20, ActivationBytes: 1 << 20, LayerCount: 12}
+	lat := func(name string) time.Duration {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := d.Latency(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	rpi, tx2, gpu := lat("rpi3"), lat("jetson-tx2"), lat("cloud-gpu")
+	if !(gpu < tx2 && tx2 < rpi) {
+		t.Errorf("latency ordering violated: gpu=%v tx2=%v rpi=%v", gpu, tx2, rpi)
+	}
+	// Paper-scale factor check: TX2 is ~100× the Pi's FLOPS; for a
+	// compute-bound workload the ratio should be large.
+	if float64(rpi)/float64(tx2) < 20 {
+		t.Errorf("rpi/tx2 latency ratio %v, want ≥ 20 for compute-bound work", float64(rpi)/float64(tx2))
+	}
+}
+
+func TestInt8PathFaster(t *testing.T) {
+	d, err := ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{FLOPs: 2e9, WeightBytes: 16 << 20, ActivationBytes: 1 << 20}
+	f32, err := d.Latency(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Int8 = true
+	i8, err := d.Latency(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i8 >= f32 {
+		t.Errorf("int8 latency %v not below float32 %v", i8, f32)
+	}
+}
+
+func TestEfficiencyScaleSlowsDown(t *testing.T) {
+	d, err := ByName("rpi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Workload{FLOPs: 1e9}
+	slow := Workload{FLOPs: 1e9, EfficiencyScale: 0.25}
+	lb, err := d.Latency(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := d.Latency(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls <= lb {
+		t.Errorf("0.25-efficiency latency %v not above baseline %v", ls, lb)
+	}
+}
+
+func TestMemoryBytesAndFits(t *testing.T) {
+	uno, err := ByName("arduino-uno")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := Workload{WeightBytes: 500 << 20} // VGG-16-scale model from the paper
+	if uno.Fits(big) {
+		t.Error("a 500MB model must not fit a 2kB MCU")
+	}
+	server, err := ByName("edge-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !server.Fits(big) {
+		t.Error("a 500MB model must fit a 48GB edge server")
+	}
+	// int8 shrinks the footprint 4x on weights.
+	w := Workload{WeightBytes: 400}
+	q := Workload{WeightBytes: 400, Int8: true}
+	if server.MemoryBytes(q) >= server.MemoryBytes(w) {
+		t.Error("int8 must reduce memory footprint")
+	}
+}
+
+func TestEnergyProportionalToLatency(t *testing.T) {
+	d, err := ByName("jetson-nano")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := Workload{FLOPs: 1e8}
+	large := Workload{FLOPs: 1e10}
+	es, err := d.EnergyJoules(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := d.EnergyJoules(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el <= es {
+		t.Errorf("100× FLOPs energy %v not above %v", el, es)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	bad := []Workload{
+		{FLOPs: -1},
+		{WeightBytes: -5},
+		{EfficiencyScale: -0.1},
+		{LayerCount: -2},
+	}
+	d, err := ByName("rpi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range bad {
+		if _, err := d.Latency(w); err == nil {
+			t.Errorf("Latency(%+v) should fail", w)
+		}
+		if _, err := d.EnergyJoules(w); err == nil {
+			t.Errorf("EnergyJoules(%+v) should fail", w)
+		}
+	}
+}
+
+// Property: latency is monotone in FLOPs and energy is non-negative for
+// every device in the catalog.
+func TestLatencyMonotoneProperty(t *testing.T) {
+	cat := Catalog()
+	f := func(a, b uint32, devIdx uint8) bool {
+		d := cat[int(devIdx)%len(cat)]
+		lo, hi := int64(a%1e6), int64(a%1e6)+int64(b%1e9)
+		l1, err1 := d.Latency(Workload{FLOPs: lo})
+		l2, err2 := d.Latency(Workload{FLOPs: hi})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		e, err := d.EnergyJoules(Workload{FLOPs: hi})
+		if err != nil || e < 0 {
+			return false
+		}
+		return l1 <= l2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{ClassMCU, "mcu"}, {ClassSBC, "sbc"}, {ClassMobile, "mobile"},
+		{ClassAccelerator, "accelerator"}, {ClassEdgeServer, "edge-server"},
+		{ClassCloud, "cloud"}, {Class(0), "class(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d).String() = %q, want %q", tt.c, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package libei
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Client is a typed client for a remote OpenEI node's libei API; it is what
+// other edges, the cloud, and third-party tools (cmd/eictl) use.
+type Client struct {
+	// BaseURL is the node address, e.g. "http://192.168.1.7:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10 s timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the node at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func (c *Client) get(path string, query url.Values, result any) error {
+	u := c.BaseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.HTTPClient.Get(u)
+	if err != nil {
+		return fmt.Errorf("libei client: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		OK     bool            `json:"ok"`
+		Result json.RawMessage `json:"result"`
+		Error  string          `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return fmt.Errorf("libei client: decode %s: %w", path, err)
+	}
+	if !env.OK {
+		return fmt.Errorf("libei client: %s: %s (status %d)", path, env.Error, resp.StatusCode)
+	}
+	if result != nil {
+		if err := json.Unmarshal(env.Result, result); err != nil {
+			return fmt.Errorf("libei client: unmarshal %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// CallAlgorithm invokes /ei_algorithms/{scenario}/{name} and unmarshals the
+// result into out (pass a pointer, or nil to discard).
+func (c *Client) CallAlgorithm(scenario, name string, args url.Values, out any) error {
+	return c.get("/ei_algorithms/"+url.PathEscape(scenario)+"/"+url.PathEscape(name), args, out)
+}
+
+// Realtime fetches the n most recent samples of a sensor.
+func (c *Client) Realtime(sensorID string, n int) ([]DataSample, error) {
+	q := url.Values{}
+	if n > 0 {
+		q.Set("n", fmt.Sprint(n))
+	}
+	var out []DataSample
+	if err := c.get("/ei_data/realtime/"+url.PathEscape(sensorID), q, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Historical fetches samples in [start, end].
+func (c *Client) Historical(sensorID string, start, end time.Time) ([]DataSample, error) {
+	q := url.Values{}
+	q.Set("start", start.Format(time.RFC3339))
+	q.Set("end", end.Format(time.RFC3339))
+	var out []DataSample
+	if err := c.get("/ei_data/historical/"+url.PathEscape(sensorID), q, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Algorithms lists the node's registered scenario/name pairs.
+func (c *Client) Algorithms() ([]string, error) {
+	var out []string
+	if err := c.get("/ei_algorithms", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Models lists the node's loaded models with their modelled costs.
+func (c *Client) Models() ([]ModelStatus, error) {
+	var out []ModelStatus
+	if err := c.get("/ei_models", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Status fetches node identity and capabilities.
+func (c *Client) Status() (Status, error) {
+	var out Status
+	if err := c.get("/ei_status", nil, &out); err != nil {
+		return Status{}, err
+	}
+	return out, nil
+}
+
+// Resources fetches the node's computing resources: device capacity and
+// live VCU allocations.
+func (c *Client) Resources() (ResourceStatus, error) {
+	var out ResourceStatus
+	if err := c.get("/ei_resources", nil, &out); err != nil {
+		return ResourceStatus{}, err
+	}
+	return out, nil
+}
+
+// ModelBlob downloads a serialized model — the edge–edge model-sharing
+// path.
+func (c *Client) ModelBlob(name string) ([]byte, error) {
+	resp, err := c.HTTPClient.Get(c.BaseURL + "/ei_models/" + url.PathEscape(name) + "/blob")
+	if err != nil {
+		return nil, fmt.Errorf("libei client: blob %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("libei client: blob %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	return io.ReadAll(resp.Body)
+}

@@ -1,0 +1,299 @@
+package libei
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/datastore"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+)
+
+var t0 = time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func testNode(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	store := datastore.New(16)
+	if err := store.Register(datastore.SensorInfo{ID: "camera1", Kind: "camera", Dim: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := store.Append("camera1", datastore.Sample{
+			At:      t0.Add(time.Duration(i) * time.Second),
+			Payload: []float32{float32(i), 0, 0, 0},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	model := nn.MustModel("tiny", []int{4}, []nn.LayerSpec{{Type: "dense", In: 4, Out: 2}})
+	model.InitParams(rand.New(rand.NewSource(1)))
+	if err := mgr.Load(model, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer("edge-1", store, mgr)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	_, ts := testNode(t)
+	c := NewClient(ts.URL)
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodeID != "edge-1" || st.Device != "rpi4" || st.Package != "eipkg" {
+		t.Errorf("Status = %+v", st)
+	}
+	if len(st.Sensors) != 1 || st.Sensors[0] != "camera1" {
+		t.Errorf("sensors = %v", st.Sensors)
+	}
+}
+
+func TestAlgorithmEndpointFigure6(t *testing.T) {
+	s, ts := testNode(t)
+	err := s.Register(Registration{
+		Scenario: "safety", Name: "detection",
+		Fn: func(args url.Values) (any, error) {
+			return map[string]string{"video": args.Get("video"), "verdict": "ok"}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the Figure 6 URL shape.
+	resp, err := http.Get(ts.URL + "/ei_algorithms/safety/detection?video=camera1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var env struct {
+		OK     bool              `json:"ok"`
+		Result map[string]string `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if !env.OK || env.Result["video"] != "camera1" {
+		t.Errorf("envelope = %+v", env)
+	}
+}
+
+func TestAlgorithmNotFound(t *testing.T) {
+	_, ts := testNode(t)
+	resp, err := http.Get(ts.URL + "/ei_algorithms/safety/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestAlgorithmErrorPropagates(t *testing.T) {
+	s, ts := testNode(t)
+	if err := s.Register(Registration{
+		Scenario: "t", Name: "boom",
+		Fn: func(url.Values) (any, error) { return nil, ErrBadRequest },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/ei_algorithms/t/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRealtimeDataEndpoint(t *testing.T) {
+	_, ts := testNode(t)
+	c := NewClient(ts.URL)
+	samples, err := c.Realtime("camera1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3", len(samples))
+	}
+	if samples[2].Payload[0] != 4 {
+		t.Errorf("latest sample payload = %v, want 4", samples[2].Payload[0])
+	}
+}
+
+func TestHistoricalDataEndpoint(t *testing.T) {
+	_, ts := testNode(t)
+	c := NewClient(ts.URL)
+	samples, err := c.Historical("camera1", t0.Add(time.Second), t0.Add(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3 (inclusive range)", len(samples))
+	}
+}
+
+func TestDataEndpointErrors(t *testing.T) {
+	_, ts := testNode(t)
+	tests := []struct {
+		path string
+		want int
+	}{
+		{"/ei_data/realtime/ghost", http.StatusNotFound},
+		{"/ei_data/realtime/camera1?n=-3", http.StatusBadRequest},
+		{"/ei_data/realtime/camera1?n=abc", http.StatusBadRequest},
+		{"/ei_data/historical/camera1?start=bad&end=bad", http.StatusBadRequest},
+		{"/ei_data/historical/camera1", http.StatusBadRequest},
+		{"/ei_data/nope/camera1", http.StatusBadRequest},
+		{"/totally/wrong/path", http.StatusNotFound},
+	}
+	for _, tt := range tests {
+		resp, err := http.Get(ts.URL + tt.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tt.want {
+			t.Errorf("%s: status = %d, want %d", tt.path, resp.StatusCode, tt.want)
+		}
+	}
+}
+
+func TestOnlyGET(t *testing.T) {
+	_, ts := testNode(t)
+	resp, err := http.Post(ts.URL+"/ei_status", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	_, ts := testNode(t)
+	c := NewClient(ts.URL)
+	models, err := c.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || models[0].Name != "tiny" {
+		t.Fatalf("Models = %+v", models)
+	}
+	if models[0].LatencyMS <= 0 || models[0].MemoryMB <= 0 {
+		t.Errorf("missing ALEM costs: %+v", models[0])
+	}
+}
+
+func TestModelBlobRoundTrip(t *testing.T) {
+	_, ts := testNode(t)
+	c := NewClient(ts.URL)
+	blob, err := c.ModelBlob("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := nn.DecodeModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "tiny" {
+		t.Errorf("decoded model name = %q", m.Name)
+	}
+	if _, err := c.ModelBlob("ghost"); err == nil {
+		t.Error("blob of unknown model should fail")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	s := NewServer("x", nil, nil)
+	if err := s.Register(Registration{}); err == nil {
+		t.Error("empty registration should fail")
+	}
+	if err := s.RegisterAll([]Registration{{Scenario: "a", Name: "b", Fn: func(url.Values) (any, error) { return nil, nil }}, {}}); err == nil {
+		t.Error("RegisterAll with bad entry should fail")
+	}
+}
+
+func TestAlgorithmsListing(t *testing.T) {
+	s := NewServer("x", nil, nil)
+	for _, pair := range [][2]string{{"b", "z"}, {"a", "y"}, {"a", "x"}} {
+		if err := s.Register(Registration{Scenario: pair[0], Name: pair[1], Fn: func(url.Values) (any, error) { return nil, nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Algorithms()
+	want := []string{"a/x", "a/y", "b/z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Algorithms = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNodeWithoutStoreOrManager(t *testing.T) {
+	s := NewServer("bare", nil, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	for _, path := range []string{"/ei_data/realtime/x", "/ei_models"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s on bare node: status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	// Status still works.
+	c := NewClient(ts.URL)
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodeID != "bare" {
+		t.Errorf("Status = %+v", st)
+	}
+}
+
+func TestAlgorithmListingEndpoint(t *testing.T) {
+	s, ts := testNode(t)
+	for _, pair := range [][2]string{{"safety", "detection"}, {"home", "power_monitor"}} {
+		if err := s.Register(Registration{Scenario: pair[0], Name: pair[1], Fn: func(url.Values) (any, error) { return nil, nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewClient(ts.URL)
+	algos, err := c.Algorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(algos) != 2 || algos[0] != "home/power_monitor" || algos[1] != "safety/detection" {
+		t.Errorf("Algorithms = %v", algos)
+	}
+}

@@ -1,0 +1,101 @@
+package libei
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"openei/internal/runenv"
+)
+
+// The paper's §III.D says "every resource, including the data, computing
+// resource, and models, are represented by a URL". /ei_data and
+// /ei_models cover the first and last; this file adds the middle one:
+//
+//	GET /ei_resources — the node's computing resources: device capacity
+//	and the live VCU allocations (which application holds which share).
+
+// AllocationStatus is the wire form of one VCU allocation.
+type AllocationStatus struct {
+	App      string  `json:"app"`
+	SharePct float64 `json:"share_pct"`
+	MemoryMB float64 `json:"memory_mb"`
+}
+
+// ResourceStatus is the wire form of /ei_resources.
+type ResourceStatus struct {
+	Device string  `json:"device"`
+	Class  string  `json:"class"`
+	FLOPS  float64 `json:"flops"`
+	// Compute shares, in percent of the device.
+	ComputeUsedPct float64 `json:"compute_used_pct"`
+	ComputeFreePct float64 `json:"compute_free_pct"`
+	// Memory, in MB.
+	MemoryTotalMB float64 `json:"memory_total_mb"`
+	MemoryUsedMB  float64 `json:"memory_used_mb"`
+	MemoryFreeMB  float64 `json:"memory_free_mb"`
+	// Allocations lists who holds what, sorted by allocation order.
+	Allocations []AllocationStatus `json:"allocations"`
+}
+
+// vcuHolder guards the optional VCU reference (set after construction).
+type vcuHolder struct {
+	mu  sync.RWMutex
+	vcu *runenv.VCU
+}
+
+func (h *vcuHolder) get() *runenv.VCU {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.vcu
+}
+
+// SetVCU attaches a resource allocator so /ei_resources can report live
+// allocations. A nil VCU detaches it; the endpoint then reports the bare
+// device capacity from the package manager.
+func (s *Server) SetVCU(v *runenv.VCU) {
+	s.vcu.mu.Lock()
+	defer s.vcu.mu.Unlock()
+	s.vcu.vcu = v
+}
+
+func (s *Server) handleResources(w http.ResponseWriter) {
+	v := s.vcu.get()
+	if v == nil && s.Manager == nil {
+		writeErr(w, fmt.Errorf("%w: node exposes no computing resources", ErrNotFound))
+		return
+	}
+	var st ResourceStatus
+	if v != nil {
+		dev := v.Device()
+		share, mem := v.Used()
+		st = ResourceStatus{
+			Device:         dev.Name,
+			Class:          dev.Class.String(),
+			FLOPS:          dev.FLOPS,
+			ComputeUsedPct: share * 100,
+			ComputeFreePct: (1 - share) * 100,
+			MemoryTotalMB:  float64(dev.MemBytes) / (1 << 20),
+			MemoryUsedMB:   float64(mem) / (1 << 20),
+			MemoryFreeMB:   float64(dev.MemBytes-mem) / (1 << 20),
+		}
+		for _, a := range v.Allocations() {
+			st.Allocations = append(st.Allocations, AllocationStatus{
+				App:      a.App,
+				SharePct: a.Share * 100,
+				MemoryMB: float64(a.Mem) / (1 << 20),
+			})
+		}
+	} else {
+		dev := s.Manager.Device()
+		st = ResourceStatus{
+			Device:         dev.Name,
+			Class:          dev.Class.String(),
+			FLOPS:          dev.FLOPS,
+			ComputeFreePct: 100,
+			MemoryTotalMB:  float64(dev.MemBytes) / (1 << 20),
+			MemoryFreeMB:   float64(dev.MemBytes) / (1 << 20),
+		}
+	}
+	writeJSON(w, http.StatusOK, envelope{OK: true, Result: st})
+}

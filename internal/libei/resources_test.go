@@ -1,0 +1,82 @@
+package libei
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"openei/internal/hardware"
+	"openei/internal/runenv"
+)
+
+func TestResourcesEndpointWithoutVCU(t *testing.T) {
+	_, ts := testNode(t)
+	c := NewClient(ts.URL)
+	rs, err := c.Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Device != "rpi4" || rs.Class != "sbc" {
+		t.Errorf("device = %s/%s", rs.Device, rs.Class)
+	}
+	if rs.ComputeFreePct != 100 || rs.ComputeUsedPct != 0 {
+		t.Errorf("compute = used %.0f free %.0f", rs.ComputeUsedPct, rs.ComputeFreePct)
+	}
+	if rs.MemoryUsedMB != 0 || rs.MemoryFreeMB != rs.MemoryTotalMB {
+		t.Errorf("memory = %+v", rs)
+	}
+	if len(rs.Allocations) != 0 {
+		t.Errorf("allocations = %v", rs.Allocations)
+	}
+}
+
+func TestResourcesEndpointReportsVCUAllocations(t *testing.T) {
+	s, ts := testNode(t)
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vcu := runenv.NewVCU(dev)
+	if _, err := vcu.Allocate(runenv.Request{App: "safety", ComputeShare: 0.6, MemBytes: 64 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vcu.Allocate(runenv.Request{App: "vehicles", ComputeShare: 0.2, MemBytes: 32 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	s.SetVCU(vcu)
+
+	rs, err := NewClient(ts.URL).Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.ComputeUsedPct; got < 79.9 || got > 80.1 {
+		t.Errorf("compute used = %.1f%%, want 80%%", got)
+	}
+	if got := rs.MemoryUsedMB; got != 96 {
+		t.Errorf("memory used = %.1f MB, want 96", got)
+	}
+	if len(rs.Allocations) != 2 {
+		t.Fatalf("allocations = %v", rs.Allocations)
+	}
+	if rs.Allocations[0].App != "safety" || rs.Allocations[1].App != "vehicles" {
+		t.Errorf("allocation order: %v", rs.Allocations)
+	}
+
+	// Detaching the VCU falls back to bare device capacity.
+	s.SetVCU(nil)
+	rs, err = NewClient(ts.URL).Resources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.ComputeUsedPct != 0 || len(rs.Allocations) != 0 {
+		t.Errorf("after detach: %+v", rs)
+	}
+}
+
+func TestResourcesEndpointNoBackends(t *testing.T) {
+	s := NewServer("bare", nil, nil)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	if _, err := NewClient(ts.URL).Resources(); err == nil {
+		t.Fatal("want error when node has neither VCU nor manager")
+	}
+}

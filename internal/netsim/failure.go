@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrLinkDown is returned by FlakyLink when a transfer attempt fails.
+var ErrLinkDown = errors.New("netsim: link down")
+
+// FlakyLink wraps a Link with a per-attempt failure probability, modelling
+// the "dynamic changes in topology and high uncertainty in wireless
+// communication" the paper's §IV.C open problem calls out. Collaboration
+// code uses it to exercise retry paths.
+type FlakyLink struct {
+	Link Link
+	// FailureRate is the probability in [0,1) that one transfer attempt
+	// fails outright.
+	FailureRate float64
+	// Rand drives failures; required when FailureRate > 0.
+	Rand *rand.Rand
+}
+
+// Validate checks the flaky-link parameters.
+func (f FlakyLink) Validate() error {
+	if err := f.Link.Validate(); err != nil {
+		return err
+	}
+	if f.FailureRate < 0 || f.FailureRate >= 1 {
+		return fmt.Errorf("%w: failure rate %v outside [0,1)", ErrBadLink, f.FailureRate)
+	}
+	if f.FailureRate > 0 && f.Rand == nil {
+		return fmt.Errorf("%w: failure rate without a random source", ErrBadLink)
+	}
+	return nil
+}
+
+// Transfer attempts to move n bytes; it fails with probability FailureRate
+// (after a half-RTT, modelling a timeout detection at the sender).
+func (f FlakyLink) Transfer(n int64) (time.Duration, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if f.FailureRate > 0 && f.Rand.Float64() < f.FailureRate {
+		return f.Link.RTT / 2, fmt.Errorf("%w: %s", ErrLinkDown, f.Link.Name)
+	}
+	return f.Link.Transfer(n)
+}
+
+// TransferRetry retries the transfer up to attempts times, accumulating
+// the time spent on failures plus an exponential backoff (base backoff
+// doubling per retry). It returns the total elapsed modelled time, the
+// number of attempts used, and the final error (nil on success).
+func (f FlakyLink) TransferRetry(n int64, attempts int, backoff time.Duration) (time.Duration, int, error) {
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var elapsed time.Duration
+	var lastErr error
+	wait := backoff
+	for try := 1; try <= attempts; try++ {
+		d, err := f.Transfer(n)
+		elapsed += d
+		if err == nil {
+			return elapsed, try, nil
+		}
+		lastErr = err
+		if try < attempts {
+			elapsed += wait
+			wait *= 2
+		}
+	}
+	return elapsed, attempts, fmt.Errorf("netsim: %d attempts failed: %w", attempts, lastErr)
+}

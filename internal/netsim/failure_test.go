@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFlakyLinkZeroRateNeverFails(t *testing.T) {
+	f := FlakyLink{Link: LAN}
+	for i := 0; i < 50; i++ {
+		if _, err := f.Transfer(1000); err != nil {
+			t.Fatalf("zero-rate flaky link failed: %v", err)
+		}
+	}
+}
+
+func TestFlakyLinkAlwaysEventuallyObservesFailures(t *testing.T) {
+	f := FlakyLink{Link: LAN, FailureRate: 0.5, Rand: rand.New(rand.NewSource(1))}
+	failures := 0
+	for i := 0; i < 200; i++ {
+		if _, err := f.Transfer(1000); err != nil {
+			if !errors.Is(err, ErrLinkDown) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			failures++
+		}
+	}
+	if failures < 60 || failures > 140 {
+		t.Errorf("failures = %d of 200 at rate 0.5", failures)
+	}
+}
+
+func TestFlakyLinkValidation(t *testing.T) {
+	bad := []FlakyLink{
+		{Link: LAN, FailureRate: 1.0, Rand: rand.New(rand.NewSource(1))},
+		{Link: LAN, FailureRate: -0.1},
+		{Link: LAN, FailureRate: 0.5}, // missing Rand
+		{Link: Link{BandwidthBPS: 0}},
+	}
+	for _, f := range bad {
+		if _, err := f.Transfer(10); !errors.Is(err, ErrBadLink) {
+			t.Errorf("Transfer on %+v: err = %v, want ErrBadLink", f, err)
+		}
+	}
+}
+
+func TestTransferRetrySucceedsEventually(t *testing.T) {
+	f := FlakyLink{Link: LAN, FailureRate: 0.6, Rand: rand.New(rand.NewSource(7))}
+	var succeeded int
+	for i := 0; i < 50; i++ {
+		_, attempts, err := f.TransferRetry(1000, 10, time.Millisecond)
+		if err == nil {
+			succeeded++
+			if attempts < 1 || attempts > 10 {
+				t.Fatalf("attempts = %d", attempts)
+			}
+		}
+	}
+	// P(all 10 attempts fail) = 0.6^10 ≈ 0.6%; nearly all runs succeed.
+	if succeeded < 45 {
+		t.Errorf("only %d of 50 retried transfers succeeded", succeeded)
+	}
+}
+
+func TestTransferRetryExhaustsAndReportsElapsed(t *testing.T) {
+	// A link that always fails (rate ~1 via a rigged source is not
+	// possible since rate < 1, so use 0.99 and a seed that fails thrice).
+	f := FlakyLink{Link: Link{Name: "bad", BandwidthBPS: 1e6, RTT: 10 * time.Millisecond}, FailureRate: 0.99, Rand: rand.New(rand.NewSource(3))}
+	elapsed, attempts, err := f.TransferRetry(1000, 3, 5*time.Millisecond)
+	if err == nil {
+		t.Skip("improbable: three successes at rate 0.99")
+	}
+	if !errors.Is(err, ErrLinkDown) {
+		t.Errorf("err = %v, want ErrLinkDown", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	// 3 half-RTT failures (15ms) + backoff 5 + 10 = 30ms.
+	if elapsed < 25*time.Millisecond {
+		t.Errorf("elapsed = %v, want ≥ 25ms (failures + backoff)", elapsed)
+	}
+}
+
+func TestTransferRetryBackoffGrows(t *testing.T) {
+	f := FlakyLink{Link: Link{Name: "b", BandwidthBPS: 1e9, RTT: 0}, FailureRate: 0.99, Rand: rand.New(rand.NewSource(5))}
+	e2, _, err2 := f.TransferRetry(10, 2, 10*time.Millisecond)
+	e4, _, err4 := f.TransferRetry(10, 4, 10*time.Millisecond)
+	if err2 == nil || err4 == nil {
+		t.Skip("improbable success at rate 0.99")
+	}
+	// 2 attempts: 10ms backoff; 4 attempts: 10+20+40 = 70ms.
+	if e4 <= e2 {
+		t.Errorf("backoff did not grow: %v vs %v", e2, e4)
+	}
+}

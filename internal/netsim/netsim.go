@@ -1,0 +1,147 @@
+// Package netsim models the network links between cloud, edges, and IoT
+// devices. The dataflow economics of the paper's Figure 3 (upload raw data
+// vs download a model vs keep everything local) reduce to bytes moved over
+// links of given bandwidth and round-trip time, which is exactly what this
+// package computes.
+//
+// Substitution note (DESIGN.md §2): the paper assumes real WAN/LAN paths;
+// this simulator uses a fluid-flow model — transfer time = RTT + bytes /
+// bandwidth (+ optional jitter) — which preserves the relative cost of the
+// three dataflows.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrBadLink is returned for non-positive link parameters.
+var ErrBadLink = errors.New("netsim: bad link parameters")
+
+// Transferer moves bytes over a modelled path. Link and FlakyLink both
+// implement it, so collaboration code can be tested against failing
+// links without knowing the concrete type.
+type Transferer interface {
+	// Transfer returns the modelled time to move n bytes, or an error if
+	// the path failed.
+	Transfer(n int64) (time.Duration, error)
+}
+
+// Interface conformance (compile-time).
+var (
+	_ Transferer = Link{}
+	_ Transferer = FlakyLink{}
+)
+
+// Link is a unidirectional network path.
+type Link struct {
+	Name string
+	// BandwidthBPS is sustained throughput in bytes per second.
+	BandwidthBPS float64
+	// RTT is the round-trip time charged once per transfer.
+	RTT time.Duration
+	// JitterFrac, if nonzero, widens transfer time by a uniform factor in
+	// [1-j, 1+j] drawn from the *rand.Rand passed to TransferJitter.
+	JitterFrac float64
+}
+
+// Validate checks link parameters.
+func (l Link) Validate() error {
+	if l.BandwidthBPS <= 0 {
+		return fmt.Errorf("%w: bandwidth %v", ErrBadLink, l.BandwidthBPS)
+	}
+	if l.RTT < 0 {
+		return fmt.Errorf("%w: rtt %v", ErrBadLink, l.RTT)
+	}
+	if l.JitterFrac < 0 || l.JitterFrac >= 1 {
+		return fmt.Errorf("%w: jitter %v", ErrBadLink, l.JitterFrac)
+	}
+	return nil
+}
+
+// Transfer returns the modelled time to move n bytes across the link.
+func (l Link) Transfer(n int64) (time.Duration, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("%w: negative payload %d", ErrBadLink, n)
+	}
+	secs := float64(n) / l.BandwidthBPS
+	return l.RTT + time.Duration(secs*float64(time.Second)), nil
+}
+
+// TransferJitter is Transfer with jitter drawn from rng.
+func (l Link) TransferJitter(n int64, rng *rand.Rand) (time.Duration, error) {
+	base, err := l.Transfer(n)
+	if err != nil {
+		return 0, err
+	}
+	if l.JitterFrac == 0 || rng == nil {
+		return base, nil
+	}
+	f := 1 + (rng.Float64()*2-1)*l.JitterFrac
+	return time.Duration(float64(base) * f), nil
+}
+
+// Standard links used across the experiments. Numbers follow typical 2019
+// deployments: a cellular/DSL WAN uplink to the cloud, a wired or Wi-Fi
+// LAN between edges, and an on-device loopback.
+var (
+	// WAN is the edge↔cloud path (≈20 Mbit/s up, 50 ms RTT).
+	WAN = Link{Name: "wan", BandwidthBPS: 2.5e6, RTT: 50 * time.Millisecond}
+	// LAN is the edge↔edge path (≈200 Mbit/s, 2 ms RTT).
+	LAN = Link{Name: "lan", BandwidthBPS: 25e6, RTT: 2 * time.Millisecond}
+	// Loopback is on-device (effectively free but not zero).
+	Loopback = Link{Name: "loopback", BandwidthBPS: 2e9, RTT: 50 * time.Microsecond}
+)
+
+// Path is a chain of links traversed in sequence (e.g. IoT→edge→cloud).
+type Path []Link
+
+// Transfer sums the per-link transfer times for n bytes.
+func (p Path) Transfer(n int64) (time.Duration, error) {
+	var total time.Duration
+	for i, l := range p {
+		d, err := l.Transfer(n)
+		if err != nil {
+			return 0, fmt.Errorf("hop %d (%s): %w", i, l.Name, err)
+		}
+		total += d
+	}
+	return total, nil
+}
+
+// Meter counts bytes moved per link name; the E1/E3 experiments use it to
+// report bandwidth consumption of each dataflow.
+type Meter struct {
+	bytes map[string]int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{bytes: map[string]int64{}} }
+
+// Record adds n bytes against the link's name and returns the transfer
+// time, so call sites can do `d, err := meter.Record(netsim.WAN, n)`.
+func (m *Meter) Record(l Link, n int64) (time.Duration, error) {
+	d, err := l.Transfer(n)
+	if err != nil {
+		return 0, err
+	}
+	m.bytes[l.Name] += n
+	return d, nil
+}
+
+// Bytes returns the byte count recorded against a link name.
+func (m *Meter) Bytes(name string) int64 { return m.bytes[name] }
+
+// Total returns all bytes recorded.
+func (m *Meter) Total() int64 {
+	var t int64
+	for _, v := range m.bytes {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransferBasics(t *testing.T) {
+	l := Link{Name: "t", BandwidthBPS: 1000, RTT: 10 * time.Millisecond}
+	d, err := l.Transfer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*time.Millisecond + time.Second
+	if d != want {
+		t.Errorf("Transfer(1000) = %v, want %v", d, want)
+	}
+	// Zero bytes costs exactly the RTT.
+	d, err = l.Transfer(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 10*time.Millisecond {
+		t.Errorf("Transfer(0) = %v, want RTT", d)
+	}
+}
+
+func TestTransferErrors(t *testing.T) {
+	bad := []Link{
+		{BandwidthBPS: 0},
+		{BandwidthBPS: -1},
+		{BandwidthBPS: 1, RTT: -time.Second},
+		{BandwidthBPS: 1, JitterFrac: 1.5},
+	}
+	for _, l := range bad {
+		if _, err := l.Transfer(10); !errors.Is(err, ErrBadLink) {
+			t.Errorf("Transfer on %+v: err = %v, want ErrBadLink", l, err)
+		}
+	}
+	good := Link{BandwidthBPS: 1}
+	if _, err := good.Transfer(-1); !errors.Is(err, ErrBadLink) {
+		t.Errorf("negative payload: err = %v, want ErrBadLink", err)
+	}
+}
+
+func TestStandardLinkOrdering(t *testing.T) {
+	// For a 1MB payload: loopback < LAN < WAN.
+	const n = 1 << 20
+	lb, err := Loopback.Transfer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lan, err := LAN.Transfer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan, err := WAN.Transfer(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lb < lan && lan < wan) {
+		t.Errorf("ordering violated: loopback=%v lan=%v wan=%v", lb, lan, wan)
+	}
+	// The WAN gap matters: ≥ 10× the LAN time for 1MB (paper's bandwidth
+	// motivation).
+	if float64(wan)/float64(lan) < 5 {
+		t.Errorf("wan/lan ratio = %v, want ≥ 5", float64(wan)/float64(lan))
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	l := Link{Name: "j", BandwidthBPS: 1e6, RTT: time.Millisecond, JitterFrac: 0.3}
+	rng := rand.New(rand.NewSource(1))
+	base, err := l.Transfer(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d, err := l.TransferJitter(1e6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := time.Duration(float64(base) * 0.69)
+		hi := time.Duration(float64(base) * 1.31)
+		if d < lo || d > hi {
+			t.Fatalf("jittered transfer %v outside [%v, %v]", d, lo, hi)
+		}
+	}
+	// Nil rng or zero jitter: deterministic.
+	d, err := l.TransferJitter(1e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != base {
+		t.Error("nil rng must disable jitter")
+	}
+}
+
+func TestPathSumsHops(t *testing.T) {
+	p := Path{LAN, WAN}
+	d, err := p.Transfer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := LAN.Transfer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := WAN.Transfer(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != l1+l2 {
+		t.Errorf("Path transfer %v != %v + %v", d, l1, l2)
+	}
+	bad := Path{{BandwidthBPS: 0}}
+	if _, err := bad.Transfer(1); err == nil {
+		t.Error("bad hop should fail")
+	}
+}
+
+func TestMeter(t *testing.T) {
+	m := NewMeter()
+	if _, err := m.Record(WAN, 500); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Record(WAN, 250); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Record(LAN, 100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Bytes("wan") != 750 {
+		t.Errorf("wan bytes = %d, want 750", m.Bytes("wan"))
+	}
+	if m.Bytes("lan") != 100 {
+		t.Errorf("lan bytes = %d, want 100", m.Bytes("lan"))
+	}
+	if m.Total() != 850 {
+		t.Errorf("total = %d, want 850", m.Total())
+	}
+	if m.Bytes("nope") != 0 {
+		t.Error("unknown link must read 0")
+	}
+}
+
+// Property: transfer time is monotone in payload size.
+func TestTransferMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		lo := int64(a % 1e6)
+		hi := lo + int64(b%1e6)
+		d1, err1 := WAN.Transfer(lo)
+		d2, err2 := WAN.Transfer(hi)
+		return err1 == nil && err2 == nil && d1 <= d2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,230 @@
+package nn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"openei/internal/tensor"
+)
+
+func TestAdamDefaults(t *testing.T) {
+	a := NewAdam(0)
+	if a.LR != 0.001 || a.Beta1 != 0.9 || a.Beta2 != 0.999 {
+		t.Errorf("defaults = %+v", a)
+	}
+}
+
+func TestAdamStepValidation(t *testing.T) {
+	a := NewAdam(0.01)
+	p := tensor.New(2, 2)
+	if err := a.Step([]*tensor.Tensor{p}, nil); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if err := a.Step([]*tensor.Tensor{p}, []*tensor.Tensor{tensor.New(3)}); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch: err = %v", err)
+	}
+}
+
+func TestAdamReducesLossOnQuadratic(t *testing.T) {
+	// Minimize ‖p‖² directly: gradient is 2p.
+	p := tensor.MustFrom([]float32{3, -2, 1, 4}, 4)
+	g := tensor.New(4)
+	a := NewAdam(0.05)
+	start := p.L2Norm()
+	for i := 0; i < 500; i++ {
+		for j, v := range p.Data() {
+			g.Data()[j] = 2 * v
+		}
+		if err := a.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if end := p.L2Norm(); end > start/10 {
+		t.Errorf("Adam did not converge: ‖p‖ %v -> %v", start, end)
+	}
+}
+
+func TestTrainAdamLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 200
+	x := tensor.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		cx := float32(-1)
+		if cls == 1 {
+			cx = 1
+		}
+		x.Set(cx+float32(rng.NormFloat64())*0.4, i, 0)
+		x.Set(float32(rng.NormFloat64())*0.4, i, 1)
+		y[i] = cls
+	}
+	m := MustModel("adam-blobs", []int{2}, []LayerSpec{
+		{Type: "dense", In: 2, Out: 8},
+		{Type: "relu"},
+		{Type: "dense", In: 8, Out: 2},
+	})
+	m.InitParams(rng)
+	if _, _, err := TrainAdam(m, Dataset{X: x, Y: y}, TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.01, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("TrainAdam accuracy = %v", acc)
+	}
+}
+
+func TestTrainAdamRequiresRand(t *testing.T) {
+	m := MustModel("m", []int{2}, []LayerSpec{{Type: "dense", In: 2, Out: 2}})
+	if _, _, err := TrainAdam(m, Dataset{X: tensor.New(1, 2), Y: []int{0}}, TrainConfig{}); err == nil {
+		t.Error("TrainAdam without Rand should fail")
+	}
+}
+
+// earlyExitFixture trains a FastGRNN+head on an "early-decidable" task:
+// the class is revealed by a distinctive value in the first few steps.
+func earlyExitFixture(t *testing.T) (*Model, Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	const (
+		T = 10
+		n = 300
+	)
+	x := tensor.New(n, T)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := rng.Intn(2)
+		y[i] = cls
+		// Strong class signal at steps 0-2, noise after.
+		sig := float32(-1)
+		if cls == 1 {
+			sig = 1
+		}
+		for tt := 0; tt < T; tt++ {
+			if tt < 3 {
+				x.Set(sig+float32(rng.NormFloat64())*0.1, i, tt)
+			} else {
+				x.Set(float32(rng.NormFloat64())*0.3, i, tt)
+			}
+		}
+	}
+	m := MustModel("early", []int{T}, []LayerSpec{
+		{Type: "fastgrnn", RNN: &RNNSpec{T: T, D: 1, H: 8}},
+		{Type: "dense", In: 8, Out: 2},
+	})
+	m.InitParams(rng)
+	data := Dataset{X: x, Y: y}
+	if _, _, err := Train(m, data, TrainConfig{Epochs: 25, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	// EMI-style head training on all-step hidden states; without it the
+	// head is confidently wrong on early steps (see TrainEarlyExitHead).
+	if err := TrainEarlyExitHead(m, data, 2, 10, 0.02, rng); err != nil {
+		t.Fatal(err)
+	}
+	return m, data
+}
+
+func TestRNNEarlyExitSavesStepsAndKeepsAccuracy(t *testing.T) {
+	m, data := earlyExitFixture(t)
+	full, err := Accuracy(m, data.X, data.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 0.9 {
+		t.Fatalf("fixture model accuracy = %v", full)
+	}
+	results, err := RNNEarlyExit(m, data.X, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, r := range results {
+		if r.Class == data.Y[i] {
+			correct++
+		}
+		if r.StepsUsed < 1 || r.StepsUsed > 10 {
+			t.Fatalf("StepsUsed = %d", r.StepsUsed)
+		}
+	}
+	acc := float64(correct) / float64(len(results))
+	if acc < full-0.05 {
+		t.Errorf("early-exit accuracy %v too far below full %v", acc, full)
+	}
+	// The EMI-RNN claim: most windows resolve early, saving computation.
+	frac := MeanStepsUsed(results, 10)
+	if frac > 0.7 {
+		t.Errorf("mean steps fraction = %v, want < 0.7 (early-decidable task)", frac)
+	}
+	// Threshold 1.01 is unreachable: everything uses all T steps and the
+	// result matches full inference exactly.
+	all, err := RNNEarlyExit(m, data.X, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(data.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range all {
+		if all[i].Class != pred[i] {
+			// Confidence can hit exactly 1.0 earlier; only flag when the
+			// final-step result differs from full inference.
+			if all[i].StepsUsed == 10 {
+				t.Fatalf("sample %d: threshold-1 early exit disagrees with full inference", i)
+			}
+		}
+	}
+}
+
+func TestRNNEarlyExitValidation(t *testing.T) {
+	m, data := earlyExitFixture(t)
+	if _, err := RNNEarlyExit(m, data.X, 1.5); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("bad threshold: err = %v", err)
+	}
+	if _, err := RNNEarlyExit(m, tensor.New(2, 7), 0.9); !errors.Is(err, ErrShape) {
+		t.Errorf("bad input: err = %v", err)
+	}
+	dense := MustModel("d", []int{4}, []LayerSpec{
+		{Type: "dense", In: 4, Out: 2},
+		{Type: "relu"},
+	})
+	if _, err := RNNEarlyExit(dense, tensor.New(1, 4), 0.9); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("non-RNN model: err = %v", err)
+	}
+}
+
+func TestMeanStepsUsed(t *testing.T) {
+	rs := []EarlyExitResult{{StepsUsed: 2}, {StepsUsed: 4}}
+	if got := MeanStepsUsed(rs, 10); got != 0.3 {
+		t.Errorf("MeanStepsUsed = %v, want 0.3", got)
+	}
+	if MeanStepsUsed(nil, 10) != 0 || MeanStepsUsed(rs, 0) != 0 {
+		t.Error("degenerate inputs must return 0")
+	}
+}
+
+func TestTrainEarlyExitHeadValidation(t *testing.T) {
+	m, data := earlyExitFixture(t)
+	rng := rand.New(rand.NewSource(9))
+	if err := TrainEarlyExitHead(m, data, -1, 1, 0.01, rng); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("negative minStep: err = %v", err)
+	}
+	if err := TrainEarlyExitHead(m, data, 10, 1, 0.01, rng); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("minStep == T: err = %v", err)
+	}
+	if err := TrainEarlyExitHead(m, Dataset{}, 0, 1, 0.01, rng); err == nil {
+		t.Error("empty data should fail")
+	}
+	dense := MustModel("d", []int{4}, []LayerSpec{
+		{Type: "dense", In: 4, Out: 2},
+		{Type: "relu"},
+	})
+	if err := TrainEarlyExitHead(dense, data, 0, 1, 0.01, rng); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("non-RNN model: err = %v", err)
+	}
+}

@@ -1,0 +1,371 @@
+package nn
+
+import (
+	"fmt"
+
+	"openei/internal/tensor"
+)
+
+// Conv2D is a standard 2-D convolution layer over NCHW input.
+type Conv2D struct {
+	SpecV  tensor.Conv2DSpec
+	W      *tensor.Tensor // (outC, inC*kH*kW) stored matmul-ready
+	B      *tensor.Tensor // (outC)
+	GW, GB *tensor.Tensor
+
+	lastX    *tensor.Tensor
+	lastCols []float32
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D returns an uninitialized convolution layer for the given spec.
+func NewConv2D(s tensor.Conv2DSpec) *Conv2D {
+	k := s.InC * s.KH * s.KW
+	return &Conv2D{
+		SpecV: s,
+		W:     tensor.New(s.OutC, k), B: tensor.New(s.OutC),
+		GW: tensor.New(s.OutC, k), GB: tensor.New(s.OutC),
+	}
+}
+
+// Kind implements Layer.
+func (c *Conv2D) Kind() string { return "conv2d" }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	s := c.SpecV
+	if x.Dims() != 4 || x.Dim(1) != s.InC || x.Dim(2) != s.InH || x.Dim(3) != s.InW {
+		return nil, fmt.Errorf("%w: conv2d %+v got input %v", ErrShape, s, x.Shape())
+	}
+	c.lastX = x
+	w4 := c.W.MustReshape(s.OutC, s.InC, s.KH, s.KW)
+	return tensor.Conv2D(x, w4, c.B, s)
+}
+
+// Backward implements Layer. It recomputes the im2col lowering per image
+// (cheap relative to the matmuls) to produce weight and input gradients.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastX == nil {
+		return nil, fmt.Errorf("%w (conv2d)", ErrNoForward)
+	}
+	s := c.SpecV
+	outH, outW := s.OutH(), s.OutW()
+	if grad.Dims() != 4 || grad.Dim(1) != s.OutC || grad.Dim(2) != outH || grad.Dim(3) != outW {
+		return nil, fmt.Errorf("%w: conv2d backward grad %v", ErrShape, grad.Shape())
+	}
+	batch := c.lastX.Dim(0)
+	colRows := s.InC * s.KH * s.KW
+	colW := outH * outW
+	if cap(c.lastCols) < colRows*colW {
+		c.lastCols = make([]float32, colRows*colW)
+	}
+	cols := c.lastCols[:colRows*colW]
+	imgLen := s.InC * s.InH * s.InW
+	gradLen := s.OutC * colW
+	dx := tensor.New(c.lastX.Shape()...)
+	colsT := tensor.New(colW, colRows)
+	gradMat := tensor.New(s.OutC, colW)
+	wt, err := tensor.Transpose(c.W)
+	if err != nil {
+		return nil, err
+	}
+	dcols := tensor.New(colRows, colW)
+	for b := 0; b < batch; b++ {
+		tensor.Im2Col(c.lastX.Data()[b*imgLen:(b+1)*imgLen], s, cols)
+		copy(gradMat.Data(), grad.Data()[b*gradLen:(b+1)*gradLen])
+
+		// dW += grad_b · colsᵀ
+		for i := 0; i < colRows; i++ {
+			for j := 0; j < colW; j++ {
+				colsT.Data()[j*colRows+i] = cols[i*colW+j]
+			}
+		}
+		dw, err := tensor.MatMul(gradMat, colsT)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.GW.AddScaled(dw, 1); err != nil {
+			return nil, err
+		}
+
+		// dB += per-channel sums of grad.
+		for oc := 0; oc < s.OutC; oc++ {
+			var sum float32
+			ch := gradMat.Data()[oc*colW : (oc+1)*colW]
+			for _, v := range ch {
+				sum += v
+			}
+			c.GB.Data()[oc] += sum
+		}
+
+		// dcols = Wᵀ · grad_b ; dx_b = col2im(dcols).
+		if err := tensor.MatMulInto(dcols, wt, gradMat); err != nil {
+			return nil, err
+		}
+		tensor.Col2Im(dcols.Data(), s, dx.Data()[b*imgLen:(b+1)*imgLen])
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+
+// FLOPs implements Layer.
+func (c *Conv2D) FLOPs(batch int) int64 {
+	s := c.SpecV
+	return 2 * int64(batch) * int64(s.OutC) * int64(s.OutH()) * int64(s.OutW()) *
+		int64(s.InC) * int64(s.KH) * int64(s.KW)
+}
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	s := c.SpecV
+	if len(in) != 3 || in[0] != s.InC || in[1] != s.InH || in[2] != s.InW {
+		return nil, fmt.Errorf("%w: conv2d %+v input shape %v", ErrShape, s, in)
+	}
+	return []int{s.OutC, s.OutH(), s.OutW()}, nil
+}
+
+// Spec implements Layer.
+func (c *Conv2D) Spec() LayerSpec { return LayerSpec{Type: "conv2d", Conv: &c.SpecV} }
+
+// DepthwiseConv2D is the depthwise separable convolution building block of
+// MobileNets [9]: one kH×kW filter per input channel.
+type DepthwiseConv2D struct {
+	SpecV  tensor.Conv2DSpec // OutC == InC
+	W      *tensor.Tensor    // (C, kH, kW)
+	B      *tensor.Tensor    // (C)
+	GW, GB *tensor.Tensor
+
+	lastX *tensor.Tensor
+}
+
+var _ Layer = (*DepthwiseConv2D)(nil)
+
+// NewDepthwiseConv2D returns an uninitialized depthwise convolution layer.
+// The spec's OutC is forced to InC.
+func NewDepthwiseConv2D(s tensor.Conv2DSpec) *DepthwiseConv2D {
+	s.OutC = s.InC
+	return &DepthwiseConv2D{
+		SpecV: s,
+		W:     tensor.New(s.InC, s.KH, s.KW), B: tensor.New(s.InC),
+		GW: tensor.New(s.InC, s.KH, s.KW), GB: tensor.New(s.InC),
+	}
+}
+
+// Kind implements Layer.
+func (c *DepthwiseConv2D) Kind() string { return "dwconv2d" }
+
+// Forward implements Layer.
+func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	c.lastX = x
+	return tensor.DepthwiseConv2D(x, c.W, c.B, c.SpecV)
+}
+
+// Backward implements Layer using direct (non-lowered) loops, acceptable
+// because depthwise cost is tiny compared with pointwise convs.
+func (c *DepthwiseConv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastX == nil {
+		return nil, fmt.Errorf("%w (dwconv2d)", ErrNoForward)
+	}
+	s := c.SpecV
+	outH, outW := s.OutH(), s.OutW()
+	if grad.Dims() != 4 || grad.Dim(1) != s.InC || grad.Dim(2) != outH || grad.Dim(3) != outW {
+		return nil, fmt.Errorf("%w: dwconv2d backward grad %v", ErrShape, grad.Shape())
+	}
+	batch := c.lastX.Dim(0)
+	dx := tensor.New(c.lastX.Shape()...)
+	imgLen := s.InC * s.InH * s.InW
+	outLen := s.InC * outH * outW
+	for b := 0; b < batch; b++ {
+		for ch := 0; ch < s.InC; ch++ {
+			src := c.lastX.Data()[b*imgLen+ch*s.InH*s.InW : b*imgLen+(ch+1)*s.InH*s.InW]
+			g := grad.Data()[b*outLen+ch*outH*outW : b*outLen+(ch+1)*outH*outW]
+			ker := c.W.Data()[ch*s.KH*s.KW : (ch+1)*s.KH*s.KW]
+			gker := c.GW.Data()[ch*s.KH*s.KW : (ch+1)*s.KH*s.KW]
+			dsrc := dx.Data()[b*imgLen+ch*s.InH*s.InW : b*imgLen+(ch+1)*s.InH*s.InW]
+			var biasSum float32
+			p := 0
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					gv := g[p]
+					p++
+					biasSum += gv
+					if gv == 0 {
+						continue
+					}
+					for kh := 0; kh < s.KH; kh++ {
+						ih := oh*s.Stride - s.Pad + kh
+						if ih < 0 || ih >= s.InH {
+							continue
+						}
+						for kw := 0; kw < s.KW; kw++ {
+							iw := ow*s.Stride - s.Pad + kw
+							if iw < 0 || iw >= s.InW {
+								continue
+							}
+							gker[kh*s.KW+kw] += gv * src[ih*s.InW+iw]
+							dsrc[ih*s.InW+iw] += gv * ker[kh*s.KW+kw]
+						}
+					}
+				}
+			}
+			c.GB.Data()[ch] += biasSum
+		}
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (c *DepthwiseConv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Layer.
+func (c *DepthwiseConv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+
+// FLOPs implements Layer.
+func (c *DepthwiseConv2D) FLOPs(batch int) int64 {
+	s := c.SpecV
+	return 2 * int64(batch) * int64(s.InC) * int64(s.OutH()) * int64(s.OutW()) *
+		int64(s.KH) * int64(s.KW)
+}
+
+// OutShape implements Layer.
+func (c *DepthwiseConv2D) OutShape(in []int) ([]int, error) {
+	s := c.SpecV
+	if len(in) != 3 || in[0] != s.InC || in[1] != s.InH || in[2] != s.InW {
+		return nil, fmt.Errorf("%w: dwconv2d %+v input shape %v", ErrShape, s, in)
+	}
+	return []int{s.InC, s.OutH(), s.OutW()}, nil
+}
+
+// Spec implements Layer.
+func (c *DepthwiseConv2D) Spec() LayerSpec { return LayerSpec{Type: "dwconv2d", Conv: &c.SpecV} }
+
+// MaxPool is a max-pooling layer.
+type MaxPool struct {
+	SpecV tensor.PoolSpec
+
+	lastArg   []int
+	lastShape []int
+}
+
+var _ Layer = (*MaxPool)(nil)
+
+// NewMaxPool returns a max-pooling layer for the given spec.
+func NewMaxPool(s tensor.PoolSpec) *MaxPool { return &MaxPool{SpecV: s} }
+
+// Kind implements Layer.
+func (m *MaxPool) Kind() string { return "maxpool" }
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	out, arg, err := tensor.MaxPool2D(x, m.SpecV)
+	if err != nil {
+		return nil, err
+	}
+	m.lastArg = arg
+	m.lastShape = x.Shape()
+	return out, nil
+}
+
+// Backward implements Layer: gradient routes to the argmax positions.
+func (m *MaxPool) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if m.lastArg == nil {
+		return nil, fmt.Errorf("%w (maxpool)", ErrNoForward)
+	}
+	if grad.Len() != len(m.lastArg) {
+		return nil, fmt.Errorf("%w: maxpool backward grad %v", ErrShape, grad.Shape())
+	}
+	dx := tensor.New(m.lastShape...)
+	for i, src := range grad.Data() {
+		dx.Data()[m.lastArg[i]] += src
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (m *MaxPool) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (m *MaxPool) Grads() []*tensor.Tensor { return nil }
+
+// FLOPs implements Layer.
+func (m *MaxPool) FLOPs(batch int) int64 {
+	s := m.SpecV
+	return int64(batch) * int64(s.C) * int64(s.OutH()) * int64(s.OutW()) * int64(s.K) * int64(s.K)
+}
+
+// OutShape implements Layer.
+func (m *MaxPool) OutShape(in []int) ([]int, error) {
+	s := m.SpecV
+	if len(in) != 3 || in[0] != s.C || in[1] != s.H || in[2] != s.W {
+		return nil, fmt.Errorf("%w: maxpool %+v input shape %v", ErrShape, s, in)
+	}
+	return []int{s.C, s.OutH(), s.OutW()}, nil
+}
+
+// Spec implements Layer.
+func (m *MaxPool) Spec() LayerSpec { return LayerSpec{Type: "maxpool", Pool: &m.SpecV} }
+
+// GlobalAvgPool reduces (batch, C, H, W) to (batch, C).
+type GlobalAvgPool struct {
+	lastShape []int
+}
+
+var _ Layer = (*GlobalAvgPool)(nil)
+
+// Kind implements Layer.
+func (g *GlobalAvgPool) Kind() string { return "gap" }
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	g.lastShape = x.Shape()
+	return tensor.GlobalAvgPool2D(x)
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if g.lastShape == nil {
+		return nil, fmt.Errorf("%w (gap)", ErrNoForward)
+	}
+	b, c, h, w := g.lastShape[0], g.lastShape[1], g.lastShape[2], g.lastShape[3]
+	if grad.Dims() != 2 || grad.Dim(0) != b || grad.Dim(1) != c {
+		return nil, fmt.Errorf("%w: gap backward grad %v", ErrShape, grad.Shape())
+	}
+	dx := tensor.New(g.lastShape...)
+	inv := 1 / float32(h*w)
+	for bi := 0; bi < b; bi++ {
+		for ci := 0; ci < c; ci++ {
+			gv := grad.At(bi, ci) * inv
+			base := (bi*c + ci) * h * w
+			for i := 0; i < h*w; i++ {
+				dx.Data()[base+i] = gv
+			}
+		}
+	}
+	return dx, nil
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (g *GlobalAvgPool) Grads() []*tensor.Tensor { return nil }
+
+// FLOPs implements Layer.
+func (g *GlobalAvgPool) FLOPs(batch int) int64 { return 0 }
+
+// OutShape implements Layer.
+func (g *GlobalAvgPool) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("%w: gap input shape %v", ErrShape, in)
+	}
+	return []int{in[0]}, nil
+}
+
+// Spec implements Layer.
+func (g *GlobalAvgPool) Spec() LayerSpec { return LayerSpec{Type: "gap"} }

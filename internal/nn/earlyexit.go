@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"openei/internal/tensor"
+)
+
+// This file implements EMI-RNN-style early inference [42] (§IV.A.2): for a
+// model of the shape [FastGRNN → (head layers…)], the sequence is consumed
+// step by step and classification stops as soon as the head is confident —
+// "requires 72× less computation than standard LSTM" in the original
+// because most windows resolve within a few steps.
+
+// EarlyExitResult reports one sample's early-exit inference.
+type EarlyExitResult struct {
+	Class      int
+	Confidence float64
+	// StepsUsed is how many of the T time steps were consumed.
+	StepsUsed int
+}
+
+// RNNEarlyExit runs batched early-exit inference. model's first layer must
+// be a *FastGRNN; the remaining layers form the classification head (they
+// must accept a (batch, H) input, e.g. Dense/ReLU stacks). x is time-major
+// (batch, T*D) as for FastGRNN.Forward. Inference exits per sample at the
+// first step whose head confidence reaches threshold; samples that never
+// reach it use all T steps.
+func RNNEarlyExit(model *Model, x *tensor.Tensor, threshold float64) ([]EarlyExitResult, error) {
+	if len(model.Layers) < 2 {
+		return nil, fmt.Errorf("%w: early exit needs [fastgrnn, head...]", ErrBadSpec)
+	}
+	rnn, ok := model.Layers[0].(*FastGRNN)
+	if !ok {
+		return nil, fmt.Errorf("%w: first layer is %s, want fastgrnn", ErrBadSpec, model.Layers[0].Kind())
+	}
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("%w: threshold %v outside [0,1]", ErrBadSpec, threshold)
+	}
+	s := rnn.SpecV
+	if x.Dims() != 2 || x.Dim(1) != s.T*s.D {
+		return nil, fmt.Errorf("%w: early exit input %v vs spec %+v", ErrShape, x.Shape(), s)
+	}
+	batch := x.Dim(0)
+	results := make([]EarlyExitResult, batch)
+	done := make([]bool, batch)
+	remaining := batch
+
+	zeta := sigmoid32(rnn.ZetaRaw.At(0))
+	nu := sigmoid32(rnn.NuRaw.At(0))
+	wt, err := tensor.Transpose(rnn.W)
+	if err != nil {
+		return nil, err
+	}
+	ut, err := tensor.Transpose(rnn.U)
+	if err != nil {
+		return nil, err
+	}
+	h := tensor.New(batch, s.H)
+	xt := tensor.New(batch, s.D)
+	head := model.Layers[1:]
+	for t := 0; t < s.T && remaining > 0; t++ {
+		for b := 0; b < batch; b++ {
+			copy(xt.Data()[b*s.D:(b+1)*s.D], x.Data()[b*s.T*s.D+t*s.D:b*s.T*s.D+(t+1)*s.D])
+		}
+		wx, err := tensor.MatMul(xt, wt)
+		if err != nil {
+			return nil, err
+		}
+		uh, err := tensor.MatMul(h, ut)
+		if err != nil {
+			return nil, err
+		}
+		hn := tensor.New(batch, s.H)
+		for i := range hn.Data() {
+			pre := wx.Data()[i] + uh.Data()[i]
+			zi := sigmoid32(pre + rnn.Bz.Data()[i%s.H])
+			ci := tanh32(pre + rnn.Bh.Data()[i%s.H])
+			hn.Data()[i] = (zeta*(1-zi)+nu)*ci + zi*h.Data()[i]
+		}
+		h = hn
+
+		// Run the head on the current hidden state.
+		logits := h
+		for _, l := range head {
+			logits, err = l.Forward(logits, false)
+			if err != nil {
+				return nil, fmt.Errorf("early-exit head (%s): %w", l.Kind(), err)
+			}
+		}
+		probs, err := Softmax(logits)
+		if err != nil {
+			return nil, err
+		}
+		classes := probs.Dim(1)
+		for b := 0; b < batch; b++ {
+			if done[b] {
+				continue
+			}
+			row := probs.Data()[b*classes : (b+1)*classes]
+			arg := 0
+			for j, v := range row {
+				if v > row[arg] {
+					arg = j
+				}
+			}
+			conf := float64(row[arg])
+			last := t == s.T-1
+			if conf >= threshold || last {
+				results[b] = EarlyExitResult{Class: arg, Confidence: conf, StepsUsed: t + 1}
+				done[b] = true
+				remaining--
+			}
+		}
+	}
+	return results, nil
+}
+
+// TrainEarlyExitHead retrains the model's classification head on the
+// hidden states of *every* time step (labelled with the sequence label) —
+// the multiple-instance trick of EMI-RNN [42]. Without it the head, having
+// only ever seen h_T, is confidently wrong on early steps and early exit
+// is useless; with it, easy windows resolve in a few steps.
+//
+// minStep skips the first steps (hidden states before any signal can have
+// accumulated); 0 uses every step. Head weights are updated in place.
+func TrainEarlyExitHead(model *Model, data Dataset, minStep, epochs int, lr float32, rng *rand.Rand) error {
+	if len(model.Layers) < 2 {
+		return fmt.Errorf("%w: early exit needs [fastgrnn, head...]", ErrBadSpec)
+	}
+	rnn, ok := model.Layers[0].(*FastGRNN)
+	if !ok {
+		return fmt.Errorf("%w: first layer is %s, want fastgrnn", ErrBadSpec, model.Layers[0].Kind())
+	}
+	s := rnn.SpecV
+	if minStep < 0 || minStep >= s.T {
+		return fmt.Errorf("%w: minStep %d outside [0,%d)", ErrBadSpec, minStep, s.T)
+	}
+	n := data.Samples()
+	if n == 0 {
+		return fmt.Errorf("nn: empty early-exit training set")
+	}
+	// Collect hidden states h_{minStep+1}..h_T for every sample via a
+	// training-mode forward (which caches them).
+	if _, err := rnn.Forward(data.X, true); err != nil {
+		return err
+	}
+	steps := s.T - minStep
+	states := tensor.New(n*steps, s.H)
+	labels := make([]int, 0, n*steps)
+	row := 0
+	for t := minStep + 1; t <= s.T; t++ {
+		h := rnn.cacheH[t]
+		copy(states.Data()[row*n*s.H:(row+1)*n*s.H], h.Data())
+		labels = append(labels, data.Y...)
+		row++
+	}
+	// Train only the head: a view-model sharing the head layer objects.
+	head := &Model{Name: model.Name + "-head", InputShape: []int{s.H}, Layers: model.Layers[1:]}
+	_, _, err := Train(head, Dataset{X: states, Y: labels}, TrainConfig{
+		Epochs: epochs, BatchSize: 64, LR: lr, Momentum: 0.9, Rand: rng,
+	})
+	return err
+}
+
+// MeanStepsUsed summarizes an early-exit batch: the average fraction of
+// the window consumed (the computation-saving metric of EMI-RNN).
+func MeanStepsUsed(results []EarlyExitResult, totalSteps int) float64 {
+	if len(results) == 0 || totalSteps == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range results {
+		sum += float64(r.StepsUsed)
+	}
+	return sum / float64(len(results)) / float64(totalSteps)
+}

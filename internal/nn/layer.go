@@ -1,0 +1,567 @@
+// Package nn implements the neural-network substrate OpenEI runs on: a
+// layer/model abstraction with forward and backward passes, SGD training,
+// loss functions, cost accounting (FLOPs, parameter and activation memory
+// used by the hardware simulator), and a portable binary model format used
+// for cloud→edge model distribution.
+//
+// The paper's "packages" (TensorFlow Lite, CoreML, QNNPACK, …) all reduce
+// to executing a layer graph; this package is the from-scratch substitute
+// for those engines.
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"openei/internal/tensor"
+)
+
+// Errors shared across the package.
+var (
+	// ErrShape indicates an input incompatible with a layer or model.
+	ErrShape = errors.New("nn: shape mismatch")
+	// ErrNoForward is returned by Backward when no forward pass has been run.
+	ErrNoForward = errors.New("nn: Backward called before Forward")
+	// ErrBadSpec indicates an invalid or unknown layer specification.
+	ErrBadSpec = errors.New("nn: invalid layer spec")
+)
+
+// Layer is a differentiable computation node. Implementations cache
+// whatever they need during Forward to compute Backward; a Layer is
+// therefore not safe for concurrent use (sessions in pkgmgr serialize
+// access or clone models).
+type Layer interface {
+	// Kind returns the spec type tag, e.g. "dense" or "conv2d".
+	Kind() string
+	// Forward computes the layer output. train enables training-only
+	// behaviour such as dropout.
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
+	// Backward consumes dL/dout and returns dL/din, accumulating parameter
+	// gradients internally.
+	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	// Params returns the trainable parameter tensors (possibly empty).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors parallel to Params.
+	Grads() []*tensor.Tensor
+	// FLOPs returns the multiply-add dominated cost of one forward pass at
+	// the given batch size.
+	FLOPs(batch int) int64
+	// OutShape maps a per-sample input shape (without batch dim) to the
+	// per-sample output shape.
+	OutShape(in []int) ([]int, error)
+	// Spec returns a serializable description of the layer architecture
+	// (weights are stored separately).
+	Spec() LayerSpec
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func prod(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}
+
+// Dense is a fully connected layer: y = x·Wᵀ + b with W of shape (out, in).
+type Dense struct {
+	In, Out int
+	W, B    *tensor.Tensor
+	GW, GB  *tensor.Tensor
+
+	// Quantized weights, set by pkgmgr when running on a quantized-kernel
+	// package profile; nil means the float path is used.
+	QW *tensor.QTensor
+
+	lastX *tensor.Tensor
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense returns an uninitialized Dense layer; call InitParams (or load
+// weights) before use.
+func NewDense(in, out int) *Dense {
+	return &Dense{
+		In: in, Out: out,
+		W: tensor.New(out, in), B: tensor.New(out),
+		GW: tensor.New(out, in), GB: tensor.New(out),
+	}
+}
+
+// Kind implements Layer.
+func (d *Dense) Kind() string { return "dense" }
+
+// Forward implements Layer. Input is (batch, in).
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Dims() != 2 || x.Dim(1) != d.In {
+		return nil, fmt.Errorf("%w: dense(%d→%d) got input %v", ErrShape, d.In, d.Out, x.Shape())
+	}
+	d.lastX = x
+	if d.QW != nil && !train {
+		// Weight-only int8 path: the stored int8 weights are expanded per
+		// call, reproducing the accuracy effect of quantized kernels while
+		// the hardware model accounts for their speed/memory effect.
+		wt, err := tensor.Transpose(d.QW.Dequantize())
+		if err != nil {
+			return nil, err
+		}
+		y, err := tensor.MatMul(x, wt)
+		if err != nil {
+			return nil, err
+		}
+		if err := tensor.AddBiasRows(y, d.B); err != nil {
+			return nil, err
+		}
+		return y, nil
+	}
+	wt, err := tensor.Transpose(d.W)
+	if err != nil {
+		return nil, err
+	}
+	y, err := tensor.MatMul(x, wt)
+	if err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasRows(y, d.B); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastX == nil {
+		return nil, fmt.Errorf("%w (dense %d→%d)", ErrNoForward, d.In, d.Out)
+	}
+	if grad.Dims() != 2 || grad.Dim(1) != d.Out {
+		return nil, fmt.Errorf("%w: dense backward grad %v", ErrShape, grad.Shape())
+	}
+	// dW += gradᵀ·x ; db += column sums of grad ; dx = grad·W.
+	gt, err := tensor.Transpose(grad)
+	if err != nil {
+		return nil, err
+	}
+	dw, err := tensor.MatMul(gt, d.lastX)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.GW.AddScaled(dw, 1); err != nil {
+		return nil, err
+	}
+	db, err := tensor.SumRows(grad)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.GB.AddScaled(db, 1); err != nil {
+		return nil, err
+	}
+	return tensor.MatMul(grad, d.W)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.GW, d.GB} }
+
+// FLOPs implements Layer.
+func (d *Dense) FLOPs(batch int) int64 { return 2 * int64(batch) * int64(d.In) * int64(d.Out) }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 || in[0] != d.In {
+		return nil, fmt.Errorf("%w: dense(%d→%d) input shape %v", ErrShape, d.In, d.Out, in)
+	}
+	return []int{d.Out}, nil
+}
+
+// Spec implements Layer.
+func (d *Dense) Spec() LayerSpec { return LayerSpec{Type: "dense", In: d.In, Out: d.Out} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Kind implements Layer.
+func (r *ReLU) Kind() string { return "relu" }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	out := x.Clone()
+	if cap(r.mask) < out.Len() {
+		r.mask = make([]bool, out.Len())
+	}
+	r.mask = r.mask[:out.Len()]
+	d := out.Data()
+	for i, v := range d {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.mask == nil {
+		return nil, fmt.Errorf("%w (relu)", ErrNoForward)
+	}
+	if grad.Len() != len(r.mask) {
+		return nil, fmt.Errorf("%w: relu backward grad %v vs mask %d", ErrShape, grad.Shape(), len(r.mask))
+	}
+	out := grad.Clone()
+	d := out.Data()
+	for i := range d {
+		if !r.mask[i] {
+			d[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }
+
+// FLOPs implements Layer: one comparison per element, negligible but
+// accounted for completeness using the mask length of the last run; since
+// FLOPs must be shape-static we return 0 and let the model account
+// activations via OutShape.
+func (r *ReLU) FLOPs(batch int) int64 { return 0 }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Spec implements Layer.
+func (r *ReLU) Spec() LayerSpec { return LayerSpec{Type: "relu"} }
+
+// Flatten reshapes (batch, d1, d2, …) to (batch, d1*d2*…).
+type Flatten struct {
+	lastShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// Kind implements Layer.
+func (f *Flatten) Kind() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Dims() < 2 {
+		return nil, fmt.Errorf("%w: flatten needs batched input, got %v", ErrShape, x.Shape())
+	}
+	f.lastShape = x.Shape()
+	return x.Reshape(x.Dim(0), x.Len()/x.Dim(0))
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.lastShape == nil {
+		return nil, fmt.Errorf("%w (flatten)", ErrNoForward)
+	}
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// FLOPs implements Layer.
+func (f *Flatten) FLOPs(batch int) int64 { return 0 }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) ([]int, error) { return []int{prod(in)}, nil }
+
+// Spec implements Layer.
+func (f *Flatten) Spec() LayerSpec { return LayerSpec{Type: "flatten"} }
+
+// Dropout zeroes a fraction Rate of activations during training and scales
+// the survivors (inverted dropout); it is the identity at inference time.
+type Dropout struct {
+	Rate float64
+	// rng is injected by the model so runs are deterministic.
+	rng  randSource
+	mask []float32
+}
+
+// randSource is the subset of *rand.Rand Dropout needs; declared as an
+// interface so the model can inject a shared deterministic source.
+type randSource interface {
+	Float64() float64
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// NewDropout returns a Dropout layer with the given drop probability.
+func NewDropout(rate float64) *Dropout { return &Dropout{Rate: rate} }
+
+// Kind implements Layer.
+func (d *Dropout) Kind() string { return "dropout" }
+
+// SetRand injects the random source used to draw dropout masks.
+func (d *Dropout) SetRand(r randSource) { d.rng = r }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if !train || d.Rate <= 0 {
+		d.mask = nil
+		return x, nil
+	}
+	if d.rng == nil {
+		return nil, fmt.Errorf("nn: dropout used in training without a random source")
+	}
+	keep := 1 - d.Rate
+	scale := float32(1 / keep)
+	out := x.Clone()
+	if cap(d.mask) < out.Len() {
+		d.mask = make([]float32, out.Len())
+	}
+	d.mask = d.mask[:out.Len()]
+	data := out.Data()
+	for i := range data {
+		if d.rng.Float64() < d.Rate {
+			d.mask[i] = 0
+			data[i] = 0
+		} else {
+			d.mask[i] = scale
+			data[i] *= scale
+		}
+	}
+	return out, nil
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.mask == nil {
+		return grad, nil // inference-mode or rate-0 forward: identity
+	}
+	if grad.Len() != len(d.mask) {
+		return nil, fmt.Errorf("%w: dropout backward grad %v", ErrShape, grad.Shape())
+	}
+	out := grad.Clone()
+	data := out.Data()
+	for i := range data {
+		data[i] *= d.mask[i]
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// FLOPs implements Layer.
+func (d *Dropout) FLOPs(batch int) int64 { return 0 }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Spec implements Layer.
+func (d *Dropout) Spec() LayerSpec { return LayerSpec{Type: "dropout", Rate: d.Rate} }
+
+// BatchNorm applies per-feature normalization with learned scale and shift.
+// For 2-D input it normalizes each column; for 4-D NCHW input it normalizes
+// each channel. It keeps running statistics for inference, as the batch
+// normalization the paper's model families rely on.
+type BatchNorm struct {
+	Features int
+	Gamma    *tensor.Tensor
+	Beta     *tensor.Tensor
+	GGamma   *tensor.Tensor
+	GBeta    *tensor.Tensor
+	RunMean  *tensor.Tensor
+	RunVar   *tensor.Tensor
+	Momentum float32
+	Eps      float32
+
+	lastNorm *tensor.Tensor
+	lastStd  []float32
+	lastDims [2]int // groups per feature: (rows, spatial)
+	lastIn   []int
+}
+
+var _ Layer = (*BatchNorm)(nil)
+
+// NewBatchNorm returns a BatchNorm over the given feature (channel) count.
+func NewBatchNorm(features int) *BatchNorm {
+	bn := &BatchNorm{
+		Features: features,
+		Gamma:    tensor.New(features),
+		Beta:     tensor.New(features),
+		GGamma:   tensor.New(features),
+		GBeta:    tensor.New(features),
+		RunMean:  tensor.New(features),
+		RunVar:   tensor.New(features),
+		Momentum: 0.9,
+		Eps:      1e-5,
+	}
+	bn.Gamma.Fill(1)
+	bn.RunVar.Fill(1)
+	return bn
+}
+
+// Kind implements Layer.
+func (b *BatchNorm) Kind() string { return "batchnorm" }
+
+// layout returns (batch, spatial) grouping for the input.
+func (b *BatchNorm) layout(x *tensor.Tensor) (batch, spatial int, err error) {
+	switch x.Dims() {
+	case 2:
+		if x.Dim(1) != b.Features {
+			return 0, 0, fmt.Errorf("%w: batchnorm(%d) input %v", ErrShape, b.Features, x.Shape())
+		}
+		return x.Dim(0), 1, nil
+	case 4:
+		if x.Dim(1) != b.Features {
+			return 0, 0, fmt.Errorf("%w: batchnorm(%d) input %v", ErrShape, b.Features, x.Shape())
+		}
+		return x.Dim(0), x.Dim(2) * x.Dim(3), nil
+	default:
+		return 0, 0, fmt.Errorf("%w: batchnorm needs 2-D or 4-D input, got %v", ErrShape, x.Shape())
+	}
+}
+
+// index maps (sample, feature, spatial position) to a flat offset.
+func (b *BatchNorm) index(n, f, s, spatial int) int {
+	return (n*b.Features+f)*spatial + s
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	batch, spatial, err := b.layout(x)
+	if err != nil {
+		return nil, err
+	}
+	out := x.Clone()
+	data := out.Data()
+	count := batch * spatial
+	if count == 0 {
+		return out, nil
+	}
+	b.lastDims = [2]int{batch, spatial}
+	b.lastIn = x.Shape()
+	if b.lastStd == nil || len(b.lastStd) != b.Features {
+		b.lastStd = make([]float32, b.Features)
+	}
+	norm := tensor.New(x.Shape()...)
+	for f := 0; f < b.Features; f++ {
+		var mean, variance float32
+		if train {
+			var sum float64
+			for n := 0; n < batch; n++ {
+				for s := 0; s < spatial; s++ {
+					sum += float64(data[b.index(n, f, s, spatial)])
+				}
+			}
+			mean = float32(sum / float64(count))
+			var vs float64
+			for n := 0; n < batch; n++ {
+				for s := 0; s < spatial; s++ {
+					d := data[b.index(n, f, s, spatial)] - mean
+					vs += float64(d) * float64(d)
+				}
+			}
+			variance = float32(vs / float64(count))
+			b.RunMean.Data()[f] = b.Momentum*b.RunMean.Data()[f] + (1-b.Momentum)*mean
+			b.RunVar.Data()[f] = b.Momentum*b.RunVar.Data()[f] + (1-b.Momentum)*variance
+		} else {
+			mean = b.RunMean.Data()[f]
+			variance = b.RunVar.Data()[f]
+		}
+		std := sqrt32(variance + b.Eps)
+		b.lastStd[f] = std
+		g, be := b.Gamma.Data()[f], b.Beta.Data()[f]
+		for n := 0; n < batch; n++ {
+			for s := 0; s < spatial; s++ {
+				i := b.index(n, f, s, spatial)
+				nv := (data[i] - mean) / std
+				norm.Data()[i] = nv
+				data[i] = g*nv + be
+			}
+		}
+	}
+	if train {
+		b.lastNorm = norm
+	} else {
+		b.lastNorm = nil
+	}
+	return out, nil
+}
+
+// Backward implements Layer. It uses the standard batch-norm gradient.
+func (b *BatchNorm) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if b.lastNorm == nil {
+		return nil, fmt.Errorf("%w (batchnorm)", ErrNoForward)
+	}
+	if !shapeEq(grad.Shape(), b.lastIn) {
+		return nil, fmt.Errorf("%w: batchnorm backward grad %v vs input %v", ErrShape, grad.Shape(), b.lastIn)
+	}
+	batch, spatial := b.lastDims[0], b.lastDims[1]
+	count := float32(batch * spatial)
+	out := tensor.New(b.lastIn...)
+	g := grad.Data()
+	norm := b.lastNorm.Data()
+	for f := 0; f < b.Features; f++ {
+		var sumG, sumGN float64
+		for n := 0; n < batch; n++ {
+			for s := 0; s < spatial; s++ {
+				i := b.index(n, f, s, spatial)
+				sumG += float64(g[i])
+				sumGN += float64(g[i]) * float64(norm[i])
+			}
+		}
+		b.GBeta.Data()[f] += float32(sumG)
+		b.GGamma.Data()[f] += float32(sumGN)
+		gamma := b.Gamma.Data()[f]
+		std := b.lastStd[f]
+		for n := 0; n < batch; n++ {
+			for s := 0; s < spatial; s++ {
+				i := b.index(n, f, s, spatial)
+				out.Data()[i] = gamma / std / count *
+					(count*g[i] - float32(sumG) - norm[i]*float32(sumGN))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*tensor.Tensor { return []*tensor.Tensor{b.Gamma, b.Beta} }
+
+// Grads implements Layer.
+func (b *BatchNorm) Grads() []*tensor.Tensor { return []*tensor.Tensor{b.GGamma, b.GBeta} }
+
+// FLOPs implements Layer.
+func (b *BatchNorm) FLOPs(batch int) int64 { return 0 }
+
+// OutShape implements Layer.
+func (b *BatchNorm) OutShape(in []int) ([]int, error) { return append([]int(nil), in...), nil }
+
+// Spec implements Layer.
+func (b *BatchNorm) Spec() LayerSpec { return LayerSpec{Type: "batchnorm", Features: b.Features} }
+
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }

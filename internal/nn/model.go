@@ -1,0 +1,327 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"openei/internal/tensor"
+)
+
+// LayerSpec is a serializable description of one layer's architecture.
+// Exactly one group of fields is meaningful depending on Type.
+type LayerSpec struct {
+	Type     string             `json:"type"`
+	In       int                `json:"in,omitempty"`       // dense
+	Out      int                `json:"out,omitempty"`      // dense
+	Conv     *tensor.Conv2DSpec `json:"conv,omitempty"`     // conv2d, dwconv2d
+	Pool     *tensor.PoolSpec   `json:"pool,omitempty"`     // maxpool
+	Rate     float64            `json:"rate,omitempty"`     // dropout
+	Features int                `json:"features,omitempty"` // batchnorm
+	RNN      *RNNSpec           `json:"rnn,omitempty"`      // fastgrnn
+}
+
+// BuildLayer constructs a layer from its spec with zeroed parameters.
+func BuildLayer(s LayerSpec) (Layer, error) {
+	switch s.Type {
+	case "dense":
+		if s.In <= 0 || s.Out <= 0 {
+			return nil, fmt.Errorf("%w: dense %d→%d", ErrBadSpec, s.In, s.Out)
+		}
+		return NewDense(s.In, s.Out), nil
+	case "conv2d":
+		if s.Conv == nil {
+			return nil, fmt.Errorf("%w: conv2d without conv spec", ErrBadSpec)
+		}
+		if err := s.Conv.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		return NewConv2D(*s.Conv), nil
+	case "dwconv2d":
+		if s.Conv == nil {
+			return nil, fmt.Errorf("%w: dwconv2d without conv spec", ErrBadSpec)
+		}
+		return NewDepthwiseConv2D(*s.Conv), nil
+	case "maxpool":
+		if s.Pool == nil {
+			return nil, fmt.Errorf("%w: maxpool without pool spec", ErrBadSpec)
+		}
+		return NewMaxPool(*s.Pool), nil
+	case "relu":
+		return &ReLU{}, nil
+	case "flatten":
+		return &Flatten{}, nil
+	case "gap":
+		return &GlobalAvgPool{}, nil
+	case "dropout":
+		return NewDropout(s.Rate), nil
+	case "batchnorm":
+		if s.Features <= 0 {
+			return nil, fmt.Errorf("%w: batchnorm features %d", ErrBadSpec, s.Features)
+		}
+		return NewBatchNorm(s.Features), nil
+	case "fastgrnn":
+		if s.RNN == nil {
+			return nil, fmt.Errorf("%w: fastgrnn without rnn spec", ErrBadSpec)
+		}
+		return NewFastGRNN(*s.RNN)
+	default:
+		return nil, fmt.Errorf("%w: unknown layer type %q", ErrBadSpec, s.Type)
+	}
+}
+
+// Model is a sequential stack of layers with a name and a declared
+// per-sample input shape. The final layer is expected to emit class logits;
+// softmax is applied by the loss and by Predict.
+type Model struct {
+	Name       string
+	InputShape []int
+	Layers     []Layer
+}
+
+// NewModel builds a model from layer specs. Parameters are zero; call
+// InitParams or load weights before use.
+func NewModel(name string, inputShape []int, specs []LayerSpec) (*Model, error) {
+	m := &Model{Name: name, InputShape: append([]int(nil), inputShape...)}
+	shape := inputShape
+	for i, s := range specs {
+		l, err := BuildLayer(s)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+		shape, err = l.OutShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d (%s): %w", i, s.Type, err)
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	return m, nil
+}
+
+// MustModel is NewModel that panics on error, for the model zoo's
+// compile-time-known architectures.
+func MustModel(name string, inputShape []int, specs []LayerSpec) *Model {
+	m, err := NewModel(name, inputShape, specs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Specs returns the serializable architecture.
+func (m *Model) Specs() []LayerSpec {
+	specs := make([]LayerSpec, len(m.Layers))
+	for i, l := range m.Layers {
+		specs[i] = l.Spec()
+	}
+	return specs
+}
+
+// OutputShape returns the per-sample output shape.
+func (m *Model) OutputShape() ([]int, error) {
+	shape := m.InputShape
+	var err error
+	for i, l := range m.Layers {
+		shape, err = l.OutShape(shape)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", i, err)
+		}
+	}
+	return shape, nil
+}
+
+// Classes returns the number of output classes (the flattened output size).
+func (m *Model) Classes() int {
+	out, err := m.OutputShape()
+	if err != nil {
+		return 0
+	}
+	return prod(out)
+}
+
+// InitParams initializes every parameter with Glorot/He-style random values
+// drawn from rng.
+func (m *Model) InitParams(rng *rand.Rand) {
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			t.W.GlorotInit(rng, t.In, t.Out)
+			t.B.Zero()
+		case *Conv2D:
+			fanIn := t.SpecV.InC * t.SpecV.KH * t.SpecV.KW
+			t.W.GlorotInit(rng, fanIn, t.SpecV.OutC)
+			t.B.Zero()
+		case *DepthwiseConv2D:
+			t.W.GlorotInit(rng, t.SpecV.KH*t.SpecV.KW, t.SpecV.KH*t.SpecV.KW)
+			t.B.Zero()
+		case *FastGRNN:
+			t.W.GlorotInit(rng, t.SpecV.D, t.SpecV.H)
+			t.U.GlorotInit(rng, t.SpecV.H, t.SpecV.H)
+			t.Bz.Zero()
+			t.Bh.Zero()
+		case *Dropout:
+			t.SetRand(rng)
+		}
+	}
+}
+
+// SetRand wires a random source into the layers that need one (dropout).
+func (m *Model) SetRand(rng *rand.Rand) {
+	for _, l := range m.Layers {
+		if d, ok := l.(*Dropout); ok {
+			d.SetRand(rng)
+		}
+	}
+}
+
+// Forward runs the full stack.
+func (m *Model) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	var err error
+	for i, l := range m.Layers {
+		x, err = l.Forward(x, train)
+		if err != nil {
+			return nil, fmt.Errorf("%s layer %d (%s): %w", m.Name, i, l.Kind(), err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates dL/dlogits through the stack.
+func (m *Model) Backward(grad *tensor.Tensor) error {
+	var err error
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		grad, err = m.Layers[i].Backward(grad)
+		if err != nil {
+			return fmt.Errorf("%s layer %d (%s): %w", m.Name, i, m.Layers[i].Kind(), err)
+		}
+	}
+	return nil
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (m *Model) ZeroGrads() {
+	for _, l := range m.Layers {
+		for _, g := range l.Grads() {
+			g.Zero()
+		}
+	}
+}
+
+// Params returns all trainable parameters in layer order.
+func (m *Model) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradients parallel to Params.
+func (m *Model) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range m.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (m *Model) ParamCount() int64 {
+	var n int64
+	for _, p := range m.Params() {
+		n += int64(p.Len())
+	}
+	return n
+}
+
+// NonZeroParamCount counts parameters that survive pruning.
+func (m *Model) NonZeroParamCount() int64 {
+	var n int64
+	for _, p := range m.Params() {
+		for _, v := range p.Data() {
+			if v != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// FLOPs returns the forward cost at the given batch size.
+func (m *Model) FLOPs(batch int) int64 {
+	var n int64
+	for _, l := range m.Layers {
+		n += l.FLOPs(batch)
+	}
+	return n
+}
+
+// ActivationBytes estimates the peak activation memory (bytes, float32) for
+// one sample: the two largest consecutive activation shapes.
+func (m *Model) ActivationBytes() int64 {
+	shape := m.InputShape
+	best1, best2 := int64(prod(shape)), int64(0)
+	for _, l := range m.Layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			break
+		}
+		n := int64(prod(out))
+		if n > best1 {
+			best1, best2 = n, best1
+		} else if n > best2 {
+			best2 = n
+		}
+		shape = out
+	}
+	return 4 * (best1 + best2)
+}
+
+// WeightBytes returns the parameter storage (float32) in bytes.
+func (m *Model) WeightBytes() int64 { return 4 * m.ParamCount() }
+
+// Predict returns the argmax class for each row of the batched input.
+func (m *Model) Predict(x *tensor.Tensor) ([]int, error) {
+	logits, err := m.Forward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	if logits.Dims() != 2 {
+		return nil, fmt.Errorf("%w: predict expects 2-D logits, got %v", ErrShape, logits.Shape())
+	}
+	batch, classes := logits.Dim(0), logits.Dim(1)
+	out := make([]int, batch)
+	for b := 0; b < batch; b++ {
+		row := logits.Data()[b*classes : (b+1)*classes]
+		arg := 0
+		for j, v := range row {
+			if v > row[arg] {
+				arg = j
+			}
+		}
+		out[b] = arg
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy of the model (architecture and weights). The
+// clone has fresh gradient buffers and no cached activations, so it can be
+// used concurrently with the original.
+func (m *Model) Clone() (*Model, error) {
+	c, err := NewModel(m.Name, m.InputShape, m.Specs())
+	if err != nil {
+		return nil, err
+	}
+	src, dst := m.Params(), c.Params()
+	for i := range src {
+		copy(dst[i].Data(), src[i].Data())
+	}
+	// Copy batch-norm running stats, which are not in Params.
+	for i := range m.Layers {
+		if sbn, ok := m.Layers[i].(*BatchNorm); ok {
+			dbn := c.Layers[i].(*BatchNorm)
+			copy(dbn.RunMean.Data(), sbn.RunMean.Data())
+			copy(dbn.RunVar.Data(), sbn.RunVar.Data())
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,664 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"openei/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dparam[i] by central differences.
+func numericalGrad(t *testing.T, m *Model, x *tensor.Tensor, labels []int, p *tensor.Tensor, i int) float64 {
+	t.Helper()
+	const eps = 1e-3
+	orig := p.Data()[i]
+	p.Data()[i] = orig + eps
+	lp, _, err := lossOf(m, x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data()[i] = orig - eps
+	lm, _, err := lossOf(m, x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Data()[i] = orig
+	return (lp - lm) / (2 * eps)
+}
+
+func lossOf(m *Model, x *tensor.Tensor, labels []int) (float64, *tensor.Tensor, error) {
+	logits, err := m.Forward(x, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	return CrossEntropy(logits, labels)
+}
+
+func checkGradients(t *testing.T, m *Model, x *tensor.Tensor, labels []int, tol float64) {
+	t.Helper()
+	m.ZeroGrads()
+	logits, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, grad, err := CrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	params, grads := m.Params(), m.Grads()
+	rng := rand.New(rand.NewSource(99))
+	for pi, p := range params {
+		// Spot-check a few random entries per parameter tensor.
+		checks := 4
+		if p.Len() < checks {
+			checks = p.Len()
+		}
+		for c := 0; c < checks; c++ {
+			i := rng.Intn(p.Len())
+			want := numericalGrad(t, m, x, labels, p, i)
+			got := float64(grads[pi].Data()[i])
+			if math.Abs(want-got) > tol*(1+math.Abs(want)) {
+				t.Errorf("param %d elem %d: analytic grad %v vs numeric %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestDenseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := MustModel("mlp", []int{6}, []LayerSpec{
+		{Type: "dense", In: 6, Out: 5},
+		{Type: "relu"},
+		{Type: "dense", In: 5, Out: 3},
+	})
+	m.InitParams(rng)
+	x := tensor.New(4, 6)
+	x.Rand(rng, 1)
+	checkGradients(t, m, x, []int{0, 1, 2, 1}, 2e-2)
+}
+
+func TestConvGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	conv := tensor.Conv2DSpec{InC: 1, InH: 6, InW: 6, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	pool := tensor.PoolSpec{C: 2, H: 6, W: 6, K: 2, Stride: 2}
+	m := MustModel("cnn", []int{1, 6, 6}, []LayerSpec{
+		{Type: "conv2d", Conv: &conv},
+		{Type: "relu"},
+		{Type: "maxpool", Pool: &pool},
+		{Type: "flatten"},
+		{Type: "dense", In: 2 * 3 * 3, Out: 3},
+	})
+	m.InitParams(rng)
+	x := tensor.New(2, 1, 6, 6)
+	x.Rand(rng, 1)
+	checkGradients(t, m, x, []int{0, 2}, 3e-2)
+}
+
+func TestDepthwiseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dw := tensor.Conv2DSpec{InC: 2, InH: 5, InW: 5, OutC: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	m := MustModel("dw", []int{2, 5, 5}, []LayerSpec{
+		{Type: "dwconv2d", Conv: &dw},
+		{Type: "relu"},
+		{Type: "gap"},
+		{Type: "dense", In: 2, Out: 2},
+	})
+	m.InitParams(rng)
+	x := tensor.New(2, 2, 5, 5)
+	x.Rand(rng, 1)
+	checkGradients(t, m, x, []int{1, 0}, 3e-2)
+}
+
+func TestBatchNormGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := MustModel("bn", []int{4}, []LayerSpec{
+		{Type: "dense", In: 4, Out: 6},
+		{Type: "batchnorm", Features: 6},
+		{Type: "relu"},
+		{Type: "dense", In: 6, Out: 3},
+	})
+	m.InitParams(rng)
+	x := tensor.New(5, 4)
+	x.Rand(rng, 1)
+
+	// BatchNorm in training mode recomputes batch statistics per forward,
+	// so the numeric check must run in train mode too (dropout absent).
+	m.ZeroGrads()
+	logits, err := m.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []int{0, 1, 2, 0, 1}
+	_, grad, err := CrossEntropy(logits, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	params, grads := m.Params(), m.Grads()
+	const eps = 1e-2
+	for pi, p := range params {
+		for _, i := range []int{0, p.Len() / 2} {
+			orig := p.Data()[i]
+			p.Data()[i] = orig + eps
+			lg, _ := m.Forward(x, true)
+			lp, _, _ := CrossEntropy(lg, labels)
+			p.Data()[i] = orig - eps
+			lg, _ = m.Forward(x, true)
+			lm, _, _ := CrossEntropy(lg, labels)
+			p.Data()[i] = orig
+			want := (lp - lm) / (2 * eps)
+			got := float64(grads[pi].Data()[i])
+			if math.Abs(want-got) > 5e-2*(1+math.Abs(want)) {
+				t.Errorf("param %d elem %d: analytic %v vs numeric %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	logits := tensor.New(7, 9)
+	logits.Rand(rng, 5)
+	p, err := Softmax(logits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 7; b++ {
+		var s float64
+		for j := 0; j < 9; j++ {
+			v := p.At(b, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v outside [0,1]", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("softmax row %d sums to %v", b, s)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	logits := tensor.MustFrom([]float32{1000, 1001, 999}, 1, 3)
+	p, err := Softmax(logits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range p.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("softmax produced %v on large logits", v)
+		}
+	}
+}
+
+func TestSoftmaxTFlattensDistribution(t *testing.T) {
+	logits := tensor.MustFrom([]float32{2, 0, -2}, 1, 3)
+	p1, err := SoftmaxT(logits, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5, err := SoftmaxT(logits, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher temperature must reduce the top probability.
+	if p5.At(0, 0) >= p1.At(0, 0) {
+		t.Errorf("T=5 top prob %v not flatter than T=1 %v", p5.At(0, 0), p1.At(0, 0))
+	}
+	if _, err := SoftmaxT(logits, 0); err == nil {
+		t.Error("SoftmaxT(0) should fail")
+	}
+}
+
+func TestCrossEntropyKnownValue(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := tensor.New(2, 4)
+	loss, grad, err := CrossEntropy(logits, []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(4)) > 1e-6 {
+		t.Errorf("uniform CE loss = %v, want ln4 = %v", loss, math.Log(4))
+	}
+	// Gradient rows sum to zero (softmax minus one-hot).
+	for b := 0; b < 2; b++ {
+		var s float64
+		for j := 0; j < 4; j++ {
+			s += float64(grad.At(b, j))
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Errorf("grad row %d sums to %v, want 0", b, s)
+		}
+	}
+}
+
+func TestCrossEntropyBadLabels(t *testing.T) {
+	logits := tensor.New(1, 3)
+	if _, _, err := CrossEntropy(logits, []int{7}); !errors.Is(err, ErrShape) {
+		t.Errorf("out-of-range label: err = %v, want ErrShape", err)
+	}
+	if _, _, err := CrossEntropy(logits, []int{0, 1}); !errors.Is(err, ErrShape) {
+		t.Errorf("label count mismatch: err = %v, want ErrShape", err)
+	}
+}
+
+func TestTrainLearnsLinearlySeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Two Gaussian blobs in 2-D.
+	n := 200
+	x := tensor.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		cx := float32(-1)
+		if cls == 1 {
+			cx = 1
+		}
+		x.Set(cx+float32(rng.NormFloat64())*0.4, i, 0)
+		x.Set(cx+float32(rng.NormFloat64())*0.4, i, 1)
+		y[i] = cls
+	}
+	m := MustModel("blobs", []int{2}, []LayerSpec{
+		{Type: "dense", In: 2, Out: 8},
+		{Type: "relu"},
+		{Type: "dense", In: 8, Out: 2},
+	})
+	m.InitParams(rng)
+	_, _, err := Train(m, Dataset{X: x, Y: y}, TrainConfig{Epochs: 20, BatchSize: 16, LR: 0.1, Momentum: 0.9, Rand: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("accuracy after training = %v, want ≥ 0.95", acc)
+	}
+}
+
+func TestTrainRequiresRand(t *testing.T) {
+	m := MustModel("m", []int{2}, []LayerSpec{{Type: "dense", In: 2, Out: 2}})
+	if _, _, err := Train(m, Dataset{X: tensor.New(1, 2), Y: []int{0}}, TrainConfig{}); err == nil {
+		t.Error("Train without Rand should fail")
+	}
+}
+
+func TestTrainFrozenMaskKeepsWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := MustModel("m", []int{3}, []LayerSpec{
+		{Type: "dense", In: 3, Out: 4},
+		{Type: "relu"},
+		{Type: "dense", In: 4, Out: 2},
+	})
+	m.InitParams(rng)
+	frozen := FreezeAllButHead(m, 1)
+	// The first dense layer (params 0 and 1) must be frozen.
+	if !frozen[0] || !frozen[1] {
+		t.Fatalf("FreezeAllButHead mask = %v, want first dense frozen", frozen)
+	}
+	if frozen[2] || frozen[3] {
+		t.Fatalf("FreezeAllButHead mask = %v, want head unfrozen", frozen)
+	}
+	before := m.Params()[0].Clone()
+	x := tensor.New(10, 3)
+	x.Rand(rng, 1)
+	y := make([]int, 10)
+	for i := range y {
+		y[i] = i % 2
+	}
+	if _, _, err := Train(m, Dataset{X: x, Y: y}, TrainConfig{Epochs: 3, BatchSize: 5, LR: 0.1, FrozenMask: frozen, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(before, m.Params()[0], 0) {
+		t.Error("frozen parameters changed during training")
+	}
+}
+
+func TestDatasetSliceAndGather(t *testing.T) {
+	x := tensor.MustFrom([]float32{1, 2, 3, 4, 5, 6}, 3, 2)
+	d := Dataset{X: x, Y: []int{7, 8, 9}}
+	s, err := d.Slice(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Samples() != 2 || s.Y[0] != 8 || s.X.At(0, 0) != 3 {
+		t.Errorf("Slice = %+v", s)
+	}
+	g, err := d.Gather([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Y[0] != 9 || g.Y[1] != 7 || g.X.At(1, 1) != 2 {
+		t.Errorf("Gather = %+v", g)
+	}
+	if _, err := d.Slice(2, 1); !errors.Is(err, ErrShape) {
+		t.Errorf("bad slice: err = %v, want ErrShape", err)
+	}
+	if _, err := d.Gather([]int{5}); !errors.Is(err, ErrShape) {
+		t.Errorf("bad gather: err = %v, want ErrShape", err)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	conv := tensor.Conv2DSpec{InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	pool := tensor.PoolSpec{C: 4, H: 8, W: 8, K: 2, Stride: 2}
+	m := MustModel("roundtrip", []int{1, 8, 8}, []LayerSpec{
+		{Type: "conv2d", Conv: &conv},
+		{Type: "batchnorm", Features: 4},
+		{Type: "relu"},
+		{Type: "maxpool", Pool: &pool},
+		{Type: "flatten"},
+		{Type: "dense", In: 4 * 4 * 4, Out: 5},
+	})
+	m.InitParams(rng)
+	// Touch the batchnorm running stats by a forward pass in train mode.
+	x := tensor.New(3, 1, 8, 8)
+	x.Rand(rng, 1)
+	if _, err := m.Forward(x, true); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != m.Name || m2.ParamCount() != m.ParamCount() {
+		t.Fatalf("decoded model %q with %d params, want %q/%d", m2.Name, m2.ParamCount(), m.Name, m.ParamCount())
+	}
+	y1, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := m2.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(y1, y2, 1e-6) {
+		t.Error("decoded model produces different outputs")
+	}
+}
+
+func TestDecodeModelCorrupt(t *testing.T) {
+	if _, err := DecodeModel([]byte("XXXX")); !errors.Is(err, ErrBadModel) {
+		t.Errorf("bad magic: err = %v, want ErrBadModel", err)
+	}
+	m := MustModel("m", []int{2}, []LayerSpec{{Type: "dense", In: 2, Out: 2}})
+	data, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeModel(data[:len(data)-3]); !errors.Is(err, ErrBadModel) {
+		t.Errorf("truncated: err = %v, want ErrBadModel", err)
+	}
+	var junk bytes.Buffer
+	junk.WriteString("OEIM")
+	junk.Write([]byte{255, 255, 255, 255})
+	if _, err := DecodeModel(junk.Bytes()); !errors.Is(err, ErrBadModel) {
+		t.Errorf("huge header: err = %v, want ErrBadModel", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := MustModel("m", []int{3}, []LayerSpec{
+		{Type: "dense", In: 3, Out: 3},
+	})
+	m.InitParams(rng)
+	c, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Params()[0].Fill(0)
+	if m.Params()[0].AbsMax() == 0 {
+		t.Error("mutating the clone changed the original")
+	}
+}
+
+func TestModelFLOPsAndMemory(t *testing.T) {
+	conv := tensor.Conv2DSpec{InC: 3, InH: 16, InW: 16, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	m := MustModel("cost", []int{3, 16, 16}, []LayerSpec{
+		{Type: "conv2d", Conv: &conv},
+		{Type: "relu"},
+		{Type: "flatten"},
+		{Type: "dense", In: 8 * 16 * 16, Out: 10},
+	})
+	wantConv := int64(2 * 8 * 16 * 16 * 3 * 3 * 3)
+	wantDense := int64(2 * 8 * 16 * 16 * 10)
+	if got := m.FLOPs(1); got != wantConv+wantDense {
+		t.Errorf("FLOPs(1) = %d, want %d", got, wantConv+wantDense)
+	}
+	if got := m.FLOPs(2); got != 2*(wantConv+wantDense) {
+		t.Errorf("FLOPs(2) = %d, want %d", got, 2*(wantConv+wantDense))
+	}
+	if m.WeightBytes() != 4*m.ParamCount() {
+		t.Error("WeightBytes must be 4 bytes per param")
+	}
+	if m.ActivationBytes() <= 0 {
+		t.Error("ActivationBytes must be positive")
+	}
+}
+
+func TestDistillLossGradientDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	student := MustModel("student", []int{4}, []LayerSpec{
+		{Type: "dense", In: 4, Out: 3},
+	})
+	student.InitParams(rng)
+	x := tensor.New(6, 4)
+	x.Rand(rng, 1)
+	labels := []int{0, 1, 2, 0, 1, 2}
+	teacherProbs := tensor.New(6, 3)
+	for i := range labels {
+		for j := 0; j < 3; j++ {
+			if j == labels[i] {
+				teacherProbs.Set(0.8, i, j)
+			} else {
+				teacherProbs.Set(0.1, i, j)
+			}
+		}
+	}
+	logits, err := student.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, grad, err := DistillLoss(logits, teacherProbs, labels, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One SGD step along -grad through the network must reduce the loss.
+	student.ZeroGrads()
+	if err := student.Backward(grad); err != nil {
+		t.Fatal(err)
+	}
+	opt := NewSGD(0.1, 0, 0)
+	if err := opt.Step(student.Params(), student.Grads()); err != nil {
+		t.Fatal(err)
+	}
+	logits2, err := student.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := DistillLoss(logits2, teacherProbs, labels, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l1 {
+		t.Errorf("distill loss did not decrease: %v -> %v", l1, l2)
+	}
+}
+
+func TestDistillTrainImprovesStudent(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 120
+	x := tensor.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		cx := float32(-1)
+		if cls == 1 {
+			cx = 1
+		}
+		x.Set(cx+float32(rng.NormFloat64())*0.3, i, 0)
+		x.Set(float32(rng.NormFloat64())*0.3, i, 1)
+		y[i] = cls
+	}
+	data := Dataset{X: x, Y: y}
+	teacher := MustModel("teacher", []int{2}, []LayerSpec{
+		{Type: "dense", In: 2, Out: 16},
+		{Type: "relu"},
+		{Type: "dense", In: 16, Out: 2},
+	})
+	teacher.InitParams(rng)
+	if _, _, err := Train(teacher, data, TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	student := MustModel("student", []int{2}, []LayerSpec{
+		{Type: "dense", In: 2, Out: 2},
+	})
+	student.InitParams(rng)
+	if _, err := DistillTrain(student, teacher, data, 3, 0.3, TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := Accuracy(student, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("distilled student accuracy = %v, want ≥ 0.9", acc)
+	}
+}
+
+func TestTopConfidence(t *testing.T) {
+	m := MustModel("m", []int{2}, []LayerSpec{{Type: "dense", In: 2, Out: 2}})
+	d := m.Layers[0].(*Dense)
+	// Make class 1 always win with a large margin.
+	d.W.Set(5, 1, 0)
+	x := tensor.MustFrom([]float32{1, 0}, 1, 2)
+	cls, conf, err := TopConfidence(m, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls[0] != 1 {
+		t.Errorf("class = %d, want 1", cls[0])
+	}
+	if conf[0] < 0.9 {
+		t.Errorf("confidence = %v, want > 0.9", conf[0])
+	}
+}
+
+func TestBuildLayerErrors(t *testing.T) {
+	bad := []LayerSpec{
+		{Type: "nope"},
+		{Type: "dense", In: 0, Out: 3},
+		{Type: "conv2d"},
+		{Type: "maxpool"},
+		{Type: "batchnorm"},
+		{Type: "conv2d", Conv: &tensor.Conv2DSpec{}},
+	}
+	for _, s := range bad {
+		if _, err := BuildLayer(s); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("BuildLayer(%+v): err = %v, want ErrBadSpec", s, err)
+		}
+	}
+}
+
+func TestBackwardBeforeForwardFails(t *testing.T) {
+	layers := []Layer{
+		NewDense(2, 2),
+		&ReLU{},
+		&Flatten{},
+		NewConv2D(tensor.Conv2DSpec{InC: 1, InH: 2, InW: 2, OutC: 1, KH: 1, KW: 1, Stride: 1}),
+		NewMaxPool(tensor.PoolSpec{C: 1, H: 2, W: 2, K: 2, Stride: 2}),
+		&GlobalAvgPool{},
+	}
+	g := tensor.New(1, 2)
+	for _, l := range layers {
+		if _, err := l.Backward(g); !errors.Is(err, ErrNoForward) {
+			t.Errorf("%s: Backward before Forward: err = %v, want ErrNoForward", l.Kind(), err)
+		}
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := NewDropout(0.5)
+	d.SetRand(rng)
+	x := tensor.New(1, 1000)
+	x.Fill(1)
+	out, err := d.Forward(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := 0
+	for _, v := range out.Data() {
+		if v == 0 {
+			zeros++
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Errorf("dropout 0.5 zeroed %d of 1000, want ≈500", zeros)
+	}
+	// Inference mode is identity.
+	out2, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(out2, x, 0) {
+		t.Error("dropout at inference must be the identity")
+	}
+	// Mean is approximately preserved in training mode (inverted dropout).
+	if mean := out.Sum() / 1000; mean < 0.8 || mean > 1.2 {
+		t.Errorf("inverted dropout mean = %v, want ≈1", mean)
+	}
+}
+
+func TestDenseQuantizedPathCloseToFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := NewDense(32, 16)
+	d.W.GlorotInit(rng, 32, 16)
+	x := tensor.New(4, 32)
+	x.Rand(rng, 1)
+	y1, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.QW = tensor.Quantize(d.W)
+	y2, err := d.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(y1, y2, 0.1) {
+		t.Error("quantized dense path deviates too much from float path")
+	}
+}
+
+func TestModelOutputShapeAndClasses(t *testing.T) {
+	m := MustModel("m", []int{1, 4, 4}, []LayerSpec{
+		{Type: "flatten"},
+		{Type: "dense", In: 16, Out: 7},
+	})
+	out, err := m.OutputShape()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 7 {
+		t.Errorf("OutputShape = %v, want [7]", out)
+	}
+	if m.Classes() != 7 {
+		t.Errorf("Classes = %d, want 7", m.Classes())
+	}
+}

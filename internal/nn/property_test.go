@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"openei/internal/tensor"
+)
+
+// randomArch builds a random small dense/relu architecture with a fixed
+// 8-wide input and 3-class head.
+func randomArch(rng *rand.Rand) *Model {
+	var specs []LayerSpec
+	in := 8
+	depth := 1 + rng.Intn(3)
+	for i := 0; i < depth; i++ {
+		out := 4 + rng.Intn(12)
+		specs = append(specs, LayerSpec{Type: "dense", In: in, Out: out})
+		if rng.Intn(2) == 0 {
+			specs = append(specs, LayerSpec{Type: "relu"})
+		}
+		in = out
+	}
+	specs = append(specs, LayerSpec{Type: "dense", In: in, Out: 3})
+	m := MustModel("prop", []int{8}, specs)
+	m.InitParams(rng)
+	return m
+}
+
+// Property: EncodeModel/DecodeModel round-trips any random architecture
+// bit-exactly — same params, and identical forward outputs.
+func TestModelSerializationRoundTripProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomArch(rng)
+		blob, err := EncodeModel(m)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeModel(blob)
+		if err != nil {
+			return false
+		}
+		if back.ParamCount() != m.ParamCount() {
+			return false
+		}
+		x := tensor.New(2, 8)
+		x.Rand(rng, 1)
+		y1, err := m.Forward(x, false)
+		if err != nil {
+			return false
+		}
+		y2, err := back.Forward(x, false)
+		if err != nil {
+			return false
+		}
+		for i, v := range y1.Data() {
+			if math.Float32bits(v) != math.Float32bits(y2.Data()[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Clone produces an independent copy — mutating the clone's
+// parameters never changes the original's outputs.
+func TestModelCloneIndependenceProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomArch(rng)
+		x := tensor.New(1, 8)
+		x.Rand(rng, 1)
+		before, err := m.Forward(x, false)
+		if err != nil {
+			return false
+		}
+		want := append([]float32(nil), before.Data()...)
+
+		clone, err := m.Clone()
+		if err != nil {
+			return false
+		}
+		for _, l := range clone.Layers {
+			for _, p := range l.Params() {
+				p.Fill(42)
+			}
+		}
+		after, err := m.Forward(x, false)
+		if err != nil {
+			return false
+		}
+		for i, v := range after.Data() {
+			if math.Float32bits(v) != math.Float32bits(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"openei/internal/tensor"
+)
+
+// RNNSpec describes a FastGRNN layer: T time steps of D features reduced
+// to a final hidden state of H units.
+type RNNSpec struct {
+	T int `json:"t"` // time steps
+	D int `json:"d"` // features per step
+	H int `json:"h"` // hidden units
+}
+
+// FastGRNN implements the kilobyte-scale gated RNN of Kusupati et al. [43]
+// (§IV.A.2 of the paper), chosen over an LSTM because its single shared
+// (W, U) pair is what makes it "fast, accurate, stable and tiny":
+//
+//	z_t = σ(W·x_t + U·h_{t−1} + b_z)
+//	h̃_t = tanh(W·x_t + U·h_{t−1} + b_h)
+//	h_t = (ζ·(1−z_t) + ν) ⊙ h̃_t + z_t ⊙ h_{t−1}
+//
+// with ζ = σ(zetaRaw), ν = σ(nuRaw) trainable scalars. Input is a
+// time-major flattened sequence (batch, T*D); output is h_T (batch, H).
+// Backward runs full backpropagation through time.
+type FastGRNN struct {
+	SpecV RNNSpec
+
+	W  *tensor.Tensor // (H, D)
+	U  *tensor.Tensor // (H, H)
+	Bz *tensor.Tensor // (H)
+	Bh *tensor.Tensor // (H)
+	// ZetaRaw and NuRaw are pre-sigmoid scalars, stored as 1-element
+	// tensors so they ride through Params/Grads/serialization.
+	ZetaRaw *tensor.Tensor
+	NuRaw   *tensor.Tensor
+
+	GW, GU, GBz, GBh, GZetaRaw, GNuRaw *tensor.Tensor
+
+	// BPTT caches (per forward pass in training mode).
+	lastX  *tensor.Tensor
+	cacheH []*tensor.Tensor // h_0..h_T (h_0 = zeros)
+	cacheZ []*tensor.Tensor // z_1..z_T
+	cacheC []*tensor.Tensor // h̃_1..h̃_T
+}
+
+var _ Layer = (*FastGRNN)(nil)
+
+// NewFastGRNN returns an uninitialized FastGRNN layer.
+func NewFastGRNN(s RNNSpec) (*FastGRNN, error) {
+	if s.T <= 0 || s.D <= 0 || s.H <= 0 {
+		return nil, fmt.Errorf("%w: fastgrnn spec %+v", ErrBadSpec, s)
+	}
+	r := &FastGRNN{
+		SpecV: s,
+		W:     tensor.New(s.H, s.D), U: tensor.New(s.H, s.H),
+		Bz: tensor.New(s.H), Bh: tensor.New(s.H),
+		ZetaRaw: tensor.New(1), NuRaw: tensor.New(1),
+		GW: tensor.New(s.H, s.D), GU: tensor.New(s.H, s.H),
+		GBz: tensor.New(s.H), GBh: tensor.New(s.H),
+		GZetaRaw: tensor.New(1), GNuRaw: tensor.New(1),
+	}
+	// FastGRNN's recommended init: ζ≈1, ν≈~0 (σ(4)≈0.98, σ(−4)≈0.018).
+	r.ZetaRaw.Set(4, 0)
+	r.NuRaw.Set(-4, 0)
+	return r, nil
+}
+
+// Kind implements Layer.
+func (r *FastGRNN) Kind() string { return "fastgrnn" }
+
+func sigmoid32(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+func tanh32(x float32) float32 {
+	return float32(math.Tanh(float64(x)))
+}
+
+// Forward implements Layer. Input (batch, T*D), time-major: features of
+// step t occupy columns [t*D, (t+1)*D).
+func (r *FastGRNN) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	s := r.SpecV
+	if x.Dims() != 2 || x.Dim(1) != s.T*s.D {
+		return nil, fmt.Errorf("%w: fastgrnn %+v got input %v", ErrShape, s, x.Shape())
+	}
+	batch := x.Dim(0)
+	zeta := sigmoid32(r.ZetaRaw.At(0))
+	nu := sigmoid32(r.NuRaw.At(0))
+
+	h := tensor.New(batch, s.H)
+	r.cacheH = []*tensor.Tensor{h.Clone()}
+	r.cacheZ = r.cacheZ[:0]
+	r.cacheC = r.cacheC[:0]
+	r.lastX = x
+
+	wt, err := tensor.Transpose(r.W)
+	if err != nil {
+		return nil, err
+	}
+	ut, err := tensor.Transpose(r.U)
+	if err != nil {
+		return nil, err
+	}
+	xt := tensor.New(batch, s.D)
+	for t := 0; t < s.T; t++ {
+		// Gather step t (strided copy per row).
+		for b := 0; b < batch; b++ {
+			copy(xt.Data()[b*s.D:(b+1)*s.D], x.Data()[b*s.T*s.D+t*s.D:b*s.T*s.D+(t+1)*s.D])
+		}
+		wx, err := tensor.MatMul(xt, wt) // (batch, H)
+		if err != nil {
+			return nil, err
+		}
+		uh, err := tensor.MatMul(h, ut) // (batch, H)
+		if err != nil {
+			return nil, err
+		}
+		z := tensor.New(batch, s.H)
+		c := tensor.New(batch, s.H)
+		hn := tensor.New(batch, s.H)
+		for i := range z.Data() {
+			pre := wx.Data()[i] + uh.Data()[i]
+			zi := sigmoid32(pre + r.Bz.Data()[i%s.H])
+			ci := tanh32(pre + r.Bh.Data()[i%s.H])
+			z.Data()[i] = zi
+			c.Data()[i] = ci
+			hn.Data()[i] = (zeta*(1-zi)+nu)*ci + zi*h.Data()[i]
+		}
+		h = hn
+		if train {
+			r.cacheZ = append(r.cacheZ, z)
+			r.cacheC = append(r.cacheC, c)
+			r.cacheH = append(r.cacheH, h.Clone())
+		}
+	}
+	if !train {
+		r.cacheH = nil
+		r.cacheZ = nil
+		r.cacheC = nil
+	}
+	return h, nil
+}
+
+// Backward implements Layer with full BPTT. It requires a training-mode
+// Forward (caches present).
+func (r *FastGRNN) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if r.lastX == nil || len(r.cacheZ) == 0 {
+		return nil, fmt.Errorf("%w (fastgrnn; Backward needs a training-mode Forward)", ErrNoForward)
+	}
+	s := r.SpecV
+	batch := r.lastX.Dim(0)
+	if grad.Dims() != 2 || grad.Dim(0) != batch || grad.Dim(1) != s.H {
+		return nil, fmt.Errorf("%w: fastgrnn backward grad %v", ErrShape, grad.Shape())
+	}
+	zeta := sigmoid32(r.ZetaRaw.At(0))
+	nu := sigmoid32(r.NuRaw.At(0))
+	dZetaRaw, dNuRaw := 0.0, 0.0
+
+	dh := grad.Clone() // dL/dh_t, walked backwards
+	dx := tensor.New(batch, s.T*s.D)
+	xt := tensor.New(batch, s.D)
+	for t := s.T - 1; t >= 0; t-- {
+		z := r.cacheZ[t]
+		c := r.cacheC[t]
+		hPrev := r.cacheH[t]
+		for b := 0; b < batch; b++ {
+			copy(xt.Data()[b*s.D:(b+1)*s.D], r.lastX.Data()[b*s.T*s.D+t*s.D:b*s.T*s.D+(t+1)*s.D])
+		}
+		// Per-element gate gradients.
+		dPre := tensor.New(batch, s.H) // dL/d(pre-activation shared term) via both branches
+		dhPrev := tensor.New(batch, s.H)
+		for i := range dh.Data() {
+			zi, ci, hp, g := z.Data()[i], c.Data()[i], hPrev.Data()[i], dh.Data()[i]
+			gateScale := zeta*(1-zi) + nu
+			// dL/dc, dL/dz, dL/dh_{t-1} (direct term).
+			dc := g * gateScale
+			dz := g * (-zeta*ci + hp)
+			dhPrev.Data()[i] = g * zi
+			// dζ, dν through the gate scale.
+			dZetaRaw += float64(g*ci*(1-zi)) * float64(zeta*(1-zeta))
+			dNuRaw += float64(g*ci) * float64(nu*(1-nu))
+			// Through the nonlinearities to the shared pre-activation.
+			dPreC := dc * (1 - ci*ci)
+			dPreZ := dz * zi * (1 - zi)
+			dPre.Data()[i] = dPreC + dPreZ
+			// Bias gradients (separate per branch).
+			r.GBh.Data()[i%s.H] += dPreC
+			r.GBz.Data()[i%s.H] += dPreZ
+		}
+		// dW += dPreᵀ·x_t ; dU += dPreᵀ·h_{t−1} ; propagate to x and h.
+		dPreT, err := tensor.Transpose(dPre)
+		if err != nil {
+			return nil, err
+		}
+		dW, err := tensor.MatMul(dPreT, xt)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.GW.AddScaled(dW, 1); err != nil {
+			return nil, err
+		}
+		dU, err := tensor.MatMul(dPreT, hPrev)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.GU.AddScaled(dU, 1); err != nil {
+			return nil, err
+		}
+		dxT, err := tensor.MatMul(dPre, r.W) // (batch, D)
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < batch; b++ {
+			copy(dx.Data()[b*s.T*s.D+t*s.D:b*s.T*s.D+(t+1)*s.D], dxT.Data()[b*s.D:(b+1)*s.D])
+		}
+		dhU, err := tensor.MatMul(dPre, r.U) // recurrent path into h_{t−1}
+		if err != nil {
+			return nil, err
+		}
+		if err := dhPrev.AddScaled(dhU, 1); err != nil {
+			return nil, err
+		}
+		dh = dhPrev
+	}
+	r.GZetaRaw.Data()[0] += float32(dZetaRaw)
+	r.GNuRaw.Data()[0] += float32(dNuRaw)
+	return dx, nil
+}
+
+// Params implements Layer.
+func (r *FastGRNN) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{r.W, r.U, r.Bz, r.Bh, r.ZetaRaw, r.NuRaw}
+}
+
+// Grads implements Layer.
+func (r *FastGRNN) Grads() []*tensor.Tensor {
+	return []*tensor.Tensor{r.GW, r.GU, r.GBz, r.GBh, r.GZetaRaw, r.GNuRaw}
+}
+
+// FLOPs implements Layer: per step, two matmuls against shared weights.
+func (r *FastGRNN) FLOPs(batch int) int64 {
+	s := r.SpecV
+	perStep := 2*int64(s.H)*int64(s.D) + 2*int64(s.H)*int64(s.H)
+	return int64(batch) * int64(s.T) * perStep
+}
+
+// OutShape implements Layer.
+func (r *FastGRNN) OutShape(in []int) ([]int, error) {
+	s := r.SpecV
+	if len(in) != 1 || in[0] != s.T*s.D {
+		return nil, fmt.Errorf("%w: fastgrnn %+v input shape %v", ErrShape, s, in)
+	}
+	return []int{s.H}, nil
+}
+
+// Spec implements Layer.
+func (r *FastGRNN) Spec() LayerSpec { return LayerSpec{Type: "fastgrnn", RNN: &r.SpecV} }

@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Model wire format ("OEIM"): a JSON header describing the architecture
+// followed by raw little-endian float32 parameter data in Params() order,
+// then batch-norm running statistics. This is the artifact the cloud model
+// registry serves and edges download (Figure 3, dataflow 2).
+const modelMagic = "OEIM"
+
+// ErrBadModel indicates a corrupt or incompatible serialized model.
+var ErrBadModel = errors.New("nn: bad model data")
+
+type modelHeader struct {
+	Name       string      `json:"name"`
+	InputShape []int       `json:"input_shape"`
+	Layers     []LayerSpec `json:"layers"`
+	ParamElems int64       `json:"param_elems"`
+	StatElems  int64       `json:"stat_elems"`
+}
+
+// WriteModel serializes m to w.
+func WriteModel(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	stats := bnStats(m)
+	hdr := modelHeader{
+		Name:       m.Name,
+		InputShape: m.InputShape,
+		Layers:     m.Specs(),
+		ParamElems: m.ParamCount(),
+		StatElems:  int64(len(stats)),
+	}
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("nn: marshal model header: %w", err)
+	}
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(hj))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(hj); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	writeF32 := func(v float32) error {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, p := range m.Params() {
+		for _, v := range p.Data() {
+			if err := writeF32(v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range stats {
+		if err := writeF32(v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteModel.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: magic: %v", ErrBadModel, err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadModel, magic)
+	}
+	var hlen uint32
+	if err := binary.Read(br, binary.LittleEndian, &hlen); err != nil {
+		return nil, fmt.Errorf("%w: header length: %v", ErrBadModel, err)
+	}
+	if hlen > 1<<20 {
+		return nil, fmt.Errorf("%w: header length %d too large", ErrBadModel, hlen)
+	}
+	hj := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hj); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadModel, err)
+	}
+	var hdr modelHeader
+	if err := json.Unmarshal(hj, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: header json: %v", ErrBadModel, err)
+	}
+	m, err := NewModel(hdr.Name, hdr.InputShape, hdr.Layers)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuild: %v", ErrBadModel, err)
+	}
+	if m.ParamCount() != hdr.ParamElems {
+		return nil, fmt.Errorf("%w: param count %d vs header %d", ErrBadModel, m.ParamCount(), hdr.ParamElems)
+	}
+	buf := make([]byte, 4)
+	readF32 := func() (float32, error) {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return 0, err
+		}
+		return math.Float32frombits(binary.LittleEndian.Uint32(buf)), nil
+	}
+	for _, p := range m.Params() {
+		d := p.Data()
+		for i := range d {
+			v, err := readF32()
+			if err != nil {
+				return nil, fmt.Errorf("%w: params: %v", ErrBadModel, err)
+			}
+			d[i] = v
+		}
+	}
+	want := bnStatLen(m)
+	if int64(want) != hdr.StatElems {
+		return nil, fmt.Errorf("%w: stat count %d vs header %d", ErrBadModel, want, hdr.StatElems)
+	}
+	stats := make([]float32, want)
+	for i := range stats {
+		v, err := readF32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: stats: %v", ErrBadModel, err)
+		}
+		stats[i] = v
+	}
+	setBNStats(m, stats)
+	return m, nil
+}
+
+// EncodeModel serializes m to a byte slice.
+func EncodeModel(m *Model) ([]byte, error) {
+	var b bytes.Buffer
+	if err := WriteModel(&b, m); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeModel deserializes a model from a byte slice.
+func DecodeModel(data []byte) (*Model, error) {
+	return ReadModel(bytes.NewReader(data))
+}
+
+func bnStats(m *Model) []float32 {
+	var out []float32
+	for _, l := range m.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			out = append(out, bn.RunMean.Data()...)
+			out = append(out, bn.RunVar.Data()...)
+		}
+	}
+	return out
+}
+
+func bnStatLen(m *Model) int {
+	n := 0
+	for _, l := range m.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			n += 2 * bn.Features
+		}
+	}
+	return n
+}
+
+func setBNStats(m *Model, stats []float32) {
+	i := 0
+	for _, l := range m.Layers {
+		if bn, ok := l.(*BatchNorm); ok {
+			copy(bn.RunMean.Data(), stats[i:i+bn.Features])
+			i += bn.Features
+			copy(bn.RunVar.Data(), stats[i:i+bn.Features])
+			i += bn.Features
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"openei/internal/tensor"
+)
+
+// SGD is a stochastic-gradient-descent optimizer with classical momentum
+// and optional L2 weight decay.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	Decay    float32
+
+	velocity map[*tensor.Tensor]*tensor.Tensor
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum, decay float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Decay: decay, velocity: map[*tensor.Tensor]*tensor.Tensor{}}
+}
+
+// Step applies one update to every (param, grad) pair.
+func (o *SGD) Step(params, grads []*tensor.Tensor) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("nn: SGD got %d params and %d grads", len(params), len(grads))
+	}
+	for i, p := range params {
+		g := grads[i]
+		if !tensor.SameShape(p, g) {
+			return fmt.Errorf("%w: SGD param %v vs grad %v", ErrShape, p.Shape(), g.Shape())
+		}
+		v, ok := o.velocity[p]
+		if !ok {
+			v = tensor.New(p.Shape()...)
+			o.velocity[p] = v
+		}
+		pd, gd, vd := p.Data(), g.Data(), v.Data()
+		for j := range pd {
+			gj := gd[j] + o.Decay*pd[j]
+			vd[j] = o.Momentum*vd[j] - o.LR*gj
+			pd[j] += vd[j]
+		}
+	}
+	return nil
+}
+
+// TrainConfig controls Train and TransferTrain.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float32
+	Momentum  float32
+	Decay     float32
+	// Silent suppresses the per-epoch callback.
+	OnEpoch func(epoch int, loss, acc float64)
+	// FrozenMask marks parameter indices (into Model.Params()) that must
+	// not be updated — the transfer-learning freeze of Dataflow 3.
+	FrozenMask map[int]bool
+	// Rand drives shuffling and dropout; required.
+	Rand *rand.Rand
+}
+
+// Dataset is the minimal view of training data the trainer needs. X is a
+// batched tensor whose first dimension indexes samples; Y are class labels.
+type Dataset struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// Samples returns the number of samples.
+func (d Dataset) Samples() int {
+	if d.X == nil || d.X.Dims() == 0 {
+		return 0
+	}
+	return d.X.Dim(0)
+}
+
+// Slice extracts samples [lo, hi) as a new tensor (copied) plus labels.
+func (d Dataset) Slice(lo, hi int) (Dataset, error) {
+	n := d.Samples()
+	if lo < 0 || hi > n || lo > hi {
+		return Dataset{}, fmt.Errorf("%w: dataset slice [%d,%d) of %d", ErrShape, lo, hi, n)
+	}
+	shape := d.X.Shape()
+	per := d.X.Len() / n
+	shape[0] = hi - lo
+	x := tensor.New(shape...)
+	copy(x.Data(), d.X.Data()[lo*per:hi*per])
+	return Dataset{X: x, Y: append([]int(nil), d.Y[lo:hi]...)}, nil
+}
+
+// Gather extracts the samples at the given indices.
+func (d Dataset) Gather(idx []int) (Dataset, error) {
+	n := d.Samples()
+	shape := d.X.Shape()
+	per := d.X.Len() / max(n, 1)
+	shape[0] = len(idx)
+	x := tensor.New(shape...)
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= n {
+			return Dataset{}, fmt.Errorf("%w: gather index %d of %d", ErrShape, j, n)
+		}
+		copy(x.Data()[i*per:(i+1)*per], d.X.Data()[j*per:(j+1)*per])
+		y[i] = d.Y[j]
+	}
+	return Dataset{X: x, Y: y}, nil
+}
+
+// Train fits the model on train data with minibatch SGD and reports final
+// (loss, accuracy) on the training set of the last epoch.
+func Train(m *Model, data Dataset, cfg TrainConfig) (loss, acc float64, err error) {
+	if cfg.Rand == nil {
+		return 0, 0, fmt.Errorf("nn: TrainConfig.Rand is required for deterministic runs")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	m.SetRand(cfg.Rand)
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.Decay)
+	n := data.Samples()
+	if n == 0 {
+		return 0, 0, fmt.Errorf("nn: empty training set")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	params, grads := m.Params(), m.Grads()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cfg.Rand.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var correct, seen int
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			batch, err := data.Gather(idx[lo:hi])
+			if err != nil {
+				return 0, 0, err
+			}
+			m.ZeroGrads()
+			logits, err := m.Forward(batch.X, true)
+			if err != nil {
+				return 0, 0, err
+			}
+			l, grad, err := CrossEntropy(logits, batch.Y)
+			if err != nil {
+				return 0, 0, err
+			}
+			epochLoss += l * float64(hi-lo)
+			// Track training accuracy from the same logits.
+			classes := logits.Dim(1)
+			for b, y := range batch.Y {
+				row := logits.Data()[b*classes : (b+1)*classes]
+				arg := 0
+				for j, v := range row {
+					if v > row[arg] {
+						arg = j
+					}
+				}
+				if arg == y {
+					correct++
+				}
+				seen++
+			}
+			if err := m.Backward(grad); err != nil {
+				return 0, 0, err
+			}
+			if cfg.FrozenMask != nil {
+				for pi := range params {
+					if cfg.FrozenMask[pi] {
+						grads[pi].Zero()
+					}
+				}
+			}
+			if err := opt.Step(params, grads); err != nil {
+				return 0, 0, err
+			}
+		}
+		loss = epochLoss / float64(n)
+		acc = float64(correct) / float64(seen)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, loss, acc)
+		}
+	}
+	return loss, acc, nil
+}
+
+// FreezeAllButHead returns a FrozenMask that freezes every parameter except
+// those of the last k parameterized layers — the transfer-learning recipe
+// of the paper's Dataflow 3 ("retrain the model on the edge").
+func FreezeAllButHead(m *Model, headLayers int) map[int]bool {
+	mask := map[int]bool{}
+	// Count parameterized layers from the end.
+	type span struct{ lo, hi int }
+	var spans []span
+	pi := 0
+	for _, l := range m.Layers {
+		np := len(l.Params())
+		if np > 0 {
+			spans = append(spans, span{pi, pi + np})
+		}
+		pi += np
+	}
+	cut := len(spans) - headLayers
+	for i, s := range spans {
+		if i < cut {
+			for j := s.lo; j < s.hi; j++ {
+				mask[j] = true
+			}
+		}
+	}
+	return mask
+}
+
+// DistillTrain trains student to match teacher's soft targets plus hard
+// labels (Table I "knowledge transfer"). The teacher is used in inference
+// mode only.
+func DistillTrain(student, teacher *Model, data Dataset, temperature, alpha float64, cfg TrainConfig) (float64, error) {
+	if cfg.Rand == nil {
+		return 0, fmt.Errorf("nn: TrainConfig.Rand is required")
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	student.SetRand(cfg.Rand)
+	opt := NewSGD(cfg.LR, cfg.Momentum, cfg.Decay)
+	n := data.Samples()
+	if n == 0 {
+		return 0, fmt.Errorf("nn: empty training set")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var last float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		cfg.Rand.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		for lo := 0; lo < n; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > n {
+				hi = n
+			}
+			batch, err := data.Gather(idx[lo:hi])
+			if err != nil {
+				return 0, err
+			}
+			tLogits, err := teacher.Forward(batch.X, false)
+			if err != nil {
+				return 0, fmt.Errorf("teacher forward: %w", err)
+			}
+			tProbs, err := SoftmaxT(tLogits, temperature)
+			if err != nil {
+				return 0, err
+			}
+			student.ZeroGrads()
+			sLogits, err := student.Forward(batch.X, true)
+			if err != nil {
+				return 0, fmt.Errorf("student forward: %w", err)
+			}
+			l, grad, err := DistillLoss(sLogits, tProbs, batch.Y, temperature, alpha)
+			if err != nil {
+				return 0, err
+			}
+			epochLoss += l * float64(hi-lo)
+			if err := student.Backward(grad); err != nil {
+				return 0, err
+			}
+			if err := opt.Step(student.Params(), student.Grads()); err != nil {
+				return 0, err
+			}
+		}
+		last = epochLoss / float64(n)
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(epoch, last, 0)
+		}
+	}
+	return last, nil
+}

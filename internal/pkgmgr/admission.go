@@ -1,0 +1,104 @@
+package pkgmgr
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"openei/internal/nn"
+)
+
+// This file addresses the paper's §IV.B open problem "how to execute
+// multiple tasks on a package in the meantime": the manager accounts for
+// the aggregate memory of every loaded model and can evict cold models to
+// admit new ones.
+
+// ModelMemory describes one loaded model's footprint for admission
+// decisions.
+type ModelMemory struct {
+	Name      string
+	Bytes     int64
+	Quantized bool
+	LastUsed  time.Time
+}
+
+// totalModelBytesLocked sums the weight+activation footprint of all loaded
+// models (runtime residency counted once per model by the device model; a
+// small overestimate that errs on the safe side). Callers hold m.mu.
+func (m *Manager) totalModelBytesLocked() int64 {
+	var total int64
+	for _, l := range m.models {
+		w := m.workload(l.model, l.quantized, 1)
+		total += m.dev.MemoryBytes(w)
+	}
+	return total
+}
+
+// MemoryInUse returns the modelled memory of everything loaded, including
+// the package runtime.
+func (m *Manager) MemoryInUse() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalModelBytesLocked() + m.pkg.RuntimeBytes
+}
+
+// MemoryByModel lists per-model footprints sorted by name.
+func (m *Manager) MemoryByModel() []ModelMemory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ModelMemory, 0, len(m.models))
+	for name, l := range m.models {
+		w := m.workload(l.model, l.quantized, 1)
+		out = append(out, ModelMemory{
+			Name: name, Bytes: m.dev.MemoryBytes(w),
+			Quantized: l.quantized, LastUsed: l.lastUsed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LoadWithAdmission installs a model like Load, but accounts for every
+// already-loaded model and, when the device would overflow, evicts the
+// least-recently-used models (never the one being loaded) until the new
+// model fits. It returns the names of evicted models in eviction order.
+func (m *Manager) LoadWithAdmission(model *nn.Model, opts LoadOptions) ([]string, error) {
+	clone, quantized, err := m.prepare(model, opts)
+	if err != nil {
+		return nil, err
+	}
+	need := m.dev.MemoryBytes(m.workload(clone, quantized, 1))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if need+m.pkg.RuntimeBytes > m.dev.MemBytes {
+		return nil, fmt.Errorf("%w: %s alone needs %d bytes on %s",
+			ErrNoCapacity, clone.Name, need+m.pkg.RuntimeBytes, m.dev.Name)
+	}
+	// Re-loading under the same name replaces the old footprint.
+	delete(m.models, clone.Name)
+	var evicted []string
+	for m.totalModelBytesLocked()+need+m.pkg.RuntimeBytes > m.dev.MemBytes {
+		victim := m.coldestLocked()
+		if victim == "" {
+			return nil, fmt.Errorf("%w: cannot admit %s even after evicting everything",
+				ErrNoCapacity, clone.Name)
+		}
+		delete(m.models, victim)
+		evicted = append(evicted, victim)
+	}
+	m.models[clone.Name] = &loaded{model: clone, quantized: quantized, lastUsed: time.Now()}
+	return evicted, nil
+}
+
+// coldestLocked returns the least-recently-used loaded model, or "" when
+// none remain. Callers hold m.mu.
+func (m *Manager) coldestLocked() string {
+	var victim string
+	var oldest time.Time
+	for name, l := range m.models {
+		if victim == "" || l.lastUsed.Before(oldest) {
+			victim, oldest = name, l.lastUsed
+		}
+	}
+	return victim
+}

@@ -1,0 +1,143 @@
+package pkgmgr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// tinyDevice returns a synthetic device whose memory fits only a couple of
+// the test models, so admission decisions are observable.
+func tinyDevice(memBytes int64) hardware.Device {
+	return hardware.Device{
+		Name: "tiny", Class: hardware.ClassSBC,
+		FLOPS: 1e9, Int8Speedup: 2, MemBytes: memBytes, MemBandwidth: 1e9,
+		IdleWatts: 1, ActiveWatts: 2, DispatchOverhead: 100 * time.Microsecond,
+	}
+}
+
+func admissionManager(t *testing.T, memBytes int64) *Manager {
+	t.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(pkg, tinyDevice(memBytes))
+	t.Cleanup(m.Close)
+	return m
+}
+
+func denseModel(name string, width int, seed int64) *nn.Model {
+	m := nn.MustModel(name, []int{8}, []nn.LayerSpec{
+		{Type: "dense", In: 8, Out: width},
+		{Type: "relu"},
+		{Type: "dense", In: width, Out: 2},
+	})
+	m.InitParams(rand.New(rand.NewSource(seed)))
+	return m
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	mgr := admissionManager(t, 64<<20)
+	base := mgr.MemoryInUse()
+	if base != mgr.Package().RuntimeBytes {
+		t.Errorf("empty manager memory = %d, want runtime %d", base, mgr.Package().RuntimeBytes)
+	}
+	if err := mgr.Load(denseModel("a", 64, 1), LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	after := mgr.MemoryInUse()
+	if after <= base {
+		t.Error("loading a model did not increase MemoryInUse")
+	}
+	mm := mgr.MemoryByModel()
+	if len(mm) != 1 || mm[0].Name != "a" || mm[0].Bytes <= 0 {
+		t.Errorf("MemoryByModel = %+v", mm)
+	}
+}
+
+func TestLoadWithAdmissionEvictsLRU(t *testing.T) {
+	// Size the device so that exactly two models fit: runtime 2 MiB +
+	// per-model ~1 MiB residency + weights.
+	mgr := admissionManager(t, 2<<20+3<<20)
+	a := denseModel("a", 128, 1)
+	b := denseModel("b", 128, 2)
+	c := denseModel("c", 128, 3)
+	if _, err := mgr.LoadWithAdmission(a, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.LoadWithAdmission(b, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch "a" so "b" becomes the LRU victim.
+	x := tensor.New(1, 8)
+	if _, err := mgr.Infer("a", x); err != nil {
+		t.Fatal(err)
+	}
+	evicted, err := mgr.LoadWithAdmission(c, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Errorf("evicted = %v, want [b]", evicted)
+	}
+	models := mgr.Models()
+	if len(models) != 2 || models[0] != "a" || models[1] != "c" {
+		t.Errorf("loaded = %v, want [a c]", models)
+	}
+}
+
+func TestLoadWithAdmissionRejectsImpossible(t *testing.T) {
+	mgr := admissionManager(t, 2<<20+512<<10) // not even one model fits
+	big := denseModel("big", 4096, 1)
+	if _, err := mgr.LoadWithAdmission(big, LoadOptions{}); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestLoadWithAdmissionReplaceSameName(t *testing.T) {
+	mgr := admissionManager(t, 2<<20+3<<20)
+	if _, err := mgr.LoadWithAdmission(denseModel("a", 128, 1), LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Reloading "a" must not evict anything (it replaces itself).
+	evicted, err := mgr.LoadWithAdmission(denseModel("a", 128, 9), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 0 {
+		t.Errorf("reload evicted %v", evicted)
+	}
+	if got := mgr.Models(); len(got) != 1 {
+		t.Errorf("models = %v", got)
+	}
+}
+
+func TestLoadWithAdmissionMultipleEvictions(t *testing.T) {
+	// Three small models fit; one big one needs all their space.
+	mgr := admissionManager(t, 2<<20+4<<20)
+	for i, name := range []string{"s1", "s2", "s3"} {
+		if _, err := mgr.LoadWithAdmission(denseModel(name, 32, int64(i)), LoadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // distinct lastUsed ordering
+	}
+	big := denseModel("big", 50000, 9)
+	evicted, err := mgr.LoadWithAdmission(big, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) < 2 {
+		t.Errorf("expected multiple evictions, got %v", evicted)
+	}
+	// Eviction order must follow load order (LRU).
+	if evicted[0] != "s1" {
+		t.Errorf("first eviction = %s, want s1", evicted[0])
+	}
+}

@@ -1,0 +1,163 @@
+package pkgmgr
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"openei/internal/tensor"
+)
+
+// CacheStats reports result-cache counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	// Expired counts hits rejected because the entry outlived the TTL.
+	Expired int64
+}
+
+// ResultCache memoizes inference results keyed by (model, input) — the
+// MUVR-style edge caching mechanism of §V.C ("MUVR is proposed … to
+// boost the multi-user gaming experience with the edge caching
+// mechanism"): when many users or repeated polls hit the edge with the
+// same content, the edge serves the cached answer instead of re-running
+// the model. Entries are LRU-evicted beyond the capacity and expire
+// after the TTL (a stale detection must not outlive its scene). The zero
+// value is not usable; construct with NewResultCache. ResultCache is
+// safe for concurrent use.
+type ResultCache struct {
+	mu      sync.Mutex
+	cap     int
+	ttl     time.Duration
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[cacheKey]*list.Element
+	stats   CacheStats
+	nowFunc func() time.Time
+}
+
+type cacheKey struct {
+	model string
+	hash  uint64
+}
+
+type cacheEntry struct {
+	key    cacheKey
+	result InferenceResult
+	stored time.Time
+}
+
+// NewResultCache returns a cache holding at most capacity results
+// (≤0 means 128) that expire after ttl (≤0 means never).
+func NewResultCache(capacity int, ttl time.Duration) *ResultCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &ResultCache{
+		cap:     capacity,
+		ttl:     ttl,
+		order:   list.New(),
+		entries: map[cacheKey]*list.Element{},
+		nowFunc: time.Now,
+	}
+}
+
+// Infer serves the result from cache when the same model has already
+// seen a bit-identical input; otherwise it runs m.Infer and stores the
+// result. The second return reports whether this was a cache hit.
+func (c *ResultCache) Infer(m *Manager, name string, x *tensor.Tensor) (InferenceResult, bool, error) {
+	key := cacheKey{model: name, hash: hashTensor(x)}
+	if res, ok := c.lookup(key); ok {
+		return res, true, nil
+	}
+	res, err := m.Infer(name, x)
+	if err != nil {
+		return InferenceResult{}, false, err
+	}
+	c.store(key, res)
+	return res, false, nil
+}
+
+// lookup returns a live entry and refreshes its recency.
+func (c *ResultCache) lookup(key cacheKey) (InferenceResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return InferenceResult{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.ttl > 0 && c.nowFunc().Sub(ent.stored) > c.ttl {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.stats.Expired++
+		c.stats.Misses++
+		return InferenceResult{}, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	return ent.result, true
+}
+
+// store inserts (or refreshes) an entry, evicting the LRU tail beyond
+// capacity.
+func (c *ResultCache) store(key cacheKey, res InferenceResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).result = res
+		el.Value.(*cacheEntry).stored = c.nowFunc()
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, result: res, stored: c.nowFunc()})
+	for c.order.Len() > c.cap {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Purge empties the cache (e.g. after the model is retrained: cached
+// answers from the old weights are invalid).
+func (c *ResultCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = map[cacheKey]*list.Element{}
+}
+
+// hashTensor fingerprints shape + contents with FNV-64a. Bit-identical
+// inputs collide on purpose; that is the cache key.
+func hashTensor(x *tensor.Tensor) uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, d := range x.Shape() {
+		binary.LittleEndian.PutUint32(buf[:], uint32(d))
+		_, _ = h.Write(buf[:])
+	}
+	for _, v := range x.Data() {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}

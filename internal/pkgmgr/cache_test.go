@@ -1,0 +1,196 @@
+package pkgmgr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/tensor"
+)
+
+// cachedFixture loads the trained power model and returns the manager
+// plus one test input.
+func cachedFixture(t *testing.T) (*Manager, *tensor.Tensor) {
+	t.Helper()
+	m := testManager(t, "eipkg", "rpi4")
+	model, _, test := trainedModel(t)
+	if err := m.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	x, err := tensor.NewFrom(append([]float32(nil), test.X.Data()[:32]...), 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x
+}
+
+func TestResultCacheHitSkipsInference(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(8, 0)
+
+	r1, hit, err := c.Infer(m, "power-net", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first call reported a hit")
+	}
+	r2, hit, err := c.Infer(m, "power-net", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("identical input missed the cache")
+	}
+	if r1.Classes[0] != r2.Classes[0] || r1.Confidences[0] != r2.Confidences[0] {
+		t.Fatalf("cached result differs: %+v vs %+v", r1, r2)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestResultCacheDistinguishesInputs(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(8, 0)
+
+	if _, _, err := c.Infer(m, "power-net", x); err != nil {
+		t.Fatal(err)
+	}
+	y := x.Clone()
+	y.Data()[0] += 0.25
+	_, hit, err := c.Infer(m, "power-net", y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("different input hit the cache")
+	}
+	// Different model name must also miss, even with identical input.
+	model, _, _ := trainedModel(t)
+	model.Name = "power-net-2"
+	if err := m.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, err = c.Infer(m, "power-net-2", x); err != nil || hit {
+		t.Fatalf("cross-model hit=%v err=%v", hit, err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(2, 0)
+
+	variant := func(i int) *tensor.Tensor {
+		v := x.Clone()
+		v.Data()[0] = float32(i)
+		return v
+	}
+	for i := 0; i < 3; i++ { // third insert evicts the first
+		if _, _, err := c.Infer(m, "power-net", variant(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if _, hit, _ := c.Infer(m, "power-net", variant(0)); hit {
+		t.Fatal("evicted entry still hit")
+	}
+	if _, hit, _ := c.Infer(m, "power-net", variant(2)); !hit {
+		t.Fatal("recent entry was evicted")
+	}
+}
+
+func TestResultCacheTTLExpiry(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.nowFunc = func() time.Time { return now }
+
+	if _, _, err := c.Infer(m, "power-net", x); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second)
+	if _, hit, _ := c.Infer(m, "power-net", x); !hit {
+		t.Fatal("fresh entry expired early")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, hit, _ := c.Infer(m, "power-net", x); hit {
+		t.Fatal("stale entry served after TTL")
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+}
+
+func TestResultCachePurge(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(8, 0)
+	if _, _, err := c.Infer(m, "power-net", x); err != nil {
+		t.Fatal(err)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge = %d", c.Len())
+	}
+	if _, hit, _ := c.Infer(m, "power-net", x); hit {
+		t.Fatal("hit after purge")
+	}
+}
+
+func TestResultCacheErrorNotCached(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(8, 0)
+	if _, _, err := c.Infer(m, "no-such-model", x); err == nil {
+		t.Fatal("want error for unknown model")
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+}
+
+func TestResultCacheConcurrentInfer(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(8, 0)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, _, err := c.Infer(m, "power-net", x); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (single distinct input)", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*20 {
+		t.Fatalf("hits %d + misses %d != 160", st.Hits, st.Misses)
+	}
+}
+
+func TestHashTensorShapeSensitive(t *testing.T) {
+	a := tensor.MustFrom([]float32{1, 2, 3, 4}, 2, 2)
+	b := tensor.MustFrom([]float32{1, 2, 3, 4}, 1, 4)
+	if hashTensor(a) == hashTensor(b) {
+		t.Fatal("hash ignores shape")
+	}
+	if hashTensor(a) != hashTensor(a.Clone()) {
+		t.Fatal("hash not deterministic")
+	}
+}

@@ -1,0 +1,349 @@
+package pkgmgr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/compress"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// Manager errors.
+var (
+	// ErrUnknownModel is returned for operations on unloaded models.
+	ErrUnknownModel = errors.New("pkgmgr: unknown model")
+	// ErrNoCapacity is returned when a model does not fit device memory.
+	ErrNoCapacity = errors.New("pkgmgr: model does not fit device memory")
+	// ErrNoTraining is returned when the package profile cannot train.
+	ErrNoTraining = errors.New("pkgmgr: package does not support training")
+	// ErrDeadline is returned by deadline-admission when the modelled
+	// latency cannot meet the requested deadline.
+	ErrDeadline = errors.New("pkgmgr: deadline unachievable")
+)
+
+// InferenceResult carries predictions plus the modelled cost of the run.
+type InferenceResult struct {
+	Classes     []int
+	Confidences []float64
+	// ModelLatency and ModelEnergy come from the hardware cost model (the
+	// numbers the paper's ALEM tuple reports); Wall is this process's
+	// actual compute time, reported for transparency.
+	ModelLatency time.Duration
+	ModelEnergy  float64
+	Wall         time.Duration
+}
+
+// LoadOptions control how a model is installed.
+type LoadOptions struct {
+	// Quantize converts the model to its int8 artifact at load time when
+	// the package supports int8 kernels (TF-Lite-style conversion).
+	Quantize bool
+}
+
+type loaded struct {
+	model     *nn.Model
+	quantized bool
+	lastUsed  time.Time
+}
+
+// Manager is one edge node's package manager: a package profile bound to a
+// device, a set of loaded models, and the real-time scheduler. Close must
+// be called to stop the scheduler.
+type Manager struct {
+	pkg alem.Package
+	dev hardware.Device
+
+	mu     sync.Mutex
+	models map[string]*loaded
+
+	sched *Scheduler
+}
+
+// New returns a Manager for the given package profile and device.
+func New(pkg alem.Package, dev hardware.Device) *Manager {
+	return &Manager{
+		pkg:    pkg,
+		dev:    dev,
+		models: map[string]*loaded{},
+		sched:  NewScheduler(),
+	}
+}
+
+// Package returns the package profile in use.
+func (m *Manager) Package() alem.Package { return m.pkg }
+
+// Device returns the device profile in use.
+func (m *Manager) Device() hardware.Device { return m.dev }
+
+// Close stops the real-time module.
+func (m *Manager) Close() { m.sched.Close() }
+
+// Load installs a model (cloning it, so the caller's copy stays
+// independent), optionally converting to int8, after checking it fits the
+// device alongside the package runtime.
+func (m *Manager) Load(model *nn.Model, opts LoadOptions) error {
+	clone, quantized, err := m.prepare(model, opts)
+	if err != nil {
+		return err
+	}
+	w := m.workload(clone, quantized, 1)
+	if m.dev.MemoryBytes(w)+m.pkg.RuntimeBytes > m.dev.MemBytes {
+		return fmt.Errorf("%w: %s needs %d bytes on %s (%d available)",
+			ErrNoCapacity, model.Name, m.dev.MemoryBytes(w)+m.pkg.RuntimeBytes, m.dev.Name, m.dev.MemBytes)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.models[model.Name] = &loaded{model: clone, quantized: quantized, lastUsed: time.Now()}
+	return nil
+}
+
+// prepare clones the model and applies load-time conversion (int8).
+func (m *Manager) prepare(model *nn.Model, opts LoadOptions) (*nn.Model, bool, error) {
+	clone, err := model.Clone()
+	if err != nil {
+		return nil, false, fmt.Errorf("pkgmgr: clone %s: %w", model.Name, err)
+	}
+	quantized := false
+	if opts.Quantize && m.pkg.SupportsInt8 {
+		if _, err := compress.QuantizeInt8(clone); err != nil {
+			return nil, false, fmt.Errorf("pkgmgr: quantize %s: %w", model.Name, err)
+		}
+		quantized = true
+	}
+	return clone, quantized, nil
+}
+
+// Unload removes a model; unloading an absent model is a no-op.
+func (m *Manager) Unload(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.models, name)
+}
+
+// Models lists loaded model names, sorted.
+func (m *Manager) Models() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.models))
+	for name := range m.models {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Model returns the loaded model (the manager's clone). Callers must not
+// run it concurrently with manager operations; prefer Infer.
+func (m *Manager) Model(name string) (*nn.Model, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.models[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return l.model, nil
+}
+
+func (m *Manager) workload(model *nn.Model, quantized bool, batch int) hardware.Workload {
+	w := hardware.Workload{
+		FLOPs:           model.FLOPs(batch),
+		WeightBytes:     model.WeightBytes(),
+		ActivationBytes: model.ActivationBytes() * int64(batch),
+		EfficiencyScale: m.pkg.Efficiency,
+		DispatchScale:   m.pkg.DispatchScale,
+		LayerCount:      len(model.Layers),
+		Int8:            quantized && m.pkg.SupportsInt8,
+	}
+	if m.pkg.SupportsFusion && w.LayerCount > 1 {
+		w.LayerCount = (w.LayerCount + 1) / 2
+	}
+	return w
+}
+
+// Infer runs the model on x at normal priority.
+func (m *Manager) Infer(name string, x *tensor.Tensor) (InferenceResult, error) {
+	return m.inferAt(name, x, PriorityNormal)
+}
+
+// InferUrgent runs at real-time priority, jumping ahead of queued work —
+// the paper's "if the application is urgent, the real-time machine
+// learning module will be called".
+func (m *Manager) InferUrgent(name string, x *tensor.Tensor) (InferenceResult, error) {
+	return m.inferAt(name, x, PriorityRealTime)
+}
+
+// InferWithDeadline admits the job only if the modelled latency fits the
+// deadline; admitted jobs run at real-time priority.
+func (m *Manager) InferWithDeadline(name string, x *tensor.Tensor, deadline time.Duration) (InferenceResult, error) {
+	m.mu.Lock()
+	l, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return InferenceResult{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	batch := x.Dim(0)
+	lat, err := m.dev.Latency(m.workload(l.model, l.quantized, batch))
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	if lat > deadline {
+		return InferenceResult{}, fmt.Errorf("%w: modelled %v > deadline %v on %s", ErrDeadline, lat, deadline, m.dev.Name)
+	}
+	return m.inferAt(name, x, PriorityRealTime)
+}
+
+func (m *Manager) inferAt(name string, x *tensor.Tensor, prio Priority) (InferenceResult, error) {
+	m.mu.Lock()
+	l, ok := m.models[name]
+	if ok {
+		l.lastUsed = time.Now()
+	}
+	m.mu.Unlock()
+	if !ok {
+		return InferenceResult{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	if x.Dims() < 2 {
+		return InferenceResult{}, fmt.Errorf("pkgmgr: input must be batched, got shape %v", x.Shape())
+	}
+	var res InferenceResult
+	var inferErr error
+	submitErr := m.sched.Submit(prio, func() {
+		start := time.Now()
+		cls, conf, err := nn.TopConfidence(l.model, x)
+		if err != nil {
+			inferErr = err
+			return
+		}
+		res.Classes = cls
+		res.Confidences = conf
+		res.Wall = time.Since(start)
+	})
+	if submitErr != nil {
+		return InferenceResult{}, submitErr
+	}
+	if inferErr != nil {
+		return InferenceResult{}, fmt.Errorf("pkgmgr: infer %s: %w", name, inferErr)
+	}
+	batch := x.Dim(0)
+	w := m.workload(l.model, l.quantized, batch)
+	lat, err := m.dev.Latency(w)
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	energy, err := m.dev.EnergyJoules(w)
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	res.ModelLatency = lat
+	res.ModelEnergy = energy
+	return res, nil
+}
+
+// Train runs local training on a loaded model at batch priority (training
+// yields to inference, as the real-time module demands). It fails unless
+// the package profile supports training.
+func (m *Manager) Train(name string, data nn.Dataset, cfg nn.TrainConfig) (loss, acc float64, err error) {
+	if !m.pkg.SupportsTraining {
+		return 0, 0, fmt.Errorf("%w: %s", ErrNoTraining, m.pkg.Name)
+	}
+	m.mu.Lock()
+	l, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	submitErr := m.sched.Submit(PriorityBatch, func() {
+		loss, acc, err = nn.Train(l.model, data, cfg)
+	})
+	if submitErr != nil {
+		return 0, 0, submitErr
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("pkgmgr: train %s: %w", name, err)
+	}
+	return loss, acc, nil
+}
+
+// TransferLearn retrains only the classifier head on local data — the
+// paper's Dataflow 3 ("retrain the model on the edge by taking advantage
+// of transfer learning … a personalized model").
+func (m *Manager) TransferLearn(name string, data nn.Dataset, headLayers, epochs int, rng *rand.Rand) error {
+	if !m.pkg.SupportsTraining {
+		return fmt.Errorf("%w: %s", ErrNoTraining, m.pkg.Name)
+	}
+	m.mu.Lock()
+	l, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	cfg := nn.TrainConfig{
+		Epochs: epochs, BatchSize: 16, LR: 0.02, Momentum: 0.9,
+		FrozenMask: nn.FreezeAllButHead(l.model, headLayers),
+		Rand:       rng,
+	}
+	var err error
+	submitErr := m.sched.Submit(PriorityBatch, func() {
+		_, _, err = nn.Train(l.model, data, cfg)
+	})
+	if submitErr != nil {
+		return submitErr
+	}
+	if err != nil {
+		return fmt.Errorf("pkgmgr: transfer-learn %s: %w", name, err)
+	}
+	return nil
+}
+
+// Snapshot serializes the current weights of a loaded model — what the
+// cloud-edge collaboration uploads after local retraining.
+func (m *Manager) Snapshot(name string) ([]byte, error) {
+	m.mu.Lock()
+	l, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	var data []byte
+	var err error
+	submitErr := m.sched.Submit(PriorityNormal, func() {
+		data, err = nn.EncodeModel(l.model)
+	})
+	if submitErr != nil {
+		return nil, submitErr
+	}
+	return data, err
+}
+
+// ALEMOf returns the modelled ALEM costs (latency, energy, memory) of a
+// loaded model at batch 1; accuracy is not measured here (the profiler
+// owns that) and is reported as 0.
+func (m *Manager) ALEMOf(name string) (alem.ALEM, error) {
+	m.mu.Lock()
+	l, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return alem.ALEM{}, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	w := m.workload(l.model, l.quantized, 1)
+	lat, err := m.dev.Latency(w)
+	if err != nil {
+		return alem.ALEM{}, err
+	}
+	energy, err := m.dev.EnergyJoules(w)
+	if err != nil {
+		return alem.ALEM{}, err
+	}
+	return alem.ALEM{
+		Latency: lat,
+		Energy:  energy,
+		Memory:  m.dev.MemoryBytes(w) + m.pkg.RuntimeBytes,
+	}, nil
+}

@@ -1,0 +1,397 @@
+package pkgmgr
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/dataset"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+)
+
+func testManager(t *testing.T, pkgName, devName string) *Manager {
+	t.Helper()
+	pkg, err := alem.PackageByName(pkgName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName(devName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(pkg, dev)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func trainedModel(t *testing.T) (*nn.Model, nn.Dataset, nn.Dataset) {
+	t.Helper()
+	cfg := dataset.PowerConfig{Samples: 400, Window: 32, Noise: 0.08, Seed: 40}
+	train, test, err := dataset.Power(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	m := nn.MustModel("power-net", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 32},
+		{Type: "relu"},
+		{Type: "dense", In: 32, Out: 5},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	return m, train, test
+}
+
+func TestSchedulerPriorityOrder(t *testing.T) {
+	s := NewScheduler()
+	defer s.Close()
+
+	// Block the worker so submissions queue up.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := s.SubmitAsync(PriorityNormal, func() {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var order []string
+	var mu sync.Mutex
+	record := func(tag string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, tag)
+			mu.Unlock()
+		}
+	}
+	d1, err := s.SubmitAsync(PriorityBatch, record("batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.SubmitAsync(PriorityNormal, record("normal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := s.SubmitAsync(PriorityRealTime, record("rt1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d4, err := s.SubmitAsync(PriorityRealTime, record("rt2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pending(); got != 4 {
+		t.Errorf("Pending = %d, want 4", got)
+	}
+	close(release)
+	for _, d := range []<-chan struct{}{d1, d2, d3, d4} {
+		<-d
+	}
+	want := []string{"rt1", "rt2", "normal", "batch"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerCloseDrainsAndRejects(t *testing.T) {
+	s := NewScheduler()
+	var ran atomic.Int32
+	for i := 0; i < 20; i++ {
+		if _, err := s.SubmitAsync(PriorityNormal, func() { ran.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	if got := ran.Load(); got != 20 {
+		t.Errorf("Close drained %d of 20 jobs", got)
+	}
+	if err := s.Submit(PriorityNormal, func() {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+	s.Close() // idempotent
+}
+
+func TestLoadInferUnload(t *testing.T) {
+	mgr := testManager(t, "eipkg", "rpi4")
+	model, _, test := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Models(); len(got) != 1 || got[0] != "power-net" {
+		t.Errorf("Models = %v", got)
+	}
+	res, err := mgr.Infer("power-net", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != test.Samples() {
+		t.Errorf("got %d predictions for %d samples", len(res.Classes), test.Samples())
+	}
+	if res.ModelLatency <= 0 || res.ModelEnergy <= 0 {
+		t.Errorf("cost model missing: %+v", res)
+	}
+	correct := 0
+	for i, c := range res.Classes {
+		if c == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(res.Classes)); acc < 0.7 {
+		t.Errorf("inference accuracy = %v", acc)
+	}
+	mgr.Unload("power-net")
+	if _, err := mgr.Infer("power-net", test.X); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("infer after unload: err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestLoadClonesModel(t *testing.T) {
+	mgr := testManager(t, "eipkg", "laptop")
+	model, _, _ := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's model must not affect the loaded copy.
+	before, err := mgr.Model("power-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := before.Params()[0].At(0, 0)
+	model.Params()[0].Fill(999)
+	after, err := mgr.Model("power-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Params()[0].At(0, 0) != w0 {
+		t.Error("Load did not clone the model")
+	}
+}
+
+func TestLoadRejectsOversizedModel(t *testing.T) {
+	mgr := testManager(t, "eipkg", "arduino-uno")
+	model, _, _ := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("load on MCU: err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestQuantizedLoadFasterAndStillAccurate(t *testing.T) {
+	model, _, test := trainedModel(t)
+	mgr := testManager(t, "eipkg", "rpi4")
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := mgr.Infer("power-net", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgrQ := testManager(t, "eipkg", "rpi4")
+	if err := mgrQ.Load(model, LoadOptions{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	rq, err := mgrQ.Infer("power-net", test.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.ModelLatency >= rf.ModelLatency {
+		t.Errorf("quantized modelled latency %v not below float %v", rq.ModelLatency, rf.ModelLatency)
+	}
+	correct := 0
+	for i, c := range rq.Classes {
+		if c == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(rq.Classes)); acc < 0.65 {
+		t.Errorf("quantized accuracy = %v", acc)
+	}
+}
+
+func TestInferWithDeadline(t *testing.T) {
+	mgr := testManager(t, "eipkg", "rpi3")
+	model, _, test := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// A generous deadline admits the job.
+	if _, err := mgr.InferWithDeadline("power-net", test.X, time.Second); err != nil {
+		t.Errorf("generous deadline rejected: %v", err)
+	}
+	// An impossible deadline is rejected up front.
+	if _, err := mgr.InferWithDeadline("power-net", test.X, time.Nanosecond); !errors.Is(err, ErrDeadline) {
+		t.Errorf("impossible deadline: err = %v, want ErrDeadline", err)
+	}
+}
+
+func TestTrainRequiresTrainingSupport(t *testing.T) {
+	mgr := testManager(t, "tflite-m", "rpi4") // inference-only package
+	model, train, _ := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	if _, _, err := mgr.Train("power-net", train, nn.TrainConfig{Epochs: 1, Rand: rng}); !errors.Is(err, ErrNoTraining) {
+		t.Errorf("train on tflite-m: err = %v, want ErrNoTraining", err)
+	}
+	if err := mgr.TransferLearn("power-net", train, 1, 1, rng); !errors.Is(err, ErrNoTraining) {
+		t.Errorf("transfer-learn on tflite-m: err = %v, want ErrNoTraining", err)
+	}
+}
+
+func TestTransferLearnPersonalizes(t *testing.T) {
+	// Train a generic model, then present shifted "personal" data
+	// (Dataflow 3): transfer learning must improve accuracy on it.
+	mgr := testManager(t, "eipkg", "rpi4")
+	genericCfg := dataset.ActivityConfig{Samples: 600, Window: 16, Noise: 0.15, Seed: 50}
+	genTrain, _, err := dataset.Activity(genericCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	personalCfg := genericCfg
+	personalCfg.Seed = 51
+	personalCfg.Bias = 0.7
+	perTrain, perTest, err := dataset.Activity(personalCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	model := nn.MustModel("activity-net", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 32},
+		{Type: "relu"},
+		{Type: "dense", In: 32, Out: 4},
+	})
+	model.InitParams(rng)
+	if _, _, err := nn.Train(model, genTrain, nn.TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	resBefore, err := mgr.Infer("activity-net", perTest.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accBefore := accuracy(resBefore.Classes, perTest.Y)
+
+	if err := mgr.TransferLearn("activity-net", perTrain, 1, 8, rng); err != nil {
+		t.Fatal(err)
+	}
+	resAfter, err := mgr.Infer("activity-net", perTest.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accAfter := accuracy(resAfter.Classes, perTest.Y)
+	if accAfter <= accBefore {
+		t.Errorf("transfer learning did not personalize: %v -> %v", accBefore, accAfter)
+	}
+}
+
+func accuracy(pred, want []int) float64 {
+	correct := 0
+	for i := range pred {
+		if pred[i] == want[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred))
+}
+
+func TestSnapshotRoundTrips(t *testing.T) {
+	mgr := testManager(t, "eipkg", "laptop")
+	model, _, test := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := mgr.Snapshot("power-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := nn.DecodeModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := nn.Accuracy(m2, test.X, test.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.7 {
+		t.Errorf("snapshot accuracy = %v", acc)
+	}
+	if _, err := mgr.Snapshot("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("snapshot unknown: err = %v", err)
+	}
+}
+
+func TestALEMOf(t *testing.T) {
+	mgr := testManager(t, "eipkg", "rpi3")
+	model, _, _ := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := mgr.ALEMOf("power-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency <= 0 || a.Energy <= 0 || a.Memory <= 0 {
+		t.Errorf("ALEMOf = %v", a)
+	}
+	if _, err := mgr.ALEMOf("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("unknown model: err = %v", err)
+	}
+}
+
+func TestConcurrentInference(t *testing.T) {
+	mgr := testManager(t, "eipkg", "edge-server")
+	model, _, test := trainedModel(t)
+	if err := mgr.Load(model, LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	small, err := nn.Dataset{X: test.X, Y: test.Y}.Slice(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if i%3 == 0 {
+				_, err = mgr.InferUrgent("power-net", small.X)
+			} else {
+				_, err = mgr.Infer("power-net", small.X)
+			}
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	for p, want := range map[Priority]string{
+		PriorityBatch: "batch", PriorityNormal: "normal", PriorityRealTime: "realtime",
+		Priority(9): "priority(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Priority(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}

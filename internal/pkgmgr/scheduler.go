@@ -1,0 +1,164 @@
+// Package pkgmgr implements the paper's package manager (§III.B): the
+// lightweight runtime installed on the edge OS that loads models, executes
+// inference under a chosen package profile, supports local (transfer)
+// training — the capability the paper adds over TensorFlow Lite — and
+// contains the real-time machine-learning module that gives urgent tasks
+// "as many computing resources as possible" via priority scheduling with
+// deadline admission control.
+package pkgmgr
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Scheduler errors.
+var (
+	// ErrClosed is returned when submitting to a closed scheduler.
+	ErrClosed = errors.New("pkgmgr: scheduler closed")
+)
+
+// Priority orders jobs in the real-time ML module; higher runs first.
+type Priority int
+
+// Priorities, lowest to highest.
+const (
+	PriorityBatch Priority = iota + 1
+	PriorityNormal
+	PriorityRealTime
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PriorityBatch:
+		return "batch"
+	case PriorityNormal:
+		return "normal"
+	case PriorityRealTime:
+		return "realtime"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
+	}
+}
+
+// job is one unit of queued work.
+type job struct {
+	prio Priority
+	seq  uint64 // FIFO within a priority level
+	run  func()
+	done chan struct{}
+}
+
+// jobQueue is a max-heap on (priority, -seq).
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio > q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+func (q jobQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *jobQueue) Push(x interface{}) { *q = append(*q, x.(*job)) }
+func (q *jobQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Scheduler serializes model execution on the (single) accelerator of a
+// constrained edge, draining jobs strictly in priority order. It is the
+// real-time ML module's core: a PriorityRealTime job always runs before any
+// queued lower-priority work.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  jobQueue
+	seq    uint64
+	closed bool
+	idle   bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler starts the worker goroutine; callers must Close it.
+func NewScheduler() *Scheduler {
+	s := &Scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *Scheduler) loop() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.idle = true
+			s.cond.Wait()
+		}
+		s.idle = false
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		s.mu.Unlock()
+		j.run()
+		close(j.done)
+	}
+}
+
+// Submit enqueues fn at the given priority and blocks until it has run.
+func (s *Scheduler) Submit(prio Priority, fn func()) error {
+	done, err := s.SubmitAsync(prio, fn)
+	if err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
+// SubmitAsync enqueues fn and returns a channel closed when it completes.
+func (s *Scheduler) SubmitAsync(prio Priority, fn func()) (<-chan struct{}, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.seq++
+	j := &job{prio: prio, seq: s.seq, run: fn, done: make(chan struct{})}
+	heap.Push(&s.queue, j)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return j.done, nil
+}
+
+// Pending returns the number of queued (not yet started) jobs.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Close stops accepting jobs, waits for queued work to drain, and stops the
+// worker. It is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}

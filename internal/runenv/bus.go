@@ -1,0 +1,172 @@
+package runenv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Message is one item published on a Bus topic.
+type Message struct {
+	Topic string
+	At    time.Time
+	// Payload is the message body. Publishers and subscribers agree on
+	// the concrete type per topic (as ROS nodes agree on message types).
+	Payload any
+}
+
+// BusStats reports per-bus counters.
+type BusStats struct {
+	// Published counts Publish calls that reached at least zero
+	// subscribers (i.e. all of them).
+	Published int64
+	// Delivered counts per-subscriber enqueues.
+	Delivered int64
+	// Dropped counts messages discarded because a subscriber's buffer was
+	// full (drop-oldest, the sensor-stream policy: fresh data wins).
+	Dropped int64
+}
+
+// Bus is a ROS-style topic pub/sub bus: nodes publish on named topics and
+// any number of subscribers receive copies through bounded buffers.
+// Delivery is drop-oldest per subscriber so a slow consumer sees the
+// freshest data rather than stalling the producer (a camera cannot wait).
+// Bus is safe for concurrent use; the zero value is not usable, construct
+// with NewBus.
+type Bus struct {
+	mu     sync.Mutex
+	subs   map[string][]*Subscription
+	closed bool
+	stats  BusStats
+	nextID int
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: map[string][]*Subscription{}}
+}
+
+// Subscription is one subscriber's bounded view of a topic. Receive from
+// C; call Cancel when done.
+type Subscription struct {
+	bus   *Bus
+	topic string
+	id    int
+	ch    chan Message
+}
+
+// C returns the receive channel. It is closed by Cancel and by Bus.Close.
+func (s *Subscription) C() <-chan Message { return s.ch }
+
+// Topic returns the subscribed topic.
+func (s *Subscription) Topic() string { return s.topic }
+
+// Cancel removes the subscription and closes its channel. Idempotent.
+func (s *Subscription) Cancel() {
+	s.bus.cancel(s)
+}
+
+// Subscribe registers a subscriber on topic with the given buffer size
+// (≤0 means 16).
+func (b *Bus) Subscribe(topic string, buffer int) (*Subscription, error) {
+	if topic == "" {
+		return nil, fmt.Errorf("runenv: empty topic")
+	}
+	if buffer <= 0 {
+		buffer = 16
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("%w: bus", ErrClosed)
+	}
+	b.nextID++
+	sub := &Subscription{bus: b, topic: topic, id: b.nextID, ch: make(chan Message, buffer)}
+	b.subs[topic] = append(b.subs[topic], sub)
+	return sub, nil
+}
+
+// Publish delivers msg to every current subscriber of topic. When a
+// subscriber's buffer is full the oldest buffered message is dropped to
+// make room. Publishing to a topic with no subscribers is not an error
+// (ROS semantics).
+func (b *Bus) Publish(topic string, payload any) error {
+	return b.PublishAt(topic, payload, time.Now())
+}
+
+// PublishAt is Publish with an explicit timestamp (tests inject time).
+func (b *Bus) PublishAt(topic string, payload any, at time.Time) error {
+	if topic == "" {
+		return fmt.Errorf("runenv: empty topic")
+	}
+	msg := Message{Topic: topic, At: at, Payload: payload}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return fmt.Errorf("%w: bus", ErrClosed)
+	}
+	b.stats.Published++
+	for _, sub := range b.subs[topic] {
+		for {
+			select {
+			case sub.ch <- msg:
+			default:
+				// Buffer full: drop the oldest and retry once; the
+				// receive below cannot block because we hold the only
+				// sender reference under b.mu.
+				select {
+				case <-sub.ch:
+					b.stats.Dropped++
+				default:
+				}
+				continue
+			}
+			break
+		}
+		b.stats.Delivered++
+	}
+	return nil
+}
+
+// Subscribers returns the number of active subscriptions on topic.
+func (b *Bus) Subscribers(topic string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs[topic])
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+func (b *Bus) cancel(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	list := b.subs[s.topic]
+	for i, sub := range list {
+		if sub.id == s.id {
+			b.subs[s.topic] = append(list[:i:i], list[i+1:]...)
+			close(s.ch)
+			return
+		}
+	}
+}
+
+// Close cancels every subscription and rejects further use. Idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for topic, list := range b.subs {
+		for _, sub := range list {
+			close(sub.ch)
+		}
+		delete(b.subs, topic)
+	}
+}

@@ -1,0 +1,169 @@
+package runenv
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+
+	s1, err := b.Subscribe("camera1", 8)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	s2, err := b.Subscribe("camera1", 8)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	other, err := b.Subscribe("camera2", 8)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	at := time.Unix(100, 0)
+	if err := b.PublishAt("camera1", 42, at); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	for _, sub := range []*Subscription{s1, s2} {
+		select {
+		case m := <-sub.C():
+			if m.Topic != "camera1" || m.Payload.(int) != 42 || !m.At.Equal(at) {
+				t.Fatalf("bad message %+v", m)
+			}
+		default:
+			t.Fatal("subscriber missed fan-out")
+		}
+	}
+	select {
+	case m := <-other.C():
+		t.Fatalf("cross-topic leak: %+v", m)
+	default:
+	}
+	if st := b.Stats(); st.Published != 1 || st.Delivered != 2 || st.Dropped != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBusDropOldestKeepsFreshest(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+
+	sub, err := b.Subscribe("t", 2)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := b.Publish("t", i); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	}
+	// Buffer of 2 after 5 publishes must hold the two freshest: 4, 5.
+	got := []int{(<-sub.C()).Payload.(int), (<-sub.C()).Payload.(int)}
+	if got[0] != 4 || got[1] != 5 {
+		t.Fatalf("drop-oldest violated: got %v, want [4 5]", got)
+	}
+	if st := b.Stats(); st.Dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", st.Dropped)
+	}
+}
+
+func TestBusPublishNoSubscribersOK(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	if err := b.Publish("empty", 1); err != nil {
+		t.Fatalf("Publish to empty topic: %v", err)
+	}
+}
+
+func TestBusCancelStopsDeliveryAndClosesChannel(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+
+	sub, err := b.Subscribe("t", 4)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if n := b.Subscribers("t"); n != 0 {
+		t.Fatalf("subscribers after cancel = %d", n)
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel not closed by Cancel")
+	}
+	if err := b.Publish("t", 1); err != nil {
+		t.Fatalf("Publish after cancel: %v", err)
+	}
+}
+
+func TestBusCloseRejectsFurtherUse(t *testing.T) {
+	b := NewBus()
+	sub, err := b.Subscribe("t", 1)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel not closed by Close")
+	}
+	if err := b.Publish("t", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Publish after Close: want ErrClosed, got %v", err)
+	}
+	if _, err := b.Subscribe("t", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Subscribe after Close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestBusEmptyTopicRejected(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+	if _, err := b.Subscribe("", 1); err == nil {
+		t.Fatal("want error for empty topic subscribe")
+	}
+	if err := b.Publish("", 1); err == nil {
+		t.Fatal("want error for empty topic publish")
+	}
+}
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	defer b.Close()
+
+	sub, err := b.Subscribe("t", 1024)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	const n = 4 * 128
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 128; i++ {
+				_ = b.Publish("t", i)
+			}
+		}()
+	}
+	received := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.C() {
+			received++
+			if received == n {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("received %d of %d", received, n)
+	}
+}

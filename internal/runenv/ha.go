@@ -1,0 +1,241 @@
+package runenv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// NodeState is a failure detector's view of one peer.
+type NodeState int
+
+// Node states.
+const (
+	NodeLive NodeState = iota + 1
+	NodeSuspect
+)
+
+// String implements fmt.Stringer.
+func (s NodeState) String() string {
+	switch s {
+	case NodeLive:
+		return "live"
+	case NodeSuspect:
+		return "suspect"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Monitor is a heartbeat failure detector over a set of edge nodes — the
+// first half of §IV.C's high-availability open problem ("dynamic changes
+// in topology and high uncertainty in wireless communication"). Time is
+// always passed in, so detection is deterministic and testable. Monitor
+// is safe for concurrent use.
+type Monitor struct {
+	mu      sync.Mutex
+	timeout time.Duration
+	last    map[string]time.Time
+}
+
+// NewMonitor returns a detector that suspects a node when no heartbeat
+// has arrived for timeout (≤0 means 3 s, a LAN-scale default).
+func NewMonitor(timeout time.Duration) *Monitor {
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	return &Monitor{timeout: timeout, last: map[string]time.Time{}}
+}
+
+// Heartbeat records a beat from node at the given time. Unknown nodes are
+// registered implicitly (topology is dynamic).
+func (m *Monitor) Heartbeat(node string, at time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.last[node]; !ok || at.After(prev) {
+		m.last[node] = at
+	}
+}
+
+// State reports the node's state as of now. Nodes never heard from are
+// ErrUnknown.
+func (m *Monitor) State(node string, now time.Time) (NodeState, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	last, ok := m.last[node]
+	if !ok {
+		return 0, fmt.Errorf("%w: node %q", ErrUnknown, node)
+	}
+	if now.Sub(last) > m.timeout {
+		return NodeSuspect, nil
+	}
+	return NodeLive, nil
+}
+
+// Live returns the nodes considered live as of now, sorted by name.
+func (m *Monitor) Live(now time.Time) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for node, last := range m.last {
+		if now.Sub(last) <= m.timeout {
+			out = append(out, node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget drops a node from the detector (it left the topology).
+func (m *Monitor) Forget(node string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.last, node)
+}
+
+// Placement records which node runs a named computation and what it
+// costs, so the migrator can rebalance by load.
+type Placement struct {
+	Task string
+	Node string
+	// FLOPs is the per-invocation compute cost of the task, used as the
+	// load unit (work is allocated "according to the computing power",
+	// §II.C).
+	FLOPs float64
+}
+
+// Migrator assigns computations to nodes and moves them off failed nodes
+// — the second half of the §IV.C open problem ("computation migration,
+// and failure avoidance"). It balances by expected task runtime:
+// FLOPs / node FLOPS. Migrator is safe for concurrent use.
+type Migrator struct {
+	mu sync.Mutex
+	// capacity is each node's effective FLOPS.
+	capacity map[string]float64
+	tasks    map[string]Placement
+}
+
+// NewMigrator returns a migrator over the given node capacities
+// (node → effective FLOPS).
+func NewMigrator(capacity map[string]float64) *Migrator {
+	cp := make(map[string]float64, len(capacity))
+	for n, f := range capacity {
+		cp[n] = f
+	}
+	return &Migrator{capacity: cp, tasks: map[string]Placement{}}
+}
+
+// Assign places a task on the least-loaded live node (by expected
+// runtime) and returns the placement. Re-assigning an existing task moves
+// it.
+func (g *Migrator) Assign(task string, flops float64, live []string) (Placement, error) {
+	if task == "" || flops <= 0 {
+		return Placement{}, fmt.Errorf("runenv: bad task %q flops %g", task, flops)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	node, err := g.pickLocked(live, task, flops)
+	if err != nil {
+		return Placement{}, err
+	}
+	p := Placement{Task: task, Node: node, FLOPs: flops}
+	g.tasks[task] = p
+	return p, nil
+}
+
+// pickLocked returns the live node with the smallest expected total
+// runtime after adding the task (ties broken by name for determinism).
+// The task's current node, if any, is excluded from load accounting so a
+// move is judged by its destination load only.
+func (g *Migrator) pickLocked(live []string, task string, flops float64) (string, error) {
+	loads := make(map[string]float64, len(live))
+	eligible := map[string]bool{}
+	for _, n := range live {
+		if g.capacity[n] > 0 {
+			eligible[n] = true
+			loads[n] = 0
+		}
+	}
+	if len(eligible) == 0 {
+		return "", fmt.Errorf("%w: %d candidates", ErrNoLiveNode, len(live))
+	}
+	for name, p := range g.tasks {
+		if name == task {
+			continue
+		}
+		if eligible[p.Node] {
+			loads[p.Node] += p.FLOPs / g.capacity[p.Node]
+		}
+	}
+	names := make([]string, 0, len(eligible))
+	for n := range eligible {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	after := func(n string) float64 { return loads[n] + flops/g.capacity[n] }
+	best := names[0]
+	for _, n := range names[1:] {
+		if after(n) < after(best) {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// Placements returns all current placements sorted by task name.
+func (g *Migrator) Placements() []Placement {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Placement, 0, len(g.tasks))
+	for _, p := range g.tasks {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Task < out[j].Task })
+	return out
+}
+
+// Remove drops a task from the migrator.
+func (g *Migrator) Remove(task string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.tasks[task]; !ok {
+		return fmt.Errorf("%w: task %q", ErrUnknown, task)
+	}
+	delete(g.tasks, task)
+	return nil
+}
+
+// MigrateOff moves every task placed on failed nodes onto the live set,
+// least-loaded first (largest tasks move first so they land on the
+// emptiest nodes). It returns the new placements of the moved tasks.
+func (g *Migrator) MigrateOff(live []string) ([]Placement, error) {
+	liveSet := map[string]bool{}
+	for _, n := range live {
+		liveSet[n] = true
+	}
+	g.mu.Lock()
+	var orphans []Placement
+	for _, p := range g.tasks {
+		if !liveSet[p.Node] {
+			orphans = append(orphans, p)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].FLOPs != orphans[j].FLOPs {
+			return orphans[i].FLOPs > orphans[j].FLOPs
+		}
+		return orphans[i].Task < orphans[j].Task
+	})
+	g.mu.Unlock()
+
+	moved := make([]Placement, 0, len(orphans))
+	for _, p := range orphans {
+		np, err := g.Assign(p.Task, p.FLOPs, live)
+		if err != nil {
+			return moved, fmt.Errorf("migrating task %q: %w", p.Task, err)
+		}
+		moved = append(moved, np)
+	}
+	return moved, nil
+}

@@ -1,0 +1,191 @@
+package runenv
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMonitorDetectsSilence(t *testing.T) {
+	m := NewMonitor(time.Second)
+	t0 := time.Unix(1000, 0)
+	m.Heartbeat("rpi-a", t0)
+	m.Heartbeat("rpi-b", t0)
+
+	if st, err := m.State("rpi-a", t0.Add(500*time.Millisecond)); err != nil || st != NodeLive {
+		t.Fatalf("fresh node: %v %v", st, err)
+	}
+	if st, err := m.State("rpi-a", t0.Add(1500*time.Millisecond)); err != nil || st != NodeSuspect {
+		t.Fatalf("silent node: %v %v", st, err)
+	}
+	// A new heartbeat revives the node.
+	m.Heartbeat("rpi-a", t0.Add(2*time.Second))
+	if st, _ := m.State("rpi-a", t0.Add(2500*time.Millisecond)); st != NodeLive {
+		t.Fatalf("revived node is %v", st)
+	}
+	if _, err := m.State("ghost", t0); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown node: %v", err)
+	}
+}
+
+func TestMonitorIgnoresStaleHeartbeats(t *testing.T) {
+	m := NewMonitor(time.Second)
+	t0 := time.Unix(1000, 0)
+	m.Heartbeat("n", t0)
+	m.Heartbeat("n", t0.Add(-time.Hour)) // reordered packet
+	if st, _ := m.State("n", t0.Add(500*time.Millisecond)); st != NodeLive {
+		t.Fatalf("stale heartbeat regressed node to %v", st)
+	}
+}
+
+func TestMonitorLiveSetAndForget(t *testing.T) {
+	m := NewMonitor(time.Second)
+	t0 := time.Unix(1000, 0)
+	m.Heartbeat("b", t0)
+	m.Heartbeat("a", t0)
+	m.Heartbeat("dead", t0.Add(-time.Minute))
+
+	live := m.Live(t0)
+	if len(live) != 2 || live[0] != "a" || live[1] != "b" {
+		t.Fatalf("live = %v", live)
+	}
+	m.Forget("a")
+	if live = m.Live(t0); len(live) != 1 || live[0] != "b" {
+		t.Fatalf("live after forget = %v", live)
+	}
+}
+
+func TestMigratorBalancesByCapacity(t *testing.T) {
+	// server is 10× the pi: equal tasks should stack onto the server
+	// until its expected runtime exceeds the pi's.
+	g := NewMigrator(map[string]float64{"pi": 1e9, "server": 1e10})
+	live := []string{"pi", "server"}
+	counts := map[string]int{}
+	for i := 0; i < 11; i++ {
+		p, err := g.Assign(string(rune('a'+i)), 1e9, live)
+		if err != nil {
+			t.Fatalf("Assign: %v", err)
+		}
+		counts[p.Node]++
+	}
+	// Expected runtimes equalize near server:pi = 10:1.
+	if counts["server"] < 9 {
+		t.Fatalf("capacity-blind placement: %v", counts)
+	}
+	if counts["pi"] == 0 {
+		t.Fatalf("pi never used: %v", counts)
+	}
+}
+
+func TestMigratorMovesTasksOffFailedNode(t *testing.T) {
+	g := NewMigrator(map[string]float64{"a": 1e9, "b": 1e9, "c": 1e9})
+	all := []string{"a", "b", "c"}
+	for i, task := range []string{"t1", "t2", "t3", "t4", "t5", "t6"} {
+		if _, err := g.Assign(task, float64(1+i)*1e8, all); err != nil {
+			t.Fatalf("Assign: %v", err)
+		}
+	}
+	// Node a fails.
+	live := []string{"b", "c"}
+	moved, err := g.MigrateOff(live)
+	if err != nil {
+		t.Fatalf("MigrateOff: %v", err)
+	}
+	if len(moved) == 0 {
+		t.Fatal("nothing migrated although a node failed")
+	}
+	for _, p := range g.Placements() {
+		if p.Node == "a" {
+			t.Fatalf("task %q still on failed node", p.Task)
+		}
+	}
+	// Idempotent when everything is already live.
+	again, err := g.MigrateOff(live)
+	if err != nil || len(again) != 0 {
+		t.Fatalf("second MigrateOff: %v moved %d", err, len(again))
+	}
+}
+
+func TestMigratorNoLiveNode(t *testing.T) {
+	g := NewMigrator(map[string]float64{"a": 1e9})
+	if _, err := g.Assign("t", 1e8, nil); !errors.Is(err, ErrNoLiveNode) {
+		t.Fatalf("want ErrNoLiveNode, got %v", err)
+	}
+	// Live nodes without known capacity are not eligible either.
+	if _, err := g.Assign("t", 1e8, []string{"stranger"}); !errors.Is(err, ErrNoLiveNode) {
+		t.Fatalf("unknown-capacity node accepted: %v", err)
+	}
+}
+
+func TestMigratorRemove(t *testing.T) {
+	g := NewMigrator(map[string]float64{"a": 1e9})
+	if _, err := g.Assign("t", 1e8, []string{"a"}); err != nil {
+		t.Fatalf("Assign: %v", err)
+	}
+	if err := g.Remove("t"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := g.Remove("t"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if len(g.Placements()) != 0 {
+		t.Fatal("placement survived Remove")
+	}
+}
+
+func TestMigratorRejectsBadTasks(t *testing.T) {
+	g := NewMigrator(map[string]float64{"a": 1e9})
+	if _, err := g.Assign("", 1e8, []string{"a"}); err == nil {
+		t.Fatal("empty task accepted")
+	}
+	if _, err := g.Assign("t", 0, []string{"a"}); err == nil {
+		t.Fatal("zero-flop task accepted")
+	}
+}
+
+// Property: after any failure pattern, MigrateOff leaves every task on a
+// live node with known capacity.
+func TestMigratorAllTasksOnLiveNodesProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := []string{"a", "b", "c", "d"}
+		capacity := map[string]float64{}
+		for _, n := range nodes {
+			capacity[n] = (1 + rng.Float64()*9) * 1e9
+		}
+		g := NewMigrator(capacity)
+		for i := 0; i < 12; i++ {
+			if _, err := g.Assign(string(rune('a'+i)), (1+rng.Float64())*1e8, nodes); err != nil {
+				return false
+			}
+		}
+		// Fail a random non-empty strict subset.
+		var live []string
+		for _, n := range nodes {
+			if rng.Intn(2) == 0 {
+				live = append(live, n)
+			}
+		}
+		if len(live) == 0 {
+			live = nodes[:1]
+		}
+		if _, err := g.MigrateOff(live); err != nil {
+			return false
+		}
+		liveSet := map[string]bool{}
+		for _, n := range live {
+			liveSet[n] = true
+		}
+		for _, p := range g.Placements() {
+			if !liveSet[p.Node] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

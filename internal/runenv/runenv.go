@@ -1,0 +1,43 @@
+// Package runenv implements the paper's §IV.C "running environments" —
+// the layer between the edge OS and the package manager that the paper
+// says must be "capable of handling deep learning packages, allocating
+// computation resources and migrating computation loads" while staying
+// lightweight. It provides the three designs §IV.C surveys plus the
+// open problem it poses:
+//
+//   - Scheduler: a TinyOS-style event-driven run-to-completion scheduler
+//     (a "tiny scheduler and a components graph") with an urgent lane for
+//     the real-time ML module;
+//   - Bus: a ROS-style topic pub/sub message bus ("the ROS topic is
+//     defined to share messages between ROS nodes");
+//   - VCU: an OpenVDAP-style computing-unit allocator that "supports EI
+//     by allocating hardware resources according to an application";
+//   - Monitor/Migrator: heartbeat failure detection and computation
+//     migration between edges — the §IV.C open problem of "high
+//     availability related to … computation migration, and failure
+//     avoidance".
+//
+// All components are deterministic where possible: time is injected, and
+// the only goroutine in the package is the scheduler's single worker,
+// which Close joins.
+package runenv
+
+import "errors"
+
+// Errors shared across the running-environment components.
+var (
+	// ErrClosed is returned when posting to or subscribing on a closed
+	// component.
+	ErrClosed = errors.New("runenv: closed")
+	// ErrQueueFull is returned when the scheduler's bounded task queue
+	// overflows (TinyOS drops work rather than block sensing).
+	ErrQueueFull = errors.New("runenv: task queue full")
+	// ErrInsufficient is returned when a VCU cannot satisfy a resource
+	// request.
+	ErrInsufficient = errors.New("runenv: insufficient resources")
+	// ErrUnknown is returned for lookups of unknown allocations, nodes or
+	// tasks.
+	ErrUnknown = errors.New("runenv: unknown")
+	// ErrNoLiveNode is returned when migration finds no live target.
+	ErrNoLiveNode = errors.New("runenv: no live node")
+)

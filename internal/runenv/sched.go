@@ -1,0 +1,179 @@
+package runenv
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Priority orders tasks in the scheduler. Urgent is the lane the package
+// manager's real-time ML module uses ("the machine learning task will be
+// set to the highest priority", §III.B).
+type Priority int
+
+// Scheduler priorities.
+const (
+	Normal Priority = iota + 1
+	Urgent
+)
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case Normal:
+		return "normal"
+	case Urgent:
+		return "urgent"
+	default:
+		return fmt.Sprintf("priority(%d)", int(p))
+	}
+}
+
+// Task is one unit of run-to-completion work.
+type Task struct {
+	// Name identifies the task in stats and errors.
+	Name string
+	// Priority selects the lane; zero value means Normal.
+	Priority Priority
+	// Run is executed exactly once by the scheduler worker. It must not
+	// block indefinitely: the scheduler is single-threaded by design
+	// (TinyOS runs tasks to completion).
+	Run func()
+}
+
+// SchedStats reports scheduler counters.
+type SchedStats struct {
+	// Executed counts completed tasks per priority.
+	ExecutedUrgent int64
+	ExecutedNormal int64
+	// Dropped counts tasks rejected because the queue was full.
+	Dropped int64
+	// MaxQueueDelay is the longest observed post→start delay.
+	MaxQueueDelay time.Duration
+}
+
+// Scheduler is a TinyOS-style event-driven scheduler: a bounded two-lane
+// FIFO drained by a single worker, urgent lane first. Construct with
+// NewScheduler; Close joins the worker.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	urgent  []queuedTask
+	normal  []queuedTask
+	cap     int
+	closed  bool
+	stats   SchedStats
+	done    chan struct{}
+	nowFunc func() time.Time
+}
+
+type queuedTask struct {
+	task   Task
+	queued time.Time
+}
+
+// NewScheduler returns a running scheduler whose two lanes hold at most
+// queueCap tasks combined (≤0 means 256, the "small physical size"
+// default).
+func NewScheduler(queueCap int) *Scheduler {
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	s := &Scheduler{cap: queueCap, done: make(chan struct{}), nowFunc: time.Now}
+	s.cond = sync.NewCond(&s.mu)
+	go s.loop()
+	return s
+}
+
+// Post enqueues a task. It never blocks: a full queue returns
+// ErrQueueFull, and a closed scheduler returns ErrClosed.
+func (s *Scheduler) Post(t Task) error {
+	if t.Run == nil {
+		return fmt.Errorf("runenv: task %q has nil Run", t.Name)
+	}
+	if t.Priority == 0 {
+		t.Priority = Normal
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%w: scheduler", ErrClosed)
+	}
+	if len(s.urgent)+len(s.normal) >= s.cap {
+		s.stats.Dropped++
+		return fmt.Errorf("%w: task %q", ErrQueueFull, t.Name)
+	}
+	qt := queuedTask{task: t, queued: s.nowFunc()}
+	if t.Priority == Urgent {
+		s.urgent = append(s.urgent, qt)
+	} else {
+		s.normal = append(s.normal, qt)
+	}
+	s.cond.Signal()
+	return nil
+}
+
+// loop is the single worker: urgent lane drains before normal, each task
+// runs to completion.
+func (s *Scheduler) loop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for !s.closed && len(s.urgent) == 0 && len(s.normal) == 0 {
+			s.cond.Wait()
+		}
+		if s.closed && len(s.urgent) == 0 && len(s.normal) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		var qt queuedTask
+		if len(s.urgent) > 0 {
+			qt, s.urgent = s.urgent[0], s.urgent[1:]
+		} else {
+			qt, s.normal = s.normal[0], s.normal[1:]
+		}
+		if d := s.nowFunc().Sub(qt.queued); d > s.stats.MaxQueueDelay {
+			s.stats.MaxQueueDelay = d
+		}
+		s.mu.Unlock()
+
+		qt.task.Run()
+
+		s.mu.Lock()
+		if qt.task.Priority == Urgent {
+			s.stats.ExecutedUrgent++
+		} else {
+			s.stats.ExecutedNormal++
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() SchedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Pending returns the number of queued (not yet started) tasks.
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.urgent) + len(s.normal)
+}
+
+// Close stops accepting tasks, drains the queues, and joins the worker.
+// It is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.cond.Signal()
+	s.mu.Unlock()
+	<-s.done
+}

@@ -1,0 +1,204 @@
+package runenv
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", d)
+}
+
+func TestSchedulerRunsTasksInOrder(t *testing.T) {
+	s := NewScheduler(16)
+	defer s.Close()
+
+	var mu sync.Mutex
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := s.Post(Task{Name: "t", Run: func() {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatalf("Post: %v", err)
+		}
+	}
+	waitFor(t, time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 5
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO order violated: got %v", got)
+		}
+	}
+}
+
+func TestSchedulerUrgentLaneDrainsFirst(t *testing.T) {
+	s := NewScheduler(16)
+	defer s.Close()
+
+	var mu sync.Mutex
+	var got []string
+	release := make(chan struct{})
+	// Occupy the worker so the queue builds up behind it.
+	if err := s.Post(Task{Name: "block", Run: func() { <-release }}); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	push := func(name string, p Priority) {
+		if err := s.Post(Task{Name: name, Priority: p, Run: func() {
+			mu.Lock()
+			got = append(got, name)
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatalf("Post(%s): %v", name, err)
+		}
+	}
+	push("n1", Normal)
+	push("n2", Normal)
+	push("u1", Urgent)
+	push("u2", Urgent)
+	close(release)
+
+	waitFor(t, time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 4
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"u1", "u2", "n1", "n2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("priority order: got %v want %v", got, want)
+		}
+	}
+
+	st := s.Stats()
+	if st.ExecutedUrgent != 2 || st.ExecutedNormal != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestSchedulerQueueFullDrops(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+
+	release := make(chan struct{})
+	defer close(release)
+	if err := s.Post(Task{Name: "block", Run: func() { <-release }}); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	// Wait for the blocker to start so the queue is empty again.
+	waitFor(t, time.Second, func() bool { return s.Pending() == 0 })
+	if err := s.Post(Task{Name: "a", Run: func() {}}); err != nil {
+		t.Fatalf("Post a: %v", err)
+	}
+	if err := s.Post(Task{Name: "b", Run: func() {}}); err != nil {
+		t.Fatalf("Post b: %v", err)
+	}
+	err := s.Post(Task{Name: "c", Run: func() {}})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if st := s.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestSchedulerRejectsNilRun(t *testing.T) {
+	s := NewScheduler(4)
+	defer s.Close()
+	if err := s.Post(Task{Name: "nil"}); err == nil {
+		t.Fatal("want error for nil Run")
+	}
+}
+
+func TestSchedulerCloseDrainsAndIsIdempotent(t *testing.T) {
+	s := NewScheduler(16)
+	var mu sync.Mutex
+	ran := 0
+	for i := 0; i < 8; i++ {
+		if err := s.Post(Task{Name: "t", Run: func() {
+			mu.Lock()
+			ran++
+			mu.Unlock()
+		}}); err != nil {
+			t.Fatalf("Post: %v", err)
+		}
+	}
+	s.Close()
+	s.Close() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 8 {
+		t.Fatalf("Close did not drain: ran %d of 8", ran)
+	}
+	if err := s.Post(Task{Name: "late", Run: func() {}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post after close: want ErrClosed, got %v", err)
+	}
+}
+
+func TestSchedulerConcurrentPosters(t *testing.T) {
+	s := NewScheduler(4096)
+	defer s.Close()
+
+	var mu sync.Mutex
+	ran := 0
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				_ = s.Post(Task{Name: "t", Run: func() {
+					mu.Lock()
+					ran++
+					mu.Unlock()
+				}})
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, 2*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return ran == 8*64
+	})
+}
+
+func TestSchedulerTracksQueueDelay(t *testing.T) {
+	s := NewScheduler(16)
+	defer s.Close()
+
+	release := make(chan struct{})
+	if err := s.Post(Task{Name: "block", Run: func() { <-release }}); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	done := make(chan struct{})
+	if err := s.Post(Task{Name: "waits", Run: func() { close(done) }}); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	<-done
+	if st := s.Stats(); st.MaxQueueDelay < 10*time.Millisecond {
+		t.Fatalf("MaxQueueDelay = %v, want ≥ 10ms", st.MaxQueueDelay)
+	}
+}

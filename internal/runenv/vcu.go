@@ -1,0 +1,128 @@
+package runenv
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"openei/internal/hardware"
+)
+
+// Request asks a VCU for a slice of its device.
+type Request struct {
+	// App names the requesting application (for accounting).
+	App string
+	// ComputeShare is the fraction of the device's FLOPS wanted, in
+	// (0, 1].
+	ComputeShare float64
+	// MemBytes is the RAM wanted for weights + activations.
+	MemBytes int64
+}
+
+// Allocation is a granted Request.
+type Allocation struct {
+	ID     int
+	App    string
+	Share  float64
+	Mem    int64
+	device hardware.Device
+}
+
+// FLOPS returns the compute throughput this allocation may use: the
+// device's effective FLOPS scaled by the granted share.
+func (a Allocation) FLOPS() float64 { return a.device.FLOPS * a.Share }
+
+// InferLatency scales a full-device latency estimate to this allocation's
+// share (an app holding 25 % of the VCU runs the same model 4× slower).
+func (a Allocation) InferLatency(fullDevice time.Duration) time.Duration {
+	if a.Share <= 0 {
+		return fullDevice
+	}
+	return time.Duration(float64(fullDevice) / a.Share)
+}
+
+// VCU is an OpenVDAP-style computing-unit allocator: it owns one hardware
+// device and grants applications bounded shares of its compute and
+// memory, refusing requests that would oversubscribe either ("allocating
+// hardware resources according to an application"). VCU is safe for
+// concurrent use.
+type VCU struct {
+	mu     sync.Mutex
+	device hardware.Device
+	nextID int
+	allocs map[int]Allocation
+}
+
+// NewVCU returns a VCU managing the given device.
+func NewVCU(device hardware.Device) *VCU {
+	return &VCU{device: device, allocs: map[int]Allocation{}}
+}
+
+// Device returns the managed device.
+func (v *VCU) Device() hardware.Device { return v.device }
+
+// Allocate grants the request or returns ErrInsufficient. Compute shares
+// across live allocations never exceed 1.0 and memory never exceeds the
+// device budget.
+func (v *VCU) Allocate(req Request) (Allocation, error) {
+	if req.ComputeShare <= 0 || req.ComputeShare > 1 {
+		return Allocation{}, fmt.Errorf("runenv: bad compute share %g for app %q", req.ComputeShare, req.App)
+	}
+	if req.MemBytes <= 0 {
+		return Allocation{}, fmt.Errorf("runenv: bad memory request %d for app %q", req.MemBytes, req.App)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	share, mem := v.usedLocked()
+	if share+req.ComputeShare > 1.0+1e-9 {
+		return Allocation{}, fmt.Errorf("%w: compute %.0f%% used, %.0f%% asked (device %s)",
+			ErrInsufficient, share*100, req.ComputeShare*100, v.device.Name)
+	}
+	if mem+req.MemBytes > v.device.MemBytes {
+		return Allocation{}, fmt.Errorf("%w: memory %d/%d used, %d asked (device %s)",
+			ErrInsufficient, mem, v.device.MemBytes, req.MemBytes, v.device.Name)
+	}
+	v.nextID++
+	a := Allocation{ID: v.nextID, App: req.App, Share: req.ComputeShare, Mem: req.MemBytes, device: v.device}
+	v.allocs[a.ID] = a
+	return a, nil
+}
+
+// Release frees a previous allocation.
+func (v *VCU) Release(id int) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.allocs[id]; !ok {
+		return fmt.Errorf("%w: allocation %d", ErrUnknown, id)
+	}
+	delete(v.allocs, id)
+	return nil
+}
+
+// Used reports the currently granted compute share and memory.
+func (v *VCU) Used() (share float64, mem int64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.usedLocked()
+}
+
+func (v *VCU) usedLocked() (share float64, mem int64) {
+	for _, a := range v.allocs {
+		share += a.Share
+		mem += a.Mem
+	}
+	return share, mem
+}
+
+// Allocations returns the live allocations sorted by ID.
+func (v *VCU) Allocations() []Allocation {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]Allocation, 0, len(v.allocs))
+	for _, a := range v.allocs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

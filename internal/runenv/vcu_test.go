@@ -1,0 +1,143 @@
+package runenv
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openei/internal/hardware"
+)
+
+func testDevice(t *testing.T) hardware.Device {
+	t.Helper()
+	d, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	return d
+}
+
+func TestVCUAllocateAndRelease(t *testing.T) {
+	v := NewVCU(testDevice(t))
+	a, err := v.Allocate(Request{App: "vaps", ComputeShare: 0.5, MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if got := a.FLOPS(); got != v.Device().FLOPS*0.5 {
+		t.Fatalf("FLOPS = %g, want half of device", got)
+	}
+	share, mem := v.Used()
+	if share != 0.5 || mem != 1<<20 {
+		t.Fatalf("Used = %g, %d", share, mem)
+	}
+	if err := v.Release(a.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if share, mem = v.Used(); share != 0 || mem != 0 {
+		t.Fatalf("Used after release = %g, %d", share, mem)
+	}
+	if err := v.Release(a.ID); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("double release: want ErrUnknown, got %v", err)
+	}
+}
+
+func TestVCUAdmissionControl(t *testing.T) {
+	v := NewVCU(testDevice(t))
+	if _, err := v.Allocate(Request{App: "a", ComputeShare: 0.7, MemBytes: 1 << 20}); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	// Oversubscribing compute is refused.
+	if _, err := v.Allocate(Request{App: "b", ComputeShare: 0.4, MemBytes: 1 << 20}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("compute oversubscribe: want ErrInsufficient, got %v", err)
+	}
+	// Oversubscribing memory is refused.
+	if _, err := v.Allocate(Request{App: "c", ComputeShare: 0.1, MemBytes: v.Device().MemBytes}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("memory oversubscribe: want ErrInsufficient, got %v", err)
+	}
+	// A fitting request still succeeds.
+	if _, err := v.Allocate(Request{App: "d", ComputeShare: 0.3, MemBytes: 1 << 20}); err != nil {
+		t.Fatalf("fitting request refused: %v", err)
+	}
+}
+
+func TestVCURejectsBadRequests(t *testing.T) {
+	v := NewVCU(testDevice(t))
+	cases := []Request{
+		{App: "x", ComputeShare: 0, MemBytes: 1},
+		{App: "x", ComputeShare: -0.1, MemBytes: 1},
+		{App: "x", ComputeShare: 1.5, MemBytes: 1},
+		{App: "x", ComputeShare: 0.5, MemBytes: 0},
+		{App: "x", ComputeShare: 0.5, MemBytes: -5},
+	}
+	for _, req := range cases {
+		if _, err := v.Allocate(req); err == nil {
+			t.Fatalf("request %+v accepted", req)
+		}
+	}
+}
+
+func TestVCUAllocationLatencyScaling(t *testing.T) {
+	v := NewVCU(testDevice(t))
+	a, err := v.Allocate(Request{App: "x", ComputeShare: 0.25, MemBytes: 1 << 20})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if got := a.InferLatency(time.Millisecond); got != 4*time.Millisecond {
+		t.Fatalf("InferLatency = %v, want 4ms at 25%% share", got)
+	}
+}
+
+func TestVCUAllocationsSorted(t *testing.T) {
+	v := NewVCU(testDevice(t))
+	for i := 0; i < 3; i++ {
+		if _, err := v.Allocate(Request{App: "x", ComputeShare: 0.1, MemBytes: 1 << 10}); err != nil {
+			t.Fatalf("Allocate: %v", err)
+		}
+	}
+	as := v.Allocations()
+	if len(as) != 3 {
+		t.Fatalf("len = %d", len(as))
+	}
+	for i := 1; i < len(as); i++ {
+		if as[i].ID <= as[i-1].ID {
+			t.Fatalf("not sorted: %+v", as)
+		}
+	}
+}
+
+// Property: under any sequence of allocate/release operations the VCU
+// never grants more than 100% compute or the device memory budget.
+func TestVCUNeverOversubscribesProperty(t *testing.T) {
+	dev := testDevice(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := NewVCU(dev)
+		var ids []int
+		for op := 0; op < 200; op++ {
+			if rng.Intn(3) == 0 && len(ids) > 0 {
+				i := rng.Intn(len(ids))
+				_ = v.Release(ids[i])
+				ids = append(ids[:i], ids[i+1:]...)
+			} else {
+				a, err := v.Allocate(Request{
+					App:          "p",
+					ComputeShare: rng.Float64()*1.2 + 0.01,
+					MemBytes:     int64(rng.Intn(int(dev.MemBytes))) + 1,
+				})
+				if err == nil {
+					ids = append(ids, a.ID)
+				}
+			}
+			share, mem := v.Used()
+			if share > 1.0+1e-6 || mem > dev.MemBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

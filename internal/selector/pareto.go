@@ -1,0 +1,59 @@
+package selector
+
+import (
+	"sort"
+
+	"openei/internal/alem"
+)
+
+// Pareto returns the Pareto-optimal subset of choices over the four ALEM
+// dimensions (maximize Accuracy; minimize Latency, Energy, Memory): a
+// choice survives iff no other choice is at least as good in every
+// dimension and strictly better in one. The paper frames selection as
+// picking one optimum under constraints (Equation 1); the frontier is the
+// set of *all* combinations any constraint setting could ever pick, which
+// is what a deployment dashboard actually wants to show.
+//
+// The result is sorted by ascending latency. Complexity is O(n²), fine for
+// the ≤ few-thousand-point spaces Figure 5 describes.
+func Pareto(choices []Choice) []Choice {
+	var front []Choice
+	for i, c := range choices {
+		dominated := false
+		for j, d := range choices {
+			if i == j {
+				continue
+			}
+			if dominates(d.ALEM, c.ALEM) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, c)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].ALEM.Latency != front[j].ALEM.Latency {
+			return front[i].ALEM.Latency < front[j].ALEM.Latency
+		}
+		return front[i].ALEM.Accuracy > front[j].ALEM.Accuracy
+	})
+	return front
+}
+
+// dominates reports whether a is at least as good as b in all four ALEM
+// dimensions and strictly better in at least one.
+func dominates(a, b alem.ALEM) bool {
+	geq := a.Accuracy >= b.Accuracy &&
+		a.Latency <= b.Latency &&
+		a.Energy <= b.Energy &&
+		a.Memory <= b.Memory
+	if !geq {
+		return false
+	}
+	return a.Accuracy > b.Accuracy ||
+		a.Latency < b.Latency ||
+		a.Energy < b.Energy ||
+		a.Memory < b.Memory
+}

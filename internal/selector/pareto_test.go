@@ -1,0 +1,153 @@
+package selector
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openei/internal/alem"
+)
+
+func mk(acc float64, lat time.Duration, energy float64, mem int64) Choice {
+	return Choice{ALEM: alem.ALEM{Accuracy: acc, Latency: lat, Energy: energy, Memory: mem}}
+}
+
+func TestParetoDropsDominated(t *testing.T) {
+	a := mk(0.9, 10*time.Millisecond, 1, 100) // dominated by b
+	b := mk(0.95, 5*time.Millisecond, 0.5, 50)
+	c := mk(0.99, 50*time.Millisecond, 2, 200) // best accuracy, worst cost
+	front := Pareto([]Choice{a, b, c})
+	if len(front) != 2 {
+		t.Fatalf("frontier size = %d, want 2 (got %v)", len(front), front)
+	}
+	// Sorted by latency: b then c.
+	if front[0].ALEM.Accuracy != 0.95 || front[1].ALEM.Accuracy != 0.99 {
+		t.Errorf("frontier = %v", front)
+	}
+}
+
+func TestParetoKeepsIncomparable(t *testing.T) {
+	// Two points trading accuracy against latency: both survive.
+	a := mk(0.9, 1*time.Millisecond, 1, 100)
+	b := mk(0.95, 2*time.Millisecond, 1, 100)
+	front := Pareto([]Choice{a, b})
+	if len(front) != 2 {
+		t.Fatalf("frontier size = %d, want 2", len(front))
+	}
+}
+
+func TestParetoIdenticalPointsAllSurvive(t *testing.T) {
+	a := mk(0.9, time.Millisecond, 1, 100)
+	front := Pareto([]Choice{a, a, a})
+	if len(front) != 3 {
+		t.Errorf("identical points: frontier = %d, want 3 (none strictly dominates)", len(front))
+	}
+}
+
+func TestParetoEmpty(t *testing.T) {
+	if got := Pareto(nil); got != nil {
+		t.Errorf("Pareto(nil) = %v", got)
+	}
+}
+
+// Properties: the frontier is non-empty for non-empty input, contains no
+// dominated point, and every dropped point is dominated by some frontier
+// point.
+func TestParetoProperties(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		var cs []Choice
+		for _, v := range raw {
+			cs = append(cs, mk(
+				float64(v%100)/100,
+				time.Duration(1+(v>>8)%1000)*time.Microsecond,
+				float64(1+(v>>16)%50),
+				int64(1+(v>>24)%200),
+			))
+		}
+		front := Pareto(cs)
+		if len(front) == 0 {
+			return false
+		}
+		inFront := func(c Choice) bool {
+			for _, f := range front {
+				if f.ALEM == c.ALEM {
+					return true
+				}
+			}
+			return false
+		}
+		for i, c := range front {
+			for j, d := range front {
+				if i != j && dominates(d.ALEM, c.ALEM) {
+					return false // dominated point inside the frontier
+				}
+			}
+		}
+		for _, c := range cs {
+			if inFront(c) {
+				continue
+			}
+			found := false
+			for _, d := range cs {
+				if dominates(d.ALEM, c.ALEM) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false // dropped but not dominated by anything
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoOnRealSpace(t *testing.T) {
+	f := newFixture(t)
+	space, err := Table(f.cands, f.pkgs, f.devs, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Pareto(space)
+	if len(front) == 0 || len(front) >= len(space) {
+		t.Fatalf("frontier %d of %d points", len(front), len(space))
+	}
+	// For every objective, some frontier point must achieve the optimal
+	// objective value (Exhaustive breaks ties arbitrarily, so its exact
+	// tuple may be dominated by an equal-objective, cheaper point — but
+	// the optimal *value* is always represented on the frontier).
+	for _, obj := range []Objective{MinLatency, MaxAccuracy, MinEnergy, MinMemory} {
+		choice, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: obj}, f.prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, fc := range front {
+			switch obj {
+			case MaxAccuracy:
+				found = fc.ALEM.Accuracy >= choice.ALEM.Accuracy
+			case MinEnergy:
+				found = fc.ALEM.Energy <= choice.ALEM.Energy
+			case MinMemory:
+				found = fc.ALEM.Memory <= choice.ALEM.Memory
+			default:
+				found = fc.ALEM.Latency <= choice.ALEM.Latency
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%v optimal value %v not represented on the Pareto frontier", obj, choice.ALEM)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+// Package selector implements the paper's model selector (§III.C): the
+// selecting algorithm SA that solves Equation 1,
+//
+//	argmin_{m ∈ Models} L   s.t.  A ≥ Areq, E ≤ Epro, M ≤ Mpro
+//
+// over the three-dimensional space of Figure 5 (models × packages × edge
+// hardware), with the objective axis configurable exactly as the paper
+// describes ("if users pay more attention to Accuracy, the optimization
+// target will be replaced by maximize A and the constraints are L, E, M").
+//
+// Three strategies are provided so the E5 ablation can compare them:
+//
+//   - Exhaustive: enumerate every feasible combination (the reference SA).
+//   - Greedy: a naive baseline that picks the most accurate model that
+//     fits, ignoring the joint package/latency structure.
+//   - QLearner: a reinforcement-learning selector (the paper: "deep
+//     reinforcement learning will be leveraged to find the optimal
+//     combination"), implemented as an ε-greedy bandit over combinations.
+package selector
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+)
+
+// ErrInfeasible is returned when no combination satisfies the constraints.
+var ErrInfeasible = errors.New("selector: no feasible combination")
+
+// Objective selects which ALEM dimension is optimized; the other
+// dimensions act as constraints.
+type Objective int
+
+// Objectives, mirroring §III.C.
+const (
+	MinLatency Objective = iota + 1
+	MaxAccuracy
+	MinEnergy
+	MinMemory
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MinLatency:
+		return "min-latency"
+	case MaxAccuracy:
+		return "max-accuracy"
+	case MinEnergy:
+		return "min-energy"
+	case MinMemory:
+		return "min-memory"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Requirements is the user's request: the objective plus the constraint
+// thresholds of Equation 1. Zero values mean "unconstrained" except
+// MinAccuracy, which defaults to 0 (no accuracy floor).
+type Requirements struct {
+	Objective   Objective
+	MinAccuracy float64       // Areq
+	MaxLatency  time.Duration // latency budget when it is a constraint
+	MaxEnergy   float64       // Epro, joules per inference
+	MaxMemory   int64         // Mpro, bytes; 0 = the device's capacity
+}
+
+// Candidate is one model artifact to consider: a trained model and whether
+// to evaluate its int8-quantized variant.
+type Candidate struct {
+	Name      string
+	Model     *nn.Model
+	Quantized bool
+}
+
+// Variants expands trained models into float and (optionally) quantized
+// candidates.
+func Variants(models map[string]*nn.Model, includeQuantized bool) []Candidate {
+	var out []Candidate
+	for name, m := range models {
+		out = append(out, Candidate{Name: name, Model: m})
+		if includeQuantized {
+			out = append(out, Candidate{Name: name, Model: m, Quantized: true})
+		}
+	}
+	return out
+}
+
+// Choice is one point in the 3-D space with its measured tuple.
+type Choice struct {
+	ModelName string
+	Quantized bool
+	Package   alem.Package
+	Device    hardware.Device
+	ALEM      alem.ALEM
+}
+
+// String implements fmt.Stringer.
+func (c Choice) String() string {
+	q := ""
+	if c.Quantized {
+		q = "+int8"
+	}
+	return fmt.Sprintf("%s%s on %s/%s %v", c.ModelName, q, c.Package.Name, c.Device.Name, c.ALEM)
+}
+
+// feasible checks Equation 1's constraints for the given objective (the
+// optimized dimension is never also a constraint).
+func feasible(a alem.ALEM, dev hardware.Device, req Requirements) bool {
+	maxMem := req.MaxMemory
+	if maxMem == 0 || maxMem > dev.MemBytes {
+		maxMem = dev.MemBytes
+	}
+	if a.Memory > maxMem && req.Objective != MinMemory {
+		return false
+	}
+	if req.Objective != MaxAccuracy && a.Accuracy < req.MinAccuracy {
+		return false
+	}
+	if req.Objective != MinLatency && req.MaxLatency > 0 && a.Latency > req.MaxLatency {
+		return false
+	}
+	if req.Objective != MinEnergy && req.MaxEnergy > 0 && a.Energy > req.MaxEnergy {
+		return false
+	}
+	// Even when optimizing memory the model must physically fit.
+	if req.Objective == MinMemory && a.Memory > dev.MemBytes {
+		return false
+	}
+	return true
+}
+
+// better reports whether a improves on best under the objective.
+func better(a, best alem.ALEM, o Objective) bool {
+	switch o {
+	case MaxAccuracy:
+		return a.Accuracy > best.Accuracy
+	case MinEnergy:
+		return a.Energy < best.Energy
+	case MinMemory:
+		return a.Memory < best.Memory
+	default:
+		return a.Latency < best.Latency
+	}
+}
+
+// enumerate profiles every combination, returning feasible choices.
+func enumerate(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, req Requirements, prof *alem.Profiler) ([]Choice, error) {
+	var out []Choice
+	for _, c := range cands {
+		for _, p := range pkgs {
+			for _, d := range devs {
+				v := alem.Variant{Quantized: c.Quantized}
+				if !prof.Fits(c.Model, p, d, v) {
+					continue
+				}
+				a, err := prof.Profile(c.Model, p, d, v)
+				if err != nil {
+					return nil, fmt.Errorf("profile %s/%s/%s: %w", c.Name, p.Name, d.Name, err)
+				}
+				if !feasible(a, d, req) {
+					continue
+				}
+				out = append(out, Choice{
+					ModelName: c.Name, Quantized: c.Quantized,
+					Package: p, Device: d, ALEM: a,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Exhaustive is the reference SA: full enumeration with constraint
+// filtering, returning the optimum under the objective.
+func Exhaustive(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, req Requirements, prof *alem.Profiler) (Choice, error) {
+	feas, err := enumerate(cands, pkgs, devs, req, prof)
+	if err != nil {
+		return Choice{}, err
+	}
+	if len(feas) == 0 {
+		return Choice{}, fmt.Errorf("%w: %d candidates × %d packages × %d devices under %+v",
+			ErrInfeasible, len(cands), len(pkgs), len(devs), req)
+	}
+	best := feas[0]
+	for _, c := range feas[1:] {
+		if better(c.ALEM, best.ALEM, req.Objective) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// Greedy is the naive baseline: choose the highest-accuracy model that fits
+// the first device it fits on, with the first package that runs it. It
+// satisfies the accuracy constraint but ignores the joint optimization —
+// the strawman the E5 ablation measures SA against.
+func Greedy(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, req Requirements, prof *alem.Profiler) (Choice, error) {
+	var best *Choice
+	var bestAcc float64 = -1
+	for _, c := range cands {
+		for _, p := range pkgs {
+			for _, d := range devs {
+				v := alem.Variant{Quantized: c.Quantized}
+				if !prof.Fits(c.Model, p, d, v) {
+					continue
+				}
+				a, err := prof.Profile(c.Model, p, d, v)
+				if err != nil {
+					return Choice{}, err
+				}
+				if a.Accuracy < req.MinAccuracy {
+					continue
+				}
+				if a.Accuracy > bestAcc {
+					bestAcc = a.Accuracy
+					best = &Choice{ModelName: c.Name, Quantized: c.Quantized, Package: p, Device: d, ALEM: a}
+				}
+			}
+		}
+	}
+	if best == nil {
+		return Choice{}, fmt.Errorf("%w (greedy)", ErrInfeasible)
+	}
+	return *best, nil
+}
+
+// QLearner is an ε-greedy bandit over the combination space: each arm is a
+// (candidate, package, device) triple, the reward is the normalized
+// objective score with a hard penalty for constraint violations. With
+// enough episodes it converges to the exhaustive optimum; with few
+// episodes it trades optimality for profiling cost — the trade-off the E5
+// ablation quantifies.
+type QLearner struct {
+	Episodes int
+	Epsilon  float64
+	Rand     *rand.Rand
+}
+
+// Select runs the bandit and returns its best arm.
+func (q *QLearner) Select(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, req Requirements, prof *alem.Profiler) (Choice, error) {
+	if q.Rand == nil {
+		return Choice{}, errors.New("selector: QLearner needs a random source")
+	}
+	episodes := q.Episodes
+	if episodes <= 0 {
+		episodes = 200
+	}
+	eps := q.Epsilon
+	if eps <= 0 {
+		eps = 0.2
+	}
+	type arm struct {
+		c Candidate
+		p alem.Package
+		d hardware.Device
+	}
+	var arms []arm
+	for _, c := range cands {
+		for _, p := range pkgs {
+			for _, d := range devs {
+				arms = append(arms, arm{c, p, d})
+			}
+		}
+	}
+	if len(arms) == 0 {
+		return Choice{}, fmt.Errorf("%w: empty space", ErrInfeasible)
+	}
+	qv := make([]float64, len(arms))
+	n := make([]int, len(arms))
+	pull := func(i int) (float64, *Choice, error) {
+		a := arms[i]
+		v := alem.Variant{Quantized: a.c.Quantized}
+		if !prof.Fits(a.c.Model, a.p, a.d, v) {
+			return -1, nil, nil
+		}
+		al, err := prof.Profile(a.c.Model, a.p, a.d, v)
+		if err != nil {
+			return 0, nil, err
+		}
+		if !feasible(al, a.d, req) {
+			return -1, nil, nil
+		}
+		ch := Choice{ModelName: a.c.Name, Quantized: a.c.Quantized, Package: a.p, Device: a.d, ALEM: al}
+		return reward(al, req.Objective), &ch, nil
+	}
+	var best *Choice
+	var bestR = -2.0
+	for ep := 0; ep < episodes; ep++ {
+		var i int
+		if q.Rand.Float64() < eps {
+			i = q.Rand.Intn(len(arms))
+		} else {
+			i = argmaxQ(qv, n, q.Rand)
+		}
+		r, ch, err := pull(i)
+		if err != nil {
+			return Choice{}, err
+		}
+		n[i]++
+		qv[i] += (r - qv[i]) / float64(n[i])
+		if ch != nil && r > bestR {
+			bestR = r
+			best = ch
+		}
+	}
+	if best == nil {
+		return Choice{}, fmt.Errorf("%w (q-learning, %d episodes)", ErrInfeasible, episodes)
+	}
+	return *best, nil
+}
+
+// reward maps an ALEM tuple to a score in (0, 1] for the objective.
+func reward(a alem.ALEM, o Objective) float64 {
+	switch o {
+	case MaxAccuracy:
+		return a.Accuracy
+	case MinEnergy:
+		return 1 / (1 + a.Energy*1000) // milli-joule scale
+	case MinMemory:
+		return 1 / (1 + float64(a.Memory)/(1<<20))
+	default:
+		return 1 / (1 + float64(a.Latency)/float64(time.Millisecond))
+	}
+}
+
+func argmaxQ(qv []float64, n []int, rng *rand.Rand) int {
+	best, bi := -1e18, 0
+	for i := range qv {
+		v := qv[i]
+		if n[i] == 0 {
+			v = 1e9 - float64(rng.Intn(1000)) // optimistic init: explore unseen arms first
+		}
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Table enumerates the full feasible space (no constraints applied beyond
+// hardware fit) — the data behind the Figure 5 / E5 ALEM table.
+func Table(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, prof *alem.Profiler) ([]Choice, error) {
+	return enumerate(cands, pkgs, devs, Requirements{Objective: MinLatency}, prof)
+}

@@ -1,0 +1,310 @@
+package selector
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/dataset"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+)
+
+// fixture trains two deliberately different models — a heavy accurate one
+// and a light less-accurate one — so every objective has a distinct winner.
+type fixture struct {
+	cands []Candidate
+	pkgs  []alem.Package
+	devs  []hardware.Device
+	prof  *alem.Profiler
+}
+
+func newFixture(t *testing.T) fixture {
+	t.Helper()
+	cfg := dataset.PowerConfig{Samples: 500, Window: 32, Noise: 0.15, Seed: 31}
+	train, test, err := dataset.Power(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	heavy := nn.MustModel("heavy", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 128},
+		{Type: "relu"},
+		{Type: "dense", In: 128, Out: 64},
+		{Type: "relu"},
+		{Type: "dense", In: 64, Out: 5},
+	})
+	heavy.InitParams(rng)
+	if _, _, err := nn.Train(heavy, train, nn.TrainConfig{Epochs: 15, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	light := nn.MustModel("light", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 6},
+		{Type: "relu"},
+		{Type: "dense", In: 6, Out: 5},
+	})
+	light.InitParams(rng)
+	if _, _, err := nn.Train(light, train, nn.TrainConfig{Epochs: 3, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	devs := []hardware.Device{}
+	for _, name := range []string{"rpi3", "jetson-tx2"} {
+		d, err := hardware.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs = append(devs, d)
+	}
+	return fixture{
+		cands: Variants(map[string]*nn.Model{"heavy": heavy, "light": light}, true),
+		pkgs:  alem.Packages(),
+		devs:  devs,
+		prof:  alem.NewProfiler(test),
+	}
+}
+
+func TestExhaustiveMinLatencyPicksLightFastCombo(t *testing.T) {
+	f := newFixture(t)
+	choice, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MinLatency}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained min-latency must pick the light model on the fastest
+	// device — verify by checking no enumerated combo is faster.
+	table, err := Table(f.cands, f.pkgs, f.devs, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range table {
+		if c.ALEM.Latency < choice.ALEM.Latency {
+			t.Errorf("found faster combo %v than chosen %v", c, choice)
+		}
+	}
+	if choice.ModelName != "light" {
+		t.Errorf("min-latency picked %s, want light", choice.ModelName)
+	}
+}
+
+func TestExhaustiveAccuracyConstraintForcesHeavyModel(t *testing.T) {
+	f := newFixture(t)
+	// Find the two models' accuracies first.
+	heavyA, err := f.prof.Profile(modelOf(f, "heavy"), f.pkgs[0], f.devs[0], alem.Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lightA, err := f.prof.Profile(modelOf(f, "light"), f.pkgs[0], f.devs[0], alem.Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavyA.Accuracy <= lightA.Accuracy {
+		t.Skipf("fixture degenerate: heavy %.3f not above light %.3f", heavyA.Accuracy, lightA.Accuracy)
+	}
+	mid := (heavyA.Accuracy + lightA.Accuracy) / 2
+	choice, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MinLatency, MinAccuracy: mid}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.ModelName != "heavy" {
+		t.Errorf("with Areq=%.3f picked %s (acc %.3f), want heavy", mid, choice.ModelName, choice.ALEM.Accuracy)
+	}
+	if choice.ALEM.Accuracy < mid {
+		t.Errorf("constraint violated: accuracy %.3f < %.3f", choice.ALEM.Accuracy, mid)
+	}
+}
+
+func modelOf(f fixture, name string) *nn.Model {
+	for _, c := range f.cands {
+		if c.Name == name && !c.Quantized {
+			return c.Model
+		}
+	}
+	return nil
+}
+
+func TestExhaustiveMaxAccuracyObjective(t *testing.T) {
+	f := newFixture(t)
+	choice, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MaxAccuracy}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.ModelName != "heavy" {
+		t.Errorf("max-accuracy picked %s, want heavy", choice.ModelName)
+	}
+}
+
+func TestExhaustiveMinEnergyAndMemory(t *testing.T) {
+	f := newFixture(t)
+	ce, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MinEnergy}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MinMemory}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := Table(f.cands, f.pkgs, f.devs, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range table {
+		if c.ALEM.Energy < ce.ALEM.Energy {
+			t.Errorf("found lower-energy combo %v than chosen %v", c, ce)
+		}
+		if c.ALEM.Memory < cm.ALEM.Memory {
+			t.Errorf("found lower-memory combo %v than chosen %v", c, cm)
+		}
+	}
+}
+
+func TestExhaustiveInfeasible(t *testing.T) {
+	f := newFixture(t)
+	_, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MinLatency, MinAccuracy: 1.01}, f.prof)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("impossible accuracy: err = %v, want ErrInfeasible", err)
+	}
+	_, err = Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MaxAccuracy, MaxLatency: time.Nanosecond}, f.prof)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("impossible latency: err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestLatencyConstraintRespectedUnderMaxAccuracy(t *testing.T) {
+	f := newFixture(t)
+	// Pick a budget that excludes the slowest combos.
+	table, err := Table(f.cands, f.pkgs, f.devs, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var minL, maxL time.Duration
+	for i, c := range table {
+		if i == 0 || c.ALEM.Latency < minL {
+			minL = c.ALEM.Latency
+		}
+		if c.ALEM.Latency > maxL {
+			maxL = c.ALEM.Latency
+		}
+	}
+	budget := (minL + maxL) / 2
+	choice, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MaxAccuracy, MaxLatency: budget}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.ALEM.Latency > budget {
+		t.Errorf("latency %v exceeds budget %v", choice.ALEM.Latency, budget)
+	}
+}
+
+func TestGreedyIgnoresLatency(t *testing.T) {
+	f := newFixture(t)
+	req := Requirements{Objective: MinLatency}
+	g, err := Greedy(f.cands, f.pkgs, f.devs, req, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Exhaustive(f.cands, f.pkgs, f.devs, req, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy maximizes accuracy so it must pick the heavy model and be at
+	// least as slow as the exhaustive optimum (the ablation's point).
+	if g.ModelName != "heavy" {
+		t.Errorf("greedy picked %s, want heavy", g.ModelName)
+	}
+	if g.ALEM.Latency < e.ALEM.Latency {
+		t.Errorf("greedy latency %v beat exhaustive %v", g.ALEM.Latency, e.ALEM.Latency)
+	}
+}
+
+func TestQLearnerConvergesToExhaustive(t *testing.T) {
+	f := newFixture(t)
+	req := Requirements{Objective: MinLatency}
+	e, err := Exhaustive(f.cands, f.pkgs, f.devs, req, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &QLearner{Episodes: 2000, Epsilon: 0.3, Rand: rand.New(rand.NewSource(3))}
+	c, err := q.Select(f.cands, f.pkgs, f.devs, req, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With many episodes and optimistic initialization the bandit explores
+	// every arm, so it must find the same optimum.
+	if c.ALEM.Latency != e.ALEM.Latency {
+		t.Errorf("q-learner latency %v vs exhaustive %v", c.ALEM.Latency, e.ALEM.Latency)
+	}
+}
+
+func TestQLearnerNeedsRand(t *testing.T) {
+	f := newFixture(t)
+	q := &QLearner{}
+	if _, err := q.Select(f.cands, f.pkgs, f.devs, Requirements{Objective: MinLatency}, f.prof); err == nil {
+		t.Error("QLearner without Rand should fail")
+	}
+}
+
+func TestQLearnerInfeasible(t *testing.T) {
+	f := newFixture(t)
+	q := &QLearner{Episodes: 100, Rand: rand.New(rand.NewSource(4))}
+	_, err := q.Select(f.cands, f.pkgs, f.devs, Requirements{Objective: MinLatency, MinAccuracy: 1.01}, f.prof)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestVariantsExpansion(t *testing.T) {
+	m := nn.MustModel("x", []int{2}, []nn.LayerSpec{{Type: "dense", In: 2, Out: 2}})
+	vs := Variants(map[string]*nn.Model{"x": m}, true)
+	if len(vs) != 2 {
+		t.Fatalf("Variants with quantized = %d entries, want 2", len(vs))
+	}
+	vs = Variants(map[string]*nn.Model{"x": m}, false)
+	if len(vs) != 1 {
+		t.Fatalf("Variants without quantized = %d entries, want 1", len(vs))
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	for o, want := range map[Objective]string{
+		MinLatency: "min-latency", MaxAccuracy: "max-accuracy",
+		MinEnergy: "min-energy", MinMemory: "min-memory",
+		Objective(9): "objective(9)",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Objective(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestChoiceString(t *testing.T) {
+	f := newFixture(t)
+	c, err := Exhaustive(f.cands, f.pkgs, f.devs, Requirements{Objective: MinLatency}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() == "" {
+		t.Error("empty Choice string")
+	}
+}
+
+// The paper's walk-through: deploying on a Raspberry Pi, the selector must
+// return a combination that actually fits the Pi and uses an edge package.
+func TestRaspberryPiScenario(t *testing.T) {
+	f := newFixture(t)
+	rpi, err := hardware.ByName("rpi3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice, err := Exhaustive(f.cands, f.pkgs, []hardware.Device{rpi},
+		Requirements{Objective: MaxAccuracy, MaxLatency: 50 * time.Millisecond}, f.prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.Device.Name != "rpi3" {
+		t.Errorf("device = %s, want rpi3", choice.Device.Name)
+	}
+	if choice.ALEM.Memory > rpi.MemBytes {
+		t.Error("selected combo does not fit the Pi")
+	}
+}

@@ -1,0 +1,272 @@
+// Package sensors provides synthetic sensor drivers that feed the
+// datastore — the IoT layer of Figure 1. Each driver generates the same
+// kind of payload its real counterpart would (camera frames as pixel
+// vectors, power meters as watt readings, IMUs as 3-axis samples), using
+// the procedural generators of internal/dataset where a labelled signal is
+// needed.
+package sensors
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"openei/internal/datastore"
+)
+
+// ErrBadConfig is returned for invalid driver configurations.
+var ErrBadConfig = errors.New("sensors: bad config")
+
+// Driver generates samples for one sensor.
+type Driver interface {
+	// Info describes the sensor this driver emits for.
+	Info() datastore.SensorInfo
+	// Next produces the sample for the given timestamp.
+	Next(at time.Time) datastore.Sample
+}
+
+// Camera renders 1×Size×Size frames containing a glyph of a random class
+// (the driver also exposes the ground-truth label of the last frame so
+// examples can score detections).
+type Camera struct {
+	ID      string
+	Size    int
+	Classes int
+	rng     *rand.Rand
+
+	lastLabel int
+}
+
+// NewCamera returns a camera driver.
+func NewCamera(id string, size, classes int, seed int64) (*Camera, error) {
+	if id == "" || size < 8 || classes < 2 {
+		return nil, fmt.Errorf("%w: camera %q size %d classes %d", ErrBadConfig, id, size, classes)
+	}
+	return &Camera{ID: id, Size: size, Classes: classes, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Info implements Driver.
+func (c *Camera) Info() datastore.SensorInfo {
+	return datastore.SensorInfo{ID: c.ID, Kind: "camera", Dim: c.Size * c.Size}
+}
+
+// Next implements Driver.
+func (c *Camera) Next(at time.Time) datastore.Sample {
+	cls := c.rng.Intn(c.Classes)
+	c.lastLabel = cls
+	frame := renderFrame(c.Size, cls, c.rng)
+	return datastore.Sample{At: at, Payload: frame}
+}
+
+// LastLabel returns the ground-truth class of the most recent frame.
+func (c *Camera) LastLabel() int { return c.lastLabel }
+
+// renderFrame draws a glyph like internal/dataset does (kept local so the
+// sensor does not depend on the training package).
+func renderFrame(size, cls int, rng *rand.Rand) []float32 {
+	img := make([]float32, size*size)
+	cx := float64(size)/2 + rng.Float64()*float64(size)/4 - float64(size)/8
+	cy := float64(size)/2 + rng.Float64()*float64(size)/4 - float64(size)/8
+	r := float64(size) * (0.22 + rng.Float64()*0.12)
+	set := func(x, y int) {
+		if x >= 0 && x < size && y >= 0 && y < size {
+			img[y*size+x] = 1
+		}
+	}
+	switch cls % 6 {
+	case 0:
+		for t := 0.0; t < 2*math.Pi; t += 0.05 {
+			set(int(cx+r*math.Cos(t)), int(cy+r*math.Sin(t)))
+		}
+	case 1:
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				set(int(cx+dx), int(cy+dy))
+			}
+		}
+	case 2:
+		for t := 0.0; t <= 1.0; t += 0.02 {
+			set(int(cx+(0-r)*t+r*(1-t)*0), int(cy-r+2*r*t)) // left edge
+			set(int(cx-r+2*r*t), int(cy+r))                 // bottom
+			set(int(cx+r-r*t), int(cy-r+2*r*t))             // right
+		}
+	case 3:
+		for d := -r; d <= r; d++ {
+			set(int(cx+d), int(cy))
+			set(int(cx), int(cy+d))
+		}
+	case 4:
+		for dy := -r; dy <= r; dy += 3 {
+			for dx := -r; dx <= r; dx++ {
+				set(int(cx+dx), int(cy+dy))
+			}
+		}
+	case 5:
+		for dx := -r; dx <= r; dx += 3 {
+			for dy := -r; dy <= r; dy++ {
+				set(int(cx+dx), int(cy+dy))
+			}
+		}
+	}
+	for i := range img {
+		img[i] += float32(rng.NormFloat64() * 0.2)
+	}
+	return img
+}
+
+// PowerMeter emits windows of appliance power draw; the appliance cycles
+// through states with dwell times, mimicking a household circuit.
+type PowerMeter struct {
+	ID     string
+	Window int
+	rng    *rand.Rand
+	state  int
+	dwell  int
+
+	lastLabel int
+}
+
+// NewPowerMeter returns a power meter driver.
+func NewPowerMeter(id string, window int, seed int64) (*PowerMeter, error) {
+	if id == "" || window < 8 {
+		return nil, fmt.Errorf("%w: power meter %q window %d", ErrBadConfig, id, window)
+	}
+	return &PowerMeter{ID: id, Window: window, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Info implements Driver.
+func (p *PowerMeter) Info() datastore.SensorInfo {
+	return datastore.SensorInfo{ID: p.ID, Kind: "power-meter", Dim: p.Window}
+}
+
+// Next implements Driver.
+func (p *PowerMeter) Next(at time.Time) datastore.Sample {
+	if p.dwell <= 0 {
+		p.state = p.rng.Intn(5)
+		p.dwell = 2 + p.rng.Intn(5)
+	}
+	p.dwell--
+	p.lastLabel = p.state
+	row := make([]float32, p.Window)
+	phase := p.rng.Float64() * 2 * math.Pi
+	for j := range row {
+		t := float64(j)
+		var v float64
+		switch p.state {
+		case 0:
+			v = 0.02
+		case 1:
+			v = 0.15 + 0.1*math.Sin(t/6+phase)
+		case 2:
+			if j < p.Window*2/3 {
+				v = 0.9
+			} else {
+				v = 0.05
+			}
+		case 3:
+			v = 0.45 + 0.3*math.Sin(t/2+phase)
+		case 4:
+			if math.Mod(t/8+phase, 2) < 1 {
+				v = 0.75
+			} else {
+				v = 0.2
+			}
+		}
+		row[j] = float32(v + p.rng.NormFloat64()*0.08)
+	}
+	return datastore.Sample{At: at, Payload: row}
+}
+
+// LastLabel returns the appliance state of the most recent window.
+func (p *PowerMeter) LastLabel() int { return p.lastLabel }
+
+// IMU emits 3-axis accelerometer windows for the health scenario.
+type IMU struct {
+	ID     string
+	Window int
+	// Bias models per-user sensor placement (Dataflow 3 personalization).
+	Bias float64
+	rng  *rand.Rand
+
+	lastLabel int
+}
+
+// NewIMU returns an accelerometer driver.
+func NewIMU(id string, window int, bias float64, seed int64) (*IMU, error) {
+	if id == "" || window < 8 {
+		return nil, fmt.Errorf("%w: imu %q window %d", ErrBadConfig, id, window)
+	}
+	return &IMU{ID: id, Window: window, Bias: bias, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Info implements Driver.
+func (m *IMU) Info() datastore.SensorInfo {
+	return datastore.SensorInfo{ID: m.ID, Kind: "imu", Dim: 3 * m.Window}
+}
+
+// Next implements Driver.
+func (m *IMU) Next(at time.Time) datastore.Sample {
+	cls := m.rng.Intn(4)
+	m.lastLabel = cls
+	row := make([]float32, 3*m.Window)
+	phase := m.rng.Float64() * 2 * math.Pi
+	for j := 0; j < m.Window; j++ {
+		t := float64(j)
+		var ax, ay, az float64
+		switch cls {
+		case 0:
+			ax, ay, az = 0, 0, 1
+		case 1:
+			ax = 0.3 * math.Sin(t/2+phase)
+			ay = 0.2 * math.Cos(t/2+phase)
+			az = 1 + 0.15*math.Sin(t+phase)
+		case 2:
+			ax = 0.8 * math.Sin(t+phase)
+			ay = 0.6 * math.Cos(t+phase)
+			az = 1 + 0.5*math.Sin(2*t+phase)
+		case 3:
+			if j == m.Window/2 {
+				ax, ay, az = 2.5, 2.0, -1
+			} else if j > m.Window/2 {
+				ax, ay, az = 1, 0, 0.1
+			} else {
+				ax, ay, az = 0.1, 0.1, 1
+			}
+		}
+		row[j] = float32(ax + m.Bias + m.rng.NormFloat64()*0.15)
+		row[m.Window+j] = float32(ay + m.Bias + m.rng.NormFloat64()*0.15)
+		row[2*m.Window+j] = float32(az + m.Bias + m.rng.NormFloat64()*0.15)
+	}
+	return datastore.Sample{At: at, Payload: row}
+}
+
+// LastLabel returns the activity class of the most recent window.
+func (m *IMU) LastLabel() int { return m.lastLabel }
+
+// Feed registers the driver's sensor and appends n samples spaced by
+// period, starting at start. It returns the ground-truth labels emitted
+// (for drivers that expose them) in order.
+func Feed(store *datastore.Store, d Driver, n int, start time.Time, period time.Duration) ([]int, error) {
+	if err := store.Register(d.Info()); err != nil {
+		return nil, err
+	}
+	labels := make([]int, 0, n)
+	at := start
+	for i := 0; i < n; i++ {
+		if err := store.Append(d.Info().ID, d.Next(at)); err != nil {
+			return nil, err
+		}
+		switch t := d.(type) {
+		case *Camera:
+			labels = append(labels, t.LastLabel())
+		case *PowerMeter:
+			labels = append(labels, t.LastLabel())
+		case *IMU:
+			labels = append(labels, t.LastLabel())
+		}
+		at = at.Add(period)
+	}
+	return labels, nil
+}

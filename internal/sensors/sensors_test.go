@@ -1,0 +1,143 @@
+package sensors
+
+import (
+	"testing"
+	"time"
+
+	"openei/internal/datastore"
+)
+
+var t0 = time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func TestCameraProducesFrames(t *testing.T) {
+	cam, err := NewCamera("cam1", 16, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := cam.Info()
+	if info.Dim != 256 || info.Kind != "camera" {
+		t.Errorf("Info = %+v", info)
+	}
+	s := cam.Next(t0)
+	if len(s.Payload) != 256 {
+		t.Fatalf("frame size = %d, want 256", len(s.Payload))
+	}
+	if cam.LastLabel() < 0 || cam.LastLabel() >= 6 {
+		t.Errorf("label %d out of range", cam.LastLabel())
+	}
+	// Frames are not all zero (a glyph plus noise was drawn).
+	var nonzero int
+	for _, v := range s.Payload {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 16 {
+		t.Errorf("frame has only %d nonzero pixels", nonzero)
+	}
+}
+
+func TestCameraConfigValidation(t *testing.T) {
+	if _, err := NewCamera("", 16, 6, 1); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := NewCamera("c", 4, 6, 1); err == nil {
+		t.Error("tiny size should fail")
+	}
+	if _, err := NewCamera("c", 16, 1, 1); err == nil {
+		t.Error("single class should fail")
+	}
+}
+
+func TestPowerMeterStatesDwell(t *testing.T) {
+	pm, err := NewPowerMeter("meter1", 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 60; i++ {
+		s := pm.Next(t0.Add(time.Duration(i) * time.Second))
+		if len(s.Payload) != 32 {
+			t.Fatalf("window size = %d", len(s.Payload))
+		}
+		seen[pm.LastLabel()] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("only %d appliance states seen in 60 windows", len(seen))
+	}
+}
+
+func TestIMUBias(t *testing.T) {
+	plain, err := NewIMU("imu1", 16, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	biased, err := NewIMU("imu2", 16, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumP, sumB float64
+	for i := 0; i < 20; i++ {
+		for _, v := range plain.Next(t0).Payload {
+			sumP += float64(v)
+		}
+		for _, v := range biased.Next(t0).Payload {
+			sumB += float64(v)
+		}
+	}
+	if sumB-sumP < 100 { // 20 windows × 48 values × bias 1.0 ≈ 960
+		t.Errorf("bias did not shift the signal: Δ=%v", sumB-sumP)
+	}
+}
+
+func TestFeedPopulatesStore(t *testing.T) {
+	store := datastore.New(8)
+	cam, err := NewCamera("cam1", 12, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := Feed(store, cam, 20, t0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 20 {
+		t.Fatalf("labels = %d, want 20", len(labels))
+	}
+	if store.Count("cam1") != 20 {
+		t.Errorf("store count = %d, want 20", store.Count("cam1"))
+	}
+	// Timestamps spaced by the period.
+	all, err := store.Range("cam1", t0, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[1].At.Sub(all[0].At) != time.Second {
+		t.Errorf("sample spacing = %v, want 1s", all[1].At.Sub(all[0].At))
+	}
+}
+
+func TestFeedDeterministicWithSeed(t *testing.T) {
+	s1 := datastore.New(8)
+	s2 := datastore.New(8)
+	c1, err := NewCamera("c", 12, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := NewCamera("c", 12, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := Feed(s1, c1, 10, t0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Feed(s2, c2, 10, t0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("same seed produced different label streams")
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{16, 64, 256} {
+		x := New(n, n)
+		y := New(n, n)
+		x.Rand(rng, 1)
+		y.Rand(rng, 1)
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n * n))
+			for i := 0; i < b.N; i++ {
+				if _, err := MatMul(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulSparse(b *testing.B) {
+	// The pruning payoff: the kernel skips zero weights, so a 90%-sparse
+	// left operand should be much faster.
+	rng := rand.New(rand.NewSource(2))
+	const n = 128
+	dense := New(n, n)
+	dense.Rand(rng, 1)
+	sparse := dense.Clone()
+	for i, v := range sparse.Data() {
+		if v < 0.4 && v > -0.4 { // ~80-90% of uniform(-1,1)
+			sparse.Data()[i] = 0
+		}
+	}
+	y := New(n, n)
+	y.Rand(rng, 1)
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(dense, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(sparse, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkQMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 128
+	x := New(n, n)
+	y := New(n, n)
+	x.Rand(rng, 1)
+	y.Rand(rng, 1)
+	qx, qy := Quantize(x), Quantize(y)
+	b.Run("float32", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := MatMul(x, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("int8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := QMatMul(qx, qy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	s := Conv2DSpec{InC: 8, InH: 16, InW: 16, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := New(1, 8, 16, 16)
+	w := New(16, 8, 3, 3)
+	bias := New(16)
+	x.Rand(rng, 1)
+	w.Rand(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Conv2D(x, w, bias, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDepthwiseVsFullConv(b *testing.B) {
+	// The MobileNet premise: depthwise separable ≪ full convolution.
+	rng := rand.New(rand.NewSource(5))
+	full := Conv2DSpec{InC: 16, InH: 16, InW: 16, OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := New(1, 16, 16, 16)
+	x.Rand(rng, 1)
+	wf := New(16, 16, 3, 3)
+	wf.Rand(rng, 1)
+	wd := New(16, 3, 3)
+	wd.Rand(rng, 1)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Conv2D(x, wf, nil, full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("depthwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DepthwiseConv2D(x, wd, nil, full); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTruncatedSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := New(128, 96)
+	a.Randn(rng, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := TruncatedSVD(a, 16, 20, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuantizeRoundTrip(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := New(64 * 1024)
+	x.Rand(rng, 2)
+	b.SetBytes(int64(4 * x.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Quantize(x)
+		_ = q.Dequantize()
+	}
+}

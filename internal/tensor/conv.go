@@ -1,0 +1,318 @@
+package tensor
+
+import "fmt"
+
+// Conv2DSpec describes a 2-D convolution. Tensors are NCHW: input is
+// (batch, inC, inH, inW); kernels are (outC, inC, kH, kW).
+type Conv2DSpec struct {
+	InC, InH, InW int
+	OutC          int
+	KH, KW        int
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height for the spec.
+func (s Conv2DSpec) OutH() int { return (s.InH+2*s.Pad-s.KH)/s.Stride + 1 }
+
+// OutW returns the output width for the spec.
+func (s Conv2DSpec) OutW() int { return (s.InW+2*s.Pad-s.KW)/s.Stride + 1 }
+
+// Validate checks that the spec is internally consistent.
+func (s Conv2DSpec) Validate() error {
+	switch {
+	case s.InC <= 0 || s.InH <= 0 || s.InW <= 0:
+		return fmt.Errorf("%w: conv spec input dims %d×%d×%d", ErrShape, s.InC, s.InH, s.InW)
+	case s.OutC <= 0:
+		return fmt.Errorf("%w: conv spec outC %d", ErrShape, s.OutC)
+	case s.KH <= 0 || s.KW <= 0:
+		return fmt.Errorf("%w: conv spec kernel %d×%d", ErrShape, s.KH, s.KW)
+	case s.Stride <= 0:
+		return fmt.Errorf("%w: conv spec stride %d", ErrShape, s.Stride)
+	case s.Pad < 0:
+		return fmt.Errorf("%w: conv spec pad %d", ErrShape, s.Pad)
+	case s.OutH() <= 0 || s.OutW() <= 0:
+		return fmt.Errorf("%w: conv spec produces empty output %d×%d", ErrShape, s.OutH(), s.OutW())
+	}
+	return nil
+}
+
+// Im2Col lowers the input image x (inC, inH, inW as a flat slice) into a
+// column matrix of shape (inC*kH*kW, outH*outW) stored into cols. This turns
+// convolution into a single matmul, the standard trick used by all of the
+// "packages" the paper discusses.
+func Im2Col(x []float32, s Conv2DSpec, cols []float32) {
+	outH, outW := s.OutH(), s.OutW()
+	colW := outH * outW
+	idx := 0
+	for c := 0; c < s.InC; c++ {
+		chanBase := c * s.InH * s.InW
+		for kh := 0; kh < s.KH; kh++ {
+			for kw := 0; kw < s.KW; kw++ {
+				row := cols[idx*colW : (idx+1)*colW]
+				idx++
+				p := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*s.Stride - s.Pad + kh
+					if ih < 0 || ih >= s.InH {
+						for ow := 0; ow < outW; ow++ {
+							row[p] = 0
+							p++
+						}
+						continue
+					}
+					rowBase := chanBase + ih*s.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*s.Stride - s.Pad + kw
+						if iw < 0 || iw >= s.InW {
+							row[p] = 0
+						} else {
+							row[p] = x[rowBase+iw]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters the column matrix back into
+// an image, accumulating where patches overlap. Used for convolution
+// backprop with respect to the input.
+func Col2Im(cols []float32, s Conv2DSpec, x []float32) {
+	outH, outW := s.OutH(), s.OutW()
+	colW := outH * outW
+	for i := range x {
+		x[i] = 0
+	}
+	idx := 0
+	for c := 0; c < s.InC; c++ {
+		chanBase := c * s.InH * s.InW
+		for kh := 0; kh < s.KH; kh++ {
+			for kw := 0; kw < s.KW; kw++ {
+				row := cols[idx*colW : (idx+1)*colW]
+				idx++
+				p := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*s.Stride - s.Pad + kh
+					if ih < 0 || ih >= s.InH {
+						p += outW
+						continue
+					}
+					rowBase := chanBase + ih*s.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*s.Stride - s.Pad + kw
+						if iw >= 0 && iw < s.InW {
+							x[rowBase+iw] += row[p]
+						}
+						p++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Conv2D applies the convolution described by s to a batched input
+// (batch, inC, inH, inW) with kernel w (outC, inC, kH, kW) and bias
+// (outC), returning (batch, outC, outH, outW).
+func Conv2D(x, w, bias *Tensor, s Conv2DSpec) (*Tensor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Dims() != 4 || x.shape[1] != s.InC || x.shape[2] != s.InH || x.shape[3] != s.InW {
+		return nil, fmt.Errorf("%w: Conv2D input %v does not match spec %+v", ErrShape, x.shape, s)
+	}
+	if w.Len() != s.OutC*s.InC*s.KH*s.KW {
+		return nil, fmt.Errorf("%w: Conv2D kernel %v does not match spec %+v", ErrShape, w.shape, s)
+	}
+	if bias != nil && bias.Len() != s.OutC {
+		return nil, fmt.Errorf("%w: Conv2D bias %v, want %d", ErrShape, bias.shape, s.OutC)
+	}
+	batch := x.shape[0]
+	outH, outW := s.OutH(), s.OutW()
+	colRows := s.InC * s.KH * s.KW
+	colW := outH * outW
+	cols := make([]float32, colRows*colW)
+	out := New(batch, s.OutC, outH, outW)
+	imgLen := s.InC * s.InH * s.InW
+	outLen := s.OutC * colW
+	for b := 0; b < batch; b++ {
+		Im2Col(x.data[b*imgLen:(b+1)*imgLen], s, cols)
+		dst := out.data[b*outLen : (b+1)*outLen]
+		matmulInto(dst, w.data, cols, s.OutC, colRows, colW)
+		if bias != nil {
+			for oc := 0; oc < s.OutC; oc++ {
+				bv := bias.data[oc]
+				ch := dst[oc*colW : (oc+1)*colW]
+				for i := range ch {
+					ch[i] += bv
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// DepthwiseConv2D applies a depthwise convolution (the MobileNet building
+// block): each input channel is convolved with its own kH×kW filter.
+// x is (batch, C, H, W); w is (C, kH, kW); bias is (C) or nil.
+func DepthwiseConv2D(x, w, bias *Tensor, s Conv2DSpec) (*Tensor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.OutC != s.InC {
+		return nil, fmt.Errorf("%w: depthwise conv needs OutC==InC, got %d/%d", ErrShape, s.OutC, s.InC)
+	}
+	if x.Dims() != 4 || x.shape[1] != s.InC || x.shape[2] != s.InH || x.shape[3] != s.InW {
+		return nil, fmt.Errorf("%w: DepthwiseConv2D input %v vs spec %+v", ErrShape, x.shape, s)
+	}
+	if w.Len() != s.InC*s.KH*s.KW {
+		return nil, fmt.Errorf("%w: DepthwiseConv2D kernel %v vs spec %+v", ErrShape, w.shape, s)
+	}
+	batch := x.shape[0]
+	outH, outW := s.OutH(), s.OutW()
+	out := New(batch, s.InC, outH, outW)
+	imgLen := s.InC * s.InH * s.InW
+	outLen := s.InC * outH * outW
+	for b := 0; b < batch; b++ {
+		for c := 0; c < s.InC; c++ {
+			src := x.data[b*imgLen+c*s.InH*s.InW : b*imgLen+(c+1)*s.InH*s.InW]
+			ker := w.data[c*s.KH*s.KW : (c+1)*s.KH*s.KW]
+			dst := out.data[b*outLen+c*outH*outW : b*outLen+(c+1)*outH*outW]
+			var bv float32
+			if bias != nil {
+				bv = bias.data[c]
+			}
+			p := 0
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var s32 float32
+					for kh := 0; kh < s.KH; kh++ {
+						ih := oh*s.Stride - s.Pad + kh
+						if ih < 0 || ih >= s.InH {
+							continue
+						}
+						for kw := 0; kw < s.KW; kw++ {
+							iw := ow*s.Stride - s.Pad + kw
+							if iw < 0 || iw >= s.InW {
+								continue
+							}
+							s32 += src[ih*s.InW+iw] * ker[kh*s.KW+kw]
+						}
+					}
+					dst[p] = s32 + bv
+					p++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// PoolSpec describes a pooling operation over NCHW input.
+type PoolSpec struct {
+	C, H, W int
+	K       int // window size (square)
+	Stride  int
+}
+
+// OutH returns the pooled output height.
+func (p PoolSpec) OutH() int { return (p.H-p.K)/p.Stride + 1 }
+
+// OutW returns the pooled output width.
+func (p PoolSpec) OutW() int { return (p.W-p.K)/p.Stride + 1 }
+
+// MaxPool2D applies max pooling and also returns the flat argmax indices
+// (into each image) used for backprop routing.
+func MaxPool2D(x *Tensor, p PoolSpec) (*Tensor, []int, error) {
+	if x.Dims() != 4 || x.shape[1] != p.C || x.shape[2] != p.H || x.shape[3] != p.W {
+		return nil, nil, fmt.Errorf("%w: MaxPool2D input %v vs spec %+v", ErrShape, x.shape, p)
+	}
+	batch := x.shape[0]
+	outH, outW := p.OutH(), p.OutW()
+	out := New(batch, p.C, outH, outW)
+	arg := make([]int, out.Len())
+	imgLen := p.C * p.H * p.W
+	i := 0
+	for b := 0; b < batch; b++ {
+		img := x.data[b*imgLen : (b+1)*imgLen]
+		for c := 0; c < p.C; c++ {
+			ch := img[c*p.H*p.W : (c+1)*p.H*p.W]
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					bestIdx := (oh*p.Stride)*p.W + ow*p.Stride
+					best := ch[bestIdx]
+					for kh := 0; kh < p.K; kh++ {
+						for kw := 0; kw < p.K; kw++ {
+							idx := (oh*p.Stride+kh)*p.W + ow*p.Stride + kw
+							if ch[idx] > best {
+								best, bestIdx = ch[idx], idx
+							}
+						}
+					}
+					out.data[i] = best
+					arg[i] = b*imgLen + c*p.H*p.W + bestIdx
+					i++
+				}
+			}
+		}
+	}
+	return out, arg, nil
+}
+
+// AvgPool2D applies average pooling (no argmax needed: gradient spreads
+// uniformly).
+func AvgPool2D(x *Tensor, p PoolSpec) (*Tensor, error) {
+	if x.Dims() != 4 || x.shape[1] != p.C || x.shape[2] != p.H || x.shape[3] != p.W {
+		return nil, fmt.Errorf("%w: AvgPool2D input %v vs spec %+v", ErrShape, x.shape, p)
+	}
+	batch := x.shape[0]
+	outH, outW := p.OutH(), p.OutW()
+	out := New(batch, p.C, outH, outW)
+	imgLen := p.C * p.H * p.W
+	inv := 1 / float32(p.K*p.K)
+	i := 0
+	for b := 0; b < batch; b++ {
+		img := x.data[b*imgLen : (b+1)*imgLen]
+		for c := 0; c < p.C; c++ {
+			ch := img[c*p.H*p.W : (c+1)*p.H*p.W]
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					var s float32
+					for kh := 0; kh < p.K; kh++ {
+						for kw := 0; kw < p.K; kw++ {
+							s += ch[(oh*p.Stride+kh)*p.W+ow*p.Stride+kw]
+						}
+					}
+					out.data[i] = s * inv
+					i++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// GlobalAvgPool2D reduces (batch, C, H, W) to (batch, C) by averaging each
+// channel, as used before the classifier head in SqueezeNet/MobileNet.
+func GlobalAvgPool2D(x *Tensor) (*Tensor, error) {
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: GlobalAvgPool2D needs 4-D input, got %v", ErrShape, x.shape)
+	}
+	batch, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	out := New(batch, c)
+	inv := 1 / float32(h*w)
+	for b := 0; b < batch; b++ {
+		for ch := 0; ch < c; ch++ {
+			base := (b*c + ch) * h * w
+			var s float32
+			for i := 0; i < h*w; i++ {
+				s += x.data[base+i]
+			}
+			out.data[b*c+ch] = s * inv
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
+// new m×n tensor. It uses a cache-friendly ikj loop order.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("%w: MatMul needs 2-D operands, got %v × %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: MatMul inner dims %d vs %d", ErrShape, k, k2)
+	}
+	c := New(m, n)
+	matmulInto(c.data, a.data, b.data, m, k, n)
+	return c, nil
+}
+
+// MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) error {
+	if a.Dims() != 2 || b.Dims() != 2 || dst.Dims() != 2 {
+		return fmt.Errorf("%w: MatMulInto needs 2-D operands", ErrShape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: MatMulInto %v·%v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	for i := range dst.data {
+		dst.data[i] = 0
+	}
+	matmulInto(dst.data, a.data, b.data, m, k, n)
+	return nil
+}
+
+// matmulInto accumulates a·b into c (c must be zeroed by the caller).
+// The ikj order streams through b and c rows sequentially, which is the
+// best a naive pure-Go kernel can do for cache behaviour.
+func matmulInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ci := c[i*n : i*n+n]
+		ai := a[i*k : i*k+k]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue // sparsity shortcut: pruned weights cost nothing
+			}
+			bp := b[p*n : p*n+n]
+			for j := range bp {
+				ci[j] += av * bp[j]
+			}
+		}
+	}
+}
+
+// MatVec computes y = A·x for a 2-D tensor A (m×k) and 1-D x (k), returning
+// a 1-D tensor of length m.
+func MatVec(a, x *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || x.Dims() != 1 {
+		return nil, fmt.Errorf("%w: MatVec needs 2-D and 1-D operands, got %v, %v", ErrShape, a.shape, x.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	if x.shape[0] != k {
+		return nil, fmt.Errorf("%w: MatVec inner dims %d vs %d", ErrShape, k, x.shape[0])
+	}
+	y := New(m)
+	for i := 0; i < m; i++ {
+		var s float32
+		row := a.data[i*k : i*k+k]
+		for j, v := range row {
+			s += v * x.data[j]
+		}
+		y.data[i] = s
+	}
+	return y, nil
+}
+
+// Transpose returns a new tensor that is the transpose of the 2-D tensor a.
+func Transpose(a *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 {
+		return nil, fmt.Errorf("%w: Transpose needs a 2-D tensor, got %v", ErrShape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return t, nil
+}
+
+// AddBiasRows adds the 1-D bias (length n) to each row of the 2-D tensor
+// a (m×n) in place.
+func AddBiasRows(a, bias *Tensor) error {
+	if a.Dims() != 2 || bias.Dims() != 1 || a.shape[1] != bias.shape[0] {
+		return fmt.Errorf("%w: AddBiasRows %v += %v", ErrShape, a.shape, bias.shape)
+	}
+	n := a.shape[1]
+	for i := 0; i < a.shape[0]; i++ {
+		row := a.data[i*n : i*n+n]
+		for j := range row {
+			row[j] += bias.data[j]
+		}
+	}
+	return nil
+}
+
+// SumRows accumulates the rows of the 2-D tensor a (m×n) into a 1-D tensor
+// of length n (used for bias gradients).
+func SumRows(a *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 {
+		return nil, fmt.Errorf("%w: SumRows needs 2-D, got %v", ErrShape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : i*n+n]
+		for j := range row {
+			out.data[j] += row[j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// QTensor is an int8 symmetric-quantized tensor with a single per-tensor
+// scale: real ≈ scale * int8. This mirrors the quantized-kernel design of
+// TF-Lite and QNNPACK that the paper cites as the core edge optimization.
+type QTensor struct {
+	shape []int
+	Scale float32
+	Data  []int8
+}
+
+// Quantize converts t to an int8 tensor using symmetric per-tensor
+// quantization. A zero tensor quantizes with scale 1 to avoid division by
+// zero.
+func Quantize(t *Tensor) *QTensor {
+	m := t.AbsMax()
+	scale := m / 127
+	if scale == 0 {
+		scale = 1
+	}
+	q := &QTensor{shape: t.Shape(), Scale: scale, Data: make([]int8, t.Len())}
+	inv := 1 / scale
+	for i, v := range t.data {
+		x := math.Round(float64(v * inv))
+		if x > 127 {
+			x = 127
+		} else if x < -127 {
+			x = -127
+		}
+		q.Data[i] = int8(x)
+	}
+	return q
+}
+
+// Dequantize converts q back to a float32 tensor.
+func (q *QTensor) Dequantize() *Tensor {
+	t := New(q.shape...)
+	for i, v := range q.Data {
+		t.data[i] = float32(v) * q.Scale
+	}
+	return t
+}
+
+// Shape returns a copy of the quantized tensor's shape.
+func (q *QTensor) Shape() []int { return append([]int(nil), q.shape...) }
+
+// Len returns the element count.
+func (q *QTensor) Len() int { return len(q.Data) }
+
+// SizeBytes returns the storage footprint of the quantized payload.
+func (q *QTensor) SizeBytes() int { return len(q.Data) + 4 }
+
+// QMatMul computes C = A·B where both operands are int8 quantized 2-D
+// tensors; accumulation is in int32 and the result is rescaled to float32.
+// This is the "quantized kernel" path that optimized edge packages use.
+func QMatMul(a, b *QTensor) (*Tensor, error) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		return nil, fmt.Errorf("%w: QMatMul needs 2-D operands, got %v × %v", ErrShape, a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("%w: QMatMul inner dims %d vs %d", ErrShape, k, k2)
+	}
+	c := New(m, n)
+	scale := a.Scale * b.Scale
+	acc := make([]int32, n)
+	for i := 0; i < m; i++ {
+		for j := range acc {
+			acc[j] = 0
+		}
+		ai := a.Data[i*k : i*k+k]
+		for p := 0; p < k; p++ {
+			av := int32(ai[p])
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*n : p*n+n]
+			for j := range bp {
+				acc[j] += av * int32(bp[j])
+			}
+		}
+		ci := c.data[i*n : i*n+n]
+		for j, v := range acc {
+			ci[j] = float32(v) * scale
+		}
+	}
+	return c, nil
+}
+
+// QuantizeError returns the mean absolute error introduced by quantizing t.
+func QuantizeError(t *Tensor) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	q := Quantize(t)
+	d := q.Dequantize()
+	var s float64
+	for i := range t.data {
+		s += math.Abs(float64(t.data[i] - d.data[i]))
+	}
+	return s / float64(t.Len())
+}

@@ -1,0 +1,120 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TruncatedSVD computes a rank-r approximation A ≈ U·V where U is m×r and
+// V is r×n, using orthogonal (power) iteration on A·Aᵀ. The singular values
+// are folded into V, so the low-rank replacement of a Dense layer is simply
+// two stacked Dense layers — exactly the factorization trick of Denton et
+// al. [25] that the paper's Table I lists as "low-rank factorization".
+//
+// iters controls the number of subspace iterations; 15–30 is plenty for the
+// layer sizes in this repo.
+func TruncatedSVD(a *Tensor, rank, iters int, rng *rand.Rand) (u, v *Tensor, err error) {
+	if a.Dims() != 2 {
+		return nil, nil, fmt.Errorf("%w: TruncatedSVD needs a 2-D tensor, got %v", ErrShape, a.shape)
+	}
+	m, n := a.shape[0], a.shape[1]
+	if rank <= 0 || rank > m || rank > n {
+		return nil, nil, fmt.Errorf("%w: TruncatedSVD rank %d out of range for %d×%d", ErrShape, rank, m, n)
+	}
+	if iters <= 0 {
+		iters = 20
+	}
+
+	// Q: m×rank orthonormal basis, initialized randomly.
+	q := New(m, rank)
+	q.Randn(rng, 1)
+	orthonormalize(q)
+
+	at, err := Transpose(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	for it := 0; it < iters; it++ {
+		// Z = Aᵀ·Q (n×rank), then Q = A·Z (m×rank), re-orthonormalized.
+		z, err := MatMul(at, q)
+		if err != nil {
+			return nil, nil, err
+		}
+		orthonormalize(z)
+		q, err = MatMul(a, z)
+		if err != nil {
+			return nil, nil, err
+		}
+		orthonormalize(q)
+	}
+
+	// V = Qᵀ·A (rank×n) carries the singular values; U = Q.
+	qt, err := Transpose(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err = MatMul(qt, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, v, nil
+}
+
+// orthonormalize applies modified Gram–Schmidt to the columns of the 2-D
+// tensor q in place. Columns that collapse to (near) zero are re-seeded
+// with a deterministic basis vector so the basis keeps full rank.
+func orthonormalize(q *Tensor) {
+	m, r := q.shape[0], q.shape[1]
+	for j := 0; j < r; j++ {
+		// Subtract projections onto previous columns.
+		for p := 0; p < j; p++ {
+			var dot float64
+			for i := 0; i < m; i++ {
+				dot += float64(q.data[i*r+j]) * float64(q.data[i*r+p])
+			}
+			for i := 0; i < m; i++ {
+				q.data[i*r+j] -= float32(dot) * q.data[i*r+p]
+			}
+		}
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += float64(q.data[i*r+j]) * float64(q.data[i*r+j])
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-12 {
+			// Degenerate column: replace with e_{j mod m}.
+			for i := 0; i < m; i++ {
+				q.data[i*r+j] = 0
+			}
+			q.data[(j%m)*r+j] = 1
+			continue
+		}
+		inv := float32(1 / norm)
+		for i := 0; i < m; i++ {
+			q.data[i*r+j] *= inv
+		}
+	}
+}
+
+// ReconstructionError returns ‖A − U·V‖F / ‖A‖F, the relative Frobenius
+// error of a low-rank factorization.
+func ReconstructionError(a, u, v *Tensor) (float64, error) {
+	uv, err := MatMul(u, v)
+	if err != nil {
+		return 0, err
+	}
+	if !SameShape(a, uv) {
+		return 0, fmt.Errorf("%w: reconstruction %v vs original %v", ErrShape, uv.shape, a.shape)
+	}
+	var num, den float64
+	for i := range a.data {
+		d := float64(a.data[i] - uv.data[i])
+		num += d * d
+		den += float64(a.data[i]) * float64(a.data[i])
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(num) / math.Sqrt(den), nil
+}

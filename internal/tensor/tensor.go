@@ -1,0 +1,314 @@
+// Package tensor implements the dense float32 tensor algebra that underpins
+// the OpenEI deep-learning substrate. It is deliberately small: row-major
+// dense tensors, the handful of kernels neural-network inference and
+// training need (matmul, im2col convolution, pooling, elementwise maps),
+// and int8 post-training quantization used by the optimized edge packages.
+//
+// The package is pure Go and allocation-conscious rather than SIMD-tuned;
+// the hardware cost model in internal/hardware, not wall-clock time of this
+// code, is what the paper's latency/energy figures are derived from.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ErrShape is returned (wrapped) by operations whose operands have
+// incompatible shapes.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// Tensor is a dense row-major float32 tensor. The zero value is an empty
+// scalar-less tensor; use New or NewFrom to construct usable values.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape. New panics if any
+// dimension is negative; a tensor with no dimensions has one element (a
+// scalar), matching NumPy semantics.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float32, n)}
+}
+
+// NewFrom wraps data in a tensor of the given shape. The slice is used
+// directly (not copied). It returns an error if len(data) does not match
+// the shape's element count.
+func NewFrom(data []float32, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			return nil, fmt.Errorf("%w: negative dimension %d in %v", ErrShape, d, shape)
+		}
+		n *= d
+	}
+	if len(data) != n {
+		return nil, fmt.Errorf("%w: data length %d does not fit shape %v (%d elements)", ErrShape, len(data), shape, n)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}, nil
+}
+
+// MustFrom is NewFrom that panics on error; intended for tests and
+// compile-time-known literals.
+func MustFrom(data []float32, shape ...int) *Tensor {
+	t, err := NewFrom(data, shape...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Shape returns a copy of the tensor's shape.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dims returns the number of dimensions.
+func (t *Tensor) Dims() int { return len(t.shape) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the backing slice. Mutations are visible to the tensor;
+// callers that need isolation should use Clone.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view of the same data with a new shape. It returns an
+// error if the element count differs. The returned tensor shares data with t.
+func (t *Tensor) Reshape(shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		return nil, fmt.Errorf("%w: cannot reshape %v (%d elems) to %v (%d elems)", ErrShape, t.shape, len(t.data), shape, n)
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}, nil
+}
+
+// MustReshape is Reshape that panics on error.
+func (t *Tensor) MustReshape(shape ...int) *Tensor {
+	r, err := t.Reshape(shape...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-dimensional index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index %v does not match shape %v", idx, t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to zero.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Rand fills the tensor with uniform values in [-scale, scale) drawn from rng.
+func (t *Tensor) Rand(rng *rand.Rand, scale float32) {
+	for i := range t.data {
+		t.data[i] = (rng.Float32()*2 - 1) * scale
+	}
+}
+
+// Randn fills the tensor with normal(0, std) values drawn from rng.
+func (t *Tensor) Randn(rng *rand.Rand, std float32) {
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64()) * std
+	}
+}
+
+// GlorotInit fills the tensor using Glorot/Xavier uniform initialization for
+// a layer with the given fan-in and fan-out.
+func (t *Tensor) GlorotInit(rng *rand.Rand, fanIn, fanOut int) {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	t.Rand(rng, limit)
+}
+
+// String renders small tensors fully and large tensors as a summary.
+func (t *Tensor) String() string {
+	if len(t.data) <= 16 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%d elems, first=%v...]", t.shape, len(t.data), t.data[:4])
+}
+
+// Add computes dst = a + b elementwise. dst may alias a or b. It returns an
+// error if shapes differ.
+func Add(dst, a, b *Tensor) error {
+	if !SameShape(a, b) || !SameShape(dst, a) {
+		return fmt.Errorf("%w: Add %v + %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] + b.data[i]
+	}
+	return nil
+}
+
+// Sub computes dst = a - b elementwise.
+func Sub(dst, a, b *Tensor) error {
+	if !SameShape(a, b) || !SameShape(dst, a) {
+		return fmt.Errorf("%w: Sub %v - %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] - b.data[i]
+	}
+	return nil
+}
+
+// Mul computes dst = a * b elementwise (Hadamard product).
+func Mul(dst, a, b *Tensor) error {
+	if !SameShape(a, b) || !SameShape(dst, a) {
+		return fmt.Errorf("%w: Mul %v * %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	for i := range dst.data {
+		dst.data[i] = a.data[i] * b.data[i]
+	}
+	return nil
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled computes t += s*other in place (axpy).
+func (t *Tensor) AddScaled(other *Tensor, s float32) error {
+	if !SameShape(t, other) {
+		return fmt.Errorf("%w: AddScaled %v += %v", ErrShape, t.shape, other.shape)
+	}
+	for i := range t.data {
+		t.data[i] += s * other.data[i]
+	}
+	return nil
+}
+
+// Apply replaces every element x with f(x).
+func (t *Tensor) Apply(f func(float32) float32) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Max returns the maximum element and its flat index. It panics on an empty
+// tensor.
+func (t *Tensor) Max() (float32, int) {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	best, arg := t.data[0], 0
+	for i, v := range t.data[1:] {
+		if v > best {
+			best, arg = v, i+1
+		}
+	}
+	return best, arg
+}
+
+// AbsMax returns the maximum absolute value of any element (0 for empty).
+func (t *Tensor) AbsMax() float32 {
+	var m float32
+	for _, v := range t.data {
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Equal reports whether a and b have the same shape and all elements within
+// tol of each other.
+func Equal(a, b *Tensor, tol float32) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.data {
+		d := a.data[i] - b.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,588 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	tests := []struct {
+		name  string
+		shape []int
+		want  int
+	}{
+		{"scalar", nil, 1},
+		{"vector", []int{5}, 5},
+		{"matrix", []int{3, 4}, 12},
+		{"batch image", []int{2, 3, 8, 8}, 384},
+		{"zero dim", []int{0, 7}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			x := New(tt.shape...)
+			if got := x.Len(); got != tt.want {
+				t.Errorf("Len() = %d, want %d", got, tt.want)
+			}
+			if got := x.Dims(); got != len(tt.shape) {
+				t.Errorf("Dims() = %d, want %d", got, len(tt.shape))
+			}
+		})
+	}
+}
+
+func TestNewFromErrors(t *testing.T) {
+	if _, err := NewFrom([]float32{1, 2, 3}, 2, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("NewFrom mismatched length: err = %v, want ErrShape", err)
+	}
+	if _, err := NewFrom([]float32{1}, -1); !errors.Is(err, ErrShape) {
+		t.Errorf("NewFrom negative dim: err = %v, want ErrShape", err)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(2, 3, 4)
+	x.Set(42, 1, 2, 3)
+	if got := x.At(1, 2, 3); got != 42 {
+		t.Fatalf("At(1,2,3) = %v, want 42", got)
+	}
+	// Row-major layout: offset of (1,2,3) in (2,3,4) is 1*12+2*4+3 = 23.
+	if got := x.Data()[23]; got != 42 {
+		t.Fatalf("flat offset = %v, want 42 at index 23", got)
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	x := MustFrom([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	y := x.MustReshape(3, 2)
+	y.Set(99, 0, 0)
+	if x.At(0, 0) != 99 {
+		t.Fatal("Reshape must share backing data")
+	}
+	if _, err := x.Reshape(4, 2); !errors.Is(err, ErrShape) {
+		t.Errorf("Reshape to wrong size: err = %v, want ErrShape", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := MustFrom([]float32{1, 2}, 2)
+	y := x.Clone()
+	y.Set(5, 0)
+	if x.At(0) != 1 {
+		t.Fatal("Clone must not share data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := MustFrom([]float32{1, 2, 3}, 3)
+	b := MustFrom([]float32{4, 5, 6}, 3)
+	dst := New(3)
+	if err := Add(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(dst, MustFrom([]float32{5, 7, 9}, 3), 0) {
+		t.Errorf("Add = %v", dst)
+	}
+	if err := Sub(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(dst, MustFrom([]float32{-3, -3, -3}, 3), 0) {
+		t.Errorf("Sub = %v", dst)
+	}
+	if err := Mul(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(dst, MustFrom([]float32{4, 10, 18}, 3), 0) {
+		t.Errorf("Mul = %v", dst)
+	}
+	if err := Add(dst, a, New(2)); !errors.Is(err, ErrShape) {
+		t.Errorf("Add shape mismatch: err = %v, want ErrShape", err)
+	}
+}
+
+func TestScaleApplySum(t *testing.T) {
+	x := MustFrom([]float32{1, -2, 3}, 3)
+	x.Scale(2)
+	if got := x.Sum(); got != 4 {
+		t.Errorf("Sum after Scale = %v, want 4", got)
+	}
+	x.Apply(func(v float32) float32 { return v * v })
+	if got := x.Sum(); got != 4+16+36 {
+		t.Errorf("Sum after square = %v, want 56", got)
+	}
+}
+
+func TestMaxAbsMax(t *testing.T) {
+	x := MustFrom([]float32{-7, 3, 5, -1}, 4)
+	v, i := x.Max()
+	if v != 5 || i != 2 {
+		t.Errorf("Max = (%v, %d), want (5, 2)", v, i)
+	}
+	if got := x.AbsMax(); got != 7 {
+		t.Errorf("AbsMax = %v, want 7", got)
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := MustFrom([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := MustFrom([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFrom([]float32{58, 64, 139, 154}, 2, 2)
+	if !Equal(c, want, 1e-5) {
+		t.Errorf("MatMul = %v, want %v", c, want)
+	}
+}
+
+func TestMatMulErrors(t *testing.T) {
+	a := New(2, 3)
+	if _, err := MatMul(a, New(4, 2)); !errors.Is(err, ErrShape) {
+		t.Errorf("inner dim mismatch: err = %v, want ErrShape", err)
+	}
+	if _, err := MatMul(a, New(3)); !errors.Is(err, ErrShape) {
+		t.Errorf("1-D operand: err = %v, want ErrShape", err)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := MustFrom([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := MustFrom([]float32{1, 0, -1}, 3)
+	y, err := MatVec(a, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(y, MustFrom([]float32{-2, -2}, 2), 1e-6) {
+		t.Errorf("MatVec = %v", y)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(5, 7)
+	a.Rand(rng, 1)
+	at, err := Transpose(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := Transpose(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, att, 0) {
+		t.Fatal("Transpose(Transpose(A)) != A")
+	}
+}
+
+func TestAddBiasRowsAndSumRows(t *testing.T) {
+	a := MustFrom([]float32{1, 2, 3, 4}, 2, 2)
+	bias := MustFrom([]float32{10, 20}, 2)
+	if err := AddBiasRows(a, bias); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, MustFrom([]float32{11, 22, 13, 24}, 2, 2), 0) {
+		t.Errorf("AddBiasRows = %v", a)
+	}
+	s, err := SumRows(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(s, MustFrom([]float32{24, 46}, 2), 0) {
+		t.Errorf("SumRows = %v", s)
+	}
+}
+
+// Property: (A·B)·C == A·(B·C) within float tolerance.
+func TestMatMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n, p := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a, b, c := New(m, k), New(k, n), New(n, p)
+		a.Rand(r, 1)
+		b.Rand(r, 1)
+		c.Rand(r, 1)
+		ab, _ := MatMul(a, b)
+		abc1, _ := MatMul(ab, c)
+		bc, _ := MatMul(b, c)
+		abc2, _ := MatMul(a, bc)
+		return Equal(abc1, abc2, 1e-3)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MatMul distributes over Add.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a, b1, b2 := New(m, k), New(k, n), New(k, n)
+		a.Rand(r, 1)
+		b1.Rand(r, 1)
+		b2.Rand(r, 1)
+		sum := New(k, n)
+		if err := Add(sum, b1, b2); err != nil {
+			return false
+		}
+		lhs, _ := MatMul(a, sum)
+		p1, _ := MatMul(a, b1)
+		p2, _ := MatMul(a, b2)
+		rhs := New(m, n)
+		if err := Add(rhs, p1, p2); err != nil {
+			return false
+		}
+		return Equal(lhs, rhs, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1×1 identity kernel with one channel must reproduce the input.
+	s := Conv2DSpec{InC: 1, InH: 4, InW: 4, OutC: 1, KH: 1, KW: 1, Stride: 1, Pad: 0}
+	x := New(1, 1, 4, 4)
+	rng := rand.New(rand.NewSource(3))
+	x.Rand(rng, 1)
+	w := MustFrom([]float32{1}, 1, 1, 1, 1)
+	out, err := Conv2D(x, w, nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(out, x, 1e-6) {
+		t.Fatal("1x1 identity conv must reproduce input")
+	}
+}
+
+func TestConv2DKnownValues(t *testing.T) {
+	// 3×3 input, 2×2 kernel of ones, stride 1, no pad → 2×2 output of window sums.
+	s := Conv2DSpec{InC: 1, InH: 3, InW: 3, OutC: 1, KH: 2, KW: 2, Stride: 1, Pad: 0}
+	x := MustFrom([]float32{1, 2, 3, 4, 5, 6, 7, 8, 9}, 1, 1, 3, 3)
+	w := MustFrom([]float32{1, 1, 1, 1}, 1, 1, 2, 2)
+	bias := MustFrom([]float32{1}, 1)
+	out, err := Conv2D(x, w, bias, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFrom([]float32{13, 17, 25, 29}, 1, 1, 2, 2)
+	if !Equal(out, want, 1e-6) {
+		t.Errorf("Conv2D = %v, want %v", out, want)
+	}
+}
+
+func TestConv2DPadding(t *testing.T) {
+	// With pad 1 and 3×3 kernel the output keeps the input size.
+	s := Conv2DSpec{InC: 2, InH: 5, InW: 5, OutC: 3, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if s.OutH() != 5 || s.OutW() != 5 {
+		t.Fatalf("same-padding output = %dx%d, want 5x5", s.OutH(), s.OutW())
+	}
+	x := New(2, 2, 5, 5)
+	w := New(3, 2, 3, 3)
+	rng := rand.New(rand.NewSource(11))
+	x.Rand(rng, 1)
+	w.Rand(rng, 1)
+	out, err := Conv2D(x, w, nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantShape := []int{2, 3, 5, 5}
+	got := out.Shape()
+	for i := range wantShape {
+		if got[i] != wantShape[i] {
+			t.Fatalf("Conv2D shape = %v, want %v", got, wantShape)
+		}
+	}
+}
+
+func TestConv2DSpecValidate(t *testing.T) {
+	bad := []Conv2DSpec{
+		{InC: 0, InH: 1, InW: 1, OutC: 1, KH: 1, KW: 1, Stride: 1},
+		{InC: 1, InH: 1, InW: 1, OutC: 1, KH: 1, KW: 1, Stride: 0},
+		{InC: 1, InH: 1, InW: 1, OutC: 1, KH: 3, KW: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, OutC: 1, KH: 2, KW: 2, Stride: 1, Pad: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d (%+v): Validate() = nil, want error", i, s)
+		}
+	}
+}
+
+func TestIm2ColCol2ImAdjoint(t *testing.T) {
+	// Col2Im(Im2Col(x)) with a 1×1 kernel and stride 1 must equal x.
+	s := Conv2DSpec{InC: 2, InH: 3, InW: 3, OutC: 1, KH: 1, KW: 1, Stride: 1, Pad: 0}
+	x := make([]float32, 2*3*3)
+	for i := range x {
+		x[i] = float32(i)
+	}
+	cols := make([]float32, s.InC*s.KH*s.KW*s.OutH()*s.OutW())
+	Im2Col(x, s, cols)
+	back := make([]float32, len(x))
+	Col2Im(cols, s, back)
+	for i := range x {
+		if x[i] != back[i] {
+			t.Fatalf("Col2Im∘Im2Col identity failed at %d: %v vs %v", i, x[i], back[i])
+		}
+	}
+}
+
+func TestDepthwiseConvMatchesFullConvForOneChannel(t *testing.T) {
+	// With one channel, depthwise conv equals regular conv.
+	s := Conv2DSpec{InC: 1, InH: 6, InW: 6, OutC: 1, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	rng := rand.New(rand.NewSource(5))
+	x := New(2, 1, 6, 6)
+	x.Rand(rng, 1)
+	w := New(1, 1, 3, 3)
+	w.Rand(rng, 1)
+	full, err := Conv2D(x, w, nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dwW := w.MustReshape(1, 3, 3)
+	dw, err := DepthwiseConv2D(x, dwW, nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(full, dw, 1e-5) {
+		t.Fatal("depthwise conv must equal full conv for a single channel")
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	p := PoolSpec{C: 1, H: 4, W: 4, K: 2, Stride: 2}
+	x := MustFrom([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out, arg, err := MaxPool2D(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFrom([]float32{6, 8, 14, 16}, 1, 1, 2, 2)
+	if !Equal(out, want, 0) {
+		t.Errorf("MaxPool2D = %v, want %v", out, want)
+	}
+	wantArg := []int{5, 7, 13, 15}
+	for i := range wantArg {
+		if arg[i] != wantArg[i] {
+			t.Errorf("argmax[%d] = %d, want %d", i, arg[i], wantArg[i])
+		}
+	}
+}
+
+func TestAvgPoolAndGlobalAvgPool(t *testing.T) {
+	p := PoolSpec{C: 1, H: 2, W: 2, K: 2, Stride: 2}
+	x := MustFrom([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	out, err := AvgPool2D(x, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.At(0, 0, 0, 0) != 2.5 {
+		t.Errorf("AvgPool2D = %v, want 2.5", out.At(0, 0, 0, 0))
+	}
+	g, err := GlobalAvgPool2D(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.At(0, 0) != 2.5 {
+		t.Errorf("GlobalAvgPool2D = %v, want 2.5", g.At(0, 0))
+	}
+}
+
+func TestQuantizeRoundTripBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := New(100)
+	x.Rand(rng, 3)
+	q := Quantize(x)
+	d := q.Dequantize()
+	// Max round-trip error is half a quantization step.
+	maxErr := q.Scale / 2 * 1.0001
+	for i := range x.Data() {
+		diff := float64(x.Data()[i] - d.Data()[i])
+		if math.Abs(diff) > float64(maxErr) {
+			t.Fatalf("round-trip error %v exceeds half-step %v", diff, maxErr)
+		}
+	}
+}
+
+func TestQuantizeZeroTensor(t *testing.T) {
+	q := Quantize(New(4))
+	d := q.Dequantize()
+	if d.Sum() != 0 {
+		t.Fatal("quantized zero tensor must dequantize to zero")
+	}
+}
+
+// Property: quantized matmul approximates float matmul within a few steps.
+func TestQMatMulApproximationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(8), 1+r.Intn(5)
+		a, b := New(m, k), New(k, n)
+		a.Rand(r, 1)
+		b.Rand(r, 1)
+		exact, _ := MatMul(a, b)
+		qc, err := QMatMul(Quantize(a), Quantize(b))
+		if err != nil {
+			return false
+		}
+		// Error bound: k accumulated products, each within ~2 quantization
+		// steps of ~(1/127)² relative error on unit-scale data.
+		tol := float32(k) * 0.05
+		return Equal(exact, qc, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncatedSVDExactForLowRank(t *testing.T) {
+	// Build an exactly rank-2 matrix and verify near-zero reconstruction error.
+	rng := rand.New(rand.NewSource(21))
+	u := New(8, 2)
+	v := New(2, 6)
+	u.Randn(rng, 1)
+	v.Randn(rng, 1)
+	a, err := MatMul(u, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, v2, err := TruncatedSVD(a, 2, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relErr, err := ReconstructionError(a, u2, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr > 1e-3 {
+		t.Errorf("rank-2 SVD of rank-2 matrix: rel err = %v, want ~0", relErr)
+	}
+}
+
+func TestTruncatedSVDErrorDecreasesWithRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := New(12, 10)
+	a.Randn(rng, 1)
+	prev := math.Inf(1)
+	for _, rank := range []int{1, 3, 6, 10} {
+		u, v, err := TruncatedSVD(a, rank, 25, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr, err := ReconstructionError(a, u, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relErr > prev+1e-3 {
+			t.Errorf("rank %d: rel err %v did not decrease from %v", rank, relErr, prev)
+		}
+		prev = relErr
+	}
+	if prev > 1e-2 {
+		t.Errorf("full-rank SVD rel err = %v, want ~0", prev)
+	}
+}
+
+func TestTruncatedSVDBadRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	if _, _, err := TruncatedSVD(a, 0, 10, rng); !errors.Is(err, ErrShape) {
+		t.Errorf("rank 0: err = %v, want ErrShape", err)
+	}
+	if _, _, err := TruncatedSVD(a, 5, 10, rng); !errors.Is(err, ErrShape) {
+		t.Errorf("rank > dims: err = %v, want ErrShape", err)
+	}
+}
+
+func TestGlorotInitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	w := New(64, 64)
+	w.GlorotInit(rng, 64, 64)
+	limit := float32(math.Sqrt(6.0 / 128.0))
+	for _, v := range w.Data() {
+		if v < -limit || v > limit {
+			t.Fatalf("Glorot value %v outside ±%v", v, limit)
+		}
+	}
+	if w.AbsMax() == 0 {
+		t.Fatal("Glorot init produced all zeros")
+	}
+}
+
+func TestMatMulIntoAndSubErrors(t *testing.T) {
+	a := MustFrom([]float32{1, 2, 3, 4}, 2, 2)
+	b := MustFrom([]float32{5, 6, 7, 8}, 2, 2)
+	dst := New(2, 2)
+	if err := MatMulInto(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	want, err := MatMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(dst, want, 1e-6) {
+		t.Errorf("MatMulInto = %v, want %v", dst, want)
+	}
+	// Reuse must reset dst, not accumulate.
+	if err := MatMulInto(dst, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(dst, want, 1e-6) {
+		t.Error("MatMulInto accumulated across calls")
+	}
+	if err := MatMulInto(New(3, 3), a, b); !errors.Is(err, ErrShape) {
+		t.Errorf("wrong dst: err = %v", err)
+	}
+	if err := MatMulInto(dst, New(2), b); !errors.Is(err, ErrShape) {
+		t.Errorf("1-D operand: err = %v", err)
+	}
+}
+
+func TestAddScaledErrors(t *testing.T) {
+	a := New(3)
+	if err := a.AddScaled(New(4), 1); !errors.Is(err, ErrShape) {
+		t.Errorf("err = %v, want ErrShape", err)
+	}
+	b := MustFrom([]float32{1, 2, 3}, 3)
+	if err := a.AddScaled(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, MustFrom([]float32{2, 4, 6}, 3), 0) {
+		t.Errorf("AddScaled = %v", a)
+	}
+}
+
+func TestSumRowsAndMatVecErrors(t *testing.T) {
+	if _, err := SumRows(New(3)); !errors.Is(err, ErrShape) {
+		t.Errorf("SumRows 1-D: err = %v", err)
+	}
+	if _, err := MatVec(New(2, 3), New(4)); !errors.Is(err, ErrShape) {
+		t.Errorf("MatVec inner mismatch: err = %v", err)
+	}
+	if _, err := Transpose(New(2)); !errors.Is(err, ErrShape) {
+		t.Errorf("Transpose 1-D: err = %v", err)
+	}
+}
+
+func TestL2NormAndString(t *testing.T) {
+	x := MustFrom([]float32{3, 4}, 2)
+	if got := x.L2Norm(); got != 5 {
+		t.Errorf("L2Norm = %v, want 5", got)
+	}
+	if s := x.String(); s == "" {
+		t.Error("empty String for small tensor")
+	}
+	big := New(100)
+	if s := big.String(); s == "" {
+		t.Error("empty String for large tensor")
+	}
+}

@@ -1,0 +1,154 @@
+package zoo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"alexnet-m", "bonsai-m", "lenet", "mlp", "mobilenet-m", "protonn-m", "squeezenet-m", "vgg-m"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalog = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("catalog[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("resnet-152"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("unknown model: err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestAllModelsBuildAndForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.New(2, 1, 16, 16)
+	x.Rand(rng, 1)
+	for _, e := range Catalog() {
+		t.Run(e.Name, func(t *testing.T) {
+			m, err := Build(e.Name, 16, 6, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			logits, err := m.Forward(x, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if logits.Dims() != 2 || logits.Dim(0) != 2 || logits.Dim(1) != 6 {
+				t.Errorf("%s logits shape = %v, want [2 6]", e.Name, logits.Shape())
+			}
+			if m.ParamCount() == 0 {
+				t.Errorf("%s has no parameters", e.Name)
+			}
+		})
+	}
+}
+
+func TestBuildRejectsBadSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range []string{"lenet", "alexnet-m", "vgg-m", "squeezenet-m", "mobilenet-m"} {
+		if _, err := Build(name, 15, 6, rng); err == nil {
+			t.Errorf("%s with size 15 should fail", name)
+		}
+	}
+}
+
+// The headline structural claims the experiments rely on:
+// AlexNet-m params ≫ SqueezeNet-m params (the 50× SqueezeNet claim scaled
+// down), and MobileNet-m FLOPs < VGG-m FLOPs.
+func TestFamilySizeRelationships(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	build := func(name string) *nn.Model {
+		m, err := Build(name, 16, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	alex := build("alexnet-m")
+	squeeze := build("squeezenet-m")
+	vgg := build("vgg-m")
+	mobile := build("mobilenet-m")
+	bonsai := build("bonsai-m")
+
+	if ratio := float64(alex.ParamCount()) / float64(squeeze.ParamCount()); ratio < 20 {
+		t.Errorf("alexnet/squeezenet param ratio = %.1f, want ≥ 20 (paper cites ~50×)", ratio)
+	}
+	if mobile.FLOPs(1) >= vgg.FLOPs(1) {
+		t.Errorf("mobilenet FLOPs %d not below vgg %d", mobile.FLOPs(1), vgg.FLOPs(1))
+	}
+	// Kilobyte-class models must be small in absolute terms.
+	if kb := bonsai.WeightBytes(); kb > 32<<10 {
+		t.Errorf("bonsai-m weights = %d bytes, want ≤ 32 kB", kb)
+	}
+	if vgg.FLOPs(1) <= alex.FLOPs(1) {
+		t.Errorf("vgg FLOPs %d should exceed alexnet %d", vgg.FLOPs(1), alex.FLOPs(1))
+	}
+}
+
+func TestTrainAllReachesAboveChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training all families is slow")
+	}
+	cfg := dataset.ShapesConfig{Samples: 500, Size: 16, Classes: 4, Noise: 0.25, Seed: 7}
+	train, test, err := dataset.Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := TrainAll(train, 16, 4, 8, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != len(Catalog()) {
+		t.Fatalf("TrainAll returned %d models", len(models))
+	}
+	for name, m := range models {
+		acc, err := nn.Accuracy(m, test.X, test.Y)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc < 0.4 { // chance = 0.25
+			t.Errorf("%s accuracy = %v, want ≥ 0.4", name, acc)
+		}
+	}
+}
+
+func TestModelsSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, name := range []string{"squeezenet-m", "mobilenet-m"} {
+		m, err := Build(name, 16, 6, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := nn.EncodeModel(m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m2, err := nn.DecodeModel(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := tensor.New(1, 1, 16, 16)
+		x.Rand(rng, 1)
+		y1, err := m.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y2, err := m2.Forward(x, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.Equal(y1, y2, 1e-6) {
+			t.Errorf("%s: decoded model differs", name)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package openei is the public façade of the OpenEI reproduction: a
+// lightweight software platform that equips an edge with intelligent
+// processing and data-sharing capability (Zhang et al., "OpenEI: An Open
+// Framework for Edge Intelligence", ICDCS 2019).
+//
+// The paper's "deploy and play" promise is the New function: point it at a
+// device profile and you get a Node with the three OpenEI components wired
+// together —
+//
+//   - a package manager (inference, local/transfer training, real-time ML),
+//   - a model selector (the ALEM-constrained optimizer of Equation 1),
+//   - libei (the RESTful API of Figure 6) over the node's datastore.
+//
+// A minimal deployment:
+//
+//	node, err := openei.New(openei.Config{NodeID: "kitchen-pi", Device: "rpi3"})
+//	...
+//	defer node.Close()
+//	http.ListenAndServe(":8080", node.Handler())
+package openei
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/apps"
+	"openei/internal/datastore"
+	"openei/internal/hardware"
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/runenv"
+	"openei/internal/selector"
+	"openei/internal/tensor"
+)
+
+// Re-exported types so downstream users can name the values flowing through
+// the public API (the implementations live in internal packages).
+type (
+	// ALEM is the paper's <Accuracy, Latency, Energy, Memory> capability tuple.
+	ALEM = alem.ALEM
+	// Package is a deep-learning runtime profile (the Figure 5 second axis).
+	Package = alem.Package
+	// Device is an edge hardware profile (the Figure 5 third axis).
+	Device = hardware.Device
+	// Model is a neural network runnable by the package manager.
+	Model = nn.Model
+	// Tensor is the dense input/output tensor type.
+	Tensor = tensor.Tensor
+	// Dataset is a labelled training/evaluation set.
+	Dataset = nn.Dataset
+	// Store is the node's sensor data store behind /ei_data.
+	Store = datastore.Store
+	// Manager is the node's package manager.
+	Manager = pkgmgr.Manager
+	// Server is the node's libei HTTP API.
+	Server = libei.Server
+	// Client talks to a remote node's libei API.
+	Client = libei.Client
+	// Registration binds an algorithm into /ei_algorithms/{scenario}/{name}.
+	Registration = libei.Registration
+	// Requirements are the Equation 1 constraints for model selection.
+	Requirements = selector.Requirements
+	// Choice is a selected (model, package, device) point with its ALEM.
+	Choice = selector.Choice
+	// Candidate is a model artifact considered by the selector.
+	Candidate = selector.Candidate
+	// Bus is the ROS-style topic pub/sub bus of the running environment
+	// (§IV.C).
+	Bus = runenv.Bus
+	// Scheduler is the TinyOS-style event-driven task scheduler (§IV.C).
+	Scheduler = runenv.Scheduler
+	// SchedulerTask is one run-to-completion unit for the Scheduler.
+	SchedulerTask = runenv.Task
+	// VCU allocates bounded shares of a device to applications
+	// (OpenVDAP-style, §IV.C).
+	VCU = runenv.VCU
+	// VCURequest asks a VCU for a compute share and memory budget.
+	VCURequest = runenv.Request
+	// Monitor is the heartbeat failure detector for edge peers (§IV.C).
+	Monitor = runenv.Monitor
+	// Migrator moves computations off failed edges (§IV.C).
+	Migrator = runenv.Migrator
+	// ResultCache memoizes inference results (MUVR-style edge caching,
+	// §V.C).
+	ResultCache = pkgmgr.ResultCache
+)
+
+// Scheduler task priorities: urgent tasks drain before normal ones (the
+// real-time ML lane of §III.B).
+const (
+	TaskNormal = runenv.Normal
+	TaskUrgent = runenv.Urgent
+)
+
+// Selection objectives (§III.C): minimize latency by default, or optimize
+// another ALEM dimension with the rest as constraints.
+const (
+	MinLatency  = selector.MinLatency
+	MaxAccuracy = selector.MaxAccuracy
+	MinEnergy   = selector.MinEnergy
+	MinMemory   = selector.MinMemory
+)
+
+// ErrBadConfig is returned by New for invalid configurations.
+var ErrBadConfig = errors.New("openei: bad config")
+
+// Config describes one OpenEI deployment.
+type Config struct {
+	// NodeID names this edge (required).
+	NodeID string
+	// Device is the hardware profile name (see Devices); required.
+	Device string
+	// Package is the runtime profile name; default "eipkg".
+	Package string
+	// DataWindow is the realtime window per sensor; default 64.
+	DataWindow int
+}
+
+// Node is a deployed OpenEI edge: datastore + package manager + libei.
+type Node struct {
+	ID      string
+	Store   *Store
+	Manager *Manager
+	Server  *Server
+
+	device hardware.Device
+	pkg    alem.Package
+}
+
+// New deploys OpenEI for the given configuration ("any hardware … will
+// become an intelligent edge after deploying OpenEI").
+func New(cfg Config) (*Node, error) {
+	if cfg.NodeID == "" {
+		return nil, fmt.Errorf("%w: NodeID is required", ErrBadConfig)
+	}
+	dev, err := hardware.ByName(cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	pkgName := cfg.Package
+	if pkgName == "" {
+		pkgName = "eipkg"
+	}
+	pkg, err := alem.PackageByName(pkgName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	store := datastore.New(cfg.DataWindow)
+	mgr := pkgmgr.New(pkg, dev)
+	srv := libei.NewServer(cfg.NodeID, store, mgr)
+	return &Node{
+		ID: cfg.NodeID, Store: store, Manager: mgr, Server: srv,
+		device: dev, pkg: pkg,
+	}, nil
+}
+
+// Close releases the node's resources (stops the real-time scheduler).
+func (n *Node) Close() { n.Manager.Close() }
+
+// Handler returns the libei HTTP handler for serving.
+func (n *Node) Handler() http.Handler { return n.Server }
+
+// Device returns the node's hardware profile.
+func (n *Node) Device() Device { return n.device }
+
+// Package returns the node's runtime profile.
+func (n *Node) Package() Package { return n.pkg }
+
+// Register installs custom algorithms under /ei_algorithms.
+func (n *Node) Register(regs ...Registration) error {
+	return n.Server.RegisterAll(regs)
+}
+
+// LoadModel installs a model into the package manager; set quantize to use
+// the int8 artifact when the package supports it.
+func (n *Node) LoadModel(m *Model, quantize bool) error {
+	return n.Manager.Load(m, pkgmgr.LoadOptions{Quantize: quantize})
+}
+
+// SelectModel runs the model selector over the node's own device: given
+// trained candidate models and an evaluation set, it returns the best
+// (model, package-variant) combination under the requirements — the
+// processing-flow step of §III.E ("the model selector will choose a most
+// suitable model … based on the developer's requirement and the current
+// computing resource").
+func (n *Node) SelectModel(models map[string]*Model, eval Dataset, req Requirements) (Choice, error) {
+	prof := alem.NewProfiler(eval)
+	cands := selector.Variants(models, n.pkg.SupportsInt8)
+	return selector.Exhaustive(cands, []alem.Package{n.pkg}, []hardware.Device{n.device}, req, prof)
+}
+
+// DeploySelected loads the chosen model variant into the node.
+func (n *Node) DeploySelected(models map[string]*Model, c Choice) error {
+	m, ok := models[c.ModelName]
+	if !ok {
+		return fmt.Errorf("openei: selected model %q not in candidate set", c.ModelName)
+	}
+	return n.LoadModel(m, c.Quantized)
+}
+
+// EnableSafety registers the VAPS algorithms (Figure 4's public-safety
+// URLs) against the given camera sensor and loaded model.
+func (n *Node) EnableSafety(modelName, cameraID string, labels []string, firearmClass int) error {
+	return n.Register(apps.Safety(apps.SafetyConfig{
+		Store: n.Store, Manager: n.Manager, ModelName: modelName,
+		DefaultCamera: cameraID, Labels: labels, FirearmClass: firearmClass,
+	})...)
+}
+
+// EnableVehicles registers the CAV tracking algorithm.
+func (n *Node) EnableVehicles(cameraID string, window int) error {
+	return n.Register(apps.Vehicles(apps.VehiclesConfig{
+		Store: n.Store, DefaultCamera: cameraID, Window: window,
+	})...)
+}
+
+// EnableHome registers the smart-home power monitor.
+func (n *Node) EnableHome(modelName, meterID string, labels []string) error {
+	return n.Register(apps.Home(apps.HomeConfig{
+		Store: n.Store, Manager: n.Manager, ModelName: modelName,
+		DefaultMeter: meterID, Labels: labels,
+	})...)
+}
+
+// EnableHealth registers the connected-health algorithms.
+func (n *Node) EnableHealth(modelName, imuID string, labels []string, fallClass int) error {
+	return n.Register(apps.Health(apps.HealthConfig{
+		Store: n.Store, Manager: n.Manager, ModelName: modelName,
+		DefaultIMU: imuID, Labels: labels, FallClass: fallClass,
+	})...)
+}
+
+// EnableMask registers the §V.A privacy-masking algorithm
+// (/ei_algorithms/safety/mask): the subject region of the camera frame
+// is blanked so the frame can leave the edge without private content.
+func (n *Node) EnableMask(cameraID string) error {
+	return n.Register(apps.Mask(apps.MaskConfig{
+		Store: n.Store, DefaultCamera: cameraID,
+	})...)
+}
+
+// NewBus returns a running-environment pub/sub bus (§IV.C).
+func NewBus() *Bus { return runenv.NewBus() }
+
+// NewScheduler returns a running event-driven scheduler with the given
+// queue capacity (≤0 means 256). Call Close to join its worker.
+func NewScheduler(queueCap int) *Scheduler { return runenv.NewScheduler(queueCap) }
+
+// NewVCU returns a resource allocator over the given device.
+func NewVCU(d Device) *VCU { return runenv.NewVCU(d) }
+
+// AttachVCU exposes the allocator's state through GET /ei_resources —
+// the paper's "every resource, including the … computing resource …
+// [is] represented by a URL".
+func (n *Node) AttachVCU(v *VCU) { n.Server.SetVCU(v) }
+
+// NewMonitor returns a heartbeat failure detector with the given silence
+// timeout (≤0 means 3 s).
+func NewMonitor(timeout time.Duration) *Monitor { return runenv.NewMonitor(timeout) }
+
+// NewMigrator returns a computation migrator over node capacities
+// (node → effective FLOPS).
+func NewMigrator(capacity map[string]float64) *Migrator { return runenv.NewMigrator(capacity) }
+
+// NewResultCache returns an inference result cache (MUVR-style, §V.C)
+// holding capacity entries that expire after ttl (≤0 means never).
+func NewResultCache(capacity int, ttl time.Duration) *ResultCache {
+	return pkgmgr.NewResultCache(capacity, ttl)
+}
+
+// CachedInfer is Infer through a ResultCache: bit-identical repeated
+// inputs are served from cache. The second return reports a cache hit.
+func (n *Node) CachedInfer(c *ResultCache, modelName string, x *Tensor) ([]int, []float64, bool, error) {
+	res, hit, err := c.Infer(n.Manager, modelName, x)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return res.Classes, res.Confidences, hit, nil
+}
+
+// TransferLearn personalizes a loaded model on local data (Dataflow 3).
+func (n *Node) TransferLearn(modelName string, data Dataset, epochs int, seed int64) error {
+	return n.Manager.TransferLearn(modelName, data, 1, epochs, rand.New(rand.NewSource(seed)))
+}
+
+// Infer runs a loaded model on a batched input at normal priority and
+// returns predicted classes with confidences.
+func (n *Node) Infer(modelName string, x *Tensor) ([]int, []float64, error) {
+	res, err := n.Manager.Infer(modelName, x)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Classes, res.Confidences, nil
+}
+
+// NewTensor builds an input tensor from raw values (copied) and a shape;
+// batched model inputs have the sample count as the first dimension.
+func NewTensor(data []float32, shape ...int) (*Tensor, error) {
+	return tensor.NewFrom(append([]float32(nil), data...), shape...)
+}
+
+// Devices lists the built-in hardware catalog.
+func Devices() []Device { return hardware.Catalog() }
+
+// Packages lists the built-in runtime profiles.
+func Packages() []Package { return alem.Packages() }
+
+// Dial returns a client for a remote node's libei API.
+func Dial(baseURL string) *Client { return libei.NewClient(baseURL) }
+
+// DefaultRequirements is the walk-through default of §III.E: accuracy-
+// oriented selection with a soft real-time latency budget.
+func DefaultRequirements() Requirements {
+	return Requirements{Objective: MaxAccuracy, MaxLatency: 100 * time.Millisecond}
+}

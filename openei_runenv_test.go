@@ -1,0 +1,166 @@
+package openei
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+// detectorNode deploys a node with a trained lenet and a fed camera.
+func detectorNode(t *testing.T) (*Node, *Model) {
+	t.Helper()
+	node, err := New(Config{NodeID: "edge", Device: "rpi4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	cfg := dataset.ShapesConfig{Samples: 400, Size: 16, Classes: 4, Noise: 0.2, Seed: 9}
+	train, _, err := dataset.Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	model, err := zoo.Build("lenet", 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(model, train, nn.TrainConfig{Epochs: 4, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.LoadModel(model, false); err != nil {
+		t.Fatal(err)
+	}
+	cam, err := sensors.NewCamera("camera1", 16, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sensors.Feed(node.Store, cam, 3, t0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return node, model
+}
+
+func TestEnableMaskOverREST(t *testing.T) {
+	node, _ := detectorNode(t)
+	if err := node.EnableMask("camera1"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+	var masked struct {
+		Frame        []float32 `json:"frame"`
+		MaskedPixels int       `json:"masked_pixels"`
+		TotalPixels  int       `json:"total_pixels"`
+	}
+	if err := Dial(ts.URL).CallAlgorithm("safety", "mask", url.Values{"video": {"camera1"}}, &masked); err != nil {
+		t.Fatal(err)
+	}
+	if masked.TotalPixels != 256 || masked.MaskedPixels == 0 {
+		t.Fatalf("mask response: %d/%d", masked.MaskedPixels, masked.TotalPixels)
+	}
+	for _, v := range masked.Frame {
+		if v >= 0.5 {
+			t.Fatal("subject pixel survived the mask")
+		}
+	}
+}
+
+func TestNodeCachedInfer(t *testing.T) {
+	node, model := detectorNode(t)
+	sample, err := node.Store.Latest("camera1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewTensor(sample.Payload, 1, 1, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewResultCache(8, 0)
+	cls1, _, hit, err := node.CachedInfer(c, model.Name, x)
+	if err != nil || hit {
+		t.Fatalf("first call: hit=%v err=%v", hit, err)
+	}
+	cls2, _, hit, err := node.CachedInfer(c, model.Name, x)
+	if err != nil || !hit {
+		t.Fatalf("second call: hit=%v err=%v", hit, err)
+	}
+	if cls1[0] != cls2[0] {
+		t.Fatalf("cached class differs: %d vs %d", cls1[0], cls2[0])
+	}
+}
+
+// TestRunningEnvironmentWiring drives the façade's §IV.C surface the way
+// examples/pipeline does: bus → scheduler → inference, then failure →
+// migration.
+func TestRunningEnvironmentWiring(t *testing.T) {
+	node, model := detectorNode(t)
+
+	bus := NewBus()
+	defer bus.Close()
+	sub, err := bus.Subscribe("camera/topic", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample, err := node.Store.Latest("camera1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Publish("camera/topic", sample.Payload); err != nil {
+		t.Fatal(err)
+	}
+
+	sched := NewScheduler(8)
+	defer sched.Close()
+	done := make(chan error, 1)
+	msg := <-sub.C()
+	err = sched.Post(SchedulerTask{Name: "detect", Priority: TaskUrgent, Run: func() {
+		x, err := NewTensor(msg.Payload.([]float32), 1, 1, 16, 16)
+		if err != nil {
+			done <- err
+			return
+		}
+		_, _, err = node.Infer(model.Name, x)
+		done <- err
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	vcu := NewVCU(node.Device())
+	if _, err := vcu.Allocate(VCURequest{App: "safety", ComputeShare: 0.5, MemBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+
+	mon := NewMonitor(time.Second)
+	mig := NewMigrator(map[string]float64{"edge": node.Device().FLOPS, "peer": node.Device().FLOPS})
+	now := time.Unix(1000, 0)
+	mon.Heartbeat("edge", now)
+	mon.Heartbeat("peer", now)
+	if _, err := mig.Assign("detect", float64(model.FLOPs(1)), mon.Live(now)); err != nil {
+		t.Fatal(err)
+	}
+	// Edge dies; the task must land on the surviving peer.
+	mon.Heartbeat("peer", now.Add(5*time.Second))
+	live := mon.Live(now.Add(5 * time.Second))
+	if len(live) != 1 || live[0] != "peer" {
+		t.Fatalf("live = %v", live)
+	}
+	if _, err := mig.MigrateOff(live); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range mig.Placements() {
+		if p.Node != "peer" {
+			t.Fatalf("task %q still on %s", p.Task, p.Node)
+		}
+	}
+}

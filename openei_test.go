@@ -1,0 +1,209 @@
+package openei
+
+import (
+	"errors"
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+var t0 = time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"missing node id", Config{Device: "rpi3"}},
+		{"unknown device", Config{NodeID: "x", Device: "cray"}},
+		{"unknown package", Config{NodeID: "x", Device: "rpi3", Package: "torch"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("New(%+v): err = %v, want ErrBadConfig", tt.cfg, err)
+			}
+		})
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	n, err := New(Config{NodeID: "edge", Device: "rpi3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Package().Name != "eipkg" {
+		t.Errorf("default package = %s, want eipkg", n.Package().Name)
+	}
+	if n.Device().Name != "rpi3" {
+		t.Errorf("device = %s", n.Device().Name)
+	}
+}
+
+func TestCatalogsExposed(t *testing.T) {
+	if len(Devices()) < 8 {
+		t.Errorf("Devices() = %d entries", len(Devices()))
+	}
+	if len(Packages()) != 5 {
+		t.Errorf("Packages() = %d entries", len(Packages()))
+	}
+}
+
+// TestWalkThrough reproduces the paper's §III.E programming-model
+// walk-through end to end on the public API: deploy OpenEI on a Raspberry
+// Pi, fetch real-time camera data over /ei_data, invoke object detection
+// over /ei_algorithms, with the model chosen by the selector.
+func TestWalkThrough(t *testing.T) {
+	// Deploy OpenEI on the Pi.
+	node, err := New(Config{NodeID: "rpi-demo", Device: "rpi4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	// Train candidate models (in reality these come from the cloud zoo).
+	cfg := dataset.ShapesConfig{Samples: 600, Size: 16, Classes: 4, Noise: 0.2, Seed: 90}
+	train, test, err := dataset.Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	lenet, err := zoo.Build("lenet", 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(lenet, train, nn.TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	mlp, err := zoo.Build("mlp", 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(mlp, train, nn.TrainConfig{Epochs: 6, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]*Model{"lenet": lenet, "mlp": mlp}
+
+	// The selector picks the most suitable model for this Pi (default:
+	// accuracy-oriented, per the paper).
+	choice, err := node.SelectModel(models, test, DefaultRequirements())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.ALEM.Accuracy < 0.6 {
+		t.Errorf("selected model accuracy = %v", choice.ALEM.Accuracy)
+	}
+	if err := node.DeploySelected(models, choice); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wire the camera and the safety scenario.
+	cam, err := sensors.NewCamera("camera1", 16, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sensors.Feed(node.Store, cam, 8, t0, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.EnableSafety(choice.ModelName, "camera1", dataset.ShapeClassNames[:4], 3); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+	client := Dial(ts.URL)
+
+	// §III.E step 1: visit /ei_data/realtime/camera1?timestamp=present.
+	frames, err := client.Realtime("camera1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || len(frames[0].Payload) != 256 {
+		t.Fatalf("realtime frame = %d samples, dim %d", len(frames), len(frames[0].Payload))
+	}
+
+	// §III.E step 2: visit /ei_algorithms/safety/detection?video=camera1.
+	var det struct {
+		Label      string  `json:"label"`
+		Confidence float64 `json:"confidence"`
+	}
+	if err := client.CallAlgorithm("safety", "detection", url.Values{"video": {"camera1"}}, &det); err != nil {
+		t.Fatal(err)
+	}
+	if det.Label == "" || det.Confidence <= 0 {
+		t.Errorf("detection = %+v", det)
+	}
+
+	// The node reports its deployed model over /ei_models.
+	ms, err := client.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Name != choice.ModelName {
+		t.Errorf("models = %+v, want %s", ms, choice.ModelName)
+	}
+}
+
+func TestTransferLearnOnNode(t *testing.T) {
+	node, err := New(Config{NodeID: "edge", Device: "laptop"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	genCfg := dataset.ActivityConfig{Samples: 500, Window: 16, Noise: 0.15, Seed: 91}
+	genTrain, _, err := dataset.Activity(genCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCfg := genCfg
+	perCfg.Seed = 92
+	perCfg.Bias = 0.7
+	perTrain, perTest, err := dataset.Activity(perCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	m := nn.MustModel("act", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 32},
+		{Type: "relu"},
+		{Type: "dense", In: 32, Out: 4},
+	})
+	m.InitParams(rng)
+	if _, _, err := nn.Train(m, genTrain, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.LoadModel(m, false); err != nil {
+		t.Fatal(err)
+	}
+	before := nodeAccuracy(t, node, "act", perTest)
+	if err := node.TransferLearn("act", perTrain, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	after := nodeAccuracy(t, node, "act", perTest)
+	if after <= before {
+		t.Errorf("transfer learning did not help: %v -> %v", before, after)
+	}
+}
+
+func nodeAccuracy(t *testing.T, n *Node, model string, d Dataset) float64 {
+	t.Helper()
+	classes, _, err := n.Infer(model, d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, c := range classes {
+		if c == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(classes))
+}

@@ -1,0 +1,156 @@
+package openei
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/sensors"
+	"openei/internal/zoo"
+)
+
+// TestAllScenariosOnOneNode wires every §V scenario onto a single edge —
+// the Figure 4 picture with all four application boxes populated — and
+// checks the algorithm registry plus one live call per scenario.
+func TestAllScenariosOnOneNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	node, err := New(Config{NodeID: "all-in-one", Device: "edge-server"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	rng := rand.New(rand.NewSource(1))
+
+	// Vision model for safety + vehicles.
+	shTrain, _, err := dataset.Shapes(dataset.ShapesConfig{Samples: 600, Size: 16, Classes: 4, Noise: 0.25, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vision, err := zoo.Build("lenet", 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(vision, shTrain, nn.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	// Power and activity models.
+	pwTrain, _, err := dataset.Power(dataset.PowerConfig{Samples: 400, Window: 32, Noise: 0.08, Seed: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := nn.MustModel("power-net", []int{32}, []nn.LayerSpec{
+		{Type: "dense", In: 32, Out: 24}, {Type: "relu"},
+		{Type: "dense", In: 24, Out: 5},
+	})
+	power.InitParams(rng)
+	if _, _, err := nn.Train(power, pwTrain, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	acTrain, _, err := dataset.Activity(dataset.ActivityConfig{Samples: 400, Window: 16, Noise: 0.15, Seed: 57})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act := nn.MustModel("act-net", []int{48}, []nn.LayerSpec{
+		{Type: "dense", In: 48, Out: 32}, {Type: "relu"},
+		{Type: "dense", In: 32, Out: 4},
+	})
+	act.InitParams(rng)
+	if _, _, err := nn.Train(act, acTrain, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.1, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*Model{vision, power, act} {
+		if err := node.LoadModel(m, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sensors.
+	t0 := time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+	cam, err := sensors.NewCamera("camera1", 16, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter, err := sensors.NewPowerMeter("meter1", 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imu, err := sensors.NewIMU("imu1", 16, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []sensors.Driver{cam, meter, imu} {
+		if _, err := sensors.Feed(node.Store, d, 6, t0, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// All four scenarios.
+	if err := node.EnableSafety("lenet", "camera1", dataset.ShapeClassNames[:4], 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.EnableVehicles("camera1", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.EnableHome("power-net", "meter1", dataset.PowerClassNames); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.EnableHealth("act-net", "imu1", dataset.ActivityClassNames, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.EnableMask("camera1"); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+	client := Dial(ts.URL)
+
+	algos, err := client.Algorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"health/activity_recognition", "health/fall_detection",
+		"home/power_monitor",
+		"safety/detection", "safety/firearm_detection", "safety/mask",
+		"vehicles/tracking",
+	}
+	if len(algos) != len(want) {
+		t.Fatalf("algorithms = %v, want %v", algos, want)
+	}
+	for i := range want {
+		if algos[i] != want[i] {
+			t.Fatalf("algorithms[%d] = %q, want %q", i, algos[i], want[i])
+		}
+	}
+	// One live call per scenario; all must answer 200 with a result.
+	for _, a := range want {
+		parts := splitOnce(a)
+		var out map[string]any
+		if err := client.CallAlgorithm(parts[0], parts[1], nil, &out); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+	}
+	// The node reports all three models.
+	ms, err := client.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Errorf("models = %d, want 3", len(ms))
+	}
+}
+
+func splitOnce(s string) [2]string {
+	for i := range s {
+		if s[i] == '/' {
+			return [2]string{s[:i], s[i+1:]}
+		}
+	}
+	return [2]string{s, ""}
+}
