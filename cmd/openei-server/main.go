@@ -13,9 +13,16 @@
 //
 //	curl http://localhost:8080/ei_status
 //	curl http://localhost:8080/ei_resources
+//	curl http://localhost:8080/ei_metrics
 //	curl http://localhost:8080/ei_data/realtime/camera1?n=1
 //	curl http://localhost:8080/ei_algorithms/safety/detection?video=camera1
 //	curl http://localhost:8080/ei_algorithms/safety/mask?video=camera1
+//	curl "http://localhost:8080/ei_algorithms/serving/infer?model=power-net&input=0.1,0.2,...(32 values)"
+//
+// The serving engine (micro-batching across model replicas with a bounded
+// admission queue) is tuned with -serve-max-batch, -serve-batch-wait,
+// -serve-replicas and -serve-queue-depth; under overload the infer route
+// returns HTTP 429.
 //
 // With -peers, the node polls each peer's /ei_status every 2 s and logs
 // live↔suspect transitions (the §IV.C availability loop).
@@ -56,19 +63,33 @@ func main() {
 		cloudURL = flag.String("cloud", "", "cloud registry base URL; empty trains the demo model locally")
 		peers    = flag.String("peers", "", "comma-separated peer base URLs to watch via /ei_status heartbeats")
 		seed     = flag.Int64("seed", 1, "seed for demo data and training")
+
+		// Serving-engine knobs (GET /ei_algorithms/serving/infer,
+		// GET /ei_metrics). Zero keeps the engine default.
+		maxBatch   = flag.Int("serve-max-batch", 0, "largest inference micro-batch (0 = default)")
+		maxWait    = flag.Duration("serve-batch-wait", 0, "max wait for a micro-batch to fill (0 = default)")
+		replicas   = flag.Int("serve-replicas", 0, "model replicas per serving pipeline (0 = default)")
+		queueDepth = flag.Int("serve-queue-depth", 0, "bounded serving queue; full queue returns 429 (0 = default)")
 	)
 	flag.Parse()
-	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, *seed); err != nil {
+	servingCfg := openei.ServingConfig{
+		MaxBatch: *maxBatch, MaxWait: *maxWait,
+		Replicas: *replicas, QueueDepth: *queueDepth,
+	}
+	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, *seed, servingCfg); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64) error {
-	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName})
+func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64, servingCfg openei.ServingConfig) error {
+	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName, Serving: servingCfg})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	eff := node.Serving.Config()
+	log.Printf("serving engine: max-batch %d, batch-wait %v, replicas %d, queue-depth %d",
+		eff.MaxBatch, eff.MaxWait, eff.Replicas, eff.QueueDepth)
 
 	const (
 		size    = 16

@@ -1,0 +1,3 @@
+module openei
+
+go 1.21

@@ -1,16 +1,20 @@
 package libei
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 )
 
 // Client is a typed client for a remote OpenEI node's libei API; it is what
-// other edges, the cloud, and third-party tools (cmd/eictl) use.
+// other edges, the cloud, and third-party tools (cmd/eictl) use. Methods
+// come in pairs: Foo uses context.Background, FooCtx threads a caller
+// context through the HTTP request for cancellation and deadlines.
 type Client struct {
 	// BaseURL is the node address, e.g. "http://192.168.1.7:8080".
 	BaseURL string
@@ -26,16 +30,33 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
-func (c *Client) get(path string, query url.Values, result any) error {
+func (c *Client) get(ctx context.Context, path string, query url.Values, result any) error {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	resp, err := c.HTTPClient.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("libei client: GET %s: %w", path, err)
+	}
+	resp, err := c.HTTPClient.Do(req)
 	if err != nil {
 		return fmt.Errorf("libei client: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		// Non-2xx is an error regardless of body; surface the envelope's
+		// message when the node sent one, the raw body otherwise.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		msg := strings.TrimSpace(string(body))
+		var env struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &env) == nil && env.Error != "" {
+			msg = env.Error
+		}
+		return fmt.Errorf("libei client: %s: status %d: %s", path, resp.StatusCode, msg)
+	}
 	var env struct {
 		OK     bool            `json:"ok"`
 		Result json.RawMessage `json:"result"`
@@ -58,17 +79,53 @@ func (c *Client) get(path string, query url.Values, result any) error {
 // CallAlgorithm invokes /ei_algorithms/{scenario}/{name} and unmarshals the
 // result into out (pass a pointer, or nil to discard).
 func (c *Client) CallAlgorithm(scenario, name string, args url.Values, out any) error {
-	return c.get("/ei_algorithms/"+url.PathEscape(scenario)+"/"+url.PathEscape(name), args, out)
+	return c.CallAlgorithmCtx(context.Background(), scenario, name, args, out)
+}
+
+// CallAlgorithmCtx is CallAlgorithm bounded by ctx.
+func (c *Client) CallAlgorithmCtx(ctx context.Context, scenario, name string, args url.Values, out any) error {
+	return c.get(ctx, "/ei_algorithms/"+url.PathEscape(scenario)+"/"+url.PathEscape(name), args, out)
+}
+
+// Infer runs one sample through the node's serving engine
+// (/ei_algorithms/serving/infer): input is the flat sample vector,
+// deadline ≤ 0 means no deadline. Overload surfaces as a status-429 error.
+func (c *Client) Infer(model string, input []float32, deadline time.Duration) (InferResult, error) {
+	return c.InferCtx(context.Background(), model, input, deadline)
+}
+
+// InferCtx is Infer bounded by ctx.
+func (c *Client) InferCtx(ctx context.Context, model string, input []float32, deadline time.Duration) (InferResult, error) {
+	parts := make([]string, len(input))
+	for i, v := range input {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	q := url.Values{}
+	q.Set("model", model)
+	q.Set("input", strings.Join(parts, ","))
+	if deadline > 0 {
+		q.Set("deadline_ms", fmt.Sprintf("%g", float64(deadline)/float64(time.Millisecond)))
+	}
+	var out InferResult
+	if err := c.CallAlgorithmCtx(ctx, "serving", "infer", q, &out); err != nil {
+		return InferResult{}, err
+	}
+	return out, nil
 }
 
 // Realtime fetches the n most recent samples of a sensor.
 func (c *Client) Realtime(sensorID string, n int) ([]DataSample, error) {
+	return c.RealtimeCtx(context.Background(), sensorID, n)
+}
+
+// RealtimeCtx is Realtime bounded by ctx.
+func (c *Client) RealtimeCtx(ctx context.Context, sensorID string, n int) ([]DataSample, error) {
 	q := url.Values{}
 	if n > 0 {
 		q.Set("n", fmt.Sprint(n))
 	}
 	var out []DataSample
-	if err := c.get("/ei_data/realtime/"+url.PathEscape(sensorID), q, &out); err != nil {
+	if err := c.get(ctx, "/ei_data/realtime/"+url.PathEscape(sensorID), q, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -76,11 +133,16 @@ func (c *Client) Realtime(sensorID string, n int) ([]DataSample, error) {
 
 // Historical fetches samples in [start, end].
 func (c *Client) Historical(sensorID string, start, end time.Time) ([]DataSample, error) {
+	return c.HistoricalCtx(context.Background(), sensorID, start, end)
+}
+
+// HistoricalCtx is Historical bounded by ctx.
+func (c *Client) HistoricalCtx(ctx context.Context, sensorID string, start, end time.Time) ([]DataSample, error) {
 	q := url.Values{}
 	q.Set("start", start.Format(time.RFC3339))
 	q.Set("end", end.Format(time.RFC3339))
 	var out []DataSample
-	if err := c.get("/ei_data/historical/"+url.PathEscape(sensorID), q, &out); err != nil {
+	if err := c.get(ctx, "/ei_data/historical/"+url.PathEscape(sensorID), q, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -88,8 +150,13 @@ func (c *Client) Historical(sensorID string, start, end time.Time) ([]DataSample
 
 // Algorithms lists the node's registered scenario/name pairs.
 func (c *Client) Algorithms() ([]string, error) {
+	return c.AlgorithmsCtx(context.Background())
+}
+
+// AlgorithmsCtx is Algorithms bounded by ctx.
+func (c *Client) AlgorithmsCtx(ctx context.Context) ([]string, error) {
 	var out []string
-	if err := c.get("/ei_algorithms", nil, &out); err != nil {
+	if err := c.get(ctx, "/ei_algorithms", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -97,8 +164,13 @@ func (c *Client) Algorithms() ([]string, error) {
 
 // Models lists the node's loaded models with their modelled costs.
 func (c *Client) Models() ([]ModelStatus, error) {
+	return c.ModelsCtx(context.Background())
+}
+
+// ModelsCtx is Models bounded by ctx.
+func (c *Client) ModelsCtx(ctx context.Context) ([]ModelStatus, error) {
 	var out []ModelStatus
-	if err := c.get("/ei_models", nil, &out); err != nil {
+	if err := c.get(ctx, "/ei_models", nil, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -106,8 +178,13 @@ func (c *Client) Models() ([]ModelStatus, error) {
 
 // Status fetches node identity and capabilities.
 func (c *Client) Status() (Status, error) {
+	return c.StatusCtx(context.Background())
+}
+
+// StatusCtx is Status bounded by ctx.
+func (c *Client) StatusCtx(ctx context.Context) (Status, error) {
 	var out Status
-	if err := c.get("/ei_status", nil, &out); err != nil {
+	if err := c.get(ctx, "/ei_status", nil, &out); err != nil {
 		return Status{}, err
 	}
 	return out, nil
@@ -116,9 +193,28 @@ func (c *Client) Status() (Status, error) {
 // Resources fetches the node's computing resources: device capacity and
 // live VCU allocations.
 func (c *Client) Resources() (ResourceStatus, error) {
+	return c.ResourcesCtx(context.Background())
+}
+
+// ResourcesCtx is Resources bounded by ctx.
+func (c *Client) ResourcesCtx(ctx context.Context) (ResourceStatus, error) {
 	var out ResourceStatus
-	if err := c.get("/ei_resources", nil, &out); err != nil {
+	if err := c.get(ctx, "/ei_resources", nil, &out); err != nil {
 		return ResourceStatus{}, err
+	}
+	return out, nil
+}
+
+// Metrics fetches the node's serving counters (/ei_metrics).
+func (c *Client) Metrics() (Metrics, error) {
+	return c.MetricsCtx(context.Background())
+}
+
+// MetricsCtx is Metrics bounded by ctx.
+func (c *Client) MetricsCtx(ctx context.Context) (Metrics, error) {
+	var out Metrics
+	if err := c.get(ctx, "/ei_metrics", nil, &out); err != nil {
+		return Metrics{}, err
 	}
 	return out, nil
 }
@@ -126,7 +222,17 @@ func (c *Client) Resources() (ResourceStatus, error) {
 // ModelBlob downloads a serialized model — the edge–edge model-sharing
 // path.
 func (c *Client) ModelBlob(name string) ([]byte, error) {
-	resp, err := c.HTTPClient.Get(c.BaseURL + "/ei_models/" + url.PathEscape(name) + "/blob")
+	return c.ModelBlobCtx(context.Background(), name)
+}
+
+// ModelBlobCtx is ModelBlob bounded by ctx.
+func (c *Client) ModelBlobCtx(ctx context.Context, name string) ([]byte, error) {
+	u := c.BaseURL + "/ei_models/" + url.PathEscape(name) + "/blob"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("libei client: blob %s: %w", name, err)
+	}
+	resp, err := c.HTTPClient.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("libei client: blob %s: %w", name, err)
 	}

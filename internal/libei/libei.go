@@ -14,8 +14,13 @@
 //	GET /ei_models                — loaded models and their ALEM costs
 //	GET /ei_status                — node identity, device, package
 //	GET /ei_resources             — device capacity + live VCU allocations
+//	GET /ei_metrics               — serving queue/batch/latency counters
 //	GET /ei_models/{name}/blob    — serialized model download (edge–edge
 //	                                and cloud–edge model exchange)
+//
+// When a serving engine is attached (SetEngine), the built-in algorithm
+// /ei_algorithms/serving/infer runs micro-batched inference with admission
+// control: overload is HTTP 429, an expired queue deadline is HTTP 408.
 //
 // Responses use a uniform JSON envelope {"ok":bool, "result":..., "error":...}.
 package libei
@@ -34,6 +39,7 @@ import (
 
 	"openei/internal/datastore"
 	"openei/internal/pkgmgr"
+	"openei/internal/serving"
 )
 
 // Errors surfaced with specific HTTP statuses.
@@ -65,8 +71,9 @@ type Server struct {
 	// Manager serves /ei_models; may be nil.
 	Manager *pkgmgr.Manager
 
-	mu    sync.RWMutex
-	algos map[string]map[string]AlgorithmFunc
+	mu     sync.RWMutex
+	algos  map[string]map[string]AlgorithmFunc
+	engine *serving.Engine
 
 	vcu vcuHolder
 }
@@ -139,8 +146,17 @@ func writeErr(w http.ResponseWriter, err error) {
 		errors.Is(err, datastore.ErrUnknownSensor),
 		errors.Is(err, pkgmgr.ErrUnknownModel):
 		status = http.StatusNotFound
-	case errors.Is(err, ErrBadRequest), errors.Is(err, datastore.ErrBadRange):
+	case errors.Is(err, ErrBadRequest), errors.Is(err, datastore.ErrBadRange),
+		errors.Is(err, serving.ErrBadInput):
 		status = http.StatusBadRequest
+	case errors.Is(err, serving.ErrOverloaded):
+		// Admission control shed the request; clients should back off and
+		// retry (the serving engine's bounded queue is full).
+		status = http.StatusTooManyRequests
+	case errors.Is(err, serving.ErrDeadline):
+		status = http.StatusRequestTimeout
+	case errors.Is(err, serving.ErrClosed):
+		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, envelope{OK: false, Error: err.Error()})
 }
@@ -167,6 +183,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleStatus(w)
 	case len(parts) == 1 && parts[0] == "ei_resources":
 		s.handleResources(w)
+	case len(parts) == 1 && parts[0] == "ei_metrics":
+		s.handleMetrics(w)
 	default:
 		writeErr(w, fmt.Errorf("%w: %s", ErrNotFound, r.URL.Path))
 	}

@@ -1,0 +1,124 @@
+package libei
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"openei/internal/serving"
+	"openei/internal/tensor"
+)
+
+// SetEngine attaches the serving engine: the high-throughput inference
+// path. It registers the built-in algorithm
+//
+//	GET /ei_algorithms/serving/infer?model={name}&input={csv}[&deadline_ms=N]
+//
+// which coalesces concurrent callers into micro-batches, and enables
+// GET /ei_metrics, the queue/batch/latency counters. Under overload the
+// infer route rejects with HTTP 429; a request whose deadline lapses in the
+// queue gets HTTP 408.
+func (s *Server) SetEngine(e *serving.Engine) {
+	s.mu.Lock()
+	s.engine = e
+	s.mu.Unlock()
+	_ = s.Register(Registration{Scenario: "serving", Name: "infer", Fn: s.servingInfer})
+}
+
+// Engine returns the attached serving engine, or nil.
+func (s *Server) Engine() *serving.Engine {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine
+}
+
+// InferResult is the wire form of one batched inference answer.
+type InferResult struct {
+	Model      string  `json:"model"`
+	Class      int     `json:"class"`
+	Confidence float64 `json:"confidence"`
+	BatchSize  int     `json:"batch_size"`
+	QueuedMS   float64 `json:"queued_ms"`
+	LatencyMS  float64 `json:"model_latency_ms"`
+}
+
+// servingInfer backs /ei_algorithms/serving/infer.
+func (s *Server) servingInfer(args url.Values) (any, error) {
+	e := s.Engine()
+	if e == nil {
+		return nil, fmt.Errorf("%w: node has no serving engine", ErrNotFound)
+	}
+	model := args.Get("model")
+	if model == "" {
+		return nil, fmt.Errorf("%w: missing model parameter", ErrBadRequest)
+	}
+	raw := args.Get("input")
+	if raw == "" {
+		return nil, fmt.Errorf("%w: missing input parameter", ErrBadRequest)
+	}
+	fields := strings.Split(raw, ",")
+	data := make([]float32, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+		if err != nil {
+			return nil, fmt.Errorf("%w: input[%d]=%q", ErrBadRequest, i, f)
+		}
+		data[i] = float32(v)
+	}
+	x, err := tensor.NewFrom(data, len(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	var res serving.Result
+	if rawMS := args.Get("deadline_ms"); rawMS != "" {
+		ms, err := strconv.ParseFloat(rawMS, 64)
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("%w: deadline_ms=%q", ErrBadRequest, rawMS)
+		}
+		res, err = e.InferWithDeadline(model, x, time.Duration(ms*float64(time.Millisecond)))
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		res, err = e.Infer(context.Background(), model, x)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return InferResult{
+		Model:      model,
+		Class:      res.Class,
+		Confidence: res.Confidence,
+		BatchSize:  res.BatchSize,
+		QueuedMS:   float64(res.Queued) / float64(time.Millisecond),
+		LatencyMS:  float64(res.ModelLatency) / float64(time.Millisecond),
+	}, nil
+}
+
+// Metrics is the wire form of /ei_metrics.
+type Metrics struct {
+	NodeID string `json:"node_id"`
+	// Serving is per-model queue/batch/latency counters; empty when no
+	// model has been served yet, null when no engine is attached.
+	Serving []serving.ModelStats `json:"serving"`
+	// SchedulerPending is the package manager's real-time queue backlog.
+	SchedulerPending int `json:"scheduler_pending"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter) {
+	m := Metrics{NodeID: s.NodeID}
+	if s.Manager != nil {
+		m.SchedulerPending = s.Manager.PendingJobs()
+	}
+	if e := s.Engine(); e != nil {
+		m.Serving = e.Stats()
+		if m.Serving == nil {
+			m.Serving = []serving.ModelStats{}
+		}
+	}
+	writeJSON(w, http.StatusOK, envelope{OK: true, Result: m})
+}

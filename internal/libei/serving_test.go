@@ -1,0 +1,209 @@
+package libei
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
+)
+
+// servingNode builds a libei server whose engine fronts a parameter-free
+// identity model (logits = input), so the expected class of a one-hot
+// input is its hot index.
+func servingNode(t *testing.T, cfg serving.Config) (*Server, *httptest.Server) {
+	t.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	ident := nn.MustModel("ident", []int{4}, []nn.LayerSpec{{Type: "flatten"}})
+	if err := mgr.Load(ident, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	heavy := nn.MustModel("heavy", []int{1024}, []nn.LayerSpec{
+		{Type: "dense", In: 1024, Out: 1024},
+		{Type: "relu"},
+		{Type: "dense", In: 1024, Out: 4},
+	})
+	heavy.InitParams(rand.New(rand.NewSource(2)))
+	if err := mgr.Load(heavy, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer("edge-1", nil, mgr)
+	e := serving.NewEngine(mgr, cfg)
+	t.Cleanup(e.Close)
+	s.SetEngine(e)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestServingInferEndToEnd(t *testing.T) {
+	_, ts := servingNode(t, serving.Config{})
+	c := NewClient(ts.URL)
+	res, err := c.Infer("ident", []float32{0, 0, 1, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != 2 {
+		t.Errorf("class = %d, want 2", res.Class)
+	}
+	if res.BatchSize < 1 {
+		t.Errorf("batch size = %d", res.BatchSize)
+	}
+	// The route is listed like any other algorithm.
+	algos, err := c.Algorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range algos {
+		if a == "serving/infer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("serving/infer not in algorithm listing %v", algos)
+	}
+}
+
+func TestServingInferValidation(t *testing.T) {
+	_, ts := servingNode(t, serving.Config{})
+	for _, tc := range []struct {
+		name, url string
+		status    int
+	}{
+		{"missing model", "/ei_algorithms/serving/infer?input=1,2", http.StatusBadRequest},
+		{"missing input", "/ei_algorithms/serving/infer?model=ident", http.StatusBadRequest},
+		{"bad float", "/ei_algorithms/serving/infer?model=ident&input=1,x", http.StatusBadRequest},
+		{"wrong arity", "/ei_algorithms/serving/infer?model=ident&input=1,2", http.StatusBadRequest},
+		{"unknown model", "/ei_algorithms/serving/infer?model=nope&input=1,2,3,4", http.StatusNotFound},
+		{"bad deadline", "/ei_algorithms/serving/infer?model=ident&input=1,2,3,4&deadline_ms=-1", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(ts.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+	}
+}
+
+func TestServingOverloadMapsTo429(t *testing.T) {
+	_, ts := servingNode(t, serving.Config{
+		MaxBatch: 1, MaxWait: time.Millisecond, Replicas: 1, QueueDepth: 1,
+	})
+	c := NewClient(ts.URL)
+	input := make([]float32, 1024)
+	const clients = 40
+	var wg sync.WaitGroup
+	var got429 bool
+	var mu sync.Mutex
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Infer("heavy", input, 0)
+			if err != nil && strings.Contains(err.Error(), "status 429") {
+				mu.Lock()
+				got429 = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if !got429 {
+		t.Error("no request was rejected with 429 under overload")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := servingNode(t, serving.Config{})
+	c := NewClient(ts.URL)
+
+	// Before any inference: engine attached, no per-model stats yet.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NodeID != "edge-1" || len(m.Serving) != 0 {
+		t.Fatalf("fresh metrics = %+v", m)
+	}
+
+	if _, err := c.Infer("ident", []float32{1, 0, 0, 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Serving) != 1 || m.Serving[0].Model != "ident" {
+		t.Fatalf("metrics after infer = %+v", m)
+	}
+	if m.Serving[0].Completed != 1 || m.Serving[0].Batches != 1 {
+		t.Errorf("counters = %+v", m.Serving[0])
+	}
+
+	// The raw envelope shape: {"ok":true,"result":{"node_id":...,"serving":[...]}}.
+	resp, err := http.Get(ts.URL + "/ei_metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		OK     bool            `json:"ok"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if !env.OK || !strings.Contains(string(env.Result), `"serving"`) {
+		t.Errorf("envelope = ok:%v result:%s", env.OK, env.Result)
+	}
+	_ = s
+}
+
+func TestMetricsWithoutEngine(t *testing.T) {
+	_, ts := testNode(t) // no engine attached
+	c := NewClient(ts.URL)
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Serving != nil {
+		t.Errorf("serving stats without engine = %+v", m.Serving)
+	}
+}
+
+func TestClientNon2xxIsError(t *testing.T) {
+	// A server that returns an ok-looking envelope with a 500 status: the
+	// client must surface an error rather than decode it as success.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"ok":true,"result":"bogus"}`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.Status(); err == nil || !strings.Contains(err.Error(), "status 500") {
+		t.Errorf("err = %v, want status 500 error", err)
+	}
+}

@@ -85,10 +85,20 @@ type Dense struct {
 	// package profile; nil means the float path is used.
 	QW *tensor.QTensor
 
+	// wt is the pre-transposed (and pre-dequantized) weight matrix cached
+	// by Model.FreezeInference on immutable inference clones; nil on
+	// mutable models.
+	wt *tensor.Tensor
+
 	lastX *tensor.Tensor
 }
 
 var _ Layer = (*Dense)(nil)
+
+// denseTransposeBatch is the batch size from which Forward transposes the
+// weights once per call instead of running transpose-free dot products:
+// below it the transpose dominates, above it the streaming kernel wins.
+const denseTransposeBatch = 8
 
 // NewDense returns an uninitialized Dense layer; call InitParams (or load
 // weights) before use.
@@ -109,15 +119,11 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("%w: dense(%d→%d) got input %v", ErrShape, d.In, d.Out, x.Shape())
 	}
 	d.lastX = x
-	if d.QW != nil && !train {
-		// Weight-only int8 path: the stored int8 weights are expanded per
-		// call, reproducing the accuracy effect of quantized kernels while
-		// the hardware model accounts for their speed/memory effect.
-		wt, err := tensor.Transpose(d.QW.Dequantize())
-		if err != nil {
-			return nil, err
-		}
-		y, err := tensor.MatMul(x, wt)
+	if d.wt != nil && !train {
+		// Frozen inference clone: weights were dequantized and transposed
+		// once by FreezeInference, so every batch takes the streaming ikj
+		// kernel with zero per-call setup.
+		y, err := tensor.MatMul(x, d.wt)
 		if err != nil {
 			return nil, err
 		}
@@ -126,13 +132,33 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		}
 		return y, nil
 	}
-	wt, err := tensor.Transpose(d.W)
-	if err != nil {
-		return nil, err
+	w := d.W
+	if d.QW != nil && !train {
+		// Weight-only int8 path: the stored int8 weights are expanded per
+		// call, reproducing the accuracy effect of quantized kernels while
+		// the hardware model accounts for their speed/memory effect.
+		w = d.QW.Dequantize()
 	}
-	y, err := tensor.MatMul(x, wt)
-	if err != nil {
-		return nil, err
+	// W is stored (out, in). Small batches run transpose-free row dot
+	// products (x·Wᵀ); larger batches amortize one transpose of W and use
+	// the faster streaming ikj kernel — the split that makes micro-batched
+	// serving cheaper per sample than per-request calls.
+	var y *tensor.Tensor
+	if x.Dim(0) >= denseTransposeBatch {
+		wt, err := tensor.Transpose(w)
+		if err != nil {
+			return nil, err
+		}
+		y, err = tensor.MatMul(x, wt)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		y, err = tensor.MatMulBT(x, w)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := tensor.AddBiasRows(y, d.B); err != nil {
 		return nil, err

@@ -317,11 +317,40 @@ func (m *Model) Clone() (*Model, error) {
 	}
 	// Copy batch-norm running stats, which are not in Params.
 	for i := range m.Layers {
-		if sbn, ok := m.Layers[i].(*BatchNorm); ok {
+		switch src := m.Layers[i].(type) {
+		case *BatchNorm:
 			dbn := c.Layers[i].(*BatchNorm)
-			copy(dbn.RunMean.Data(), sbn.RunMean.Data())
-			copy(dbn.RunVar.Data(), sbn.RunVar.Data())
+			copy(dbn.RunMean.Data(), src.RunMean.Data())
+			copy(dbn.RunVar.Data(), src.RunVar.Data())
+		case *Dense:
+			// Quantized weights ride along (they are never mutated in
+			// place, only replaced), so a clone keeps the int8 artifact.
+			c.Layers[i].(*Dense).QW = src.QW
 		}
 	}
 	return c, nil
+}
+
+// FreezeInference specializes the model for immutable inference use: every
+// dense layer expands its int8 weights (if quantized) and caches the
+// transposed weight matrix once, so forward passes pay neither per-call
+// dequantization nor per-call transposes. Only freeze private copies whose
+// weights will never change again (serving replicas); a model that may keep
+// training or be re-quantized must not be frozen.
+func (m *Model) FreezeInference() {
+	for _, l := range m.Layers {
+		d, ok := l.(*Dense)
+		if !ok {
+			continue
+		}
+		if d.QW != nil {
+			d.W = d.QW.Dequantize()
+			d.QW = nil
+		}
+		wt, err := tensor.Transpose(d.W)
+		if err != nil {
+			continue // unreachable for a well-formed layer
+		}
+		d.wt = wt
+	}
 }

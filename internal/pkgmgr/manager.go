@@ -85,6 +85,10 @@ func (m *Manager) Device() hardware.Device { return m.dev }
 // Close stops the real-time module.
 func (m *Manager) Close() { m.sched.Close() }
 
+// PendingJobs reports the real-time scheduler's queued (not yet started)
+// job count — the backlog number /ei_metrics exposes.
+func (m *Manager) PendingJobs() int { return m.sched.Pending() }
+
 // Load installs a model (cloning it, so the caller's copy stays
 // independent), optionally converting to int8, after checking it fits the
 // device alongside the package runtime.

@@ -1,0 +1,89 @@
+package pkgmgr
+
+import (
+	"fmt"
+	"time"
+
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// Replica is an independently executable clone of a loaded model. Unlike
+// Manager.Infer, which serializes every job through the node's single
+// real-time scheduler worker, each Replica owns a private copy of the
+// weights and may run concurrently with other replicas — this is how the
+// serving engine turns a multi-core edge into a replica pool. A Replica is
+// not itself safe for concurrent use; confine each one to a single worker
+// goroutine.
+type Replica struct {
+	name      string
+	model     *nn.Model
+	quantized bool
+	mgr       *Manager
+}
+
+// NewReplica clones the named loaded model into a Replica. The clone is
+// detached: Unload or retraining of the manager's copy does not affect it.
+func (m *Manager) NewReplica(name string) (*Replica, error) {
+	m.mu.Lock()
+	l, ok := m.models[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	clone, err := l.model.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("pkgmgr: replica of %s: %w", name, err)
+	}
+	// The replica's weights never change again, so per-call inference
+	// costs (int8 weight expansion) are paid once here instead of on
+	// every request — the manager's own copy stays mutable for transfer
+	// learning and cannot take this shortcut.
+	clone.FreezeInference()
+	return &Replica{name: name, model: clone, quantized: l.quantized, mgr: m}, nil
+}
+
+// Name returns the model name the replica was cloned from.
+func (r *Replica) Name() string { return r.name }
+
+// InputShape returns the model's declared per-sample input shape.
+func (r *Replica) InputShape() []int {
+	return append([]int(nil), r.model.InputShape...)
+}
+
+// InferBatch stacks same-shaped single-sample inputs into one batch tensor
+// and runs a single forward pass on the replica's private weights. The
+// result slices are indexed like xs.
+func (r *Replica) InferBatch(xs []*tensor.Tensor) (InferenceResult, error) {
+	x, err := tensor.Stack(xs)
+	if err != nil {
+		return InferenceResult{}, fmt.Errorf("pkgmgr: replica %s: %w", r.name, err)
+	}
+	start := time.Now()
+	cls, conf, err := nn.TopConfidence(r.model, x)
+	if err != nil {
+		return InferenceResult{}, fmt.Errorf("pkgmgr: replica infer %s: %w", r.name, err)
+	}
+	res := InferenceResult{Classes: cls, Confidences: conf, Wall: time.Since(start)}
+	w := r.mgr.workload(r.model, r.quantized, len(xs))
+	if res.ModelLatency, err = r.mgr.dev.Latency(w); err != nil {
+		return InferenceResult{}, err
+	}
+	if res.ModelEnergy, err = r.mgr.dev.EnergyJoules(w); err != nil {
+		return InferenceResult{}, err
+	}
+	return res, nil
+}
+
+// InferBatch stacks single-sample inputs into one batch tensor and runs it
+// through the manager's scheduled inference path at normal priority. It is
+// the batched entry point for callers that hold sample slices but want the
+// real-time scheduler's serialization (the serving engine instead uses
+// Replica.InferBatch, which runs outside the scheduler for parallelism).
+func (m *Manager) InferBatch(name string, xs []*tensor.Tensor) (InferenceResult, error) {
+	x, err := tensor.Stack(xs)
+	if err != nil {
+		return InferenceResult{}, fmt.Errorf("pkgmgr: infer batch %s: %w", name, err)
+	}
+	return m.Infer(name, x)
+}

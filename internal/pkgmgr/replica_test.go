@@ -1,0 +1,106 @@
+package pkgmgr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+func loadedQuantizedModel(t *testing.T, m *Manager) *nn.Model {
+	t.Helper()
+	model := nn.MustModel("q-net", []int{8}, []nn.LayerSpec{
+		{Type: "dense", In: 8, Out: 16},
+		{Type: "relu"},
+		{Type: "dense", In: 16, Out: 3},
+	})
+	model.InitParams(rand.New(rand.NewSource(11)))
+	if err := m.Load(model, LoadOptions{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func samples(n, dim int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*tensor.Tensor, n)
+	for i := range out {
+		data := make([]float32, dim)
+		for j := range data {
+			data[j] = rng.Float32()
+		}
+		out[i] = tensor.MustFrom(data, dim)
+	}
+	return out
+}
+
+// A frozen replica must predict exactly what the manager's scheduled path
+// predicts — freezing dequantizes and pre-transposes weights but cannot
+// change results.
+func TestReplicaMatchesManagerPath(t *testing.T) {
+	m := testManager(t, "eipkg", "rpi4")
+	loadedQuantizedModel(t, m)
+
+	rep, err := m.NewReplica("q-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := samples(13, 8, 5)
+	got, err := rep.InferBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.InferBatch("q-net", xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Classes) != 13 || len(want.Classes) != 13 {
+		t.Fatalf("batch sizes: replica %d, manager %d", len(got.Classes), len(want.Classes))
+	}
+	for i := range got.Classes {
+		if got.Classes[i] != want.Classes[i] {
+			t.Errorf("sample %d: replica class %d, manager class %d", i, got.Classes[i], want.Classes[i])
+		}
+		if diff := got.Confidences[i] - want.Confidences[i]; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("sample %d: confidence %v vs %v", i, got.Confidences[i], want.Confidences[i])
+		}
+	}
+	if got.ModelLatency != want.ModelLatency || got.ModelEnergy != want.ModelEnergy {
+		t.Errorf("cost model diverged: %v/%v vs %v/%v",
+			got.ModelLatency, got.ModelEnergy, want.ModelLatency, want.ModelEnergy)
+	}
+}
+
+// The replica is a snapshot: unloading the manager's copy does not break it.
+func TestReplicaSurvivesUnload(t *testing.T) {
+	m := testManager(t, "eipkg", "rpi4")
+	loadedQuantizedModel(t, m)
+	rep, err := m.NewReplica("q-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unload("q-net")
+	if _, err := rep.InferBatch(samples(2, 8, 6)); err != nil {
+		t.Errorf("replica after unload: %v", err)
+	}
+	if _, err := m.NewReplica("q-net"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("NewReplica after unload err = %v", err)
+	}
+}
+
+func TestInferBatchErrors(t *testing.T) {
+	m := testManager(t, "eipkg", "rpi4")
+	if _, err := m.InferBatch("nope", samples(1, 8, 7)); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("unknown model err = %v", err)
+	}
+	loadedQuantizedModel(t, m)
+	if _, err := m.InferBatch("q-net", nil); err == nil {
+		t.Error("empty batch should error")
+	}
+	mixed := []*tensor.Tensor{tensor.New(8), tensor.New(4)}
+	if _, err := m.InferBatch("q-net", mixed); err == nil {
+		t.Error("mismatched sample shapes should error")
+	}
+}

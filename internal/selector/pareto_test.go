@@ -44,9 +44,56 @@ func TestParetoIdenticalPointsAllSurvive(t *testing.T) {
 	}
 }
 
+func TestParetoDuplicatedDominatedPointStaysOut(t *testing.T) {
+	// Duplicating a dominated point must not let either copy survive:
+	// domination is decided against the dominating point, not the twin.
+	best := mk(0.99, time.Millisecond, 0.5, 50)
+	worse := mk(0.9, 2*time.Millisecond, 1, 100)
+	front := Pareto([]Choice{worse, best, worse})
+	if len(front) != 1 || front[0].ALEM != best.ALEM {
+		t.Errorf("frontier = %v, want only the dominating point", front)
+	}
+}
+
+func TestParetoTiedLatencySortsByAccuracy(t *testing.T) {
+	// Incomparable points tied on latency: the frontier keeps both and
+	// orders the more accurate one first.
+	hiAcc := mk(0.95, time.Millisecond, 2, 100)
+	loAcc := mk(0.90, time.Millisecond, 1, 100)
+	front := Pareto([]Choice{loAcc, hiAcc})
+	if len(front) != 2 {
+		t.Fatalf("frontier size = %d, want 2", len(front))
+	}
+	if front[0].ALEM.Accuracy != 0.95 || front[1].ALEM.Accuracy != 0.90 {
+		t.Errorf("tie-break order = %v, want accuracy-descending at equal latency", front)
+	}
+}
+
+func TestParetoTiedInThreeDimensions(t *testing.T) {
+	// a beats b only on memory, everything else tied: a strictly
+	// dominates, b drops.
+	a := mk(0.9, time.Millisecond, 1, 50)
+	b := mk(0.9, time.Millisecond, 1, 100)
+	front := Pareto([]Choice{a, b})
+	if len(front) != 1 || front[0].ALEM.Memory != 50 {
+		t.Errorf("frontier = %v, want only the lower-memory point", front)
+	}
+}
+
 func TestParetoEmpty(t *testing.T) {
 	if got := Pareto(nil); got != nil {
 		t.Errorf("Pareto(nil) = %v", got)
+	}
+	if got := Pareto([]Choice{}); got != nil {
+		t.Errorf("Pareto(empty) = %v, want nil frontier", got)
+	}
+}
+
+func TestParetoSinglePoint(t *testing.T) {
+	a := mk(0.5, time.Second, 10, 1000)
+	front := Pareto([]Choice{a})
+	if len(front) != 1 || front[0].ALEM != a.ALEM {
+		t.Errorf("single point frontier = %v", front)
 	}
 }
 

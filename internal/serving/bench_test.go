@@ -1,0 +1,123 @@
+package serving
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/hardware"
+	"openei/internal/pkgmgr"
+	"openei/internal/tensor"
+	"openei/internal/zoo"
+)
+
+// The acceptance benchmark of the serving engine: 64 concurrent clients
+// pushing single samples through a zoo model, comparing the seed's
+// per-request path (every request serialized through the package manager's
+// single scheduler worker) against the engine's micro-batched replica pool.
+//
+//	go test ./internal/serving -bench Serving64 -benchtime 2s
+
+const (
+	benchClients = 64
+	// benchModel is the zoo entry under test: the MNIST-class MLP, the
+	// size of model the paper's smart-home/health scenarios actually run
+	// at the edge.
+	benchModel = "mlp"
+)
+
+func benchManager(b *testing.B) (*pkgmgr.Manager, *tensor.Tensor) {
+	b.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev, err := hardware.ByName("jetson-tx2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	b.Cleanup(mgr.Close)
+	const size, classes = 16, 6
+	rng := rand.New(rand.NewSource(1))
+	m, err := zoo.Build(benchModel, size, classes, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.InitParams(rng)
+	// Quantize like the demo server does on eipkg: the per-request path
+	// then pays the int8 weight expansion on every call, while serving
+	// replicas expand once at clone time.
+	if err := mgr.Load(m, pkgmgr.LoadOptions{Quantize: true}); err != nil {
+		b.Fatal(err)
+	}
+	sample := tensor.New(1, size, size)
+	for i, d := 0, sample.Data(); i < len(d); i++ {
+		d[i] = rng.Float32()
+	}
+	return mgr, sample
+}
+
+// runClients spreads b.N requests over benchClients goroutines and reports
+// aggregate request throughput.
+func runClients(b *testing.B, do func() error) {
+	b.Helper()
+	var wg sync.WaitGroup
+	work := make(chan struct{})
+	errs := make(chan error, benchClients)
+	for c := 0; c < benchClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range work {
+				if err := do(); err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	b.ReportMetric(float64(b.N)/elapsed.Seconds(), "req/s")
+}
+
+// BenchmarkServing64Unbatched is the seed path: Manager.Infer, one request
+// per forward pass, all serialized by the scheduler.
+func BenchmarkServing64Unbatched(b *testing.B) {
+	mgr, sample := benchManager(b)
+	batched := sample.Clone().MustReshape(1, 1, 16, 16)
+	runClients(b, func() error {
+		_, err := mgr.Infer(benchModel, batched)
+		return err
+	})
+}
+
+// BenchmarkServing64Batched is the engine path: micro-batching plus a
+// replica pool.
+func BenchmarkServing64Batched(b *testing.B) {
+	mgr, sample := benchManager(b)
+	e := NewEngine(mgr, Config{MaxBatch: 16, MaxWait: 2 * time.Millisecond, Replicas: 4, QueueDepth: 1024})
+	b.Cleanup(e.Close)
+	runClients(b, func() error {
+		_, err := e.Infer(context.Background(), benchModel, sample)
+		return err
+	})
+}

@@ -1,0 +1,90 @@
+package serving
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// modelMetrics is one pipeline's counter set, updated with atomics so the
+// hot path never takes a lock for accounting.
+type modelMetrics struct {
+	replicas int
+	queueCap int
+
+	enqueued atomic.Uint64 // admitted into the queue
+	rejected atomic.Uint64 // ErrOverloaded at admission
+	expired  atomic.Uint64 // ErrDeadline (at admission or in queue)
+	errored  atomic.Uint64 // inference errors, counted per request
+	done     atomic.Uint64 // successful responses
+
+	batches      atomic.Uint64 // micro-batches dispatched
+	batchedReqs  atomic.Uint64 // sum of dispatched batch sizes
+	largestBatch atomic.Uint64
+
+	queuedNS  atomic.Uint64 // total pre-execution wait of done requests
+	latencyNS atomic.Uint64 // total enqueue→response time of done requests
+}
+
+func (m *modelMetrics) observeBatch(n int) {
+	m.batches.Add(1)
+	m.batchedReqs.Add(uint64(n))
+	for {
+		cur := m.largestBatch.Load()
+		if uint64(n) <= cur || m.largestBatch.CompareAndSwap(cur, uint64(n)) {
+			return
+		}
+	}
+}
+
+func (m *modelMetrics) observeDone(queued, total time.Duration) {
+	m.done.Add(1)
+	m.queuedNS.Add(uint64(queued))
+	m.latencyNS.Add(uint64(total))
+}
+
+// ModelStats is the JSON-friendly snapshot of one model's serving counters,
+// exposed at GET /ei_metrics.
+type ModelStats struct {
+	Model    string `json:"model"`
+	Replicas int    `json:"replicas"`
+
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+
+	Enqueued         uint64 `json:"enqueued"`
+	Completed        uint64 `json:"completed"`
+	RejectedOverload uint64 `json:"rejected_overload"`
+	ExpiredDeadline  uint64 `json:"expired_deadline"`
+	Errors           uint64 `json:"errors"`
+
+	Batches      uint64  `json:"batches"`
+	AvgBatch     float64 `json:"avg_batch"`
+	LargestBatch int     `json:"largest_batch"`
+
+	AvgQueueMS   float64 `json:"avg_queue_ms"`
+	AvgLatencyMS float64 `json:"avg_latency_ms"`
+}
+
+func (m *modelMetrics) snapshot(model string, depth int) ModelStats {
+	s := ModelStats{
+		Model:            model,
+		Replicas:         m.replicas,
+		QueueDepth:       depth,
+		QueueCap:         m.queueCap,
+		Enqueued:         m.enqueued.Load(),
+		Completed:        m.done.Load(),
+		RejectedOverload: m.rejected.Load(),
+		ExpiredDeadline:  m.expired.Load(),
+		Errors:           m.errored.Load(),
+		Batches:          m.batches.Load(),
+		LargestBatch:     int(m.largestBatch.Load()),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(m.batchedReqs.Load()) / float64(s.Batches)
+	}
+	if s.Completed > 0 {
+		s.AvgQueueMS = float64(m.queuedNS.Load()) / float64(s.Completed) / 1e6
+		s.AvgLatencyMS = float64(m.latencyNS.Load()) / float64(s.Completed) / 1e6
+	}
+	return s
+}

@@ -1,0 +1,238 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"openei/internal/pkgmgr"
+	"openei/internal/tensor"
+)
+
+// request is one enqueued single-sample inference.
+type request struct {
+	x        *tensor.Tensor
+	deadline time.Time // zero means none
+	enq      time.Time
+	resp     chan response // buffered(1): workers never block on it
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+// pipeline is one model's queue → micro-batcher → replica pool chain.
+type pipeline struct {
+	model      string
+	cfg        Config
+	inputShape []int
+
+	queue   chan *request
+	batches chan []*request
+	quit    chan struct{}
+	met     modelMetrics
+	wg      sync.WaitGroup
+
+	// sendMu makes close() a barrier against in-flight submits: once
+	// closed is set under the write lock, no request can enter the queue,
+	// so the dispatcher's shutdown sweep sees every queued request and
+	// nothing is ever stranded without a response.
+	sendMu sync.RWMutex
+	closed bool
+}
+
+func newPipeline(model string, cfg Config, reps []*pkgmgr.Replica) *pipeline {
+	p := &pipeline{
+		model:      model,
+		cfg:        cfg,
+		inputShape: reps[0].InputShape(),
+		queue:      make(chan *request, cfg.QueueDepth),
+		batches:    make(chan []*request),
+		quit:       make(chan struct{}),
+	}
+	p.met.replicas = len(reps)
+	p.met.queueCap = cfg.QueueDepth
+	p.wg.Add(1 + len(reps))
+	go p.dispatch()
+	for _, r := range reps {
+		go p.work(r)
+	}
+	return p
+}
+
+// normalize coerces a request tensor to the model's per-sample input shape:
+// the exact shape, a batch-of-one of it, or a flat vector of the right
+// element count are all accepted.
+func (p *pipeline) normalize(x *tensor.Tensor) (*tensor.Tensor, error) {
+	want := p.inputShape
+	elems := 1
+	for _, d := range want {
+		elems *= d
+	}
+	switch {
+	case shapeEq(x.Shape(), want):
+		return x, nil
+	case x.Dims() == len(want)+1 && x.Dim(0) == 1 && shapeEq(x.Shape()[1:], want):
+		return x.Reshape(want...)
+	case x.Dims() == 1 && x.Len() == elems:
+		return x.Reshape(want...)
+	default:
+		return nil, fmt.Errorf("%w: model %s wants one sample of shape %v, got %v",
+			ErrBadInput, p.model, want, x.Shape())
+	}
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// submit applies admission control: non-blocking enqueue, immediate
+// ErrOverloaded when the bounded queue is full.
+func (p *pipeline) submit(req *request) error {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.queue <- req:
+		p.met.enqueued.Add(1)
+		return nil
+	default:
+		p.met.rejected.Add(1)
+		return fmt.Errorf("%w: model %s queue full (depth %d)", ErrOverloaded, p.model, cap(p.queue))
+	}
+}
+
+// dispatch coalesces queued requests into micro-batches.
+func (p *pipeline) dispatch() {
+	defer p.wg.Done()
+	defer close(p.batches)
+	for {
+		var first *request
+		select {
+		case <-p.quit:
+			p.sweep()
+			return
+		case first = <-p.queue:
+		}
+		batch := p.expireStale(p.fill(first))
+		if len(batch) == 0 {
+			continue
+		}
+		p.met.observeBatch(len(batch))
+		p.batches <- batch
+	}
+}
+
+// fill grows a batch from the queue until MaxBatch, MaxWait after the first
+// request, or shutdown.
+func (p *pipeline) fill(first *request) []*request {
+	batch := []*request{first}
+	if p.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(p.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < p.cfg.MaxBatch {
+		select {
+		case r := <-p.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-p.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// expireStale drops requests whose deadline passed while queued.
+func (p *pipeline) expireStale(batch []*request) []*request {
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		if !r.deadline.IsZero() && now.After(r.deadline) {
+			p.met.expired.Add(1)
+			r.resp <- response{err: fmt.Errorf("%w: model %s: waited %v", ErrDeadline, p.model, now.Sub(r.enq))}
+			continue
+		}
+		live = append(live, r)
+	}
+	return live
+}
+
+// sweep rejects everything still queued at shutdown. submit cannot add more
+// once pipeline.close has flipped closed, so this sees the final queue.
+func (p *pipeline) sweep() {
+	for {
+		select {
+		case r := <-p.queue:
+			r.resp <- response{err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// work is one replica's loop: stack a batch, run it, fan results back out.
+func (p *pipeline) work(rep *pkgmgr.Replica) {
+	defer p.wg.Done()
+	for batch := range p.batches {
+		xs := make([]*tensor.Tensor, len(batch))
+		for i, r := range batch {
+			xs[i] = r.x
+		}
+		start := time.Now()
+		res, err := rep.InferBatch(xs)
+		if err != nil {
+			p.met.errored.Add(uint64(len(batch)))
+			for _, r := range batch {
+				r.resp <- response{err: err}
+			}
+			continue
+		}
+		done := time.Now()
+		for i, r := range batch {
+			queued := start.Sub(r.enq)
+			p.met.observeDone(queued, done.Sub(r.enq))
+			r.resp <- response{res: Result{
+				Class:        res.Classes[i],
+				Confidence:   res.Confidences[i],
+				BatchSize:    len(batch),
+				Queued:       queued,
+				ModelLatency: res.ModelLatency,
+				ModelEnergy:  res.ModelEnergy,
+			}}
+		}
+	}
+}
+
+// stats snapshots this pipeline's counters.
+func (p *pipeline) stats() ModelStats {
+	return p.met.snapshot(p.model, len(p.queue))
+}
+
+// close stops the pipeline: blocks new submits, lets the dispatcher sweep
+// the queue, and waits for replica workers to finish in-flight batches.
+func (p *pipeline) close() {
+	p.sendMu.Lock()
+	if p.closed {
+		p.sendMu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.sendMu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+}

@@ -1,0 +1,255 @@
+// Package serving is the node's inference serving engine: the layer that
+// turns the paper's single-request libei endpoint into something that can
+// absorb heavy concurrent traffic (the "millions of users" the OpenEI
+// vision statement gestures at).
+//
+// Architecture, per model:
+//
+//		clients → bounded queue → micro-batcher → replica pool → responses
+//
+//	  - Admission control: the queue is bounded (Config.QueueDepth). When it
+//	    is full the request is rejected immediately with ErrOverloaded, which
+//	    libei maps to HTTP 429 — shedding load beats queueing it forever.
+//	  - Micro-batching: a dispatcher coalesces up to Config.MaxBatch queued
+//	    single-sample requests, waiting at most Config.MaxWait for stragglers
+//	    after the first arrival, and stacks them into one batch tensor
+//	    (Clipper/TF-Serving-style dynamic batching).
+//	  - Replica pool: Config.Replicas private clones of the model execute
+//	    batches concurrently. This deliberately bypasses the package
+//	    manager's single-worker real-time scheduler: the scheduler protects a
+//	    constrained accelerator, while the pool exploits spare CPU cores.
+//	  - Deadlines: requests carry an optional deadline (InferWithDeadline or
+//	    a context deadline). A request whose deadline passes while it waits
+//	    in the queue is dropped with ErrDeadline instead of wasting a batch
+//	    slot on an answer nobody is waiting for.
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"openei/internal/pkgmgr"
+	"openei/internal/tensor"
+)
+
+// Engine errors.
+var (
+	// ErrOverloaded is returned when a model's queue is full; libei maps it
+	// to HTTP 429.
+	ErrOverloaded = errors.New("serving: overloaded")
+	// ErrDeadline is returned when a request's deadline expires before a
+	// replica picks it up.
+	ErrDeadline = errors.New("serving: deadline expired in queue")
+	// ErrClosed is returned for requests submitted to a closed engine.
+	ErrClosed = errors.New("serving: engine closed")
+	// ErrBadInput is returned when a request tensor does not match the
+	// model's input shape; libei maps it to HTTP 400.
+	ErrBadInput = errors.New("serving: bad input")
+)
+
+// Config tunes the serving engine. The zero value means defaults.
+type Config struct {
+	// MaxBatch is the largest micro-batch assembled per dispatch (default 8).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// stragglers (default 2ms). Smaller favors latency, larger throughput.
+	MaxWait time.Duration
+	// Replicas is the number of model clones executing batches
+	// concurrently (default 2).
+	Replicas int
+	// QueueDepth bounds the per-model request queue; beyond it requests
+	// are rejected with ErrOverloaded (default 64).
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Result is one request's share of a batched inference.
+type Result struct {
+	// Class and Confidence are this sample's prediction.
+	Class      int
+	Confidence float64
+	// BatchSize is the size of the micro-batch the request rode in.
+	BatchSize int
+	// Queued is the time spent waiting before a replica started the batch.
+	Queued time.Duration
+	// ModelLatency and ModelEnergy are the hardware cost model's numbers
+	// for the whole batch (the ALEM view of the run).
+	ModelLatency time.Duration
+	ModelEnergy  float64
+}
+
+// Engine serves batched inference over a package manager's loaded models.
+// Pipelines are created lazily per model on first use; their replicas are
+// point-in-time snapshots of the loaded weights and do not track later
+// changes — call Reset after reloading or retraining a model. Close must be
+// called; it drains and stops every pipeline.
+type Engine struct {
+	mgr *pkgmgr.Manager
+	cfg Config
+
+	mu     sync.RWMutex
+	pipes  map[string]*pipeline
+	closed bool
+}
+
+// NewEngine returns an engine over the manager's loaded models.
+func NewEngine(mgr *pkgmgr.Manager, cfg Config) *Engine {
+	return &Engine{mgr: mgr, cfg: cfg.withDefaults(), pipes: map[string]*pipeline{}}
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Infer enqueues one single-sample request for the named model and blocks
+// until a replica answers, the context is done, or admission rejects it.
+// A context deadline becomes the request's queue deadline.
+func (e *Engine) Infer(ctx context.Context, model string, x *tensor.Tensor) (Result, error) {
+	var deadline time.Time
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	return e.infer(ctx, model, x, deadline)
+}
+
+// InferWithDeadline is Infer with an explicit budget: the request must be
+// picked up by a replica within d of submission or it is dropped with
+// ErrDeadline.
+func (e *Engine) InferWithDeadline(model string, x *tensor.Tensor, d time.Duration) (Result, error) {
+	if d <= 0 {
+		return Result{}, fmt.Errorf("%w: non-positive deadline %v", ErrBadInput, d)
+	}
+	return e.infer(context.Background(), model, x, time.Now().Add(d))
+}
+
+func (e *Engine) infer(ctx context.Context, model string, x *tensor.Tensor, deadline time.Time) (Result, error) {
+	p, err := e.pipelineFor(model)
+	if err != nil {
+		return Result{}, err
+	}
+	sample, err := p.normalize(x)
+	if err != nil {
+		return Result{}, err
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		p.met.expired.Add(1)
+		return Result{}, fmt.Errorf("%w: model %s: expired before enqueue", ErrDeadline, model)
+	}
+	req := &request{x: sample, deadline: deadline, enq: time.Now(), resp: make(chan response, 1)}
+	if err := p.submit(req); err != nil {
+		return Result{}, err
+	}
+	select {
+	case r := <-req.resp:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The request still runs (or is rejected) behind our back; the
+		// buffered resp channel keeps the worker from blocking.
+		return Result{}, ctx.Err()
+	}
+}
+
+// pipelineFor returns (creating on first use) the model's pipeline. The
+// hot path is a read-locked map lookup; only first-use construction (which
+// clones replicas) takes the write lock.
+func (e *Engine) pipelineFor(model string) (*pipeline, error) {
+	e.mu.RLock()
+	p, ok := e.pipes[model]
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if ok {
+		return p, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := e.pipes[model]; ok {
+		return p, nil
+	}
+	reps := make([]*pkgmgr.Replica, e.cfg.Replicas)
+	for i := range reps {
+		r, err := e.mgr.NewReplica(model)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = r
+	}
+	p = newPipeline(model, e.cfg, reps)
+	e.pipes[model] = p
+	return p, nil
+}
+
+// Reset drops the model's pipeline, draining its queue and discarding its
+// replicas, so the next request rebuilds them from the manager's current
+// weights. Call it after a model is reloaded, retrained, or unloaded;
+// resetting an unknown or never-served model is a no-op.
+func (e *Engine) Reset(model string) {
+	e.mu.Lock()
+	p, ok := e.pipes[model]
+	if ok {
+		delete(e.pipes, model)
+	}
+	closed := e.closed
+	e.mu.Unlock()
+	if ok && !closed {
+		p.close()
+	}
+}
+
+// Stats snapshots per-model serving counters, sorted by model name.
+func (e *Engine) Stats() []ModelStats {
+	e.mu.RLock()
+	pipes := make([]*pipeline, 0, len(e.pipes))
+	for _, p := range e.pipes {
+		pipes = append(pipes, p)
+	}
+	e.mu.RUnlock()
+	out := make([]ModelStats, len(pipes))
+	for i, p := range pipes {
+		out[i] = p.stats()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}
+
+// Close stops every pipeline: queued requests are rejected with ErrClosed,
+// in-flight batches finish, and replica workers exit. Idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	pipes := make([]*pipeline, 0, len(e.pipes))
+	for _, p := range e.pipes {
+		pipes = append(pipes, p)
+	}
+	e.mu.Unlock()
+	for _, p := range pipes {
+		p.close()
+	}
+}

@@ -1,0 +1,302 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/tensor"
+)
+
+func testManager(t *testing.T) *pkgmgr.Manager {
+	t.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("jetson-tx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pkgmgr.New(pkg, dev)
+	t.Cleanup(m.Close)
+	return m
+}
+
+// identModel is a parameter-free model whose logits are its input, so the
+// predicted class of a one-hot sample is its hot index — ideal for checking
+// that batched results fan back out to the right requests.
+func identModel(classes int) *nn.Model {
+	return nn.MustModel("ident", []int{classes}, []nn.LayerSpec{{Type: "flatten"}})
+}
+
+// denseModel is a small trained-shape MLP for timing-sensitive tests.
+func denseModel(name string, in, hidden, classes int) *nn.Model {
+	m := nn.MustModel(name, []int{in}, []nn.LayerSpec{
+		{Type: "dense", In: in, Out: hidden},
+		{Type: "relu"},
+		{Type: "dense", In: hidden, Out: classes},
+	})
+	m.InitParams(rand.New(rand.NewSource(7)))
+	return m
+}
+
+func oneHot(classes, hot int) *tensor.Tensor {
+	data := make([]float32, classes)
+	data[hot] = 1
+	return tensor.MustFrom(data, classes)
+}
+
+func newTestEngine(t *testing.T, m *nn.Model, cfg Config) (*pkgmgr.Manager, *Engine) {
+	t.Helper()
+	mgr := testManager(t)
+	if err := mgr.Load(m, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(mgr, cfg)
+	t.Cleanup(e.Close)
+	return mgr, e
+}
+
+func TestBatchCoalescing(t *testing.T) {
+	const n = 8
+	_, e := newTestEngine(t, identModel(n), Config{
+		MaxBatch: n, MaxWait: 300 * time.Millisecond, Replicas: 1, QueueDepth: 32,
+	})
+	// The first request opens a 300ms fill window; the stragglers arrive
+	// well inside it, so all n requests ride one micro-batch.
+	var wg sync.WaitGroup
+	results := make([]Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i > 0 {
+				time.Sleep(20 * time.Millisecond) // let request 0 open the window
+			}
+			results[i], errs[i] = e.Infer(context.Background(), "ident", oneHot(n, i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if results[i].Class != i {
+			t.Errorf("request %d classified as %d (batch fan-out misrouted)", i, results[i].Class)
+		}
+	}
+	st := e.Stats()
+	if len(st) != 1 || st[0].Model != "ident" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].Batches != 1 || st[0].LargestBatch != n {
+		t.Errorf("expected one micro-batch of %d, got %d batches (largest %d)",
+			n, st[0].Batches, st[0].LargestBatch)
+	}
+	if st[0].Completed != n || st[0].AvgBatch != n {
+		t.Errorf("completed=%d avg_batch=%v, want %d and %d", st[0].Completed, st[0].AvgBatch, n, n)
+	}
+}
+
+func TestDeadlineExpiresInQueue(t *testing.T) {
+	// MaxWait far exceeds the request deadline and nothing else arrives to
+	// fill the batch, so the deadline lapses while the request waits.
+	_, e := newTestEngine(t, identModel(4), Config{
+		MaxBatch: 8, MaxWait: 250 * time.Millisecond, Replicas: 1, QueueDepth: 8,
+	})
+	_, err := e.InferWithDeadline("ident", oneHot(4, 1), 30*time.Millisecond)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if st := e.Stats(); st[0].ExpiredDeadline != 1 {
+		t.Errorf("expired_deadline = %d, want 1", st[0].ExpiredDeadline)
+	}
+}
+
+func TestContextDeadlineHonored(t *testing.T) {
+	_, e := newTestEngine(t, identModel(4), Config{
+		MaxBatch: 8, MaxWait: 250 * time.Millisecond, Replicas: 1, QueueDepth: 8,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := e.Infer(ctx, "ident", oneHot(4, 0))
+	if !errors.Is(err, ErrDeadline) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline error", err)
+	}
+}
+
+func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
+	// A deliberately heavy MLP keeps the lone replica busy while a flood of
+	// clients hammers a depth-1 queue: most must bounce with ErrOverloaded.
+	_, e := newTestEngine(t, denseModel("heavy", 1024, 1024, 8), Config{
+		MaxBatch: 1, MaxWait: time.Millisecond, Replicas: 1, QueueDepth: 1,
+	})
+	const clients = 50
+	x := tensor.New(1024)
+	var wg sync.WaitGroup
+	var overloaded, ok, other int
+	var mu sync.Mutex
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := e.Infer(context.Background(), "heavy", x)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrOverloaded):
+				overloaded++
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("unexpected errors: %d", other)
+	}
+	if overloaded == 0 {
+		t.Errorf("no request was shed; backpressure is not engaging (ok=%d)", ok)
+	}
+	if ok == 0 {
+		t.Errorf("every request was shed; admission control is too aggressive")
+	}
+	st := e.Stats()
+	if st[0].RejectedOverload != uint64(overloaded) {
+		t.Errorf("rejected_overload = %d, want %d", st[0].RejectedOverload, overloaded)
+	}
+}
+
+func TestReplicaPoolRoutesResultsToRequests(t *testing.T) {
+	const classes = 8
+	_, e := newTestEngine(t, identModel(classes), Config{
+		MaxBatch: 8, MaxWait: time.Millisecond, Replicas: 4, QueueDepth: 256,
+	})
+	const total = 200
+	var wg sync.WaitGroup
+	errCh := make(chan error, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := i % classes
+			res, err := e.Infer(context.Background(), "ident", oneHot(classes, want))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if res.Class != want {
+				t.Errorf("request %d: class %d, want %d (cross-replica result mixup)", i, res.Class, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("infer: %v", err)
+	}
+	st := e.Stats()
+	if st[0].Completed != total {
+		t.Errorf("completed = %d, want %d", st[0].Completed, total)
+	}
+	if st[0].Batches >= total {
+		t.Errorf("no coalescing happened under %d concurrent clients (%d batches)", total, st[0].Batches)
+	}
+}
+
+func TestUnknownModelAndBadInput(t *testing.T) {
+	_, e := newTestEngine(t, identModel(4), Config{})
+	if _, err := e.Infer(context.Background(), "nope", oneHot(4, 0)); !errors.Is(err, pkgmgr.ErrUnknownModel) {
+		t.Errorf("unknown model err = %v", err)
+	}
+	if _, err := e.Infer(context.Background(), "ident", tensor.New(5)); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad shape err = %v", err)
+	}
+	// Batch-of-one and flat inputs are both accepted.
+	if _, err := e.Infer(context.Background(), "ident", tensor.New(1, 4)); err != nil {
+		t.Errorf("batch-of-one input: %v", err)
+	}
+	if _, err := e.Infer(context.Background(), "ident", tensor.New(4)); err != nil {
+		t.Errorf("flat input: %v", err)
+	}
+}
+
+func TestCloseRejectsAndIsIdempotent(t *testing.T) {
+	mgr := testManager(t)
+	if err := mgr.Load(identModel(4), pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(mgr, Config{})
+	if _, err := e.Infer(context.Background(), "ident", oneHot(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if _, err := e.Infer(context.Background(), "ident", oneHot(4, 2)); !errors.Is(err, ErrClosed) {
+		t.Errorf("infer after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestResetPicksUpReloadedWeights(t *testing.T) {
+	mgr := testManager(t)
+	// A 2→2 dense "router": with these weights, input [1,0] → class 0.
+	m := nn.MustModel("router", []int{2}, []nn.LayerSpec{{Type: "dense", In: 2, Out: 2}})
+	d := m.Layers[0].(*nn.Dense)
+	copy(d.W.Data(), []float32{1, 0, 0, 1}) // identity
+	if err := mgr.Load(m, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(mgr, Config{Replicas: 2})
+	t.Cleanup(e.Close)
+
+	x := tensor.MustFrom([]float32{1, 0}, 2)
+	res, err := e.Infer(context.Background(), "router", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != 0 {
+		t.Fatalf("initial class = %d, want 0", res.Class)
+	}
+
+	// Reload the model with swapped rows: input [1,0] now maps to class 1.
+	// Without Reset, the frozen replicas would keep serving the old weights.
+	m2 := nn.MustModel("router", []int{2}, []nn.LayerSpec{{Type: "dense", In: 2, Out: 2}})
+	copy(m2.Layers[0].(*nn.Dense).W.Data(), []float32{0, 1, 1, 0})
+	if err := mgr.Load(m2, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = e.Infer(context.Background(), "router", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != 0 {
+		t.Fatalf("pre-reset class = %d; replicas are snapshots, reload alone must not change them", res.Class)
+	}
+	e.Reset("router")
+	res, err = e.Infer(context.Background(), "router", x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Class != 1 {
+		t.Errorf("post-reset class = %d, want 1 (new weights)", res.Class)
+	}
+	e.Reset("never-served") // no-op
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxBatch <= 0 || cfg.MaxWait <= 0 || cfg.Replicas <= 0 || cfg.QueueDepth <= 0 {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+}

@@ -1,0 +1,38 @@
+package tensor
+
+import "fmt"
+
+// Stack copies n same-shaped sample tensors into one batch tensor of shape
+// [n, sampleShape...]. It is the coalescing primitive of the serving
+// engine's micro-batcher: single-sample requests are stacked into one
+// forward pass. Samples must all share the shape of ts[0]; the inputs are
+// not retained.
+func Stack(ts []*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%w: cannot stack zero tensors", ErrShape)
+	}
+	first := ts[0]
+	for i, t := range ts[1:] {
+		if !sameShape(first.shape, t.shape) {
+			return nil, fmt.Errorf("%w: stack operand %d has shape %v, want %v", ErrShape, i+1, t.shape, first.shape)
+		}
+	}
+	out := New(append([]int{len(ts)}, first.shape...)...)
+	stride := first.Len()
+	for i, t := range ts {
+		copy(out.data[i*stride:(i+1)*stride], t.data)
+	}
+	return out, nil
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

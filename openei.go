@@ -9,7 +9,9 @@
 //
 //   - a package manager (inference, local/transfer training, real-time ML),
 //   - a model selector (the ALEM-constrained optimizer of Equation 1),
-//   - libei (the RESTful API of Figure 6) over the node's datastore.
+//   - libei (the RESTful API of Figure 6) over the node's datastore,
+//   - a serving engine that coalesces concurrent inference requests into
+//     micro-batches and runs them on a pool of model replicas.
 //
 // A minimal deployment:
 //
@@ -17,9 +19,26 @@
 //	...
 //	defer node.Close()
 //	http.ListenAndServe(":8080", node.Handler())
+//
+// # Serving knobs
+//
+// Config.Serving tunes the inference serving path (Node.ServeInfer and the
+// /ei_algorithms/serving/infer route):
+//
+//   - MaxBatch — largest micro-batch assembled per dispatch (default 8);
+//   - MaxWait — how long the first request waits for stragglers before the
+//     batch is dispatched anyway (default 2ms);
+//   - Replicas — model clones executing batches concurrently (default 2);
+//   - QueueDepth — bounded per-model queue; a full queue rejects
+//     immediately with ErrOverloaded, which libei maps to HTTP 429
+//     (default 64).
+//
+// Queue depth, batch sizes, and latency counters are exposed at
+// GET /ei_metrics.
 package openei
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,6 +54,7 @@ import (
 	"openei/internal/pkgmgr"
 	"openei/internal/runenv"
 	"openei/internal/selector"
+	"openei/internal/serving"
 	"openei/internal/tensor"
 )
 
@@ -88,6 +108,26 @@ type (
 	// ResultCache memoizes inference results (MUVR-style edge caching,
 	// §V.C).
 	ResultCache = pkgmgr.ResultCache
+	// ServingEngine is the node's dynamic-batching inference engine:
+	// per-model bounded queues, micro-batch coalescing, and a replica
+	// pool, fronted by /ei_algorithms/serving/infer.
+	ServingEngine = serving.Engine
+	// ServingConfig tunes the serving engine (MaxBatch, MaxWait,
+	// Replicas, QueueDepth); the zero value means defaults.
+	ServingConfig = serving.Config
+	// ServingResult is one request's share of a batched inference.
+	ServingResult = serving.Result
+	// ServingStats is the per-model counter snapshot behind /ei_metrics.
+	ServingStats = serving.ModelStats
+)
+
+// Serving engine errors, surfaced by Node.ServeInfer and mapped by libei to
+// HTTP statuses (429, 408).
+var (
+	ErrOverloaded    = serving.ErrOverloaded
+	ErrServeDeadline = serving.ErrDeadline
+	ErrServingClosed = serving.ErrClosed
+	ErrServeBadInput = serving.ErrBadInput
 )
 
 // Scheduler task priorities: urgent tasks drain before normal ones (the
@@ -119,14 +159,22 @@ type Config struct {
 	Package string
 	// DataWindow is the realtime window per sensor; default 64.
 	DataWindow int
+	// Serving tunes the inference serving engine (micro-batch size and
+	// wait, replica count, queue depth). The zero value uses defaults;
+	// see ServingConfig.
+	Serving ServingConfig
 }
 
-// Node is a deployed OpenEI edge: datastore + package manager + libei.
+// Node is a deployed OpenEI edge: datastore + package manager + serving
+// engine + libei.
 type Node struct {
 	ID      string
 	Store   *Store
 	Manager *Manager
 	Server  *Server
+	// Serving batches concurrent inference requests across model
+	// replicas; it backs /ei_algorithms/serving/infer and /ei_metrics.
+	Serving *ServingEngine
 
 	device hardware.Device
 	pkg    alem.Package
@@ -153,14 +201,20 @@ func New(cfg Config) (*Node, error) {
 	store := datastore.New(cfg.DataWindow)
 	mgr := pkgmgr.New(pkg, dev)
 	srv := libei.NewServer(cfg.NodeID, store, mgr)
+	eng := serving.NewEngine(mgr, cfg.Serving)
+	srv.SetEngine(eng)
 	return &Node{
-		ID: cfg.NodeID, Store: store, Manager: mgr, Server: srv,
+		ID: cfg.NodeID, Store: store, Manager: mgr, Server: srv, Serving: eng,
 		device: dev, pkg: pkg,
 	}, nil
 }
 
-// Close releases the node's resources (stops the real-time scheduler).
-func (n *Node) Close() { n.Manager.Close() }
+// Close releases the node's resources (drains the serving engine, then
+// stops the real-time scheduler).
+func (n *Node) Close() {
+	n.Serving.Close()
+	n.Manager.Close()
+}
 
 // Handler returns the libei HTTP handler for serving.
 func (n *Node) Handler() http.Handler { return n.Server }
@@ -177,9 +231,15 @@ func (n *Node) Register(regs ...Registration) error {
 }
 
 // LoadModel installs a model into the package manager; set quantize to use
-// the int8 artifact when the package supports it.
+// the int8 artifact when the package supports it. Reloading under an
+// existing name also resets that model's serving pipeline so replicas pick
+// up the new weights.
 func (n *Node) LoadModel(m *Model, quantize bool) error {
-	return n.Manager.Load(m, pkgmgr.LoadOptions{Quantize: quantize})
+	if err := n.Manager.Load(m, pkgmgr.LoadOptions{Quantize: quantize}); err != nil {
+		return err
+	}
+	n.Serving.Reset(m.Name)
+	return nil
 }
 
 // SelectModel runs the model selector over the node's own device: given
@@ -283,9 +343,15 @@ func (n *Node) CachedInfer(c *ResultCache, modelName string, x *Tensor) ([]int, 
 	return res.Classes, res.Confidences, hit, nil
 }
 
-// TransferLearn personalizes a loaded model on local data (Dataflow 3).
+// TransferLearn personalizes a loaded model on local data (Dataflow 3) and
+// resets the model's serving pipeline so replicas serve the personalized
+// weights.
 func (n *Node) TransferLearn(modelName string, data Dataset, epochs int, seed int64) error {
-	return n.Manager.TransferLearn(modelName, data, 1, epochs, rand.New(rand.NewSource(seed)))
+	if err := n.Manager.TransferLearn(modelName, data, 1, epochs, rand.New(rand.NewSource(seed))); err != nil {
+		return err
+	}
+	n.Serving.Reset(modelName)
+	return nil
 }
 
 // Infer runs a loaded model on a batched input at normal priority and
@@ -296,6 +362,20 @@ func (n *Node) Infer(modelName string, x *Tensor) ([]int, []float64, error) {
 		return nil, nil, err
 	}
 	return res.Classes, res.Confidences, nil
+}
+
+// ServeInfer pushes one single-sample request through the serving engine:
+// it is coalesced with concurrent callers into a micro-batch and executed
+// on a model replica. Under overload it fails fast with ErrOverloaded; a
+// deadline (ServeInferWithin) that lapses in the queue fails with
+// ErrServeDeadline.
+func (n *Node) ServeInfer(modelName string, x *Tensor) (ServingResult, error) {
+	return n.Serving.Infer(context.Background(), modelName, x)
+}
+
+// ServeInferWithin is ServeInfer with a per-request deadline.
+func (n *Node) ServeInferWithin(modelName string, x *Tensor, d time.Duration) (ServingResult, error) {
+	return n.Serving.InferWithDeadline(modelName, x, d)
 }
 
 // NewTensor builds an input tensor from raw values (copied) and a shape;

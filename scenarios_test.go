@@ -3,6 +3,8 @@ package openei
 import (
 	"math/rand"
 	"net/http/httptest"
+	"net/url"
+	"strings"
 	"testing"
 	"time"
 
@@ -118,6 +120,7 @@ func TestAllScenariosOnOneNode(t *testing.T) {
 		"health/activity_recognition", "health/fall_detection",
 		"home/power_monitor",
 		"safety/detection", "safety/firearm_detection", "safety/mask",
+		"serving/infer", // auto-registered by the node's serving engine
 		"vehicles/tracking",
 	}
 	if len(algos) != len(want) {
@@ -128,11 +131,21 @@ func TestAllScenariosOnOneNode(t *testing.T) {
 			t.Fatalf("algorithms[%d] = %q, want %q", i, algos[i], want[i])
 		}
 	}
-	// One live call per scenario; all must answer 200 with a result.
+	// One live call per scenario; all must answer 200 with a result. The
+	// serving route needs an explicit model and sample (one 32-value
+	// power-meter window); the scenario algorithms default their sensor.
 	for _, a := range want {
 		parts := splitOnce(a)
+		var args url.Values
+		if a == "serving/infer" {
+			vals := make([]string, 32)
+			for i := range vals {
+				vals[i] = "0.5"
+			}
+			args = url.Values{"model": {"power-net"}, "input": {strings.Join(vals, ",")}}
+		}
 		var out map[string]any
-		if err := client.CallAlgorithm(parts[0], parts[1], nil, &out); err != nil {
+		if err := client.CallAlgorithm(parts[0], parts[1], args, &out); err != nil {
 			t.Errorf("%s: %v", a, err)
 		}
 	}
