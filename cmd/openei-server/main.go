@@ -22,7 +22,10 @@
 // The serving engine (micro-batching across model replicas with a bounded
 // admission queue) is tuned with -serve-max-batch, -serve-batch-wait,
 // -serve-replicas and -serve-queue-depth; under overload the infer route
-// returns HTTP 429.
+// returns HTTP 429. The parallel kernel pool that dense kernels shard
+// across is tuned with -procs (width, default all cores) and
+// -parallel-grain (serial cutoff in fused ops); its utilization shows up
+// under "parallel" in GET /ei_metrics.
 //
 // With -peers, the node polls each peer's /ei_status every 2 s and logs
 // live↔suspect transitions (the §IV.C availability loop).
@@ -47,6 +50,7 @@ import (
 	"openei/internal/dataset"
 	"openei/internal/libei"
 	"openei/internal/nn"
+	"openei/internal/parallel"
 	"openei/internal/runenv"
 	"openei/internal/sensors"
 	"openei/internal/zoo"
@@ -70,11 +74,17 @@ func main() {
 		maxWait    = flag.Duration("serve-batch-wait", 0, "max wait for a micro-batch to fill (0 = default)")
 		replicas   = flag.Int("serve-replicas", 0, "model replicas per serving pipeline (0 = default)")
 		queueDepth = flag.Int("serve-queue-depth", 0, "bounded serving queue; full queue returns 429 (0 = default)")
+
+		// Parallel kernel-pool knobs: every dense kernel (matmul, conv,
+		// pooling) shards across this process-wide pool.
+		procs = flag.Int("procs", 0, "parallel kernel pool width (0 = all cores)")
+		grain = flag.Int("parallel-grain", 0, "serial cutoff in fused ops; kernels below it skip the pool (0 = default)")
 	)
 	flag.Parse()
 	servingCfg := openei.ServingConfig{
 		MaxBatch: *maxBatch, MaxWait: *maxWait,
 		Replicas: *replicas, QueueDepth: *queueDepth,
+		Procs: *procs, ParallelGrain: *grain,
 	}
 	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, *seed, servingCfg); err != nil {
 		log.Fatal(err)
@@ -88,8 +98,9 @@ func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64, serv
 	}
 	defer node.Close()
 	eff := node.Serving.Config()
-	log.Printf("serving engine: max-batch %d, batch-wait %v, replicas %d, queue-depth %d",
-		eff.MaxBatch, eff.MaxWait, eff.Replicas, eff.QueueDepth)
+	pool := parallel.Snapshot()
+	log.Printf("serving engine: max-batch %d, batch-wait %v, replicas %d, queue-depth %d; kernel pool: %d workers, grain %d",
+		eff.MaxBatch, eff.MaxWait, eff.Replicas, eff.QueueDepth, pool.Workers, pool.GrainWork)
 
 	const (
 		size    = 16

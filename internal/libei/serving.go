@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"openei/internal/parallel"
 	"openei/internal/serving"
 	"openei/internal/tensor"
 )
@@ -107,10 +108,13 @@ type Metrics struct {
 	Serving []serving.ModelStats `json:"serving"`
 	// SchedulerPending is the package manager's real-time queue backlog.
 	SchedulerPending int `json:"scheduler_pending"`
+	// Parallel is the process-wide kernel pool: width, grain, job/shard
+	// counters, and utilization (busy worker time over pool capacity).
+	Parallel parallel.Stats `json:"parallel"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter) {
-	m := Metrics{NodeID: s.NodeID}
+	m := Metrics{NodeID: s.NodeID, Parallel: parallel.Snapshot()}
 	if s.Manager != nil {
 		m.SchedulerPending = s.Manager.PendingJobs()
 	}

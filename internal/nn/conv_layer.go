@@ -3,6 +3,7 @@ package nn
 import (
 	"fmt"
 
+	"openei/internal/parallel"
 	"openei/internal/tensor"
 )
 
@@ -13,8 +14,14 @@ type Conv2D struct {
 	B      *tensor.Tensor // (outC)
 	GW, GB *tensor.Tensor
 
-	lastX    *tensor.Tensor
-	lastCols []float32
+	lastX *tensor.Tensor
+
+	// Backward scratch cached across steps so the training loop's hot
+	// path stops allocating: dx is the returned input gradient (consumed
+	// immediately by the previous layer, never retained), wt is the
+	// transposed weight matrix refreshed in place each call.
+	dx *tensor.Tensor
+	wt *tensor.Tensor
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -39,12 +46,35 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("%w: conv2d %+v got input %v", ErrShape, s, x.Shape())
 	}
 	c.lastX = x
-	w4 := c.W.MustReshape(s.OutC, s.InC, s.KH, s.KW)
-	return tensor.Conv2D(x, w4, c.B, s)
+	// W is stored matmul-ready as (outC, inC*kH*kW); the kernel only
+	// checks element count, so no per-call reshape header is needed.
+	return tensor.Conv2D(x, c.W, c.B, s)
+}
+
+// forwardArena implements arenaForwarder: output (and, inside the kernel,
+// per-shard im2col scratch) comes from reused storage, not the heap.
+func (c *Conv2D) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	s := c.SpecV
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: conv2d %+v got input %v", ErrShape, s, x.Shape())
+	}
+	out := a.NewUninit(x.Dim(0), s.OutC, s.OutH(), s.OutW())
+	if err := tensor.Conv2DInto(out, x, c.W, c.B, s); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Backward implements Layer. It recomputes the im2col lowering per image
-// (cheap relative to the matmuls) to produce weight and input gradients.
+// (cheap relative to the matmuls) to produce weight and input gradients;
+// images shard across the parallel runtime inside tensor.Conv2DBackward.
+//
+// The returned gradient tensor is owned by the layer and overwritten by
+// the next Backward call — the sequential training loop consumes it
+// immediately, so nothing observes the reuse.
 func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if c.lastX == nil {
 		return nil, fmt.Errorf("%w (conv2d)", ErrNoForward)
@@ -55,57 +85,24 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("%w: conv2d backward grad %v", ErrShape, grad.Shape())
 	}
 	batch := c.lastX.Dim(0)
-	colRows := s.InC * s.KH * s.KW
-	colW := outH * outW
-	if cap(c.lastCols) < colRows*colW {
-		c.lastCols = make([]float32, colRows*colW)
+	if grad.Dim(0) != batch {
+		return nil, fmt.Errorf("%w: conv2d backward grad batch %d vs input %d", ErrShape, grad.Dim(0), batch)
 	}
-	cols := c.lastCols[:colRows*colW]
-	imgLen := s.InC * s.InH * s.InW
-	gradLen := s.OutC * colW
-	dx := tensor.New(c.lastX.Shape()...)
-	colsT := tensor.New(colW, colRows)
-	gradMat := tensor.New(s.OutC, colW)
-	wt, err := tensor.Transpose(c.W)
-	if err != nil {
+	colRows := s.InC * s.KH * s.KW
+	if c.dx == nil || !shapeEq(c.dx.Shape(), c.lastX.Shape()) {
+		c.dx = tensor.New(c.lastX.Shape()...)
+	}
+	if c.wt == nil {
+		c.wt = tensor.New(colRows, s.OutC)
+	}
+	// Weights mutate every optimizer step, so the transpose recomputes
+	// each call — but into the cached buffer, not a fresh tensor.
+	if err := tensor.TransposeInto(c.wt, c.W); err != nil {
 		return nil, err
 	}
-	dcols := tensor.New(colRows, colW)
-	for b := 0; b < batch; b++ {
-		tensor.Im2Col(c.lastX.Data()[b*imgLen:(b+1)*imgLen], s, cols)
-		copy(gradMat.Data(), grad.Data()[b*gradLen:(b+1)*gradLen])
-
-		// dW += grad_b · colsᵀ
-		for i := 0; i < colRows; i++ {
-			for j := 0; j < colW; j++ {
-				colsT.Data()[j*colRows+i] = cols[i*colW+j]
-			}
-		}
-		dw, err := tensor.MatMul(gradMat, colsT)
-		if err != nil {
-			return nil, err
-		}
-		if err := c.GW.AddScaled(dw, 1); err != nil {
-			return nil, err
-		}
-
-		// dB += per-channel sums of grad.
-		for oc := 0; oc < s.OutC; oc++ {
-			var sum float32
-			ch := gradMat.Data()[oc*colW : (oc+1)*colW]
-			for _, v := range ch {
-				sum += v
-			}
-			c.GB.Data()[oc] += sum
-		}
-
-		// dcols = Wᵀ · grad_b ; dx_b = col2im(dcols).
-		if err := tensor.MatMulInto(dcols, wt, gradMat); err != nil {
-			return nil, err
-		}
-		tensor.Col2Im(dcols.Data(), s, dx.Data()[b*imgLen:(b+1)*imgLen])
-	}
-	return dx, nil
+	tensor.Conv2DBackward(c.lastX.Data(), grad.Data(), c.wt.Data(),
+		c.dx.Data(), c.GW.Data(), c.GB.Data(), s, batch)
+	return c.dx, nil
 }
 
 // Params implements Layer.
@@ -166,8 +163,28 @@ func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor,
 	return tensor.DepthwiseConv2D(x, c.W, c.B, c.SpecV)
 }
 
+// forwardArena implements arenaForwarder.
+func (c *DepthwiseConv2D) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	s := c.SpecV
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: dwconv2d %+v got input %v", ErrShape, s, x.Shape())
+	}
+	out := a.NewUninit(x.Dim(0), s.InC, s.OutH(), s.OutW())
+	if err := tensor.DepthwiseConv2DInto(out, x, c.W, c.B, s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Backward implements Layer using direct (non-lowered) loops, acceptable
-// because depthwise cost is tiny compared with pointwise convs.
+// because depthwise cost is tiny compared with pointwise convs. Channels
+// shard across the parallel runtime: each channel's kernel gradient, bias
+// gradient, and input-gradient planes are disjoint, and the per-channel
+// accumulation order (images in sequence) matches the serial kernel, so
+// results are bitwise pool-width-independent.
 func (c *DepthwiseConv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if c.lastX == nil {
 		return nil, fmt.Errorf("%w (dwconv2d)", ErrNoForward)
@@ -181,41 +198,49 @@ func (c *DepthwiseConv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) 
 	dx := tensor.New(c.lastX.Shape()...)
 	imgLen := s.InC * s.InH * s.InW
 	outLen := s.InC * outH * outW
-	for b := 0; b < batch; b++ {
-		for ch := 0; ch < s.InC; ch++ {
-			src := c.lastX.Data()[b*imgLen+ch*s.InH*s.InW : b*imgLen+(ch+1)*s.InH*s.InW]
-			g := grad.Data()[b*outLen+ch*outH*outW : b*outLen+(ch+1)*outH*outW]
+	channels := func(lo, hi int) {
+		for ch := lo; ch < hi; ch++ {
 			ker := c.W.Data()[ch*s.KH*s.KW : (ch+1)*s.KH*s.KW]
 			gker := c.GW.Data()[ch*s.KH*s.KW : (ch+1)*s.KH*s.KW]
-			dsrc := dx.Data()[b*imgLen+ch*s.InH*s.InW : b*imgLen+(ch+1)*s.InH*s.InW]
 			var biasSum float32
-			p := 0
-			for oh := 0; oh < outH; oh++ {
-				for ow := 0; ow < outW; ow++ {
-					gv := g[p]
-					p++
-					biasSum += gv
-					if gv == 0 {
-						continue
-					}
-					for kh := 0; kh < s.KH; kh++ {
-						ih := oh*s.Stride - s.Pad + kh
-						if ih < 0 || ih >= s.InH {
+			for b := 0; b < batch; b++ {
+				src := c.lastX.Data()[b*imgLen+ch*s.InH*s.InW : b*imgLen+(ch+1)*s.InH*s.InW]
+				g := grad.Data()[b*outLen+ch*outH*outW : b*outLen+(ch+1)*outH*outW]
+				dsrc := dx.Data()[b*imgLen+ch*s.InH*s.InW : b*imgLen+(ch+1)*s.InH*s.InW]
+				p := 0
+				for oh := 0; oh < outH; oh++ {
+					for ow := 0; ow < outW; ow++ {
+						gv := g[p]
+						p++
+						biasSum += gv
+						if gv == 0 {
 							continue
 						}
-						for kw := 0; kw < s.KW; kw++ {
-							iw := ow*s.Stride - s.Pad + kw
-							if iw < 0 || iw >= s.InW {
+						for kh := 0; kh < s.KH; kh++ {
+							ih := oh*s.Stride - s.Pad + kh
+							if ih < 0 || ih >= s.InH {
 								continue
 							}
-							gker[kh*s.KW+kw] += gv * src[ih*s.InW+iw]
-							dsrc[ih*s.InW+iw] += gv * ker[kh*s.KW+kw]
+							for kw := 0; kw < s.KW; kw++ {
+								iw := ow*s.Stride - s.Pad + kw
+								if iw < 0 || iw >= s.InW {
+									continue
+								}
+								gker[kh*s.KW+kw] += gv * src[ih*s.InW+iw]
+								dsrc[ih*s.InW+iw] += gv * ker[kh*s.KW+kw]
+							}
 						}
 					}
 				}
 			}
 			c.GB.Data()[ch] += biasSum
 		}
+	}
+	perChannel := batch * outH * outW * s.KH * s.KW * 2
+	if s.InC > 1 && parallel.Worth(s.InC*perChannel) {
+		parallel.Do(s.InC, parallel.GrainItems(perChannel), channels)
+	} else {
+		channels(0, s.InC)
 	}
 	return dx, nil
 }
@@ -311,6 +336,20 @@ func (m *MaxPool) OutShape(in []int) ([]int, error) {
 // Spec implements Layer.
 func (m *MaxPool) Spec() LayerSpec { return LayerSpec{Type: "maxpool", Pool: &m.SpecV} }
 
+// forwardArena implements arenaForwarder: inference skips the argmax
+// bookkeeping Backward would need.
+func (m *MaxPool) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	s := m.SpecV
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: maxpool %+v got input %v", ErrShape, s, x.Shape())
+	}
+	out := a.NewUninit(x.Dim(0), s.C, s.OutH(), s.OutW())
+	if err := tensor.MaxPool2DInto(out, x, s, nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // GlobalAvgPool reduces (batch, C, H, W) to (batch, C).
 type GlobalAvgPool struct {
 	lastShape []int
@@ -369,3 +408,15 @@ func (g *GlobalAvgPool) OutShape(in []int) ([]int, error) {
 
 // Spec implements Layer.
 func (g *GlobalAvgPool) Spec() LayerSpec { return LayerSpec{Type: "gap"} }
+
+// forwardArena implements arenaForwarder.
+func (g *GlobalAvgPool) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: gap input shape %v", ErrShape, x.Shape())
+	}
+	out := a.NewUninit(x.Dim(0), x.Dim(1))
+	if err := tensor.GlobalAvgPool2DInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

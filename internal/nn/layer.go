@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"openei/internal/parallel"
 	"openei/internal/tensor"
 )
 
@@ -216,6 +217,26 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 // Spec implements Layer.
 func (d *Dense) Spec() LayerSpec { return LayerSpec{Type: "dense", In: d.In, Out: d.Out} }
 
+// forwardArena implements arenaForwarder: on a frozen inference clone the
+// output comes from the arena and the pass allocates nothing. Mutable
+// models (no cached wt) fall back to the general path.
+func (d *Dense) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	if d.wt == nil {
+		return d.Forward(x, false)
+	}
+	if x.Dims() != 2 || x.Dim(1) != d.In {
+		return nil, fmt.Errorf("%w: dense(%d→%d) got input %v", ErrShape, d.In, d.Out, x.Shape())
+	}
+	y := a.NewUninit(x.Dim(0), d.Out)
+	if err := tensor.MatMulInto(y, x, d.wt); err != nil {
+		return nil, err
+	}
+	if err := tensor.AddBiasRows(y, d.B); err != nil {
+		return nil, err
+	}
+	return y, nil
+}
+
 // ReLU is the rectified linear activation.
 type ReLU struct {
 	mask []bool
@@ -226,7 +247,8 @@ var _ Layer = (*ReLU)(nil)
 // Kind implements Layer.
 func (r *ReLU) Kind() string { return "relu" }
 
-// Forward implements Layer.
+// Forward implements Layer. The elementwise loop shards across the
+// parallel runtime for large activations (conv feature maps).
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	out := x.Clone()
 	if cap(r.mask) < out.Len() {
@@ -234,15 +256,46 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	}
 	r.mask = r.mask[:out.Len()]
 	d := out.Data()
-	for i, v := range d {
-		if v > 0 {
-			r.mask[i] = true
-		} else {
-			r.mask[i] = false
-			d[i] = 0
+	elems := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if d[i] > 0 {
+				r.mask[i] = true
+			} else {
+				r.mask[i] = false
+				d[i] = 0
+			}
 		}
 	}
+	runElems(len(d), elems)
 	return out, nil
+}
+
+// forwardArena implements arenaForwarder: inference needs no backprop
+// mask, so the pass is a single clamped copy into arena storage. The
+// parallel closure is built only on the sharded branch — hoisting it
+// through runElems would heap-allocate it even for tiny activations and
+// break the serving path's zero-allocation guarantee.
+func (r *ReLU) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	out := a.NewUninitLike(x)
+	src, dst := x.Data(), out.Data()
+	if parallel.Worth(len(src)) {
+		parallel.Do(len(src), parallel.GrainWork(), func(lo, hi int) {
+			reluElems(dst, src, lo, hi)
+		})
+	} else {
+		reluElems(dst, src, 0, len(src))
+	}
+	return out, nil
+}
+
+func reluElems(dst, src []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := src[i]; v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
 }
 
 // Backward implements Layer.
@@ -255,12 +308,24 @@ func (r *ReLU) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	out := grad.Clone()
 	d := out.Data()
-	for i := range d {
-		if !r.mask[i] {
-			d[i] = 0
+	runElems(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if !r.mask[i] {
+				d[i] = 0
+			}
 		}
-	}
+	})
 	return out, nil
+}
+
+// runElems executes an elementwise loop, sharding it across the parallel
+// runtime when the tensor is large enough to repay dispatch.
+func runElems(n int, fn func(lo, hi int)) {
+	if parallel.Worth(n) {
+		parallel.Do(n, parallel.GrainWork(), fn)
+		return
+	}
+	fn(0, n)
 }
 
 // Params implements Layer.
@@ -322,6 +387,15 @@ func (f *Flatten) OutShape(in []int) ([]int, error) { return []int{prod(in)}, ni
 
 // Spec implements Layer.
 func (f *Flatten) Spec() LayerSpec { return LayerSpec{Type: "flatten"} }
+
+// forwardArena implements arenaForwarder: the reshape header comes from
+// the arena instead of the heap.
+func (f *Flatten) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	if x.Dims() < 2 {
+		return nil, fmt.Errorf("%w: flatten needs batched input, got %v", ErrShape, x.Shape())
+	}
+	return a.View(x, x.Dim(0), x.Len()/x.Dim(0))
+}
 
 // Dropout zeroes a fraction Rate of activations during training and scales
 // the survivors (inverted dropout); it is the identity at inference time.
@@ -408,6 +482,12 @@ func (d *Dropout) OutShape(in []int) ([]int, error) { return append([]int(nil), 
 
 // Spec implements Layer.
 func (d *Dropout) Spec() LayerSpec { return LayerSpec{Type: "dropout", Rate: d.Rate} }
+
+// forwardArena implements arenaForwarder: dropout is the identity at
+// inference time.
+func (d *Dropout) forwardArena(x *tensor.Tensor, _ *tensor.Arena) (*tensor.Tensor, error) {
+	return x, nil
+}
 
 // BatchNorm applies per-feature normalization with learned scale and shift.
 // For 2-D input it normalizes each column; for 4-D NCHW input it normalizes
@@ -589,5 +669,31 @@ func (b *BatchNorm) OutShape(in []int) ([]int, error) { return append([]int(nil)
 
 // Spec implements Layer.
 func (b *BatchNorm) Spec() LayerSpec { return LayerSpec{Type: "batchnorm", Features: b.Features} }
+
+// forwardArena implements arenaForwarder: inference normalizes against the
+// running statistics directly into arena storage, skipping the
+// normalized-value cache the training path keeps for Backward.
+func (b *BatchNorm) forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	batch, spatial, err := b.layout(x)
+	if err != nil {
+		return nil, err
+	}
+	out := a.NewUninitLike(x)
+	src, dst := x.Data(), out.Data()
+	for f := 0; f < b.Features; f++ {
+		mean := b.RunMean.Data()[f]
+		std := sqrt32(b.RunVar.Data()[f] + b.Eps)
+		g, be := b.Gamma.Data()[f], b.Beta.Data()[f]
+		for n := 0; n < batch; n++ {
+			base := (n*b.Features + f) * spatial
+			for s := 0; s < spatial; s++ {
+				// Same expression shape as the general path so frozen and
+				// mutable forwards stay bitwise identical.
+				dst[base+s] = g*((src[base+s]-mean)/std) + be
+			}
+		}
+	}
+	return out, nil
+}
 
 func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }

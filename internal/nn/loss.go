@@ -12,8 +12,24 @@ func Softmax(logits *tensor.Tensor) (*tensor.Tensor, error) {
 	if logits.Dims() != 2 {
 		return nil, fmt.Errorf("%w: softmax needs 2-D logits, got %v", ErrShape, logits.Shape())
 	}
+	out := tensor.New(logits.Dim(0), logits.Dim(1))
+	if err := SoftmaxInto(out, logits); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SoftmaxInto computes row-wise softmax of 2-D logits into dst, reusing
+// dst's storage (it need not be zeroed).
+func SoftmaxInto(dst, logits *tensor.Tensor) error {
+	if logits.Dims() != 2 {
+		return fmt.Errorf("%w: softmax needs 2-D logits, got %v", ErrShape, logits.Shape())
+	}
 	batch, classes := logits.Dim(0), logits.Dim(1)
-	out := tensor.New(batch, classes)
+	if dst.Dims() != 2 || dst.Dim(0) != batch || dst.Dim(1) != classes {
+		return fmt.Errorf("%w: softmax output %v for logits %v", ErrShape, dst.Shape(), logits.Shape())
+	}
+	out := dst
 	for b := 0; b < batch; b++ {
 		row := logits.Data()[b*classes : (b+1)*classes]
 		dst := out.Data()[b*classes : (b+1)*classes]
@@ -34,7 +50,7 @@ func Softmax(logits *tensor.Tensor) (*tensor.Tensor, error) {
 			dst[j] *= inv
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // SoftmaxT computes softmax with temperature T (used by knowledge
@@ -164,9 +180,41 @@ func TopConfidence(m *Model, x *tensor.Tensor) ([]int, []float64, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	cls, conf, err := topConfidence(probs, nil, nil)
+	return cls, conf, err
+}
+
+// TopConfidenceArena is TopConfidence for the zero-allocation serving
+// path: activations come from the arena and the class/confidence outputs
+// reuse the caller's buffers (pass the previous call's slices back in;
+// they are returned re-sliced, grown only when the batch outgrows them).
+func TopConfidenceArena(m *Model, x *tensor.Tensor, a *tensor.Arena, cls []int, conf []float64) ([]int, []float64, error) {
+	logits, err := m.ForwardArena(x, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	probs := a.NewUninitLike(logits)
+	if err := SoftmaxInto(probs, logits); err != nil {
+		return nil, nil, err
+	}
+	return topConfidence(probs, cls, conf)
+}
+
+// topConfidence extracts per-row argmax and probability from a 2-D
+// probability tensor into (possibly recycled) cls/conf buffers.
+func topConfidence(probs *tensor.Tensor, cls []int, conf []float64) ([]int, []float64, error) {
+	if probs.Dims() != 2 {
+		return nil, nil, fmt.Errorf("%w: confidence needs 2-D probabilities, got %v", ErrShape, probs.Shape())
+	}
 	batch, classes := probs.Dim(0), probs.Dim(1)
-	cls := make([]int, batch)
-	conf := make([]float64, batch)
+	if cap(cls) < batch {
+		cls = make([]int, batch)
+	}
+	cls = cls[:batch]
+	if cap(conf) < batch {
+		conf = make([]float64, batch)
+	}
+	conf = conf[:batch]
 	for b := 0; b < batch; b++ {
 		row := probs.Data()[b*classes : (b+1)*classes]
 		arg := 0

@@ -185,6 +185,34 @@ func (m *Model) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	return x, nil
 }
 
+// arenaForwarder is the optional inference fast path a layer can expose:
+// a forward pass whose output (and scratch) comes from the caller's arena
+// instead of the heap. Layers without it run their ordinary Forward in
+// inference mode.
+type arenaForwarder interface {
+	forwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error)
+}
+
+// ForwardArena runs an inference-mode forward pass with every activation
+// allocated from the arena. With a frozen model (FreezeInference) and a
+// warmed arena the pass performs zero heap allocations — the serving
+// replicas' steady state. The returned tensor is valid until the arena's
+// next Reset.
+func (m *Model) ForwardArena(x *tensor.Tensor, a *tensor.Arena) (*tensor.Tensor, error) {
+	var err error
+	for i, l := range m.Layers {
+		if af, ok := l.(arenaForwarder); ok {
+			x, err = af.forwardArena(x, a)
+		} else {
+			x, err = l.Forward(x, false)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s layer %d (%s): %w", m.Name, i, l.Kind(), err)
+		}
+	}
+	return x, nil
+}
+
 // Backward propagates dL/dlogits through the stack.
 func (m *Model) Backward(grad *tensor.Tensor) error {
 	var err error

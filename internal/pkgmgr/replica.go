@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"openei/internal/hardware"
 	"openei/internal/nn"
 	"openei/internal/tensor"
 )
@@ -20,6 +21,20 @@ type Replica struct {
 	model     *nn.Model
 	quantized bool
 	mgr       *Manager
+
+	// arena backs every activation of a request; after the first request
+	// sizes it, steady-state inference allocates nothing.
+	arena *tensor.Arena
+	// cls/conf are the recycled result buffers behind InferenceResult.
+	cls  []int
+	conf []float64
+	// wproto caches the batch-independent parts of the cost-model
+	// workload; the per-batch fields are linear in batch size, so scaling
+	// flopsPerSample/actBytesPerSample reproduces workload() exactly
+	// without re-walking the layer graph per request.
+	wproto            hardware.Workload
+	flopsPerSample    int64
+	actBytesPerSample int64
 }
 
 // NewReplica clones the named loaded model into a Replica. The clone is
@@ -40,7 +55,14 @@ func (m *Manager) NewReplica(name string) (*Replica, error) {
 	// every request — the manager's own copy stays mutable for transfer
 	// learning and cannot take this shortcut.
 	clone.FreezeInference()
-	return &Replica{name: name, model: clone, quantized: l.quantized, mgr: m}, nil
+	r := &Replica{
+		name: name, model: clone, quantized: l.quantized, mgr: m,
+		arena:  tensor.NewArena(0),
+		wproto: m.workload(clone, l.quantized, 1),
+	}
+	r.flopsPerSample = r.wproto.FLOPs
+	r.actBytesPerSample = r.wproto.ActivationBytes
+	return r, nil
 }
 
 // Name returns the model name the replica was cloned from.
@@ -54,18 +76,27 @@ func (r *Replica) InputShape() []int {
 // InferBatch stacks same-shaped single-sample inputs into one batch tensor
 // and runs a single forward pass on the replica's private weights. The
 // result slices are indexed like xs.
+//
+// Activations live in the replica's arena and the Classes/Confidences
+// slices are recycled buffers: both are valid only until the replica's
+// next InferBatch call. Callers that retain results across calls (none of
+// the serving pipeline does — it fans values out immediately) must copy.
 func (r *Replica) InferBatch(xs []*tensor.Tensor) (InferenceResult, error) {
-	x, err := tensor.Stack(xs)
+	r.arena.Reset()
+	x, err := r.arena.StackArena(xs)
 	if err != nil {
 		return InferenceResult{}, fmt.Errorf("pkgmgr: replica %s: %w", r.name, err)
 	}
 	start := time.Now()
-	cls, conf, err := nn.TopConfidence(r.model, x)
+	cls, conf, err := nn.TopConfidenceArena(r.model, x, r.arena, r.cls, r.conf)
 	if err != nil {
 		return InferenceResult{}, fmt.Errorf("pkgmgr: replica infer %s: %w", r.name, err)
 	}
+	r.cls, r.conf = cls, conf
 	res := InferenceResult{Classes: cls, Confidences: conf, Wall: time.Since(start)}
-	w := r.mgr.workload(r.model, r.quantized, len(xs))
+	w := r.wproto
+	w.FLOPs = r.flopsPerSample * int64(len(xs))
+	w.ActivationBytes = r.actBytesPerSample * int64(len(xs))
 	if res.ModelLatency, err = r.mgr.dev.Latency(w); err != nil {
 		return InferenceResult{}, err
 	}

@@ -121,3 +121,72 @@ func BenchmarkServing64Batched(b *testing.B) {
 		return err
 	})
 }
+
+// BenchmarkReplicaInferMLP is the zero-allocation acceptance benchmark:
+// a frozen replica running micro-batches of the mlp zoo model must report
+// 0 allocs/op once its arena is warm — activations come from the arena,
+// scratch from pools, and the cost model from the cached workload.
+func BenchmarkReplicaInferMLP(b *testing.B) {
+	mgr, sample := benchManager(b)
+	rep, err := mgr.NewReplica(benchModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]*tensor.Tensor, 8)
+	for i := range xs {
+		xs[i] = sample
+	}
+	if _, err := rep.InferBatch(xs); err != nil { // warm the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rep.InferBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The steady-state guarantee is load-bearing for GC-free serving, so it is
+// asserted as a test too, not just visible in benchmark output.
+func TestReplicaInferenceSteadyStateAllocs(t *testing.T) {
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("jetson-tx2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	rng := rand.New(rand.NewSource(1))
+	m, err := zoo.Build("mlp", 16, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitParams(rng)
+	if err := mgr.Load(m, pkgmgr.LoadOptions{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mgr.NewReplica("mlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := tensor.New(1, 16, 16)
+	xs := []*tensor.Tensor{sample, sample, sample, sample}
+	for i := 0; i < 3; i++ { // warm arena, result buffers, scratch pools
+		if _, err := rep.InferBatch(xs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := rep.InferBatch(xs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state replica inference allocates %v objects/op, want 0", avg)
+	}
+}

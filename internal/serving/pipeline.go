@@ -185,12 +185,15 @@ func (p *pipeline) sweep() {
 }
 
 // work is one replica's loop: stack a batch, run it, fan results back out.
+// The sample slice is reused across batches so the steady-state loop stays
+// off the heap (the replica's own activations already are, via its arena).
 func (p *pipeline) work(rep *pkgmgr.Replica) {
 	defer p.wg.Done()
+	var xs []*tensor.Tensor
 	for batch := range p.batches {
-		xs := make([]*tensor.Tensor, len(batch))
-		for i, r := range batch {
-			xs[i] = r.x
+		xs = xs[:0]
+		for _, r := range batch {
+			xs = append(xs, r.x)
 		}
 		start := time.Now()
 		res, err := rep.InferBatch(xs)

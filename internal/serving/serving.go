@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"openei/internal/parallel"
 	"openei/internal/pkgmgr"
 	"openei/internal/tensor"
 )
@@ -64,6 +65,15 @@ type Config struct {
 	// QueueDepth bounds the per-model request queue; beyond it requests
 	// are rejected with ErrOverloaded (default 64).
 	QueueDepth int
+	// Procs caps the process-wide parallel kernel pool that the dense
+	// kernels (matmul, convolution, pooling) shard across. 0 keeps the
+	// pool's current width (all cores by default). The pool is global:
+	// the last engine configured wins.
+	Procs int
+	// ParallelGrain sets the kernel pool's serial cutoff in fused-op
+	// units; kernels below it run on the submitting goroutine. 0 keeps
+	// the current grain (parallel.DefaultGrainWork by default).
+	ParallelGrain int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,9 +121,18 @@ type Engine struct {
 	closed bool
 }
 
-// NewEngine returns an engine over the manager's loaded models.
+// NewEngine returns an engine over the manager's loaded models. A
+// non-zero Procs or ParallelGrain reconfigures the process-wide kernel
+// pool as a side effect.
 func NewEngine(mgr *pkgmgr.Manager, cfg Config) *Engine {
-	return &Engine{mgr: mgr, cfg: cfg.withDefaults(), pipes: map[string]*pipeline{}}
+	cfg = cfg.withDefaults()
+	if cfg.Procs > 0 {
+		parallel.SetProcs(cfg.Procs)
+	}
+	if cfg.ParallelGrain > 0 {
+		parallel.SetGrainWork(cfg.ParallelGrain)
+	}
+	return &Engine{mgr: mgr, cfg: cfg, pipes: map[string]*pipeline{}}
 }
 
 // Config returns the engine's effective (defaulted) configuration.

@@ -1,0 +1,169 @@
+package tensor
+
+import "fmt"
+
+// Arena is a region allocator for the short-lived tensors of one inference
+// pass. A serving replica owns one arena, calls Reset at the top of every
+// request, and carves all activations, views, and scratch out of it; after
+// a warm-up request sizes the slab and header cache, the steady-state
+// inference path performs zero heap allocations.
+//
+// Tensors returned by an arena are valid only until the next Reset — they
+// must never be retained across requests or handed to another goroutine
+// that outlives the pass. An Arena is not safe for concurrent use; confine
+// it, like the replica that owns it, to a single worker goroutine.
+type Arena struct {
+	slab  []float32
+	off   int
+	spill int // elements allocated past the slab this cycle
+
+	hdrs []*arenaHdr
+	used int
+}
+
+// arenaHdr pairs a reusable Tensor header with inline shape storage so
+// neither costs an allocation once cached. Four dims covers every layout
+// the substrate uses (NCHW).
+type arenaHdr struct {
+	t        Tensor
+	shapeArr [4]int
+}
+
+// NewArena returns an arena with capacity for n float32 elements; n <= 0
+// starts empty and lets the first cycle size it.
+func NewArena(n int) *Arena {
+	if n < 0 {
+		n = 0
+	}
+	return &Arena{slab: make([]float32, n)}
+}
+
+// Reset recycles every tensor handed out since the last Reset. If the
+// previous cycle overflowed the slab, the slab is regrown once here so the
+// next cycle fits entirely.
+func (a *Arena) Reset() {
+	if a.spill > 0 {
+		a.slab = make([]float32, len(a.slab)+a.spill)
+		a.spill = 0
+	}
+	a.off = 0
+	a.used = 0
+}
+
+// alloc carves n elements from the slab, falling back to the heap (and
+// recording the shortfall for Reset to regrow) when the slab is exhausted.
+func (a *Arena) alloc(n int) []float32 {
+	if a.off+n <= len(a.slab) {
+		s := a.slab[a.off : a.off+n : a.off+n]
+		a.off += n
+		return s
+	}
+	a.spill += n
+	return make([]float32, n)
+}
+
+// hdr returns a recycled tensor header, growing the cache on warm-up.
+func (a *Arena) hdr() *arenaHdr {
+	if a.used == len(a.hdrs) {
+		a.hdrs = append(a.hdrs, &arenaHdr{})
+	}
+	h := a.hdrs[a.used]
+	a.used++
+	return h
+}
+
+// shapeFor stores shape in the header's inline array (heap only beyond 4
+// dims, which the substrate never produces).
+func (h *arenaHdr) shapeFor(shape []int) []int {
+	if len(shape) <= len(h.shapeArr) {
+		s := h.shapeArr[:len(shape)]
+		copy(s, shape)
+		return s
+	}
+	return append([]int(nil), shape...)
+}
+
+// NewUninit returns an arena tensor of the given shape with unspecified
+// contents — for outputs every element of which the caller overwrites.
+// The panic message deliberately omits the shape slice: formatting it
+// would make every call site's variadic argument escape to the heap,
+// breaking the zero-allocation guarantee of the happy path.
+func (a *Arena) NewUninit(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic("tensor: negative dimension in arena shape")
+		}
+		n *= d
+	}
+	h := a.hdr()
+	h.t.shape = h.shapeFor(shape)
+	h.t.data = a.alloc(n)
+	return &h.t
+}
+
+// NewUninitLike returns an uninitialized arena tensor with t's shape.
+func (a *Arena) NewUninitLike(t *Tensor) *Tensor {
+	h := a.hdr()
+	h.t.shape = h.shapeFor(t.shape)
+	h.t.data = a.alloc(len(t.data))
+	return &h.t
+}
+
+// New returns a zero-filled arena tensor, the arena analogue of New.
+func (a *Arena) New(shape ...int) *Tensor {
+	t := a.NewUninit(shape...)
+	for i := range t.data {
+		t.data[i] = 0
+	}
+	return t
+}
+
+// View returns an arena-headered tensor sharing t's data under a new
+// shape — the allocation-free analogue of Reshape.
+func (a *Arena) View(t *Tensor, shape ...int) (*Tensor, error) {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		// Copy the shape before formatting: handing the variadic slice to
+		// fmt would make it escape at every (happy-path) call site.
+		bad := append([]int(nil), shape...)
+		return nil, fmt.Errorf("%w: cannot view %v (%d elems) as %v (%d elems)", ErrShape, t.shape, len(t.data), bad, n)
+	}
+	h := a.hdr()
+	h.t.shape = h.shapeFor(shape)
+	h.t.data = t.data
+	return &h.t, nil
+}
+
+// StackArena is Stack into arena storage: n same-shaped samples become one
+// [n, sampleShape...] batch tensor that lives until the next Reset.
+func (a *Arena) StackArena(ts []*Tensor) (*Tensor, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("%w: cannot stack zero tensors", ErrShape)
+	}
+	first := ts[0]
+	for i, t := range ts[1:] {
+		if !sameShape(first.shape, t.shape) {
+			return nil, fmt.Errorf("%w: stack operand %d has shape %v, want %v", ErrShape, i+1, t.shape, first.shape)
+		}
+	}
+	h := a.hdr()
+	// Inline for ranks the serving path uses; append spills to the heap
+	// only for samples of rank 4+, which no model here produces.
+	shape := h.shapeArr[:0]
+	shape = append(shape, len(ts))
+	shape = append(shape, first.shape...)
+	h.t.shape = shape
+	stride := first.Len()
+	h.t.data = a.alloc(stride * len(ts))
+	for i, t := range ts {
+		copy(h.t.data[i*stride:(i+1)*stride], t.data)
+	}
+	return &h.t, nil
+}
+
+// CapElems reports the slab capacity in float32 elements (diagnostics).
+func (a *Arena) CapElems() int { return len(a.slab) }

@@ -1,0 +1,100 @@
+package tensor
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArenaNewZeroesAndShapes(t *testing.T) {
+	a := NewArena(64)
+	x := a.New(2, 3)
+	if got := x.Shape(); len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("shape = %v", got)
+	}
+	for i, v := range x.Data() {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+	x.Data()[0] = 7
+	a.Reset()
+	y := a.New(2, 3)
+	if y.Data()[0] != 0 {
+		t.Error("Reset must hand back zeroed memory from New")
+	}
+}
+
+func TestArenaSpillRegrowsOnReset(t *testing.T) {
+	a := NewArena(4)
+	small := a.NewUninit(4) // fills the slab
+	big := a.NewUninit(100) // spills to the heap
+	small.Data()[0] = 1
+	big.Data()[0] = 2 // both stay valid despite the spill
+	if small.Data()[0] != 1 || big.Data()[0] != 2 {
+		t.Fatal("tensors must stay usable across a spill")
+	}
+	a.Reset()
+	if a.CapElems() < 104 {
+		t.Errorf("slab after spill reset = %d elems, want >= 104", a.CapElems())
+	}
+	// The regrown slab must now fit the same cycle without spilling.
+	a.NewUninit(4)
+	a.NewUninit(100)
+	if a.spill != 0 {
+		t.Errorf("second cycle spilled %d elems, want 0", a.spill)
+	}
+}
+
+func TestArenaViewSharesData(t *testing.T) {
+	a := NewArena(16)
+	x := a.New(2, 3)
+	v, err := a.View(x, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Data()[5] = 9
+	if x.At(1, 2) != 9 {
+		t.Error("view must alias the source data")
+	}
+	if _, err := a.View(x, 7); !errors.Is(err, ErrShape) {
+		t.Errorf("mismatched view err = %v, want ErrShape", err)
+	}
+}
+
+func TestArenaStack(t *testing.T) {
+	a := NewArena(0)
+	xs := []*Tensor{MustFrom([]float32{1, 2}, 2), MustFrom([]float32{3, 4}, 2)}
+	got, err := a.StackArena(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustFrom([]float32{1, 2, 3, 4}, 2, 2)
+	if !Equal(got, want, 0) {
+		t.Errorf("StackArena = %v, want %v", got, want)
+	}
+	if _, err := a.StackArena(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("empty stack err = %v", err)
+	}
+	if _, err := a.StackArena([]*Tensor{New(2), New(3)}); !errors.Is(err, ErrShape) {
+		t.Errorf("mixed-shape stack err = %v", err)
+	}
+}
+
+// Steady state: same shapes each cycle, no allocation after warm-up.
+func TestArenaSteadyStateAllocs(t *testing.T) {
+	a := NewArena(0)
+	cycle := func() {
+		a.Reset()
+		x := a.NewUninit(4, 8)
+		y := a.New(8, 2)
+		if _, err := a.View(y, 16); err != nil {
+			t.Fatal(err)
+		}
+		_ = x
+	}
+	cycle() // size slab
+	cycle() // regrown slab now fits
+	if avg := testing.AllocsPerRun(20, cycle); avg != 0 {
+		t.Errorf("steady-state arena cycle allocates %v objects, want 0", avg)
+	}
+}

@@ -4,7 +4,124 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"openei/internal/parallel"
 )
+
+// benchPool pins the kernel pool to the given width (grain 1 so every
+// kernel in the benchmark actually shards) and restores defaults on
+// cleanup. Width 1 is the serial baseline the speedup is measured against.
+func benchPool(b *testing.B, procs int) {
+	b.Helper()
+	parallel.SetProcs(procs)
+	if procs > 1 {
+		parallel.SetGrainWork(1)
+	}
+	b.Cleanup(func() {
+		parallel.SetProcs(0)
+		parallel.SetGrainWork(0)
+	})
+}
+
+// BenchmarkParallelMatMul compares the serial kernel against the sharded
+// kernel at increasing widths on a GEMM big enough to amortize dispatch.
+func BenchmarkParallelMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 256
+	x, y := New(n, n), New(n, n)
+	x.Rand(rng, 1)
+	y.Rand(rng, 1)
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchPool(b, procs)
+			b.SetBytes(int64(8 * n * n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := MatMul(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelConv2D is the acceptance workload: a batch-8
+// convolution forward, serial vs sharded across the pool.
+func BenchmarkParallelConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	s := Conv2DSpec{InC: 16, InH: 32, InW: 32, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	const batch = 8
+	x := New(batch, s.InC, s.InH, s.InW)
+	w := New(s.OutC, s.InC, s.KH, s.KW)
+	bias := New(s.OutC)
+	x.Rand(rng, 1)
+	w.Rand(rng, 1)
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchPool(b, procs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Conv2D(x, w, bias, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelConv2DBackward measures the training-side gradient
+// kernel, whose images shard with per-worker partial accumulators.
+func BenchmarkParallelConv2DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	s := Conv2DSpec{InC: 16, InH: 32, InW: 32, OutC: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	const batch = 8
+	colRows := s.InC * s.KH * s.KW
+	x := New(batch, s.InC, s.InH, s.InW)
+	grad := New(batch, s.OutC, s.OutH(), s.OutW())
+	w := New(s.OutC, colRows)
+	x.Rand(rng, 1)
+	grad.Rand(rng, 1)
+	w.Rand(rng, 1)
+	wt, err := Transpose(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dx := New(batch, s.InC, s.InH, s.InW)
+	dW := New(s.OutC, colRows)
+	dB := New(s.OutC)
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchPool(b, procs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Conv2DBackward(x.Data(), grad.Data(), wt.Data(), dx.Data(), dW.Data(), dB.Data(), s, batch)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelQMatMul measures the int8 row-dot kernel.
+func BenchmarkParallelQMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	const n = 256
+	x, y := New(n, n), New(n, n)
+	x.Rand(rng, 1)
+	y.Rand(rng, 1)
+	qx, qy := Quantize(x), Quantize(y)
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			benchPool(b, procs)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := QMatMul(qx, qy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkMatMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

@@ -1,6 +1,11 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+
+	"openei/internal/parallel"
+)
 
 // Conv2DSpec describes a 2-D convolution. Tensors are NCHW: input is
 // (batch, inC, inH, inW); kernels are (outC, inC, kH, kW).
@@ -118,33 +123,75 @@ func Col2Im(cols []float32, s Conv2DSpec, x []float32) {
 // (batch, inC, inH, inW) with kernel w (outC, inC, kH, kW) and bias
 // (outC), returning (batch, outC, outH, outW).
 func Conv2D(x, w, bias *Tensor, s Conv2DSpec) (*Tensor, error) {
+	// Validate before touching OutH/OutW: a zero stride would otherwise
+	// panic on integer division instead of returning ErrShape.
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if x.Dims() != 4 || x.shape[1] != s.InC || x.shape[2] != s.InH || x.shape[3] != s.InW {
+	if x.Dims() != 4 {
 		return nil, fmt.Errorf("%w: Conv2D input %v does not match spec %+v", ErrShape, x.shape, s)
 	}
+	out := New(x.shape[0], s.OutC, s.OutH(), s.OutW())
+	if err := Conv2DInto(out, x, w, bias, s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Conv2DInto is Conv2D reusing dst's storage (dst need not be zeroed);
+// dst must be (batch, outC, outH, outW).
+func Conv2DInto(dst, x, w, bias *Tensor, s Conv2DSpec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if x.Dims() != 4 || x.shape[1] != s.InC || x.shape[2] != s.InH || x.shape[3] != s.InW {
+		return fmt.Errorf("%w: Conv2D input %v does not match spec %+v", ErrShape, x.shape, s)
+	}
 	if w.Len() != s.OutC*s.InC*s.KH*s.KW {
-		return nil, fmt.Errorf("%w: Conv2D kernel %v does not match spec %+v", ErrShape, w.shape, s)
+		return fmt.Errorf("%w: Conv2D kernel %v does not match spec %+v", ErrShape, w.shape, s)
 	}
 	if bias != nil && bias.Len() != s.OutC {
-		return nil, fmt.Errorf("%w: Conv2D bias %v, want %d", ErrShape, bias.shape, s.OutC)
+		return fmt.Errorf("%w: Conv2D bias %v, want %d", ErrShape, bias.shape, s.OutC)
 	}
 	batch := x.shape[0]
+	if dst.Dims() != 4 || dst.shape[0] != batch || dst.shape[1] != s.OutC || dst.shape[2] != s.OutH() || dst.shape[3] != s.OutW() {
+		return fmt.Errorf("%w: Conv2D output %v does not match spec %+v", ErrShape, dst.shape, s)
+	}
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.data
+	}
+	conv2DForward(dst.data, x.data, w.data, biasData, s, batch)
+	return nil
+}
+
+// conv2DForward is the shared convolution core (alloc-path Conv2D and the
+// arena inference path both land here). Output memory need not be zeroed.
+// Multi-image batches shard across the parallel runtime with per-shard
+// im2col scratch; a single large image instead lets the inner GEMM shard
+// its output-channel rows. Either way each image's arithmetic matches the
+// serial kernel exactly, so results are bitwise pool-width-independent.
+func conv2DForward(out, x, w, bias []float32, s Conv2DSpec, batch int) {
 	outH, outW := s.OutH(), s.OutW()
 	colRows := s.InC * s.KH * s.KW
 	colW := outH * outW
-	cols := make([]float32, colRows*colW)
-	out := New(batch, s.OutC, outH, outW)
-	imgLen := s.InC * s.InH * s.InW
-	outLen := s.OutC * colW
-	for b := 0; b < batch; b++ {
-		Im2Col(x.data[b*imgLen:(b+1)*imgLen], s, cols)
-		dst := out.data[b*outLen : (b+1)*outLen]
-		matmulInto(dst, w.data, cols, s.OutC, colRows, colW)
+	perImage := s.OutC * colRows * colW // fused ops of one image's GEMM
+	image := func(b int, cols []float32, gemmRowParallel bool) {
+		imgLen := s.InC * s.InH * s.InW
+		outLen := s.OutC * colW
+		Im2Col(x[b*imgLen:(b+1)*imgLen], s, cols)
+		dst := out[b*outLen : (b+1)*outLen]
+		for i := range dst {
+			dst[i] = 0
+		}
+		if gemmRowParallel {
+			matmulInto(dst, w, cols, s.OutC, colRows, colW)
+		} else {
+			matmulRows(dst, w, cols, 0, s.OutC, colRows, colW)
+		}
 		if bias != nil {
 			for oc := 0; oc < s.OutC; oc++ {
-				bv := bias.data[oc]
+				bv := bias[oc]
 				ch := dst[oc*colW : (oc+1)*colW]
 				for i := range ch {
 					ch[i] += bv
@@ -152,32 +199,70 @@ func Conv2D(x, w, bias *Tensor, s Conv2DSpec) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+	if batch > 1 && parallel.Worth(batch*perImage) {
+		parallel.Do(batch, parallel.GrainItems(perImage), func(lo, hi int) {
+			cols := f32Scratch(colRows * colW)
+			defer f32Release(cols)
+			for b := lo; b < hi; b++ {
+				image(b, *cols, false)
+			}
+		})
+		return
+	}
+	cols := f32Scratch(colRows * colW)
+	defer f32Release(cols)
+	for b := 0; b < batch; b++ {
+		image(b, *cols, true)
+	}
 }
 
 // DepthwiseConv2D applies a depthwise convolution (the MobileNet building
 // block): each input channel is convolved with its own kH×kW filter.
 // x is (batch, C, H, W); w is (C, kH, kW); bias is (C) or nil.
 func DepthwiseConv2D(x, w, bias *Tensor, s Conv2DSpec) (*Tensor, error) {
+	// Validate before touching OutH/OutW (see Conv2D).
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if s.OutC != s.InC {
-		return nil, fmt.Errorf("%w: depthwise conv needs OutC==InC, got %d/%d", ErrShape, s.OutC, s.InC)
-	}
-	if x.Dims() != 4 || x.shape[1] != s.InC || x.shape[2] != s.InH || x.shape[3] != s.InW {
+	if x.Dims() != 4 {
 		return nil, fmt.Errorf("%w: DepthwiseConv2D input %v vs spec %+v", ErrShape, x.shape, s)
 	}
+	out := New(x.shape[0], s.InC, s.OutH(), s.OutW())
+	if err := DepthwiseConv2DInto(out, x, w, bias, s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DepthwiseConv2DInto is DepthwiseConv2D reusing dst's storage (dst need
+// not be zeroed); dst must be (batch, C, outH, outW).
+func DepthwiseConv2DInto(dst, x, w, bias *Tensor, s Conv2DSpec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.OutC != s.InC {
+		return fmt.Errorf("%w: depthwise conv needs OutC==InC, got %d/%d", ErrShape, s.OutC, s.InC)
+	}
+	if x.Dims() != 4 || x.shape[1] != s.InC || x.shape[2] != s.InH || x.shape[3] != s.InW {
+		return fmt.Errorf("%w: DepthwiseConv2D input %v vs spec %+v", ErrShape, x.shape, s)
+	}
 	if w.Len() != s.InC*s.KH*s.KW {
-		return nil, fmt.Errorf("%w: DepthwiseConv2D kernel %v vs spec %+v", ErrShape, w.shape, s)
+		return fmt.Errorf("%w: DepthwiseConv2D kernel %v vs spec %+v", ErrShape, w.shape, s)
 	}
 	batch := x.shape[0]
 	outH, outW := s.OutH(), s.OutW()
-	out := New(batch, s.InC, outH, outW)
+	if dst.Dims() != 4 || dst.shape[0] != batch || dst.shape[1] != s.InC || dst.shape[2] != outH || dst.shape[3] != outW {
+		return fmt.Errorf("%w: DepthwiseConv2D output %v vs spec %+v", ErrShape, dst.shape, s)
+	}
+	out := dst
 	imgLen := s.InC * s.InH * s.InW
 	outLen := s.InC * outH * outW
-	for b := 0; b < batch; b++ {
-		for c := 0; c < s.InC; c++ {
+	// Each (image, channel) pair writes a disjoint output plane, so the
+	// flat b*c index space shards freely across the pool.
+	perPlane := outH * outW * s.KH * s.KW
+	planes := func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			b, c := idx/s.InC, idx%s.InC
 			src := x.data[b*imgLen+c*s.InH*s.InW : b*imgLen+(c+1)*s.InH*s.InW]
 			ker := w.data[c*s.KH*s.KW : (c+1)*s.KH*s.KW]
 			dst := out.data[b*outLen+c*outH*outW : b*outLen+(c+1)*outH*outW]
@@ -208,7 +293,91 @@ func DepthwiseConv2D(x, w, bias *Tensor, s Conv2DSpec) (*Tensor, error) {
 			}
 		}
 	}
-	return out, nil
+	n := batch * s.InC
+	if n > 1 && parallel.Worth(n*perPlane) {
+		parallel.Do(n, grainRows(perPlane), planes)
+	} else {
+		planes(0, n)
+	}
+	return nil
+}
+
+// Conv2DBackward computes the gradients of the convolution described by s
+// for a whole batch: dx (input gradient, overwritten), dW (outC×inC·kH·kW,
+// accumulated into) and dB (outC, accumulated into). x and grad are the
+// forward input and output gradient as flat NCHW slices; wt is the
+// transposed weight matrix (inC·kH·kW × outC), which the layer caches and
+// refreshes with TransposeInto so no per-call transpose allocation occurs.
+//
+// Images shard across the parallel runtime. Each shard accumulates weight
+// and bias gradients into pooled partial buffers merged under a lock, so
+// dW/dB match the serial sums to rounding (addition order varies with the
+// pool width); dx is written per image and is bitwise width-independent.
+func Conv2DBackward(x, grad, wt, dx, dW, dB []float32, s Conv2DSpec, batch int) {
+	outH, outW := s.OutH(), s.OutW()
+	colRows := s.InC * s.KH * s.KW
+	colW := outH * outW
+	imgLen := s.InC * s.InH * s.InW
+	gradLen := s.OutC * colW
+	var mu sync.Mutex
+	images := func(lo, hi int) {
+		colsP := f32Scratch(colRows * colW)
+		colsTP := f32Scratch(colW * colRows)
+		dcolsP := f32Scratch(colRows * colW)
+		dwP := f32Scratch(s.OutC * colRows)
+		dbP := f32Scratch(s.OutC)
+		defer f32Release(colsP)
+		defer f32Release(colsTP)
+		defer f32Release(dcolsP)
+		defer f32Release(dwP)
+		defer f32Release(dbP)
+		cols, colsT, dcols, dw, db := *colsP, *colsTP, *dcolsP, *dwP, *dbP
+		for i := range dw {
+			dw[i] = 0
+		}
+		for i := range db {
+			db[i] = 0
+		}
+		for b := lo; b < hi; b++ {
+			Im2Col(x[b*imgLen:(b+1)*imgLen], s, cols)
+			gb := grad[b*gradLen : (b+1)*gradLen]
+
+			// dW += grad_b · colsᵀ (matmulRows accumulates, so the whole
+			// shard's contribution lands in dw without an intermediate).
+			transposeInto(colsT, cols, colRows, colW)
+			matmulRows(dw, gb, colsT, 0, s.OutC, colW, colRows)
+
+			// dB += per-channel sums of grad_b.
+			for oc := 0; oc < s.OutC; oc++ {
+				var sum float32
+				for _, v := range gb[oc*colW : (oc+1)*colW] {
+					sum += v
+				}
+				db[oc] += sum
+			}
+
+			// dcols = Wᵀ · grad_b ; dx_b = col2im(dcols).
+			for i := range dcols {
+				dcols[i] = 0
+			}
+			matmulRows(dcols, wt, gb, 0, colRows, s.OutC, colW)
+			Col2Im(dcols, s, dx[b*imgLen:(b+1)*imgLen])
+		}
+		mu.Lock()
+		for i, v := range dw {
+			dW[i] += v
+		}
+		for i, v := range db {
+			dB[i] += v
+		}
+		mu.Unlock()
+	}
+	perImage := 4 * s.OutC * colRows * colW // two GEMMs per image
+	if batch > 1 && parallel.Worth(batch*perImage) {
+		parallel.Do(batch, parallel.GrainItems(perImage), images)
+	} else {
+		images(0, batch)
+	}
 }
 
 // PoolSpec describes a pooling operation over NCHW input.
@@ -227,19 +396,36 @@ func (p PoolSpec) OutW() int { return (p.W-p.K)/p.Stride + 1 }
 // MaxPool2D applies max pooling and also returns the flat argmax indices
 // (into each image) used for backprop routing.
 func MaxPool2D(x *Tensor, p PoolSpec) (*Tensor, []int, error) {
+	out := New(x.Dim(0), p.C, p.OutH(), p.OutW())
+	arg := make([]int, out.Len())
+	if err := MaxPool2DInto(out, x, p, arg); err != nil {
+		return nil, nil, err
+	}
+	return out, arg, nil
+}
+
+// MaxPool2DInto pools x into dst, reusing dst's storage (dst need not be
+// zeroed). arg, when non-nil, must have dst.Len() entries and receives the
+// flat argmax indices; inference callers pass nil and skip that work.
+func MaxPool2DInto(dst, x *Tensor, p PoolSpec, arg []int) error {
 	if x.Dims() != 4 || x.shape[1] != p.C || x.shape[2] != p.H || x.shape[3] != p.W {
-		return nil, nil, fmt.Errorf("%w: MaxPool2D input %v vs spec %+v", ErrShape, x.shape, p)
+		return fmt.Errorf("%w: MaxPool2D input %v vs spec %+v", ErrShape, x.shape, p)
 	}
 	batch := x.shape[0]
 	outH, outW := p.OutH(), p.OutW()
-	out := New(batch, p.C, outH, outW)
-	arg := make([]int, out.Len())
+	if dst.Dims() != 4 || dst.shape[0] != batch || dst.shape[1] != p.C || dst.shape[2] != outH || dst.shape[3] != outW {
+		return fmt.Errorf("%w: MaxPool2D output %v vs spec %+v", ErrShape, dst.shape, p)
+	}
+	if arg != nil && len(arg) != dst.Len() {
+		return fmt.Errorf("%w: MaxPool2D arg length %d, want %d", ErrShape, len(arg), dst.Len())
+	}
 	imgLen := p.C * p.H * p.W
-	i := 0
-	for b := 0; b < batch; b++ {
-		img := x.data[b*imgLen : (b+1)*imgLen]
-		for c := 0; c < p.C; c++ {
-			ch := img[c*p.H*p.W : (c+1)*p.H*p.W]
+	planeLen := outH * outW
+	planes := func(lo, hi int) {
+		for plane := lo; plane < hi; plane++ {
+			b, c := plane/p.C, plane%p.C
+			ch := x.data[b*imgLen+c*p.H*p.W : b*imgLen+(c+1)*p.H*p.W]
+			i := plane * planeLen
 			for oh := 0; oh < outH; oh++ {
 				for ow := 0; ow < outW; ow++ {
 					bestIdx := (oh*p.Stride)*p.W + ow*p.Stride
@@ -252,14 +438,23 @@ func MaxPool2D(x *Tensor, p PoolSpec) (*Tensor, []int, error) {
 							}
 						}
 					}
-					out.data[i] = best
-					arg[i] = b*imgLen + c*p.H*p.W + bestIdx
+					dst.data[i] = best
+					if arg != nil {
+						arg[i] = b*imgLen + c*p.H*p.W + bestIdx
+					}
 					i++
 				}
 			}
 		}
 	}
-	return out, arg, nil
+	n := batch * p.C
+	perPlane := planeLen * p.K * p.K
+	if n > 1 && parallel.Worth(n*perPlane) {
+		parallel.Do(n, grainRows(perPlane), planes)
+	} else {
+		planes(0, n)
+	}
+	return nil
 }
 
 // AvgPool2D applies average pooling (no argmax needed: gradient spreads
@@ -272,12 +467,13 @@ func AvgPool2D(x *Tensor, p PoolSpec) (*Tensor, error) {
 	outH, outW := p.OutH(), p.OutW()
 	out := New(batch, p.C, outH, outW)
 	imgLen := p.C * p.H * p.W
+	planeLen := outH * outW
 	inv := 1 / float32(p.K*p.K)
-	i := 0
-	for b := 0; b < batch; b++ {
-		img := x.data[b*imgLen : (b+1)*imgLen]
-		for c := 0; c < p.C; c++ {
-			ch := img[c*p.H*p.W : (c+1)*p.H*p.W]
+	planes := func(lo, hi int) {
+		for plane := lo; plane < hi; plane++ {
+			b, c := plane/p.C, plane%p.C
+			ch := x.data[b*imgLen+c*p.H*p.W : b*imgLen+(c+1)*p.H*p.W]
+			i := plane * planeLen
 			for oh := 0; oh < outH; oh++ {
 				for ow := 0; ow < outW; ow++ {
 					var s float32
@@ -292,6 +488,13 @@ func AvgPool2D(x *Tensor, p PoolSpec) (*Tensor, error) {
 			}
 		}
 	}
+	n := batch * p.C
+	perPlane := planeLen * p.K * p.K
+	if n > 1 && parallel.Worth(n*perPlane) {
+		parallel.Do(n, grainRows(perPlane), planes)
+	} else {
+		planes(0, n)
+	}
 	return out, nil
 }
 
@@ -301,18 +504,40 @@ func GlobalAvgPool2D(x *Tensor) (*Tensor, error) {
 	if x.Dims() != 4 {
 		return nil, fmt.Errorf("%w: GlobalAvgPool2D needs 4-D input, got %v", ErrShape, x.shape)
 	}
-	batch, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	out := New(batch, c)
-	inv := 1 / float32(h*w)
-	for b := 0; b < batch; b++ {
-		for ch := 0; ch < c; ch++ {
-			base := (b*c + ch) * h * w
-			var s float32
-			for i := 0; i < h*w; i++ {
-				s += x.data[base+i]
-			}
-			out.data[b*c+ch] = s * inv
-		}
+	out := New(x.shape[0], x.shape[1])
+	if err := GlobalAvgPool2DInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// GlobalAvgPool2DInto reduces x (batch, C, H, W) into dst (batch, C),
+// reusing dst's storage.
+func GlobalAvgPool2DInto(dst, x *Tensor) error {
+	if x.Dims() != 4 {
+		return fmt.Errorf("%w: GlobalAvgPool2D needs 4-D input, got %v", ErrShape, x.shape)
+	}
+	batch, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	if dst.Dims() != 2 || dst.shape[0] != batch || dst.shape[1] != c {
+		return fmt.Errorf("%w: GlobalAvgPool2D output %v, want [%d %d]", ErrShape, dst.shape, batch, c)
+	}
+	plane := h * w
+	inv := 1 / float32(plane)
+	planes := func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			base := p * plane
+			var s float32
+			for i := 0; i < plane; i++ {
+				s += x.data[base+i]
+			}
+			dst.data[p] = s * inv
+		}
+	}
+	n := batch * c
+	if n > 1 && parallel.Worth(n*plane) {
+		parallel.Do(n, grainRows(plane), planes)
+	} else {
+		planes(0, n)
+	}
+	return nil
 }

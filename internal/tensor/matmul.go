@@ -1,6 +1,14 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"openei/internal/parallel"
+)
+
+// grainRows shards a row-parallel kernel so no shard carries less than
+// one grain of work; see parallel.GrainItems.
+func grainRows(perRow int) int { return parallel.GrainItems(perRow) }
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), returning a
 // new m×n tensor. It uses a cache-friendly ikj loop order.
@@ -36,11 +44,25 @@ func MatMulInto(dst, a, b *Tensor) error {
 }
 
 // matmulInto accumulates a·b into c (c must be zeroed by the caller).
+// Large products are sharded across the parallel runtime by rows of c;
+// each row's accumulation order is identical to the serial kernel, so
+// results are bitwise independent of the pool width.
+func matmulInto(c, a, b []float32, m, k, n int) {
+	if m > 1 && parallel.Worth(m*k*n) {
+		parallel.Do(m, grainRows(k*n), func(lo, hi int) {
+			matmulRows(c, a, b, lo, hi, k, n)
+		})
+		return
+	}
+	matmulRows(c, a, b, 0, m, k, n)
+}
+
+// matmulRows is the serial core of matmulInto over rows [lo, hi) of c.
 // The ikj order streams through b and c rows sequentially, and the k loop
 // is register-blocked four-wide so each pass over a c row fuses four b
 // rows — a quarter of the store traffic of the plain ikj loop.
-func matmulInto(c, a, b []float32, m, k, n int) {
-	for i := 0; i < m; i++ {
+func matmulRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
 		ci := c[i*n : i*n+n]
 		ai := a[i*k : i*k+k]
 		p := 0
@@ -86,14 +108,30 @@ func MatMulBT(a, b *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("%w: MatMulBT inner dims %d vs %d", ErrShape, k, k2)
 	}
 	c := New(m, n)
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : i*k+k]
-		ci := c.data[i*n : i*n+n]
+	matMulBTInto(c.data, a.data, b.data, m, k, n)
+	return c, nil
+}
+
+// matMulBTInto computes c = a·bᵀ, sharding rows of c across the parallel
+// runtime when the product is large enough to be worth dispatching.
+func matMulBTInto(c, a, b []float32, m, k, n int) {
+	if m > 1 && parallel.Worth(m*k*n) {
+		parallel.Do(m, grainRows(k*n), func(lo, hi int) {
+			matMulBTRows(c, a, b, lo, hi, k, n)
+		})
+		return
+	}
+	matMulBTRows(c, a, b, 0, m, k, n)
+}
+
+func matMulBTRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
 		for j := 0; j < n; j++ {
-			ci[j] = dot(ai, b.data[j*k:j*k+k])
+			ci[j] = dot(ai, b[j*k:j*k+k])
 		}
 	}
-	return c, nil
 }
 
 // dot is an unrolled dot product with four accumulators, breaking the
@@ -126,13 +164,15 @@ func MatVec(a, x *Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("%w: MatVec inner dims %d vs %d", ErrShape, k, x.shape[0])
 	}
 	y := New(m)
-	for i := 0; i < m; i++ {
-		var s float32
-		row := a.data[i*k : i*k+k]
-		for j, v := range row {
-			s += v * x.data[j]
+	matVecRows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y.data[i] = dot(a.data[i*k:i*k+k], x.data)
 		}
-		y.data[i] = s
+	}
+	if m > 1 && parallel.Worth(m*k) {
+		parallel.Do(m, grainRows(k), matVecRows)
+	} else {
+		matVecRows(0, m)
 	}
 	return y, nil
 }
@@ -144,22 +184,39 @@ func Transpose(a *Tensor) (*Tensor, error) {
 	if a.Dims() != 2 {
 		return nil, fmt.Errorf("%w: Transpose needs a 2-D tensor, got %v", ErrShape, a.shape)
 	}
-	const tile = 32
 	m, n := a.shape[0], a.shape[1]
 	t := New(n, m)
+	transposeInto(t.data, a.data, m, n)
+	return t, nil
+}
+
+// TransposeInto computes dst = aᵀ reusing dst's storage (dst must be n×m
+// for a m×n). Layers cache the destination so per-step re-transposes of
+// mutating weights cost no allocation.
+func TransposeInto(dst, a *Tensor) error {
+	if a.Dims() != 2 || dst.Dims() != 2 || dst.shape[0] != a.shape[1] || dst.shape[1] != a.shape[0] {
+		return fmt.Errorf("%w: TransposeInto %v -> %v", ErrShape, a.shape, dst.shape)
+	}
+	transposeInto(dst.data, a.data, a.shape[0], a.shape[1])
+	return nil
+}
+
+// transposeInto walks 32×32 tiles so reads and writes both stay within L1
+// instead of thrashing a cache line per element on the strided side.
+func transposeInto(t, a []float32, m, n int) {
+	const tile = 32
 	for ii := 0; ii < m; ii += tile {
 		iEnd := min(ii+tile, m)
 		for jj := 0; jj < n; jj += tile {
 			jEnd := min(jj+tile, n)
 			for i := ii; i < iEnd; i++ {
-				src := a.data[i*n+jj : i*n+jEnd]
+				src := a[i*n+jj : i*n+jEnd]
 				for j, v := range src {
-					t.data[(jj+j)*m+i] = v
+					t[(jj+j)*m+i] = v
 				}
 			}
 		}
 	}
-	return t, nil
 }
 
 // AddBiasRows adds the 1-D bias (length n) to each row of the 2-D tensor

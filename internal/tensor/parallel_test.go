@@ -1,0 +1,296 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"openei/internal/parallel"
+)
+
+// The property the whole parallel runtime rests on: sharded kernels must
+// produce bitwise-identical results to the serial kernels, for any shape —
+// including odd sizes smaller than the shard grain, where Do degenerates
+// to the serial fallback. Per-row (and per-image, per-plane) accumulation
+// order is unchanged by sharding, so no float tolerance is needed; the
+// sole exception is conv-backward weight/bias gradients, whose cross-shard
+// merge order varies and is checked to a tolerance instead.
+
+// serialThenParallel runs fn twice — once on a width-1 pool and once on a
+// width-4 pool with grain 1 (every kernel parallelizes, even tiny ones) —
+// and returns both results.
+func serialThenParallel(t *testing.T, fn func() *Tensor) (serial, par *Tensor) {
+	t.Helper()
+	parallel.SetProcs(1)
+	parallel.SetGrainWork(0)
+	serial = fn()
+	parallel.SetProcs(4)
+	parallel.SetGrainWork(1)
+	par = fn()
+	parallel.SetProcs(0)
+	parallel.SetGrainWork(0)
+	return serial, par
+}
+
+func requireBitwise(t *testing.T, name string, serial, par *Tensor) {
+	t.Helper()
+	if !SameShape(serial, par) {
+		t.Fatalf("%s: shape %v (serial) vs %v (parallel)", name, serial.Shape(), par.Shape())
+	}
+	for i := range serial.data {
+		if serial.data[i] != par.data[i] {
+			t.Fatalf("%s: element %d = %v (serial) vs %v (parallel); sharded kernels must be bitwise identical",
+				name, i, serial.data[i], par.data[i])
+		}
+	}
+}
+
+func TestParallelMatMulBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(65), 1+rng.Intn(65), 1+rng.Intn(65)
+		a, b := New(m, k), New(k, n)
+		a.Rand(rng, 1)
+		b.Rand(rng, 1)
+		// Sprinkle zeros to exercise the sparsity shortcut on both paths.
+		for i := range a.data {
+			if rng.Float32() < 0.2 {
+				a.data[i] = 0
+			}
+		}
+		s, p := serialThenParallel(t, func() *Tensor {
+			c, err := MatMul(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		})
+		requireBitwise(t, "MatMul", s, p)
+	}
+}
+
+func TestParallelMatMulBTBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(65), 1+rng.Intn(65), 1+rng.Intn(65)
+		a, b := New(m, k), New(n, k)
+		a.Rand(rng, 1)
+		b.Rand(rng, 1)
+		s, p := serialThenParallel(t, func() *Tensor {
+			c, err := MatMulBT(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		})
+		requireBitwise(t, "MatMulBT", s, p)
+	}
+}
+
+func TestParallelMatVecBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 20; trial++ {
+		m, k := 1+rng.Intn(200), 1+rng.Intn(200)
+		a, x := New(m, k), New(k)
+		a.Rand(rng, 1)
+		x.Rand(rng, 1)
+		s, p := serialThenParallel(t, func() *Tensor {
+			y, err := MatVec(a, x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return y
+		})
+		requireBitwise(t, "MatVec", s, p)
+	}
+}
+
+func TestParallelQMatMulBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := 1+rng.Intn(65), 1+rng.Intn(65), 1+rng.Intn(65)
+		a, b := New(m, k), New(k, n)
+		a.Rand(rng, 2)
+		b.Rand(rng, 2)
+		qa, qb := Quantize(a), Quantize(b)
+		s, p := serialThenParallel(t, func() *Tensor {
+			c, err := QMatMul(qa, qb)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		})
+		requireBitwise(t, "QMatMul", s, p)
+	}
+}
+
+func randConvCase(rng *rand.Rand) (Conv2DSpec, *Tensor, *Tensor, *Tensor) {
+	s := Conv2DSpec{
+		InC: 1 + rng.Intn(4), InH: 4 + rng.Intn(13), InW: 4 + rng.Intn(13),
+		OutC: 1 + rng.Intn(6), KH: 1 + rng.Intn(3), KW: 1 + rng.Intn(3),
+		Stride: 1 + rng.Intn(2), Pad: rng.Intn(2),
+	}
+	batch := 1 + rng.Intn(5)
+	x := New(batch, s.InC, s.InH, s.InW)
+	w := New(s.OutC, s.InC, s.KH, s.KW)
+	bias := New(s.OutC)
+	x.Rand(rng, 1)
+	w.Rand(rng, 1)
+	bias.Rand(rng, 1)
+	return s, x, w, bias
+}
+
+func TestParallelConv2DBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 15; trial++ {
+		s, x, w, bias := randConvCase(rng)
+		if s.Validate() != nil {
+			continue
+		}
+		ser, par := serialThenParallel(t, func() *Tensor {
+			out, err := Conv2D(x, w, bias, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		})
+		requireBitwise(t, "Conv2D", ser, par)
+	}
+}
+
+func TestParallelDepthwiseConv2DBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	for trial := 0; trial < 15; trial++ {
+		s, x, _, _ := randConvCase(rng)
+		s.OutC = s.InC
+		if s.Validate() != nil {
+			continue
+		}
+		w := New(s.InC, s.KH, s.KW)
+		bias := New(s.InC)
+		w.Rand(rng, 1)
+		bias.Rand(rng, 1)
+		ser, par := serialThenParallel(t, func() *Tensor {
+			out, err := DepthwiseConv2D(x, w, bias, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		})
+		requireBitwise(t, "DepthwiseConv2D", ser, par)
+	}
+}
+
+func TestParallelPoolingBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 15; trial++ {
+		batch, c := 1+rng.Intn(4), 1+rng.Intn(6)
+		k := 2 + rng.Intn(2)
+		h := k + rng.Intn(14)
+		w := k + rng.Intn(14)
+		p := PoolSpec{C: c, H: h, W: w, K: k, Stride: 1 + rng.Intn(2)}
+		x := New(batch, c, h, w)
+		x.Rand(rng, 1)
+
+		serMax, parMax := serialThenParallel(t, func() *Tensor {
+			out, _, err := MaxPool2D(x, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		})
+		requireBitwise(t, "MaxPool2D", serMax, parMax)
+
+		serAvg, parAvg := serialThenParallel(t, func() *Tensor {
+			out, err := AvgPool2D(x, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		})
+		requireBitwise(t, "AvgPool2D", serAvg, parAvg)
+
+		serGap, parGap := serialThenParallel(t, func() *Tensor {
+			out, err := GlobalAvgPool2D(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		})
+		requireBitwise(t, "GlobalAvgPool2D", serGap, parGap)
+	}
+}
+
+// MaxPool argmax routing must also be shard-independent (backprop uses it).
+func TestParallelMaxPoolArgBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(108))
+	p := PoolSpec{C: 3, H: 12, W: 12, K: 2, Stride: 2}
+	x := New(4, 3, 12, 12)
+	x.Rand(rng, 1)
+	run := func() []int {
+		_, arg, err := MaxPool2D(x, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arg
+	}
+	parallel.SetProcs(1)
+	serial := run()
+	parallel.SetProcs(4)
+	parallel.SetGrainWork(1)
+	par := run()
+	parallel.SetProcs(0)
+	parallel.SetGrainWork(0)
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("argmax %d: %d (serial) vs %d (parallel)", i, serial[i], par[i])
+		}
+	}
+}
+
+// Conv backward: dx is written per image and must be bitwise identical;
+// dW/dB merge shard partials in nondeterministic order, so they are held
+// to a tight relative tolerance instead.
+func TestParallelConv2DBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 10; trial++ {
+		s, x, w, _ := randConvCase(rng)
+		if s.Validate() != nil {
+			continue
+		}
+		batch := x.Dim(0)
+		grad := New(batch, s.OutC, s.OutH(), s.OutW())
+		grad.Rand(rng, 1)
+		colRows := s.InC * s.KH * s.KW
+		w2 := w.MustReshape(s.OutC, colRows)
+		run := func() (*Tensor, *Tensor, *Tensor) {
+			wt, err := Transpose(w2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dx := New(x.Shape()...)
+			dW := New(s.OutC, colRows)
+			dB := New(s.OutC)
+			Conv2DBackward(x.Data(), grad.Data(), wt.Data(), dx.Data(), dW.Data(), dB.Data(), s, batch)
+			return dx, dW, dB
+		}
+		parallel.SetProcs(1)
+		parallel.SetGrainWork(0)
+		sdx, sdW, sdB := run()
+		parallel.SetProcs(4)
+		parallel.SetGrainWork(1)
+		pdx, pdW, pdB := run()
+		parallel.SetProcs(0)
+		parallel.SetGrainWork(0)
+		requireBitwise(t, "Conv2DBackward dx", sdx, pdx)
+		for i := range sdW.data {
+			if d := sdW.data[i] - pdW.data[i]; d > 1e-4 || d < -1e-4 {
+				t.Fatalf("dW element %d: %v vs %v", i, sdW.data[i], pdW.data[i])
+			}
+		}
+		for i := range sdB.data {
+			if d := sdB.data[i] - pdB.data[i]; d > 1e-4 || d < -1e-4 {
+				t.Fatalf("dB element %d: %v vs %v", i, sdB.data[i], pdB.data[i])
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"openei/internal/parallel"
 )
 
 // QTensor is an int8 symmetric-quantized tensor with a single per-tensor
@@ -56,8 +58,11 @@ func (q *QTensor) Len() int { return len(q.Data) }
 func (q *QTensor) SizeBytes() int { return len(q.Data) + 4 }
 
 // QMatMul computes C = A·B where both operands are int8 quantized 2-D
-// tensors; accumulation is in int32 and the result is rescaled to float32.
-// This is the "quantized kernel" path that optimized edge packages use.
+// tensors. B is repacked once into row-major Bᵀ so every output element is
+// an int8×int8 dot product accumulated in int32, with a single float32
+// scale multiply at the end — the quantized-kernel shape TF-Lite and
+// QNNPACK use. Rows of C shard across the parallel runtime; integer
+// accumulation makes the result exact regardless of pool width.
 func QMatMul(a, b *QTensor) (*Tensor, error) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		return nil, fmt.Errorf("%w: QMatMul needs 2-D operands, got %v × %v", ErrShape, a.shape, b.shape)
@@ -69,28 +74,52 @@ func QMatMul(a, b *QTensor) (*Tensor, error) {
 	}
 	c := New(m, n)
 	scale := a.Scale * b.Scale
-	acc := make([]int32, n)
-	for i := 0; i < m; i++ {
-		for j := range acc {
-			acc[j] = 0
-		}
-		ai := a.Data[i*k : i*k+k]
-		for p := 0; p < k; p++ {
-			av := int32(ai[p])
-			if av == 0 {
-				continue
-			}
-			bp := b.Data[p*n : p*n+n]
-			for j := range bp {
-				acc[j] += av * int32(bp[j])
-			}
-		}
-		ci := c.data[i*n : i*n+n]
-		for j, v := range acc {
-			ci[j] = float32(v) * scale
+	btp := i8Scratch(k * n)
+	defer i8Release(btp)
+	bt := *btp
+	for p := 0; p < k; p++ {
+		bp := b.Data[p*n : p*n+n]
+		for j, v := range bp {
+			bt[j*k+p] = v
 		}
 	}
+	rows := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := a.Data[i*k : i*k+k]
+			ci := c.data[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				ci[j] = float32(qdot(ai, bt[j*k:j*k+k])) * scale
+			}
+		}
+	}
+	if m > 1 && parallel.Worth(m*k*n) {
+		parallel.Do(m, grainRows(k*n), rows)
+	} else {
+		rows(0, m)
+	}
 	return c, nil
+}
+
+// qdot is the int8 dot product with four int32 accumulators, mirroring the
+// float kernel's unroll so the loop-carried dependency doesn't serialize
+// the adds. int32 cannot overflow: each lane would need more than
+// 2³¹/127² ≈ 133K terms, orders of magnitude beyond any inner dimension
+// these models use.
+func qdot(a, b []int8) int32 {
+	var s0, s1, s2, s3 int32
+	n := len(a)
+	b = b[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	for ; i < n; i++ {
+		s0 += int32(a[i]) * int32(b[i])
+	}
+	return s0 + s1 + s2 + s3
 }
 
 // QuantizeError returns the mean absolute error introduced by quantizing t.

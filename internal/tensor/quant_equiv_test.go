@@ -1,0 +1,82 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveQMatMul is the reference quantized product: plain triple loop,
+// int32 accumulation, one scale multiply. QMatMul must match it exactly —
+// integer arithmetic leaves no rounding latitude.
+func naiveQMatMul(a, b *QTensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	c := New(m, n)
+	scale := a.Scale * b.Scale
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc int32
+			for p := 0; p < k; p++ {
+				acc += int32(a.Data[i*k+p]) * int32(b.Data[p*n+j])
+			}
+			c.data[i*n+j] = float32(acc) * scale
+		}
+	}
+	return c
+}
+
+func TestQMatMulMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {8, 8, 8}, {13, 31, 17}, {64, 100, 33}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		x, y := New(m, k), New(k, n)
+		x.Rand(rng, 2)
+		y.Rand(rng, 2)
+		qx, qy := Quantize(x), Quantize(y)
+		got, err := QMatMul(qx, qy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naiveQMatMul(qx, qy)
+		for i := range want.data {
+			if got.data[i] != want.data[i] {
+				t.Fatalf("%dx%dx%d: element %d = %v, want %v (int kernels must agree exactly)",
+					m, k, n, i, got.data[i], want.data[i])
+			}
+		}
+	}
+}
+
+// The quantized kernel must track the float path to within quantization
+// error: each int8 value is off by at most half a step (scale/2), so a
+// k-term dot product of values bounded by each operand's AbsMax deviates
+// by O(k · scale · |operand|).
+func TestQMatMulMatchesFloatPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const m, k, n = 16, 64, 12
+	x, y := New(m, k), New(k, n)
+	x.Rand(rng, 1.5)
+	y.Rand(rng, 0.8)
+	qx, qy := Quantize(x), Quantize(y)
+	got, err := QMatMul(qx, qy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MatMul(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error budget: each product term carries quantization noise of about
+	// scaleX·|y| + scaleY·|x|; sum over k terms with headroom 2.
+	tol := float32(k) * (qx.Scale*y.AbsMax() + qy.Scale*x.AbsMax()) * 2
+	for i := range want.data {
+		d := got.data[i] - want.data[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			t.Fatalf("element %d: quantized %v vs float %v (|diff| %v > tol %v)",
+				i, got.data[i], want.data[i], d, tol)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package tensor
+
+import "sync"
+
+// Pooled scratch buffers for kernels that need per-call (or, under the
+// parallel runtime, per-shard) workspace — im2col lowerings, transposes,
+// int8 row copies. Buffers are recycled through sync.Pool so steady-state
+// kernel execution performs no heap allocation for scratch.
+
+var f32Pool = sync.Pool{New: func() any { return new([]float32) }}
+
+// f32Scratch returns a length-n float32 scratch buffer (contents
+// unspecified). Release with f32Release.
+func f32Scratch(n int) *[]float32 {
+	p := f32Pool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func f32Release(p *[]float32) { f32Pool.Put(p) }
+
+var i8Pool = sync.Pool{New: func() any { return new([]int8) }}
+
+// i8Scratch returns a length-n int8 scratch buffer (contents unspecified).
+// Release with i8Release.
+func i8Scratch(n int) *[]int8 {
+	p := i8Pool.Get().(*[]int8)
+	if cap(*p) < n {
+		*p = make([]int8, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func i8Release(p *[]int8) { i8Pool.Put(p) }

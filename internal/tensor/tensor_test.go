@@ -311,6 +311,15 @@ func TestConv2DSpecValidate(t *testing.T) {
 		if err := s.Validate(); err == nil {
 			t.Errorf("spec %d (%+v): Validate() = nil, want error", i, s)
 		}
+		// The kernels must surface the same errors, not panic computing
+		// output dims (a zero stride divides by zero if checked late).
+		x := New(1, 2, 4, 4)
+		if _, err := Conv2D(x, New(1), nil, s); err == nil {
+			t.Errorf("spec %d: Conv2D accepted invalid spec", i)
+		}
+		if _, err := DepthwiseConv2D(x, New(1), nil, s); err == nil {
+			t.Errorf("spec %d: DepthwiseConv2D accepted invalid spec", i)
+		}
 	}
 }
 

@@ -31,10 +31,18 @@
 //   - Replicas — model clones executing batches concurrently (default 2);
 //   - QueueDepth — bounded per-model queue; a full queue rejects
 //     immediately with ErrOverloaded, which libei maps to HTTP 429
-//     (default 64).
+//     (default 64);
+//   - Procs — width of the process-wide parallel kernel pool that every
+//     dense kernel (matmul, convolution, pooling, activations) shards
+//     across (0 = all cores);
+//   - ParallelGrain — the pool's serial cutoff in fused-op units; kernels
+//     below it run on the submitting goroutine so tiny tensors skip
+//     dispatch overhead (0 = library default).
 //
-// Queue depth, batch sizes, and latency counters are exposed at
-// GET /ei_metrics.
+// Queue depth, batch sizes, latency counters, and kernel-pool utilization
+// are exposed at GET /ei_metrics. Serving replicas additionally run a
+// zero-allocation inference path: activations live in per-replica arena
+// allocators, so steady-state request handling does not touch the GC.
 package openei
 
 import (
