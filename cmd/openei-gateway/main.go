@@ -1,0 +1,115 @@
+// Command openei-gateway fronts a fleet of openei-server edge nodes with
+// one health-routed HTTP entry point: requests to any libei route are
+// balanced across live nodes (power-of-two-choices by in-flight count +
+// serving queue depth), failed over to a healthy peer on node death, and
+// shed at the front door when the whole fleet is saturated.
+//
+// Usage:
+//
+//	openei-gateway -addr :8090 \
+//	    -node http://edge-1:8080 -node http://edge-2:8080 -node http://edge-3:8080 \
+//	    [-hedge 30ms] [-max-inflight 256] [-retries 2] \
+//	    [-cache 1024] [-cache-ttl 1s] [-health-interval 2s]
+//
+// Then:
+//
+//	curl "http://localhost:8090/ei_algorithms/serving/infer?model=power-net&input=..."
+//	curl http://localhost:8090/gw_metrics
+//
+// Node admission verdicts pass through unchanged (429 = that node's queue
+// was full at the picked replica, 408 = deadline expired in its queue);
+// transport failures and 5xx answers are retried on a different node, so
+// a node dying mid-call is invisible to clients as long as a peer is
+// healthy. GET /gw_metrics reports per-node health plus the routed /
+// retried / shed / hedged / cache counters.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"openei/internal/gateway"
+)
+
+// nodeList collects repeated -node flags, each possibly comma-separated.
+type nodeList []string
+
+func (n *nodeList) String() string { return strings.Join(*n, ",") }
+
+func (n *nodeList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*n = append(*n, u)
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("openei-gateway: ")
+	var nodes nodeList
+	var (
+		addr        = flag.String("addr", ":8090", "listen address")
+		hedge       = flag.Duration("hedge", 0, "clone a still-unanswered request to a second node after this delay (0 = off)")
+		maxInflight = flag.Int("max-inflight", 0, "fleet-wide cap on concurrent proxied requests; beyond it the gateway sheds with 429 (0 = unlimited)")
+		retries     = flag.Int("retries", -1, "extra attempts on other nodes after a transport failure or 5xx (-1 = one per remaining node)")
+		interval    = flag.Duration("health-interval", 2*time.Second, "node health-probe period; a node missing probes for 3 intervals stops receiving traffic")
+		cacheSize   = flag.Int("cache", 0, "LRU entries for byte-identical serving/infer responses (0 = off)")
+		cacheTTL    = flag.Duration("cache-ttl", time.Second, "max age of a cached infer response")
+	)
+	flag.Var(&nodes, "node", "edge node base URL (repeatable, or comma-separated)")
+	flag.Parse()
+	if err := run(*addr, gateway.Config{
+		Nodes:          nodes,
+		Hedge:          *hedge,
+		MaxInflight:    *maxInflight,
+		Retries:        *retries,
+		HealthInterval: *interval,
+		CacheSize:      *cacheSize,
+		CacheTTL:       *cacheTTL,
+	}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, cfg gateway.Config) error {
+	gw, err := gateway.New(cfg)
+	if errors.Is(err, gateway.ErrNoNodes) {
+		return fmt.Errorf("no nodes given; pass at least one -node URL")
+	}
+	if err != nil {
+		return err
+	}
+	gw.Start()
+	defer gw.Close()
+	m := gw.Metrics()
+	log.Printf("fronting %d nodes (%d healthy at startup): %s", len(cfg.Nodes), m.HealthyNodes, strings.Join(cfg.Nodes, ", "))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: gw, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("gateway serving on %s", addr)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	m = gw.Metrics()
+	log.Printf("shut down: routed %d, retried %d, shed %d, failed %d, hedged %d, cache hits %d",
+		m.Routed, m.Retried, m.Shed, m.Failed, m.Hedged, m.CacheHits)
+	return nil
+}

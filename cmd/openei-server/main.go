@@ -29,6 +29,12 @@
 //
 // With -peers, the node polls each peer's /ei_status every 2 s and logs
 // live↔suspect transitions (the §IV.C availability loop).
+//
+// To scale past one box, run several nodes and put cmd/openei-gateway in
+// front: it probes each node's /ei_status and /ei_metrics (the
+// "queue_depth" field below is its balancing signal), routes requests to
+// the least-loaded live node, and fails idempotent calls over to a peer
+// when a node dies mid-request.
 package main
 
 import (

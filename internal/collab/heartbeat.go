@@ -1,6 +1,7 @@
 package collab
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -15,38 +16,68 @@ import (
 // status probe is alive, exactly the availability property the open
 // problem asks for under "dynamic changes in topology".
 
+// Probe is one peer's status-probe outcome.
+type Probe struct {
+	// NodeID is the peer's self-reported identity (empty on failure).
+	NodeID string
+	// RTT is the probe's round-trip time (set even on failure: it is how
+	// long the failure took to detect).
+	RTT time.Duration
+	// Err is nil when the peer answered.
+	Err error
+}
+
+// ProbePeers probes every peer's /ei_status concurrently and returns the
+// outcome per peers-map key. It is the transport half of the heartbeat
+// loop: callers decide how to record liveness — PollHeartbeats feeds a
+// runenv.Monitor keyed by reported node ID, while the fleet gateway keys
+// its detector by node URL so health tracks the address it routes to.
+func ProbePeers(ctx context.Context, peers map[string]*libei.Client) map[string]Probe {
+	var (
+		mu  sync.Mutex
+		out = make(map[string]Probe, len(peers))
+		wg  sync.WaitGroup
+	)
+	for name, client := range peers {
+		wg.Add(1)
+		go func(name string, client *libei.Client) {
+			defer wg.Done()
+			start := time.Now()
+			st, err := client.StatusCtx(ctx)
+			p := Probe{RTT: time.Since(start), Err: err}
+			if err == nil {
+				p.NodeID = st.NodeID
+			}
+			mu.Lock()
+			out[name] = p
+			mu.Unlock()
+		}(name, client)
+	}
+	wg.Wait()
+	return out
+}
+
 // PollHeartbeats probes every peer's /ei_status concurrently and records
 // a heartbeat at `now` for each that answers. It returns the node IDs
 // that responded (sorted) and the per-peer errors for those that did not
 // (keyed by the peers map key). Callers loop this at their chosen
 // period; time is injected so tests are deterministic.
 func PollHeartbeats(mon *runenv.Monitor, peers map[string]*libei.Client, now time.Time) ([]string, map[string]error) {
-	var (
-		mu    sync.Mutex
-		alive []string
-		errs  = map[string]error{}
-		wg    sync.WaitGroup
-	)
-	for name, client := range peers {
-		wg.Add(1)
-		go func(name string, client *libei.Client) {
-			defer wg.Done()
-			st, err := client.Status()
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				errs[name] = err
-				return
-			}
-			id := st.NodeID
-			if id == "" {
-				id = name
-			}
-			mon.Heartbeat(id, now)
-			alive = append(alive, id)
-		}(name, client)
+	probes := ProbePeers(context.Background(), peers)
+	var alive []string
+	errs := map[string]error{}
+	for name, p := range probes {
+		if p.Err != nil {
+			errs[name] = p.Err
+			continue
+		}
+		id := p.NodeID
+		if id == "" {
+			id = name
+		}
+		mon.Heartbeat(id, now)
+		alive = append(alive, id)
 	}
-	wg.Wait()
 	sort.Strings(alive)
 	return alive, errs
 }

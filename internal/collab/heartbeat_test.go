@@ -1,6 +1,7 @@
 package collab
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -56,5 +57,25 @@ func TestPollHeartbeatsFeedsMonitor(t *testing.T) {
 	}
 	if st, _ := mon.State("edge-a", later); st != runenv.NodeSuspect {
 		t.Fatalf("edge-a state = %v, want suspect", st)
+	}
+}
+
+func TestProbePeersReportsPerKeyOutcomes(t *testing.T) {
+	srv := libei.NewServer("edge-x", datastore.New(4), nil)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	peers := map[string]*libei.Client{
+		"x":    libei.NewClient(ts.URL),
+		"dead": libei.NewClient("http://127.0.0.1:1"),
+	}
+	probes := ProbePeers(context.Background(), peers)
+	if len(probes) != 2 {
+		t.Fatalf("probes = %v", probes)
+	}
+	if p := probes["x"]; p.Err != nil || p.NodeID != "edge-x" || p.RTT <= 0 {
+		t.Errorf("live probe = %+v", p)
+	}
+	if p := probes["dead"]; p.Err == nil || p.NodeID != "" {
+		t.Errorf("dead probe = %+v", p)
 	}
 }

@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// cachedResponse is one stored upstream answer.
+type cachedResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// cacheEntry is a cachedResponse plus its bookkeeping.
+type cacheEntry struct {
+	key string
+	res cachedResponse
+	at  time.Time
+}
+
+// responseCache is a TTL'd LRU over verbatim request URIs. Inference over
+// a byte-identical payload is a pure function, so serving it from memory
+// is exact — only the per-request metadata (batch size, queue time) is
+// replayed from the original answer, which the TTL keeps fresh enough.
+type responseCache struct {
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newResponseCache(capacity int, ttl time.Duration) *responseCache {
+	return &responseCache{
+		cap:   capacity,
+		ttl:   ttl,
+		ll:    list.New(),
+		byKey: map[string]*list.Element{},
+	}
+}
+
+// get returns the live entry for key, counting hit/miss and refreshing
+// recency.
+func (c *responseCache) get(key string) (cachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Add(1)
+		return cachedResponse{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if time.Since(ent.at) > c.ttl {
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+		c.misses.Add(1)
+		return cachedResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return ent.res, true
+}
+
+// put stores (or refreshes) key, reclaiming expired entries before
+// evicting live least-recently-used ones beyond capacity.
+func (c *responseCache) put(key string, res cachedResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.res = res
+		ent.at = time.Now()
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, res: res, at: time.Now()})
+	c.byKey[key] = el
+	if c.ll.Len() > c.cap {
+		c.pruneExpiredLocked()
+	}
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+	}
+}
+
+// pruneExpiredLocked drops every TTL-expired entry so dead entries never
+// hold capacity against live ones. Caller holds mu.
+func (c *responseCache) pruneExpiredLocked() {
+	now := time.Now()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if now.Sub(ent.at) > c.ttl {
+			c.ll.Remove(el)
+			delete(c.byKey, ent.key)
+		}
+		el = next
+	}
+}
+
+// len returns the live (unexpired) entry count.
+func (c *responseCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pruneExpiredLocked()
+	return c.ll.Len()
+}

@@ -1,0 +1,73 @@
+package gateway
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResponseCache(2, time.Minute)
+	c.put("a", cachedResponse{status: 200, body: []byte("a")})
+	c.put("b", cachedResponse{status: 200, body: []byte("b")})
+	if _, ok := c.get("a"); !ok { // refresh a's recency
+		t.Fatal("a missing")
+	}
+	c.put("c", cachedResponse{status: 200, body: []byte("c")}) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; LRU order broken")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := newResponseCache(4, 10*time.Millisecond)
+	c.put("k", cachedResponse{status: 200, body: []byte("v")})
+	if res, ok := c.get("k"); !ok || string(res.body) != "v" {
+		t.Fatalf("fresh get = %v %q", ok, res.body)
+	}
+	time.Sleep(15 * time.Millisecond)
+	if _, ok := c.get("k"); ok {
+		t.Error("entry survived its TTL")
+	}
+	if c.len() != 0 {
+		t.Errorf("expired entry still counted: len = %d", c.len())
+	}
+	if c.hits.Load() != 1 || c.misses.Load() != 1 {
+		t.Errorf("hits %d misses %d, want 1 and 1", c.hits.Load(), c.misses.Load())
+	}
+}
+
+func TestCachePutRefreshesExisting(t *testing.T) {
+	c := newResponseCache(2, time.Minute)
+	c.put("k", cachedResponse{status: 200, body: []byte("old")})
+	c.put("k", cachedResponse{status: 200, body: []byte("new")})
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if res, _ := c.get("k"); string(res.body) != "new" {
+		t.Errorf("body = %q, want new", res.body)
+	}
+}
+
+func TestCacheExpiredEntriesDoNotHoldCapacity(t *testing.T) {
+	c := newResponseCache(2, 10*time.Millisecond)
+	c.put("old1", cachedResponse{status: 200})
+	c.put("old2", cachedResponse{status: 200})
+	time.Sleep(15 * time.Millisecond)
+	// Over-capacity put must reclaim the expired entries, not evict by
+	// recency among the dead.
+	c.put("fresh", cachedResponse{status: 200})
+	if got := c.len(); got != 1 {
+		t.Errorf("len = %d, want 1 (expired entries reclaimed)", got)
+	}
+	if _, ok := c.get("fresh"); !ok {
+		t.Error("fresh entry missing after prune")
+	}
+}

@@ -1,0 +1,205 @@
+package gateway_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/gateway"
+	"openei/internal/hardware"
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
+)
+
+// realNode boots a full libei node — package manager, identity model,
+// serving engine — exactly what openei-server runs, minus the demo
+// sensors. The identity model maps a one-hot input to its hot index, so
+// every response is checkable.
+func realNode(t *testing.T, id string) *httptest.Server {
+	t.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	ident := nn.MustModel("ident", []int{4}, []nn.LayerSpec{{Type: "flatten"}})
+	if err := mgr.Load(ident, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s := libei.NewServer(id, nil, mgr)
+	e := serving.NewEngine(mgr, serving.Config{MaxBatch: 8, Replicas: 2, QueueDepth: 512})
+	t.Cleanup(e.Close)
+	s.SetEngine(e)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestFailoverNodeKilledUnderLoad is the acceptance scenario: a 3-node
+// fleet under 64 concurrent clients, one node killed mid-run. Every
+// request is an idempotent GET, so the gateway must absorb the death via
+// failover — zero client-visible failures — and /gw_metrics must show the
+// retry machinery firing.
+func TestFailoverNodeKilledUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet test skipped in -short mode")
+	}
+	n1, n2, n3 := realNode(t, "edge-1"), realNode(t, "edge-2"), realNode(t, "edge-3")
+	gw, err := gateway.New(gateway.Config{
+		Nodes:          []string{n1.URL, n2.URL, n3.URL},
+		HealthInterval: 25 * time.Millisecond,
+		Retries:        -1, // default: one per remaining node
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Close()
+	front := httptest.NewServer(gw)
+	defer front.Close()
+
+	const (
+		clients    = 64
+		perClient  = 8
+		total      = clients * perClient
+		killAfter  = total / 5 // pull the plug once the run is well underway
+		requestURI = "/ei_algorithms/serving/infer?model=ident&input=0,0,1,0"
+	)
+	var (
+		completed atomic.Int64
+		killOnce  sync.Once
+		killed    = make(chan struct{})
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		failures  []string
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		failures = append(failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Get(front.URL + requestURI)
+				if err != nil {
+					fail("transport error through gateway: %v", err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("status %d body %s", resp.StatusCode, body)
+				} else if !strings.Contains(string(body), `"class":2`) {
+					fail("wrong answer: %s", body)
+				}
+				if completed.Add(1) == killAfter {
+					killOnce.Do(func() {
+						// Abrupt death: sever live connections, then stop
+						// accepting new ones.
+						n1.CloseClientConnections()
+						n1.Close()
+						close(killed)
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case <-killed:
+	default:
+		t.Fatal("node was never killed; load pattern broken")
+	}
+	if len(failures) > 0 {
+		t.Fatalf("%d of %d idempotent requests failed through failover; first: %s",
+			len(failures), total, failures[0])
+	}
+	m := gw.Metrics()
+	if m.Retried == 0 {
+		t.Error("retried = 0 after a node died mid-run")
+	}
+	if m.Failed != 0 || m.Shed != 0 {
+		t.Errorf("failed = %d shed = %d, want 0 and 0", m.Failed, m.Shed)
+	}
+	// The failure detector must eject the dead node within its timeout.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		healthy := 0
+		for _, n := range gw.Metrics().Nodes {
+			if n.Healthy {
+				healthy++
+			}
+		}
+		if healthy == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead node still marked healthy after 2s: %+v", gw.Metrics().Nodes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailoverUnderFlakyLinks models netsim.FlakyLink conditions over real
+// HTTP: each node's data path drops a fraction of requests mid-flight
+// (connection abort, the wireless-uncertainty failure mode of §IV.C)
+// while its control path stays up. With a retry budget, every request
+// must still succeed.
+func TestFailoverUnderFlakyLinks(t *testing.T) {
+	const failureRate = 0.25
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(7))
+	flakyInfer := func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		drop := rng.Float64() < failureRate
+		mu.Unlock()
+		if drop {
+			// Abort the connection without a response — the client sees a
+			// transport error, exactly like a FlakyLink Transfer failure.
+			panic(http.ErrAbortHandler)
+		}
+		okInfer(w, r)
+	}
+	a := newStub(t, "a", flakyInfer)
+	b := newStub(t, "b", flakyInfer)
+	c := newStub(t, "c", flakyInfer)
+	gw, front := startGateway(t, gateway.Config{
+		HealthInterval: time.Hour,
+		// Budget for fresh passes over the fleet: at 25% drop odds per
+		// attempt, ten attempts fail together with probability 1e-6.
+		Retries: 9,
+	}, a, b, c)
+
+	const total = 200
+	for i := 0; i < total; i++ {
+		status, body := get(t, front.URL+inferURI)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, status, body)
+		}
+	}
+	m := gw.Metrics()
+	if m.Retried == 0 {
+		t.Error("retried = 0 across 200 requests over flaky links")
+	}
+	if m.Routed != total || m.Failed != 0 {
+		t.Errorf("routed %d failed %d, want %d and 0", m.Routed, m.Failed, total)
+	}
+}

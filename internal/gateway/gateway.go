@@ -1,0 +1,504 @@
+// Package gateway is the fleet front tier: one HTTP entry point that
+// spreads live libei traffic across many openei-server edge nodes — the
+// horizontal half of the paper's §IV/§V "many cooperating edges" vision,
+// and the piece that lets per-node batching (internal/serving) and
+// parallel kernels (internal/parallel) add up to fleet-scale throughput.
+//
+// Responsibilities:
+//
+//   - Registry + health: a static node list probed every HealthInterval
+//     via the collab heartbeat machinery (ProbePeers over /ei_status),
+//     feeding a runenv.Monitor failure detector keyed by node URL. A node
+//     is routable while the detector holds it live; a single missed probe
+//     does not eject it (flap tolerance), HealthTimeout of silence does.
+//     Live probes also refresh each node's /ei_metrics queue depth — the
+//     cheap load signal for balancing.
+//   - Balancing: power-of-two-choices least-loaded — pick two random
+//     healthy nodes, route to the one with fewer (gateway in-flight +
+//     last-polled queue depth). P2C avoids the herd behavior of global
+//     least-loaded while staying O(1) per request.
+//   - Failover: every libei route is an idempotent GET, so a transport
+//     failure or 5xx is retried on a different healthy peer (up to
+//     Retries extra attempts; once every distinct node has been tried a
+//     remaining budget starts a fresh pass, which is what rides out
+//     transient FlakyLink-style drops). Admission verdicts from the node
+//     — 429 overload, 408 deadline — are surfaced to the caller, not
+//     retried: a full queue is backpressure, not a failure.
+//   - Hedging: with Hedge > 0, a request still unanswered after that
+//     delay is cloned to a second node and the first usable response
+//     wins — tail-latency insurance when one node stalls.
+//   - Fleet admission: MaxInflight caps concurrent proxied requests so an
+//     overloaded fleet sheds at the front door (HTTP 429, counted as
+//     shed) instead of timing out deep in some node's queue.
+//   - Caching: an optional LRU keyed by the verbatim request URI serves
+//     byte-identical /ei_algorithms/serving/infer payloads without
+//     touching the fleet (inference is a pure function of its input).
+//
+// GET /gw_metrics reports per-node health and the routed / retried /
+// shed / hedged / cache counters in the same JSON envelope libei uses.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openei/internal/collab"
+	"openei/internal/libei"
+	"openei/internal/runenv"
+)
+
+// ErrNoNodes is returned by New for an empty node list.
+var ErrNoNodes = errors.New("gateway: no nodes configured")
+
+// Config tunes the gateway. The zero value of every field but Nodes means
+// the documented default.
+type Config struct {
+	// Nodes are the edge fleet's base URLs (required, e.g.
+	// "http://edge-1:8080"). Trailing slashes are trimmed.
+	Nodes []string
+	// HealthInterval is the probe period (default 2s).
+	HealthInterval time.Duration
+	// HealthTimeout is how long a node may miss probes before the failure
+	// detector suspects it (default 3×HealthInterval).
+	HealthTimeout time.Duration
+	// MaxInflight caps concurrent proxied requests fleet-wide; beyond it
+	// the gateway sheds with HTTP 429. 0 means unlimited.
+	MaxInflight int
+	// Hedge, when positive, clones a still-unanswered request to a second
+	// node after this delay. 0 disables hedging.
+	Hedge time.Duration
+	// Retries is the number of extra attempts after the first when a node
+	// fails transport-level or answers 5xx. Negative means the default:
+	// one attempt per remaining node (len(Nodes)-1).
+	Retries int
+	// CacheSize enables an LRU response cache for byte-identical
+	// serving/infer requests when positive. 0 disables caching.
+	CacheSize int
+	// CacheTTL bounds a cached entry's life (default 1s when the cache is
+	// enabled).
+	CacheTTL time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = 3 * c.HealthInterval
+	}
+	if c.Retries < 0 {
+		c.Retries = len(c.Nodes) - 1
+	}
+	if c.CacheSize > 0 && c.CacheTTL <= 0 {
+		c.CacheTTL = time.Second
+	}
+	return c
+}
+
+// node is one fleet member's registry entry.
+type node struct {
+	url    string
+	client *libei.Client
+
+	healthy    atomic.Bool
+	inflight   atomic.Int64
+	queueDepth atomic.Int64
+	queueCap   atomic.Int64
+
+	routed atomic.Uint64 // responses delivered from this node
+	fails  atomic.Uint64 // transport failures + 5xx answers
+
+	mu       sync.Mutex
+	nodeID   string
+	lastBeat time.Time
+}
+
+// load is the balancing signal: requests the gateway has outstanding to
+// the node plus the node's last-reported serving queue depth.
+func (n *node) load() int64 { return n.inflight.Load() + n.queueDepth.Load() }
+
+// Gateway routes libei traffic across a fleet of edge nodes. Create with
+// New, call Start to begin health probing, serve it as an http.Handler,
+// and Close it on shutdown.
+type Gateway struct {
+	cfg   Config
+	nodes []*node
+	mon   *runenv.Monitor
+	cache *responseCache // nil when disabled
+
+	inflight atomic.Int64
+	met      counters
+
+	pickMu sync.Mutex
+	rng    *rand.Rand
+
+	loopOnce  sync.Once
+	closeOnce sync.Once
+	started   atomic.Bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// counters is the gateway-wide metric set.
+type counters struct {
+	routed           atomic.Uint64 // responses proxied from a node
+	retried          atomic.Uint64 // failover re-launches
+	shed             atomic.Uint64 // rejected by fleet admission (429 at the gateway)
+	failed           atomic.Uint64 // no node produced a response (502/503)
+	hedged           atomic.Uint64 // hedge clones launched
+	upstreamOverload atomic.Uint64 // 429 verdicts surfaced from nodes
+	upstreamDeadline atomic.Uint64 // 408 verdicts surfaced from nodes
+}
+
+// New validates the configuration and builds the gateway. It does not
+// start health probing — call Start.
+func New(cfg Config) (*Gateway, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	cfg = cfg.withDefaults()
+	g := &Gateway{
+		cfg:  cfg,
+		mon:  runenv.NewMonitor(cfg.HealthTimeout),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Nodes {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			return nil, fmt.Errorf("gateway: empty node URL in %v", cfg.Nodes)
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("gateway: duplicate node %q", u)
+		}
+		seen[u] = true
+		g.nodes = append(g.nodes, &node{url: u, client: libei.NewClient(u)})
+	}
+	if cfg.CacheSize > 0 {
+		g.cache = newResponseCache(cfg.CacheSize, cfg.CacheTTL)
+	}
+	return g, nil
+}
+
+// Start runs one synchronous health round (so routing has a live view
+// before the first request) and then probes every HealthInterval until
+// Close. Calling Start more than once is a no-op.
+func (g *Gateway) Start() {
+	g.loopOnce.Do(func() {
+		g.CheckHealth()
+		g.started.Store(true)
+		go func() {
+			defer close(g.done)
+			ticker := time.NewTicker(g.cfg.HealthInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-g.stop:
+					return
+				case <-ticker.C:
+					g.CheckHealth()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the health loop. In-flight proxied requests finish on their
+// own. Idempotent.
+func (g *Gateway) Close() {
+	g.closeOnce.Do(func() { close(g.stop) })
+	if g.started.Load() {
+		<-g.done
+	}
+}
+
+// CheckHealth runs one synchronous probe round: every node's /ei_status
+// heartbeat via the collab prober, then — for nodes that answered — an
+// /ei_metrics poll to refresh the queue-depth load signal. Exported so
+// tests (and operators wiring their own cadence) can force a round.
+func (g *Gateway) CheckHealth() {
+	peers := make(map[string]*libei.Client, len(g.nodes))
+	byURL := make(map[string]*node, len(g.nodes))
+	for _, n := range g.nodes {
+		peers[n.url] = n.client
+		byURL[n.url] = n
+	}
+	// The probe deadline is decoupled from the probe period: a tight
+	// HealthInterval (tests, aggressive detection) must not turn a
+	// slow-but-alive node into a missed heartbeat on a loaded host.
+	probeTimeout := g.cfg.HealthTimeout
+	if probeTimeout < time.Second {
+		probeTimeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	now := time.Now()
+	probes := collab.ProbePeers(ctx, peers)
+	var wg sync.WaitGroup
+	for url, p := range probes {
+		n := byURL[url]
+		if p.Err != nil {
+			// No heartbeat this round. Health only degrades once the
+			// failure detector's timeout lapses — a single dropped probe
+			// (a flap) does not eject the node.
+			if st, err := g.mon.State(n.url, now); err != nil || st != runenv.NodeLive {
+				n.healthy.Store(false)
+			}
+			continue
+		}
+		g.mon.Heartbeat(url, now)
+		n.mu.Lock()
+		n.nodeID = p.NodeID
+		n.lastBeat = now
+		n.mu.Unlock()
+		n.healthy.Store(true)
+		// Queue-depth refreshes fan out concurrently like the probes did:
+		// one slow node must not stretch the round to O(N·RTT).
+		wg.Add(1)
+		go func(n *node) {
+			defer wg.Done()
+			if m, err := n.client.MetricsCtx(ctx); err == nil {
+				n.queueDepth.Store(int64(m.QueueDepth))
+				n.queueCap.Store(int64(m.QueueCap))
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// pick selects a healthy node not in tried, power-of-two-choices: two
+// random candidates, the lower load wins. When the healthy set is empty
+// — probing can black out under host overload — it falls back to every
+// untried node: an unhealthy node that might still answer beats a
+// guaranteed refusal, and failover covers the truly dead.
+func (g *Gateway) pick(tried map[*node]bool) *node {
+	var cands []*node
+	for _, n := range g.nodes {
+		if n.healthy.Load() && !tried[n] {
+			cands = append(cands, n)
+		}
+	}
+	if len(cands) == 0 {
+		for _, n := range g.nodes {
+			if !tried[n] {
+				cands = append(cands, n)
+			}
+		}
+	}
+	switch len(cands) {
+	case 0:
+		return nil
+	case 1:
+		return cands[0]
+	}
+	g.pickMu.Lock()
+	i := g.rng.Intn(len(cands))
+	j := g.rng.Intn(len(cands) - 1)
+	g.pickMu.Unlock()
+	if j >= i {
+		j++
+	}
+	a, b := cands[i], cands[j]
+	if b.load() < a.load() {
+		return b
+	}
+	return a
+}
+
+// upstream is one attempt's outcome.
+type upstream struct {
+	node *node
+	res  libei.ForwardResult
+	err  error
+}
+
+// retryable reports whether the outcome should trigger failover: the node
+// never produced an HTTP answer, or it answered 5xx. Admission verdicts
+// (4xx, notably 429/408) are surfaced, not retried.
+func (u upstream) retryable() bool {
+	return u.err != nil || u.res.Status >= 500
+}
+
+// attempt proxies the request to one node, tracking its in-flight count
+// and per-node counters.
+func (g *Gateway) attempt(ctx context.Context, n *node, uri string) upstream {
+	n.inflight.Add(1)
+	defer n.inflight.Add(-1)
+	res, err := n.client.Forward(ctx, uri)
+	if err != nil {
+		if ctx.Err() == nil {
+			// Real transport failure, not a hedge-loser cancellation.
+			n.fails.Add(1)
+		}
+		return upstream{node: n, err: err}
+	}
+	if res.Status >= 500 {
+		n.fails.Add(1)
+	} else {
+		n.routed.Add(1)
+	}
+	return upstream{node: n, res: res}
+}
+
+// do routes one request with failover and optional hedging: launch on a
+// picked node; relaunch on a different node for each retryable outcome
+// while budget remains (clearing the tried set for a fresh pass once
+// every node has been attempted); additionally clone to a second node
+// when the hedge timer fires first. The first non-retryable outcome wins.
+func (g *Gateway) do(ctx context.Context, uri string) upstream {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	tried := make(map[*node]bool, len(g.nodes))
+	results := make(chan upstream, g.cfg.Retries+2)
+	pending := 0
+	launch := func() bool {
+		n := g.pick(tried)
+		if n == nil && len(tried) > 0 {
+			// Every distinct healthy node has been tried; spend remaining
+			// budget on a fresh pass — transient link failures recover
+			// between attempts.
+			clear(tried)
+			n = g.pick(tried)
+		}
+		if n == nil {
+			return false
+		}
+		tried[n] = true
+		pending++
+		go func() { results <- g.attempt(ctx, n, uri) }()
+		return true
+	}
+	if !launch() {
+		// Unreachable with New's non-empty node guarantee (pick falls back
+		// to unhealthy nodes), but a closed loop beats a hung select.
+		return upstream{err: errors.New("gateway: no node to try")}
+	}
+	var hedge <-chan time.Time
+	if g.cfg.Hedge > 0 && len(g.nodes) > 1 {
+		t := time.NewTimer(g.cfg.Hedge)
+		defer t.Stop()
+		hedge = t.C
+	}
+	budget := g.cfg.Retries
+	var last upstream
+	for {
+		select {
+		case u := <-results:
+			pending--
+			if !u.retryable() || ctx.Err() != nil {
+				// Done — or the caller is gone, which no relaunch can fix.
+				return u
+			}
+			last = u
+			if budget > 0 && launch() {
+				budget--
+				g.met.retried.Add(1)
+				continue
+			}
+			if pending > 0 {
+				// A hedge sibling is still in flight; it may yet answer.
+				continue
+			}
+			return last
+		case <-hedge:
+			hedge = nil
+			if launch() {
+				g.met.hedged.Add(1)
+			}
+		case <-ctx.Done():
+			return upstream{err: ctx.Err()}
+		}
+	}
+}
+
+// envelope mirrors libei's uniform JSON response wrapper so gateway-origin
+// responses look like node responses to clients.
+type envelope struct {
+	OK     bool   `json:"ok"`
+	Result any    `json:"result,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, env envelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(env)
+}
+
+// cacheable reports whether a path's responses may be cached: only
+// serving/infer, which is a pure function of its byte-identical query
+// (other algorithms read live sensor data).
+func cacheable(path string) bool {
+	return path == "/ei_algorithms/serving/infer"
+}
+
+// ServeHTTP implements http.Handler: /gw_metrics locally, everything else
+// proxied to the fleet.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, envelope{OK: false, Error: "only GET is supported"})
+		return
+	}
+	if r.URL.Path == "/gw_metrics" {
+		writeJSON(w, http.StatusOK, envelope{OK: true, Result: g.Metrics()})
+		return
+	}
+	// Fleet-wide admission control: shed at the front door instead of
+	// letting the request time out deep in some node's queue.
+	cur := g.inflight.Add(1)
+	defer g.inflight.Add(-1)
+	if g.cfg.MaxInflight > 0 && cur > int64(g.cfg.MaxInflight) {
+		g.met.shed.Add(1)
+		writeJSON(w, http.StatusTooManyRequests, envelope{
+			OK:    false,
+			Error: fmt.Sprintf("gateway: fleet saturated (%d in flight, cap %d)", cur-1, g.cfg.MaxInflight),
+		})
+		return
+	}
+	uri := r.URL.RequestURI()
+	if g.cache != nil && cacheable(r.URL.Path) {
+		if ent, ok := g.cache.get(uri); ok {
+			w.Header().Set("Content-Type", ent.contentType)
+			w.Header().Set("X-Gateway-Cache", "hit")
+			w.WriteHeader(ent.status)
+			_, _ = w.Write(ent.body)
+			return
+		}
+	}
+	u := g.do(r.Context(), uri)
+	if u.err != nil {
+		g.met.failed.Add(1)
+		writeJSON(w, http.StatusBadGateway, envelope{
+			OK: false, Error: fmt.Sprintf("gateway: all attempts failed: %v", u.err),
+		})
+		return
+	}
+	g.met.routed.Add(1)
+	switch u.res.Status {
+	case http.StatusTooManyRequests:
+		g.met.upstreamOverload.Add(1)
+	case http.StatusRequestTimeout:
+		g.met.upstreamDeadline.Add(1)
+	}
+	if g.cache != nil && u.res.Status == http.StatusOK && cacheable(r.URL.Path) {
+		g.cache.put(uri, cachedResponse{
+			status: u.res.Status, contentType: u.res.ContentType, body: u.res.Body,
+		})
+	}
+	if u.res.ContentType != "" {
+		w.Header().Set("Content-Type", u.res.ContentType)
+	}
+	w.Header().Set("X-Gateway-Node", u.node.url)
+	w.WriteHeader(u.res.Status)
+	_, _ = w.Write(u.res.Body)
+}

@@ -1,0 +1,377 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openei/internal/gateway"
+)
+
+// stubNode fakes just enough of a libei node for routing tests: /ei_status
+// (health probe), /ei_metrics (queue-depth poll), and serving/infer with a
+// pluggable handler.
+type stubNode struct {
+	id         string
+	ts         *httptest.Server
+	down       atomic.Bool  // true → /ei_status answers 500
+	queueDepth atomic.Int64 // reported at /ei_metrics
+	inferCalls atomic.Int64
+
+	mu    sync.Mutex
+	infer http.HandlerFunc
+}
+
+func newStub(t *testing.T, id string, infer http.HandlerFunc) *stubNode {
+	t.Helper()
+	s := &stubNode{id: id, infer: infer}
+	s.ts = httptest.NewServer(http.HandlerFunc(s.handle))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func okInfer(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"ok":true,"result":{"model":%q,"class":2,"confidence":0.9}}`, r.URL.Query().Get("model"))
+}
+
+func (s *stubNode) handle(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch r.URL.Path {
+	case "/ei_status":
+		if s.down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"ok":false,"error":"stub down"}`)
+			return
+		}
+		fmt.Fprintf(w, `{"ok":true,"result":{"node_id":%q}}`, s.id)
+	case "/ei_metrics":
+		fmt.Fprintf(w, `{"ok":true,"result":{"node_id":%q,"queue_depth":%d,"queue_cap":64}}`,
+			s.id, s.queueDepth.Load())
+	case "/ei_algorithms/serving/infer":
+		s.inferCalls.Add(1)
+		s.mu.Lock()
+		fn := s.infer
+		s.mu.Unlock()
+		fn(w, r)
+	default:
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"ok":false,"error":"not found"}`)
+	}
+}
+
+// startGateway builds a started gateway over the stubs and serves it.
+func startGateway(t *testing.T, cfg gateway.Config, stubs ...*stubNode) (*gateway.Gateway, *httptest.Server) {
+	t.Helper()
+	for _, s := range stubs {
+		cfg.Nodes = append(cfg.Nodes, s.ts.URL)
+	}
+	gw, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	t.Cleanup(gw.Close)
+	front := httptest.NewServer(gw)
+	t.Cleanup(front.Close)
+	return gw, front
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+const inferURI = "/ei_algorithms/serving/infer?model=ident&input=0,0,1,0"
+
+func TestRoutesAcrossFleet(t *testing.T) {
+	a := newStub(t, "a", okInfer)
+	b := newStub(t, "b", okInfer)
+	c := newStub(t, "c", okInfer)
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, a, b, c)
+
+	for i := 0; i < 30; i++ {
+		status, body := get(t, front.URL+inferURI)
+		if status != http.StatusOK || !strings.Contains(body, `"class":2`) {
+			t.Fatalf("request %d: status %d body %s", i, status, body)
+		}
+	}
+	for _, s := range []*stubNode{a, b, c} {
+		if s.inferCalls.Load() == 0 {
+			t.Errorf("node %s received no traffic", s.id)
+		}
+	}
+	m := gw.Metrics()
+	if m.Routed != 30 || m.Retried != 0 || m.Shed != 0 || m.HealthyNodes != 3 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestP2CPrefersLessLoadedNode(t *testing.T) {
+	loaded := newStub(t, "loaded", okInfer)
+	idle := newStub(t, "idle", okInfer)
+	loaded.queueDepth.Store(50)
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, loaded, idle)
+	gw.CheckHealth() // pick up the queue depths
+
+	for i := 0; i < 40; i++ {
+		if status, body := get(t, front.URL+inferURI); status != http.StatusOK {
+			t.Fatalf("status %d body %s", status, body)
+		}
+	}
+	// With two nodes, power-of-two-choices always compares both, so the
+	// queue-depth-50 node must never win against the idle one.
+	if n := loaded.inferCalls.Load(); n != 0 {
+		t.Errorf("loaded node took %d requests, want 0", n)
+	}
+	if n := idle.inferCalls.Load(); n != 40 {
+		t.Errorf("idle node took %d requests, want 40", n)
+	}
+}
+
+func TestFleetWideShedWhenEveryNodeReturns429(t *testing.T) {
+	overloaded := func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"ok":false,"error":"serving: overloaded"}`)
+	}
+	a := newStub(t, "a", overloaded)
+	b := newStub(t, "b", overloaded)
+	c := newStub(t, "c", overloaded)
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, a, b, c)
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		status, body := get(t, front.URL+inferURI)
+		if status != http.StatusTooManyRequests || !strings.Contains(body, "overloaded") {
+			t.Fatalf("status %d body %s, want 429 passed through", status, body)
+		}
+	}
+	m := gw.Metrics()
+	if m.UpstreamOverloaded != n {
+		t.Errorf("upstream_overloaded = %d, want %d", m.UpstreamOverloaded, n)
+	}
+	// A full queue is backpressure, not a node failure: no failover churn.
+	if m.Retried != 0 {
+		t.Errorf("retried = %d, want 0 (429 must not trigger failover)", m.Retried)
+	}
+}
+
+func TestMaxInflightShedsAtTheFrontDoor(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	blocking := newStub(t, "slow", func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		okInfer(w, r)
+	})
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour, MaxInflight: 1}, blocking)
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(front.URL + inferURI)
+		if err != nil {
+			done <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			done <- fmt.Errorf("first request: status %d", resp.StatusCode)
+			return
+		}
+		done <- nil
+	}()
+	<-entered // the slot is occupied
+	status, body := get(t, front.URL+inferURI)
+	if status != http.StatusTooManyRequests || !strings.Contains(body, "fleet saturated") {
+		t.Errorf("second request: status %d body %s, want 429 shed", status, body)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Error(err)
+	}
+	if m := gw.Metrics(); m.Shed != 1 {
+		t.Errorf("shed = %d, want 1", m.Shed)
+	}
+}
+
+func TestResponseCache(t *testing.T) {
+	s := newStub(t, "a", okInfer)
+	gw, front := startGateway(t, gateway.Config{
+		HealthInterval: time.Hour, CacheSize: 8, CacheTTL: time.Minute,
+	}, s)
+
+	if status, _ := get(t, front.URL+inferURI); status != http.StatusOK {
+		t.Fatalf("first request: status %d", status)
+	}
+	resp, err := http.Get(front.URL + inferURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Gateway-Cache") != "hit" {
+		t.Errorf("second request: status %d cache header %q, want hit", resp.StatusCode, resp.Header.Get("X-Gateway-Cache"))
+	}
+	if n := s.inferCalls.Load(); n != 1 {
+		t.Errorf("upstream saw %d calls, want 1 (second served from cache)", n)
+	}
+	// A different payload is a different key.
+	if status, _ := get(t, front.URL+"/ei_algorithms/serving/infer?model=ident&input=1,0,0,0"); status != http.StatusOK {
+		t.Fatal("distinct payload failed")
+	}
+	if n := s.inferCalls.Load(); n != 2 {
+		t.Errorf("upstream saw %d calls, want 2", n)
+	}
+	m := gw.Metrics()
+	if m.CacheHits != 1 || m.CacheEntries != 2 {
+		t.Errorf("cache hits %d entries %d, want 1 and 2", m.CacheHits, m.CacheEntries)
+	}
+}
+
+func TestHedgeCutsTailLatency(t *testing.T) {
+	slow := newStub(t, "slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(400 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		okInfer(w, r)
+	})
+	fast := newStub(t, "fast", okInfer)
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour, Hedge: 20 * time.Millisecond}, slow, fast)
+
+	for i := 0; i < 8; i++ {
+		start := time.Now()
+		status, _ := get(t, front.URL+inferURI)
+		elapsed := time.Since(start)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+		// Picked fast: ~instant. Picked slow: the hedge fires at 20ms and
+		// the fast node answers — far below the slow node's 400ms.
+		if elapsed > 300*time.Millisecond {
+			t.Errorf("request %d took %v; hedging did not kick in", i, elapsed)
+		}
+	}
+	// Over 8 requests the slow node is picked first at least once with
+	// probability 1 - 2^-8, so the hedge counter must have moved.
+	if m := gw.Metrics(); m.Hedged == 0 {
+		t.Error("hedged = 0 over 8 requests against a slow node")
+	}
+}
+
+func TestFlappingNodeIsEjectedThenRecovers(t *testing.T) {
+	steady := newStub(t, "steady", okInfer)
+	flappy := newStub(t, "flappy", okInfer)
+	gw, front := startGateway(t, gateway.Config{
+		HealthInterval: time.Hour, // probes are driven manually below
+		HealthTimeout:  50 * time.Millisecond,
+	}, steady, flappy)
+	if m := gw.Metrics(); m.HealthyNodes != 2 {
+		t.Fatalf("healthy nodes at start = %d, want 2", m.HealthyNodes)
+	}
+
+	// One missed probe inside the timeout window is a flap, not a death.
+	flappy.down.Store(true)
+	gw.CheckHealth()
+	if m := gw.Metrics(); m.HealthyNodes != 2 {
+		t.Errorf("healthy nodes after one missed probe = %d, want 2 (flap tolerance)", m.HealthyNodes)
+	}
+
+	// Silence beyond the failure-detector timeout ejects it.
+	time.Sleep(60 * time.Millisecond)
+	gw.CheckHealth()
+	if m := gw.Metrics(); m.HealthyNodes != 1 {
+		t.Fatalf("healthy nodes after timeout = %d, want 1", m.HealthyNodes)
+	}
+	before := flappy.inferCalls.Load()
+	for i := 0; i < 10; i++ {
+		if status, _ := get(t, front.URL+inferURI); status != http.StatusOK {
+			t.Fatalf("request %d failed with the steady node up", i)
+		}
+	}
+	if n := flappy.inferCalls.Load(); n != before {
+		t.Errorf("ejected node received %d requests", n-before)
+	}
+
+	// Recovery: one good probe brings it straight back.
+	flappy.down.Store(false)
+	gw.CheckHealth()
+	if m := gw.Metrics(); m.HealthyNodes != 2 {
+		t.Errorf("healthy nodes after recovery = %d, want 2", m.HealthyNodes)
+	}
+}
+
+func TestDeadFleetIs502(t *testing.T) {
+	dead := newStub(t, "dead", okInfer)
+	dead.ts.Close() // nothing listening: every probe and attempt is a transport error
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, dead)
+	status, body := get(t, front.URL+inferURI)
+	if status != http.StatusBadGateway || !strings.Contains(body, "all attempts failed") {
+		t.Errorf("status %d body %s, want 502", status, body)
+	}
+	if m := gw.Metrics(); m.Failed != 1 {
+		t.Errorf("failed = %d, want 1", m.Failed)
+	}
+}
+
+func TestGwMetricsEndpointShape(t *testing.T) {
+	a := newStub(t, "a", okInfer)
+	_, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, a)
+	if status, _ := get(t, front.URL+inferURI); status != http.StatusOK {
+		t.Fatal("warmup request failed")
+	}
+	status, body := get(t, front.URL+"/gw_metrics")
+	if status != http.StatusOK {
+		t.Fatalf("gw_metrics status %d", status)
+	}
+	var env struct {
+		OK     bool            `json:"ok"`
+		Result gateway.Metrics `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("decode %s: %v", body, err)
+	}
+	m := env.Result
+	if !env.OK || len(m.Nodes) != 1 || m.Routed != 1 {
+		t.Errorf("gw_metrics = %s", body)
+	}
+	n := m.Nodes[0]
+	if n.NodeID != "a" || !n.Healthy || n.Routed != 1 || n.Requests == 0 || n.LastHeartbeatMSAgo < 0 {
+		t.Errorf("node metrics = %+v", n)
+	}
+	for _, field := range []string{`"retried"`, `"shed"`, `"hedged"`, `"upstream_overloaded"`, `"cache_hits"`} {
+		if !strings.Contains(body, field) {
+			t.Errorf("gw_metrics missing %s field: %s", field, body)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := gateway.New(gateway.Config{}); err == nil {
+		t.Error("no nodes: want error")
+	}
+	if _, err := gateway.New(gateway.Config{Nodes: []string{"http://x", "http://x/"}}); err == nil {
+		t.Error("duplicate node: want error")
+	}
+}

@@ -1,0 +1,106 @@
+package gateway
+
+import (
+	"sort"
+	"time"
+)
+
+// NodeMetrics is one fleet member's view in /gw_metrics.
+type NodeMetrics struct {
+	URL     string `json:"url"`
+	NodeID  string `json:"node_id,omitempty"`
+	Healthy bool   `json:"healthy"`
+
+	// Inflight is the gateway's outstanding requests to the node;
+	// QueueDepth/QueueCap are the node's last-polled serving queue fill.
+	Inflight   int64 `json:"inflight"`
+	QueueDepth int64 `json:"queue_depth"`
+	QueueCap   int64 `json:"queue_cap"`
+
+	// Routed counts responses delivered from this node; Fails counts
+	// transport failures plus 5xx answers.
+	Routed uint64 `json:"routed"`
+	Fails  uint64 `json:"fails"`
+
+	// Transport-level client counters (every probe and proxied request).
+	Requests        uint64  `json:"requests"`
+	TransportErrors uint64  `json:"transport_errors"`
+	AvgLatencyMS    float64 `json:"avg_latency_ms"`
+
+	// LastHeartbeatMSAgo is the age of the last successful status probe;
+	// -1 when the node has never answered.
+	LastHeartbeatMSAgo float64 `json:"last_heartbeat_ms_ago"`
+}
+
+// Metrics is the wire form of GET /gw_metrics.
+type Metrics struct {
+	Nodes        []NodeMetrics `json:"nodes"`
+	HealthyNodes int           `json:"healthy_nodes"`
+
+	Inflight    int64 `json:"inflight"`
+	MaxInflight int   `json:"max_inflight"`
+
+	Routed  uint64 `json:"routed"`
+	Retried uint64 `json:"retried"`
+	Shed    uint64 `json:"shed"`
+	Failed  uint64 `json:"failed"`
+	Hedged  uint64 `json:"hedged"`
+
+	UpstreamOverloaded uint64 `json:"upstream_overloaded"`
+	UpstreamDeadline   uint64 `json:"upstream_deadline"`
+
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// Metrics snapshots the gateway's counters and per-node health, nodes
+// sorted by URL.
+func (g *Gateway) Metrics() Metrics {
+	m := Metrics{
+		Inflight:           g.inflight.Load(),
+		MaxInflight:        g.cfg.MaxInflight,
+		Routed:             g.met.routed.Load(),
+		Retried:            g.met.retried.Load(),
+		Shed:               g.met.shed.Load(),
+		Failed:             g.met.failed.Load(),
+		Hedged:             g.met.hedged.Load(),
+		UpstreamOverloaded: g.met.upstreamOverload.Load(),
+		UpstreamDeadline:   g.met.upstreamDeadline.Load(),
+	}
+	if g.cache != nil {
+		m.CacheHits = g.cache.hits.Load()
+		m.CacheMisses = g.cache.misses.Load()
+		m.CacheEntries = g.cache.len()
+	}
+	now := time.Now()
+	for _, n := range g.nodes {
+		cs := n.client.Stats()
+		n.mu.Lock()
+		id, beat := n.nodeID, n.lastBeat
+		n.mu.Unlock()
+		nm := NodeMetrics{
+			URL:                n.url,
+			NodeID:             id,
+			Healthy:            n.healthy.Load(),
+			Inflight:           n.inflight.Load(),
+			QueueDepth:         n.queueDepth.Load(),
+			QueueCap:           n.queueCap.Load(),
+			Routed:             n.routed.Load(),
+			Fails:              n.fails.Load(),
+			Requests:           cs.Requests,
+			TransportErrors:    cs.TransportErrors,
+			AvgLatencyMS:       cs.AvgLatencyMS,
+			LastHeartbeatMSAgo: -1,
+		}
+		if !beat.IsZero() {
+			nm.LastHeartbeatMSAgo = float64(now.Sub(beat)) / 1e6
+		}
+		if nm.Healthy {
+			m.HealthyNodes++
+		}
+		m.Nodes = append(m.Nodes, nm)
+	}
+	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].URL < m.Nodes[j].URL })
+	return m
+}

@@ -3,13 +3,61 @@ package libei
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync/atomic"
 	"time"
 )
+
+// Typed client-side errors: callers branch on the node's admission verdict
+// with errors.Is instead of string-matching status text. A gateway uses
+// them to decide what is surfaced (overload, deadline) versus what
+// triggers failover (everything transport-level or 5xx).
+var (
+	// ErrOverloaded means the node shed the request (HTTP 429): its
+	// serving queue was full at admission.
+	ErrOverloaded = errors.New("libei: node overloaded")
+	// ErrDeadline means the request's deadline expired in the node's
+	// queue (HTTP 408).
+	ErrDeadline = errors.New("libei: deadline expired on node")
+	// ErrUnavailable means the node is up but not serving (HTTP 503,
+	// e.g. a closed engine).
+	ErrUnavailable = errors.New("libei: node unavailable")
+)
+
+// StatusError is a non-2xx node response. It unwraps to the typed error
+// matching its code, so errors.Is(err, ErrOverloaded) works, and
+// errors.As exposes the raw status for anything else.
+type StatusError struct {
+	// Path is the request path that failed.
+	Path string
+	// Code is the HTTP status.
+	Code int
+	// Message is the node's error text (envelope error or raw body).
+	Message string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("libei client: %s: status %d: %s", e.Path, e.Code, e.Message)
+}
+
+// Unwrap maps well-known statuses to their typed sentinel.
+func (e *StatusError) Unwrap() error {
+	switch e.Code {
+	case http.StatusTooManyRequests:
+		return ErrOverloaded
+	case http.StatusRequestTimeout:
+		return ErrDeadline
+	case http.StatusServiceUnavailable:
+		return ErrUnavailable
+	}
+	return nil
+}
 
 // Client is a typed client for a remote OpenEI node's libei API; it is what
 // other edges, the cloud, and third-party tools (cmd/eictl) use. Methods
@@ -20,6 +68,11 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to a client with a 10 s timeout.
 	HTTPClient *http.Client
+
+	// Lifetime transport counters (the gateway's per-node view).
+	nRequests atomic.Uint64
+	nErrors   atomic.Uint64
+	latencyNS atomic.Uint64
 }
 
 // NewClient returns a client for the node at baseURL.
@@ -28,6 +81,91 @@ func NewClient(baseURL string) *Client {
 		BaseURL:    baseURL,
 		HTTPClient: &http.Client{Timeout: 10 * time.Second},
 	}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// observe records one request's transport outcome. Caller cancellation
+// and caller deadline expiry are not transport errors: a hedge or retry
+// loser whose context ends says nothing about the node's link.
+func (c *Client) observe(start time.Time, err error) {
+	c.nRequests.Add(1)
+	c.latencyNS.Add(uint64(time.Since(start)))
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		c.nErrors.Add(1)
+	}
+}
+
+// ClientStats is a client's lifetime transport counters: requests issued,
+// transport-level failures (dial/reset/timeout — HTTP error statuses do
+// not count), and mean round-trip latency.
+type ClientStats struct {
+	Requests        uint64  `json:"requests"`
+	TransportErrors uint64  `json:"transport_errors"`
+	AvgLatencyMS    float64 `json:"avg_latency_ms"`
+}
+
+// Stats snapshots the client's transport counters.
+func (c *Client) Stats() ClientStats {
+	n := c.nRequests.Load()
+	s := ClientStats{Requests: n, TransportErrors: c.nErrors.Load()}
+	if n > 0 {
+		s.AvgLatencyMS = float64(c.latencyNS.Load()) / float64(n) / 1e6
+	}
+	return s
+}
+
+// ForwardResult is the verbatim outcome of one proxied request.
+type ForwardResult struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// maxForwardBody bounds a forwarded response body (model blobs are the
+// largest payloads; 32 MiB is far above any current model).
+const maxForwardBody = 32 << 20
+
+// Forward issues a GET for pathAndQuery verbatim and returns the raw
+// status and body without interpreting the JSON envelope. Each call
+// builds a fresh request, so a front tier can clone one inbound request
+// across retry and hedge attempts. Transport failures return an error;
+// any HTTP status — including 4xx/5xx — comes back in the result for the
+// caller to interpret.
+func (c *Client) Forward(ctx context.Context, pathAndQuery string) (ForwardResult, error) {
+	if !strings.HasPrefix(pathAndQuery, "/") {
+		pathAndQuery = "/" + pathAndQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+pathAndQuery, nil)
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("libei client: forward %s: %w", pathAndQuery, err)
+	}
+	start := time.Now()
+	resp, err := c.httpClient().Do(req)
+	c.observe(start, err)
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("libei client: forward %s: %w", pathAndQuery, err)
+	}
+	defer resp.Body.Close()
+	// Read one byte past the cap so an oversized body is an error, never a
+	// silently truncated 200.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxForwardBody+1))
+	if err != nil {
+		return ForwardResult{}, fmt.Errorf("libei client: forward %s: read body: %w", pathAndQuery, err)
+	}
+	if len(body) > maxForwardBody {
+		return ForwardResult{}, fmt.Errorf("libei client: forward %s: body exceeds %d bytes", pathAndQuery, maxForwardBody)
+	}
+	return ForwardResult{
+		Status:      resp.StatusCode,
+		ContentType: resp.Header.Get("Content-Type"),
+		Body:        body,
+	}, nil
 }
 
 func (c *Client) get(ctx context.Context, path string, query url.Values, result any) error {
@@ -39,7 +177,9 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, result 
 	if err != nil {
 		return fmt.Errorf("libei client: GET %s: %w", path, err)
 	}
-	resp, err := c.HTTPClient.Do(req)
+	start := time.Now()
+	resp, err := c.httpClient().Do(req)
+	c.observe(start, err)
 	if err != nil {
 		return fmt.Errorf("libei client: GET %s: %w", path, err)
 	}
@@ -55,7 +195,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, result 
 		if json.Unmarshal(body, &env) == nil && env.Error != "" {
 			msg = env.Error
 		}
-		return fmt.Errorf("libei client: %s: status %d: %s", path, resp.StatusCode, msg)
+		return &StatusError{Path: path, Code: resp.StatusCode, Message: msg}
 	}
 	var env struct {
 		OK     bool            `json:"ok"`
@@ -232,7 +372,9 @@ func (c *Client) ModelBlobCtx(ctx context.Context, name string) ([]byte, error) 
 	if err != nil {
 		return nil, fmt.Errorf("libei client: blob %s: %w", name, err)
 	}
-	resp, err := c.HTTPClient.Do(req)
+	start := time.Now()
+	resp, err := c.httpClient().Do(req)
+	c.observe(start, err)
 	if err != nil {
 		return nil, fmt.Errorf("libei client: blob %s: %w", name, err)
 	}

@@ -1,0 +1,88 @@
+package libei
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestTypedStatusErrors: non-2xx responses carry a StatusError that
+// unwraps to the typed sentinel for the status, so a gateway (or any
+// caller) branches with errors.Is instead of string-matching.
+func TestTypedStatusErrors(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   error
+	}{
+		{http.StatusTooManyRequests, ErrOverloaded},
+		{http.StatusRequestTimeout, ErrDeadline},
+		{http.StatusServiceUnavailable, ErrUnavailable},
+	} {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(tc.status)
+			_, _ = w.Write([]byte(`{"ok":false,"error":"nope"}`))
+		}))
+		c := NewClient(ts.URL)
+		_, err := c.Infer("m", []float32{1}, 0)
+		ts.Close()
+		if !errors.Is(err, tc.want) {
+			t.Errorf("status %d: errors.Is(%v, %v) = false", tc.status, err, tc.want)
+		}
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != tc.status || se.Message != "nope" {
+			t.Errorf("status %d: StatusError = %+v", tc.status, se)
+		}
+	}
+	// A status with no sentinel still surfaces as a StatusError with the
+	// code, and matches none of the typed errors.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	_, err := c.Status()
+	if errors.Is(err, ErrOverloaded) || errors.Is(err, ErrDeadline) || errors.Is(err, ErrUnavailable) {
+		t.Errorf("502 matched a typed sentinel: %v", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadGateway {
+		t.Errorf("502 StatusError = %+v", se)
+	}
+}
+
+// TestForwardAndStats: Forward returns the verbatim status/body without
+// envelope interpretation, and the client's transport counters track it.
+func TestForwardAndStats(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.RawQuery != "x=1" {
+			t.Errorf("query = %q, want x=1", r.URL.RawQuery)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot)
+		_, _ = w.Write([]byte(`{"ok":false,"error":"teapot"}`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	res, err := c.Forward(context.Background(), "/ei_algorithms/serving/infer?x=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusTeapot || res.ContentType != "application/json" ||
+		string(res.Body) != `{"ok":false,"error":"teapot"}` {
+		t.Errorf("forward result = %+v", res)
+	}
+	if s := c.Stats(); s.Requests != 1 || s.TransportErrors != 0 {
+		t.Errorf("stats after forward = %+v", s)
+	}
+
+	dead := NewClient("http://127.0.0.1:1")
+	if _, err := dead.Forward(context.Background(), "/ei_status"); err == nil {
+		t.Error("forward to dead address: want transport error")
+	}
+	if s := dead.Stats(); s.Requests != 1 || s.TransportErrors != 1 {
+		t.Errorf("stats after transport failure = %+v", s)
+	}
+}

@@ -106,6 +106,11 @@ type Metrics struct {
 	// Serving is per-model queue/batch/latency counters; empty when no
 	// model has been served yet, null when no engine is attached.
 	Serving []serving.ModelStats `json:"serving"`
+	// QueueDepth and QueueCap are the serving engine's aggregate queue
+	// fill across models — the cheap signal a gateway reads for
+	// least-loaded routing without walking the per-model stats.
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
 	// SchedulerPending is the package manager's real-time queue backlog.
 	SchedulerPending int `json:"scheduler_pending"`
 	// Parallel is the process-wide kernel pool: width, grain, job/shard
@@ -123,6 +128,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 		if m.Serving == nil {
 			m.Serving = []serving.ModelStats{}
 		}
+		m.QueueDepth, m.QueueCap = e.QueueDepth()
 	}
 	writeJSON(w, http.StatusOK, envelope{OK: true, Result: m})
 }

@@ -238,6 +238,20 @@ func (e *Engine) Reset(model string) {
 	}
 }
 
+// QueueDepth returns the total queued requests and total queue capacity
+// across all pipelines. It is the cheap load signal a front tier polls on
+// every health tick: a couple of channel length reads under a read lock,
+// no per-model snapshot allocation or sorting like Stats.
+func (e *Engine) QueueDepth() (depth, capacity int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, p := range e.pipes {
+		depth += len(p.queue)
+		capacity += cap(p.queue)
+	}
+	return depth, capacity
+}
+
 // Stats snapshots per-model serving counters, sorted by model name.
 func (e *Engine) Stats() []ModelStats {
 	e.mu.RLock()

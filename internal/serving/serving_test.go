@@ -300,3 +300,20 @@ func TestConfigDefaults(t *testing.T) {
 		t.Errorf("defaults not applied: %+v", cfg)
 	}
 }
+
+func TestQueueDepthSnapshot(t *testing.T) {
+	_, e := newTestEngine(t, identModel(4), Config{QueueDepth: 32})
+	if d, c := e.QueueDepth(); d != 0 || c != 0 {
+		t.Fatalf("fresh engine depth/cap = %d/%d, want 0/0 (no pipelines yet)", d, c)
+	}
+	if _, err := e.Infer(context.Background(), "ident", oneHot(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	d, c := e.QueueDepth()
+	if c != 32 {
+		t.Errorf("capacity = %d, want 32 after first pipeline", c)
+	}
+	if d != 0 {
+		t.Errorf("depth = %d, want 0 at idle", d)
+	}
+}
