@@ -12,6 +12,13 @@
 //	GET  /registry            — list published models
 //	GET  /registry/{name}     — download a model blob
 //	POST /registry/{name}     — publish a (re)trained model (edge uploads)
+//
+// With -serve (default on), the cloud also runs an inference tier over the
+// registry's models — a libei server on a cloud-class device profile, so
+// GET /ei_algorithms/serving/infer and /ei_metrics work here too. This is
+// the fallback executor edge autopilots offload to when even their
+// cheapest local tier cannot hold the SLO (openei-server -slo-p95 +
+// -offload).
 package main
 
 import (
@@ -22,12 +29,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"openei/internal/alem"
 	"openei/internal/cloud"
 	"openei/internal/dataset"
+	"openei/internal/hardware"
+	"openei/internal/libei"
 	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
 	"openei/internal/zoo"
 )
 
@@ -40,18 +53,19 @@ func main() {
 		epochs  = flag.Int("epochs", 10, "training epochs")
 		seed    = flag.Int64("seed", 1, "training seed")
 		state   = flag.String("state", "", "directory to persist the registry; reused on restart")
+		doServe = flag.Bool("serve", true, "also run an inference tier over the registry models (edge offload target)")
 	)
 	flag.Parse()
-	if err := run(*addr, *samples, *epochs, *seed, *state); err != nil {
+	if err := run(*addr, *samples, *epochs, *seed, *state, *doServe); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, samples, epochs int, seed int64, stateDir string) error {
+func run(addr string, samples, epochs int, seed int64, stateDir string, doServe bool) error {
 	if stateDir != "" {
 		if loaded, err := cloud.LoadRegistry(stateDir); err == nil && len(loaded.List()) > 0 {
 			log.Printf("restored %d models from %s; skipping training", len(loaded.List()), stateDir)
-			return serve(addr, loaded)
+			return serve(addr, loaded, doServe)
 		}
 	}
 	reg := cloud.NewRegistry()
@@ -92,13 +106,62 @@ func run(addr string, samples, epochs int, seed int64, stateDir string) error {
 		}
 		log.Printf("registry persisted to %s", stateDir)
 	}
-	return serve(addr, reg)
+	return serve(addr, reg, doServe)
 }
 
-func serve(addr string, reg *cloud.Registry) error {
+// servingTier loads every registry model into a cloud-class package
+// manager and fronts it with a libei server: the offload executor edges
+// fall back to. Returns the composite handler (registry + libei) and a
+// shutdown func.
+func servingTier(reg *cloud.Registry) (http.Handler, func(), error) {
+	regHandler := &cloud.RegistryServer{Registry: reg}
+	pkg, err := alem.PackageByName("cloudpkg-m")
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := hardware.ByName("cloud-gpu")
+	if err != nil {
+		return nil, nil, err
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	for _, info := range reg.List() {
+		m, _, err := reg.FetchModel(info.Name)
+		if err != nil {
+			mgr.Close()
+			return nil, nil, err
+		}
+		if err := mgr.Load(m, pkgmgr.LoadOptions{}); err != nil {
+			mgr.Close()
+			return nil, nil, err
+		}
+	}
+	srv := libei.NewServer("cloud", nil, mgr)
+	eng := serving.NewEngine(mgr, serving.Config{})
+	srv.SetEngine(eng)
+	log.Printf("inference tier serving %d registry models on %s/%s", len(reg.List()), pkg.Name, dev.Name)
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/registry" || strings.HasPrefix(r.URL.Path, "/registry/") {
+			regHandler.ServeHTTP(w, r)
+			return
+		}
+		srv.ServeHTTP(w, r)
+	})
+	return handler, func() { eng.Close(); mgr.Close() }, nil
+}
+
+func serve(addr string, reg *cloud.Registry, doServe bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: addr, Handler: &cloud.RegistryServer{Registry: reg}, ReadHeaderTimeout: 5 * time.Second}
+	var handler http.Handler = &cloud.RegistryServer{Registry: reg}
+	if doServe {
+		h, closeTier, err := servingTier(reg)
+		if err != nil {
+			return err
+		}
+		defer closeTier()
+		handler = h
+	}
+	srv := &http.Server{Addr: addr, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		<-ctx.Done()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)

@@ -27,6 +27,16 @@
 // -parallel-grain (serial cutoff in fused ops); its utilization shows up
 // under "parallel" in GET /ei_metrics.
 //
+// With -slo-p95 the node runs the autopilot: the detection model gets a
+// Pareto tier ladder (fp32, int8, and a kilobyte-class fallback, filtered
+// by -slo-accuracy-floor / -slo-memory-mb), the live p95 is measured every
+// -slo-interval, and the serving route is hot-swapped down the ladder when
+// the SLO is missed — offloading to the -offload (default -cloud) serving
+// endpoint when even the cheapest tier misses it — then back up with
+// hysteresis (-slo-upgrade-after, -slo-headroom) once the node recovers.
+// Autopilot state (current tier, switch history, offload ratio, SLO
+// attainment) appears under "autopilot" in GET /ei_metrics.
+//
 // With -peers, the node polls each peer's /ei_status every 2 s and logs
 // live↔suspect transitions (the §IV.C availability loop).
 //
@@ -85,6 +95,19 @@ func main() {
 		// pooling) shards across this process-wide pool.
 		procs = flag.Int("procs", 0, "parallel kernel pool width (0 = all cores)")
 		grain = flag.Int("parallel-grain", 0, "serial cutoff in fused ops; kernels below it skip the pool (0 = default)")
+
+		// Autopilot SLO knobs: with -slo-p95 set the node profiles a tier
+		// ladder for the detection model at startup and switches tiers /
+		// offloads to the cloud at runtime to hold the SLO.
+		sloP95      = flag.Duration("slo-p95", 0, "p95 latency SLO for the detection model; 0 disables the autopilot")
+		sloFloor    = flag.Float64("slo-accuracy-floor", 0.5, "lowest tier accuracy the autopilot may switch to")
+		sloMemMB    = flag.Int64("slo-memory-mb", 0, "tier memory cap in MiB (0 = device limit only)")
+		sloInterval = flag.Duration("slo-interval", 0, "autopilot control tick (0 = default 500ms)")
+		sloDown     = flag.Int("slo-downgrade-after", 0, "consecutive SLO-missing ticks before a downgrade (0 = default 1)")
+		sloUp       = flag.Int("slo-upgrade-after", 0, "consecutive comfortable ticks before an upgrade (0 = default 3)")
+		sloHeadroom = flag.Float64("slo-headroom", 0, "upgrade only when p95 ≤ headroom×SLO (0 = default 0.6)")
+		sloOffload  = flag.Float64("slo-offload-fraction", 0, "share of requests offloaded while over SLO on the last tier (0 = default 0.5)")
+		offloadURL  = flag.String("offload", "", "serving endpoint for edge→cloud offload (default: the -cloud URL)")
 	)
 	flag.Parse()
 	servingCfg := openei.ServingConfig{
@@ -92,13 +115,27 @@ func main() {
 		Replicas: *replicas, QueueDepth: *queueDepth,
 		Procs: *procs, ParallelGrain: *grain,
 	}
-	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, *seed, servingCfg); err != nil {
+	slo := openei.AutopilotPolicy{
+		P95:             *sloP95,
+		AccuracyFloor:   *sloFloor,
+		MemoryCap:       *sloMemMB << 20,
+		Interval:        *sloInterval,
+		DowngradeAfter:  *sloDown,
+		UpgradeAfter:    *sloUp,
+		UpgradeHeadroom: *sloHeadroom,
+		OffloadFraction: *sloOffload,
+	}
+	fallback := *offloadURL
+	if fallback == "" {
+		fallback = *cloudURL
+	}
+	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *seed, servingCfg, slo); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64, servingCfg openei.ServingConfig) error {
-	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName, Serving: servingCfg})
+func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy) error {
+	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName, Serving: servingCfg, Autopilot: slo})
 	if err != nil {
 		return err
 	}
@@ -112,7 +149,16 @@ func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64, serv
 		size    = 16
 		classes = 6
 	)
-	model, err := bootstrapModel(cloudURL, size, classes, seed)
+	// The shapes corpus backs local training and tier profiling; skip
+	// generating it when the model comes from the cloud and no SLO needs
+	// an eval split.
+	var train, test openei.Dataset
+	if cloudURL == "" || slo.P95 > 0 {
+		if train, test, err = dataset.Shapes(dataset.ShapesConfig{Samples: 900, Size: size, Classes: classes, Noise: 0.3, Seed: seed}); err != nil {
+			return err
+		}
+	}
+	model, err := bootstrapModel(cloudURL, train, size, classes, seed)
 	if err != nil {
 		return err
 	}
@@ -120,6 +166,33 @@ func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64, serv
 		return err
 	}
 	log.Printf("loaded model %q on %s/%s", model.Name, pkgName, device)
+
+	// With an SLO declared, profile a tier ladder for the detector (its
+	// int8 variant plus a locally trained kilobyte-class fallback) and
+	// start the autopilot; the cloud (or -offload) endpoint becomes the
+	// last-resort rung.
+	if slo.P95 > 0 {
+		mini, err := trainMini(train, size, classes, seed)
+		if err != nil {
+			return err
+		}
+		cands := map[string]*openei.Model{model.Name: model, mini.Name: mini}
+		tiers, err := node.DeployTiers(cands, test, slo)
+		if err != nil {
+			return err
+		}
+		var off openei.Offloader
+		if offloadURL != "" {
+			off = openei.NewRemoteOffloader(offloadURL, "detector")
+		}
+		if _, err := node.EnableAutopilot(model.Name, tiers, off); err != nil {
+			return err
+		}
+		for i, t := range tiers {
+			log.Printf("autopilot tier %d: %s (acc %.3f, profiled %v)", i, t.Model, t.Accuracy, t.Latency)
+		}
+		log.Printf("autopilot: p95 SLO %v on %q, offload %q", slo.P95, model.Name, offloadURL)
+	}
 
 	// Demo sensors: one camera, one power meter, one wearable IMU.
 	cam, err := sensors.NewCamera("camera1", size, classes, seed)
@@ -211,7 +284,7 @@ func run(addr, nodeID, device, pkgName, cloudURL, peers string, seed int64, serv
 
 // bootstrapModel fetches the detection model from the cloud registry, or
 // trains one locally when no cloud is configured (edge-autonomy mode).
-func bootstrapModel(cloudURL string, size, classes int, seed int64) (*openei.Model, error) {
+func bootstrapModel(cloudURL string, train openei.Dataset, size, classes int, seed int64) (*openei.Model, error) {
 	if cloudURL != "" {
 		c := cloud.NewRegistryClient(cloudURL)
 		blob, version, err := c.Fetch("detector")
@@ -222,16 +295,26 @@ func bootstrapModel(cloudURL string, size, classes int, seed int64) (*openei.Mod
 		return nn.DecodeModel(blob)
 	}
 	log.Printf("no cloud registry configured; training detector locally")
-	train, _, err := dataset.Shapes(dataset.ShapesConfig{Samples: 900, Size: size, Classes: classes, Noise: 0.3, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
 	rng := rand.New(rand.NewSource(seed))
 	m, err := zoo.Build("lenet", size, classes, rng)
 	if err != nil {
 		return nil, err
 	}
 	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// trainMini trains the kilobyte-class fallback rung of the autopilot's
+// tier ladder (a few seconds of local work).
+func trainMini(train openei.Dataset, size, classes int, seed int64) (*openei.Model, error) {
+	rng := rand.New(rand.NewSource(seed + 20))
+	m, err := zoo.Build("bonsai-m", size, classes, rng)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rand: rng}); err != nil {
 		return nil, err
 	}
 	return m, nil

@@ -1,0 +1,55 @@
+package autopilot
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"openei/internal/serving"
+	"openei/internal/tensor"
+)
+
+// BenchmarkPilotInfer measures the pilot's overhead on the serving hot
+// path (route resolution + offload bookkeeping on top of a raw engine
+// request).
+func BenchmarkPilotInfer(b *testing.B) {
+	e := testEngine(b, serving.Config{Replicas: 1, MaxBatch: 1},
+		denseModel("tier-big", 32, 64, 4), denseModel("tier-small", 32, 8, 4))
+	p, err := New(e, "tier-big", twoTiers(), Policy{P95: 10 * time.Millisecond, Interval: time.Hour}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	x := tensor.MustFrom(make([]float32, 32), 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Infer(context.Background(), "tier-big", x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPilotStep measures one control-loop evaluation (histogram
+// snapshot + quantile + hysteresis) — the per-tick cost of running the
+// autopilot at all.
+func BenchmarkPilotStep(b *testing.B) {
+	e := testEngine(b, serving.Config{Replicas: 1, MaxBatch: 1},
+		denseModel("tier-big", 32, 64, 4), denseModel("tier-small", 32, 8, 4))
+	p, err := New(e, "tier-big", twoTiers(), Policy{P95: 10 * time.Millisecond, Interval: time.Hour}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	x := tensor.MustFrom(make([]float32, 32), 32)
+	for i := 0; i < 100; i++ {
+		if _, err := p.Infer(context.Background(), "tier-big", x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	now := time.Unix(3000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(time.Second)
+		p.Step(now)
+	}
+}

@@ -1,0 +1,156 @@
+package autopilot
+
+import (
+	"sort"
+	"time"
+
+	"openei/internal/selector"
+)
+
+// SwitchEvent is one actuation in the pilot's history ring: a tier
+// switch, an offload-mode transition, or a failed swap.
+type SwitchEvent struct {
+	At     time.Time `json:"at"`
+	From   string    `json:"from"`
+	To     string    `json:"to"`
+	Reason string    `json:"reason"`
+	// P95MS is the measured tail latency that triggered the event.
+	P95MS float64 `json:"p95_ms"`
+}
+
+// TierStatus is one ladder rung in Status.
+type TierStatus struct {
+	Model     string  `json:"model"`
+	Accuracy  float64 `json:"accuracy"`
+	LatencyMS float64 `json:"latency_ms"`
+	MemoryMB  float64 `json:"memory_mb"`
+	Quantized bool    `json:"quantized"`
+	Active    bool    `json:"active"`
+}
+
+// Status is the autopilot's /ei_metrics view: current tier, ladder,
+// switch history, offload ratio, and SLO attainment.
+type Status struct {
+	Alias     string       `json:"alias"`
+	Tier      string       `json:"tier"`
+	TierIndex int          `json:"tier_index"`
+	Tiers     []TierStatus `json:"tiers"`
+
+	Offloading bool `json:"offloading"`
+
+	SLOP95MS      float64 `json:"slo_p95_ms"`
+	AccuracyFloor float64 `json:"accuracy_floor"`
+	LastP95MS     float64 `json:"last_p95_ms"`
+
+	Ticks         uint64  `json:"ticks"`
+	TicksOverSLO  uint64  `json:"ticks_over_slo"`
+	SLOAttainment float64 `json:"slo_attainment"`
+
+	Downgrades uint64 `json:"downgrades"`
+	Upgrades   uint64 `json:"upgrades"`
+
+	LocalServed   uint64  `json:"local_served"`
+	Offloaded     uint64  `json:"offloaded"`
+	OffloadErrors uint64  `json:"offload_errors"`
+	Spilled       uint64  `json:"spilled_overload"`
+	OffloadRatio  float64 `json:"offload_ratio"`
+
+	History []SwitchEvent `json:"switch_history"`
+}
+
+// Status snapshots the pilot's state. Safe for concurrent use with the
+// control loop and the serving path.
+func (p *Pilot) Status() Status {
+	p.mu.Lock()
+	cur := p.cur
+	lastP95 := p.lastP95
+	history := append([]SwitchEvent(nil), p.history...)
+	p.mu.Unlock()
+	s := Status{
+		Alias:         p.alias,
+		Tier:          p.tiers[cur].Model,
+		TierIndex:     cur,
+		Offloading:    p.offloading.Load(),
+		SLOP95MS:      float64(p.pol.P95) / float64(time.Millisecond),
+		AccuracyFloor: p.pol.AccuracyFloor,
+		LastP95MS:     float64(lastP95) / float64(time.Millisecond),
+		Ticks:         p.ticks.Load(),
+		TicksOverSLO:  p.ticksOver.Load(),
+		Downgrades:    p.downgrades.Load(),
+		Upgrades:      p.upgrades.Load(),
+		LocalServed:   p.localServed.Load(),
+		Offloaded:     p.offloaded.Load(),
+		OffloadErrors: p.offloadErrs.Load(),
+		Spilled:       p.spilled.Load(),
+		History:       history,
+	}
+	for i, t := range p.tiers {
+		s.Tiers = append(s.Tiers, TierStatus{
+			Model:     t.Model,
+			Accuracy:  t.Accuracy,
+			LatencyMS: float64(t.Latency) / float64(time.Millisecond),
+			MemoryMB:  float64(t.Memory) / (1 << 20),
+			Quantized: t.Quantized,
+			Active:    i == cur,
+		})
+	}
+	if s.Ticks > 0 {
+		s.SLOAttainment = 1 - float64(s.TicksOverSLO)/float64(s.Ticks)
+	}
+	if total := s.LocalServed + s.Offloaded; total > 0 {
+		s.OffloadRatio = float64(s.Offloaded) / float64(total)
+	}
+	return s
+}
+
+// TierName is the default mapping from a selector choice to the loaded
+// model name serving it: the model's own name, with "-int8" appended for
+// quantized variants (matching how DeployTiers loads them).
+func TierName(c selector.Choice) string {
+	if c.Quantized {
+		return c.ModelName + "-int8"
+	}
+	return c.ModelName
+}
+
+// PlanTiers turns a Pareto frontier (selector.Pareto over profiled zoo
+// variants) into a tier ladder: choices below the policy's accuracy floor
+// or above its memory cap are dropped, the rest are ordered
+// best-accuracy-first (ties: faster first) and deduplicated by served
+// model name. name maps a choice to the model name it is loaded under
+// (nil means TierName).
+func PlanTiers(front []selector.Choice, name func(selector.Choice) string, pol Policy) []TierSpec {
+	if name == nil {
+		name = TierName
+	}
+	pol = pol.withDefaults()
+	var tiers []TierSpec
+	seen := map[string]bool{}
+	for _, c := range front {
+		if c.ALEM.Accuracy < pol.AccuracyFloor {
+			continue
+		}
+		if pol.MemoryCap > 0 && c.ALEM.Memory > pol.MemoryCap {
+			continue
+		}
+		n := name(c)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		tiers = append(tiers, TierSpec{
+			Model:     n,
+			Accuracy:  c.ALEM.Accuracy,
+			Latency:   c.ALEM.Latency,
+			Memory:    c.ALEM.Memory,
+			Quantized: c.Quantized,
+		})
+	}
+	sort.SliceStable(tiers, func(i, j int) bool {
+		if tiers[i].Accuracy != tiers[j].Accuracy {
+			return tiers[i].Accuracy > tiers[j].Accuracy
+		}
+		return tiers[i].Latency < tiers[j].Latency
+	})
+	return tiers
+}

@@ -112,18 +112,34 @@ type node struct {
 	inflight   atomic.Int64
 	queueDepth atomic.Int64
 	queueCap   atomic.Int64
+	// tierRank is the node's autopilot degradation level from its last
+	// /ei_metrics poll: 0 for the top (or only) tier, +1 per downgraded
+	// rung, +1 more while offloading to the cloud. Routing prefers nodes
+	// still on the high-accuracy tier.
+	tierRank atomic.Int64
 
 	routed atomic.Uint64 // responses delivered from this node
 	fails  atomic.Uint64 // transport failures + 5xx answers
 
 	mu       sync.Mutex
 	nodeID   string
+	tier     string // autopilot tier model from the last metrics poll
 	lastBeat time.Time
 }
 
 // load is the balancing signal: requests the gateway has outstanding to
 // the node plus the node's last-reported serving queue depth.
 func (n *node) load() int64 { return n.inflight.Load() + n.queueDepth.Load() }
+
+// tierPenalty is the load-equivalent cost of one autopilot degradation
+// level in effectiveLoad: a degraded node must be this much *less* loaded
+// than a top-tier peer before it wins a pick. A bounded penalty (rather
+// than an absolute tier preference) keeps the preference from starving
+// the last top-tier node into its own downgrade.
+const tierPenalty = 16
+
+// effectiveLoad folds the autopilot tier rank into the balancing signal.
+func (n *node) effectiveLoad() int64 { return n.load() + n.tierRank.Load()*tierPenalty }
 
 // Gateway routes libei traffic across a fleet of edge nodes. Create with
 // New, call Start to begin health probing, serve it as an http.Handler,
@@ -270,6 +286,18 @@ func (g *Gateway) CheckHealth() {
 			if m, err := n.client.MetricsCtx(ctx); err == nil {
 				n.queueDepth.Store(int64(m.QueueDepth))
 				n.queueCap.Store(int64(m.QueueCap))
+				rank, tier := int64(0), ""
+				if ap := m.Autopilot; ap != nil {
+					rank = int64(ap.TierIndex)
+					if ap.Offloading {
+						rank++
+					}
+					tier = ap.Tier
+				}
+				n.tierRank.Store(rank)
+				n.mu.Lock()
+				n.tier = tier
+				n.mu.Unlock()
 			}
 		}(n)
 	}
@@ -277,10 +305,16 @@ func (g *Gateway) CheckHealth() {
 }
 
 // pick selects a healthy node not in tried, power-of-two-choices: two
-// random candidates, the lower load wins. When the healthy set is empty
-// — probing can black out under host overload — it falls back to every
-// untried node: an unhealthy node that might still answer beats a
-// guaranteed refusal, and failover covers the truly dead.
+// random candidates, the lower *effective* load wins — real load plus a
+// bounded penalty per autopilot degradation level. While part of the
+// fleet is degraded, lightly loaded top-tier nodes absorb new traffic
+// (clients keep getting the high-accuracy model), but once the top-tier
+// node is tierPenalty requests busier than a degraded peer, load wins
+// again — the preference cannot pile the whole fleet's traffic onto the
+// last top-tier node. When the healthy set is empty — probing can black
+// out under host overload — it falls back to every untried node: an
+// unhealthy node that might still answer beats a guaranteed refusal, and
+// failover covers the truly dead.
 func (g *Gateway) pick(tried map[*node]bool) *node {
 	var cands []*node
 	for _, n := range g.nodes {
@@ -309,7 +343,7 @@ func (g *Gateway) pick(tried map[*node]bool) *node {
 		j++
 	}
 	a, b := cands[i], cands[j]
-	if b.load() < a.load() {
+	if b.effectiveLoad() < a.effectiveLoad() {
 		return b
 	}
 	return a

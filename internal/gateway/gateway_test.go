@@ -25,8 +25,18 @@ type stubNode struct {
 	queueDepth atomic.Int64 // reported at /ei_metrics
 	inferCalls atomic.Int64
 
-	mu    sync.Mutex
-	infer http.HandlerFunc
+	mu        sync.Mutex
+	infer     http.HandlerFunc
+	autopilot string // raw JSON for /ei_metrics "autopilot"; empty = none
+}
+
+// setAutopilot injects an autopilot status blob into /ei_metrics the way
+// a degraded node would report it.
+func (s *stubNode) setAutopilot(tier string, tierIndex int, offloading bool) {
+	s.mu.Lock()
+	s.autopilot = fmt.Sprintf(`{"alias":"detector","tier":%q,"tier_index":%d,"offloading":%t}`,
+		tier, tierIndex, offloading)
+	s.mu.Unlock()
 }
 
 func newStub(t *testing.T, id string, infer http.HandlerFunc) *stubNode {
@@ -53,8 +63,14 @@ func (s *stubNode) handle(w http.ResponseWriter, r *http.Request) {
 		}
 		fmt.Fprintf(w, `{"ok":true,"result":{"node_id":%q}}`, s.id)
 	case "/ei_metrics":
-		fmt.Fprintf(w, `{"ok":true,"result":{"node_id":%q,"queue_depth":%d,"queue_cap":64}}`,
-			s.id, s.queueDepth.Load())
+		s.mu.Lock()
+		ap := s.autopilot
+		s.mu.Unlock()
+		if ap != "" {
+			ap = `,"autopilot":` + ap
+		}
+		fmt.Fprintf(w, `{"ok":true,"result":{"node_id":%q,"queue_depth":%d,"queue_cap":64%s}}`,
+			s.id, s.queueDepth.Load(), ap)
 	case "/ei_algorithms/serving/infer":
 		s.inferCalls.Add(1)
 		s.mu.Lock()

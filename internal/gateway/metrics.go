@@ -17,6 +17,13 @@ type NodeMetrics struct {
 	QueueDepth int64 `json:"queue_depth"`
 	QueueCap   int64 `json:"queue_cap"`
 
+	// Tier is the node's active autopilot tier model from the last
+	// metrics poll (empty when the node runs no autopilot); TierRank is
+	// its degradation level (0 = top tier, +1 per downgrade, +1 while
+	// offloading) — the signal routing uses to prefer high-accuracy nodes.
+	Tier     string `json:"tier,omitempty"`
+	TierRank int64  `json:"tier_rank"`
+
 	// Routed counts responses delivered from this node; Fails counts
 	// transport failures plus 5xx answers.
 	Routed uint64 `json:"routed"`
@@ -77,7 +84,7 @@ func (g *Gateway) Metrics() Metrics {
 	for _, n := range g.nodes {
 		cs := n.client.Stats()
 		n.mu.Lock()
-		id, beat := n.nodeID, n.lastBeat
+		id, tier, beat := n.nodeID, n.tier, n.lastBeat
 		n.mu.Unlock()
 		nm := NodeMetrics{
 			URL:                n.url,
@@ -86,6 +93,8 @@ func (g *Gateway) Metrics() Metrics {
 			Inflight:           n.inflight.Load(),
 			QueueDepth:         n.queueDepth.Load(),
 			QueueCap:           n.queueCap.Load(),
+			Tier:               tier,
+			TierRank:           n.tierRank.Load(),
 			Routed:             n.routed.Load(),
 			Fails:              n.fails.Load(),
 			Requests:           cs.Requests,

@@ -1,0 +1,114 @@
+package gateway_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"openei/internal/gateway"
+)
+
+// TestRoutingPrefersTopTierNode: with one node degraded to a lower
+// autopilot tier, the p2c pick must send all traffic to the node still on
+// the high-accuracy tier, regardless of small load differences.
+func TestRoutingPrefersTopTierNode(t *testing.T) {
+	degraded := newStub(t, "degraded", okInfer)
+	top := newStub(t, "top", okInfer)
+	degraded.setAutopilot("detector-int8", 1, false)
+	top.setAutopilot("detector", 0, false)
+	// Give the top-tier node slightly more load: tier must outrank load.
+	top.queueDepth.Store(3)
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, degraded, top)
+	gw.CheckHealth()
+
+	for i := 0; i < 30; i++ {
+		if status, body := get(t, front.URL+inferURI); status != http.StatusOK {
+			t.Fatalf("status %d body %s", status, body)
+		}
+	}
+	if n := degraded.inferCalls.Load(); n != 0 {
+		t.Errorf("degraded node took %d requests, want 0", n)
+	}
+	if n := top.inferCalls.Load(); n != 30 {
+		t.Errorf("top-tier node took %d requests, want 30", n)
+	}
+}
+
+// TestOffloadingCountsAsExtraRank: a node on its last tier that is also
+// offloading ranks below a node on the same tier that is not.
+func TestOffloadingCountsAsExtraRank(t *testing.T) {
+	shedding := newStub(t, "shedding", okInfer)
+	holding := newStub(t, "holding", okInfer)
+	shedding.setAutopilot("detector-int8", 1, true) // rank 2
+	holding.setAutopilot("detector-int8", 1, false) // rank 1
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, shedding, holding)
+	gw.CheckHealth()
+
+	for i := 0; i < 20; i++ {
+		if status, _ := get(t, front.URL+inferURI); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+	}
+	if n := shedding.inferCalls.Load(); n != 0 {
+		t.Errorf("offloading node took %d requests, want 0", n)
+	}
+
+	// Tier state is surfaced per node in /gw_metrics.
+	m := gw.Metrics()
+	ranks := map[string]int64{}
+	tiers := map[string]string{}
+	for _, nm := range m.Nodes {
+		ranks[nm.NodeID] = nm.TierRank
+		tiers[nm.NodeID] = nm.Tier
+	}
+	if ranks["shedding"] != 2 || ranks["holding"] != 1 {
+		t.Errorf("tier ranks = %v, want shedding=2 holding=1", ranks)
+	}
+	if tiers["holding"] != "detector-int8" {
+		t.Errorf("tier = %q, want detector-int8", tiers["holding"])
+	}
+}
+
+// TestTierPreferenceIsBounded: the tier preference is a load penalty, not
+// absolute — a top-tier node far busier than a degraded peer must not
+// keep absorbing all new traffic (that would push the last good node into
+// its own downgrade).
+func TestTierPreferenceIsBounded(t *testing.T) {
+	degraded := newStub(t, "degraded", okInfer)
+	top := newStub(t, "top", okInfer)
+	degraded.setAutopilot("detector-int8", 1, false)
+	top.setAutopilot("detector", 0, false)
+	top.queueDepth.Store(100) // way past the per-rank penalty
+	_, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, degraded, top)
+
+	for i := 0; i < 30; i++ {
+		if status, _ := get(t, front.URL+inferURI); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+	}
+	if n := top.inferCalls.Load(); n != 0 {
+		t.Errorf("saturated top-tier node took %d requests, want 0", n)
+	}
+	if n := degraded.inferCalls.Load(); n != 30 {
+		t.Errorf("degraded idle node took %d requests, want 30", n)
+	}
+}
+
+// TestNoAutopilotMeansTopRank: nodes without an autopilot compete on load
+// alone at rank 0.
+func TestNoAutopilotMeansTopRank(t *testing.T) {
+	plain := newStub(t, "plain", okInfer)
+	degraded := newStub(t, "degraded", okInfer)
+	degraded.setAutopilot("detector-mini", 2, false)
+	gw, front := startGateway(t, gateway.Config{HealthInterval: time.Hour}, plain, degraded)
+	gw.CheckHealth()
+
+	for i := 0; i < 20; i++ {
+		if status, _ := get(t, front.URL+inferURI); status != http.StatusOK {
+			t.Fatalf("status %d", status)
+		}
+	}
+	if n := plain.inferCalls.Load(); n != 20 {
+		t.Errorf("plain node took %d requests, want all 20", n)
+	}
+}

@@ -1,0 +1,111 @@
+package libei
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/autopilot"
+	"openei/internal/hardware"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
+)
+
+// tieredNode builds a libei server whose manager holds a two-tier model
+// ladder (heavy and light share the 1024-element input).
+func tieredNode(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	rng := rand.New(rand.NewSource(5))
+	for name, hidden := range map[string]int{"heavy": 256, "light": 16} {
+		m := nn.MustModel(name, []int{1024}, []nn.LayerSpec{
+			{Type: "dense", In: 1024, Out: hidden},
+			{Type: "relu"},
+			{Type: "dense", In: hidden, Out: 4},
+		})
+		m.InitParams(rng)
+		if err := mgr.Load(m, pkgmgr.LoadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := NewServer("edge-1", nil, mgr)
+	e := serving.NewEngine(mgr, serving.Config{Replicas: 1, MaxBatch: 2})
+	t.Cleanup(e.Close)
+	s.SetEngine(e)
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestAutopilotWiring: with a pilot attached, the infer route dispatches
+// through it (served_by reports the active tier after a downgrade) and
+// /ei_metrics carries the pilot's status block with its switch history.
+func TestAutopilotWiring(t *testing.T) {
+	s, ts := tieredNode(t)
+	tiers := []autopilot.TierSpec{
+		{Model: "heavy", Accuracy: 0.95, Latency: 5 * time.Millisecond},
+		{Model: "light", Accuracy: 0.91, Latency: time.Millisecond},
+	}
+	pol := autopilot.Policy{P95: 10 * time.Millisecond, Interval: time.Hour, DowngradeAfter: 1}
+	p, err := autopilot.New(s.Engine(), "heavy", tiers, pol, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s.SetAutopilot(p)
+
+	c := NewClient(ts.URL)
+	input := make([]float32, 1024)
+	input[3] = 1
+	res, err := c.Infer("heavy", input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != "heavy" || res.Offloaded {
+		t.Errorf("top tier answer = %+v", res)
+	}
+
+	// Force a downgrade through the engine actuator and confirm the wire
+	// answer names the serving tier while the client-facing model name is
+	// unchanged.
+	if err := s.Engine().Swap("heavy", "light"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Infer("heavy", input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "heavy" || res.ServedBy != "light" {
+		t.Errorf("downgraded answer = %+v, want model heavy served_by light", res)
+	}
+
+	// A control step on an idle pipeline is a quiet tick; the status block
+	// must surface through /ei_metrics.
+	p.Step(time.Now())
+	m, err := c.MetricsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Autopilot == nil {
+		t.Fatal("metrics missing autopilot block")
+	}
+	if m.Autopilot.Alias != "heavy" || m.Autopilot.Ticks != 1 {
+		t.Errorf("autopilot block = %+v", m.Autopilot)
+	}
+	if len(m.Autopilot.Tiers) != 2 {
+		t.Errorf("tier ladder = %+v", m.Autopilot.Tiers)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"openei/internal/autopilot"
 	"openei/internal/datastore"
 	"openei/internal/pkgmgr"
 	"openei/internal/serving"
@@ -71,9 +72,11 @@ type Server struct {
 	// Manager serves /ei_models; may be nil.
 	Manager *pkgmgr.Manager
 
-	mu     sync.RWMutex
-	algos  map[string]map[string]AlgorithmFunc
-	engine *serving.Engine
+	mu      sync.RWMutex
+	algos   map[string]map[string]AlgorithmFunc
+	engine  *serving.Engine
+	inferer Inferer
+	pilot   func() autopilot.Status
 
 	vcu vcuHolder
 }

@@ -9,10 +9,20 @@ import (
 	"strings"
 	"time"
 
+	"openei/internal/autopilot"
 	"openei/internal/parallel"
 	"openei/internal/serving"
 	"openei/internal/tensor"
 )
+
+// Inferer is the serving entry point the infer route dispatches through.
+// The engine itself satisfies it; an autopilot.Pilot satisfies it too,
+// adding SLO-driven tier routing and edge→cloud offload in front of the
+// same engine.
+type Inferer interface {
+	Infer(ctx context.Context, model string, x *tensor.Tensor) (serving.Result, error)
+	InferWithDeadline(model string, x *tensor.Tensor, d time.Duration) (serving.Result, error)
+}
 
 // SetEngine attaches the serving engine: the high-throughput inference
 // path. It registers the built-in algorithm
@@ -37,6 +47,46 @@ func (s *Server) Engine() *serving.Engine {
 	return s.engine
 }
 
+// SetInferer routes /ei_algorithms/serving/infer through i instead of the
+// raw engine; pass nil to restore direct engine dispatch. SetEngine must
+// still be called so /ei_metrics has the engine's counters. Any autopilot
+// status hook is cleared: /ei_metrics must not keep advertising a pilot
+// the serving path no longer flows through.
+func (s *Server) SetInferer(i Inferer) {
+	s.mu.Lock()
+	s.inferer = i
+	s.pilot = nil
+	s.mu.Unlock()
+}
+
+// SetAutopilot hooks a pilot into the node: the infer route dispatches
+// through it (tier routing + offload) and /ei_metrics gains its Status
+// under "autopilot". A nil pilot detaches both.
+func (s *Server) SetAutopilot(p *autopilot.Pilot) {
+	if p == nil {
+		s.SetInferer(nil)
+		return
+	}
+	s.mu.Lock()
+	s.inferer = p
+	s.pilot = p.Status
+	s.mu.Unlock()
+}
+
+// inferDispatch returns the configured Inferer, falling back to the
+// engine; nil when neither is attached.
+func (s *Server) inferDispatch() Inferer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.inferer != nil {
+		return s.inferer
+	}
+	if s.engine != nil {
+		return s.engine
+	}
+	return nil
+}
+
 // InferResult is the wire form of one batched inference answer.
 type InferResult struct {
 	Model      string  `json:"model"`
@@ -45,11 +95,17 @@ type InferResult struct {
 	BatchSize  int     `json:"batch_size"`
 	QueuedMS   float64 `json:"queued_ms"`
 	LatencyMS  float64 `json:"model_latency_ms"`
+	// ServedBy is the model that actually answered: the active autopilot
+	// tier under a Swap route, or "cloud:{model}" when the request was
+	// offloaded.
+	ServedBy string `json:"served_by,omitempty"`
+	// Offloaded marks answers executed on the cloud fallback.
+	Offloaded bool `json:"offloaded,omitempty"`
 }
 
 // servingInfer backs /ei_algorithms/serving/infer.
 func (s *Server) servingInfer(args url.Values) (any, error) {
-	e := s.Engine()
+	e := s.inferDispatch()
 	if e == nil {
 		return nil, fmt.Errorf("%w: node has no serving engine", ErrNotFound)
 	}
@@ -97,7 +153,34 @@ func (s *Server) servingInfer(args url.Values) (any, error) {
 		BatchSize:  res.BatchSize,
 		QueuedMS:   float64(res.Queued) / float64(time.Millisecond),
 		LatencyMS:  float64(res.ModelLatency) / float64(time.Millisecond),
+		ServedBy:   res.Model,
+		Offloaded:  strings.HasPrefix(res.Model, "cloud:"),
 	}, nil
+}
+
+// RemoteOffloader executes autopilot offloads on a remote serving
+// endpoint — another edge, a gateway, or an openei-cloud instance running
+// a serving tier. It satisfies autopilot.Offloader.
+type RemoteOffloader struct {
+	// Client talks to the fallback node's libei API.
+	Client *Client
+	// Model, when non-empty, overrides the model name requested remotely
+	// (the cloud may publish the tier ladder's base model under a
+	// different alias).
+	Model string
+}
+
+// Offload implements autopilot.Offloader.
+func (o *RemoteOffloader) Offload(ctx context.Context, model string, input []float32, deadline time.Duration) (int, float64, error) {
+	name := o.Model
+	if name == "" {
+		name = model
+	}
+	res, err := o.Client.InferCtx(ctx, name, input, deadline)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Class, res.Confidence, nil
 }
 
 // Metrics is the wire form of /ei_metrics.
@@ -116,6 +199,11 @@ type Metrics struct {
 	// Parallel is the process-wide kernel pool: width, grain, job/shard
 	// counters, and utilization (busy worker time over pool capacity).
 	Parallel parallel.Stats `json:"parallel"`
+	// Autopilot is the SLO control loop's state (current tier, switch
+	// history, offload ratio, SLO attainment); absent when no pilot is
+	// attached. A gateway reads tier_index from it to prefer nodes still
+	// serving their high-accuracy tier.
+	Autopilot *autopilot.Status `json:"autopilot,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter) {
@@ -129,6 +217,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 			m.Serving = []serving.ModelStats{}
 		}
 		m.QueueDepth, m.QueueCap = e.QueueDepth()
+	}
+	s.mu.RLock()
+	pilot := s.pilot
+	s.mu.RUnlock()
+	if pilot != nil {
+		st := pilot()
+		m.Autopilot = &st
 	}
 	writeJSON(w, http.StatusOK, envelope{OK: true, Result: m})
 }

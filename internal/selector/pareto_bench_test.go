@@ -1,0 +1,114 @@
+package selector
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// randomSpace synthesizes an n-point selection space shaped like the real
+// one: a handful of discrete cost scales (model families × packages ×
+// devices) with per-point jitter, accuracy loosely anti-correlated with
+// cost so a non-trivial frontier emerges.
+func randomSpace(n int, rng *rand.Rand) []Choice {
+	out := make([]Choice, n)
+	for i := range out {
+		scale := float64(uint(1) << uint(rng.Intn(8))) // 8 cost scales
+		lat := time.Duration((0.5 + rng.Float64()) * scale * float64(time.Millisecond))
+		out[i] = mk(
+			0.5+0.4*rng.Float64()*(0.3+scale/128), // bigger tends more accurate
+			lat,
+			(0.5+rng.Float64())*scale*0.01,
+			int64((0.5+rng.Float64())*scale*float64(1<<20)),
+		)
+	}
+	return out
+}
+
+// frontierKey flattens a choice's tuple for set comparison.
+func frontierKey(c Choice) string {
+	return fmt.Sprintf("%.9f/%d/%.9f/%d", c.ALEM.Accuracy, c.ALEM.Latency, c.ALEM.Energy, c.ALEM.Memory)
+}
+
+// TestParetoSweepMatchesNaive property-tests the sort-based sweep against
+// the O(n²) reference on random spaces, including duplicate-heavy ones.
+func TestParetoSweepMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sizes := []int{0, 1, 2, 3, 10, 100, 1000}
+	if !testing.Short() {
+		sizes = append(sizes, 5000)
+	}
+	for _, n := range sizes {
+		space := randomSpace(n, rng)
+		// Inject duplicates and exact ties to stress the tie-break path.
+		if n >= 10 {
+			for i := 0; i < n/10; i++ {
+				space[rng.Intn(n)] = space[rng.Intn(n)]
+			}
+		}
+		got := Pareto(space)
+		want := paretoNaive(space)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: sweep frontier %d points, naive %d", n, len(got), len(want))
+		}
+		gk := make([]string, len(got))
+		wk := make([]string, len(want))
+		for i := range got {
+			gk[i] = frontierKey(got[i])
+			wk[i] = frontierKey(want[i])
+		}
+		sort.Strings(gk)
+		sort.Strings(wk)
+		for i := range gk {
+			if gk[i] != wk[i] {
+				t.Fatalf("n=%d: frontier sets differ at %d: %s vs %s", n, i, gk[i], wk[i])
+			}
+		}
+		// Ordering contract: ascending latency.
+		for i := 1; i < len(got); i++ {
+			if got[i].ALEM.Latency < got[i-1].ALEM.Latency {
+				t.Fatalf("n=%d: frontier not latency-sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestParetoAllOnFrontier covers the worst case for the sweep: every point
+// incomparable (accuracy strictly increasing with latency).
+func TestParetoAllOnFrontier(t *testing.T) {
+	n := 500
+	space := make([]Choice, n)
+	for i := range space {
+		space[i] = mk(float64(i)/float64(n), time.Duration(i)*time.Millisecond, float64(n-i), int64(n-i))
+	}
+	got := Pareto(space)
+	if len(got) != n {
+		t.Fatalf("frontier = %d, want all %d", len(got), n)
+	}
+}
+
+// BenchmarkPareto proves the sweep on a 10k-point space (the satellite's
+// target size) and smaller ones; BenchmarkParetoNaive is the old scan for
+// comparison.
+func BenchmarkPareto(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		space := randomSpace(n, rand.New(rand.NewSource(42)))
+		b.Run(fmt.Sprintf("sweep-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if f := Pareto(space); len(f) == 0 {
+					b.Fatal("empty frontier")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("naive-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if f := paretoNaive(space); len(f) == 0 {
+					b.Fatal("empty frontier")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package serving
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyHistogram is an HDR-style log-linear histogram of request
+// latencies: each power-of-two octave of microseconds is split into
+// histSub linear sub-buckets, bounding the relative quantile error at
+// ~1/histSub (±6%) while keeping observation a single atomic increment —
+// no lock on the serving hot path, and cheap enough to run even when the
+// autopilot is off.
+type latencyHistogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+}
+
+const (
+	// histSubBits sub-divides each octave into 2^histSubBits buckets.
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	// histMaxShift caps the top octave; values beyond ~2^(histMaxShift+
+	// histSubBits+1) µs (≈ 35 min at 26) clamp into the last bucket.
+	histMaxShift = 26
+	histBuckets  = (histMaxShift + 2) * histSub
+)
+
+// histIndex maps a duration to its bucket. Monotone in d.
+func histIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	shift := bits.Len64(uint64(us)) - 1 - histSubBits
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > histMaxShift {
+		shift = histMaxShift
+		return histBuckets - 1
+	}
+	return shift*histSub + int(us>>uint(shift))
+}
+
+// histUpperBound is the largest duration a bucket can hold — the value a
+// quantile lookup reports (conservative: real latency is ≤ the estimate).
+func histUpperBound(idx int) time.Duration {
+	if idx < 2*histSub {
+		return time.Duration(idx) * time.Microsecond
+	}
+	shift := idx/histSub - 1
+	frac := idx - shift*histSub
+	us := (int64(frac+1) << uint(shift)) - 1
+	return time.Duration(us) * time.Microsecond
+}
+
+// Observe records one latency.
+func (h *latencyHistogram) Observe(d time.Duration) {
+	h.buckets[histIndex(d)].Add(1)
+	h.count.Add(1)
+}
+
+// Snapshot copies the histogram's counters.
+func (h *latencyHistogram) Snapshot() LatencySnapshot {
+	var s LatencySnapshot
+	// Total is read first: racing observers can only make bucket sums ≥
+	// Total, never leave a quantile rank pointing past the counted mass.
+	s.Count = h.count.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// LatencySnapshot is a point-in-time copy of a model's latency histogram.
+// Subtracting two snapshots yields the distribution of an interval, which
+// is what the autopilot's control loop quantizes each tick.
+type LatencySnapshot struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+}
+
+// Sub returns the distribution observed since prev. A pipeline that was
+// swapped out and rebuilt restarts its counters; a shrinking total is
+// detected and the current snapshot is returned whole.
+func (s LatencySnapshot) Sub(prev LatencySnapshot) LatencySnapshot {
+	if s.Count < prev.Count {
+		return s
+	}
+	d := LatencySnapshot{Count: s.Count - prev.Count}
+	for i := range s.Buckets {
+		if s.Buckets[i] >= prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+		}
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) as the upper bound of the
+// bucket holding that rank; 0 when the snapshot is empty.
+func (s LatencySnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum uint64
+	last := -1
+	for i := range s.Buckets {
+		if s.Buckets[i] == 0 {
+			continue
+		}
+		last = i
+		cum += s.Buckets[i]
+		if cum > rank {
+			return histUpperBound(i)
+		}
+	}
+	// Racing observers (Count is loaded before the buckets) and interval
+	// subtraction can leave rank ≥ the summed bucket mass; answer with
+	// the largest *observed* bucket instead of the ~35-minute top-bucket
+	// sentinel, which would read as a catastrophic tail to the autopilot.
+	if last >= 0 {
+		return histUpperBound(last)
+	}
+	return 0
+}

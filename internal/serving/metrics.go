@@ -23,6 +23,11 @@ type modelMetrics struct {
 
 	queuedNS  atomic.Uint64 // total pre-execution wait of done requests
 	latencyNS atomic.Uint64 // total enqueue→response time of done requests
+
+	// hist is the enqueue→response latency distribution behind the
+	// rolling p50/p95/p99 in /ei_metrics and the autopilot's per-tick
+	// quantile deltas.
+	hist latencyHistogram
 }
 
 func (m *modelMetrics) observeBatch(n int) {
@@ -40,6 +45,7 @@ func (m *modelMetrics) observeDone(queued, total time.Duration) {
 	m.done.Add(1)
 	m.queuedNS.Add(uint64(queued))
 	m.latencyNS.Add(uint64(total))
+	m.hist.Observe(total)
 }
 
 // ModelStats is the JSON-friendly snapshot of one model's serving counters,
@@ -63,6 +69,13 @@ type ModelStats struct {
 
 	AvgQueueMS   float64 `json:"avg_queue_ms"`
 	AvgLatencyMS float64 `json:"avg_latency_ms"`
+
+	// P50MS/P95MS/P99MS are enqueue→response latency quantiles over the
+	// model's whole serving history (HDR-style bucket estimates, ≤ ~6%
+	// high). Per-interval quantiles come from LatencySnapshot deltas.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 func (m *modelMetrics) snapshot(model string, depth int) ModelStats {
@@ -85,6 +98,10 @@ func (m *modelMetrics) snapshot(model string, depth int) ModelStats {
 	if s.Completed > 0 {
 		s.AvgQueueMS = float64(m.queuedNS.Load()) / float64(s.Completed) / 1e6
 		s.AvgLatencyMS = float64(m.latencyNS.Load()) / float64(s.Completed) / 1e6
+		h := m.hist.Snapshot()
+		s.P50MS = float64(h.Quantile(0.50)) / 1e6
+		s.P95MS = float64(h.Quantile(0.95)) / 1e6
+		s.P99MS = float64(h.Quantile(0.99)) / 1e6
 	}
 	return s
 }

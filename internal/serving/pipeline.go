@@ -209,6 +209,7 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 			queued := start.Sub(r.enq)
 			p.met.observeDone(queued, done.Sub(r.enq))
 			r.resp <- response{res: Result{
+				Model:        p.model,
 				Class:        res.Classes[i],
 				Confidence:   res.Confidences[i],
 				BatchSize:    len(batch),
@@ -223,6 +224,28 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 // stats snapshots this pipeline's counters.
 func (p *pipeline) stats() ModelStats {
 	return p.met.snapshot(p.model, len(p.queue))
+}
+
+// drain retires the pipeline without dropping anything: new submits are
+// rejected (the engine redirects them to the pipeline that replaced this
+// one), but everything already queued is batched and answered before the
+// workers exit. It is the swap-out half of Engine.Swap.
+func (p *pipeline) drain() {
+	p.sendMu.Lock()
+	if p.closed {
+		p.sendMu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.sendMu.Unlock()
+	// No submit can enter past this point, so the queue only shrinks; once
+	// it is empty the shutdown sweep has nothing to reject.
+	for len(p.queue) > 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(p.quit)
+	p.wg.Wait()
 }
 
 // close stops the pipeline: blocks new submits, lets the dispatcher sweep

@@ -94,6 +94,10 @@ func (c Config) withDefaults() Config {
 
 // Result is one request's share of a batched inference.
 type Result struct {
+	// Model is the pipeline that actually served the request — under a
+	// Swap route this is the active tier, not the name the client asked
+	// for.
+	Model string
 	// Class and Confidence are this sample's prediction.
 	Class      int
 	Confidence float64
@@ -118,6 +122,7 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	pipes  map[string]*pipeline
+	routes map[string]string // public name → serving model (Swap)
 	closed bool
 }
 
@@ -132,7 +137,7 @@ func NewEngine(mgr *pkgmgr.Manager, cfg Config) *Engine {
 	if cfg.ParallelGrain > 0 {
 		parallel.SetGrainWork(cfg.ParallelGrain)
 	}
-	return &Engine{mgr: mgr, cfg: cfg, pipes: map[string]*pipeline{}}
+	return &Engine{mgr: mgr, cfg: cfg, pipes: map[string]*pipeline{}, routes: map[string]string{}}
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -160,21 +165,31 @@ func (e *Engine) InferWithDeadline(model string, x *tensor.Tensor, d time.Durati
 }
 
 func (e *Engine) infer(ctx context.Context, model string, x *tensor.Tensor, deadline time.Time) (Result, error) {
-	p, err := e.pipelineFor(model)
-	if err != nil {
-		return Result{}, err
-	}
-	sample, err := p.normalize(x)
-	if err != nil {
-		return Result{}, err
-	}
-	if !deadline.IsZero() && !time.Now().Before(deadline) {
-		p.met.expired.Add(1)
-		return Result{}, fmt.Errorf("%w: model %s: expired before enqueue", ErrDeadline, model)
-	}
-	req := &request{x: sample, deadline: deadline, enq: time.Now(), resp: make(chan response, 1)}
-	if err := p.submit(req); err != nil {
-		return Result{}, err
+	var req *request
+	// A Swap or Reset can retire the pipeline between lookup and submit;
+	// ErrClosed from a live engine means "re-resolve the route and try the
+	// replacement", so a hot-swap never surfaces as a client failure.
+	for attempt := 0; ; attempt++ {
+		p, err := e.pipelineFor(model)
+		if err != nil {
+			return Result{}, err
+		}
+		sample, err := p.normalize(x)
+		if err != nil {
+			return Result{}, err
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			p.met.expired.Add(1)
+			return Result{}, fmt.Errorf("%w: model %s: expired before enqueue", ErrDeadline, model)
+		}
+		req = &request{x: sample, deadline: deadline, enq: time.Now(), resp: make(chan response, 1)}
+		if err := p.submit(req); err != nil {
+			if errors.Is(err, ErrClosed) && attempt < 8 {
+				continue
+			}
+			return Result{}, err
+		}
+		break
 	}
 	select {
 	case r := <-req.resp:
@@ -186,12 +201,57 @@ func (e *Engine) infer(ctx context.Context, model string, x *tensor.Tensor, dead
 	}
 }
 
-// pipelineFor returns (creating on first use) the model's pipeline. The
-// hot path is a read-locked map lookup; only first-use construction (which
-// clones replicas) takes the write lock.
-func (e *Engine) pipelineFor(model string) (*pipeline, error) {
+// resolveLocked maps a public model name through the Swap route table to
+// the model actually serving it. Caller holds e.mu (either mode).
+func (e *Engine) resolveLocked(model string) string {
+	if t, ok := e.routes[model]; ok {
+		return t
+	}
+	return model
+}
+
+// Route returns the model that currently serves requests for the given
+// name: the Swap target when a route is installed, the name itself
+// otherwise.
+func (e *Engine) Route(model string) string {
 	e.mu.RLock()
-	p, ok := e.pipes[model]
+	defer e.mu.RUnlock()
+	return e.resolveLocked(model)
+}
+
+// pipelineFor returns (creating on first use) the pipeline serving the
+// model — routes installed by Swap are resolved first. The hot path is a
+// read-locked map lookup; first-use construction clones replicas outside
+// the engine lock (ensureActual), so building one model's pool never
+// stalls other models' serving paths.
+func (e *Engine) pipelineFor(model string) (*pipeline, error) {
+	for attempt := 0; ; attempt++ {
+		e.mu.RLock()
+		actual := e.resolveLocked(model)
+		e.mu.RUnlock()
+		p, err := e.ensureActual(actual)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.RLock()
+		moved := e.resolveLocked(model) != actual
+		e.mu.RUnlock()
+		if moved && attempt < 4 {
+			// A Swap re-pointed the route while we resolved/built; serve
+			// from the new tier instead of a freshly retired one.
+			continue
+		}
+		return p, nil
+	}
+}
+
+// ensureActual returns (creating if needed) the pipeline keyed by the
+// already-resolved model name. Replica cloning — a multi-megabyte weight
+// copy per replica — happens outside the engine lock; only the map
+// double-check and install are serialized.
+func (e *Engine) ensureActual(actual string) (*pipeline, error) {
+	e.mu.RLock()
+	p, ok := e.pipes[actual]
 	closed := e.closed
 	e.mu.RUnlock()
 	if closed {
@@ -200,25 +260,93 @@ func (e *Engine) pipelineFor(model string) (*pipeline, error) {
 	if ok {
 		return p, nil
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return nil, ErrClosed
-	}
-	if p, ok := e.pipes[model]; ok {
-		return p, nil
-	}
 	reps := make([]*pkgmgr.Replica, e.cfg.Replicas)
 	for i := range reps {
-		r, err := e.mgr.NewReplica(model)
+		r, err := e.mgr.NewReplica(actual)
 		if err != nil {
 			return nil, err
 		}
 		reps[i] = r
 	}
-	p = newPipeline(model, e.cfg, reps)
-	e.pipes[model] = p
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if p, ok := e.pipes[actual]; ok {
+		// Lost the build race; the extra clones are garbage-collected.
+		return p, nil
+	}
+	p = newPipeline(actual, e.cfg, reps)
+	e.pipes[actual] = p
 	return p, nil
+}
+
+// Swap atomically re-points the public model name at target's replica
+// pool: the target pipeline is built (replicas cloned and warm) before
+// the route flips, then the previous pipeline is drained in the
+// background — everything already queued there completes, new requests
+// land on the target, and no request is dropped. It is the autopilot's
+// actuator for runtime tier switching; swapping to the name itself
+// removes the route.
+//
+// Retiring the old pipeline resets that model's cumulative serving
+// counters and histogram (like Reset does): if clients also request the
+// old tier's model *directly*, their next request transparently rebuilds
+// its pool from the manager's weights, but its /ei_metrics history
+// restarts. Tier ladders normally serve only through the public alias,
+// where this does not arise.
+func (e *Engine) Swap(public, target string) error {
+	if _, err := e.ensureActual(target); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	old := e.resolveLocked(public)
+	if target == public {
+		delete(e.routes, public)
+	} else {
+		e.routes[public] = target
+	}
+	var oldPipe *pipeline
+	if old != target {
+		// Retire the old tier's pipeline unless another route still
+		// resolves to it (two public names may share a tier).
+		still := false
+		for _, t := range e.routes {
+			if t == old {
+				still = true
+				break
+			}
+		}
+		if !still {
+			if op, ok := e.pipes[old]; ok {
+				delete(e.pipes, old)
+				oldPipe = op
+			}
+		}
+	}
+	e.mu.Unlock()
+	if oldPipe != nil {
+		go oldPipe.drain()
+	}
+	return nil
+}
+
+// LatencyOf returns the cumulative latency histogram of the pipeline
+// serving the named model (routes resolved), and whether such a pipeline
+// exists. Subtract successive snapshots for per-interval quantiles.
+func (e *Engine) LatencyOf(model string) (LatencySnapshot, bool) {
+	e.mu.RLock()
+	p, ok := e.pipes[e.resolveLocked(model)]
+	e.mu.RUnlock()
+	if !ok {
+		return LatencySnapshot{}, false
+	}
+	return p.met.hist.Snapshot(), true
 }
 
 // Reset drops the model's pipeline, draining its queue and discarding its

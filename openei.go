@@ -51,10 +51,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"strings"
 	"time"
 
 	"openei/internal/alem"
 	"openei/internal/apps"
+	"openei/internal/autopilot"
 	"openei/internal/datastore"
 	"openei/internal/hardware"
 	"openei/internal/libei"
@@ -127,6 +129,19 @@ type (
 	ServingResult = serving.Result
 	// ServingStats is the per-model counter snapshot behind /ei_metrics.
 	ServingStats = serving.ModelStats
+	// AutopilotPolicy is the operator-declared SLO (p95 latency target,
+	// accuracy floor, memory cap) plus the control loop's hysteresis
+	// knobs; a zero P95 leaves the autopilot disabled.
+	AutopilotPolicy = autopilot.Policy
+	// AutopilotTier is one rung of the runtime tier ladder: a loaded
+	// model variant with its profiled ALEM coordinates.
+	AutopilotTier = autopilot.TierSpec
+	// AutopilotStatus is the control loop's /ei_metrics snapshot.
+	AutopilotStatus = autopilot.Status
+	// AutopilotPilot is the running SLO control loop.
+	AutopilotPilot = autopilot.Pilot
+	// Offloader executes requests on the edge→cloud fallback tier.
+	Offloader = autopilot.Offloader
 )
 
 // Serving engine errors, surfaced by Node.ServeInfer and mapped by libei to
@@ -171,6 +186,11 @@ type Config struct {
 	// wait, replica count, queue depth). The zero value uses defaults;
 	// see ServingConfig.
 	Serving ServingConfig
+	// Autopilot is the SLO policy for runtime tier switching and
+	// edge→cloud offload. It takes effect when EnableAutopilot is called
+	// (the tier ladder needs trained models); a zero P95 disables the
+	// loop entirely.
+	Autopilot AutopilotPolicy
 }
 
 // Node is a deployed OpenEI edge: datastore + package manager + serving
@@ -183,9 +203,12 @@ type Node struct {
 	// Serving batches concurrent inference requests across model
 	// replicas; it backs /ei_algorithms/serving/infer and /ei_metrics.
 	Serving *ServingEngine
+	// Pilot is the SLO control loop, nil until EnableAutopilot.
+	Pilot *AutopilotPilot
 
 	device hardware.Device
 	pkg    alem.Package
+	slo    AutopilotPolicy
 }
 
 // New deploys OpenEI for the given configuration ("any hardware … will
@@ -213,13 +236,16 @@ func New(cfg Config) (*Node, error) {
 	srv.SetEngine(eng)
 	return &Node{
 		ID: cfg.NodeID, Store: store, Manager: mgr, Server: srv, Serving: eng,
-		device: dev, pkg: pkg,
+		device: dev, pkg: pkg, slo: cfg.Autopilot,
 	}, nil
 }
 
-// Close releases the node's resources (drains the serving engine, then
-// stops the real-time scheduler).
+// Close releases the node's resources (stops the autopilot, drains the
+// serving engine, then stops the real-time scheduler).
 func (n *Node) Close() {
+	if n.Pilot != nil {
+		n.Pilot.Close()
+	}
 	n.Serving.Close()
 	n.Manager.Close()
 }
@@ -260,6 +286,73 @@ func (n *Node) SelectModel(models map[string]*Model, eval Dataset, req Requireme
 	prof := alem.NewProfiler(eval)
 	cands := selector.Variants(models, n.pkg.SupportsInt8)
 	return selector.Exhaustive(cands, []alem.Package{n.pkg}, []hardware.Device{n.device}, req, prof)
+}
+
+// DeployTiers runs the paper's Equation-1 machinery once at deploy time
+// to build the autopilot's runtime tier ladder: every candidate model (and
+// its int8 variant, when the package supports int8) is ALEM-profiled on
+// this node's device, the Pareto frontier is computed, rungs violating the
+// SLO policy's accuracy floor or memory cap are dropped, and each
+// surviving variant is loaded into the package manager under its tier name
+// ("{model}" or "{model}-int8"). The returned ladder (best accuracy first)
+// is what EnableAutopilot switches across at runtime.
+func (n *Node) DeployTiers(models map[string]*Model, eval Dataset, pol AutopilotPolicy) ([]AutopilotTier, error) {
+	prof := alem.NewProfiler(eval)
+	cands := selector.Variants(models, n.pkg.SupportsInt8)
+	choices, err := selector.Table(cands, []alem.Package{n.pkg}, []hardware.Device{n.device}, prof)
+	if err != nil {
+		return nil, err
+	}
+	tiers := autopilot.PlanTiers(selector.Pareto(choices), nil, pol)
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("openei: no tier of %d candidates satisfies the SLO policy (floor %.3f)",
+			len(models), pol.AccuracyFloor)
+	}
+	for _, t := range tiers {
+		base := strings.TrimSuffix(t.Model, "-int8")
+		src, ok := models[base]
+		if !ok {
+			return nil, fmt.Errorf("openei: tier %q has no source model %q", t.Model, base)
+		}
+		clone, err := src.Clone()
+		if err != nil {
+			return nil, err
+		}
+		clone.Name = t.Model
+		if err := n.LoadModel(clone, t.Quantized); err != nil {
+			return nil, err
+		}
+	}
+	return tiers, nil
+}
+
+// EnableAutopilot starts the SLO control loop from Config.Autopilot over
+// the given tier ladder (usually DeployTiers' result): the alias is the
+// model name clients request, hot-swapped across tiers as the measured
+// p95 crosses the SLO; off, when non-nil, is the edge→cloud fallback used
+// once even the cheapest tier misses it (see NewRemoteOffloader). The
+// pilot is wired into libei — /ei_algorithms/serving/infer dispatches
+// through it and /ei_metrics gains the "autopilot" block.
+func (n *Node) EnableAutopilot(alias string, tiers []AutopilotTier, off Offloader) (*AutopilotPilot, error) {
+	if n.slo.P95 <= 0 {
+		return nil, fmt.Errorf("%w: Config.Autopilot.P95 is zero (autopilot disabled)", ErrBadConfig)
+	}
+	p, err := autopilot.New(n.Serving, alias, tiers, n.slo, off)
+	if err != nil {
+		return nil, err
+	}
+	n.Server.SetAutopilot(p)
+	p.Start()
+	n.Pilot = p
+	return p, nil
+}
+
+// NewRemoteOffloader returns an Offloader that executes requests against
+// a remote serving endpoint (an openei-cloud -serve instance, a beefier
+// edge, or a gateway); model, when non-empty, overrides the model name
+// requested remotely.
+func NewRemoteOffloader(baseURL, model string) Offloader {
+	return &libei.RemoteOffloader{Client: libei.NewClient(baseURL), Model: model}
 }
 
 // DeploySelected loads the chosen model variant into the node.

@@ -207,3 +207,76 @@ func nodeAccuracy(t *testing.T, n *Node, model string, d Dataset) float64 {
 	}
 	return float64(correct) / float64(len(classes))
 }
+
+// TestAutopilotWalkThrough is the façade-level adaptive-serving flow:
+// DeployTiers profiles candidates and loads the Pareto ladder,
+// EnableAutopilot starts the SLO loop, the infer route serves through the
+// pilot, and /ei_metrics reports the autopilot block.
+func TestAutopilotWalkThrough(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains candidate models")
+	}
+	node, err := New(Config{
+		NodeID: "rpi-slo", Device: "rpi4",
+		Autopilot: AutopilotPolicy{P95: 50 * time.Millisecond, AccuracyFloor: 0.5, Interval: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	cfg := dataset.ShapesConfig{Samples: 500, Size: 16, Classes: 4, Noise: 0.2, Seed: 31}
+	train, test, err := dataset.Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	models := map[string]*Model{}
+	for _, name := range []string{"lenet", "mlp"} {
+		m, err := zoo.Build(name, 16, 4, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 5, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+			t.Fatal(err)
+		}
+		models[name] = m
+	}
+
+	tiers, err := node.DeployTiers(models, test, node.slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) < 2 {
+		t.Fatalf("tier ladder = %+v, want ≥ 2 rungs", tiers)
+	}
+	for i := 1; i < len(tiers); i++ {
+		if tiers[i].Accuracy > tiers[i-1].Accuracy {
+			t.Fatalf("ladder not accuracy-ordered: %+v", tiers)
+		}
+	}
+
+	alias := tiers[0].Model
+	if _, err := node.EnableAutopilot(alias, tiers, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+	client := Dial(ts.URL)
+	input := make([]float32, 256)
+	res, err := client.Infer(alias, input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServedBy != alias {
+		t.Errorf("served_by = %q, want top tier %q", res.ServedBy, alias)
+	}
+	m, err := client.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Autopilot == nil || m.Autopilot.Alias != alias || len(m.Autopilot.Tiers) != len(tiers) {
+		t.Errorf("metrics autopilot block = %+v", m.Autopilot)
+	}
+}
