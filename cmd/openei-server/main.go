@@ -22,8 +22,11 @@
 // The serving engine (micro-batching across model replicas with a bounded
 // admission queue) is tuned with -serve-max-batch, -serve-batch-wait,
 // -serve-replicas and -serve-queue-depth; under overload the infer route
-// returns HTTP 429. The parallel kernel pool that dense kernels shard
-// across is tuned with -procs (width, default all cores) and
+// returns HTTP 429. Serving replicas execute compiled inference plans;
+// -backend picks the demo model's kernel set (auto/float32/int8 — "auto"
+// takes int8 when the package supports it), and each pipeline reports its
+// backend in GET /ei_metrics. The parallel kernel pool that dense kernels
+// shard across is tuned with -procs (width, default all cores) and
 // -parallel-grain (serial cutoff in fused ops); its utilization shows up
 // under "parallel" in GET /ei_metrics.
 //
@@ -96,6 +99,12 @@ func main() {
 		procs = flag.Int("procs", 0, "parallel kernel pool width (0 = all cores)")
 		grain = flag.Int("parallel-grain", 0, "serial cutoff in fused ops; kernels below it skip the pool (0 = default)")
 
+		// Execution backend of the demo model's serving plan: serving
+		// replicas compile loaded models into execution plans, and this
+		// picks the kernel set ("auto" = int8 when the package has int8
+		// kernels, else float32).
+		backendName = flag.String("backend", "auto", "serving backend for the detection model: auto, float32, or int8")
+
 		// Autopilot SLO knobs: with -slo-p95 set the node profiles a tier
 		// ladder for the detection model at startup and switches tiers /
 		// offloads to the cloud at runtime to hold the SLO.
@@ -129,12 +138,12 @@ func main() {
 	if fallback == "" {
 		fallback = *cloudURL
 	}
-	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *seed, servingCfg, slo); err != nil {
+	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *backendName, *seed, servingCfg, slo); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy) error {
+func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL, backendName string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy) error {
 	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName, Serving: servingCfg, Autopilot: slo})
 	if err != nil {
 		return err
@@ -162,16 +171,29 @@ func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL string, seed
 	if err != nil {
 		return err
 	}
-	if err := node.LoadModel(model, node.Package().SupportsInt8); err != nil {
+	backend := openei.Backend(backendName)
+	if backendName == "auto" {
+		backend = openei.BackendFloat32
+		if node.Package().SupportsInt8 {
+			backend = openei.BackendInt8
+		}
+	}
+	if err := node.LoadModelBackend(model, backend); err != nil {
 		return err
 	}
-	log.Printf("loaded model %q on %s/%s", model.Name, pkgName, device)
+	log.Printf("loaded model %q on %s/%s (serving backend %s)", model.Name, pkgName, device, backend)
 
 	// With an SLO declared, profile a tier ladder for the detector (its
 	// int8 variant plus a locally trained kilobyte-class fallback) and
 	// start the autopilot; the cloud (or -offload) endpoint becomes the
 	// last-resort rung.
 	if slo.P95 > 0 {
+		if backendName != "auto" {
+			// DeployTiers reloads the detector's tier variants with the
+			// backend each Pareto rung earned; a hand-picked -backend
+			// does not survive that.
+			log.Printf("autopilot enabled: tier ladder backends supersede -backend %s", backendName)
+		}
 		mini, err := trainMini(train, size, classes, seed)
 		if err != nil {
 			return err

@@ -18,6 +18,7 @@ import (
 
 	"openei/internal/hardware"
 	"openei/internal/nn"
+	"openei/internal/plan"
 )
 
 // ErrNoEvalData is returned when the profiler has no evaluation dataset.
@@ -195,6 +196,9 @@ func (p *Profiler) workload(m *nn.Model, pkg Package, v Variant) hardware.Worklo
 	}
 	if v.Quantized && pkg.SupportsInt8 {
 		w.Int8 = true
+		// Cost the representation the int8 backend actually deploys:
+		// dense and conv weights at one byte per parameter.
+		w.WeightBytes = m.Int8WeightBytes()
 	}
 	if pkg.SupportsFusion && w.LayerCount > 1 {
 		w.LayerCount = (w.LayerCount + 1) / 2
@@ -213,18 +217,29 @@ func (p *Profiler) accuracy(m *nn.Model, v Variant) (float64, error) {
 	}
 	p.mu.Unlock()
 
-	target := m
+	var acc float64
+	var err error
 	if v.Quantized {
-		clone, err := m.Clone()
-		if err != nil {
-			return 0, err
+		// Measure the backend that would actually serve this variant: the
+		// compiled int8 plan, calibrated on the evaluation batch. Only
+		// models the IR cannot lower (recurrent stacks) fall back to the
+		// weight round-trip approximation — any other failure is a real
+		// int8-backend defect and must surface, not hide behind a float
+		// approximation in the frontier's numbers.
+		acc, err = p.int8PlanAccuracy(m)
+		if errors.Is(err, plan.ErrUnsupported) {
+			clone, cerr := m.Clone()
+			if cerr != nil {
+				return 0, cerr
+			}
+			if cerr := quantizeWeights(clone); cerr != nil {
+				return 0, cerr
+			}
+			acc, err = nn.Accuracy(clone, p.eval.X, p.eval.Y)
 		}
-		if err := quantizeWeights(clone); err != nil {
-			return 0, err
-		}
-		target = clone
+	} else {
+		acc, err = nn.Accuracy(m, p.eval.X, p.eval.Y)
 	}
-	acc, err := nn.Accuracy(target, p.eval.X, p.eval.Y)
 	if err != nil {
 		return 0, err
 	}
@@ -232,6 +247,26 @@ func (p *Profiler) accuracy(m *nn.Model, v Variant) (float64, error) {
 	p.accCache[k] = acc
 	p.mu.Unlock()
 	return acc, nil
+}
+
+// int8PlanAccuracy compiles the model to the int8 backend and measures
+// eval accuracy through it — the number the Pareto frontier and tier
+// ladders should carry for "-int8" variants, since that backend is what
+// a quantized serving tier executes.
+func (p *Profiler) int8PlanAccuracy(m *nn.Model) (float64, error) {
+	clone, err := m.Clone()
+	if err != nil {
+		return 0, err
+	}
+	pl, err := plan.Compile(clone, plan.Options{Backend: plan.Int8, Calibration: p.eval.X})
+	if err != nil {
+		return 0, err
+	}
+	logits, err := pl.Execute(p.eval.X)
+	if err != nil {
+		return 0, err
+	}
+	return nn.AccuracyLogits(logits, p.eval.Y)
 }
 
 // quantizeWeights rounds every weight tensor through int8, reproducing the

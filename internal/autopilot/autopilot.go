@@ -64,6 +64,12 @@ type TierSpec struct {
 	Memory int64 `json:"memory_bytes"`
 	// Quantized marks int8 variants.
 	Quantized bool `json:"quantized"`
+	// Backend is the execution backend this tier's serving replicas
+	// compile to ("float32" or "int8"): a "{model}-int8" rung is a
+	// different kernel set, not a relabeled float model. Informational
+	// here (the serving engine derives the backend from how the tier's
+	// model was loaded); empty means float32.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Policy is the operator-declared SLO plus the control-loop tuning knobs.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -28,6 +29,8 @@ func denseModel(name string, in, hidden, classes int) *nn.Model {
 }
 
 // testEngine loads big/small tier models and returns a serving engine.
+// Models named "{base}-int8" are loaded quantized, so their pipelines
+// compile to the int8 execution backend — tier names imply backends.
 func testEngine(t testing.TB, cfg serving.Config, models ...*nn.Model) *serving.Engine {
 	t.Helper()
 	pkg, err := alem.PackageByName("eipkg")
@@ -41,7 +44,8 @@ func testEngine(t testing.TB, cfg serving.Config, models ...*nn.Model) *serving.
 	mgr := pkgmgr.New(pkg, dev)
 	t.Cleanup(mgr.Close)
 	for _, m := range models {
-		if err := mgr.Load(m, pkgmgr.LoadOptions{}); err != nil {
+		quantize := strings.HasSuffix(m.Name, "-int8")
+		if err := mgr.Load(m, pkgmgr.LoadOptions{Quantize: quantize}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -361,5 +365,8 @@ func TestPlanTiers(t *testing.T) {
 	}
 	if !tiers[1].Quantized {
 		t.Errorf("quantized flag lost: %+v", tiers[1])
+	}
+	if tiers[0].Backend != "float32" || tiers[1].Backend != "int8" {
+		t.Errorf("tier backends = %q, %q, want float32, int8", tiers[0].Backend, tiers[1].Backend)
 	}
 }

@@ -66,8 +66,8 @@ func TestScenarioOverloadDowngradeOffloadRecover(t *testing.T) {
 
 	cloud := &stubOffloader{}
 	tiers := []TierSpec{
-		{Model: "detector", Accuracy: 0.95, Latency: 5 * time.Millisecond},
-		{Model: "detector-int8", Accuracy: 0.91, Latency: 2 * time.Millisecond, Quantized: true},
+		{Model: "detector", Accuracy: 0.95, Latency: 5 * time.Millisecond, Backend: "float32"},
+		{Model: "detector-int8", Accuracy: 0.91, Latency: 2 * time.Millisecond, Quantized: true, Backend: "int8"},
 	}
 	pol := Policy{
 		P95:             slo,
@@ -132,6 +132,13 @@ func TestScenarioOverloadDowngradeOffloadRecover(t *testing.T) {
 	if st.Downgrades < 1 {
 		t.Fatalf("downgrade not counted: %+v", st)
 	}
+	// The downgrade switched to a DIFFERENT execution backend, not a
+	// relabeled float model: the active pipeline now runs int8 kernels.
+	// (Swap retires the outgoing tier's pipeline, so each backend is
+	// asserted while its tier is the live one.)
+	if b := backendOf(e, "detector-int8"); b != "int8" {
+		t.Errorf("downgraded tier backend = %q, want int8", b)
+	}
 
 	// Phase 2: the cheap tier still misses the 3ms SLO under the full
 	// hammer → offload engages and the stub cloud absorbs traffic.
@@ -181,4 +188,18 @@ func TestScenarioOverloadDowngradeOffloadRecover(t *testing.T) {
 	if res.Model != "detector" {
 		t.Errorf("post-recovery served by %q, want detector", res.Model)
 	}
+	if b := backendOf(e, "detector"); b != "float32" {
+		t.Errorf("recovered tier backend = %q, want float32", b)
+	}
+}
+
+// backendOf reads the execution backend of a live pipeline from the
+// engine's /ei_metrics view.
+func backendOf(e *serving.Engine, model string) string {
+	for _, ms := range e.Stats() {
+		if ms.Model == model {
+			return ms.Backend
+		}
+	}
+	return ""
 }

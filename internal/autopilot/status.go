@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"openei/internal/plan"
 	"openei/internal/selector"
 )
 
@@ -25,6 +26,7 @@ type TierStatus struct {
 	LatencyMS float64 `json:"latency_ms"`
 	MemoryMB  float64 `json:"memory_mb"`
 	Quantized bool    `json:"quantized"`
+	Backend   string  `json:"backend,omitempty"`
 	Active    bool    `json:"active"`
 }
 
@@ -91,6 +93,7 @@ func (p *Pilot) Status() Status {
 			LatencyMS: float64(t.Latency) / float64(time.Millisecond),
 			MemoryMB:  float64(t.Memory) / (1 << 20),
 			Quantized: t.Quantized,
+			Backend:   t.Backend,
 			Active:    i == cur,
 		})
 	}
@@ -138,12 +141,17 @@ func PlanTiers(front []selector.Choice, name func(selector.Choice) string, pol P
 			continue
 		}
 		seen[n] = true
+		backend := string(plan.Float32)
+		if c.Quantized {
+			backend = string(plan.Int8)
+		}
 		tiers = append(tiers, TierSpec{
 			Model:     n,
 			Accuracy:  c.ALEM.Accuracy,
 			Latency:   c.ALEM.Latency,
 			Memory:    c.ALEM.Memory,
 			Quantized: c.Quantized,
+			Backend:   backend,
 		})
 	}
 	sort.SliceStable(tiers, func(i, j int) bool {

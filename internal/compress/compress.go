@@ -262,10 +262,14 @@ func Binarize(m *nn.Model) (Report, error) {
 	}, nil
 }
 
-// QuantizeInt8 installs int8 weight tensors on every Dense layer (the
-// TF-Lite-style post-training quantization the optimized packages use) and
-// rounds conv weights through an int8 round trip so their accuracy effect
-// is also modelled. Storage: 1 byte per weight + per-tensor scale → ≈4×.
+// QuantizeInt8 installs int8 weight artifacts (QW) on every Dense and
+// Conv2D layer — the TF-Lite-style post-training quantization the
+// optimized packages use — and writes the dequantized round trip back
+// into the float weights so the layer-walk paths reproduce the artifact's
+// accuracy. Depthwise conv weights are round-tripped only (the int8
+// backend keeps them in float; their footprint is negligible). The
+// compiled int8 execution plans run the installed artifacts directly.
+// Storage: 1 byte per weight + per-tensor scale → ≈4×.
 func QuantizeInt8(m *nn.Model) (Report, error) {
 	var total, tensors int64
 	for _, l := range m.Layers {
@@ -277,8 +281,8 @@ func QuantizeInt8(m *nn.Model) (Report, error) {
 			total += int64(t.W.Len())
 			tensors++
 		case *nn.Conv2D:
-			q := tensor.Quantize(t.W)
-			rt := q.Dequantize()
+			t.QW = tensor.Quantize(t.W)
+			rt := t.QW.Dequantize()
 			copy(t.W.Data(), rt.Data())
 			total += int64(t.W.Len())
 			tensors++

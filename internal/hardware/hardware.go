@@ -166,10 +166,15 @@ func EdgeCatalog() []Device {
 type Workload struct {
 	FLOPs int64 // multiply-accumulate dominated compute
 	// WeightBytes and ActivationBytes together bound the working set that
-	// streams through DRAM.
+	// streams through DRAM. WeightBytes is the footprint of the weight
+	// representation actually deployed — callers costing an int8 artifact
+	// pass its int8 bytes (nn.Model.WeightBytes/Int8WeightBytes report
+	// per-representation numbers), not the float-equivalent size.
 	WeightBytes     int64
 	ActivationBytes int64
-	// Int8 selects the quantized kernel path.
+	// Int8 selects the quantized kernel path: compute runs at the
+	// device's Int8Speedup. The memory terms take no extra discount —
+	// the representation's size is already in WeightBytes.
 	Int8 bool
 	// EfficiencyScale < 1 models an inefficient runtime (an un-optimized
 	// "package" in the paper's 3-D selector space); 1 is the tuned runtime.
@@ -211,12 +216,7 @@ func (d Device) Latency(w Workload) (time.Duration, error) {
 		flops *= d.Int8Speedup
 	}
 	compute := float64(w.FLOPs) / flops
-	bytes := w.WeightBytes + w.ActivationBytes
-	if w.Int8 {
-		// int8 weights stream 4× less data.
-		bytes = w.WeightBytes/4 + w.ActivationBytes
-	}
-	mem := float64(bytes) / d.MemBandwidth
+	mem := float64(w.WeightBytes+w.ActivationBytes) / d.MemBandwidth
 	secs := compute
 	if mem > secs {
 		secs = mem
@@ -244,15 +244,13 @@ func (d Device) EnergyJoules(w Workload) (float64, error) {
 	return (d.ActiveWatts - d.IdleWatts) * lat.Seconds(), nil
 }
 
-// MemoryBytes returns the modelled peak memory of the workload: weights
-// (quartered when int8) plus activations plus a fixed runtime residency.
+// MemoryBytes returns the modelled peak memory of the workload: the
+// deployed weight representation plus activations plus a fixed runtime
+// residency. (Int8 workloads already carry their shrunken footprint in
+// WeightBytes; no further discount is applied here.)
 func (d Device) MemoryBytes(w Workload) int64 {
-	weights := w.WeightBytes
-	if w.Int8 {
-		weights /= 4
-	}
 	const runtimeResidency = 1 << 20 // lightweight package ≈1 MiB resident
-	return weights + w.ActivationBytes + runtimeResidency
+	return w.WeightBytes + w.ActivationBytes + runtimeResidency
 }
 
 // Fits reports whether the workload's memory footprint fits the device.

@@ -138,11 +138,13 @@ func TestMemoryBytesAndFits(t *testing.T) {
 	if !server.Fits(big) {
 		t.Error("a 500MB model must fit a 48GB edge server")
 	}
-	// int8 shrinks the footprint 4x on weights.
+	// WeightBytes carries the deployed representation's actual size, so
+	// an int8 workload arrives with ~¼ the bytes of its float parent and
+	// the footprint shrinks by exactly that delta — no hidden discount.
 	w := Workload{WeightBytes: 400}
-	q := Workload{WeightBytes: 400, Int8: true}
-	if server.MemoryBytes(q) >= server.MemoryBytes(w) {
-		t.Error("int8 must reduce memory footprint")
+	q := Workload{WeightBytes: 100, Int8: true}
+	if diff := server.MemoryBytes(w) - server.MemoryBytes(q); diff != 300 {
+		t.Errorf("int8 footprint delta %d, want the representation delta 300", diff)
 	}
 }
 

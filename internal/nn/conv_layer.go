@@ -14,6 +14,13 @@ type Conv2D struct {
 	B      *tensor.Tensor // (outC)
 	GW, GB *tensor.Tensor
 
+	// QW is the int8 weight artifact installed by post-training
+	// quantization (compress.QuantizeInt8). The layer walk keeps running
+	// the float W (which holds the dequantized round trip, so accuracy
+	// matches); the compiled int8 execution plans run QW directly, and
+	// WeightBytes counts it as the deployed representation.
+	QW *tensor.QTensor
+
 	lastX *tensor.Tensor
 
 	// Backward scratch cached across steps so the training loop's hot

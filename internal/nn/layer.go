@@ -91,6 +91,12 @@ type Dense struct {
 	// mutable models.
 	wt *tensor.Tensor
 
+	// deqW caches the dequantized expansion of QW (keyed by deqFor, since
+	// quantized artifacts are replaced, never mutated in place) so neither
+	// per-call inference nor FreezeInference pays repeated expansion.
+	deqW   *tensor.Tensor
+	deqFor *tensor.QTensor
+
 	lastX *tensor.Tensor
 }
 
@@ -134,11 +140,12 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return y, nil
 	}
 	w := d.W
-	if d.QW != nil && !train {
-		// Weight-only int8 path: the stored int8 weights are expanded per
-		// call, reproducing the accuracy effect of quantized kernels while
-		// the hardware model accounts for their speed/memory effect.
-		w = d.QW.Dequantize()
+	if !train {
+		// Inference runs against the lowered weights: identical to W for
+		// float layers, the cached expansion of the int8 artifact for
+		// quantized ones. (True int8 *compute* lives in the compiled
+		// execution plans; this layer walk is the training/reference path.)
+		w = d.InferenceWeights()
 	}
 	// W is stored (out, in). Small batches run transpose-free row dot
 	// products (x·Wᵀ); larger batches amortize one transpose of W and use
@@ -216,6 +223,23 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 
 // Spec implements Layer.
 func (d *Dense) Spec() LayerSpec { return LayerSpec{Type: "dense", In: d.In, Out: d.Out} }
+
+// InferenceWeights is the single lowering point for dense inference
+// weights: W itself for float layers, or the dequantized expansion of the
+// installed int8 artifact — computed once per QW and cached, so both the
+// per-call inference path and Model.FreezeInference share one expansion
+// instead of each dequantizing on their own. The returned tensor must be
+// treated as read-only.
+func (d *Dense) InferenceWeights() *tensor.Tensor {
+	if d.QW == nil {
+		return d.W
+	}
+	if d.deqW == nil || d.deqFor != d.QW {
+		d.deqW = d.QW.Dequantize()
+		d.deqFor = d.QW
+	}
+	return d.deqW
+}
 
 // forwardArena implements arenaForwarder: on a frozen inference clone the
 // output comes from the arena and the pass allocates nothing. Mutable

@@ -168,6 +168,37 @@ func Accuracy(m *Model, x *tensor.Tensor, labels []int) (float64, error) {
 	return float64(correct) / float64(len(labels)), nil
 }
 
+// AccuracyLogits returns the fraction of rows of a 2-D logits (or
+// probability) tensor whose argmax matches the label — the accuracy
+// loop shared by the model path and callers that already hold logits
+// from another executor (compiled plans).
+func AccuracyLogits(logits *tensor.Tensor, labels []int) (float64, error) {
+	if logits.Dims() != 2 {
+		return 0, fmt.Errorf("%w: accuracy needs 2-D logits, got %v", ErrShape, logits.Shape())
+	}
+	if logits.Dim(0) != len(labels) {
+		return 0, fmt.Errorf("%w: %d logit rows vs %d labels", ErrShape, logits.Dim(0), len(labels))
+	}
+	if len(labels) == 0 {
+		return 0, nil
+	}
+	classes := logits.Dim(1)
+	correct := 0
+	for b, want := range labels {
+		row := logits.Data()[b*classes : (b+1)*classes]
+		arg := 0
+		for j, v := range row {
+			if v > row[arg] {
+				arg = j
+			}
+		}
+		if arg == want {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels)), nil
+}
+
 // TopConfidence runs the model on a single batch and returns, per row, the
 // argmax class and its softmax probability. DDNN-style early exit uses the
 // probability as the confidence score.

@@ -304,8 +304,75 @@ func (m *Model) ActivationBytes() int64 {
 	return 4 * (best1 + best2)
 }
 
-// WeightBytes returns the parameter storage (float32) in bytes.
-func (m *Model) WeightBytes() int64 { return 4 * m.ParamCount() }
+// WeightBytes returns the storage of the model's deployed weight
+// representation in bytes: 4 bytes per float32 parameter, but layers
+// holding an int8 artifact (QW) count that artifact's actual footprint
+// (1 byte per weight plus the per-tensor scale) instead of the float
+// shadow — so a quantized tier reports ≈¼ the bytes of its float parent
+// rather than the same number, and memory-cap decisions (autopilot,
+// selector frontiers) see the representation that is actually deployed.
+func (m *Model) WeightBytes() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		var qw *tensor.QTensor
+		switch t := l.(type) {
+		case *Dense:
+			qw = t.QW
+		case *Conv2D:
+			qw = t.QW
+		}
+		for i, p := range l.Params() {
+			if i == 0 && qw != nil && qw.Len() == p.Len() {
+				n += int64(qw.SizeBytes())
+				continue
+			}
+			n += 4 * int64(p.Len())
+		}
+	}
+	return n
+}
+
+// Int8WeightBytes returns what WeightBytes would report if the model's
+// weight matrices (dense and conv kernels — the tensors the int8 backend
+// quantizes) were stored as int8 artifacts: 1 byte per weight plus a
+// 4-byte scale per tensor, with biases and normalization parameters kept
+// in float. The profiler uses it to cost the int8 variant of a float
+// model without materializing the artifact.
+func (m *Model) Int8WeightBytes() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		quantizable := false
+		switch l.(type) {
+		case *Dense, *Conv2D:
+			quantizable = true
+		}
+		for i, p := range l.Params() {
+			if i == 0 && quantizable {
+				n += int64(p.Len()) + 4
+				continue
+			}
+			n += 4 * int64(p.Len())
+		}
+	}
+	return n
+}
+
+// InvalidateInt8Artifacts drops every installed int8 weight artifact
+// (QW) and its cached dequantized expansion. Call after training mutates
+// the float weights the artifacts were quantized from — consumers (plan
+// compilation, WeightBytes) then re-derive int8 state from the current
+// weights instead of silently serving the stale pre-training kernels.
+func (m *Model) InvalidateInt8Artifacts() {
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			t.QW = nil
+			t.deqW, t.deqFor = nil, nil
+		case *Conv2D:
+			t.QW = nil
+		}
+	}
+}
 
 // Predict returns the argmax class for each row of the batched input.
 func (m *Model) Predict(x *tensor.Tensor) ([]int, error) {
@@ -354,6 +421,8 @@ func (m *Model) Clone() (*Model, error) {
 			// Quantized weights ride along (they are never mutated in
 			// place, only replaced), so a clone keeps the int8 artifact.
 			c.Layers[i].(*Dense).QW = src.QW
+		case *Conv2D:
+			c.Layers[i].(*Conv2D).QW = src.QW
 		}
 	}
 	return c, nil
@@ -371,8 +440,11 @@ func (m *Model) FreezeInference() {
 		if !ok {
 			continue
 		}
-		if d.QW != nil {
-			d.W = d.QW.Dequantize()
+		// Same lowering the inference forward uses — one shared expansion
+		// point instead of freeze and forward each dequantizing on their
+		// own.
+		if w := d.InferenceWeights(); w != d.W {
+			d.W = w
 			d.QW = nil
 		}
 		wt, err := tensor.Transpose(d.W)

@@ -194,6 +194,10 @@ func Train(m *Model, data Dataset, cfg TrainConfig) (loss, acc float64, err erro
 			cfg.OnEpoch(epoch, loss, acc)
 		}
 	}
+	// Training moved the float weights away from whatever int8 artifacts
+	// were quantized from them; drop the artifacts here — at the single
+	// point weights mutate — so no caller can serve stale kernels.
+	m.InvalidateInt8Artifacts()
 	return loss, acc, nil
 }
 

@@ -264,6 +264,8 @@ func (m *Manager) Train(name string, data nn.Dataset, cfg nn.TrainConfig) (loss,
 		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownModel, name)
 	}
 	submitErr := m.sched.Submit(PriorityBatch, func() {
+		// nn.Train drops any installed int8 artifacts, so replicas
+		// compiled afterwards quantize the learned weights.
 		loss, acc, err = nn.Train(l.model, data, cfg)
 	})
 	if submitErr != nil {

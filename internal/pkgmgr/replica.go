@@ -1,11 +1,13 @@
 package pkgmgr
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"openei/internal/hardware"
 	"openei/internal/nn"
+	"openei/internal/plan"
 	"openei/internal/tensor"
 )
 
@@ -16,15 +18,32 @@ import (
 // serving engine turns a multi-core edge into a replica pool. A Replica is
 // not itself safe for concurrent use; confine each one to a single worker
 // goroutine.
+//
+// A replica executes a compiled inference plan (internal/plan): the model
+// is lowered once into a fused op graph and run through the replica's
+// backend — float32, or genuine int8 kernels for models loaded quantized.
+// Models the plan IR cannot lower (recurrent stacks) fall back to the
+// frozen layer walk.
+//
+// Int8 replicas created without calibration data self-calibrate: each
+// replica's activation scales widen over the first batches it happens to
+// serve, so two replicas of one pipeline may freeze marginally different
+// scales (answers differ only within quantization tolerance). Loading a
+// model whose artifacts were calibrated offline, or warming a pipeline
+// with representative traffic, removes even that spread.
 type Replica struct {
 	name      string
-	model     *nn.Model
+	plan      *plan.Plan
+	model     *nn.Model // layer-walk fallback; nil when plan is set
 	quantized bool
 	mgr       *Manager
 
 	// arena backs every activation of a request; after the first request
-	// sizes it, steady-state inference allocates nothing.
+	// sizes it, steady-state inference allocates nothing. (Plan-backed
+	// replicas use the plan's own arena; this one serves the fallback.)
 	arena *tensor.Arena
+	// inputShape is the model's declared per-sample input shape.
+	inputShape []int
 	// cls/conf are the recycled result buffers behind InferenceResult.
 	cls  []int
 	conf []float64
@@ -37,9 +56,18 @@ type Replica struct {
 	actBytesPerSample int64
 }
 
-// NewReplica clones the named loaded model into a Replica. The clone is
-// detached: Unload or retraining of the manager's copy does not affect it.
+// NewReplica clones the named loaded model into a Replica on the model's
+// default backend: int8 for models loaded quantized on an int8-capable
+// package (a "{model}-int8" tier really runs int8 kernels), float32
+// otherwise.
 func (m *Manager) NewReplica(name string) (*Replica, error) {
+	return m.NewReplicaBackend(name, "")
+}
+
+// NewReplicaBackend is NewReplica with an explicit execution backend —
+// how profiling measures both backends of one model. An empty backend
+// selects the loaded model's default.
+func (m *Manager) NewReplicaBackend(name string, backend plan.Backend) (*Replica, error) {
 	m.mu.Lock()
 	l, ok := m.models[name]
 	m.mu.Unlock()
@@ -50,15 +78,42 @@ func (m *Manager) NewReplica(name string) (*Replica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pkgmgr: replica of %s: %w", name, err)
 	}
-	// The replica's weights never change again, so per-call inference
-	// costs (int8 weight expansion) are paid once here instead of on
-	// every request — the manager's own copy stays mutable for transfer
-	// learning and cannot take this shortcut.
-	clone.FreezeInference()
+	if backend == "" {
+		backend = plan.Float32
+		if l.quantized && m.pkg.SupportsInt8 {
+			backend = plan.Int8
+		}
+	}
 	r := &Replica{
-		name: name, model: clone, quantized: l.quantized, mgr: m,
-		arena:  tensor.NewArena(0),
-		wproto: m.workload(clone, l.quantized, 1),
+		name: name, quantized: l.quantized, mgr: m,
+		inputShape: append([]int(nil), clone.InputShape...),
+		wproto:     m.workload(clone, l.quantized, 1),
+	}
+	// Lower the private clone into a compiled plan. The clone never
+	// changes again, so compilation costs (weight transposes, batchnorm
+	// folds, int8 artifacts) are paid once here instead of per request.
+	switch p, err := plan.Compile(clone, plan.Options{Backend: backend}); {
+	case err == nil:
+		r.plan = p
+		// The cost model sees the deployed representation: the plan's
+		// actual weight bytes, and int8 kernels only when the plan runs
+		// them.
+		r.wproto.WeightBytes = p.WeightBytes()
+		r.wproto.Int8 = backend == plan.Int8 && m.pkg.SupportsInt8
+	case errors.Is(err, plan.ErrUnsupported):
+		// The plan IR cannot express this model (recurrent stack): keep
+		// the frozen layer walk of earlier revisions. Only this error is
+		// a fallback — anything else (unknown backend, malformed model)
+		// must not silently serve a different backend than requested.
+		clone.FreezeInference()
+		r.model = clone
+		r.arena = tensor.NewArena(0)
+		// Freezing expanded any int8 artifact back to float, and the
+		// walk runs float kernels — recost the workload so the replica's
+		// latency/energy/memory numbers describe what actually executes.
+		r.wproto = m.workload(clone, false, 1)
+	default:
+		return nil, fmt.Errorf("pkgmgr: replica of %s: %w", name, err)
 	}
 	r.flopsPerSample = r.wproto.FLOPs
 	r.actBytesPerSample = r.wproto.ActivationBytes
@@ -68,27 +123,48 @@ func (m *Manager) NewReplica(name string) (*Replica, error) {
 // Name returns the model name the replica was cloned from.
 func (r *Replica) Name() string { return r.name }
 
+// Backend reports the execution backend serving this replica: a compiled
+// plan's backend, or "layer-walk" for the fallback path. Surfaced per
+// pipeline in /ei_metrics.
+func (r *Replica) Backend() string {
+	if r.plan != nil {
+		return string(r.plan.Backend())
+	}
+	return "layer-walk"
+}
+
 // InputShape returns the model's declared per-sample input shape.
 func (r *Replica) InputShape() []int {
-	return append([]int(nil), r.model.InputShape...)
+	return append([]int(nil), r.inputShape...)
 }
 
 // InferBatch stacks same-shaped single-sample inputs into one batch tensor
 // and runs a single forward pass on the replica's private weights. The
 // result slices are indexed like xs.
 //
-// Activations live in the replica's arena and the Classes/Confidences
-// slices are recycled buffers: both are valid only until the replica's
-// next InferBatch call. Callers that retain results across calls (none of
-// the serving pipeline does — it fans values out immediately) must copy.
+// Activations live in the replica's (plan's) arena and the
+// Classes/Confidences slices are recycled buffers: both are valid only
+// until the replica's next InferBatch call. Callers that retain results
+// across calls (none of the serving pipeline does — it fans values out
+// immediately) must copy.
 func (r *Replica) InferBatch(xs []*tensor.Tensor) (InferenceResult, error) {
-	r.arena.Reset()
-	x, err := r.arena.StackArena(xs)
-	if err != nil {
-		return InferenceResult{}, fmt.Errorf("pkgmgr: replica %s: %w", r.name, err)
-	}
 	start := time.Now()
-	cls, conf, err := nn.TopConfidenceArena(r.model, x, r.arena, r.cls, r.conf)
+	var (
+		cls  []int
+		conf []float64
+		err  error
+	)
+	if r.plan != nil {
+		cls, conf, err = r.plan.InferBatch(xs, r.cls, r.conf)
+	} else {
+		r.arena.Reset()
+		var x *tensor.Tensor
+		x, err = r.arena.StackArena(xs)
+		if err != nil {
+			return InferenceResult{}, fmt.Errorf("pkgmgr: replica %s: %w", r.name, err)
+		}
+		cls, conf, err = nn.TopConfidenceArena(r.model, x, r.arena, r.cls, r.conf)
+	}
 	if err != nil {
 		return InferenceResult{}, fmt.Errorf("pkgmgr: replica infer %s: %w", r.name, err)
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"openei/internal/nn"
+	"openei/internal/plan"
 	"openei/internal/tensor"
 )
 
@@ -36,16 +37,19 @@ func samples(n, dim int, seed int64) []*tensor.Tensor {
 	return out
 }
 
-// A frozen replica must predict exactly what the manager's scheduled path
-// predicts — freezing dequantizes and pre-transposes weights but cannot
-// change results.
+// A float32-backend replica must predict exactly what the manager's
+// scheduled path predicts — plan compilation lowers and pre-transposes
+// weights but cannot change float results.
 func TestReplicaMatchesManagerPath(t *testing.T) {
 	m := testManager(t, "eipkg", "rpi4")
 	loadedQuantizedModel(t, m)
 
-	rep, err := m.NewReplica("q-net")
+	rep, err := m.NewReplicaBackend("q-net", plan.Float32)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if rep.Backend() != "float32" {
+		t.Fatalf("backend = %q, want float32", rep.Backend())
 	}
 	xs := samples(13, 8, 5)
 	got, err := rep.InferBatch(xs)
@@ -67,9 +71,136 @@ func TestReplicaMatchesManagerPath(t *testing.T) {
 			t.Errorf("sample %d: confidence %v vs %v", i, got.Confidences[i], want.Confidences[i])
 		}
 	}
-	if got.ModelLatency != want.ModelLatency || got.ModelEnergy != want.ModelEnergy {
-		t.Errorf("cost model diverged: %v/%v vs %v/%v",
-			got.ModelLatency, got.ModelEnergy, want.ModelLatency, want.ModelEnergy)
+}
+
+// A quantized-loaded model's default replica runs the genuine int8
+// backend: classes agree with the float reference and confidences stay
+// within quantization tolerance — but the execution is a different
+// kernel set, observable through Backend().
+func TestQuantizedReplicaRunsInt8Backend(t *testing.T) {
+	m := testManager(t, "eipkg", "rpi4")
+	loadedQuantizedModel(t, m)
+
+	rep, err := m.NewReplica("q-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend() != "int8" {
+		t.Fatalf("quantized replica backend = %q, want int8", rep.Backend())
+	}
+	xs := samples(13, 8, 5)
+	got, err := rep.InferBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.InferBatch("q-net", xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range got.Classes {
+		if got.Classes[i] == want.Classes[i] {
+			agree++
+		}
+		if diff := got.Confidences[i] - want.Confidences[i]; diff > 0.05 || diff < -0.05 {
+			t.Errorf("sample %d: int8 confidence %v vs float %v", i, got.Confidences[i], want.Confidences[i])
+		}
+	}
+	// Untrained random logits sit close together, so allow an isolated
+	// near-tie flip; systematic disagreement means a broken kernel.
+	if agree < len(got.Classes)-1 {
+		t.Errorf("int8 replica agrees on %d/%d classes", agree, len(got.Classes))
+	}
+}
+
+// An unknown backend must error, not silently fall back to a different
+// kernel set than the caller asked for.
+func TestNewReplicaBackendRejectsUnknown(t *testing.T) {
+	m := testManager(t, "eipkg", "rpi4")
+	loadedQuantizedModel(t, m)
+	if _, err := m.NewReplicaBackend("q-net", "int4"); !errors.Is(err, plan.ErrBadBackend) {
+		t.Fatalf("bogus backend err = %v, want plan.ErrBadBackend", err)
+	}
+}
+
+// On-edge training invalidates the int8 weight artifacts, so replicas
+// compiled afterwards quantize the weights that were actually learned
+// instead of serving the stale pre-training kernels.
+func TestTrainingInvalidatesInt8Artifacts(t *testing.T) {
+	m := testManager(t, "eipkg", "rpi4")
+	loadedQuantizedModel(t, m)
+	loadedModel, err := m.Model("q-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedModel.Layers[0].(*nn.Dense).QW == nil {
+		t.Fatal("quantized load did not install the dense artifact")
+	}
+	x := tensor.New(16, 8)
+	x.Rand(rand.New(rand.NewSource(3)), 1)
+	data := nn.Dataset{X: x, Y: make([]int, 16)}
+	if _, _, err := m.Train("q-net", data, nn.TrainConfig{
+		Epochs: 1, BatchSize: 8, LR: 0.05, Rand: rand.New(rand.NewSource(4)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if loadedModel.Layers[0].(*nn.Dense).QW != nil {
+		t.Fatal("training left a stale int8 artifact installed")
+	}
+	// Replicas built after training still take the int8 backend (the
+	// load was quantized) but quantize the trained weights.
+	rep, err := m.NewReplica("q-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend() != "int8" {
+		t.Fatalf("post-training replica backend = %q, want int8", rep.Backend())
+	}
+}
+
+// Models the plan IR cannot lower fall back to the frozen layer walk —
+// and, since freezing expands int8 artifacts back to float, the fallback
+// replica's cost model must describe float execution, not the quantized
+// representation it no longer holds.
+func TestUnsupportedModelFallsBackToLayerWalk(t *testing.T) {
+	m := testManager(t, "eipkg", "rpi4")
+	model, err := nn.NewModel("rnn-net", []int{24}, []nn.LayerSpec{
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{D: 6, H: 8, T: 4}},
+		{Type: "dense", In: 8, Out: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.InitParams(rand.New(rand.NewSource(21)))
+	if err := m.Load(model, LoadOptions{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.NewReplica("rnn-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend() != "layer-walk" {
+		t.Fatalf("unsupported model backend = %q, want layer-walk", rep.Backend())
+	}
+	res, err := rep.InferBatch(samples(3, 24, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 3 {
+		t.Fatalf("got %d classes, want 3", len(res.Classes))
+	}
+	// The frozen walk executes float kernels on expanded weights: its
+	// modelled latency must match a float workload of the frozen clone,
+	// not an int8 one.
+	w := m.workload(rep.model, false, 1)
+	w.FLOPs *= 3
+	w.ActivationBytes *= 3
+	wantLat, err := m.dev.Latency(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelLatency != wantLat {
+		t.Errorf("fallback modelled latency %v, want float-costed %v", res.ModelLatency, wantLat)
 	}
 }
 

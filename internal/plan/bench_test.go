@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"openei/internal/tensor"
+	"openei/internal/zoo"
+)
+
+// benchPlan compiles one zoo model for the backend, calibrated and warm.
+func benchPlan(tb testing.TB, model string, size, batch int, backend Backend) (*Plan, *tensor.Tensor) {
+	tb.Helper()
+	m, err := zoo.Build(model, size, 8, rand.New(rand.NewSource(63)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	x := randBatch(rand.New(rand.NewSource(64)), batch, m.InputShape)
+	p, err := Compile(m, Options{Backend: backend, Calibration: x})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := p.Execute(x); err != nil { // warm the arena and scratch
+		tb.Fatal(err)
+	}
+	return p, x
+}
+
+// BenchmarkPlanExecute is the float32-vs-int8 backend comparison the CI
+// bench-smoke leg tracks: the same compiled graphs, the same inputs, the
+// two kernel sets.
+func BenchmarkPlanExecute(b *testing.B) {
+	for _, cfg := range []struct {
+		model string
+		size  int
+		batch int
+	}{
+		{"mlp", 16, 8},
+		{"lenet", 16, 8},
+		{"alexnet-m", 32, 8},
+		{"vgg-m", 16, 8},
+	} {
+		for _, backend := range []Backend{Float32, Int8} {
+			b.Run(cfg.model+"/"+string(backend), func(b *testing.B) {
+				p, x := benchPlan(b, cfg.model, cfg.size, cfg.batch, backend)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Execute(x); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// medianExec measures the median wall time of n plan executions.
+func medianExec(tb testing.TB, p *Plan, x *tensor.Tensor, n int) time.Duration {
+	tb.Helper()
+	times := make([]time.Duration, n)
+	for i := range times {
+		start := time.Now()
+		if _, err := p.Execute(x); err != nil {
+			tb.Fatal(err)
+		}
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[n/2]
+}
+
+// The acceptance property: a zoo conv model compiled to the int8 backend
+// runs measurably faster and smaller than its float32 plan — the tier
+// ladder's latency/memory split is real, not a relabeling. Medians over
+// interleaved runs keep the comparison robust to scheduler noise.
+func TestInt8PlanFasterAndSmallerThanFloat32(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	const model, size, batch = "alexnet-m", 32, 8
+	f32, x := benchPlan(t, model, size, batch, Float32)
+	i8, _ := benchPlan(t, model, size, batch, Int8)
+
+	// Smaller: the int8 artifact is ≈¼ of the float weights.
+	ratio := float64(i8.WeightBytes()) / float64(f32.WeightBytes())
+	if ratio < 0.2 || ratio > 0.35 {
+		t.Errorf("int8/float32 weight bytes = %.3f, want ≈ 0.25", ratio)
+	}
+
+	// Faster: interleave the two backends and compare medians.
+	const rounds = 21
+	for i := 0; i < 3; i++ { // extra warm-up beyond benchPlan's
+		medianExec(t, f32, x, 1)
+		medianExec(t, i8, x, 1)
+	}
+	fd := medianExec(t, f32, x, rounds)
+	id := medianExec(t, i8, x, rounds)
+	t.Logf("%s batch %d: float32 median %v, int8 median %v (%.2fx)",
+		model, batch, fd, id, float64(fd)/float64(id))
+	if id >= fd {
+		t.Errorf("int8 plan (%v) not faster than float32 plan (%v)", id, fd)
+	}
+}

@@ -1,0 +1,351 @@
+package plan
+
+import (
+	"fmt"
+
+	"openei/internal/nn"
+	"openei/internal/parallel"
+	"openei/internal/tensor"
+)
+
+// Execute runs one batched input through the plan and returns the output
+// logits. The result lives in the plan's arena and is valid only until
+// the next Execute/InferBatch/Calibrate call. A lazily calibrated int8
+// plan widens its activation ranges over this batch first (and over the
+// first selfCalibrationBatches batches in total before the scales
+// freeze), then executes on the int8 kernels — so every answer the plan
+// ever returns comes from its advertised backend.
+func (p *Plan) Execute(x *tensor.Tensor) (*tensor.Tensor, error) {
+	if p.backend == Int8 && !p.released {
+		if err := p.Calibrate(x); err != nil {
+			return nil, err
+		}
+		p.noteCalibration()
+	}
+	p.arena.Reset()
+	return p.run(x, false)
+}
+
+// Calibrate runs the float32 reference pass over the batched input,
+// recording each quantized op's input range; activation scales are set
+// from the accumulated maxima. May be called more than once (ranges only
+// widen) until the calibration freezes — after that the float reference
+// weights are gone and Calibrate fails with ErrCalibrationFrozen.
+func (p *Plan) Calibrate(x *tensor.Tensor) error {
+	if p.backend != Int8 {
+		return nil
+	}
+	if p.released {
+		return ErrCalibrationFrozen
+	}
+	p.arena.Reset()
+	return p.calibrateFrom(x)
+}
+
+// calibrateFrom is Calibrate without the arena reset, so InferBatch can
+// calibrate on a batch it has already staged in the arena (the float
+// pass allocates past the staged input; nothing is clobbered).
+func (p *Plan) calibrateFrom(x *tensor.Tensor) error {
+	if _, err := p.run(x, true); err != nil {
+		return err
+	}
+	for i := range p.ops {
+		o := &p.ops[i]
+		if !o.int8 {
+			continue
+		}
+		o.inScale = o.calibMax / 127
+		if o.inScale == 0 {
+			o.inScale = 1
+		}
+	}
+	p.calibrated = true
+	return nil
+}
+
+// noteCalibration counts one lazy calibration pass and freezes the
+// scales once the widening window is spent.
+func (p *Plan) noteCalibration() {
+	p.calibRuns++
+	if p.calibRuns >= selfCalibrationBatches {
+		p.freezeCalibration()
+	}
+}
+
+// run executes the op list. calibrating forces the float32 reference
+// kernels and records int8-op input ranges.
+func (p *Plan) run(x *tensor.Tensor, calibrating bool) (*tensor.Tensor, error) {
+	if x.Dims() != len(p.inputShape)+1 {
+		return nil, fmt.Errorf("%w: %s wants batched %v input, got %v", ErrShape, p.name, p.inputShape, x.Shape())
+	}
+	var err error
+	for i := range p.ops {
+		o := &p.ops[i]
+		if calibrating && o.int8 {
+			if m := x.AbsMax(); m > o.calibMax {
+				o.calibMax = m
+			}
+		}
+		if o.int8 && !calibrating {
+			x, err = p.runInt8(o, x)
+		} else {
+			x, err = p.runFloat(o, x)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plan: %s op %d (%s): %w", p.name, i, o.kind, err)
+		}
+	}
+	return x, nil
+}
+
+// runFloat executes one op on the float32 kernels — the exact arithmetic
+// of the arena layer walk, with the fused ReLU applied as an in-place
+// epilogue clamp (same values, no extra buffer).
+func (p *Plan) runFloat(o *op, x *tensor.Tensor) (*tensor.Tensor, error) {
+	a := p.arena
+	batch := x.Dim(0)
+	var y *tensor.Tensor
+	switch o.kind {
+	case opDense:
+		y = a.NewUninit(batch, o.wt.Dim(1))
+		if err := tensor.MatMulInto(y, x, o.wt); err != nil {
+			return nil, err
+		}
+		if err := tensor.AddBiasRows(y, o.b); err != nil {
+			return nil, err
+		}
+	case opConv:
+		s := o.conv
+		y = a.NewUninit(batch, s.OutC, s.OutH(), s.OutW())
+		if err := tensor.Conv2DInto(y, x, o.w, o.b, s); err != nil {
+			return nil, err
+		}
+	case opDwConv:
+		s := o.conv
+		y = a.NewUninit(batch, s.InC, s.OutH(), s.OutW())
+		if err := tensor.DepthwiseConv2DInto(y, x, o.w, o.b, s); err != nil {
+			return nil, err
+		}
+	case opMaxPool:
+		s := o.pool
+		y = a.NewUninit(batch, s.C, s.OutH(), s.OutW())
+		if err := tensor.MaxPool2DInto(y, x, s, nil); err != nil {
+			return nil, err
+		}
+	case opGAP:
+		y = a.NewUninit(batch, x.Dim(1))
+		if err := tensor.GlobalAvgPool2DInto(y, x); err != nil {
+			return nil, err
+		}
+	case opBatchNorm:
+		var err error
+		if y, err = p.runBatchNorm(o, x); err != nil {
+			return nil, err
+		}
+	case opReLU:
+		y = a.NewUninitLike(x)
+		reluInto(y.Data(), x.Data())
+		return y, nil
+	case opView:
+		return a.View(x, batch, prod(o.outShape))
+	default:
+		return nil, fmt.Errorf("unknown op kind %v", o.kind)
+	}
+	if o.fusedReLU {
+		reluInPlace(y.Data())
+	}
+	return y, nil
+}
+
+// runBatchNorm normalizes against the compiled running statistics —
+// the same per-element expression as the layer walk, so float results
+// stay bitwise identical.
+func (p *Plan) runBatchNorm(o *op, x *tensor.Tensor) (*tensor.Tensor, error) {
+	feats := len(o.gamma)
+	var batch, spatial int
+	switch x.Dims() {
+	case 2:
+		batch, spatial = x.Dim(0), 1
+	case 4:
+		batch, spatial = x.Dim(0), x.Dim(2)*x.Dim(3)
+	default:
+		return nil, fmt.Errorf("%w: batchnorm needs 2-D or 4-D input, got %v", ErrShape, x.Shape())
+	}
+	if x.Len() != batch*feats*spatial {
+		return nil, fmt.Errorf("%w: batchnorm(%d) input %v", ErrShape, feats, x.Shape())
+	}
+	y := p.arena.NewUninitLike(x)
+	src, dst := x.Data(), y.Data()
+	for f := 0; f < feats; f++ {
+		mean, std := o.mean[f], o.std[f]
+		g, be := o.gamma[f], o.beta[f]
+		for n := 0; n < batch; n++ {
+			base := (n*feats + f) * spatial
+			for s := 0; s < spatial; s++ {
+				dst[base+s] = g*((src[base+s]-mean)/std) + be
+			}
+		}
+	}
+	return y, nil
+}
+
+// runInt8 executes a quantized op: the input is requantized with the
+// op's calibrated scale, reduced on the int8 kernel, and rescaled (plus
+// bias and fused clamp) into the float output the next op consumes.
+func (p *Plan) runInt8(o *op, x *tensor.Tensor) (*tensor.Tensor, error) {
+	a := p.arena
+	batch := x.Dim(0)
+	switch o.kind {
+	case opConv:
+		s := o.conv
+		y := a.NewUninit(batch, s.OutC, s.OutH(), s.OutW())
+		if err := tensor.QConv2DInto(y, x, o.qw, o.b, s, o.inScale, o.fusedReLU); err != nil {
+			return nil, err
+		}
+		return y, nil
+	case opDense:
+		in, out := o.denseIn, o.denseOut
+		if x.Dims() != 2 || x.Dim(1) != in {
+			return nil, fmt.Errorf("%w: dense(%d→%d) got input %v", ErrShape, in, out, x.Shape())
+		}
+		if cap(p.qin) < batch*in {
+			p.qin = make([]int8, batch*in)
+		}
+		qx := p.qin[:batch*in]
+		tensor.QuantizeCalibratedInto(qx, x.Data(), o.inScale)
+		if cap(p.qacc) < batch*out {
+			p.qacc = make([]int32, batch*out)
+		}
+		y := a.NewUninit(batch, out)
+		qDenseRows(y.Data(), qx, p.qacc[:batch*out], o, batch, in, out)
+		return y, nil
+	default:
+		return nil, fmt.Errorf("int8 kernel for op %v does not exist", o.kind)
+	}
+}
+
+// qDenseRows is the int8 dense kernel: each sample row reduces against
+// the (out, in) weight artifact — already the transposed-B layout the
+// dot-form QGemmRowT streams — then the epilogue rescales, adds bias,
+// and applies the fused clamp. Batch rows shard across the parallel
+// runtime with disjoint accumulator rows, so results are exact
+// regardless of pool width.
+func qDenseRows(dst []float32, qx []int8, qacc []int32, o *op, batch, in, out int) {
+	// The parallel closure is built only on the sharded branch — serial
+	// execution must stay allocation-free for the serving steady state.
+	if batch > 1 && parallel.Worth(batch*in*out) {
+		parallel.Do(batch, parallel.GrainItems(in*out), func(lo, hi int) {
+			qDenseRowsRange(dst, qx, qacc, o, in, out, lo, hi)
+		})
+		return
+	}
+	qDenseRowsRange(dst, qx, qacc, o, in, out, 0, batch)
+}
+
+func qDenseRowsRange(dst []float32, qx []int8, qacc []int32, o *op, in, out, lo, hi int) {
+	scale := o.inScale * o.qw.Scale
+	bias := o.b.Data()
+	qw := o.qw.Data
+	relu := o.fusedReLU
+	for i := lo; i < hi; i++ {
+		acc := qacc[i*out : (i+1)*out]
+		tensor.QGemmRowT(acc, qx[i*in:(i+1)*in], qw, in, out)
+		di := dst[i*out : (i+1)*out]
+		for j, v := range acc {
+			f := float32(v)*scale + bias[j]
+			if relu && f < 0 {
+				f = 0
+			}
+			di[j] = f
+		}
+	}
+}
+
+// InferBatch stacks same-shaped single-sample inputs, executes the plan,
+// and returns per-sample argmax classes with softmax confidences. The
+// returned slices reuse the caller's buffers (pass the previous call's
+// slices back in), and all activations live in the plan's arena: both are
+// valid only until the plan's next call — the replica InferBatch contract.
+func (p *Plan) InferBatch(xs []*tensor.Tensor, cls []int, conf []float64) ([]int, []float64, error) {
+	p.arena.Reset()
+	x, err := p.arena.StackArena(xs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.backend == Int8 && !p.released {
+		// Widen the activation ranges over the first served batches,
+		// then serve each of them from the int8 kernels like every
+		// later batch. The calibration float pass allocates past the
+		// staged batch, so this stays on the zero-allocation path.
+		if err := p.calibrateFrom(x); err != nil {
+			return nil, nil, err
+		}
+		p.noteCalibration()
+	}
+	logits, err := p.run(x, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	if logits.Dims() != 2 {
+		return nil, nil, fmt.Errorf("%w: plan output %v is not 2-D logits", ErrShape, logits.Shape())
+	}
+	probs := p.arena.NewUninitLike(logits)
+	if err := nn.SoftmaxInto(probs, logits); err != nil {
+		return nil, nil, err
+	}
+	batch, classes := probs.Dim(0), probs.Dim(1)
+	if cap(cls) < batch {
+		cls = make([]int, batch)
+	}
+	cls = cls[:batch]
+	if cap(conf) < batch {
+		conf = make([]float64, batch)
+	}
+	conf = conf[:batch]
+	for b := 0; b < batch; b++ {
+		row := probs.Data()[b*classes : (b+1)*classes]
+		arg := 0
+		for j, v := range row {
+			if v > row[arg] {
+				arg = j
+			}
+		}
+		cls[b] = arg
+		conf[b] = float64(row[arg])
+	}
+	return cls, conf, nil
+}
+
+// reluInto writes max(0, src) into dst, sharding large activations. The
+// parallel closure is built only on the sharded branch so tiny tensors
+// keep the zero-allocation guarantee (see nn's arena ReLU).
+func reluInto(dst, src []float32) {
+	if parallel.Worth(len(src)) {
+		parallel.Do(len(src), parallel.GrainWork(), func(lo, hi int) {
+			reluElems(dst, src, lo, hi)
+		})
+		return
+	}
+	reluElems(dst, src, 0, len(src))
+}
+
+// reluInPlace clamps negatives in place — the fused epilogue.
+func reluInPlace(d []float32) {
+	if parallel.Worth(len(d)) {
+		parallel.Do(len(d), parallel.GrainWork(), func(lo, hi int) {
+			reluElems(d, d, lo, hi)
+		})
+		return
+	}
+	reluElems(d, d, 0, len(d))
+}
+
+func reluElems(dst, src []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if v := src[i]; v > 0 {
+			dst[i] = v
+		} else {
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,533 @@
+// Package plan compiles a frozen nn.Model into an executable inference
+// plan: a flat graph IR of typed ops with deterministic buffer
+// assignments, run through one of two backends —
+//
+//   - float32: reproduces the arena layer walk bit for bit on graphs
+//     without a foldable batchnorm adjacency (the golden tests in
+//     plan_test.go assert exact equality against Model.ForwardArena
+//     across the whole zoo; folded batchnorms reassociate the
+//     per-channel scale and agree to float rounding — use NoFusion for
+//     exact parity), minus the dispatch the walk pays for layers that no
+//     longer exist after optimization;
+//   - int8: genuine quantized execution — dense and convolution layers
+//     run int8×int8→int32 kernels over the installed weight artifacts,
+//     with per-layer activation scales calibrated from a min/max sweep
+//     over a calibration batch (explicit, or widening over the first
+//     served batches) and activations requantized at each quantized
+//     op's input; once the scales freeze, the calibration-only float
+//     weights are released.
+//
+// Compilation also performs the graph-level optimizations a sequential
+// layer walk cannot:
+//
+//   - BatchNorm folding: an inference-mode batchnorm directly after a
+//     convolution or dense layer folds into that layer's weights and
+//     bias, deleting the op;
+//   - ReLU fusion: a ReLU following a dense/conv/depthwise/batchnorm op
+//     becomes a clamp in the producer's epilogue instead of a separate
+//     pass over the activation;
+//   - dead-op elimination: Dropout (identity at inference) is dropped,
+//     and Flatten lowers to a zero-copy view.
+//
+// A Plan is the serving replica's execution engine: it owns an arena that
+// is reset per request, so steady-state inference allocates nothing. Like
+// the replica that owns it, a Plan is not safe for concurrent use.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// Backend selects the kernel set a compiled plan executes with.
+type Backend string
+
+// Backends. Tier names advertise these: a "{model}-int8" serving tier is
+// a plan compiled with the Int8 backend, not a relabeled float model.
+const (
+	// Float32 runs the full-precision kernels of the arena path.
+	Float32 Backend = "float32"
+	// Int8 runs dense and convolution layers on int8 kernels with
+	// calibrated activation quantization; the remaining (cheap) ops stay
+	// in float.
+	Int8 Backend = "int8"
+)
+
+// Package errors.
+var (
+	// ErrUnsupported is returned by Compile for layers the IR cannot
+	// lower (recurrent stacks); callers fall back to the layer walk.
+	ErrUnsupported = errors.New("plan: unsupported layer")
+	// ErrBadBackend is returned for an unknown backend name.
+	ErrBadBackend = errors.New("plan: unknown backend")
+	// ErrShape is returned when an executed input does not match the
+	// plan's compiled input shape.
+	ErrShape = errors.New("plan: shape mismatch")
+	// ErrCalibrationFrozen is returned by Calibrate once an int8 plan's
+	// activation scales are frozen and the float reference weights have
+	// been released.
+	ErrCalibrationFrozen = errors.New("plan: calibration already frozen")
+)
+
+// selfCalibrationBatches is the widening window of a lazily calibrated
+// int8 plan: activation ranges accumulate over this many served batches
+// before the scales freeze and the float reference weights are
+// released. One batch would gamble the whole tier's accuracy on its
+// first request being representative.
+const selfCalibrationBatches = 8
+
+// opKind enumerates the IR's typed ops.
+type opKind int
+
+const (
+	opDense opKind = iota
+	opConv
+	opDwConv
+	opMaxPool
+	opGAP
+	opBatchNorm
+	opReLU
+	opView
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opDense:
+		return "dense"
+	case opConv:
+		return "conv2d"
+	case opDwConv:
+		return "dwconv2d"
+	case opMaxPool:
+		return "maxpool"
+	case opGAP:
+		return "gap"
+	case opBatchNorm:
+		return "batchnorm"
+	case opReLU:
+		return "relu"
+	case opView:
+		return "view"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// op is one node of the flat IR. Weight fields reference (or, when an
+// optimization rewrote them, privately copy) the source model's tensors;
+// the model must not be mutated while the plan is in use — the same
+// contract FreezeInference imposes.
+type op struct {
+	kind      opKind
+	fusedReLU bool
+	int8      bool // execute on the int8 kernel (dense/conv, Int8 backend)
+
+	outShape []int // per-sample output shape
+
+	// dense: w is the lowered float weight matrix (out, in); wt its
+	// transpose, the float kernel's streaming layout.
+	// conv/dwconv: w is the kernel in the layer's matmul-ready layout.
+	// On int8 ops both are calibration-only and are released once the
+	// activation scales freeze; denseIn/denseOut keep the dimensions.
+	w, wt *tensor.Tensor
+	b     *tensor.Tensor
+
+	denseIn, denseOut int
+
+	conv tensor.Conv2DSpec
+	pool tensor.PoolSpec
+
+	// batchnorm (unfolded): per-feature inference statistics. std is
+	// precomputed sqrt(var+eps), the exact float32 the layer walk derives
+	// inline.
+	gamma, beta, mean, std []float32
+
+	// int8 artifacts: the quantized weights and the calibrated activation
+	// scale this op quantizes its input with.
+	qw       *tensor.QTensor
+	inScale  float32
+	calibMax float32
+}
+
+// Options configure compilation.
+type Options struct {
+	// Backend selects the kernel set; empty means Float32.
+	Backend Backend
+	// Calibration, for int8 plans, is an optional batched input run
+	// through the float reference at compile time to set the activation
+	// scales. Nil defers calibration to the first executed batch.
+	Calibration *tensor.Tensor
+	// NoFusion disables BatchNorm folding and ReLU fusion (dead-op
+	// elimination always runs); used by tests that isolate kernel
+	// behavior from graph rewrites.
+	NoFusion bool
+}
+
+// Plan is a compiled model: the IR, its backend, and the execution state
+// (arena, int8 scratch) of one serving replica. Not safe for concurrent
+// use.
+type Plan struct {
+	name       string
+	backend    Backend
+	inputShape []int
+	classes    int
+	ops        []op
+
+	calibrated bool
+	calibRuns  int
+	// released marks the end of calibration life: scales are frozen and
+	// the int8 ops' float reference weights are freed, so the plan's
+	// residency really is the int8 artifact.
+	released bool
+
+	arena *tensor.Arena
+	qin   []int8  // int8 dense input scratch, grown once
+	qacc  []int32 // int8 dense accumulator rows, grown once
+
+	// softmax/argmax recycled output buffers (InferBatch contract).
+	flops    int64 // per-sample forward cost, for cost-model consumers
+	actBytes int64
+}
+
+// Compile lowers m into an executable plan. The model is read, never
+// mutated; weights rewritten by optimization (batchnorm folds) are
+// private copies, everything else is referenced — so the model must stay
+// unmutated while the plan is live (compile from a private clone, as the
+// serving replicas do). Layers outside the IR (recurrent stacks) return
+// ErrUnsupported.
+func Compile(m *nn.Model, opts Options) (*Plan, error) {
+	backend := opts.Backend
+	if backend == "" {
+		backend = Float32
+	}
+	if backend != Float32 && backend != Int8 {
+		return nil, fmt.Errorf("%w: %q", ErrBadBackend, backend)
+	}
+	p := &Plan{
+		name:       m.Name,
+		backend:    backend,
+		inputShape: append([]int(nil), m.InputShape...),
+		arena:      tensor.NewArena(0),
+		flops:      m.FLOPs(1),
+		actBytes:   m.ActivationBytes(),
+	}
+	if err := p.lower(m); err != nil {
+		return nil, err
+	}
+	p.eliminateIdentities()
+	if !opts.NoFusion {
+		p.foldBatchNorm()
+		p.fuseReLU()
+	}
+	if err := p.materialize(); err != nil {
+		return nil, err
+	}
+	if len(p.ops) > 0 {
+		p.classes = prod(p.ops[len(p.ops)-1].outShape)
+	} else {
+		p.classes = prod(p.inputShape)
+	}
+	if backend == Int8 && opts.Calibration != nil {
+		// An explicit calibration batch is authoritative: freeze the
+		// scales and release the float reference weights immediately.
+		if err := p.Calibrate(opts.Calibration); err != nil {
+			return nil, err
+		}
+		p.freezeCalibration()
+	}
+	return p, nil
+}
+
+// lower walks the layer list into raw IR ops (weights still in the
+// layers' natural layouts; backend artifacts come later).
+func (p *Plan) lower(m *nn.Model) error {
+	shape := p.inputShape
+	for i, l := range m.Layers {
+		out, err := l.OutShape(shape)
+		if err != nil {
+			return fmt.Errorf("plan: %s layer %d (%s): %w", m.Name, i, l.Kind(), err)
+		}
+		o := op{outShape: out}
+		switch t := l.(type) {
+		case *nn.Dense:
+			o.kind = opDense
+			o.w = t.InferenceWeights()
+			o.b = t.B
+			// Reuse the installed artifact when the lowered weights are
+			// exactly its expansion (no later fold invalidates it).
+			o.qw = t.QW
+		case *nn.Conv2D:
+			o.kind = opConv
+			o.w = t.W
+			o.b = t.B
+			o.conv = t.SpecV
+			o.qw = t.QW
+		case *nn.DepthwiseConv2D:
+			o.kind = opDwConv
+			o.w = t.W
+			o.b = t.B
+			o.conv = t.SpecV
+		case *nn.MaxPool:
+			o.kind = opMaxPool
+			o.pool = t.SpecV
+		case *nn.GlobalAvgPool:
+			o.kind = opGAP
+		case *nn.BatchNorm:
+			o.kind = opBatchNorm
+			o.gamma = t.Gamma.Data()
+			o.beta = t.Beta.Data()
+			o.mean = t.RunMean.Data()
+			o.std = make([]float32, t.Features)
+			for f := 0; f < t.Features; f++ {
+				o.std[f] = float32(math.Sqrt(float64(t.RunVar.Data()[f] + t.Eps)))
+			}
+		case *nn.ReLU:
+			o.kind = opReLU
+		case *nn.Flatten:
+			o.kind = opView
+		case *nn.Dropout:
+			// Identity at inference: emit nothing.
+			shape = out
+			continue
+		default:
+			return fmt.Errorf("%w: %s layer %d (%s)", ErrUnsupported, m.Name, i, l.Kind())
+		}
+		p.ops = append(p.ops, o)
+		shape = out
+	}
+	return nil
+}
+
+// eliminateIdentities drops ops that cannot change the activation: views
+// whose input already has the target shape (flatten of 2-D input).
+func (p *Plan) eliminateIdentities() {
+	shape := p.inputShape
+	kept := p.ops[:0]
+	for _, o := range p.ops {
+		if o.kind == opView && len(shape) == len(o.outShape) && prod(shape) == prod(o.outShape) {
+			same := true
+			for i := range shape {
+				if shape[i] != o.outShape[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				continue
+			}
+		}
+		kept = append(kept, o)
+		shape = o.outShape
+	}
+	p.ops = kept
+}
+
+// foldBatchNorm folds an inference batchnorm directly following a conv or
+// dense op into that op's weights and bias:
+//
+//	bn(y)_c = γ_c·(y_c−μ_c)/σ_c + β_c  ⇒  W'_c = W_c·(γ_c/σ_c),
+//	B'_c = B_c·(γ_c/σ_c) + β_c − μ_c·γ_c/σ_c
+//
+// The producer's weights are copied before rewriting (the source model is
+// never mutated), and its int8 artifact is invalidated — the folded
+// weights are requantized by materialize.
+func (p *Plan) foldBatchNorm() {
+	kept := p.ops[:0]
+	for _, o := range p.ops {
+		if o.kind != opBatchNorm || len(kept) == 0 {
+			kept = append(kept, o)
+			continue
+		}
+		prev := &kept[len(kept)-1]
+		var feats int
+		switch prev.kind {
+		case opConv:
+			feats = prev.conv.OutC
+		case opDense:
+			feats = prev.w.Dim(0)
+		default:
+			kept = append(kept, o)
+			continue
+		}
+		if feats != len(o.gamma) || prev.fusedReLU {
+			kept = append(kept, o)
+			continue
+		}
+		w := prev.w.Clone()
+		b := prev.b.Clone()
+		cols := w.Len() / feats
+		for f := 0; f < feats; f++ {
+			s := o.gamma[f] / o.std[f]
+			row := w.Data()[f*cols : (f+1)*cols]
+			for i := range row {
+				row[i] *= s
+			}
+			b.Data()[f] = b.Data()[f]*s + o.beta[f] - o.mean[f]*s
+		}
+		prev.w, prev.b = w, b
+		prev.qw = nil // artifact quantized the unfolded weights
+		prev.outShape = o.outShape
+	}
+	p.ops = kept
+}
+
+// fuseReLU turns a standalone ReLU following a compute op into the
+// producer's epilogue clamp. The clamp applies the identical elementwise
+// max(0, ·), so float results are bit-identical to the unfused graph.
+func (p *Plan) fuseReLU() {
+	kept := p.ops[:0]
+	for _, o := range p.ops {
+		if o.kind == opReLU && len(kept) > 0 {
+			prev := &kept[len(kept)-1]
+			switch prev.kind {
+			case opDense, opConv, opDwConv, opBatchNorm:
+				if !prev.fusedReLU {
+					prev.fusedReLU = true
+					prev.outShape = o.outShape
+					continue
+				}
+			}
+		}
+		kept = append(kept, o)
+	}
+	p.ops = kept
+}
+
+// materialize prepares backend artifacts after optimization: the
+// pre-transposed float dense weights every backend's reference path uses,
+// and the int8 weight tensors of quantized ops. Ops whose source layer
+// already carried an int8 artifact (and whose weights no fold rewrote)
+// run that exact artifact; everything else quantizes its lowered floats.
+func (p *Plan) materialize() error {
+	for i := range p.ops {
+		o := &p.ops[i]
+		switch o.kind {
+		case opDense:
+			wt, err := tensor.Transpose(o.w)
+			if err != nil {
+				return fmt.Errorf("plan: dense op %d: %w", i, err)
+			}
+			o.wt = wt
+			o.denseOut, o.denseIn = o.w.Dim(0), o.w.Dim(1)
+			if p.backend == Int8 {
+				o.int8 = true
+				// The (out, in) artifact is already the transposed-B
+				// layout the dot-form GEMM streams: run it directly.
+				if o.qw == nil || o.qw.Len() != o.w.Len() {
+					o.qw = tensor.Quantize(o.w)
+				}
+			}
+		case opConv:
+			if p.backend == Int8 {
+				o.int8 = true
+				if o.qw == nil || o.qw.Len() != o.w.Len() {
+					o.qw = tensor.Quantize(o.w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// freezeCalibration ends an int8 plan's calibration life: activation
+// scales become frozen constants and the quantized ops' float reference
+// weights (kept only for the calibration passes) are released, so the
+// deployed residency matches WeightBytes' ≈¼ claim.
+func (p *Plan) freezeCalibration() {
+	if p.backend != Int8 || p.released {
+		return
+	}
+	for i := range p.ops {
+		o := &p.ops[i]
+		if o.int8 {
+			o.w, o.wt = nil, nil
+		}
+	}
+	p.released = true
+}
+
+// Name returns the compiled model's name.
+func (p *Plan) Name() string { return p.name }
+
+// Backend returns the plan's backend.
+func (p *Plan) Backend() Backend { return p.backend }
+
+// InputShape returns the per-sample input shape.
+func (p *Plan) InputShape() []int { return append([]int(nil), p.inputShape...) }
+
+// Classes returns the flattened output width (class count).
+func (p *Plan) Classes() int { return p.classes }
+
+// Calibrated reports whether an int8 plan's activation scales are set
+// (float32 plans are always calibrated).
+func (p *Plan) Calibrated() bool { return p.backend != Int8 || p.calibrated }
+
+// CalibrationFrozen reports whether an int8 plan's scales are frozen and
+// its calibration-only float weights released (always true for float32
+// plans, which never hold calibration state).
+func (p *Plan) CalibrationFrozen() bool { return p.backend != Int8 || p.released }
+
+// FLOPs returns the per-sample forward cost of the source model at the
+// given batch size (the cost-model view; graph optimization does not
+// change the multiply-add count).
+func (p *Plan) FLOPs(batch int) int64 { return p.flops * int64(batch) }
+
+// ActivationBytes returns the source model's per-sample peak activation
+// estimate.
+func (p *Plan) ActivationBytes() int64 { return p.actBytes }
+
+// WeightBytes returns the deployed weight footprint: int8 artifacts for
+// quantized ops, float32 for the rest — the honest per-representation
+// number behind the serving tier's memory accounting. During an int8
+// plan's calibration window the float reference weights are transiently
+// also resident; they are released when the scales freeze
+// (freezeCalibration), after which this is the true residency.
+func (p *Plan) WeightBytes() int64 {
+	var n int64
+	for i := range p.ops {
+		o := &p.ops[i]
+		switch o.kind {
+		case opDense, opConv, opDwConv:
+			if o.int8 {
+				n += int64(o.qw.SizeBytes())
+			} else {
+				n += 4 * int64(o.w.Len())
+			}
+			if o.b != nil {
+				n += 4 * int64(o.b.Len())
+			}
+		case opBatchNorm:
+			n += 4 * int64(len(o.gamma)+len(o.beta)+len(o.mean)+len(o.std))
+		}
+	}
+	return n
+}
+
+// OpInfo is the inspectable form of one compiled op, for tests and
+// diagnostics.
+type OpInfo struct {
+	Kind      string
+	FusedReLU bool
+	Int8      bool
+}
+
+// Ops returns the compiled op list.
+func (p *Plan) Ops() []OpInfo {
+	out := make([]OpInfo, len(p.ops))
+	for i := range p.ops {
+		out[i] = OpInfo{Kind: p.ops[i].kind.String(), FusedReLU: p.ops[i].fusedReLU, Int8: p.ops[i].int8}
+	}
+	return out
+}
+
+func prod(xs []int) int {
+	n := 1
+	for _, x := range xs {
+		n *= x
+	}
+	return n
+}

@@ -1,0 +1,463 @@
+package plan
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"openei/internal/compress"
+	"openei/internal/dataset"
+	"openei/internal/nn"
+	"openei/internal/tensor"
+	"openei/internal/zoo"
+)
+
+func randBatch(rng *rand.Rand, batch int, shape []int) *tensor.Tensor {
+	full := append([]int{batch}, shape...)
+	t := tensor.New(full...)
+	d := t.Data()
+	for i := range d {
+		d[i] = rng.Float32()*2 - 1
+	}
+	return t
+}
+
+// The golden parity property (satellite): a compiled float32 plan is
+// bitwise identical to the frozen arena layer walk, for every model in
+// the zoo catalog, across random batch sizes and input sizes.
+func TestFloat32PlanBitwiseMatchesForwardArena(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, e := range zoo.Catalog() {
+		for _, size := range []int{12, 16} {
+			m, err := zoo.Build(e.Name, size, 5, rand.New(rand.NewSource(9)))
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			frozen, err := m.Clone()
+			if err != nil {
+				t.Fatal(err)
+			}
+			frozen.FreezeInference()
+			p, err := Compile(frozen, Options{Backend: Float32})
+			if err != nil {
+				t.Fatalf("%s: compile: %v", e.Name, err)
+			}
+			arena := tensor.NewArena(0)
+			for _, batch := range []int{1, 3, 8, 13} {
+				x := randBatch(rng, batch, m.InputShape)
+				arena.Reset()
+				want, err := frozen.ForwardArena(x, arena)
+				if err != nil {
+					t.Fatalf("%s batch %d: arena walk: %v", e.Name, batch, err)
+				}
+				got, err := p.Execute(x)
+				if err != nil {
+					t.Fatalf("%s batch %d: plan: %v", e.Name, batch, err)
+				}
+				if got.Len() != want.Len() {
+					t.Fatalf("%s batch %d: plan emitted %v, walk %v", e.Name, batch, got.Shape(), want.Shape())
+				}
+				// want lives in the test's arena, got in the plan's; the
+				// two passes share no storage.
+				for i := range want.Data() {
+					if want.Data()[i] != got.Data()[i] {
+						t.Fatalf("%s size %d batch %d: elem %d differs: plan %v vs walk %v",
+							e.Name, size, batch, i, got.Data()[i], want.Data()[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Fusion rules: dropout disappears, ReLUs fuse into their producers,
+// flatten lowers to a view — the compiled graph has no standalone
+// activation or identity ops left for these architectures.
+func TestCompiledGraphFusesActivationsAndDropsIdentities(t *testing.T) {
+	m, err := zoo.Build("alexnet-m", 16, 5, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := 0
+	for _, o := range p.Ops() {
+		switch o.Kind {
+		case "relu":
+			t.Errorf("standalone relu survived fusion: %+v", p.Ops())
+		case "dropout":
+			t.Errorf("dropout survived inference lowering: %+v", p.Ops())
+		}
+		if o.FusedReLU {
+			fused++
+		}
+	}
+	// alexnet-m has five relus, every one after a conv or dense layer.
+	if fused != 5 {
+		t.Errorf("fused %d relus, want 5: %+v", fused, p.Ops())
+	}
+	// 15 layers (5 of them relus, 1 dropout) compile to 9 ops.
+	if len(p.Ops()) != 9 {
+		t.Errorf("compiled to %d ops, want 9: %+v", len(p.Ops()), p.Ops())
+	}
+}
+
+// bnModel is a conv→batchnorm→relu→flatten→dense stack with non-trivial
+// running statistics, the architecture that exercises the fold.
+func bnModel(t *testing.T) *nn.Model {
+	t.Helper()
+	s := tensor.Conv2DSpec{InC: 1, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	m, err := nn.NewModel("bn-net", []int{1, 8, 8}, []nn.LayerSpec{
+		{Type: "conv2d", Conv: &s},
+		{Type: "batchnorm", Features: 4},
+		{Type: "relu"},
+		{Type: "flatten"},
+		{Type: "dense", In: 4 * 8 * 8, Out: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	m.InitParams(rng)
+	bn := m.Layers[1].(*nn.BatchNorm)
+	for f := 0; f < 4; f++ {
+		bn.RunMean.Data()[f] = rng.Float32()*0.4 - 0.2
+		bn.RunVar.Data()[f] = 0.5 + rng.Float32()
+		bn.Gamma.Data()[f] = 0.8 + rng.Float32()*0.4
+		bn.Beta.Data()[f] = rng.Float32()*0.2 - 0.1
+	}
+	return m
+}
+
+// BatchNorm folding: the batchnorm op disappears into the preceding conv,
+// and the folded plan matches the unfused reference within float rounding
+// (folding reassociates the per-channel scale, so exact bit equality is
+// not expected — closeness is).
+func TestBatchNormFoldsIntoConv(t *testing.T) {
+	m := bnModel(t)
+	p, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{}
+	for _, o := range p.Ops() {
+		kinds = append(kinds, o.Kind)
+	}
+	if len(kinds) != 3 || kinds[0] != "conv2d" || kinds[1] != "view" || kinds[2] != "dense" {
+		t.Fatalf("folded graph = %v, want [conv2d view dense]", kinds)
+	}
+	if !p.Ops()[0].FusedReLU {
+		t.Fatalf("relu did not fuse into the folded conv: %+v", p.Ops())
+	}
+
+	x := randBatch(rand.New(rand.NewSource(5)), 4, m.InputShape)
+	want, err := m.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Execute(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data() {
+		diff := math.Abs(float64(want.Data()[i] - got.Data()[i]))
+		if diff > 1e-4 {
+			t.Fatalf("elem %d: folded %v vs reference %v", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+// With fusion disabled the batchnorm stays a standalone op and the plan
+// reproduces the layer walk exactly.
+func TestNoFusionKeepsBatchNormBitwise(t *testing.T) {
+	m := bnModel(t)
+	p, err := Compile(m, Options{NoFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBN := false
+	for _, o := range p.Ops() {
+		if o.Kind == "batchnorm" {
+			sawBN = true
+		}
+	}
+	if !sawBN {
+		t.Fatalf("NoFusion plan lost its batchnorm: %+v", p.Ops())
+	}
+	frozen, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen.FreezeInference()
+	x := randBatch(rand.New(rand.NewSource(6)), 3, m.InputShape)
+	arena := tensor.NewArena(0)
+	want, err := frozen.ForwardArena(x, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Execute(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data() {
+		if want.Data()[i] != got.Data()[i] {
+			t.Fatalf("elem %d: %v vs %v", i, got.Data()[i], want.Data()[i])
+		}
+	}
+}
+
+// Unsupported layers (recurrent stacks) must be rejected, not silently
+// mis-lowered — callers fall back to the layer walk.
+func TestCompileRejectsRecurrentStacks(t *testing.T) {
+	m, err := nn.NewModel("rnn", []int{24}, []nn.LayerSpec{
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{D: 6, H: 8, T: 4}},
+		{Type: "dense", In: 8, Out: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(m, Options{}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("compile = %v, want ErrUnsupported", err)
+	}
+}
+
+// Int8 plans: the quantized backend stays within quantization tolerance
+// of the float plan on the same inputs, and its weight footprint is about
+// a quarter of the float plan's.
+func TestInt8PlanClosesToFloatAndShrinks(t *testing.T) {
+	for _, name := range []string{"mlp", "lenet"} {
+		m, err := zoo.Build(name, 16, 5, rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := randBatch(rand.New(rand.NewSource(22)), 16, m.InputShape)
+		f32, err := Compile(m, Options{Backend: Float32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i8, err := Compile(m, Options{Backend: Int8, Calibration: cal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !i8.Calibrated() {
+			t.Fatalf("%s: compile-time calibration did not stick", name)
+		}
+
+		ratio := float64(i8.WeightBytes()) / float64(f32.WeightBytes())
+		if ratio > 0.5 {
+			t.Errorf("%s: int8 weight bytes ratio %.2f, want ≲ 0.25", name, ratio)
+		}
+
+		x := randBatch(rand.New(rand.NewSource(23)), 8, m.InputShape)
+		want, err := f32.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCopy := append([]float32(nil), want.Data()...)
+		got, err := i8.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst, scaleRef float64
+		for i := range wantCopy {
+			if d := math.Abs(float64(wantCopy[i])); d > scaleRef {
+				scaleRef = d
+			}
+		}
+		for i := range wantCopy {
+			if d := math.Abs(float64(got.Data()[i] - wantCopy[i])); d > worst {
+				worst = d
+			}
+		}
+		// Logit-scale relative error bound: generous enough for stacked
+		// per-layer quantization, tight enough to catch a broken kernel.
+		if worst > 0.15*scaleRef+0.05 {
+			t.Errorf("%s: worst int8 deviation %v (logit scale %v)", name, worst, scaleRef)
+		}
+	}
+}
+
+// An int8 plan with no compile-time calibration batch calibrates itself
+// on the first served batch — and every served answer, including the
+// first, comes from the int8 kernels.
+func TestInt8PlanSelfCalibrates(t *testing.T) {
+	m, err := zoo.Build("mlp", 12, 4, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m, Options{Backend: Int8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Calibrated() {
+		t.Fatal("uncalibrated plan reports calibrated")
+	}
+	rng := rand.New(rand.NewSource(32))
+	xs := make([]*tensor.Tensor, 4)
+	for i := range xs {
+		xs[i] = randBatch(rng, 1, m.InputShape).MustReshape(m.InputShape...)
+	}
+	cls, conf, err := p.InferBatch(xs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Calibrated() {
+		t.Fatal("first batch did not calibrate the plan")
+	}
+	if len(cls) != 4 || len(conf) != 4 {
+		t.Fatalf("got %d classes, %d confidences, want 4", len(cls), len(conf))
+	}
+	// Determinism after calibration: the same batch answers identically.
+	cls2, conf2, err := p.InferBatch(xs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cls {
+		if cls[i] != cls2[i] || conf[i] != conf2[i] {
+			t.Fatalf("sample %d: (%d, %v) then (%d, %v)", i, cls[i], conf[i], cls2[i], conf2[i])
+		}
+	}
+}
+
+// Lazy calibration widens over the first served batches, then freezes
+// and releases the calibration-only float weights — the plan's weight
+// residency ends at the int8 artifact, and further explicit calibration
+// is refused.
+func TestInt8PlanCalibrationWindowFreezesAndReleases(t *testing.T) {
+	m, err := zoo.Build("mlp", 12, 4, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m, Options{Backend: Int8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(34))
+	xs := []*tensor.Tensor{randBatch(rng, 1, m.InputShape).MustReshape(m.InputShape...)}
+	for i := 0; i < selfCalibrationBatches; i++ {
+		if p.CalibrationFrozen() {
+			t.Fatalf("calibration froze after %d batches, want %d", i, selfCalibrationBatches)
+		}
+		if _, _, err := p.InferBatch(xs, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.CalibrationFrozen() {
+		t.Fatal("calibration did not freeze after the widening window")
+	}
+	if err := p.Calibrate(xs[0].MustReshape(1, 12*12).MustReshape(1, 1, 12, 12)); !errors.Is(err, ErrCalibrationFrozen) {
+		t.Fatalf("Calibrate on frozen plan = %v, want ErrCalibrationFrozen", err)
+	}
+	// Serving still works, and answers stay deterministic once frozen.
+	if _, _, err := p.InferBatch(xs, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// A compile-time calibration batch freezes immediately.
+	m2, err := zoo.Build("mlp", 12, 4, rand.New(rand.NewSource(35)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := randBatch(rng, 8, m2.InputShape)
+	p2, err := Compile(m2, Options{Backend: Int8, Calibration: cal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CalibrationFrozen() {
+		t.Fatal("explicit calibration batch did not freeze the plan")
+	}
+}
+
+// The accuracy satellite: on the procedural-shapes smoke set, a trained
+// model's int8 plan stays within a small accuracy drop of its float plan.
+func TestInt8PlanAccuracyDropBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model")
+	}
+	cfg := dataset.ShapesConfig{Samples: 600, Size: 16, Classes: 4, Noise: 0.25, Seed: 5}
+	train, test, err := dataset.Shapes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := zoo.Build("lenet", cfg.Size, cfg.Classes, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{
+		Epochs: 3, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rand.New(rand.NewSource(78)),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Install the int8 artifacts the quantized load path would.
+	qm, err := m.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := compress.QuantizeInt8(qm); err != nil {
+		t.Fatal(err)
+	}
+
+	accOf := func(p *Plan) float64 {
+		logits, err := p.Execute(test.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		classes := logits.Dim(1)
+		for b := 0; b < logits.Dim(0); b++ {
+			row := logits.Data()[b*classes : (b+1)*classes]
+			arg := 0
+			for j, v := range row {
+				if v > row[arg] {
+					arg = j
+				}
+			}
+			if arg == test.Y[b] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(test.Y))
+	}
+
+	f32, err := Compile(m, Options{Backend: Float32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i8, err := Compile(qm, Options{Backend: Int8, Calibration: train.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accF, accQ := accOf(f32), accOf(i8)
+	t.Logf("lenet shapes accuracy: float32 %.3f, int8 %.3f", accF, accQ)
+	if accF < 0.6 {
+		t.Fatalf("float smoke accuracy %.3f too low for the bound to mean anything", accF)
+	}
+	if accQ < accF-0.05 {
+		t.Errorf("int8 accuracy drop too large: float %.3f, int8 %.3f", accF, accQ)
+	}
+}
+
+// WeightBytes reports the per-representation footprint the tier ladder
+// advertises: a conv model's int8 plan is about a quarter of its float
+// plan.
+func TestPlanWeightBytesQuarterForInt8(t *testing.T) {
+	m, err := zoo.Build("vgg-m", 16, 5, rand.New(rand.NewSource(41)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32, err := Compile(m, Options{Backend: Float32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i8, err := Compile(m, Options{Backend: Int8}) // weights quantize at compile
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(i8.WeightBytes()) / float64(f32.WeightBytes())
+	if ratio < 0.2 || ratio > 0.35 {
+		t.Errorf("int8/float32 weight bytes = %.3f, want ≈ 0.25 (biases stay float)", ratio)
+	}
+}

@@ -10,6 +10,7 @@ import (
 type modelMetrics struct {
 	replicas int
 	queueCap int
+	backend  string
 
 	enqueued atomic.Uint64 // admitted into the queue
 	rejected atomic.Uint64 // ErrOverloaded at admission
@@ -53,6 +54,10 @@ func (m *modelMetrics) observeDone(queued, total time.Duration) {
 type ModelStats struct {
 	Model    string `json:"model"`
 	Replicas int    `json:"replicas"`
+	// Backend is the execution backend of the pipeline's compiled plans
+	// ("float32", "int8", or "layer-walk" for the fallback path) — tier
+	// names imply backends, and this is where that claim is observable.
+	Backend string `json:"backend"`
 
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
@@ -82,6 +87,7 @@ func (m *modelMetrics) snapshot(model string, depth int) ModelStats {
 	s := ModelStats{
 		Model:            model,
 		Replicas:         m.replicas,
+		Backend:          m.backend,
 		QueueDepth:       depth,
 		QueueCap:         m.queueCap,
 		Enqueued:         m.enqueued.Load(),

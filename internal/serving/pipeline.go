@@ -53,6 +53,7 @@ func newPipeline(model string, cfg Config, reps []*pkgmgr.Replica) *pipeline {
 	}
 	p.met.replicas = len(reps)
 	p.met.queueCap = cfg.QueueDepth
+	p.met.backend = reps[0].Backend()
 	p.wg.Add(1 + len(reps))
 	go p.dispatch()
 	for _, r := range reps {

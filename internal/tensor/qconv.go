@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"fmt"
+
+	"openei/internal/parallel"
+)
+
+// Int8 convolution: the quantized twin of conv2DForward. The input image
+// is quantized once with a calibrated activation scale, lowered by an
+// int8 im2col that emits the column matrix already transposed (one
+// contiguous patch row per output position), and reduced against the
+// int8 weight rows with the four-column dot kernel QGemmRowT — streaming
+// one quarter of the column-matrix bytes the float kernel does, which is
+// where the int8 backend's speedup comes from on bandwidth-bound convs.
+
+// QIm2ColT lowers a quantized image (inC, inH, inW as a flat int8 slice)
+// into the TRANSPOSED column matrix colsT of shape (outH*outW, inC*kH*kW):
+// row p holds the receptive-field patch of output position p, the layout
+// the dot-form GEMM streams. Padding contributes exact zeros (symmetric
+// quantization maps 0.0 → 0).
+func QIm2ColT(qimg []int8, s Conv2DSpec, colsT []int8) {
+	outH, outW := s.OutH(), s.OutW()
+	colRows := s.InC * s.KH * s.KW
+	p := 0
+	for oh := 0; oh < outH; oh++ {
+		for ow := 0; ow < outW; ow++ {
+			row := colsT[p*colRows : (p+1)*colRows]
+			p++
+			idx := 0
+			for c := 0; c < s.InC; c++ {
+				chanBase := c * s.InH * s.InW
+				for kh := 0; kh < s.KH; kh++ {
+					ih := oh*s.Stride - s.Pad + kh
+					if ih < 0 || ih >= s.InH {
+						for kw := 0; kw < s.KW; kw++ {
+							row[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := chanBase + ih*s.InW
+					for kw := 0; kw < s.KW; kw++ {
+						iw := ow*s.Stride - s.Pad + kw
+						if iw < 0 || iw >= s.InW {
+							row[idx] = 0
+						} else {
+							row[idx] = qimg[rowBase+iw]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// QConv2D applies the convolution described by s to a batched float input
+// (batch, inC, inH, inW) using int8 arithmetic: activations are quantized
+// with the calibrated scale xScale, the kernel qw is the int8 weight
+// artifact stored matmul-ready as (outC, inC*kH*kW), and each output
+// element is an int8×int8 dot product accumulated in int32 with a single
+// float rescale (xScale·qw.Scale) plus bias at the end.
+func QConv2D(x *Tensor, qw *QTensor, bias *Tensor, s Conv2DSpec, xScale float32) (*Tensor, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if x.Dims() != 4 {
+		return nil, fmt.Errorf("%w: QConv2D input %v does not match spec %+v", ErrShape, x.shape, s)
+	}
+	out := New(x.shape[0], s.OutC, s.OutH(), s.OutW())
+	if err := QConv2DInto(out, x, qw, bias, s, xScale, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// QConv2DInto is QConv2D reusing dst's storage (dst need not be zeroed);
+// dst must be (batch, outC, outH, outW). relu clamps negatives in the
+// epilogue — the fused activation the execution plans compile in.
+func QConv2DInto(dst, x *Tensor, qw *QTensor, bias *Tensor, s Conv2DSpec, xScale float32, relu bool) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if x.Dims() != 4 || x.shape[1] != s.InC || x.shape[2] != s.InH || x.shape[3] != s.InW {
+		return fmt.Errorf("%w: QConv2D input %v does not match spec %+v", ErrShape, x.shape, s)
+	}
+	if qw.Len() != s.OutC*s.InC*s.KH*s.KW {
+		return fmt.Errorf("%w: QConv2D kernel %v does not match spec %+v", ErrShape, qw.shape, s)
+	}
+	if bias != nil && bias.Len() != s.OutC {
+		return fmt.Errorf("%w: QConv2D bias %v, want %d", ErrShape, bias.shape, s.OutC)
+	}
+	batch := x.shape[0]
+	if dst.Dims() != 4 || dst.shape[0] != batch || dst.shape[1] != s.OutC || dst.shape[2] != s.OutH() || dst.shape[3] != s.OutW() {
+		return fmt.Errorf("%w: QConv2D output %v does not match spec %+v", ErrShape, dst.shape, s)
+	}
+	var biasData []float32
+	if bias != nil {
+		biasData = bias.data
+	}
+	qconv2DForward(dst.data, x.data, qw, biasData, s, batch, xScale, relu)
+	return nil
+}
+
+// qconv2DForward is the shared int8 convolution core. Output memory need
+// not be zeroed. Multi-image batches shard across the parallel runtime
+// with per-shard quantized-image and column scratch; each image's integer
+// arithmetic is exact, so results are bitwise pool-width-independent.
+func qconv2DForward(out, x []float32, qw *QTensor, bias []float32, s Conv2DSpec, batch int, xScale float32, relu bool) {
+	if xScale <= 0 {
+		xScale = 1
+	}
+	outH, outW := s.OutH(), s.OutW()
+	colRows := s.InC * s.KH * s.KW
+	colW := outH * outW
+	imgLen := s.InC * s.InH * s.InW
+	outLen := s.OutC * colW
+	scale := xScale * qw.Scale
+	perImage := s.OutC * colRows * colW
+	gemmRows := func(dst []float32, colsT []int8, acc []int32, lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			QGemmRowT(acc, qw.Data[oc*colRows:(oc+1)*colRows], colsT, colRows, colW)
+			var bv float32
+			if bias != nil {
+				bv = bias[oc]
+			}
+			ch := dst[oc*colW : (oc+1)*colW]
+			for p, v := range acc[:colW] {
+				f := float32(v)*scale + bv
+				if relu && f < 0 {
+					f = 0
+				}
+				ch[p] = f
+			}
+		}
+	}
+	image := func(b int, qimg, colsT []int8, acc []int32, rowParallel bool) {
+		QuantizeCalibratedInto(qimg, x[b*imgLen:(b+1)*imgLen], xScale)
+		QIm2ColT(qimg, s, colsT)
+		dst := out[b*outLen : (b+1)*outLen]
+		if rowParallel && s.OutC > 1 && parallel.Worth(perImage) {
+			parallel.Do(s.OutC, parallel.GrainItems(colRows*colW), func(lo, hi int) {
+				accP := i32Scratch(colW)
+				defer i32Release(accP)
+				gemmRows(dst, colsT, *accP, lo, hi)
+			})
+			return
+		}
+		gemmRows(dst, colsT, acc, 0, s.OutC)
+	}
+	if batch > 1 && parallel.Worth(batch*perImage) {
+		parallel.Do(batch, parallel.GrainItems(perImage), func(lo, hi int) {
+			qimgP := i8Scratch(imgLen)
+			colsP := i8Scratch(colRows * colW)
+			accP := i32Scratch(colW)
+			defer i8Release(qimgP)
+			defer i8Release(colsP)
+			defer i32Release(accP)
+			for b := lo; b < hi; b++ {
+				image(b, *qimgP, *colsP, *accP, false)
+			}
+		})
+		return
+	}
+	// Serial batch walk; a single large image instead lets the GEMM shard
+	// its output-channel rows, mirroring conv2DForward's split.
+	qimgP := i8Scratch(imgLen)
+	colsP := i8Scratch(colRows * colW)
+	accP := i32Scratch(colW)
+	defer i8Release(qimgP)
+	defer i8Release(colsP)
+	defer i32Release(accP)
+	for b := 0; b < batch; b++ {
+		image(b, *qimgP, *colsP, *accP, true)
+	}
+}

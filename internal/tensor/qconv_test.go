@@ -1,0 +1,195 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.Float32()*2 - 1
+	}
+	return t
+}
+
+func TestQuantizeCalibratedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, 5, 7)
+	scale := x.AbsMax() / 127
+	q := QuantizeCalibrated(x, scale)
+	if q.Scale != scale {
+		t.Fatalf("scale %v, want %v", q.Scale, scale)
+	}
+	d := q.Dequantize()
+	for i := range x.data {
+		if diff := math.Abs(float64(x.data[i] - d.data[i])); diff > float64(scale)/2+1e-7 {
+			t.Fatalf("elem %d: %v vs %v (beyond half-step %v)", i, x.data[i], d.data[i], scale/2)
+		}
+	}
+}
+
+func TestQuantizeCalibratedSaturates(t *testing.T) {
+	x := MustFrom([]float32{10, -10, 0.5}, 3)
+	q := QuantizeCalibrated(x, 0.01) // range ±1.27 → ±10 saturates
+	if q.Data[0] != 127 || q.Data[1] != -127 {
+		t.Fatalf("saturation: got %d, %d, want ±127", q.Data[0], q.Data[1])
+	}
+	if q.Data[2] != 50 {
+		t.Fatalf("in-range value: got %d, want 50", q.Data[2])
+	}
+}
+
+func TestQuantizeCalibratedMatchesQuantize(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randTensor(rng, 9, 4)
+	a := Quantize(x)
+	b := QuantizeCalibrated(x, x.AbsMax()/127)
+	if a.Scale != b.Scale {
+		t.Fatalf("scales differ: %v vs %v", a.Scale, b.Scale)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("elem %d: %d vs %d", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+// QIm2ColT must emit exactly the transpose of the float Im2Col lowering
+// applied to the quantized image.
+func TestQIm2ColTMatchesIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, s := range []Conv2DSpec{
+		{InC: 3, InH: 8, InW: 8, OutC: 1, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 2, InH: 7, InW: 5, OutC: 1, KH: 3, KW: 2, Stride: 2, Pad: 0},
+		{InC: 1, InH: 6, InW: 6, OutC: 1, KH: 1, KW: 1, Stride: 1, Pad: 0},
+	} {
+		x := randTensor(rng, s.InC, s.InH, s.InW)
+		q := Quantize(x)
+		colRows := s.InC * s.KH * s.KW
+		colW := s.OutH() * s.OutW()
+
+		qf := q.Dequantize()
+		cols := make([]float32, colRows*colW)
+		Im2Col(qf.data, s, cols)
+
+		colsT := make([]int8, colW*colRows)
+		QIm2ColT(q.Data, s, colsT)
+		for r := 0; r < colRows; r++ {
+			for p := 0; p < colW; p++ {
+				want := cols[r*colW+p]
+				got := float32(colsT[p*colRows+r]) * q.Scale
+				if want != got {
+					t.Fatalf("spec %+v (%d,%d): %v vs %v", s, r, p, want, got)
+				}
+			}
+		}
+	}
+}
+
+// The int8 convolution must agree with dequantize-then-float convolution
+// within quantization tolerance: the integer path computes the exact same
+// products as Conv2D over the dequantized operands, so the only
+// difference is float summation order (the int path sums exactly).
+func TestQConv2DMatchesDequantizedFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, s := range []Conv2DSpec{
+		{InC: 3, InH: 10, InW: 10, OutC: 8, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 4, InH: 9, InW: 7, OutC: 5, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		{InC: 2, InH: 6, InW: 6, OutC: 7, KH: 1, KW: 1, Stride: 1, Pad: 0},
+	} {
+		for _, batch := range []int{1, 3} {
+			x := randTensor(rng, batch, s.InC, s.InH, s.InW)
+			w := randTensor(rng, s.OutC, s.InC*s.KH*s.KW)
+			bias := randTensor(rng, s.OutC)
+
+			qw := Quantize(w)
+			xScale := x.AbsMax() / 127
+			got, err := QConv2D(x, qw, bias, s, xScale)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: float conv over the dequantized operands.
+			qx := QuantizeCalibrated(x, xScale)
+			want, err := Conv2D(qx.Dequantize(), qw.Dequantize(), bias, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			colRows := s.InC * s.KH * s.KW
+			// Integer accumulation is exact; the float reference may lose
+			// up to ~K ulps of its running sum. Bound the difference by a
+			// tolerance scaled to the reduction depth.
+			tol := float64(colRows) * float64(xScale) * float64(qw.Scale) * 4
+			for i := range want.data {
+				if diff := math.Abs(float64(got.data[i] - want.data[i])); diff > tol {
+					t.Fatalf("spec %+v batch %d elem %d: int8 %v vs float %v (tol %v)",
+						s, batch, i, got.data[i], want.data[i], tol)
+				}
+			}
+		}
+	}
+}
+
+// Against the raw float convolution (unquantized operands) the int8 path
+// must stay within quantization tolerance: half a step per operand times
+// the reduction depth.
+func TestQConv2DWithinQuantizationTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Conv2DSpec{InC: 3, InH: 12, InW: 12, OutC: 6, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := randTensor(rng, 2, s.InC, s.InH, s.InW)
+	w := randTensor(rng, s.OutC, s.InC*s.KH*s.KW)
+	bias := randTensor(rng, s.OutC)
+
+	qw := Quantize(w)
+	xScale := x.AbsMax() / 127
+	got, err := QConv2D(x, qw, bias, s, xScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Conv2D(x, w, bias, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colRows := float64(s.InC * s.KH * s.KW)
+	// Each product can be off by ~(|a|·Δw + |w|·Δa); operands are in
+	// (-1,1) so a conservative per-term error is Δw + Δa.
+	tol := colRows * (float64(xScale) + float64(qw.Scale))
+	var worst float64
+	for i := range want.data {
+		if diff := math.Abs(float64(got.data[i] - want.data[i])); diff > worst {
+			worst = diff
+		}
+	}
+	if worst > tol {
+		t.Fatalf("worst abs error %v beyond quantization tolerance %v", worst, tol)
+	}
+}
+
+func TestQConv2DFusedReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := Conv2DSpec{InC: 2, InH: 8, InW: 8, OutC: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := randTensor(rng, 2, s.InC, s.InH, s.InW)
+	w := randTensor(rng, s.OutC, s.InC*s.KH*s.KW)
+	qw := Quantize(w)
+	xScale := x.AbsMax() / 127
+
+	plain, err := QConv2D(x, qw, nil, s, xScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := New(2, s.OutC, s.OutH(), s.OutW())
+	if err := QConv2DInto(fused, x, qw, nil, s, xScale, true); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range plain.data {
+		want := v
+		if want < 0 {
+			want = 0
+		}
+		if fused.data[i] != want {
+			t.Fatalf("elem %d: fused %v, want relu(%v)", i, fused.data[i], v)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+//go:build amd64
+
+package tensor
+
+// useAVX2 gates the vector int8 dot kernel: set once at init when the
+// CPU reports AVX2 and the OS has enabled YMM state. The int8 backend's
+// hardware story is exactly this — quantized kernels win because eight
+// 16-bit multiply-adds issue per VPMADDWD, not because int8 arithmetic
+// is cheaper scalar-for-scalar.
+var useAVX2 = cpuHasAVX2()
+
+// cpuHasAVX2 reports AVX2 support: OSXSAVE+AVX (CPUID.1:ECX), YMM state
+// enabled in XCR0 (XGETBV), and AVX2 (CPUID.7.0:EBX bit 5).
+func cpuHasAVX2() bool
+
+// qdotAsm computes the int8 dot product of a[0:k]·b[0:k] with AVX2
+// (VPMOVSXBW sign-extension, VPMADDWD pairwise multiply-add, int32
+// accumulation). k must be a multiple of 32; callers handle the tail in
+// Go.
+//
+//go:noescape
+func qdotAsm(a, b *int8, k int) int32

@@ -1,0 +1,79 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// AVX2 is usable iff the OS saves YMM state (OSXSAVE set, XCR0 reports
+// XMM+YMM enabled) and CPUID leaf 7 advertises AVX2.
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	// CPUID.1: ECX bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<27 | 1<<28), DX
+	CMPL DX, $(1<<27 | 1<<28)
+	JNE  no
+
+	// XGETBV(0): XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	// CPUID.7.0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func qdotAsm(a, b *int8, k int) int32
+//
+// Int8 dot product over k elements (k a multiple of 32, ≥ 32): each
+// 16-byte half sign-extends to 16×int16 (VPMOVSXBW), multiplies pairwise
+// into 8×int32 (VPMADDWD), and accumulates (VPADDD). Lanes cannot
+// overflow: each VPMADDWD term is ≤ 2·127² and a lane absorbs k/16 of
+// them — int32 holds that to k ≈ 2²⁰, far past any model dimension here.
+TEXT ·qdotAsm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ k+16(FP), CX
+
+	VPXOR Y0, Y0, Y0          // accumulator: 8×int32
+	SHRQ  $5, CX              // 32-element blocks
+
+loop32:
+	VPMOVSXBW (SI), Y1
+	VPMOVSXBW (DI), Y2
+	VPMADDWD  Y1, Y2, Y2
+	VPADDD    Y2, Y0, Y0
+	VPMOVSXBW 16(SI), Y3
+	VPMOVSXBW 16(DI), Y4
+	VPMADDWD  Y3, Y4, Y4
+	VPADDD    Y4, Y0, Y0
+	ADDQ      $32, SI
+	ADDQ      $32, DI
+	DECQ      CX
+	JNZ       loop32
+
+	// Horizontal reduction of the 8 int32 lanes.
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xEE, X0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x55, X0, X1
+	VPADDD       X1, X0, X0
+	VMOVD        X0, AX
+	VZEROUPPER
+	MOVL         AX, ret+24(FP)
+	RET

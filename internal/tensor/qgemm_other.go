@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the portable scalar kernels; the int8 backend
+// still shrinks weights 4× but wins latency only where memory bandwidth
+// dominates.
+const useAVX2 = false
+
+func qdotAsm(a, b *int8, k int) int32 { panic("tensor: qdotAsm without SIMD support") }

@@ -20,23 +20,41 @@ type QTensor struct {
 // quantization. A zero tensor quantizes with scale 1 to avoid division by
 // zero.
 func Quantize(t *Tensor) *QTensor {
-	m := t.AbsMax()
-	scale := m / 127
+	scale := t.AbsMax() / 127
 	if scale == 0 {
 		scale = 1
 	}
+	return QuantizeCalibrated(t, scale)
+}
+
+// QuantizeCalibrated converts t to int8 with a caller-supplied scale —
+// the calibrated-activation path, where the scale comes from a min/max
+// sweep over a calibration batch rather than from t itself. Values beyond
+// ±127·scale saturate.
+func QuantizeCalibrated(t *Tensor, scale float32) *QTensor {
+	if scale <= 0 {
+		scale = 1
+	}
 	q := &QTensor{shape: t.Shape(), Scale: scale, Data: make([]int8, t.Len())}
+	QuantizeCalibratedInto(q.Data, t.data, scale)
+	return q
+}
+
+// QuantizeCalibratedInto quantizes src into dst (len(dst) ≥ len(src))
+// with the given scale, saturating at ±127. It is the allocation-free
+// core the compiled int8 execution plans use to requantize activations
+// between layers.
+func QuantizeCalibratedInto(dst []int8, src []float32, scale float32) {
 	inv := 1 / scale
-	for i, v := range t.data {
+	for i, v := range src {
 		x := math.Round(float64(v * inv))
 		if x > 127 {
 			x = 127
 		} else if x < -127 {
 			x = -127
 		}
-		q.Data[i] = int8(x)
+		dst[i] = int8(x)
 	}
-	return q
 }
 
 // Dequantize converts q back to a float32 tensor.
@@ -58,10 +76,11 @@ func (q *QTensor) Len() int { return len(q.Data) }
 func (q *QTensor) SizeBytes() int { return len(q.Data) + 4 }
 
 // QMatMul computes C = A·B where both operands are int8 quantized 2-D
-// tensors. B is repacked once into row-major Bᵀ so every output element is
-// an int8×int8 dot product accumulated in int32, with a single float32
-// scale multiply at the end — the quantized-kernel shape TF-Lite and
-// QNNPACK use. Rows of C shard across the parallel runtime; integer
+// tensors. B is repacked once into row-major Bᵀ, then each output row is
+// produced by the four-column dot kernel QGemmRowT: int8×int8 products
+// accumulated in four register-resident int32 accumulators with a single
+// float32 scale multiply at the end — the quantized-kernel shape TF-Lite
+// and QNNPACK use. Rows of C shard across the parallel runtime; integer
 // accumulation makes the result exact regardless of pool width.
 func QMatMul(a, b *QTensor) (*Tensor, error) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
@@ -84,11 +103,14 @@ func QMatMul(a, b *QTensor) (*Tensor, error) {
 		}
 	}
 	rows := func(lo, hi int) {
+		accP := i32Scratch(n)
+		defer i32Release(accP)
+		acc := *accP
 		for i := lo; i < hi; i++ {
-			ai := a.Data[i*k : i*k+k]
+			QGemmRowT(acc, a.Data[i*k:i*k+k], bt, k, n)
 			ci := c.data[i*n : i*n+n]
-			for j := 0; j < n; j++ {
-				ci[j] = float32(qdot(ai, bt[j*k:j*k+k])) * scale
+			for j, v := range acc[:n] {
+				ci[j] = float32(v) * scale
 			}
 		}
 	}
@@ -100,16 +122,39 @@ func QMatMul(a, b *QTensor) (*Tensor, error) {
 	return c, nil
 }
 
-// qdot is the int8 dot product with four int32 accumulators, mirroring the
-// float kernel's unroll so the loop-carried dependency doesn't serialize
-// the adds. int32 cannot overflow: each lane would need more than
-// 2³¹/127² ≈ 133K terms, orders of magnitude beyond any inner dimension
-// these models use.
-func qdot(a, b []int8) int32 {
-	var s0, s1, s2, s3 int32
+// QGemmRowT computes one GEMM output row in int32 against a transposed
+// right-hand side: acc[j] = Σ_p a[p]·bt[j·k+p] for a single left row a
+// (length k) and bt holding Bᵀ row-major (n rows of length k). The
+// transposed layout keeps every QDot streaming two contiguous vectors —
+// the shape the AVX2 kernel wants.
+func QGemmRowT(acc []int32, a, bt []int8, k, n int) {
+	a = a[:k]
+	for j := 0; j < n; j++ {
+		acc[j] = QDot(a, bt[j*k:j*k+k])
+	}
+}
+
+// QDot is the int8 dot product behind every quantized kernel, exported
+// so the compiled int8 execution plans build their dense and conv
+// epilogues on the same reduction QMatMul uses. On amd64 with AVX2 the
+// bulk runs sixteen 16-bit multiply-adds per instruction (VPMOVSXBW +
+// VPMADDWD — the reason int8 backends beat float on real hardware); the
+// scalar remainder (and other architectures) use four int32 accumulators
+// mirroring the float kernel's unroll. int32 cannot overflow: each lane
+// would need more than 2³¹/127² ≈ 133K terms, orders of magnitude beyond
+// any inner dimension these models use. Integer accumulation is exact,
+// so vector and scalar paths return identical results.
+func QDot(a, b []int8) int32 {
 	n := len(a)
 	b = b[:n]
+	var s int32
 	i := 0
+	if useAVX2 && n >= 32 {
+		m := n &^ 31
+		s = qdotAsm(&a[0], &b[0], m)
+		i = m
+	}
+	var s0, s1, s2, s3 int32
 	for ; i+3 < n; i += 4 {
 		s0 += int32(a[i]) * int32(b[i])
 		s1 += int32(a[i+1]) * int32(b[i+1])
@@ -119,7 +164,7 @@ func qdot(a, b []int8) int32 {
 	for ; i < n; i++ {
 		s0 += int32(a[i]) * int32(b[i])
 	}
-	return s0 + s1 + s2 + s3
+	return s + s0 + s1 + s2 + s3
 }
 
 // QuantizeError returns the mean absolute error introduced by quantizing t.

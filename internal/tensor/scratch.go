@@ -22,6 +22,22 @@ func f32Scratch(n int) *[]float32 {
 
 func f32Release(p *[]float32) { f32Pool.Put(p) }
 
+var i32Pool = sync.Pool{New: func() any { return new([]int32) }}
+
+// i32Scratch returns a length-n int32 scratch buffer (contents
+// unspecified) — the accumulator rows of the int8 GEMM kernels. Release
+// with i32Release.
+func i32Scratch(n int) *[]int32 {
+	p := i32Pool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func i32Release(p *[]int32) { i32Pool.Put(p) }
+
 var i8Pool = sync.Pool{New: func() any { return new([]int8) }}
 
 // i8Scratch returns a length-n int8 scratch buffer (contents unspecified).

@@ -62,6 +62,7 @@ import (
 	"openei/internal/libei"
 	"openei/internal/nn"
 	"openei/internal/pkgmgr"
+	"openei/internal/plan"
 	"openei/internal/runenv"
 	"openei/internal/selector"
 	"openei/internal/serving"
@@ -142,6 +143,19 @@ type (
 	AutopilotPilot = autopilot.Pilot
 	// Offloader executes requests on the edge→cloud fallback tier.
 	Offloader = autopilot.Offloader
+	// Backend names a compiled-plan execution backend. Serving replicas
+	// compile loaded models into execution plans (fused op graphs); the
+	// backend decides the kernel set: BackendFloat32 reproduces the
+	// full-precision path, BackendInt8 runs genuine int8 dense/conv
+	// kernels with calibrated activation quantization. Tier names imply
+	// backends: a "{model}-int8" tier is an int8 plan.
+	Backend = plan.Backend
+)
+
+// Compiled-plan execution backends.
+const (
+	BackendFloat32 = plan.Float32
+	BackendInt8    = plan.Int8
 )
 
 // Serving engine errors, surfaced by Node.ServeInfer and mapped by libei to
@@ -264,16 +278,36 @@ func (n *Node) Register(regs ...Registration) error {
 	return n.Server.RegisterAll(regs)
 }
 
-// LoadModel installs a model into the package manager; set quantize to use
-// the int8 artifact when the package supports it. Reloading under an
-// existing name also resets that model's serving pipeline so replicas pick
-// up the new weights.
+// LoadModel installs a model into the package manager; set quantize to
+// install the int8 artifact when the package supports it — serving
+// replicas of a quantized model compile to the int8 execution backend
+// (real int8 kernels, not just smaller storage). Reloading under an
+// existing name also resets that model's serving pipeline so replicas
+// pick up the new weights.
 func (n *Node) LoadModel(m *Model, quantize bool) error {
 	if err := n.Manager.Load(m, pkgmgr.LoadOptions{Quantize: quantize}); err != nil {
 		return err
 	}
 	n.Serving.Reset(m.Name)
 	return nil
+}
+
+// LoadModelBackend is LoadModel with the serving backend named
+// explicitly: BackendInt8 quantizes at load (the int8 artifact is what
+// the backend executes), BackendFloat32 keeps full precision. It is the
+// façade's backend knob; openei-server exposes it as -backend.
+func (n *Node) LoadModelBackend(m *Model, backend Backend) error {
+	switch backend {
+	case BackendInt8:
+		if !n.pkg.SupportsInt8 {
+			return fmt.Errorf("%w: package %s has no int8 kernels", ErrBadConfig, n.pkg.Name)
+		}
+		return n.LoadModel(m, true)
+	case BackendFloat32, "":
+		return n.LoadModel(m, false)
+	default:
+		return fmt.Errorf("%w: unknown backend %q", ErrBadConfig, backend)
+	}
 }
 
 // SelectModel runs the model selector over the node's own device: given
