@@ -22,6 +22,19 @@
 // a node dying mid-call is invisible to clients as long as a peer is
 // healthy. GET /gw_metrics reports per-node health plus the routed /
 // retried / shed / hedged / cache counters.
+//
+// With -cluster-seeds the gateway instead joins the gossip mesh that
+// openei-server nodes run with -advertise: the fleet is discovered (and
+// grown/shrunk) through membership instead of a fixed -node list, every
+// zoo model is sharded across the fleet on a consistent-hash ring with
+// -replication owners (no node holding more than -max-zoo-fraction of
+// the catalog), serving/infer requests route to the model's owner set,
+// and a per-model autoscaler widens hot models' owner sets. The shard
+// map, member view, and replication overrides appear under "cluster" in
+// GET /gw_metrics:
+//
+//	openei-gateway -addr :8090 -cluster-seeds http://edge-1:8080 \
+//	    [-replication 2] [-max-zoo-fraction 0.5]
 package main
 
 import (
@@ -57,7 +70,7 @@ func (n *nodeList) Set(v string) error {
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("openei-gateway: ")
-	var nodes nodeList
+	var nodes, seeds nodeList
 	var (
 		addr        = flag.String("addr", ":8090", "listen address")
 		hedge       = flag.Duration("hedge", 0, "clone a still-unanswered request to a second node after this delay (0 = off)")
@@ -66,8 +79,11 @@ func main() {
 		interval    = flag.Duration("health-interval", 2*time.Second, "node health-probe period; a node missing probes for 3 intervals stops receiving traffic")
 		cacheSize   = flag.Int("cache", 0, "LRU entries for byte-identical serving/infer responses (0 = off)")
 		cacheTTL    = flag.Duration("cache-ttl", time.Second, "max age of a cached infer response")
+		replication = flag.Int("replication", 0, "cluster mode: owner-set size per sharded zoo model (0 = default 2)")
+		maxZooFrac  = flag.Float64("max-zoo-fraction", 0, "cluster mode: cap on one node's share of the zoo catalog (0 = default 0.5)")
 	)
 	flag.Var(&nodes, "node", "edge node base URL (repeatable, or comma-separated)")
+	flag.Var(&seeds, "cluster-seeds", "gossip seed base URL; enables cluster mode with membership-discovered nodes and shard-aware routing (repeatable, or comma-separated)")
 	flag.Parse()
 	if err := run(*addr, gateway.Config{
 		Nodes:          nodes,
@@ -77,6 +93,9 @@ func main() {
 		HealthInterval: *interval,
 		CacheSize:      *cacheSize,
 		CacheTTL:       *cacheTTL,
+		ClusterSeeds:   seeds,
+		Replication:    *replication,
+		MaxZooFraction: *maxZooFrac,
 	}); err != nil {
 		log.Fatal(err)
 	}
@@ -85,15 +104,19 @@ func main() {
 func run(addr string, cfg gateway.Config) error {
 	gw, err := gateway.New(cfg)
 	if errors.Is(err, gateway.ErrNoNodes) {
-		return fmt.Errorf("no nodes given; pass at least one -node URL")
+		return fmt.Errorf("no nodes given; pass at least one -node URL (or -cluster-seeds for gossip discovery)")
 	}
 	if err != nil {
 		return err
 	}
 	gw.Start()
 	defer gw.Close()
-	m := gw.Metrics()
-	log.Printf("fronting %d nodes (%d healthy at startup): %s", len(cfg.Nodes), m.HealthyNodes, strings.Join(cfg.Nodes, ", "))
+	if len(cfg.ClusterSeeds) > 0 {
+		log.Printf("cluster mode: discovering fleet via gossip seeds %s", strings.Join(cfg.ClusterSeeds, ", "))
+	} else {
+		m := gw.Metrics()
+		log.Printf("fronting %d nodes (%d healthy at startup): %s", len(cfg.Nodes), m.HealthyNodes, strings.Join(cfg.Nodes, ", "))
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,7 +131,7 @@ func run(addr string, cfg gateway.Config) error {
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	m = gw.Metrics()
+	m := gw.Metrics()
 	log.Printf("shut down: routed %d, retried %d, shed %d, failed %d, hedged %d, cache hits %d",
 		m.Routed, m.Retried, m.Shed, m.Failed, m.Hedged, m.CacheHits)
 	return nil

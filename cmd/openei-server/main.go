@@ -43,6 +43,14 @@
 // With -peers, the node polls each peer's /ei_status every 2 s and logs
 // live↔suspect transitions (the §IV.C availability loop).
 //
+// With -advertise, the node joins the gossip cluster: it rendezvouses
+// with -cluster-seeds, advertises its identity and loaded-model set via
+// /ei_status, and loads or evicts zoo models as the consistent-hash
+// placement plan assigns them (-replication owners per model, no node
+// holding more than -max-zoo-fraction of the catalog). Put
+// cmd/openei-gateway in front with the same -cluster-seeds and it
+// routes each serving/infer request to the model's owner set.
+//
 // To scale past one box, run several nodes and put cmd/openei-gateway in
 // front: it probes each node's /ei_status and /ei_metrics (the
 // "queue_depth" field below is its balancing signal), routes requests to
@@ -65,6 +73,7 @@ import (
 
 	"openei"
 	"openei/internal/cloud"
+	"openei/internal/cluster"
 	"openei/internal/collab"
 	"openei/internal/dataset"
 	"openei/internal/libei"
@@ -74,6 +83,14 @@ import (
 	"openei/internal/sensors"
 	"openei/internal/zoo"
 )
+
+// clusterOpts carries the gossip-membership flags into run.
+type clusterOpts struct {
+	Advertise      string
+	Seeds          []string
+	Replication    int
+	MaxZooFraction float64
+}
 
 func main() {
 	log.SetFlags(log.LstdFlags)
@@ -117,6 +134,13 @@ func main() {
 		sloHeadroom = flag.Float64("slo-headroom", 0, "upgrade only when p95 ≤ headroom×SLO (0 = default 0.6)")
 		sloOffload  = flag.Float64("slo-offload-fraction", 0, "share of requests offloaded while over SLO on the last tier (0 = default 0.5)")
 		offloadURL  = flag.String("offload", "", "serving endpoint for edge→cloud offload (default: the -cloud URL)")
+
+		// Cluster-membership knobs: with -advertise set the node gossips
+		// with its seeds and shards the zoo catalog across the fleet.
+		advertise    = flag.String("advertise", "", "this node's base URL as peers reach it; enables gossip cluster membership")
+		clusterSeeds = flag.String("cluster-seeds", "", "comma-separated peer base URLs to rendezvous with")
+		replication  = flag.Int("replication", 0, "owner-set size per sharded zoo model (0 = default 2)")
+		maxZooFrac   = flag.Float64("max-zoo-fraction", 0, "cap on this node's share of the zoo catalog (0 = default 0.5)")
 	)
 	flag.Parse()
 	servingCfg := openei.ServingConfig{
@@ -138,12 +162,22 @@ func main() {
 	if fallback == "" {
 		fallback = *cloudURL
 	}
-	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *backendName, *seed, servingCfg, slo); err != nil {
+	clu := clusterOpts{
+		Advertise:      *advertise,
+		Replication:    *replication,
+		MaxZooFraction: *maxZooFrac,
+	}
+	for _, u := range strings.Split(*clusterSeeds, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			clu.Seeds = append(clu.Seeds, u)
+		}
+	}
+	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *backendName, *seed, servingCfg, slo, clu); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL, backendName string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy) error {
+func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL, backendName string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy, clu clusterOpts) error {
 	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName, Serving: servingCfg, Autopilot: slo})
 	if err != nil {
 		return err
@@ -289,6 +323,42 @@ func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL, backendName
 		go watchPeers(ctx, peers)
 	}
 
+	// Join the gossip cluster: the agent rendezvouses with its seeds,
+	// advertises this node's loaded-model set, and loads/evicts zoo
+	// models as the consistent-hash placement plan assigns them. Models
+	// this node already serves locally — the detector backing the safety
+	// scenario, power-net/activity-net, autopilot tier rungs — are
+	// carved out of the sharded namespace: the plan must never evict a
+	// model a scenario route depends on.
+	if clu.Advertise != "" {
+		local := map[string]bool{}
+		for _, name := range node.Manager.Models() {
+			local[name] = true
+		}
+		var catalog []string
+		for _, name := range zoo.Names() {
+			if !local[name] {
+				catalog = append(catalog, name)
+			}
+		}
+		agent, err := cluster.NewAgent(node.Manager, node.Serving, node.Server, cluster.AgentConfig{
+			Self:           clu.Advertise,
+			Seeds:          clu.Seeds,
+			Catalog:        catalog,
+			Provider:       clusterProvider(cloudURL, size, classes, seed),
+			Quantize:       node.Package().SupportsInt8,
+			Replication:    clu.Replication,
+			MaxZooFraction: clu.MaxZooFraction,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		agent.Start()
+		defer agent.Close()
+		log.Printf("cluster: advertising %s, %d seeds", clu.Advertise, len(clu.Seeds))
+	}
+
 	srv := &http.Server{Addr: addr, Handler: node.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		<-ctx.Done()
@@ -326,6 +396,30 @@ func bootstrapModel(cloudURL string, train openei.Dataset, size, classes int, se
 		return nil, err
 	}
 	return m, nil
+}
+
+// clusterProvider materializes a zoo model the placement plan assigned
+// to this node: fetched from the cloud registry when one is configured,
+// built locally otherwise. Local builds seed the weights from the model
+// name so every node in the fleet materializes identical replicas.
+func clusterProvider(cloudURL string, size, classes int, seed int64) func(string) (*nn.Model, error) {
+	var reg *cloud.RegistryClient
+	if cloudURL != "" {
+		reg = cloud.NewRegistryClient(cloudURL)
+	}
+	return func(name string) (*nn.Model, error) {
+		if reg != nil {
+			if blob, version, err := reg.Fetch(name); err == nil {
+				log.Printf("cluster: fetched %s v%d from registry (%d bytes)", name, version, len(blob))
+				return nn.DecodeModel(blob)
+			}
+		}
+		h := seed
+		for _, b := range []byte(name) {
+			h = h*31 + int64(b)
+		}
+		return zoo.Build(name, size, classes, rand.New(rand.NewSource(h)))
+	}
 }
 
 // trainMini trains the kilobyte-class fallback rung of the autopilot's
@@ -399,7 +493,11 @@ func watchPeers(ctx context.Context, peerList string) {
 		case <-ctx.Done():
 			return
 		case now := <-ticker.C:
-			alive, errs := collab.PollHeartbeats(mon, clients, now)
+			// Bound each probe round to the poll period: a stuck peer
+			// times out instead of stalling the loop past its next tick.
+			probeCtx, cancel := context.WithTimeout(ctx, interval)
+			alive, errs := collab.PollHeartbeats(probeCtx, mon, clients, now)
+			cancel()
 			for _, id := range alive {
 				if !wasLive[id] {
 					log.Printf("peer %q is live", id)

@@ -1,6 +1,7 @@
 package openei_test
 
 import (
+	"context"
 	"math/rand"
 	"net/http/httptest"
 	"net/url"
@@ -86,7 +87,7 @@ func TestFailoverIntegration(t *testing.T) {
 		"edge-b": primary.Device().FLOPS,
 	})
 	now := time.Unix(5000, 0)
-	if alive, _ := collab.PollHeartbeats(mon, clients, now); len(alive) != 2 {
+	if alive, _ := collab.PollHeartbeats(context.Background(), mon, clients, now); len(alive) != 2 {
 		t.Fatalf("initial heartbeat poll: alive = %v", alive)
 	}
 	placed, err := mig.Assign("safety/detection", float64(model.FLOPs(1)), mon.Live(now))
@@ -120,7 +121,7 @@ func TestFailoverIntegration(t *testing.T) {
 	// only refreshes the survivor.
 	primaryHTTP.Close()
 	later := now.Add(5 * time.Second)
-	alive, probeErrs := collab.PollHeartbeats(mon, clients, later)
+	alive, probeErrs := collab.PollHeartbeats(context.Background(), mon, clients, later)
 	if len(alive) != 1 || alive[0] != "edge-b" || probeErrs["edge-a"] == nil {
 		t.Fatalf("post-failure poll: alive=%v errs=%v", alive, probeErrs)
 	}

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
+)
+
+// AgentConfig tunes one node's cluster participant.
+type AgentConfig struct {
+	// Self is this node's advertised base URL (required).
+	Self string
+	// Seeds are peer addresses to rendezvous with.
+	Seeds []string
+	// Catalog is the sharded model namespace — typically zoo.Names().
+	// Models outside it (a node's own detectors, swap targets) are never
+	// loaded or evicted by the agent.
+	Catalog []string
+	// Provider materializes a model this node was assigned (build from
+	// the zoo, fetch from the cloud registry, pull from a peer).
+	Provider func(name string) (*nn.Model, error)
+	// Quantize applies to models the Provider materializes.
+	Quantize bool
+	// Replication is the default owner-set size per model. Default 2.
+	Replication int
+	// MaxZooFraction caps one node's share of the catalog. Default 0.5.
+	MaxZooFraction float64
+	// VNodes is the ring's virtual-node count. Default DefaultVNodes.
+	VNodes int
+	// EvictAfter is how many consecutive reconciles a model must be
+	// un-owned before it is unloaded — hysteresis so a plan flapping
+	// during churn does not thrash weights. Default 3.
+	EvictAfter int
+
+	// Local pool autoscaling: each owned model's replica width follows
+	// its queue pressure between MinReplicas and MaxReplicas.
+	MinReplicas int // default: the engine's configured width
+	MaxReplicas int // default 4
+	// GrowAt / ShrinkAt are model queue-fill fractions (depth over cap).
+	GrowAt   float64 // default 0.5
+	ShrinkAt float64 // default 0.05
+	// GrowAfter / ShrinkAfter are consecutive-tick requirements. Defaults
+	// 2 and 8: growing is eager, shrinking reluctant.
+	GrowAfter   int
+	ShrinkAfter int
+
+	// Membership carries gossip tuning; its Self*, Seeds and SelfInfo
+	// fields are overwritten by the agent.
+	Membership MembershipConfig
+	// Logf receives agent decisions (loads, evictions, resizes).
+	Logf func(format string, args ...any)
+}
+
+func (c *AgentConfig) fill(engineWidth int) error {
+	if c.Self == "" {
+		return fmt.Errorf("cluster: agent needs an advertised Self URL")
+	}
+	if len(c.Catalog) == 0 {
+		return fmt.Errorf("cluster: agent needs a non-empty Catalog")
+	}
+	if c.Provider == nil {
+		return fmt.Errorf("cluster: agent needs a model Provider")
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.MaxZooFraction == 0 {
+		c.MaxZooFraction = 0.5
+	}
+	if c.EvictAfter <= 0 {
+		c.EvictAfter = 3
+	}
+	if c.MinReplicas <= 0 {
+		c.MinReplicas = engineWidth
+	}
+	if c.MaxReplicas <= 0 {
+		c.MaxReplicas = 4
+	}
+	if c.MaxReplicas < c.MinReplicas {
+		c.MaxReplicas = c.MinReplicas
+	}
+	if c.GrowAt <= 0 {
+		c.GrowAt = 0.5
+	}
+	if c.ShrinkAt <= 0 {
+		c.ShrinkAt = 0.05
+	}
+	if c.GrowAfter <= 0 {
+		c.GrowAfter = 2
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 8
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Agent is a node's cluster participant: it gossips membership, loads
+// and evicts catalog models as the placement plan assigns them, and
+// resizes each owned model's replica pool under local queue pressure.
+type Agent struct {
+	cfg    AgentConfig
+	mem    *Membership
+	mgr    *pkgmgr.Manager
+	engine *serving.Engine
+
+	mu       sync.Mutex
+	plan     map[string][]string
+	unowned  map[string]int // consecutive reconciles un-owned, per model
+	hot      map[string]int // consecutive pressured ticks, per model
+	cold     map[string]int // consecutive idle ticks, per model
+	catalog  map[string]bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAgent wires a cluster agent onto a node's manager, engine, and
+// libei server (registering the cluster/view, cluster/leave, and
+// cluster/replication algorithms). Call Start to begin gossiping.
+func NewAgent(mgr *pkgmgr.Manager, engine *serving.Engine, srv *libei.Server, cfg AgentConfig) (*Agent, error) {
+	if mgr == nil || engine == nil || srv == nil {
+		return nil, fmt.Errorf("cluster: agent needs manager, engine, and server")
+	}
+	if err := cfg.fill(engine.Config().Replicas); err != nil {
+		return nil, err
+	}
+	mc := cfg.Membership
+	mc.SelfURL = cfg.Self
+	mc.SelfID = srv.NodeID
+	mc.Seeds = cfg.Seeds
+	mc.SelfInfo = func() ([]string, int64) {
+		return mgr.Models(), mgr.Device().MemBytes
+	}
+	if mc.Logf == nil {
+		mc.Logf = cfg.Logf
+	}
+	a := &Agent{
+		cfg:     cfg,
+		mem:     NewMembership(mc),
+		mgr:     mgr,
+		engine:  engine,
+		plan:    map[string][]string{},
+		unowned: map[string]int{},
+		hot:     map[string]int{},
+		cold:    map[string]int{},
+		catalog: map[string]bool{},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, m := range cfg.Catalog {
+		a.catalog[m] = true
+	}
+	if err := srv.RegisterAll(a.registrations()); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Membership exposes the agent's gossip participant (tests, metrics).
+func (a *Agent) Membership() *Membership { return a.mem }
+
+// registrations are the cluster control surface, served through the same
+// GET /ei_algorithms/... interface as everything else on the node.
+func (a *Agent) registrations() []libei.Registration {
+	return []libei.Registration{
+		{Scenario: "cluster", Name: "view", Fn: func(args url.Values) (any, error) {
+			return a.mem.View(args.Get("from")), nil
+		}},
+		{Scenario: "cluster", Name: "leave", Fn: func(args url.Values) (any, error) {
+			inc, err := strconv.ParseInt(args.Get("inc"), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad inc: %v", libei.ErrBadRequest, err)
+			}
+			beat, err := strconv.ParseUint(args.Get("beat"), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad beat: %v", libei.ErrBadRequest, err)
+			}
+			if err := a.mem.HandleLeave(args.Get("url"), inc, beat); err != nil {
+				return nil, fmt.Errorf("%w: %v", libei.ErrBadRequest, err)
+			}
+			return map[string]bool{"ok": true}, nil
+		}},
+		{Scenario: "cluster", Name: "replication", Fn: func(args url.Values) (any, error) {
+			model := args.Get("model")
+			n, err1 := strconv.Atoi(args.Get("n"))
+			v, err2 := strconv.ParseUint(args.Get("v"), 10, 64)
+			if model == "" || err1 != nil || err2 != nil || n < 1 {
+				return nil, fmt.Errorf("%w: replication needs model, n ≥ 1, v", libei.ErrBadRequest)
+			}
+			a.mem.MergeReplication(map[string]Replica{model: {N: n, V: v}})
+			return a.mem.Replication(), nil
+		}},
+	}
+}
+
+// Start launches the agent loop: one gossip round, one placement
+// reconcile, and one local autoscale pass per membership interval.
+func (a *Agent) Start() {
+	go func() {
+		defer close(a.done)
+		interval := a.mem.Interval()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		// First round immediately: a joining node should not idle a full
+		// interval before contacting its seeds.
+		a.TickRound(time.Now())
+		for {
+			select {
+			case <-a.stop:
+				return
+			case now := <-ticker.C:
+				a.TickRound(now)
+			}
+		}
+	}()
+}
+
+// TickRound runs one full agent round synchronously (exported so tests
+// and alternative drivers control cadence without the goroutine).
+func (a *Agent) TickRound(now time.Time) {
+	// The probe deadline is decoupled from the gossip period: a tight
+	// Interval (tests, aggressive detection) must not turn a slow-but-
+	// alive peer into a missed heartbeat on a loaded host. Rounds simply
+	// stretch instead of mass-suspecting the fleet.
+	budget := a.mem.Interval()
+	if budget < time.Second {
+		budget = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	a.mem.Tick(ctx, now)
+	cancel()
+	a.reconcile()
+	a.autoscaleLocal()
+}
+
+// Close leaves the cluster gracefully and stops the loop.
+func (a *Agent) Close() {
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		<-a.done
+		ctx, cancel := context.WithTimeout(context.Background(), a.mem.Interval())
+		a.mem.Leave(ctx)
+		cancel()
+	})
+}
+
+// Halt stops the agent loop without announcing a leave — the node simply
+// goes silent, as a crash would. The rest of the fleet must notice
+// through the failure detector. Tests use this to simulate node death.
+func (a *Agent) Halt() {
+	a.stopOnce.Do(func() {
+		close(a.stop)
+		<-a.done
+	})
+}
+
+// Plan snapshots the last computed placement plan (model → owner URLs).
+func (a *Agent) Plan() map[string][]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string][]string, len(a.plan))
+	for m, owners := range a.plan {
+		out[m] = append([]string(nil), owners...)
+	}
+	return out
+}
+
+// reconcile recomputes the placement plan from the current member view
+// and converges local state: load newly owned models, evict models
+// un-owned for EvictAfter consecutive rounds. Eviction is additionally
+// gated on a handoff interlock: the local copy is dropped only once
+// enough other active members advertise the model, so a fleet whose
+// views briefly diverge (a death rumor mid-propagation, a replication
+// override landing node by node) never reaches zero live copies of
+// anything.
+func (a *Agent) reconcile() {
+	active := a.mem.Active()
+	var members []string
+	for _, m := range active {
+		members = append(members, m.URL)
+	}
+	plan := PlanPlacement(members, a.cfg.Catalog, a.cfg.Replication,
+		a.mem.Replication(), a.cfg.MaxZooFraction, a.cfg.VNodes)
+
+	desired := map[string]bool{}
+	for model, owners := range plan {
+		for _, o := range owners {
+			if o == a.cfg.Self {
+				desired[model] = true
+			}
+		}
+	}
+	loaded := map[string]bool{}
+	for _, m := range a.mgr.Models() {
+		if a.catalog[m] {
+			loaded[m] = true
+		}
+	}
+
+	for model := range desired {
+		if loaded[model] {
+			continue
+		}
+		built, err := a.cfg.Provider(model)
+		if err != nil {
+			a.cfg.Logf("cluster: %s: provider %s: %v", a.cfg.Self, model, err)
+			continue
+		}
+		if err := a.mgr.Load(built, pkgmgr.LoadOptions{Quantize: a.cfg.Quantize}); err != nil {
+			a.cfg.Logf("cluster: %s: load %s: %v", a.cfg.Self, model, err)
+			continue
+		}
+		a.cfg.Logf("cluster: %s: loaded %s", a.cfg.Self, model)
+	}
+
+	// Live copies other active members advertise, per the gossip view —
+	// the handoff interlock's evidence.
+	advertisers := map[string]int{}
+	for _, m := range active {
+		if m.URL == a.cfg.Self {
+			continue
+		}
+		for _, name := range m.Models {
+			advertisers[name]++
+		}
+	}
+
+	a.mu.Lock()
+	a.plan = plan
+	for model := range desired {
+		delete(a.unowned, model)
+	}
+	var evict []string
+	for model := range loaded {
+		if desired[model] {
+			continue
+		}
+		need := a.cfg.Replication
+		if owners := plan[model]; len(owners) < need {
+			need = len(owners)
+		}
+		if advertisers[model] < need {
+			// Dropping now could leave the fleet under-replicated; hold the
+			// copy and restart the hysteresis clock until the model's new
+			// owners demonstrably serve it.
+			a.unowned[model] = 0
+			continue
+		}
+		a.unowned[model]++
+		if a.unowned[model] >= a.cfg.EvictAfter {
+			evict = append(evict, model)
+			delete(a.unowned, model)
+		}
+	}
+	a.mu.Unlock()
+	sort.Strings(evict)
+	for _, model := range evict {
+		a.mgr.Unload(model)
+		a.engine.Reset(model)
+		a.cfg.Logf("cluster: %s: evicted %s", a.cfg.Self, model)
+	}
+}
+
+// autoscaleLocal walks the engine's per-model stats and resizes replica
+// pools: a queue persistently above GrowAt grows the pool, one
+// persistently idle shrinks it. Resizes ride the zero-drop Swap path, so
+// in-flight requests never fail.
+func (a *Agent) autoscaleLocal() {
+	for _, s := range a.engine.Stats() {
+		if !a.catalog[s.Model] || s.QueueCap <= 0 {
+			continue
+		}
+		fill := float64(s.QueueDepth) / float64(s.QueueCap)
+		a.mu.Lock()
+		var target int
+		switch {
+		case fill >= a.cfg.GrowAt:
+			a.cold[s.Model] = 0
+			a.hot[s.Model]++
+			if a.hot[s.Model] >= a.cfg.GrowAfter && s.Replicas < a.cfg.MaxReplicas {
+				target = s.Replicas + 1
+				a.hot[s.Model] = 0
+			}
+		case fill <= a.cfg.ShrinkAt:
+			a.hot[s.Model] = 0
+			a.cold[s.Model]++
+			if a.cold[s.Model] >= a.cfg.ShrinkAfter && s.Replicas > a.cfg.MinReplicas {
+				target = s.Replicas - 1
+				a.cold[s.Model] = 0
+			}
+		default:
+			a.hot[s.Model], a.cold[s.Model] = 0, 0
+		}
+		a.mu.Unlock()
+		if target == 0 {
+			continue
+		}
+		if err := a.engine.SetReplicas(s.Model, target); err != nil {
+			a.cfg.Logf("cluster: %s: resize %s→%d: %v", a.cfg.Self, s.Model, target, err)
+			continue
+		}
+		a.cfg.Logf("cluster: %s: %s replicas %d→%d (queue fill %.2f)",
+			a.cfg.Self, s.Model, s.Replicas, target, fill)
+	}
+}

@@ -1,0 +1,277 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/hardware"
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
+)
+
+// anode is a full node for agent tests: manager, engine, libei server,
+// and the cluster agent, ticked by hand for determinism.
+type anode struct {
+	id    string
+	url   string
+	ts    *httptest.Server
+	mgr   *pkgmgr.Manager
+	agent *Agent
+}
+
+var agentCatalog = []string{"shard-a", "shard-b", "shard-c", "shard-d"}
+
+func shardModel(name string) (*nn.Model, error) {
+	m := nn.MustModel(name, []int{8}, []nn.LayerSpec{{Type: "dense", In: 8, Out: 4}})
+	m.InitParams(rand.New(rand.NewSource(int64(hash64(name)))))
+	return m, nil
+}
+
+func mkArgs(kv map[string]string) url.Values {
+	args := url.Values{}
+	for k, v := range kv {
+		args.Set(k, v)
+	}
+	return args
+}
+
+func newANode(t *testing.T, id string, inc int64, seeds ...string) *anode {
+	return newANodeCfg(t, id, inc, nil, seeds...)
+}
+
+func newANodeCfg(t *testing.T, id string, inc int64, mut func(*AgentConfig), seeds ...string) *anode {
+	t.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	engine := serving.NewEngine(mgr, serving.Config{Replicas: 1, MaxBatch: 4, QueueDepth: 128})
+	t.Cleanup(engine.Close)
+	srv := libei.NewServer(id, nil, mgr)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	cfg := AgentConfig{
+		Self:           ts.URL,
+		Seeds:          seeds,
+		Catalog:        agentCatalog,
+		Provider:       shardModel,
+		Replication:    2,
+		MaxZooFraction: 1, // uncapped: these tests pin reconciliation, not bounded load
+		EvictAfter:     2,
+		Membership: MembershipConfig{
+			Interval:    testInterval,
+			Incarnation: inc,
+		},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	agent, err := NewAgent(mgr, engine, srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &anode{id: id, url: ts.URL, ts: ts, mgr: mgr, agent: agent}
+}
+
+func rounds(nodes []*anode, base time.Time, from, to int) {
+	for r := from; r < to; r++ {
+		for _, n := range nodes {
+			n.agent.TickRound(base.Add(time.Duration(r) * testInterval))
+		}
+	}
+}
+
+func TestAgentsConvergeOnOnePlan(t *testing.T) {
+	base := time.Now()
+	a := newANode(t, "edge-a", 1)
+	b := newANode(t, "edge-b", 2, a.url)
+	c := newANode(t, "edge-c", 3, a.url)
+	nodes := []*anode{a, b, c}
+
+	rounds(nodes, base, 0, 8)
+
+	plan := a.agent.Plan()
+	for _, n := range nodes[1:] {
+		if !reflect.DeepEqual(plan, n.agent.Plan()) {
+			t.Fatalf("plans diverge:\n%s: %v\n%s: %v", a.id, plan, n.id, n.agent.Plan())
+		}
+	}
+	for _, model := range agentCatalog {
+		owners := plan[model]
+		if len(owners) != 2 {
+			t.Fatalf("%s owners = %v, want 2", model, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("%s owners not distinct: %v", model, owners)
+		}
+	}
+	// Every owner actually loaded its assignment, and nothing else from
+	// the catalog.
+	for _, n := range nodes {
+		var want []string
+		for _, model := range agentCatalog {
+			for _, o := range plan[model] {
+				if o == n.url {
+					want = append(want, model)
+				}
+			}
+		}
+		sort.Strings(want)
+		got := n.mgr.Models()
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s loaded %v, plan says %v", n.id, got, want)
+		}
+	}
+}
+
+func TestAgentsRebalanceAfterDeath(t *testing.T) {
+	base := time.Now()
+	a := newANode(t, "edge-a", 1)
+	b := newANode(t, "edge-b", 2, a.url)
+	c := newANode(t, "edge-c", 3, a.url)
+	rounds([]*anode{a, b, c}, base, 0, 8)
+
+	// Kill a non-seed node that owns at least one model (at most one of
+	// the three can own nothing, so b or c qualifies).
+	owned := func(n *anode) int {
+		count := 0
+		for _, model := range agentCatalog {
+			for _, o := range a.agent.Plan()[model] {
+				if o == n.url {
+					count++
+				}
+			}
+		}
+		return count
+	}
+	victim, survivor := c, b
+	if owned(c) == 0 {
+		victim, survivor = b, c
+	}
+	if owned(victim) == 0 {
+		t.Fatalf("no killable node owns anything: %v", a.agent.Plan())
+	}
+
+	victim.ts.Close() // crash
+	survivors := []*anode{a, survivor}
+	// DeadAfter = 12 intervals; give eviction hysteresis room on top.
+	rounds(survivors, base, 8, 40)
+
+	plan := a.agent.Plan()
+	if !reflect.DeepEqual(plan, survivor.agent.Plan()) {
+		t.Fatalf("survivor plans diverge: %v vs %v", plan, survivor.agent.Plan())
+	}
+	loaded := map[string][]string{a.url: a.mgr.Models(), survivor.url: survivor.mgr.Models()}
+	for _, model := range agentCatalog {
+		owners := plan[model]
+		if len(owners) == 0 {
+			t.Fatalf("%s unowned after rebalance", model)
+		}
+		for _, o := range owners {
+			if o == victim.url {
+				t.Fatalf("%s still assigned to the dead node", model)
+			}
+			found := false
+			for _, m := range loaded[o] {
+				if m == model {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s not loaded on its owner %s (has %v)", model, o, loaded[o])
+			}
+		}
+	}
+}
+
+// TestAgentEvictionHysteresis: a model moving off a node is unloaded
+// only after EvictAfter consecutive un-owned reconciles, so plan flaps
+// during churn do not thrash weights.
+func TestAgentEvictionHysteresis(t *testing.T) {
+	base := time.Now()
+	// Replication 1 so a second node joining definitely moves models.
+	single := func(c *AgentConfig) { c.Replication = 1 }
+	a := newANodeCfg(t, "edge-a", 1, single)
+	rounds([]*anode{a}, base, 0, 3)
+	// Alone in the cluster, a owns everything despite the cap fallback.
+	if got := len(a.mgr.Models()); got != len(agentCatalog) {
+		t.Fatalf("solo node loaded %d models, want all %d", got, len(agentCatalog))
+	}
+
+	// A second node joins: some models move; their unload must lag the
+	// plan by EvictAfter (2) rounds.
+	b := newANodeCfg(t, "edge-b", 2, single, a.url)
+	rounds([]*anode{a, b}, base, 3, 5)
+	moved := ""
+	for _, model := range agentCatalog {
+		mine := false
+		for _, o := range a.agent.Plan()[model] {
+			if o == a.url {
+				mine = true
+			}
+		}
+		if !mine {
+			moved = model
+		}
+	}
+	if moved == "" {
+		t.Skip("plan kept everything on edge-a; nothing to assert")
+	}
+	still := false
+	for _, m := range a.mgr.Models() {
+		if m == moved {
+			still = true
+		}
+	}
+	if !still {
+		t.Fatalf("%s evicted on the first un-owned round", moved)
+	}
+	rounds([]*anode{a, b}, base, 5, 9)
+	for _, m := range a.mgr.Models() {
+		if m == moved {
+			t.Fatalf("%s never evicted", moved)
+		}
+	}
+}
+
+func TestAgentRegistersClusterAlgorithms(t *testing.T) {
+	a := newANode(t, "edge-a", 1)
+	algos, err := libei.NewClient(a.url).Algorithms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"cluster/view": true, "cluster/leave": true, "cluster/replication": true}
+	for _, al := range algos {
+		delete(want, al)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing algorithms: %v (got %v)", want, algos)
+	}
+	// And the replication push path works end to end over HTTP.
+	var got map[string]Replica
+	args := mkArgs(map[string]string{"model": "shard-a", "n": "3", "v": "5"})
+	if err := libei.NewClient(a.url).CallAlgorithm("cluster", "replication", args, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["shard-a"].N != 3 || got["shard-a"].V != 5 {
+		t.Fatalf("replication push: %+v", got)
+	}
+	if fmt.Sprint(a.agent.Membership().Replication()["shard-a"].N) != "3" {
+		t.Fatal("override not merged into membership")
+	}
+}

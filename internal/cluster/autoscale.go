@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the fleet-level half of autoscaling: a gateway watches
+// each model's aggregate serving pressure across its owners and widens
+// or narrows the owner set. (The node-local half — per-pipeline replica
+// width — lives in the agent.)
+
+// AutoscaleConfig tunes the owner-set controller.
+type AutoscaleConfig struct {
+	// Min and Max bound every model's owner-set size. Min defaults to
+	// the cluster's base replication; Max defaults to 4.
+	Min, Max int
+	// GrowQueue is the queued-requests-per-owner threshold that marks a
+	// model hot. Default 8.
+	GrowQueue int
+	// GrowP95 marks a model hot when its worst owner p95 exceeds it;
+	// zero disables the latency trigger.
+	GrowP95 time.Duration
+	// GrowAfter / ShrinkAfter are consecutive-observation requirements
+	// (hysteresis). Defaults 2 and 6: growing reacts in two rounds,
+	// shrinking waits out six quiet ones.
+	GrowAfter   int
+	ShrinkAfter int
+}
+
+func (c *AutoscaleConfig) fill() {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 4
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.GrowQueue <= 0 {
+		c.GrowQueue = 8
+	}
+	if c.GrowAfter <= 0 {
+		c.GrowAfter = 2
+	}
+	if c.ShrinkAfter <= 0 {
+		c.ShrinkAfter = 6
+	}
+}
+
+// Autoscaler decides per-model owner-set sizes with hysteresis. It is
+// deliberately dumb about transport: callers feed observations and apply
+// the returned targets (via Membership.SetReplication plus a push to the
+// nodes).
+type Autoscaler struct {
+	cfg AutoscaleConfig
+
+	mu   sync.Mutex
+	hot  map[string]int
+	cold map[string]int
+}
+
+// NewAutoscaler builds a controller.
+func NewAutoscaler(cfg AutoscaleConfig) *Autoscaler {
+	cfg.fill()
+	return &Autoscaler{cfg: cfg, hot: map[string]int{}, cold: map[string]int{}}
+}
+
+// Observe feeds one round's aggregate signals for a model: its current
+// owner count, the total queued requests across owners, and the worst
+// owner p95. It returns the new owner-set target and whether it changed.
+func (a *Autoscaler) Observe(model string, owners, queued int, p95 time.Duration) (int, bool) {
+	if owners < 1 {
+		owners = 1
+	}
+	perOwner := queued / owners
+	hot := perOwner >= a.cfg.GrowQueue ||
+		(a.cfg.GrowP95 > 0 && p95 >= a.cfg.GrowP95)
+	cold := queued == 0 && (a.cfg.GrowP95 == 0 || p95 < a.cfg.GrowP95/2)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch {
+	case hot:
+		a.cold[model] = 0
+		a.hot[model]++
+		if a.hot[model] >= a.cfg.GrowAfter && owners < a.cfg.Max {
+			a.hot[model] = 0
+			return owners + 1, true
+		}
+	case cold:
+		a.hot[model] = 0
+		a.cold[model]++
+		if a.cold[model] >= a.cfg.ShrinkAfter && owners > a.cfg.Min {
+			a.cold[model] = 0
+			return owners - 1, true
+		}
+	default:
+		a.hot[model], a.cold[model] = 0, 0
+	}
+	return owners, false
+}

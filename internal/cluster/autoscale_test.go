@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAutoscalerGrowsWithHysteresis(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 2, Max: 4, GrowQueue: 8, GrowAfter: 2, ShrinkAfter: 3})
+
+	// One hot observation is not enough.
+	if n, changed := a.Observe("mlp", 2, 40, 0); changed {
+		t.Fatalf("grew after one hot round: %d", n)
+	}
+	n, changed := a.Observe("mlp", 2, 40, 0)
+	if !changed || n != 3 {
+		t.Fatalf("second hot round: n=%d changed=%v, want 3,true", n, changed)
+	}
+	// Counter reset after acting: the next growth needs two more rounds.
+	if _, changed := a.Observe("mlp", 3, 60, 0); changed {
+		t.Fatal("grew immediately after acting")
+	}
+	if n, _ = a.Observe("mlp", 3, 60, 0); n != 4 {
+		t.Fatalf("n = %d, want 4", n)
+	}
+	// Max bound.
+	a.Observe("mlp", 4, 100, 0)
+	if n, changed := a.Observe("mlp", 4, 100, 0); changed || n != 4 {
+		t.Fatalf("exceeded Max: n=%d changed=%v", n, changed)
+	}
+}
+
+func TestAutoscalerShrinksReluctantly(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 2, Max: 4, GrowQueue: 8, GrowAfter: 2, ShrinkAfter: 3})
+	for i := 0; i < 2; i++ {
+		if n, changed := a.Observe("mlp", 3, 0, 0); changed {
+			t.Fatalf("shrank after %d cold rounds: %d", i+1, n)
+		}
+	}
+	if n, changed := a.Observe("mlp", 3, 0, 0); !changed || n != 2 {
+		t.Fatalf("third cold round: n=%d changed=%v, want 2,true", n, changed)
+	}
+	// Min bound: never below.
+	for i := 0; i < 10; i++ {
+		if n, changed := a.Observe("mlp", 2, 0, 0); changed || n != 2 {
+			t.Fatalf("shrank below Min: n=%d changed=%v", n, changed)
+		}
+	}
+}
+
+func TestAutoscalerMixedSignalsResetCounters(t *testing.T) {
+	a := NewAutoscaler(AutoscaleConfig{Min: 1, Max: 4, GrowQueue: 8, GrowAfter: 2, ShrinkAfter: 2})
+	a.Observe("mlp", 2, 40, 0) // hot ×1
+	a.Observe("mlp", 2, 4, 0)  // middling: resets both counters
+	if n, changed := a.Observe("mlp", 2, 40, 0); changed {
+		t.Fatalf("hot counter survived a neutral round: %d", n)
+	}
+	// p95 trigger works independently of queue depth.
+	b := NewAutoscaler(AutoscaleConfig{Min: 1, Max: 4, GrowQueue: 1000, GrowP95: 50 * time.Millisecond, GrowAfter: 1})
+	if n, changed := b.Observe("vgg-m", 2, 0, 80*time.Millisecond); !changed || n != 3 {
+		t.Fatalf("p95 trigger: n=%d changed=%v", n, changed)
+	}
+	// Models are tracked independently.
+	if _, changed := b.Observe("lenet", 2, 0, 0); changed {
+		t.Fatal("cold model affected by hot one")
+	}
+}

@@ -1,0 +1,117 @@
+// Package cluster turns a set of independent OpenEI edges into one
+// self-organizing serving fleet, the "dynamic changes in topology" half
+// of the paper's §IV.C open problem. It has three cooperating parts:
+//
+//   - Membership: SWIM-style gossip over the existing libei REST surface.
+//     A node's liveness signal is its own /ei_status answer (probed with
+//     collab.ProbePeers, judged by runenv.Monitor), and each gossip round
+//     pulls a peer's member view through a registered cluster/view
+//     algorithm, so join, leave, and death propagate to every member and
+//     gateway in a bounded number of rounds with no extra protocol.
+//
+//   - Sharding: a consistent-hash ring with virtual nodes assigns every
+//     zoo model an owner set of configurable size. Placement is a pure
+//     function of the (converging) member view, so nodes and gateways
+//     compute the same plan without coordination: nodes load and evict
+//     models through pkgmgr as the plan shifts, gateways route a model's
+//     requests at its owners instead of the whole fleet. A bounded-load
+//     walk keeps any one node below a configured fraction of the zoo.
+//
+//   - Autoscaling: a per-model replica controller. Gateways watch each
+//     model's aggregate queue depth and p95 latency (from /ei_metrics)
+//     and grow or shrink its owner set with hysteresis; the new target
+//     gossips to the nodes as a versioned override. Each node separately
+//     resizes its local replica pools through the serving engine's
+//     zero-drop Swap machinery.
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// MemberState is a member's health as this process currently believes it.
+type MemberState string
+
+const (
+	// StateAlive: fresh liveness evidence within the suspect window.
+	StateAlive MemberState = "alive"
+	// StateSuspect: no evidence for longer than the monitor timeout, but
+	// not long enough to declare death. Suspects stay in the ring so a
+	// transient hiccup does not reshuffle every placement.
+	StateSuspect MemberState = "suspect"
+	// StateDead: silent past DeadAfter. Dead members leave the ring; the
+	// entry lingers as a tombstone so stale gossip cannot resurrect it.
+	StateDead MemberState = "dead"
+	// StateLeft: the member announced a graceful departure.
+	StateLeft MemberState = "left"
+)
+
+// rank orders states for merge tie-breaks at equal (incarnation, beat):
+// a stronger claim wins, exactly SWIM's override rules.
+func (s MemberState) rank() int {
+	switch s {
+	case StateAlive:
+		return 0
+	case StateSuspect:
+		return 1
+	case StateDead:
+		return 2
+	case StateLeft:
+		return 3
+	}
+	return -1
+}
+
+// Member is one node's gossiped descriptor.
+type Member struct {
+	// URL is the member's advertised base address — the cluster-wide key.
+	URL string `json:"url"`
+	// ID is the node's self-reported identity from /ei_status.
+	ID string `json:"id,omitempty"`
+	// Incarnation distinguishes process lifetimes of the same URL (the
+	// agent stamps its start time in unix nanoseconds). A restarted node
+	// carries a higher incarnation and wins against every stale claim
+	// about its previous life.
+	Incarnation int64 `json:"incarnation"`
+	// Beat is the member's own gossip-round counter under the current
+	// incarnation; views merge by max (Incarnation, Beat).
+	Beat uint64 `json:"beat"`
+	// State is the believed health at the gossiping process.
+	State MemberState `json:"state"`
+	// Capacity is the member's RAM budget (Status.MemBytes).
+	Capacity int64 `json:"capacity,omitempty"`
+	// Models is the member's advertised loaded-model set.
+	Models []string `json:"models,omitempty"`
+}
+
+// Replica is one model's versioned owner-set target. Merges are
+// last-writer-wins on version with the larger target breaking ties, so
+// concurrent writers converge.
+type Replica struct {
+	N int    `json:"n"`
+	V uint64 `json:"v"`
+}
+
+// View is the wire payload of the cluster/view algorithm: everything one
+// process believes, for anti-entropy exchange.
+type View struct {
+	// Members holds every known descriptor, tombstones included (a left
+	// or dead entry must out-gossip the stale alive claims about it).
+	Members []Member `json:"members"`
+	// Replication is the per-model owner-set overrides.
+	Replication map[string]Replica `json:"replication,omitempty"`
+}
+
+// sortMembers orders a descriptor slice by URL for stable output.
+func sortMembers(ms []Member) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].URL < ms[j].URL })
+}
+
+// nonzero returns d, or def when d is zero — config defaulting helper.
+func nonzero(d, def time.Duration) time.Duration {
+	if d == 0 {
+		return def
+	}
+	return d
+}

@@ -1,0 +1,500 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"openei/internal/collab"
+	"openei/internal/libei"
+	"openei/internal/runenv"
+)
+
+// MembershipConfig tunes one process's gossip participant.
+type MembershipConfig struct {
+	// SelfURL is this process's advertised base address. Empty makes the
+	// membership a pure observer (a gateway): it learns the fleet and
+	// judges health but never appears in anyone's view.
+	SelfURL string
+	// SelfID is the node identity gossiped alongside SelfURL.
+	SelfID string
+	// Seeds are addresses probed every round in addition to gossip
+	// targets, bootstrapping the first join and re-knitting partitions.
+	Seeds []string
+	// SelfInfo, when set, refreshes the self descriptor each round with
+	// the currently loaded models and capacity (an agent wires this to
+	// its package manager).
+	SelfInfo func() (models []string, capacity int64)
+	// Interval is the nominal gossip period; Tick callers should match it.
+	// Default 500ms.
+	Interval time.Duration
+	// Fanout is how many peers each round probes and pulls views from.
+	// Default 3.
+	Fanout int
+	// SuspectAfter is the failure detector's timeout: a member with no
+	// liveness evidence for this long becomes suspect. Default 4×Interval.
+	SuspectAfter time.Duration
+	// DeadAfter declares a silent member dead (out of the ring).
+	// Default 3×SuspectAfter.
+	DeadAfter time.Duration
+	// TombstoneAfter forgets dead and left entries entirely.
+	// Default 4×DeadAfter.
+	TombstoneAfter time.Duration
+	// Incarnation overrides the self incarnation stamp (tests); zero
+	// means "now" in unix nanoseconds.
+	Incarnation int64
+	// NewClient builds the libei client for a peer URL; default
+	// libei.NewClient.
+	NewClient func(url string) *libei.Client
+	// Logf, when set, receives membership transitions (join/suspect/
+	// dead/left) — one line each, for operators.
+	Logf func(format string, args ...any)
+}
+
+func (c *MembershipConfig) fill() {
+	c.Interval = nonzero(c.Interval, 500*time.Millisecond)
+	if c.Fanout <= 0 {
+		c.Fanout = 3
+	}
+	c.SuspectAfter = nonzero(c.SuspectAfter, 4*c.Interval)
+	c.DeadAfter = nonzero(c.DeadAfter, 3*c.SuspectAfter)
+	c.TombstoneAfter = nonzero(c.TombstoneAfter, 4*c.DeadAfter)
+	if c.Incarnation == 0 {
+		c.Incarnation = time.Now().UnixNano()
+	}
+	if c.NewClient == nil {
+		c.NewClient = libei.NewClient
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// entry is a Member plus this process's local liveness bookkeeping.
+type entry struct {
+	Member
+	// lastFresh is the last local evidence of progress: a successful
+	// direct probe, or a merge that advanced (incarnation, beat).
+	lastFresh time.Time
+}
+
+// Membership is one process's SWIM-style gossip participant. Callers
+// drive it: Tick runs one synchronous round (probe + view exchange +
+// sweep); agents and gateways call it from their own loops so the whole
+// process has a single cadence. All other methods are safe concurrently
+// with Tick.
+type Membership struct {
+	cfg MembershipConfig
+	mon *runenv.Monitor
+
+	mu      sync.Mutex
+	beat    uint64
+	entries map[string]*entry // keyed by URL; includes self when a member
+	clients map[string]*libei.Client
+	repl    map[string]Replica
+	rng     *rand.Rand
+}
+
+// NewMembership builds a participant. With a SelfURL it is a member
+// (agents); without, an observer (gateways).
+func NewMembership(cfg MembershipConfig) *Membership {
+	cfg.fill()
+	m := &Membership{
+		cfg:     cfg,
+		mon:     runenv.NewMonitor(cfg.SuspectAfter),
+		entries: map[string]*entry{},
+		clients: map[string]*libei.Client{},
+		repl:    map[string]Replica{},
+		rng:     rand.New(rand.NewSource(cfg.Incarnation ^ int64(hash64(cfg.SelfURL)))),
+	}
+	if cfg.SelfURL != "" {
+		m.entries[cfg.SelfURL] = &entry{Member: Member{
+			URL:         cfg.SelfURL,
+			ID:          cfg.SelfID,
+			Incarnation: cfg.Incarnation,
+			State:       StateAlive,
+		}}
+	}
+	return m
+}
+
+// Interval is the configured gossip period, for callers sizing tickers
+// and probe deadlines.
+func (m *Membership) Interval() time.Duration { return m.cfg.Interval }
+
+func (m *Membership) clientFor(u string) *libei.Client {
+	if c, ok := m.clients[u]; ok {
+		return c
+	}
+	c := m.cfg.NewClient(u)
+	m.clients[u] = c
+	return c
+}
+
+// Tick runs one gossip round at `now`: refresh self, probe up to Fanout
+// peers' /ei_status (plus every seed not yet known alive), pull views
+// from the responders, merge, and sweep timeouts. The context bounds all
+// network work — give it a deadline of about one Interval.
+func (m *Membership) Tick(ctx context.Context, now time.Time) {
+	targets := m.beginRound(now)
+	if len(targets) > 0 {
+		probes := collab.ProbePeers(ctx, targets)
+		var answered []string
+		m.mu.Lock()
+		for u, p := range probes {
+			if p.Err != nil {
+				continue
+			}
+			m.observeStatusLocked(u, p.Status, now)
+			answered = append(answered, u)
+		}
+		m.mu.Unlock()
+		sort.Strings(answered)
+
+		// Anti-entropy: pull each responder's view. The from= parameter
+		// is an implicit join announcement — the peer learns our address
+		// just by being asked (observers pass none and stay invisible).
+		var wg sync.WaitGroup
+		views := make([]View, len(answered))
+		oks := make([]bool, len(answered))
+		for i, u := range answered {
+			wg.Add(1)
+			go func(i int, u string, c *libei.Client) {
+				defer wg.Done()
+				args := url.Values{}
+				if m.cfg.SelfURL != "" {
+					args.Set("from", m.cfg.SelfURL)
+				}
+				var v View
+				if err := c.CallAlgorithmCtx(ctx, "cluster", "view", args, &v); err == nil {
+					views[i], oks[i] = v, true
+				}
+			}(i, u, targets[u])
+		}
+		wg.Wait()
+		m.mu.Lock()
+		for i := range views {
+			if oks[i] {
+				m.mergeViewLocked(views[i], now)
+			}
+		}
+		m.mu.Unlock()
+	}
+	m.mu.Lock()
+	m.sweepLocked(now)
+	m.mu.Unlock()
+}
+
+// beginRound bumps the self descriptor and picks this round's targets.
+func (m *Membership) beginRound(now time.Time) map[string]*libei.Client {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.beat++
+	if self, ok := m.entries[m.cfg.SelfURL]; ok {
+		self.Beat = m.beat
+		self.State = StateAlive
+		self.lastFresh = now
+		if m.cfg.SelfInfo != nil {
+			self.Models, self.Capacity = m.cfg.SelfInfo()
+		}
+		m.mon.Heartbeat(self.URL, now)
+	}
+	targets := map[string]*libei.Client{}
+	// Seeds are probed unconditionally: the only way into a cluster you
+	// know nothing about, and the rendezvous that heals a partition.
+	for _, s := range m.cfg.Seeds {
+		if s != "" && s != m.cfg.SelfURL {
+			targets[s] = m.clientFor(s)
+		}
+	}
+	var candidates []string
+	for u, e := range m.entries {
+		if u == m.cfg.SelfURL || targets[u] != nil {
+			continue
+		}
+		// Probe alive and suspect members (a suspect that answers is
+		// refuted on the spot); leave dead and left ones to tombstone
+		// expiry — a restarted process re-announces itself via from=.
+		if e.State == StateAlive || e.State == StateSuspect {
+			candidates = append(candidates, u)
+		}
+	}
+	sort.Strings(candidates)
+	m.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	for _, u := range candidates {
+		if len(targets) >= m.cfg.Fanout+len(m.cfg.Seeds) {
+			break
+		}
+		targets[u] = m.clientFor(u)
+	}
+	return targets
+}
+
+// observeStatusLocked records a successful direct probe: definitive
+// liveness plus the peer's advertised placement.
+func (m *Membership) observeStatusLocked(u string, st libei.Status, now time.Time) {
+	e := m.entries[u]
+	if e == nil {
+		e = &entry{Member: Member{URL: u, State: StateAlive}}
+		m.entries[u] = e
+		m.cfg.Logf("cluster: member %s joined (probe)", u)
+	}
+	if e.State != StateAlive {
+		m.cfg.Logf("cluster: member %s alive again (was %s)", u, e.State)
+	}
+	e.ID = st.NodeID
+	e.Capacity = st.MemBytes
+	e.Models = e.Models[:0]
+	for _, p := range st.Models {
+		e.Models = append(e.Models, p.Name)
+	}
+	e.State = StateAlive
+	e.lastFresh = now
+	m.mon.Heartbeat(u, now)
+}
+
+// mergeViewLocked folds a peer's view in under SWIM's override rules.
+func (m *Membership) mergeViewLocked(v View, now time.Time) {
+	for _, r := range v.Members {
+		if r.URL == "" {
+			continue
+		}
+		if r.URL == m.cfg.SelfURL {
+			// Refute rumors about ourselves: any non-alive claim at our
+			// current incarnation is answered by outliving its beat.
+			if r.Incarnation == m.cfg.Incarnation && r.State != StateAlive && r.Beat >= m.beat {
+				m.beat = r.Beat + 1
+				if self := m.entries[r.URL]; self != nil {
+					self.Beat = m.beat
+					self.State = StateAlive
+				}
+			}
+			continue
+		}
+		e := m.entries[r.URL]
+		if e == nil {
+			e = &entry{Member: r, lastFresh: now}
+			// Imported claims keep their state; a gossiped tombstone must
+			// not come back as a fresh alive member.
+			m.entries[r.URL] = e
+			if r.State == StateAlive || r.State == StateSuspect {
+				m.mon.Heartbeat(r.URL, now)
+				m.cfg.Logf("cluster: member %s joined (gossip)", r.URL)
+			}
+			continue
+		}
+		newer := r.Incarnation > e.Incarnation ||
+			(r.Incarnation == e.Incarnation && r.Beat > e.Beat)
+		same := r.Incarnation == e.Incarnation && r.Beat == e.Beat
+		switch {
+		case newer:
+			e.Incarnation, e.Beat = r.Incarnation, r.Beat
+			e.ID, e.Capacity = r.ID, r.Capacity
+			e.Models = append(e.Models[:0], r.Models...)
+			if r.State == StateDead || r.State == StateLeft {
+				if e.State != r.State {
+					m.cfg.Logf("cluster: member %s %s (gossip)", r.URL, r.State)
+				}
+				e.State = r.State
+			} else {
+				// Progress under the same life is liveness evidence, no
+				// matter whether the peer believed alive or suspect.
+				e.State = StateAlive
+				e.lastFresh = now
+				m.mon.Heartbeat(r.URL, now)
+			}
+		case same && r.State.rank() > e.State.rank():
+			e.State = r.State
+			m.cfg.Logf("cluster: member %s %s (gossip)", r.URL, r.State)
+		}
+	}
+	m.mergeReplicationLocked(v.Replication)
+}
+
+// sweepLocked ages entries: the runenv monitor decides alive vs suspect,
+// the longer windows decide dead and forgotten.
+func (m *Membership) sweepLocked(now time.Time) {
+	for u, e := range m.entries {
+		if u == m.cfg.SelfURL {
+			continue
+		}
+		age := now.Sub(e.lastFresh)
+		switch e.State {
+		case StateLeft, StateDead:
+			if age > m.cfg.TombstoneAfter {
+				delete(m.entries, u)
+				delete(m.clients, u)
+				m.mon.Forget(u)
+			}
+		default:
+			if age > m.cfg.DeadAfter {
+				e.State = StateDead
+				e.Beat++ // the death claim must out-version the last alive beat
+				m.cfg.Logf("cluster: member %s dead (silent %v)", u, age.Round(time.Millisecond))
+			} else if st, err := m.mon.State(u, now); err == nil {
+				if st == runenv.NodeSuspect && e.State == StateAlive {
+					e.State = StateSuspect
+					m.cfg.Logf("cluster: member %s suspect", u)
+				} else if st == runenv.NodeLive {
+					e.State = StateAlive
+				}
+			}
+		}
+	}
+}
+
+// View snapshots everything this process believes for a gossip reply.
+// A non-empty from is the caller announcing itself: unknown addresses
+// join as nascent members and get probed in later rounds.
+func (m *Membership) View(from string) View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if from != "" && from != m.cfg.SelfURL && m.entries[from] == nil {
+		m.entries[from] = &entry{
+			Member:    Member{URL: from, State: StateAlive},
+			lastFresh: time.Now(),
+		}
+		m.mon.Heartbeat(from, time.Now())
+		m.cfg.Logf("cluster: member %s joined (announce)", from)
+	}
+	v := View{Members: make([]Member, 0, len(m.entries))}
+	for _, e := range m.entries {
+		mem := e.Member
+		mem.Models = append([]string(nil), e.Models...)
+		v.Members = append(v.Members, mem)
+	}
+	sortMembers(v.Members)
+	if len(m.repl) > 0 {
+		v.Replication = make(map[string]Replica, len(m.repl))
+		for k, r := range m.repl {
+			v.Replication[k] = r
+		}
+	}
+	return v
+}
+
+// Members returns every known descriptor, tombstones included, sorted by
+// URL.
+func (m *Membership) Members() []Member {
+	return m.View("").Members
+}
+
+// Active returns the members currently in the ring: alive and suspect.
+// Suspects stay placed so a transient hiccup does not reshuffle the
+// fleet; only confirmed death or departure moves models.
+func (m *Membership) Active() []Member {
+	var out []Member
+	for _, mem := range m.Members() {
+		if mem.State == StateAlive || mem.State == StateSuspect {
+			out = append(out, mem)
+		}
+	}
+	return out
+}
+
+// HandleLeave records a graceful departure claim for url at (inc, beat).
+// Stale claims about a newer incarnation are ignored.
+func (m *Membership) HandleLeave(u string, inc int64, beat uint64) error {
+	if u == "" {
+		return fmt.Errorf("cluster: leave without url")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entries[u]
+	if e == nil {
+		e = &entry{Member: Member{URL: u}, lastFresh: time.Now()}
+		m.entries[u] = e
+	}
+	if inc < e.Incarnation || (inc == e.Incarnation && beat < e.Beat) {
+		return nil
+	}
+	if e.State != StateLeft {
+		m.cfg.Logf("cluster: member %s left", u)
+	}
+	e.Incarnation, e.Beat, e.State = inc, beat, StateLeft
+	return nil
+}
+
+// Leave announces this member's departure to up to Fanout live peers and
+// marks self left, so the next views it serves gossip the claim onward.
+func (m *Membership) Leave(ctx context.Context) {
+	m.mu.Lock()
+	if m.cfg.SelfURL == "" {
+		m.mu.Unlock()
+		return
+	}
+	m.beat++
+	beat := m.beat
+	if self := m.entries[m.cfg.SelfURL]; self != nil {
+		self.Beat = beat
+		self.State = StateLeft
+	}
+	var peers []*libei.Client
+	for u, e := range m.entries {
+		if u != m.cfg.SelfURL && e.State == StateAlive && len(peers) < m.cfg.Fanout {
+			peers = append(peers, m.clientFor(u))
+		}
+	}
+	m.mu.Unlock()
+	args := url.Values{}
+	args.Set("url", m.cfg.SelfURL)
+	args.Set("inc", fmt.Sprint(m.cfg.Incarnation))
+	args.Set("beat", fmt.Sprint(beat))
+	var wg sync.WaitGroup
+	for _, c := range peers {
+		wg.Add(1)
+		go func(c *libei.Client) {
+			defer wg.Done()
+			_ = c.CallAlgorithmCtx(ctx, "cluster", "leave", args, nil)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// SetReplication sets a model's owner-set target, bumping its version so
+// the change out-gossips every older claim. Reports whether it changed.
+func (m *Membership) SetReplication(model string, n int) bool {
+	if model == "" || n < 1 {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.repl[model]
+	if cur.N == n {
+		return false
+	}
+	m.repl[model] = Replica{N: n, V: cur.V + 1}
+	return true
+}
+
+// MergeReplication folds peer overrides in (higher version wins; equal
+// versions keep the larger target so concurrent writers converge).
+func (m *Membership) MergeReplication(in map[string]Replica) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mergeReplicationLocked(in)
+}
+
+func (m *Membership) mergeReplicationLocked(in map[string]Replica) {
+	for model, r := range in {
+		cur, ok := m.repl[model]
+		if !ok || r.V > cur.V || (r.V == cur.V && r.N > cur.N) {
+			m.repl[model] = r
+		}
+	}
+}
+
+// Replication snapshots the current per-model overrides.
+func (m *Membership) Replication() map[string]Replica {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Replica, len(m.repl))
+	for k, r := range m.repl {
+		out[k] = r
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+	"time"
+
+	"openei/internal/libei"
+)
+
+// tnode is a bare gossip member for membership tests: a libei server
+// carrying only the cluster algorithms, backed by a Membership.
+type tnode struct {
+	id  string
+	url string
+	ts  *httptest.Server
+	mem *Membership
+}
+
+const testInterval = 50 * time.Millisecond
+
+func newTNode(t *testing.T, id string, inc int64, seeds ...string) *tnode {
+	t.Helper()
+	srv := libei.NewServer(id, nil, nil)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	n := &tnode{id: id, url: ts.URL, ts: ts}
+	n.mem = NewMembership(MembershipConfig{
+		SelfURL:     ts.URL,
+		SelfID:      id,
+		Seeds:       seeds,
+		Interval:    testInterval,
+		Incarnation: inc,
+	})
+	regs := []libei.Registration{
+		{Scenario: "cluster", Name: "view", Fn: func(args url.Values) (any, error) {
+			return n.mem.View(args.Get("from")), nil
+		}},
+		{Scenario: "cluster", Name: "leave", Fn: func(args url.Values) (any, error) {
+			inc, _ := strconv.ParseInt(args.Get("inc"), 10, 64)
+			beat, _ := strconv.ParseUint(args.Get("beat"), 10, 64)
+			return nil, n.mem.HandleLeave(args.Get("url"), inc, beat)
+		}},
+	}
+	if err := srv.RegisterAll(regs); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// mergeView folds a view in under the lock — test shim for merge-rule
+// assertions that bypass the network.
+func mergeView(m *Membership, v View, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mergeViewLocked(v, now)
+}
+
+// tick runs one gossip round on every node at the given fake time.
+func tick(nodes []*tnode, at time.Time) {
+	for _, n := range nodes {
+		ctx, cancel := context.WithTimeout(context.Background(), testInterval*4)
+		n.mem.Tick(ctx, at)
+		cancel()
+	}
+}
+
+func states(m *Membership) map[string]MemberState {
+	out := map[string]MemberState{}
+	for _, mem := range m.Members() {
+		out[mem.URL] = mem.State
+	}
+	return out
+}
+
+func TestMembershipConvergesOnJoin(t *testing.T) {
+	base := time.Now()
+	a := newTNode(t, "edge-a", 1)
+	b := newTNode(t, "edge-b", 2, a.url)
+	c := newTNode(t, "edge-c", 3, a.url)
+	nodes := []*tnode{a, b, c}
+
+	for r := 0; r < 6; r++ {
+		tick(nodes, base.Add(time.Duration(r)*testInterval))
+	}
+	for _, n := range nodes {
+		st := states(n.mem)
+		if len(st) != 3 {
+			t.Fatalf("%s sees %d members: %v", n.id, len(st), st)
+		}
+		for u, s := range st {
+			if s != StateAlive {
+				t.Errorf("%s sees %s as %s, want alive", n.id, u, s)
+			}
+		}
+	}
+	// IDs and incarnations propagate too.
+	for _, mem := range a.mem.Members() {
+		if mem.ID == "" {
+			t.Errorf("member %s gossiped without an ID", mem.URL)
+		}
+	}
+}
+
+func TestMembershipObserverSeesFleetWithoutJoining(t *testing.T) {
+	base := time.Now()
+	a := newTNode(t, "edge-a", 1)
+	b := newTNode(t, "edge-b", 2, a.url)
+	nodes := []*tnode{a, b}
+	obs := NewMembership(MembershipConfig{
+		Seeds:    []string{a.url},
+		Interval: testInterval,
+	})
+	for r := 0; r < 5; r++ {
+		at := base.Add(time.Duration(r) * testInterval)
+		tick(nodes, at)
+		ctx, cancel := context.WithTimeout(context.Background(), testInterval*4)
+		obs.Tick(ctx, at)
+		cancel()
+	}
+	if got := len(obs.Active()); got != 2 {
+		t.Fatalf("observer sees %d active members, want 2: %+v", got, obs.Members())
+	}
+	// The observer never announced itself: members know only each other.
+	if got := len(a.mem.Members()); got != 2 {
+		t.Fatalf("observer leaked into the member view: %+v", a.mem.Members())
+	}
+}
+
+func TestMembershipDetectsDeathAndTombstones(t *testing.T) {
+	base := time.Now()
+	a := newTNode(t, "edge-a", 1)
+	b := newTNode(t, "edge-b", 2, a.url)
+	c := newTNode(t, "edge-c", 3, a.url)
+	survivors := []*tnode{a, b}
+
+	for r := 0; r < 6; r++ {
+		tick([]*tnode{a, b, c}, base.Add(time.Duration(r)*testInterval))
+	}
+	c.ts.Close() // crash, no goodbye
+
+	// SuspectAfter = 4 intervals, DeadAfter = 12: walk fake time forward
+	// and watch the state ladder on both survivors.
+	var sawSuspect bool
+	deadline := 14 * 4 * testInterval
+	for r := 6; time.Duration(r)*testInterval < deadline; r++ {
+		tick(survivors, base.Add(time.Duration(r)*testInterval))
+		st := states(a.mem)[c.url]
+		if st == StateSuspect {
+			sawSuspect = true
+		}
+		if st == StateDead {
+			break
+		}
+	}
+	if !sawSuspect {
+		t.Error("edge-c never passed through suspect before dead")
+	}
+	for _, n := range survivors {
+		if st := states(n.mem)[c.url]; st != StateDead {
+			t.Fatalf("%s sees crashed node as %s, want dead", n.id, st)
+		}
+		for _, mem := range n.mem.Active() {
+			if mem.URL == c.url {
+				t.Fatalf("%s still lists the dead node as active", n.id)
+			}
+		}
+	}
+	// Tombstone expiry forgets the entry entirely.
+	tick(survivors, base.Add(200*4*testInterval))
+	if _, ok := states(a.mem)[c.url]; ok {
+		t.Fatal("dead entry survived past tombstone expiry")
+	}
+}
+
+func TestMembershipGracefulLeavePropagates(t *testing.T) {
+	base := time.Now()
+	a := newTNode(t, "edge-a", 1)
+	b := newTNode(t, "edge-b", 2, a.url)
+	c := newTNode(t, "edge-c", 3, a.url)
+
+	for r := 0; r < 6; r++ {
+		tick([]*tnode{a, b, c}, base.Add(time.Duration(r)*testInterval))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	c.mem.Leave(ctx)
+	cancel()
+
+	// The leave call reached some peers directly; gossip must carry it
+	// to the rest without anyone talking to the departed node again.
+	for r := 6; r < 12; r++ {
+		tick([]*tnode{a, b}, base.Add(time.Duration(r)*testInterval))
+	}
+	for _, n := range []*tnode{a, b} {
+		if st := states(n.mem)[c.url]; st != StateLeft {
+			t.Fatalf("%s sees departed node as %s, want left", n.id, st)
+		}
+	}
+}
+
+// TestMembershipRestartWinsByIncarnation: a node that dies and comes
+// back under the same URL with a higher incarnation must be believed
+// alive again everywhere, despite the dead tombstone gossiping around.
+func TestMembershipRestartWinsByIncarnation(t *testing.T) {
+	base := time.Now()
+	a := newTNode(t, "edge-a", 1)
+	b := newTNode(t, "edge-b", 2, a.url)
+
+	for r := 0; r < 4; r++ {
+		tick([]*tnode{a, b}, base.Add(time.Duration(r)*testInterval))
+	}
+	// b "crashes": close its listener but keep the URL slot; mark it dead
+	// on a by aging.
+	b.ts.Close()
+	r := 4
+	for ; states(a.mem)[b.url] != StateDead; r++ {
+		if r > 400 {
+			t.Fatal("b never declared dead")
+		}
+		tick([]*tnode{a}, base.Add(time.Duration(r)*testInterval))
+	}
+
+	// Restart: a fresh process at a fresh URL is the common case, but the
+	// same-URL restart is the one incarnations exist for. Simulate by
+	// announcing b's URL again: a probes it next round (it answers from a
+	// new listener bound to... httptest cannot rebind, so verify the merge
+	// rule directly instead: a restarted incarnation out-versions a dead
+	// tombstone).
+	a.mem.mu.Lock()
+	dead := a.mem.entries[b.url]
+	deadInc, deadBeat := dead.Incarnation, dead.Beat
+	a.mem.mu.Unlock()
+	mergeView(a.mem, View{Members: []Member{{
+		URL: b.url, ID: "edge-b", Incarnation: deadInc + 100, Beat: 1, State: StateAlive,
+	}}}, base.Add(time.Duration(r)*testInterval))
+	if st := states(a.mem)[b.url]; st != StateAlive {
+		t.Fatalf("restarted incarnation not believed: %s", st)
+	}
+	// And the stale dead claim, replayed, loses.
+	mergeView(a.mem, View{Members: []Member{{
+		URL: b.url, Incarnation: deadInc, Beat: deadBeat, State: StateDead,
+	}}}, base.Add(time.Duration(r+1)*testInterval))
+	if st := states(a.mem)[b.url]; st != StateAlive {
+		t.Fatalf("stale dead claim resurrected: %s", st)
+	}
+}
+
+func TestReplicationMergeRules(t *testing.T) {
+	m := NewMembership(MembershipConfig{Interval: testInterval})
+	if !m.SetReplication("mlp", 3) {
+		t.Fatal("first set must report change")
+	}
+	if m.SetReplication("mlp", 3) {
+		t.Fatal("idempotent set must not report change")
+	}
+	m.MergeReplication(map[string]Replica{"mlp": {N: 2, V: 0}}) // stale
+	if got := m.Replication()["mlp"]; got.N != 3 {
+		t.Fatalf("stale merge overwrote: %+v", got)
+	}
+	m.MergeReplication(map[string]Replica{"mlp": {N: 5, V: 9}}) // newer
+	if got := m.Replication()["mlp"]; got.N != 5 || got.V != 9 {
+		t.Fatalf("newer merge ignored: %+v", got)
+	}
+	// Equal version: larger target wins, so concurrent writers converge.
+	m.MergeReplication(map[string]Replica{"mlp": {N: 6, V: 9}})
+	if got := m.Replication()["mlp"]; got.N != 6 {
+		t.Fatalf("equal-version tiebreak: %+v", got)
+	}
+	m.MergeReplication(map[string]Replica{"mlp": {N: 4, V: 9}})
+	if got := m.Replication()["mlp"]; got.N != 6 {
+		t.Fatalf("equal-version smaller target won: %+v", got)
+	}
+	// SetReplication after a merge must out-version it.
+	m.SetReplication("mlp", 2)
+	if got := m.Replication()["mlp"]; got.N != 2 || got.V != 10 {
+		t.Fatalf("set after merge: %+v", got)
+	}
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// This file is the sharding half of the subsystem: a consistent-hash
+// ring with virtual nodes, and the bounded-load placement plan built on
+// it. Placement is a pure function of (members, catalog, replication,
+// cap), so every process that has converged on the same member view
+// computes the same plan with no coordination round.
+
+// DefaultVNodes is the virtual-node count per member. 64 points per
+// member keeps the per-model owner choice within a few percent of
+// uniform for fleets of tens of nodes while ring rebuilds stay cheap.
+const DefaultVNodes = 64
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+type ringPoint struct {
+	h   uint64
+	idx int // index into Ring.members
+}
+
+// Ring is a consistent-hash ring over member URLs. Zero value is unusable;
+// build with NewRing.
+type Ring struct {
+	members []string
+	points  []ringPoint
+}
+
+// NewRing hashes every member onto the ring vnodes times (vnodes ≤ 0
+// means DefaultVNodes). Member order does not matter: inputs are
+// deduplicated and sorted, so equal member sets build identical rings.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make(map[string]bool, len(members))
+	var sorted []string
+	for _, m := range members {
+		if m != "" && !uniq[m] {
+			uniq[m] = true
+			sorted = append(sorted, m)
+		}
+	}
+	sort.Strings(sorted)
+	r := &Ring{members: sorted}
+	r.points = make([]ringPoint, 0, len(sorted)*vnodes)
+	for i, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{h: hash64(m + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].h != r.points[b].h {
+			return r.points[a].h < r.points[b].h
+		}
+		return r.points[a].idx < r.points[b].idx
+	})
+	return r
+}
+
+// Members returns the ring's member URLs, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Owners walks clockwise from key's hash and collects up to n distinct
+// members accepted by the filter (nil accepts all). Fewer than n come
+// back when the ring runs out of acceptable members.
+func (r *Ring) Owners(key string, n int, accept func(member string) bool) []string {
+	if n <= 0 || len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= hash64(key) })
+	taken := make(map[int]bool, n)
+	var out []string
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if taken[p.idx] {
+			continue
+		}
+		taken[p.idx] = true // each member is considered once, at its first point
+		m := r.members[p.idx]
+		if accept == nil || accept(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// NodeCap converts a max-zoo fraction into a per-node model cap, never
+// below one so a tiny catalog still places.
+func NodeCap(maxFraction float64, catalogSize int) int {
+	if maxFraction <= 0 || maxFraction >= 1 {
+		return catalogSize
+	}
+	c := int(math.Ceil(maxFraction * float64(catalogSize)))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// PlanPlacement assigns every catalog model an owner set: base owners by
+// default, overridden per model by replication targets, clamped to the
+// member count. The walk skips members already holding NodeCap models
+// (bounded-load consistent hashing), so no member exceeds roughly
+// maxFraction of the catalog as long as the fleet has the slack for it;
+// replication outranks the cap when the two conflict, so a model never
+// loses owners to saturation. Models are placed in sorted-name order,
+// making the plan deterministic for a given input.
+func PlanPlacement(members, catalog []string, base int, overrides map[string]Replica, maxFraction float64, vnodes int) map[string][]string {
+	if len(members) == 0 || len(catalog) == 0 {
+		return map[string][]string{}
+	}
+	if base < 1 {
+		base = 1
+	}
+	ring := NewRing(members, vnodes)
+	cap := NodeCap(maxFraction, len(catalog))
+	load := make(map[string]int, len(ring.members))
+	models := append([]string(nil), catalog...)
+	sort.Strings(models)
+	plan := make(map[string][]string, len(models))
+	for _, model := range models {
+		n := base
+		if o, ok := overrides[model]; ok && o.N > 0 {
+			n = o.N
+		}
+		if n > len(ring.members) {
+			n = len(ring.members)
+		}
+		owners := ring.Owners(model, n, func(m string) bool { return load[m] < cap })
+		if len(owners) < n {
+			// Replication outranks the cap: when the walk starves (every
+			// remaining candidate is saturated), top the owner set up from
+			// the unfiltered successor order anyway.
+			seen := make(map[string]bool, len(owners))
+			for _, m := range owners {
+				seen[m] = true
+			}
+			for _, m := range ring.Owners(model, len(ring.members), nil) {
+				if len(owners) >= n {
+					break
+				}
+				if !seen[m] {
+					owners = append(owners, m)
+				}
+			}
+		}
+		for _, m := range owners {
+			load[m]++
+		}
+		plan[model] = owners
+	}
+	return plan
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func urls(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+var testCatalog = []string{
+	"alexnet-m", "bonsai-m", "lenet", "mlp",
+	"mobilenet-m", "protonn-m", "squeezenet-m", "vgg-m",
+}
+
+func TestPlanPlacementDeterministicAndBounded(t *testing.T) {
+	members := urls(4)
+	plan := PlanPlacement(members, testCatalog, 2, nil, 0.5, 0)
+
+	// Same inputs in any order must yield the identical plan — nodes and
+	// gateways each compute placement independently from gossip.
+	shuffled := []string{members[2], members[0], members[3], members[1]}
+	catalogRev := append([]string(nil), testCatalog...)
+	for i, j := 0, len(catalogRev)-1; i < j; i, j = i+1, j-1 {
+		catalogRev[i], catalogRev[j] = catalogRev[j], catalogRev[i]
+	}
+	if again := PlanPlacement(shuffled, catalogRev, 2, nil, 0.5, 0); !reflect.DeepEqual(plan, again) {
+		t.Fatalf("plan not deterministic:\n%v\nvs\n%v", plan, again)
+	}
+
+	load := map[string]int{}
+	for _, model := range testCatalog {
+		owners := plan[model]
+		if len(owners) != 2 {
+			t.Fatalf("%s owners = %v, want 2", model, owners)
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("%s owners not distinct: %v", model, owners)
+		}
+		for _, o := range owners {
+			load[o]++
+		}
+	}
+	// 8 models × 2 owners = 16 placements over 4 nodes at cap
+	// ceil(0.5×8)=4: the bounded-load walk must land exactly 4 each.
+	for node, n := range load {
+		if n > 4 {
+			t.Errorf("%s holds %d models, above the 50%% cap of 4", node, n)
+		}
+	}
+}
+
+func TestPlanPlacementOverridesGrowOwnerSets(t *testing.T) {
+	plan := PlanPlacement(urls(6), testCatalog, 2,
+		map[string]Replica{"mlp": {N: 4, V: 1}}, 0.5, 0)
+	if got := len(plan["mlp"]); got != 4 {
+		t.Fatalf("mlp owners = %d, want override 4", got)
+	}
+	if got := len(plan["lenet"]); got != 2 {
+		t.Fatalf("lenet owners = %d, want base 2", got)
+	}
+	// Overrides clamp to the member count.
+	small := PlanPlacement(urls(3), testCatalog, 2,
+		map[string]Replica{"mlp": {N: 9, V: 1}}, 1, 0)
+	if got := len(small["mlp"]); got != 3 {
+		t.Fatalf("clamped mlp owners = %d, want 3", got)
+	}
+}
+
+// TestPlanPlacementStability pins the consistent-hashing point: losing
+// one member of ten must not reshuffle the surviving assignments
+// wholesale.
+func TestPlanPlacementStability(t *testing.T) {
+	members := urls(10)
+	before := PlanPlacement(members, testCatalog, 2, nil, 0.5, 0)
+	after := PlanPlacement(members[:9], testCatalog, 2, nil, 0.5, 0)
+
+	lost := members[9]
+	moved, kept := 0, 0
+	for _, model := range testCatalog {
+		was := map[string]bool{}
+		for _, o := range before[model] {
+			was[o] = true
+		}
+		for _, o := range after[model] {
+			if was[o] {
+				kept++
+			} else {
+				moved++
+			}
+		}
+		if was[lost] && len(after[model]) < 2 {
+			t.Errorf("%s lost an owner without replacement: %v", model, after[model])
+		}
+	}
+	if moved >= kept {
+		t.Fatalf("one node's loss moved %d placements but kept only %d", moved, kept)
+	}
+}
+
+func TestRingOwnersRespectsFilter(t *testing.T) {
+	r := NewRing(urls(5), 0)
+	full := r.Owners("vgg-m", 3, nil)
+	if len(full) != 3 {
+		t.Fatalf("owners = %v", full)
+	}
+	banned := full[0]
+	filtered := r.Owners("vgg-m", 3, func(m string) bool { return m != banned })
+	if len(filtered) != 3 {
+		t.Fatalf("filtered owners = %v", filtered)
+	}
+	for _, o := range filtered {
+		if o == banned {
+			t.Fatalf("filter ignored: %v", filtered)
+		}
+	}
+	if got := r.Owners("vgg-m", 99, nil); len(got) != 5 {
+		t.Fatalf("asking beyond membership: %v", got)
+	}
+}
+
+func TestNodeCap(t *testing.T) {
+	for _, tt := range []struct {
+		frac    float64
+		catalog int
+		want    int
+	}{{0.5, 8, 4}, {0.3, 8, 3}, {0, 8, 8}, {1, 8, 8}, {0.1, 3, 1}} {
+		if got := NodeCap(tt.frac, tt.catalog); got != tt.want {
+			t.Errorf("NodeCap(%v, %d) = %d, want %d", tt.frac, tt.catalog, got, tt.want)
+		}
+	}
+}

@@ -20,6 +20,10 @@ import (
 type Probe struct {
 	// NodeID is the peer's self-reported identity (empty on failure).
 	NodeID string
+	// Status is the peer's full /ei_status answer: identity plus the
+	// placement facts (loaded-model set, capacity) cluster membership
+	// gossips — one probe is both a heartbeat and an advertisement.
+	Status libei.Status
 	// RTT is the probe's round-trip time (set even on failure: it is how
 	// long the failure took to detect).
 	RTT time.Duration
@@ -47,6 +51,7 @@ func ProbePeers(ctx context.Context, peers map[string]*libei.Client) map[string]
 			p := Probe{RTT: time.Since(start), Err: err}
 			if err == nil {
 				p.NodeID = st.NodeID
+				p.Status = st
 			}
 			mu.Lock()
 			out[name] = p
@@ -61,9 +66,11 @@ func ProbePeers(ctx context.Context, peers map[string]*libei.Client) map[string]
 // a heartbeat at `now` for each that answers. It returns the node IDs
 // that responded (sorted) and the per-peer errors for those that did not
 // (keyed by the peers map key). Callers loop this at their chosen
-// period; time is injected so tests are deterministic.
-func PollHeartbeats(mon *runenv.Monitor, peers map[string]*libei.Client, now time.Time) ([]string, map[string]error) {
-	probes := ProbePeers(context.Background(), peers)
+// period; time is injected so tests are deterministic. The context
+// bounds every probe — give it a deadline shorter than the poll period
+// so one stuck peer cannot stall the loop past its next round.
+func PollHeartbeats(ctx context.Context, mon *runenv.Monitor, peers map[string]*libei.Client, now time.Time) ([]string, map[string]error) {
+	probes := ProbePeers(ctx, peers)
 	var alive []string
 	errs := map[string]error{}
 	for name, p := range probes {

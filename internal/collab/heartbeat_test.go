@@ -2,6 +2,7 @@ package collab
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -30,7 +31,7 @@ func TestPollHeartbeatsFeedsMonitor(t *testing.T) {
 		"b":    cB,
 		"dead": libei.NewClient("http://127.0.0.1:1"), // nothing listens here
 	}
-	alive, errs := PollHeartbeats(mon, peers, now)
+	alive, errs := PollHeartbeats(context.Background(), mon, peers, now)
 	if len(alive) != 2 || alive[0] != "edge-a" || alive[1] != "edge-b" {
 		t.Fatalf("alive = %v", alive)
 	}
@@ -45,7 +46,7 @@ func TestPollHeartbeatsFeedsMonitor(t *testing.T) {
 	// and after the timeout the monitor suspects edge-a.
 	closeA()
 	later := now.Add(3 * time.Second)
-	alive, errs = PollHeartbeats(mon, peers, later)
+	alive, errs = PollHeartbeats(context.Background(), mon, peers, later)
 	if len(alive) != 1 || alive[0] != "edge-b" {
 		t.Fatalf("alive after failure = %v", alive)
 	}
@@ -57,6 +58,38 @@ func TestPollHeartbeatsFeedsMonitor(t *testing.T) {
 	}
 	if st, _ := mon.State("edge-a", later); st != runenv.NodeSuspect {
 		t.Fatalf("edge-a state = %v, want suspect", st)
+	}
+}
+
+// TestPollHeartbeatsBoundedByContext pins the regression the cluster
+// gossip loop depends on: a peer that accepts the connection but never
+// answers must not stall the poll past the caller's deadline.
+func TestPollHeartbeatsBoundedByContext(t *testing.T) {
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hold the request open until the client gives up
+	}))
+	t.Cleanup(stuck.Close)
+	live := libei.NewServer("edge-live", datastore.New(4), nil)
+	liveTS := httptest.NewServer(live)
+	t.Cleanup(liveTS.Close)
+
+	mon := runenv.NewMonitor(2 * time.Second)
+	peers := map[string]*libei.Client{
+		"stuck": libei.NewClient(stuck.URL),
+		"live":  libei.NewClient(liveTS.URL),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	alive, errs := PollHeartbeats(ctx, mon, peers, time.Unix(7000, 0))
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("poll took %v despite a 150ms probe deadline", elapsed)
+	}
+	if len(alive) != 1 || alive[0] != "edge-live" {
+		t.Fatalf("alive = %v, want just edge-live", alive)
+	}
+	if errs["stuck"] == nil {
+		t.Fatalf("stuck peer reported no error: %v", errs)
 	}
 }
 

@@ -45,25 +45,51 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"openei/internal/cluster"
 	"openei/internal/collab"
 	"openei/internal/libei"
 	"openei/internal/runenv"
+	"openei/internal/zoo"
 )
 
-// ErrNoNodes is returned by New for an empty node list.
-var ErrNoNodes = errors.New("gateway: no nodes configured")
+// ErrNoNodes is returned by New when neither a static node list nor
+// cluster seeds are configured.
+var ErrNoNodes = errors.New("gateway: no nodes or cluster seeds configured")
 
 // Config tunes the gateway. The zero value of every field but Nodes means
 // the documented default.
 type Config struct {
-	// Nodes are the edge fleet's base URLs (required, e.g.
-	// "http://edge-1:8080"). Trailing slashes are trimmed.
+	// Nodes are the edge fleet's base URLs (e.g. "http://edge-1:8080").
+	// Trailing slashes are trimmed. May be empty when ClusterSeeds is
+	// set; static entries are kept in the fleet even when gossip does not
+	// know them.
 	Nodes []string
+
+	// ClusterSeeds switches the gateway to cluster mode: it joins the
+	// gossip mesh as an observer, discovers the fleet dynamically, routes
+	// serving/infer by the consistent-hash shard map instead of
+	// fleet-wide least-loaded, and runs the per-model owner-set
+	// autoscaler. Empty disables clustering.
+	ClusterSeeds []string
+	// Replication is the default owner-set size per sharded model
+	// (default 2).
+	Replication int
+	// MaxZooFraction caps one node's share of the catalog (default 0.5).
+	MaxZooFraction float64
+	// VNodes is the shard ring's virtual-node count (default
+	// cluster.DefaultVNodes).
+	VNodes int
+	// Catalog is the sharded model namespace (default zoo.Names()).
+	Catalog []string
+	// Autoscale tunes the owner-set controller; its Min defaults to
+	// Replication.
+	Autoscale cluster.AutoscaleConfig
 	// HealthInterval is the probe period (default 2s).
 	HealthInterval time.Duration
 	// HealthTimeout is how long a node may miss probes before the failure
@@ -96,9 +122,28 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retries < 0 {
 		c.Retries = len(c.Nodes) - 1
+		if len(c.ClusterSeeds) > 0 && c.Retries < 3 {
+			// The fleet size is not known yet in cluster mode; a small
+			// fixed budget keeps failover working before discovery.
+			c.Retries = 3
+		}
 	}
 	if c.CacheSize > 0 && c.CacheTTL <= 0 {
 		c.CacheTTL = time.Second
+	}
+	if len(c.ClusterSeeds) > 0 {
+		if c.Replication <= 0 {
+			c.Replication = 2
+		}
+		if c.MaxZooFraction == 0 {
+			c.MaxZooFraction = 0.5
+		}
+		if len(c.Catalog) == 0 {
+			c.Catalog = zoo.Names()
+		}
+		if c.Autoscale.Min <= 0 {
+			c.Autoscale.Min = c.Replication
+		}
 	}
 	return c
 }
@@ -125,6 +170,26 @@ type node struct {
 	nodeID   string
 	tier     string // autopilot tier model from the last metrics poll
 	lastBeat time.Time
+	// models is the node's advertised loaded-model set from its last
+	// status probe — the shard router's "does it actually have it" tier.
+	models map[string]bool
+	// serving is the node's last-polled per-model queue depth and p95,
+	// the owner-set autoscaler's raw signal.
+	serving map[string]modelLoad
+}
+
+// modelLoad is one model's polled pressure on one node.
+type modelLoad struct {
+	depth int
+	p95   time.Duration
+}
+
+// hasModel reports whether the node advertised the model at its last
+// status probe.
+func (n *node) hasModel(model string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.models[model]
 }
 
 // load is the balancing signal: requests the gateway has outstanding to
@@ -146,9 +211,23 @@ func (n *node) effectiveLoad() int64 { return n.load() + n.tierRank.Load()*tierP
 // and Close it on shutdown.
 type Gateway struct {
 	cfg   Config
-	nodes []*node
 	mon   *runenv.Monitor
 	cache *responseCache // nil when disabled
+
+	// The fleet registry. Static in the classic configuration; in
+	// cluster mode membership gossip adds and removes entries, so reads
+	// go through nodeList/nodeByURL.
+	nodesMu sync.RWMutex
+	nodes   []*node
+	byURL   map[string]*node
+	static  map[string]bool // cfg.Nodes entries survive gossip removal
+
+	// Cluster mode (nil/empty otherwise): the gossip observer, the
+	// owner-set autoscaler, and the current shard plan.
+	mem    *cluster.Membership
+	scaler *cluster.Autoscaler
+	planMu sync.RWMutex
+	plan   map[string][]string
 
 	inflight atomic.Int64
 	met      counters
@@ -172,38 +251,107 @@ type counters struct {
 	hedged           atomic.Uint64 // hedge clones launched
 	upstreamOverload atomic.Uint64 // 429 verdicts surfaced from nodes
 	upstreamDeadline atomic.Uint64 // 408 verdicts surfaced from nodes
+	scaleEvents      atomic.Uint64 // owner-set replication changes issued
 }
 
 // New validates the configuration and builds the gateway. It does not
 // start health probing — call Start.
 func New(cfg Config) (*Gateway, error) {
-	if len(cfg.Nodes) == 0 {
+	if len(cfg.Nodes) == 0 && len(cfg.ClusterSeeds) == 0 {
 		return nil, ErrNoNodes
 	}
 	cfg = cfg.withDefaults()
 	g := &Gateway{
-		cfg:  cfg,
-		mon:  runenv.NewMonitor(cfg.HealthTimeout),
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:    cfg,
+		mon:    runenv.NewMonitor(cfg.HealthTimeout),
+		byURL:  map[string]*node{},
+		static: map[string]bool{},
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
-	seen := map[string]bool{}
 	for _, raw := range cfg.Nodes {
 		u := strings.TrimRight(strings.TrimSpace(raw), "/")
 		if u == "" {
 			return nil, fmt.Errorf("gateway: empty node URL in %v", cfg.Nodes)
 		}
-		if seen[u] {
+		if g.byURL[u] != nil {
 			return nil, fmt.Errorf("gateway: duplicate node %q", u)
 		}
-		seen[u] = true
-		g.nodes = append(g.nodes, &node{url: u, client: libei.NewClient(u)})
+		g.static[u] = true
+		g.addNodeLocked(u)
+	}
+	if len(cfg.ClusterSeeds) > 0 {
+		// The gateway observes the gossip mesh: it learns members and
+		// judges their health without ever appearing in a member view
+		// (no SelfURL). Its failure-detector windows follow the health
+		// knobs so classic and cluster mode degrade on the same clock.
+		g.mem = cluster.NewMembership(cluster.MembershipConfig{
+			Seeds:        cfg.ClusterSeeds,
+			Interval:     cfg.HealthInterval,
+			SuspectAfter: cfg.HealthTimeout,
+		})
+		g.scaler = cluster.NewAutoscaler(cfg.Autoscale)
+		g.plan = map[string][]string{}
 	}
 	if cfg.CacheSize > 0 {
 		g.cache = newResponseCache(cfg.CacheSize, cfg.CacheTTL)
 	}
 	return g, nil
+}
+
+// addNodeLocked registers a fleet member; callers hold nodesMu (or, at
+// New time, exclusive ownership).
+func (g *Gateway) addNodeLocked(u string) *node {
+	n := &node{url: u, client: libei.NewClient(u)}
+	g.nodes = append(g.nodes, n)
+	g.byURL[u] = n
+	return n
+}
+
+// nodeList snapshots the current fleet.
+func (g *Gateway) nodeList() []*node {
+	g.nodesMu.RLock()
+	defer g.nodesMu.RUnlock()
+	return append([]*node(nil), g.nodes...)
+}
+
+func (g *Gateway) nodeByURL(u string) *node {
+	g.nodesMu.RLock()
+	defer g.nodesMu.RUnlock()
+	return g.byURL[u]
+}
+
+// reconcileFleet aligns the node registry with the gossip view: members
+// the mesh considers active join the fleet, members it declared dead or
+// departed leave it (static configuration entries always stay). Requests
+// already in flight to a removed node finish on their own — the entry
+// just stops being pickable.
+func (g *Gateway) reconcileFleet(active []cluster.Member) {
+	wanted := make(map[string]bool, len(active)+len(g.static))
+	for u := range g.static {
+		wanted[u] = true
+	}
+	for _, m := range active {
+		wanted[strings.TrimRight(m.URL, "/")] = true
+	}
+	g.nodesMu.Lock()
+	defer g.nodesMu.Unlock()
+	for u := range wanted {
+		if g.byURL[u] == nil {
+			g.addNodeLocked(u)
+		}
+	}
+	kept := g.nodes[:0]
+	for _, n := range g.nodes {
+		if wanted[n.url] {
+			kept = append(kept, n)
+		} else {
+			delete(g.byURL, n.url)
+			g.mon.Forget(n.url)
+		}
+	}
+	g.nodes = kept
 }
 
 // Start runs one synchronous health round (so routing has a live view
@@ -238,17 +386,14 @@ func (g *Gateway) Close() {
 	}
 }
 
-// CheckHealth runs one synchronous probe round: every node's /ei_status
-// heartbeat via the collab prober, then — for nodes that answered — an
-// /ei_metrics poll to refresh the queue-depth load signal. Exported so
-// tests (and operators wiring their own cadence) can force a round.
+// CheckHealth runs one synchronous probe round: in cluster mode, first a
+// gossip tick and a fleet reconcile against the member view; then every
+// node's /ei_status heartbeat via the collab prober, then — for nodes
+// that answered — an /ei_metrics poll to refresh the queue-depth load
+// signal; finally, in cluster mode, a shard-plan recompute and one
+// owner-set autoscaler pass. Exported so tests (and operators wiring
+// their own cadence) can force a round.
 func (g *Gateway) CheckHealth() {
-	peers := make(map[string]*libei.Client, len(g.nodes))
-	byURL := make(map[string]*node, len(g.nodes))
-	for _, n := range g.nodes {
-		peers[n.url] = n.client
-		byURL[n.url] = n
-	}
 	// The probe deadline is decoupled from the probe period: a tight
 	// HealthInterval (tests, aggressive detection) must not turn a
 	// slow-but-alive node into a missed heartbeat on a loaded host.
@@ -259,6 +404,19 @@ func (g *Gateway) CheckHealth() {
 	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 	defer cancel()
 	now := time.Now()
+
+	if g.mem != nil {
+		g.mem.Tick(ctx, now)
+		g.reconcileFleet(g.mem.Active())
+	}
+
+	nodes := g.nodeList()
+	peers := make(map[string]*libei.Client, len(nodes))
+	byURL := make(map[string]*node, len(nodes))
+	for _, n := range nodes {
+		peers[n.url] = n.client
+		byURL[n.url] = n
+	}
 	probes := collab.ProbePeers(ctx, peers)
 	var wg sync.WaitGroup
 	for url, p := range probes {
@@ -273,9 +431,14 @@ func (g *Gateway) CheckHealth() {
 			continue
 		}
 		g.mon.Heartbeat(url, now)
+		models := make(map[string]bool, len(p.Status.Models))
+		for _, pl := range p.Status.Models {
+			models[pl.Name] = true
+		}
 		n.mu.Lock()
 		n.nodeID = p.NodeID
 		n.lastBeat = now
+		n.models = models
 		n.mu.Unlock()
 		n.healthy.Store(true)
 		// Queue-depth refreshes fan out concurrently like the probes did:
@@ -295,58 +458,176 @@ func (g *Gateway) CheckHealth() {
 					tier = ap.Tier
 				}
 				n.tierRank.Store(rank)
+				serving := make(map[string]modelLoad, len(m.Serving))
+				for _, s := range m.Serving {
+					serving[s.Model] = modelLoad{
+						depth: s.QueueDepth,
+						p95:   time.Duration(s.P95MS * float64(time.Millisecond)),
+					}
+				}
 				n.mu.Lock()
 				n.tier = tier
+				n.serving = serving
 				n.mu.Unlock()
 			}
 		}(n)
 	}
 	wg.Wait()
+
+	if g.mem != nil {
+		g.reshard()
+	}
 }
 
-// pick selects a healthy node not in tried, power-of-two-choices: two
-// random candidates, the lower *effective* load wins — real load plus a
-// bounded penalty per autopilot degradation level. While part of the
-// fleet is degraded, lightly loaded top-tier nodes absorb new traffic
-// (clients keep getting the high-accuracy model), but once the top-tier
-// node is tierPenalty requests busier than a degraded peer, load wins
-// again — the preference cannot pile the whole fleet's traffic onto the
-// last top-tier node. When the healthy set is empty — probing can black
-// out under host overload — it falls back to every untried node: an
-// unhealthy node that might still answer beats a guaranteed refusal, and
-// failover covers the truly dead.
-func (g *Gateway) pick(tried map[*node]bool) *node {
-	var cands []*node
-	for _, n := range g.nodes {
-		if n.healthy.Load() && !tried[n] {
-			cands = append(cands, n)
+// reshard recomputes the placement plan from the member view and runs
+// one owner-set autoscaler pass over the freshly polled per-model load.
+func (g *Gateway) reshard() {
+	active := g.mem.Active()
+	members := make([]string, 0, len(active))
+	for _, m := range active {
+		members = append(members, m.URL)
+	}
+	plan := cluster.PlanPlacement(members, g.cfg.Catalog, g.cfg.Replication,
+		g.mem.Replication(), g.cfg.MaxZooFraction, g.cfg.VNodes)
+	g.planMu.Lock()
+	g.plan = plan
+	g.planMu.Unlock()
+
+	// Aggregate each model's pressure across its owners and let the
+	// controller decide. A changed target is recorded in the observer's
+	// own replication table (so the next plan uses it immediately) and
+	// pushed to a few live members, whose gossip spreads it to the rest.
+	for _, model := range g.cfg.Catalog {
+		owners := plan[model]
+		if len(owners) == 0 {
+			continue
+		}
+		queued, p95 := 0, time.Duration(0)
+		for _, u := range owners {
+			n := g.nodeByURL(u)
+			if n == nil {
+				continue
+			}
+			n.mu.Lock()
+			if ld, ok := n.serving[model]; ok {
+				queued += ld.depth
+				if ld.p95 > p95 {
+					p95 = ld.p95
+				}
+			}
+			n.mu.Unlock()
+		}
+		target, changed := g.scaler.Observe(model, len(owners), queued, p95)
+		if !changed || !g.mem.SetReplication(model, target) {
+			continue
+		}
+		g.met.scaleEvents.Add(1)
+		rep := g.mem.Replication()[model]
+		args := url.Values{}
+		args.Set("model", model)
+		args.Set("n", fmt.Sprint(rep.N))
+		args.Set("v", fmt.Sprint(rep.V))
+		pushed := 0
+		for _, m := range active {
+			if m.State != cluster.StateAlive || pushed >= 3 {
+				continue
+			}
+			n := g.nodeByURL(m.URL)
+			if n == nil {
+				continue
+			}
+			pushed++
+			go func(c *libei.Client) {
+				pushCtx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+				defer cancel()
+				_ = c.CallAlgorithmCtx(pushCtx, "cluster", "replication", args, nil)
+			}(n.client)
 		}
 	}
-	if len(cands) == 0 {
-		for _, n := range g.nodes {
-			if !tried[n] {
+}
+
+// routeGroups builds the preference-ordered candidate tiers for one
+// request. Classic mode (or a request without a sharded model) has a
+// single tier: the whole fleet. Cluster mode routes a model at, in
+// order: owners advertising the model (they provably have the weights),
+// non-owners that still advertise it (an evicting ex-owner mid-handoff —
+// evidence of the weights outranks a plan the fleet may not have
+// converged on yet), all planned owners (a fresh owner may still be
+// loading), and finally the whole fleet — so a plan in mid-shift
+// degrades to classic routing instead of failing.
+func (g *Gateway) routeGroups(model string) [][]*node {
+	all := g.nodeList()
+	if g.mem == nil || model == "" {
+		return [][]*node{all}
+	}
+	g.planMu.RLock()
+	owners := g.plan[model]
+	g.planMu.RUnlock()
+	var advertising, owning []*node
+	owned := make(map[*node]bool, len(owners))
+	for _, u := range owners {
+		n := g.nodeByURL(u)
+		if n == nil {
+			continue
+		}
+		owned[n] = true
+		owning = append(owning, n)
+		if n.hasModel(model) {
+			advertising = append(advertising, n)
+		}
+	}
+	var holdouts []*node
+	for _, n := range all {
+		if !owned[n] && n.hasModel(model) {
+			holdouts = append(holdouts, n)
+		}
+	}
+	return [][]*node{advertising, holdouts, owning, all}
+}
+
+// pick selects an untried node from the first preference tier that has
+// one, power-of-two-choices within the tier: two random candidates, the
+// lower *effective* load wins — real load plus a bounded penalty per
+// autopilot degradation level. While part of the fleet is degraded,
+// lightly loaded top-tier nodes absorb new traffic (clients keep getting
+// the high-accuracy model), but once the top-tier node is tierPenalty
+// requests busier than a degraded peer, load wins again — the preference
+// cannot pile the whole fleet's traffic onto the last top-tier node. A
+// first pass considers only healthy nodes across all tiers; when that
+// yields nothing — probing can black out under host overload — a second
+// pass takes any untried node: an unhealthy node that might still answer
+// beats a guaranteed refusal, and failover covers the truly dead.
+func (g *Gateway) pick(tried map[*node]bool, groups [][]*node) *node {
+	for pass := 0; pass < 2; pass++ {
+		for _, group := range groups {
+			var cands []*node
+			for _, n := range group {
+				if tried[n] || (pass == 0 && !n.healthy.Load()) {
+					continue
+				}
 				cands = append(cands, n)
 			}
+			switch len(cands) {
+			case 0:
+				continue
+			case 1:
+				return cands[0]
+			}
+			g.pickMu.Lock()
+			i := g.rng.Intn(len(cands))
+			j := g.rng.Intn(len(cands) - 1)
+			g.pickMu.Unlock()
+			if j >= i {
+				j++
+			}
+			a, b := cands[i], cands[j]
+			if b.effectiveLoad() < a.effectiveLoad() {
+				return b
+			}
+			return a
 		}
 	}
-	switch len(cands) {
-	case 0:
-		return nil
-	case 1:
-		return cands[0]
-	}
-	g.pickMu.Lock()
-	i := g.rng.Intn(len(cands))
-	j := g.rng.Intn(len(cands) - 1)
-	g.pickMu.Unlock()
-	if j >= i {
-		j++
-	}
-	a, b := cands[i], cands[j]
-	if b.effectiveLoad() < a.effectiveLoad() {
-		return b
-	}
-	return a
+	return nil
 }
 
 // upstream is one attempt's outcome.
@@ -358,9 +639,13 @@ type upstream struct {
 
 // retryable reports whether the outcome should trigger failover: the node
 // never produced an HTTP answer, or it answered 5xx. Admission verdicts
-// (4xx, notably 429/408) are surfaced, not retried.
-func (u upstream) retryable() bool {
-	return u.err != nil || u.res.Status >= 500
+// (4xx, notably 429/408) are surfaced, not retried — except a 404 for a
+// sharded model (retry404), which during a rebalance just means "this
+// node has not loaded it yet / already evicted it" and another owner
+// very likely has it.
+func (u upstream) retryable(retry404 bool) bool {
+	return u.err != nil || u.res.Status >= 500 ||
+		(retry404 && u.res.Status == http.StatusNotFound)
 }
 
 // attempt proxies the request to one node, tracking its in-flight count
@@ -385,24 +670,30 @@ func (g *Gateway) attempt(ctx context.Context, n *node, uri string) upstream {
 }
 
 // do routes one request with failover and optional hedging: launch on a
-// picked node; relaunch on a different node for each retryable outcome
-// while budget remains (clearing the tried set for a fresh pass once
-// every node has been attempted); additionally clone to a second node
-// when the hedge timer fires first. The first non-retryable outcome wins.
-func (g *Gateway) do(ctx context.Context, uri string) upstream {
+// node picked from the request's preference tiers; relaunch on a
+// different node for each retryable outcome while budget remains
+// (clearing the tried set for a fresh pass once every node has been
+// attempted); additionally clone to a second node when the hedge timer
+// fires first. The first non-retryable outcome wins. model is the
+// sharded model the request targets ("" when not applicable): it selects
+// the owner-first tiers and makes 404 retryable, since a rebalancing
+// fleet can answer "not here" from a node the plan only just left.
+func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	tried := make(map[*node]bool, len(g.nodes))
+	groups := g.routeGroups(model)
+	retry404 := g.mem != nil && model != ""
+	tried := map[*node]bool{}
 	results := make(chan upstream, g.cfg.Retries+2)
 	pending := 0
 	launch := func() bool {
-		n := g.pick(tried)
+		n := g.pick(tried, groups)
 		if n == nil && len(tried) > 0 {
 			// Every distinct healthy node has been tried; spend remaining
 			// budget on a fresh pass — transient link failures recover
 			// between attempts.
 			clear(tried)
-			n = g.pick(tried)
+			n = g.pick(tried, groups)
 		}
 		if n == nil {
 			return false
@@ -413,12 +704,13 @@ func (g *Gateway) do(ctx context.Context, uri string) upstream {
 		return true
 	}
 	if !launch() {
-		// Unreachable with New's non-empty node guarantee (pick falls back
-		// to unhealthy nodes), but a closed loop beats a hung select.
+		// Reachable only with an empty dynamic fleet (cluster mode before
+		// the first member answers); also a closed loop beats a hung
+		// select.
 		return upstream{err: errors.New("gateway: no node to try")}
 	}
 	var hedge <-chan time.Time
-	if g.cfg.Hedge > 0 && len(g.nodes) > 1 {
+	if g.cfg.Hedge > 0 {
 		t := time.NewTimer(g.cfg.Hedge)
 		defer t.Stop()
 		hedge = t.C
@@ -429,7 +721,7 @@ func (g *Gateway) do(ctx context.Context, uri string) upstream {
 		select {
 		case u := <-results:
 			pending--
-			if !u.retryable() || ctx.Err() != nil {
+			if !u.retryable(retry404) || ctx.Err() != nil {
 				// Done — or the caller is gone, which no relaunch can fix.
 				return u
 			}
@@ -500,6 +792,11 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	uri := r.URL.RequestURI()
+	var model string
+	if g.mem != nil && cacheable(r.URL.Path) {
+		// Shard-aware routing keys on the serving/infer model parameter.
+		model = r.URL.Query().Get("model")
+	}
 	if g.cache != nil && cacheable(r.URL.Path) {
 		if ent, ok := g.cache.get(uri); ok {
 			w.Header().Set("Content-Type", ent.contentType)
@@ -509,7 +806,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	u := g.do(r.Context(), uri)
+	u := g.do(r.Context(), uri, model)
 	if u.err != nil {
 		g.met.failed.Add(1)
 		writeJSON(w, http.StatusBadGateway, envelope{

@@ -3,6 +3,8 @@ package gateway
 import (
 	"sort"
 	"time"
+
+	"openei/internal/cluster"
 )
 
 // NodeMetrics is one fleet member's view in /gw_metrics.
@@ -37,6 +39,23 @@ type NodeMetrics struct {
 	// LastHeartbeatMSAgo is the age of the last successful status probe;
 	// -1 when the node has never answered.
 	LastHeartbeatMSAgo float64 `json:"last_heartbeat_ms_ago"`
+
+	// Models is the node's advertised loaded-model set from its last
+	// status probe (cluster mode's placement evidence).
+	Models []string `json:"models,omitempty"`
+}
+
+// ClusterMetrics is the cluster-mode section of /gw_metrics: the gossip
+// member view, the shard map routing follows, and the autoscaler's
+// per-model owner-set targets.
+type ClusterMetrics struct {
+	Members []cluster.Member `json:"members"`
+	// ShardMap is model → owner URLs, the plan serving/infer routes by.
+	ShardMap map[string][]string `json:"shard_map"`
+	// Replication is the versioned per-model owner-set overrides.
+	Replication map[string]cluster.Replica `json:"replication,omitempty"`
+	// ScaleEvents counts owner-set changes this gateway has issued.
+	ScaleEvents uint64 `json:"scale_events"`
 }
 
 // Metrics is the wire form of GET /gw_metrics.
@@ -59,6 +78,9 @@ type Metrics struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	CacheEntries int    `json:"cache_entries"`
+
+	// Cluster is present only in cluster mode.
+	Cluster *ClusterMetrics `json:"cluster,omitempty"`
 }
 
 // Metrics snapshots the gateway's counters and per-node health, nodes
@@ -80,12 +102,31 @@ func (g *Gateway) Metrics() Metrics {
 		m.CacheMisses = g.cache.misses.Load()
 		m.CacheEntries = g.cache.len()
 	}
+	if g.mem != nil {
+		cm := &ClusterMetrics{
+			Members:     g.mem.Members(),
+			Replication: g.mem.Replication(),
+			ScaleEvents: g.met.scaleEvents.Load(),
+			ShardMap:    map[string][]string{},
+		}
+		g.planMu.RLock()
+		for model, owners := range g.plan {
+			cm.ShardMap[model] = append([]string(nil), owners...)
+		}
+		g.planMu.RUnlock()
+		m.Cluster = cm
+	}
 	now := time.Now()
-	for _, n := range g.nodes {
+	for _, n := range g.nodeList() {
 		cs := n.client.Stats()
 		n.mu.Lock()
 		id, tier, beat := n.nodeID, n.tier, n.lastBeat
+		var models []string
+		for name := range n.models {
+			models = append(models, name)
+		}
 		n.mu.Unlock()
+		sort.Strings(models)
 		nm := NodeMetrics{
 			URL:                n.url,
 			NodeID:             id,
@@ -101,6 +142,7 @@ func (g *Gateway) Metrics() Metrics {
 			TransportErrors:    cs.TransportErrors,
 			AvgLatencyMS:       cs.AvgLatencyMS,
 			LastHeartbeatMSAgo: -1,
+			Models:             models,
 		}
 		if !beat.IsZero() {
 			nm.LastHeartbeatMSAgo = float64(now.Sub(beat)) / 1e6

@@ -324,13 +324,22 @@ func (s *Server) handleModelBlob(w http.ResponseWriter, name string) {
 	_, _ = w.Write(blob)
 }
 
-// Status is the wire form of /ei_status.
+// Status is the wire form of /ei_status. Beyond node identity it carries
+// the placement facts cluster membership gossips: the loaded-model set
+// with per-representation weight bytes, and the device memory capacity —
+// one status probe is both a heartbeat and a placement advertisement.
 type Status struct {
 	NodeID     string   `json:"node_id"`
 	Device     string   `json:"device"`
 	Package    string   `json:"package"`
 	Algorithms []string `json:"algorithms"`
 	Sensors    []string `json:"sensors"`
+	// Models is the loaded-model set with deployed representation sizes
+	// (int8 artifacts count at one byte per parameter).
+	Models []pkgmgr.Placement `json:"models,omitempty"`
+	// MemBytes is the device's RAM budget — the capacity signal a cluster
+	// sharder weighs placements against.
+	MemBytes int64 `json:"mem_bytes,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter) {
@@ -338,6 +347,8 @@ func (s *Server) handleStatus(w http.ResponseWriter) {
 	if s.Manager != nil {
 		st.Device = s.Manager.Device().Name
 		st.Package = s.Manager.Package().Name
+		st.Models = s.Manager.Placements()
+		st.MemBytes = s.Manager.Device().MemBytes
 	}
 	if s.Store != nil {
 		for _, info := range s.Store.Sensors() {

@@ -69,6 +69,41 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatusCarriesPlacement asserts /ei_status advertises the loaded-model
+// set with per-representation weight bytes and the device capacity — the
+// facts cluster membership gossip rides on instead of a second probe.
+func TestStatusCarriesPlacement(t *testing.T) {
+	s, ts := testNode(t)
+	quant := nn.MustModel("tiny-int8", []int{4}, []nn.LayerSpec{{Type: "dense", In: 4, Out: 2}})
+	quant.InitParams(rand.New(rand.NewSource(2)))
+	if err := s.Manager.Load(quant, pkgmgr.LoadOptions{Quantize: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewClient(ts.URL).Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Models) != 2 || st.Models[0].Name != "tiny" || st.Models[1].Name != "tiny-int8" {
+		t.Fatalf("models = %+v", st.Models)
+	}
+	fp32, int8 := st.Models[0], st.Models[1]
+	if fp32.Quantized || fp32.WeightBytes <= 0 {
+		t.Errorf("float placement = %+v", fp32)
+	}
+	if !int8.Quantized {
+		t.Errorf("quantized placement = %+v", int8)
+	}
+	// Same architecture: the int8 representation must be reported smaller
+	// (≈¼ the bytes), not at its calibration-float size.
+	if int8.WeightBytes >= fp32.WeightBytes {
+		t.Errorf("int8 weight bytes %d ≥ float %d", int8.WeightBytes, fp32.WeightBytes)
+	}
+	dev, _ := hardware.ByName("rpi4")
+	if st.MemBytes != dev.MemBytes {
+		t.Errorf("mem_bytes = %d, want device capacity %d", st.MemBytes, dev.MemBytes)
+	}
+}
+
 func TestAlgorithmEndpointFigure6(t *testing.T) {
 	s, ts := testNode(t)
 	err := s.Register(Registration{

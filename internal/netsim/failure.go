@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,6 +48,46 @@ func (f FlakyLink) Transfer(n int64) (time.Duration, error) {
 		return f.Link.RTT / 2, fmt.Errorf("%w: %s", ErrLinkDown, f.Link.Name)
 	}
 	return f.Link.Transfer(n)
+}
+
+// PartitionLink wraps a Link with a toggleable partition: while cut,
+// every transfer fails after a half-RTT (the sender's timeout), exactly
+// like a switch losing a segment. Unlike FlakyLink's per-attempt dice
+// roll this models a *correlated* outage — the failure mode that drives
+// a heartbeat failure detector from live to suspect and back. Safe for
+// concurrent use; tests flip it mid-run.
+type PartitionLink struct {
+	Link Link
+	down atomic.Bool
+}
+
+// NewPartitionLink wraps the link, initially healthy.
+func NewPartitionLink(l Link) *PartitionLink {
+	return &PartitionLink{Link: l}
+}
+
+// Partition cuts the link; transfers fail until Heal.
+func (p *PartitionLink) Partition() { p.down.Store(true) }
+
+// Heal restores the link.
+func (p *PartitionLink) Heal() { p.down.Store(false) }
+
+// Partitioned reports whether the link is currently cut.
+func (p *PartitionLink) Partitioned() bool { return p.down.Load() }
+
+// Validate checks the underlying link parameters.
+func (p *PartitionLink) Validate() error { return p.Link.Validate() }
+
+// Transfer moves n bytes, or burns a half-RTT and fails while the link
+// is partitioned.
+func (p *PartitionLink) Transfer(n int64) (time.Duration, error) {
+	if err := p.Link.Validate(); err != nil {
+		return 0, err
+	}
+	if p.down.Load() {
+		return p.Link.RTT / 2, fmt.Errorf("%w: %s partitioned", ErrLinkDown, p.Link.Name)
+	}
+	return p.Link.Transfer(n)
 }
 
 // TransferRetry retries the transfer up to attempts times, accumulating

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"openei/internal/runenv"
 )
 
 func TestFlakyLinkZeroRateNeverFails(t *testing.T) {
@@ -81,6 +83,77 @@ func TestTransferRetryExhaustsAndReportsElapsed(t *testing.T) {
 	// 3 half-RTT failures (15ms) + backoff 5 + 10 = 30ms.
 	if elapsed < 25*time.Millisecond {
 		t.Errorf("elapsed = %v, want ≥ 25ms (failures + backoff)", elapsed)
+	}
+}
+
+func TestPartitionLinkTogglesTransfers(t *testing.T) {
+	p := NewPartitionLink(LAN)
+	if _, err := p.Transfer(1000); err != nil {
+		t.Fatalf("healthy partition link failed: %v", err)
+	}
+	p.Partition()
+	if !p.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition()")
+	}
+	d, err := p.Transfer(1000)
+	if !errors.Is(err, ErrLinkDown) {
+		t.Fatalf("partitioned transfer: err = %v, want ErrLinkDown", err)
+	}
+	if d != LAN.RTT/2 {
+		t.Errorf("partitioned transfer burned %v, want half-RTT %v", d, LAN.RTT/2)
+	}
+	p.Heal()
+	if p.Partitioned() {
+		t.Fatal("Partitioned() = true after Heal()")
+	}
+	if _, err := p.Transfer(1000); err != nil {
+		t.Fatalf("healed partition link failed: %v", err)
+	}
+}
+
+func TestPartitionLinkValidatesUnderlyingLink(t *testing.T) {
+	p := NewPartitionLink(Link{Name: "zero"})
+	if _, err := p.Transfer(10); !errors.Is(err, ErrBadLink) {
+		t.Errorf("bad link: err = %v, want ErrBadLink", err)
+	}
+}
+
+func TestPartitionFeedsFailureDetector(t *testing.T) {
+	// A node heartbeats its gateway once a second over a LAN link. Cutting
+	// the link starves the monitor until it suspects the node; healing it
+	// revives the node on the next delivered beat — the live → suspect →
+	// live arc the cluster gossip layer rides on.
+	link := NewPartitionLink(LAN)
+	mon := runenv.NewMonitor(2500 * time.Millisecond)
+	t0 := time.Unix(1000, 0)
+	deliver := func(at time.Time) {
+		if d, err := link.Transfer(64); err == nil {
+			mon.Heartbeat("edge-1", at.Add(d))
+		}
+	}
+
+	now := t0
+	for i := 0; i < 3; i++ {
+		deliver(now)
+		now = now.Add(time.Second)
+	}
+	if st, err := mon.State("edge-1", now); err != nil || st != runenv.NodeLive {
+		t.Fatalf("before partition: %v %v, want live", st, err)
+	}
+
+	link.Partition()
+	for i := 0; i < 5; i++ {
+		deliver(now) // dropped on the floor
+		now = now.Add(time.Second)
+	}
+	if st, err := mon.State("edge-1", now); err != nil || st != runenv.NodeSuspect {
+		t.Fatalf("during partition: %v %v, want suspect", st, err)
+	}
+
+	link.Heal()
+	deliver(now)
+	if st, err := mon.State("edge-1", now.Add(100*time.Millisecond)); err != nil || st != runenv.NodeLive {
+		t.Fatalf("after heal: %v %v, want live", st, err)
 	}
 }
 

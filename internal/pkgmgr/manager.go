@@ -143,6 +143,34 @@ func (m *Manager) Models() []string {
 	return out
 }
 
+// Placement describes one loaded model's deployed representation: its
+// name, the bytes its weights occupy as stored (int8 artifacts count at
+// one byte per parameter), and whether it was quantized at load. It is
+// what /ei_status advertises so cluster membership gossip carries
+// placement info without a second probe.
+type Placement struct {
+	Name        string `json:"name"`
+	WeightBytes int64  `json:"weight_bytes"`
+	Quantized   bool   `json:"quantized"`
+}
+
+// Placements lists every loaded model's deployed representation, sorted
+// by name.
+func (m *Manager) Placements() []Placement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Placement, 0, len(m.models))
+	for name, l := range m.models {
+		out = append(out, Placement{
+			Name:        name,
+			WeightBytes: l.model.WeightBytes(),
+			Quantized:   l.quantized,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Model returns the loaded model (the manager's clone). Callers must not
 // run it concurrently with manager operations; prefer Infer.
 func (m *Manager) Model(name string) (*nn.Model, error) {

@@ -3,6 +3,7 @@ package runenv
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -54,6 +55,89 @@ func TestMonitorLiveSetAndForget(t *testing.T) {
 	m.Forget("a")
 	if live = m.Live(t0); len(live) != 1 || live[0] != "b" {
 		t.Fatalf("live after forget = %v", live)
+	}
+}
+
+// TestMonitorConcurrentHeartbeatAndSuspect hammers one Monitor from
+// heartbeat writers, suspect-checking readers, and a Forget churner at
+// once — the access pattern the cluster gossip layer produces, where
+// probe goroutines report arrivals while the detector loop classifies
+// them. Run under -race this pins down the Monitor's locking discipline.
+func TestMonitorConcurrentHeartbeatAndSuspect(t *testing.T) {
+	m := NewMonitor(100 * time.Millisecond)
+	t0 := time.Unix(1000, 0)
+	nodes := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for _, n := range nodes {
+		m.Heartbeat(n, t0)
+	}
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for i, n := range nodes {
+		writers.Add(1)
+		go func(node string, seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			at := t0
+			for j := 0; j < 400; j++ {
+				at = at.Add(time.Duration(1+rng.Intn(50)) * time.Millisecond)
+				m.Heartbeat(node, at)
+				if j%7 == 0 {
+					// Reordered packet: must never regress the node.
+					m.Heartbeat(node, at.Add(-time.Minute))
+				}
+			}
+		}(n, int64(i+1))
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := nodes[rng.Intn(len(nodes))]
+				at := t0.Add(time.Duration(rng.Intn(30)) * time.Second)
+				if _, err := m.State(node, at); err != nil && !errors.Is(err, ErrUnknown) {
+					t.Errorf("State(%s): %v", node, err)
+					return
+				}
+				m.Live(at)
+			}
+		}(int64(100 + r))
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for j := 0; j < 400; j++ {
+			m.Heartbeat("churn", t0.Add(time.Duration(j)*time.Millisecond))
+			if j%3 == 0 {
+				m.Forget("churn")
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// The monitor must come out coherent: a fresh beat makes every node
+	// live, and a replayed ancient packet still cannot regress it.
+	m.Forget("churn")
+	tEnd := t0.Add(time.Hour)
+	for _, n := range nodes {
+		m.Heartbeat(n, tEnd)
+		m.Heartbeat(n, t0.Add(-time.Hour))
+		if st, err := m.State(n, tEnd.Add(50*time.Millisecond)); err != nil || st != NodeLive {
+			t.Fatalf("node %s after storm: %v %v, want live", n, st, err)
+		}
+	}
+	if live := m.Live(tEnd.Add(50 * time.Millisecond)); len(live) != len(nodes) {
+		t.Fatalf("live set after storm = %v, want all %d nodes", live, len(nodes))
 	}
 }
 

@@ -1,0 +1,103 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"openei/internal/pkgmgr"
+)
+
+func TestSetReplicasResizesPool(t *testing.T) {
+	mgr := testManager(t)
+	if err := mgr.Load(denseModel("m", 32, 16, 4), pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(mgr, Config{Replicas: 2, MaxBatch: 4})
+	t.Cleanup(e.Close)
+
+	// Pre-warm: resizing a never-served model builds its pipeline.
+	if err := e.SetReplicas("m", 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := e.ReplicasOf("m"); !ok || n != 3 {
+		t.Fatalf("replicas = %d,%v after grow, want 3", n, ok)
+	}
+	if _, err := e.Infer(context.Background(), "m", oneHot(32, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetReplicas("m", 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.ReplicasOf("m"); n != 1 {
+		t.Fatalf("replicas = %d after shrink, want 1", n)
+	}
+	// Stats must report the new width too (it is what /ei_metrics shows).
+	for _, s := range e.Stats() {
+		if s.Model == "m" && s.Replicas != 1 {
+			t.Fatalf("stats replicas = %d, want 1", s.Replicas)
+		}
+	}
+	if err := e.SetReplicas("m", 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("SetReplicas(0) = %v, want ErrBadInput", err)
+	}
+	if err := e.SetReplicas("absent", 2); err == nil {
+		t.Fatal("SetReplicas on an unloaded model must fail")
+	}
+}
+
+// TestSetReplicasUnderLoadZeroDrops hammers one model with concurrent
+// clients while the pool is resized up and down repeatedly: resizing
+// reuses the Swap drain machinery, so no request may fail for any reason
+// other than admission (which a deep queue rules out here).
+func TestSetReplicasUnderLoadZeroDrops(t *testing.T) {
+	mgr := testManager(t)
+	if err := mgr.Load(denseModel("m", 32, 16, 4), pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(mgr, Config{Replicas: 1, MaxBatch: 8, QueueDepth: 4096})
+	t.Cleanup(e.Close)
+
+	const (
+		clients   = 16
+		perClient = 40
+	)
+	var (
+		wg       sync.WaitGroup
+		failures atomic.Int64
+		done     = make(chan struct{})
+	)
+	x := oneHot(32, 2)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := e.Infer(context.Background(), "m", x); err != nil {
+					failures.Add(1)
+					t.Errorf("infer during resize: %v", err)
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(done)
+		widths := []int{3, 1, 4, 2, 1}
+		for _, n := range widths {
+			if err := e.SetReplicas("m", n); err != nil {
+				t.Errorf("SetReplicas(%d): %v", n, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if failures.Load() != 0 {
+		t.Fatalf("%d requests failed across resizes", failures.Load())
+	}
+	if n, _ := e.ReplicasOf("m"); n != 1 {
+		t.Fatalf("final replicas = %d, want 1", n)
+	}
+}

@@ -336,6 +336,69 @@ func (e *Engine) Swap(public, target string) error {
 	return nil
 }
 
+// ReplicasOf reports the replica-pool width of the pipeline serving the
+// named model (routes resolved), and whether such a pipeline exists.
+func (e *Engine) ReplicasOf(model string) (int, bool) {
+	e.mu.RLock()
+	p, ok := e.pipes[e.resolveLocked(model)]
+	e.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return p.met.replicas, true
+}
+
+// SetReplicas resizes the named model's replica pool to n using the Swap
+// machinery: a fresh pipeline with n replicas is built warm, installed in
+// place of the old one, and the old one drains in the background — every
+// queued request is answered and submit-vs-resize races retry onto the
+// new pool, so no request is dropped. A pipeline that does not exist yet
+// is built (pre-warming); resizing to the current width is a no-op. It is
+// the actuator the cluster autoscaler drives from queue depth and p95.
+func (e *Engine) SetReplicas(model string, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: non-positive replica count %d", ErrBadInput, n)
+	}
+	actual := e.Route(model)
+	e.mu.RLock()
+	cur, ok := e.pipes[actual]
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if ok && cur.met.replicas == n {
+		return nil
+	}
+	reps := make([]*pkgmgr.Replica, n)
+	for i := range reps {
+		r, err := e.mgr.NewReplica(actual)
+		if err != nil {
+			return err
+		}
+		reps[i] = r
+	}
+	cfg := e.cfg
+	cfg.Replicas = n
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	old := e.pipes[actual]
+	if old != nil && old.met.replicas == n {
+		// Lost a resize race to an identical width; keep the winner.
+		e.mu.Unlock()
+		return nil
+	}
+	e.pipes[actual] = newPipeline(actual, cfg, reps)
+	e.mu.Unlock()
+	if old != nil {
+		go old.drain()
+	}
+	return nil
+}
+
 // LatencyOf returns the cumulative latency histogram of the pipeline
 // serving the named model (routes resolved), and whether such a pipeline
 // exists. Subtract successive snapshots for per-interval quantiles.
