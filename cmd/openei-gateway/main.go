@@ -20,8 +20,14 @@
 // was full at the picked replica, 408 = deadline expired in its queue);
 // transport failures and 5xx answers are retried on a different node, so
 // a node dying mid-call is invisible to clients as long as a peer is
-// healthy. GET /gw_metrics reports per-node health plus the routed /
-// retried / shed / hedged / cache counters.
+// healthy. A request carrying &deadline_ms= has its remaining budget
+// re-expressed on every forwarded attempt, retries stop the moment the
+// budget is exhausted (the caller gets a prompt 408, never a late 5xx),
+// and a node failing -breaker-threshold consecutive requests is
+// circuit-broken: no traffic lands on it for -breaker-cooldown, after
+// which a single half-open probe decides readmission. GET /gw_metrics
+// reports per-node health and breaker state plus the routed / retried /
+// shed / hedged / deadline-stopped / cache counters.
 //
 // With -cluster-seeds the gateway instead joins the gossip mesh that
 // openei-server nodes run with -advertise: the fleet is discovered (and
@@ -79,6 +85,8 @@ func main() {
 		interval    = flag.Duration("health-interval", 2*time.Second, "node health-probe period; a node missing probes for 3 intervals stops receiving traffic")
 		cacheSize   = flag.Int("cache", 0, "LRU entries for byte-identical serving/infer responses (0 = off)")
 		cacheTTL    = flag.Duration("cache-ttl", time.Second, "max age of a cached infer response")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive request failures before a node's circuit breaker opens (0 = default 5, negative = disabled)")
+		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker rests before a half-open probe (0 = default 2×health-interval)")
 		replication = flag.Int("replication", 0, "cluster mode: owner-set size per sharded zoo model (0 = default 2)")
 		maxZooFrac  = flag.Float64("max-zoo-fraction", 0, "cluster mode: cap on one node's share of the zoo catalog (0 = default 0.5)")
 	)
@@ -86,16 +94,18 @@ func main() {
 	flag.Var(&seeds, "cluster-seeds", "gossip seed base URL; enables cluster mode with membership-discovered nodes and shard-aware routing (repeatable, or comma-separated)")
 	flag.Parse()
 	if err := run(*addr, gateway.Config{
-		Nodes:          nodes,
-		Hedge:          *hedge,
-		MaxInflight:    *maxInflight,
-		Retries:        *retries,
-		HealthInterval: *interval,
-		CacheSize:      *cacheSize,
-		CacheTTL:       *cacheTTL,
-		ClusterSeeds:   seeds,
-		Replication:    *replication,
-		MaxZooFraction: *maxZooFrac,
+		Nodes:            nodes,
+		Hedge:            *hedge,
+		MaxInflight:      *maxInflight,
+		Retries:          *retries,
+		HealthInterval:   *interval,
+		CacheSize:        *cacheSize,
+		CacheTTL:         *cacheTTL,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		ClusterSeeds:     seeds,
+		Replication:      *replication,
+		MaxZooFraction:   *maxZooFrac,
 	}); err != nil {
 		log.Fatal(err)
 	}

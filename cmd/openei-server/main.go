@@ -22,7 +22,12 @@
 // The serving engine (micro-batching across model replicas with a bounded
 // admission queue) is tuned with -serve-max-batch, -serve-batch-wait,
 // -serve-replicas and -serve-queue-depth; under overload the infer route
-// returns HTTP 429. Serving replicas execute compiled inference plans;
+// returns HTTP 429. Multi-tenant admission is declared with -tenants
+// (comma-separated name:priority:weight[:rps[:burst]] classes — strict
+// priority tiers, weighted fair share within a tier, optional token
+// bucket) and -default-tenant; requests pick their class with &tenant=
+// and a request whose &deadline_ms= budget lapses in the queue answers
+// 408. Per-tenant counters appear under "tenants" in GET /ei_metrics. Serving replicas execute compiled inference plans;
 // -backend picks the demo model's kernel set (auto/float32/int8 — "auto"
 // takes int8 when the package supports it), and each pipeline reports its
 // backend in GET /ei_metrics. The parallel kernel pool that dense kernels
@@ -62,11 +67,13 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -111,6 +118,11 @@ func main() {
 		replicas   = flag.Int("serve-replicas", 0, "model replicas per serving pipeline (0 = default)")
 		queueDepth = flag.Int("serve-queue-depth", 0, "bounded serving queue; full queue returns 429 (0 = default)")
 
+		// Multi-tenant admission and scheduling: each class is
+		// name:priority:weight with an optional token-bucket rate.
+		tenants       = flag.String("tenants", "", "comma-separated tenant classes as name:priority:weight[:rps[:burst]]; requests pick their class with &tenant=")
+		defaultTenant = flag.String("default-tenant", "", "class unattributed requests are accounted to (default \"default\"; name a -tenants entry to rate-limit the catch-all)")
+
 		// Parallel kernel-pool knobs: every dense kernel (matmul, conv,
 		// pooling) shards across this process-wide pool.
 		procs = flag.Int("procs", 0, "parallel kernel pool width (0 = all cores)")
@@ -143,10 +155,15 @@ func main() {
 		maxZooFrac   = flag.Float64("max-zoo-fraction", 0, "cap on this node's share of the zoo catalog (0 = default 0.5)")
 	)
 	flag.Parse()
+	tenantCfgs, err := parseTenants(*tenants)
+	if err != nil {
+		log.Fatal(err)
+	}
 	servingCfg := openei.ServingConfig{
 		MaxBatch: *maxBatch, MaxWait: *maxWait,
 		Replicas: *replicas, QueueDepth: *queueDepth,
 		Procs: *procs, ParallelGrain: *grain,
+		Tenants: tenantCfgs, DefaultTenant: *defaultTenant,
 	}
 	slo := openei.AutopilotPolicy{
 		P95:             *sloP95,
@@ -175,6 +192,44 @@ func main() {
 	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *backendName, *seed, servingCfg, slo, clu); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseTenants decodes the -tenants flag: comma-separated classes, each
+// name:priority:weight with an optional :rps[:burst] token-bucket tail.
+func parseTenants(spec string) ([]openei.TenantConfig, error) {
+	var out []openei.TenantConfig
+	for _, entry := range strings.Split(spec, ",") {
+		if entry = strings.TrimSpace(entry); entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 || len(parts) > 5 {
+			return nil, fmt.Errorf("bad -tenants entry %q: want name:priority:weight[:rps[:burst]]", entry)
+		}
+		tc := openei.TenantConfig{Name: parts[0]}
+		if tc.Name == "" {
+			return nil, fmt.Errorf("bad -tenants entry %q: empty name", entry)
+		}
+		var err error
+		if tc.Priority, err = strconv.Atoi(parts[1]); err != nil {
+			return nil, fmt.Errorf("bad -tenants entry %q: priority: %v", entry, err)
+		}
+		if tc.Weight, err = strconv.Atoi(parts[2]); err != nil {
+			return nil, fmt.Errorf("bad -tenants entry %q: weight: %v", entry, err)
+		}
+		if len(parts) > 3 {
+			if tc.RatePerSec, err = strconv.ParseFloat(parts[3], 64); err != nil {
+				return nil, fmt.Errorf("bad -tenants entry %q: rps: %v", entry, err)
+			}
+		}
+		if len(parts) > 4 {
+			if tc.Burst, err = strconv.Atoi(parts[4]); err != nil {
+				return nil, fmt.Errorf("bad -tenants entry %q: burst: %v", entry, err)
+			}
+		}
+		out = append(out, tc)
+	}
+	return out, nil
 }
 
 func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL, backendName string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy, clu clusterOpts) error {

@@ -411,6 +411,18 @@ func (p *Pilot) local(ctx context.Context, model string, x *tensor.Tensor, d tim
 // remote runs one request on the Offloader, translating the answer into a
 // serving.Result whose Model is prefixed "cloud:".
 func (p *Pilot) remote(ctx context.Context, model string, x *tensor.Tensor, d time.Duration) (serving.Result, error) {
+	if d <= 0 {
+		// Deadline propagation across the offload hop: a caller that bounded
+		// the request through its context (the libei route does) gets the
+		// remaining budget re-expressed as a wire-level deadline, so the
+		// remote node sheds what can no longer be answered in time instead
+		// of serving a response nobody is waiting for.
+		if dl, ok := ctx.Deadline(); ok {
+			if d = time.Until(dl); d <= 0 {
+				return serving.Result{}, fmt.Errorf("%w: offload %s: budget exhausted", serving.ErrDeadline, model)
+			}
+		}
+	}
 	cls, conf, err := p.off.Offload(ctx, model, x.Data(), d)
 	if err != nil {
 		p.offloadErrs.Add(1)

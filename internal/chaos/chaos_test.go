@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"openei/internal/netsim"
+	"openei/internal/serving"
+)
+
+func TestNodeLinkFaults(t *testing.T) {
+	l := newNodeLink(netsim.LAN, netsim.Link{Name: "slow", BandwidthBPS: 1e6, RTT: 40 * time.Millisecond}, 1)
+
+	if d, err := l.transit(1 << 10); err != nil || d <= 0 {
+		t.Fatalf("healthy transit: d=%v err=%v", d, err)
+	}
+	healthy, _ := l.transit(1 << 10)
+
+	l.Partition()
+	if _, err := l.transit(1 << 10); err == nil {
+		t.Fatal("partitioned link transferred")
+	}
+	if !l.Partitioned() {
+		t.Fatal("Partitioned() = false after Partition()")
+	}
+	l.Heal()
+	if _, err := l.transit(1 << 10); err != nil {
+		t.Fatalf("healed link failed: %v", err)
+	}
+
+	l.SlowLink(true)
+	slow, err := l.transit(1 << 10)
+	if err != nil {
+		t.Fatalf("slow link failed: %v", err)
+	}
+	if slow <= healthy {
+		t.Errorf("slow transit %v not slower than healthy %v", slow, healthy)
+	}
+	l.SlowLink(false)
+
+	// A fully deterministic dice: rate just below 1 fails almost every
+	// attempt; rate 0 never fails.
+	l.SetFlaky(0.99)
+	failures := 0
+	for i := 0; i < 100; i++ {
+		if _, err := l.transit(64); err != nil {
+			failures++
+		}
+	}
+	if failures < 90 {
+		t.Errorf("flaky at 0.99 failed only %d/100", failures)
+	}
+	l.SetFlaky(0)
+	if _, err := l.transit(64); err != nil {
+		t.Errorf("flaky at 0 failed: %v", err)
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	period := time.Minute
+	valley := diurnalRate(10, 3, 0, period)
+	peak := diurnalRate(10, 3, period/2, period)
+	back := diurnalRate(10, 3, period, period)
+	if math.Abs(valley-10) > 0.01 || math.Abs(back-10) > 0.01 {
+		t.Errorf("valley rate = %v / %v, want 10", valley, back)
+	}
+	if math.Abs(peak-30) > 0.01 {
+		t.Errorf("peak rate = %v, want 30 (10×burst 3)", peak)
+	}
+	if flat := diurnalRate(10, 1, period/2, period); math.Abs(flat-10) > 0.01 {
+		t.Errorf("burst 1 not flat: %v", flat)
+	}
+}
+
+// TestFleetServesThroughChaosTransport boots a small fleet and checks a
+// clean request round-trips the netsim transport, and that a report
+// carries the right shape.
+func TestFleetServesThroughChaosTransport(t *testing.T) {
+	f, err := NewFleet(FleetConfig{
+		Nodes: 2,
+		Seed:  42,
+		Tenants: []serving.TenantConfig{
+			{Name: "gold", Priority: 5},
+			{Name: "bronze", Priority: 0, RatePerSec: 5, Burst: 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	h := &Harness{
+		Fleet:    f,
+		Duration: 500 * time.Millisecond,
+		Traffic: []TenantTraffic{
+			{Tenant: "gold", Model: "ident", RPS: 40, BurstFactor: 2, Deadline: time.Second},
+			{Tenant: "bronze", Model: "ident", RPS: 40, BurstFactor: 1},
+		},
+	}
+	rep, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gold, bronze := rep.Tenant("gold"), rep.Tenant("bronze")
+	if gold == nil || bronze == nil {
+		t.Fatalf("missing tenant outcomes: %+v", rep.Tenants)
+	}
+	if gold.Sent == 0 || gold.OK == 0 {
+		t.Errorf("gold sent=%d ok=%d, want traffic", gold.Sent, gold.OK)
+	}
+	if gold.Other != 0 || bronze.Other != 0 {
+		t.Errorf("protocol failures: gold=%v bronze=%v", gold.OtherSamples, bronze.OtherSamples)
+	}
+	// Bronze offers ~40 rps against a 5/s bucket: most of it must shed,
+	// and the per-node counters must agree it was bronze that shed.
+	if bronze.Overloaded == 0 {
+		t.Error("bronze rate limit never shed")
+	}
+	var bronzeShed, goldShed uint64
+	for _, stats := range rep.NodeTenants {
+		for _, ts := range stats {
+			switch ts.Tenant {
+			case "bronze":
+				bronzeShed += ts.ShedThrottle + ts.ShedQueue
+			case "gold":
+				goldShed += ts.ShedThrottle + ts.ShedQueue
+			}
+		}
+	}
+	if bronzeShed == 0 {
+		t.Error("node counters show no bronze shed")
+	}
+	if goldShed != 0 {
+		t.Errorf("gold shed %d on-node; admission must not touch the unlimited class", goldShed)
+	}
+}
+
+func TestKilledNodeStillReports(t *testing.T) {
+	f, err := NewFleet(FleetConfig{Nodes: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	f.Nodes[0].Kill()
+	if !f.Nodes[0].Killed() {
+		t.Fatal("Killed() = false after Kill")
+	}
+	f.Nodes[0].Kill() // idempotent
+	if stats := f.Nodes[0].TenantStats(); len(stats) == 0 {
+		t.Error("killed node lost its tenant counters")
+	}
+}
+
+func TestReportWriteFile(t *testing.T) {
+	rep := &Report{Seed: 9, Tenants: []TenantOutcome{{Tenant: "t", Sent: 1, OK: 1}}}
+	path := filepath.Join(t.TempDir(), "chaos.json")
+	t.Setenv("CHAOS_REPORT", path)
+	if err := rep.WriteEnv(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty report file")
+	}
+	t.Setenv("CHAOS_REPORT", "")
+	if err := rep.WriteEnv(); err != nil {
+		t.Fatalf("unset CHAOS_REPORT must no-op, got %v", err)
+	}
+}

@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/gateway"
+	"openei/internal/hardware"
+	"openei/internal/libei"
+	"openei/internal/netsim"
+	"openei/internal/nn"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
+)
+
+// Node is one in-process fleet member: the same pkgmgr → serving →
+// libei stack openei-server runs, listening on a loopback httptest
+// server, reached by the gateway only through its NodeLink.
+type Node struct {
+	ID   string
+	URL  string
+	link *NodeLink
+
+	srv    *httptest.Server
+	eng    *serving.Engine
+	mgr    *pkgmgr.Manager
+	killed atomic.Bool
+}
+
+// Kill stops the node's listener mid-flight — the process-crash fault.
+// Idempotent; a killed node stays dead for the rest of the run.
+func (n *Node) Kill() {
+	if n.killed.CompareAndSwap(false, true) {
+		n.srv.CloseClientConnections()
+		n.srv.Close()
+	}
+}
+
+// Killed reports whether the node has been killed.
+func (n *Node) Killed() bool { return n.killed.Load() }
+
+// TenantStats reads the node's per-tenant counters in-process, so the
+// report can include nodes whose listener is already dead.
+func (n *Node) TenantStats() []serving.TenantStats { return n.eng.TenantStats() }
+
+// FleetConfig sizes the fleet under test.
+type FleetConfig struct {
+	// Nodes is the fleet size (default 4).
+	Nodes int
+	// Tenants is every node's serving.Config.Tenants — the admission and
+	// priority classes the scenario exercises.
+	Tenants []serving.TenantConfig
+	// InputDim is the identity model's sample width (default 4).
+	InputDim int
+	// Replicas/MaxBatch/QueueDepth tune each node's serving engine
+	// (defaults 2 / 8 / 64 — a deliberately small queue so overload
+	// actually sheds).
+	Replicas   int
+	MaxBatch   int
+	QueueDepth int
+	// Link and SlowProfile are the healthy and degraded gateway→node
+	// paths (defaults netsim.LAN and a 10× thinner, 20× slower profile).
+	Link        netsim.Link
+	SlowProfile netsim.Link
+	// Gateway overrides the failover knobs; Nodes and Transport are
+	// always set by the fleet builder.
+	Gateway gateway.Config
+	// Seed drives every random source in the fleet (links, traffic).
+	Seed int64
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.InputDim <= 0 {
+		c.InputDim = 4
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Link.BandwidthBPS == 0 {
+		c.Link = netsim.LAN
+	}
+	if c.SlowProfile.BandwidthBPS == 0 {
+		c.SlowProfile = netsim.Link{
+			Name:         c.Link.Name + "-degraded",
+			BandwidthBPS: c.Link.BandwidthBPS / 10,
+			RTT:          c.Link.RTT * 20,
+		}
+	}
+	return c
+}
+
+// Fleet is the running system under test: N nodes, their links, and the
+// gateway fronting them.
+type Fleet struct {
+	cfg   FleetConfig
+	Nodes []*Node
+	GW    *gateway.Gateway
+	Front *httptest.Server // the gateway's public face; clients hit this
+
+	mu     sync.Mutex
+	byHost map[string]*Node
+
+	closeOnce sync.Once
+}
+
+// NewFleet boots the fleet: every node runs a real package manager, an
+// identity model (one-hot input → hot index, so every answer is
+// checkable), and a tenant-configured serving engine. The gateway
+// reaches nodes only through the chaos transport, so link faults hit
+// the genuine request path, health probes included.
+func NewFleet(cfg FleetConfig) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	f := &Fleet{cfg: cfg, byHost: map[string]*Node{}}
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		return nil, err
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		return nil, err
+	}
+	ident, err := nn.NewModel("ident", []int{cfg.InputDim}, []nn.LayerSpec{{Type: "flatten"}})
+	if err != nil {
+		return nil, err
+	}
+	urls := make([]string, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("edge-%d", i+1)
+		mgr := pkgmgr.New(pkg, dev)
+		if err := mgr.Load(ident, pkgmgr.LoadOptions{}); err != nil {
+			f.Close()
+			mgr.Close()
+			return nil, fmt.Errorf("chaos: load model on %s: %w", id, err)
+		}
+		eng := serving.NewEngine(mgr, serving.Config{
+			Replicas:   cfg.Replicas,
+			MaxBatch:   cfg.MaxBatch,
+			QueueDepth: cfg.QueueDepth,
+			Tenants:    cfg.Tenants,
+		})
+		lib := libei.NewServer(id, nil, mgr)
+		lib.SetEngine(eng)
+		srv := httptest.NewServer(lib)
+		n := &Node{
+			ID:   id,
+			URL:  srv.URL,
+			link: newNodeLink(cfg.Link, cfg.SlowProfile, cfg.Seed+int64(i)*7919),
+			srv:  srv,
+			eng:  eng,
+			mgr:  mgr,
+		}
+		u, _ := url.Parse(srv.URL)
+		f.byHost[u.Host] = n
+		f.Nodes = append(f.Nodes, n)
+		urls[i] = srv.URL
+	}
+	gwCfg := cfg.Gateway
+	gwCfg.Nodes = urls
+	gwCfg.Transport = &fleetTransport{f: f, next: defaultTransport()}
+	if gwCfg.HealthInterval <= 0 {
+		gwCfg.HealthInterval = 50 * time.Millisecond
+	}
+	gw, err := gateway.New(gwCfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	f.GW = gw
+	gw.Start()
+	f.Front = httptest.NewServer(gw)
+	return f, nil
+}
+
+// defaultTransport is the real HTTP layer under the modelled links; a
+// clone keeps chaos connection churn out of http.DefaultTransport's
+// shared pools.
+func defaultTransport() http.RoundTripper {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConnsPerHost = 64
+	return t
+}
+
+// nodeByHost resolves the fleet member behind a host:port.
+func (f *Fleet) nodeByHost(host string) *Node {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.byHost[host]
+}
+
+// Close tears the fleet down: front, gateway, then every surviving node.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() {
+		if f.Front != nil {
+			f.Front.Close()
+		}
+		if f.GW != nil {
+			f.GW.Close()
+		}
+		for _, n := range f.Nodes {
+			n.Kill()
+			n.eng.Close()
+			n.mgr.Close()
+		}
+	})
+}

@@ -1,0 +1,335 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"openei/internal/gateway"
+	"openei/internal/libei"
+	"openei/internal/serving"
+)
+
+// TenantTraffic is one tenant's workload: a diurnal/bursty open-loop
+// arrival process against one model, with an optional per-request
+// deadline and the latency SLO attainment is judged against.
+type TenantTraffic struct {
+	// Tenant is the admission class requests are sent as.
+	Tenant string
+	// Model is the target model (the fleet's identity model by default).
+	Model string
+	// RPS is the baseline arrival rate; the instantaneous rate swings
+	// between RPS and RPS×BurstFactor over each Period (a compressed
+	// diurnal cycle), so a run covers both the valley and the peak.
+	RPS float64
+	// BurstFactor ≥ 1 scales the peak (1 = flat).
+	BurstFactor float64
+	// Period is the diurnal cycle length (default: the run duration, one
+	// full valley-peak-valley swing per run).
+	Period time.Duration
+	// Deadline is the per-request deadline_ms sent on the wire (0 = none).
+	Deadline time.Duration
+	// SLO is the end-to-end latency bound a successful answer must beat
+	// to count toward attainment (default: Deadline, else 1s).
+	SLO time.Duration
+}
+
+// EventAction is one scheduled fault (or repair).
+type EventAction string
+
+// The fault vocabulary: kill a node, cut or heal its link, make the
+// link lossy, or degrade its bandwidth/RTT profile.
+const (
+	Kill      EventAction = "kill"
+	Partition EventAction = "partition"
+	Heal      EventAction = "heal"
+	Flaky     EventAction = "flaky"
+	Slow      EventAction = "slow"
+	Restore   EventAction = "restore" // undo Slow
+)
+
+// Event is one scheduled fault injection.
+type Event struct {
+	// At is the offset from run start.
+	At time.Duration
+	// Node indexes Fleet.Nodes.
+	Node int
+	// Action is what happens.
+	Action EventAction
+	// Rate parameterizes Flaky (per-attempt failure probability).
+	Rate float64
+}
+
+// TenantOutcome is one tenant's client-side tally for the run.
+type TenantOutcome struct {
+	Tenant string `json:"tenant"`
+	Sent   int    `json:"sent"`
+	OK     int    `json:"ok"`
+	// Overloaded counts 429 admission verdicts (token bucket or full
+	// queue); Deadline counts 408s (queue expiry or gateway budget stop).
+	Overloaded int `json:"overloaded"`
+	Deadline   int `json:"deadline"`
+	// Other counts everything else — the chaos contract demands zero.
+	Other        int      `json:"other"`
+	OtherSamples []string `json:"other_samples,omitempty"`
+
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	// SLOAttainment is the fraction of sent requests answered OK within
+	// the tenant's SLO latency.
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// Report is a finished run: per-tenant client-side outcomes, the
+// gateway's counters, and every node's per-tenant serving counters
+// (read in-process, so killed nodes report too).
+type Report struct {
+	Seed       int64           `json:"seed"`
+	DurationMS float64         `json:"duration_ms"`
+	Tenants    []TenantOutcome `json:"tenants"`
+	Gateway    gateway.Metrics `json:"gateway"`
+	// NodeTenants maps node ID → that node's per-tenant serving counters.
+	NodeTenants map[string][]serving.TenantStats `json:"node_tenants"`
+}
+
+// Tenant returns the named tenant's outcome (nil when absent).
+func (r *Report) Tenant(name string) *TenantOutcome {
+	for i := range r.Tenants {
+		if r.Tenants[i].Tenant == name {
+			return &r.Tenants[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON — the CI soak workflow's
+// artifact format.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// WriteEnv writes the report to $CHAOS_REPORT when set; a no-op
+// otherwise. Scenario tests call it unconditionally so local runs stay
+// quiet and CI gets its artifact.
+func (r *Report) WriteEnv() error {
+	path := os.Getenv("CHAOS_REPORT")
+	if path == "" {
+		return nil
+	}
+	return r.WriteFile(path)
+}
+
+// Harness drives one soak: traffic + events over a fleet for Duration.
+type Harness struct {
+	Fleet    *Fleet
+	Traffic  []TenantTraffic
+	Events   []Event
+	Duration time.Duration
+}
+
+// tally is one tenant's mutable counters during the run.
+type tally struct {
+	mu        sync.Mutex
+	out       TenantOutcome
+	latencies []time.Duration
+	sloOK     int
+}
+
+// Run executes the soak: one goroutine per tenant generates open-loop
+// arrivals (each request on its own goroutine, so a slow answer never
+// throttles the arrival process), one goroutine replays the fault
+// schedule, and everything stops at Duration. The fleet stays up so the
+// caller can make further assertions; Close it when done.
+func (h *Harness) Run() (*Report, error) {
+	if h.Fleet == nil {
+		return nil, errors.New("chaos: harness has no fleet")
+	}
+	if h.Duration <= 0 {
+		return nil, errors.New("chaos: non-positive duration")
+	}
+	start := time.Now()
+	ctx, cancel := context.WithDeadline(context.Background(), start.Add(h.Duration))
+	defer cancel()
+
+	// The fault schedule replays on its own clock.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.replay(ctx, start)
+	}()
+
+	client := libei.NewClient(h.Fleet.Front.URL)
+	tallies := make([]*tally, len(h.Traffic))
+	var reqWG sync.WaitGroup
+	for i, tt := range h.Traffic {
+		tallies[i] = &tally{out: TenantOutcome{Tenant: tt.Tenant}}
+		wg.Add(1)
+		go func(tt TenantTraffic, tl *tally, seed int64) {
+			defer wg.Done()
+			h.generate(ctx, start, client, tt, tl, seed, &reqWG)
+		}(tt, tallies[i], h.Fleet.cfg.Seed+int64(i)*104729)
+	}
+	wg.Wait()    // arrival processes and schedule done at Duration
+	reqWG.Wait() // last in-flight requests answered
+
+	rep := &Report{
+		Seed:        h.Fleet.cfg.Seed,
+		DurationMS:  float64(time.Since(start)) / 1e6,
+		Gateway:     h.Fleet.GW.Metrics(),
+		NodeTenants: map[string][]serving.TenantStats{},
+	}
+	for _, n := range h.Fleet.Nodes {
+		rep.NodeTenants[n.ID] = n.TenantStats()
+	}
+	for _, tl := range tallies {
+		tl.mu.Lock()
+		o := tl.out
+		if o.Sent > 0 {
+			o.SLOAttainment = float64(tl.sloOK) / float64(o.Sent)
+		}
+		if len(tl.latencies) > 0 {
+			sort.Slice(tl.latencies, func(a, b int) bool { return tl.latencies[a] < tl.latencies[b] })
+			o.P50MS = float64(tl.latencies[len(tl.latencies)/2]) / 1e6
+			o.P95MS = float64(tl.latencies[len(tl.latencies)*95/100]) / 1e6
+		}
+		tl.mu.Unlock()
+		rep.Tenants = append(rep.Tenants, o)
+	}
+	sort.Slice(rep.Tenants, func(a, b int) bool { return rep.Tenants[a].Tenant < rep.Tenants[b].Tenant })
+	return rep, nil
+}
+
+// replay fires the fault schedule in At order.
+func (h *Harness) replay(ctx context.Context, start time.Time) {
+	events := append([]Event(nil), h.Events...)
+	sort.SliceStable(events, func(a, b int) bool { return events[a].At < events[b].At })
+	for _, ev := range events {
+		if ev.Node < 0 || ev.Node >= len(h.Fleet.Nodes) {
+			continue
+		}
+		wait := time.Until(start.Add(ev.At))
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(wait):
+			}
+		}
+		n := h.Fleet.Nodes[ev.Node]
+		switch ev.Action {
+		case Kill:
+			n.Kill()
+		case Partition:
+			n.link.Partition()
+		case Heal:
+			n.link.Heal()
+		case Flaky:
+			n.link.SetFlaky(ev.Rate)
+		case Slow:
+			n.link.SlowLink(true)
+		case Restore:
+			n.link.SlowLink(false)
+		}
+	}
+}
+
+// generate is one tenant's open-loop arrival process: exponential
+// inter-arrival gaps at the instantaneous diurnal rate, every request
+// fired on its own goroutine and classified into the tally.
+func (h *Harness) generate(ctx context.Context, start time.Time, client *libei.Client, tt TenantTraffic, tl *tally, seed int64, reqWG *sync.WaitGroup) {
+	rng := rand.New(rand.NewSource(seed))
+	period := tt.Period
+	if period <= 0 {
+		period = h.Duration
+	}
+	slo := tt.SLO
+	if slo <= 0 {
+		slo = tt.Deadline
+		if slo <= 0 {
+			slo = time.Second
+		}
+	}
+	input := make([]float32, h.Fleet.cfg.InputDim)
+	for {
+		rate := diurnalRate(tt.RPS, tt.BurstFactor, time.Since(start), period)
+		gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if gap > period/2 {
+			gap = period / 2
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(gap):
+		}
+		class := rng.Intn(len(input))
+		for i := range input {
+			input[i] = 0
+		}
+		input[class] = 1
+		sample := append([]float32(nil), input...)
+		reqWG.Add(1)
+		go func() {
+			defer reqWG.Done()
+			t0 := time.Now()
+			res, err := client.InferAs(context.Background(), tt.Tenant, tt.Model, sample, tt.Deadline)
+			elapsed := time.Since(t0)
+			tl.mu.Lock()
+			defer tl.mu.Unlock()
+			tl.out.Sent++
+			switch {
+			case err == nil:
+				tl.out.OK++
+				tl.latencies = append(tl.latencies, elapsed)
+				if elapsed <= slo {
+					tl.sloOK++
+				}
+				if res.Class != class {
+					// The identity model makes every answer checkable; a
+					// wrong class is a protocol-level failure.
+					tl.out.Other++
+					tl.out.OK--
+					if len(tl.out.OtherSamples) < 5 {
+						tl.out.OtherSamples = append(tl.out.OtherSamples,
+							fmt.Sprintf("wrong class %d for one-hot %d", res.Class, class))
+					}
+				}
+			case errors.Is(err, libei.ErrOverloaded):
+				tl.out.Overloaded++
+			case errors.Is(err, libei.ErrDeadline):
+				tl.out.Deadline++
+			default:
+				tl.out.Other++
+				if len(tl.out.OtherSamples) < 5 {
+					tl.out.OtherSamples = append(tl.out.OtherSamples, err.Error())
+				}
+			}
+		}()
+	}
+}
+
+// diurnalRate is the instantaneous arrival rate at offset t: a sinusoid
+// from rps (valley) to rps×burst (peak) over one period — the
+// compressed day/night cycle of an example vertical's camera or sensor
+// fleet.
+func diurnalRate(rps, burst float64, t, period time.Duration) float64 {
+	if rps <= 0 {
+		rps = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	phase := (1 - math.Cos(2*math.Pi*float64(t)/float64(period))) / 2 // 0 at valley, 1 at peak
+	return rps * (1 + (burst-1)*phase)
+}

@@ -1,0 +1,129 @@
+// Package chaos is the in-process fault-injection soak harness: it boots
+// a multi-node OpenEI fleet (real pkgmgr + serving + libei stacks behind
+// a real gateway), drives per-tenant diurnal/bursty traffic at it over
+// netsim-modelled links, and injects scheduled faults — node kills,
+// partitions, flaky links, slow links — while recording every request's
+// outcome per tenant. A run ends in a Report asserting the robustness
+// contract: high-priority tenants keep their SLO, shedding stays
+// confined to the tenants the admission policy targets, and nothing
+// fails with anything but an admission (429) or deadline (408) verdict.
+//
+// Everything is seedable: the same Config.Seed replays the same fault
+// dice and the same traffic arrival pattern.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"openei/internal/netsim"
+)
+
+// NodeLink is the modelled network path between the gateway and one
+// node: a netsim.PartitionLink for correlated outages, a FlakyLink dice
+// roll per attempt, and a swappable base link so a "slow link" fault
+// degrades bandwidth and RTT without dropping packets.
+type NodeLink struct {
+	part *netsim.PartitionLink
+
+	mu     sync.Mutex // guards rng (netsim rands are not thread-safe), fail, slow
+	rng    *rand.Rand
+	fail   float64
+	base   netsim.Link
+	slow   netsim.Link
+	slowed bool
+}
+
+// newNodeLink builds a healthy link over base; slow is the degraded
+// profile SlowLink switches to.
+func newNodeLink(base, slow netsim.Link, seed int64) *NodeLink {
+	return &NodeLink{
+		part: netsim.NewPartitionLink(base),
+		rng:  rand.New(rand.NewSource(seed)),
+		base: base,
+		slow: slow,
+	}
+}
+
+// Partition cuts the link until Heal; every transfer fails like a
+// switch losing the segment.
+func (l *NodeLink) Partition() { l.part.Partition() }
+
+// Heal restores a partitioned link.
+func (l *NodeLink) Heal() { l.part.Heal() }
+
+// Partitioned reports the partition state.
+func (l *NodeLink) Partitioned() bool { return l.part.Partitioned() }
+
+// SetFlaky sets the per-attempt failure probability in [0,1).
+func (l *NodeLink) SetFlaky(rate float64) {
+	l.mu.Lock()
+	l.fail = rate
+	l.mu.Unlock()
+}
+
+// SlowLink degrades (or restores) the link profile.
+func (l *NodeLink) SlowLink(on bool) {
+	l.mu.Lock()
+	l.slowed = on
+	l.mu.Unlock()
+}
+
+// transit models moving n bytes to the node now: partition beats
+// everything, then the flaky dice, then the fluid-flow transfer time of
+// whichever profile is active.
+func (l *NodeLink) transit(n int64) (time.Duration, error) {
+	if l.part.Partitioned() {
+		return l.part.Transfer(n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	link := l.base
+	if l.slowed {
+		link = l.slow
+	}
+	fl := netsim.FlakyLink{Link: link, FailureRate: l.fail, Rand: l.rng}
+	return fl.Transfer(n)
+}
+
+// fleetTransport routes gateway→node HTTP traffic through each node's
+// NodeLink: the modelled transfer time is slept (bounded by the request
+// context) and a modelled failure surfaces as a transport error, exactly
+// what a real flaky or partitioned network hands the gateway's client.
+type fleetTransport struct {
+	f    *Fleet
+	next http.RoundTripper
+}
+
+func (t *fleetTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.f.nodeByHost(req.URL.Host)
+	if n == nil {
+		return t.next.RoundTrip(req)
+	}
+	if n.killed.Load() {
+		return nil, fmt.Errorf("chaos: node %s is down: connection refused", n.ID)
+	}
+	// Charge one modelled transfer for the round trip (request out +
+	// response back share the dice roll and the fluid-flow time).
+	d, err := n.link.transit(reqBytes)
+	if d > 0 {
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %s: %w", n.ID, err)
+	}
+	return t.next.RoundTrip(req)
+}
+
+// reqBytes is the modelled payload of one infer round trip: a short GET
+// with a CSV sample plus its JSON answer.
+const reqBytes = 2 << 10

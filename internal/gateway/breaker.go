@@ -1,0 +1,112 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// breaker is one node's circuit breaker. The health probe loop notices a
+// dead node within HealthTimeout; the breaker reacts on the request path
+// itself, within BreakerThreshold consecutive failures, so a node that
+// heartbeats fine but fails its proxied requests (a partitioned data
+// path, a wedged serving engine) stops eating retry budget immediately.
+//
+// States, all transitions lock-free:
+//
+//	closed    → normal routing; consecutive request failures are counted,
+//	            and a success resets the count.
+//	open      → tripped at BreakerThreshold consecutive failures; every
+//	            admit is refused until BreakerCooldown elapses.
+//	half-open → after cooldown one probe request is admitted (CAS on the
+//	            probe slot); success closes the breaker, failure re-opens
+//	            it for another cooldown.
+type breaker struct {
+	threshold int           // consecutive failures to trip; <=0 disables
+	cooldown  time.Duration // open → half-open delay
+
+	consec    atomic.Int64
+	openUntil atomic.Int64 // unixnano the open state lapses; 0 = closed
+	probing   atomic.Bool  // half-open probe slot
+	trips     atomic.Uint64
+}
+
+// breakerDisabled, breakerClosed, ... name the states in /gw_metrics.
+const (
+	breakerDisabled = ""
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half_open"
+)
+
+// available reports whether the node is worth considering as a routing
+// candidate: closed, or cooled down enough that a half-open probe could
+// go. It claims nothing — admit does the probe-slot CAS once the node is
+// actually chosen.
+func (b *breaker) available(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	until := b.openUntil.Load()
+	return until == 0 || now.UnixNano() >= until
+}
+
+// admit decides whether a chosen node may receive this request. In the
+// half-open window it claims the single probe slot; a second concurrent
+// request is refused until the probe reports back.
+func (b *breaker) admit(now time.Time) bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	until := b.openUntil.Load()
+	if until == 0 {
+		return true
+	}
+	if now.UnixNano() < until {
+		return false
+	}
+	return b.probing.CompareAndSwap(false, true)
+}
+
+// success closes the breaker from any state.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.consec.Store(0)
+	b.openUntil.Store(0)
+	b.probing.Store(false)
+}
+
+// failure records one request failure: a half-open probe failure re-opens
+// immediately, a closed-state failure trips at the threshold.
+func (b *breaker) failure(now time.Time) {
+	if b.threshold <= 0 {
+		return
+	}
+	if b.openUntil.Load() != 0 {
+		b.openUntil.Store(now.Add(b.cooldown).UnixNano())
+		b.probing.Store(false)
+		return
+	}
+	if b.consec.Add(1) >= int64(b.threshold) {
+		b.consec.Store(0)
+		b.openUntil.Store(now.Add(b.cooldown).UnixNano())
+		b.trips.Add(1)
+	}
+}
+
+// state names the current state for metrics.
+func (b *breaker) state(now time.Time) string {
+	if b.threshold <= 0 {
+		return breakerDisabled
+	}
+	until := b.openUntil.Load()
+	switch {
+	case until == 0:
+		return breakerClosed
+	case now.UnixNano() < until:
+		return breakerOpen
+	default:
+		return breakerHalfOpen
+	}
+}

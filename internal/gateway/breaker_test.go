@@ -1,0 +1,255 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openei/internal/gateway"
+)
+
+// brokenNode heartbeats fine but answers 500 to everything else until
+// healed — the exact failure mode the breaker exists for, since the
+// health probe loop never sees it.
+type brokenNode struct {
+	real   http.Handler
+	broken atomic.Bool
+	hits   atomic.Int64 // non-probe requests only
+}
+
+func (b *brokenNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/ei_status" || r.URL.Path == "/ei_metrics" {
+		b.real.ServeHTTP(w, r)
+		return
+	}
+	b.hits.Add(1)
+	if b.broken.Load() {
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return
+	}
+	b.real.ServeHTTP(w, r)
+}
+
+func gwMetrics(t *testing.T, front string) gateway.Metrics {
+	t.Helper()
+	resp, err := http.Get(front + "/gw_metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Result gateway.Metrics `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	return env.Result
+}
+
+// TestBreakerTripsAndRecovers drives a two-node fleet where one node
+// fails every request: the breaker must trip after the threshold,
+// traffic must stop landing on the broken node while open, and a healed
+// node must be readmitted through a half-open probe.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	good := realNode(t, "edge-good")
+	bad := &brokenNode{real: realNode(t, "edge-bad").Config.Handler}
+	bad.broken.Store(true)
+	badSrv := httptest.NewServer(bad)
+	defer badSrv.Close()
+
+	gw, err := gateway.New(gateway.Config{
+		Nodes:            []string{good.URL, badSrv.URL},
+		HealthInterval:   20 * time.Millisecond,
+		Retries:          2,
+		BreakerThreshold: 3,
+		BreakerCooldown:  80 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Close()
+	front := httptest.NewServer(gw)
+	defer front.Close()
+
+	infer := func() int {
+		resp, err := http.Get(front.URL + "/ei_algorithms/serving/infer?model=ident&input=1,0,0,0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	// Failover hides the bad node from clients; hammer until its breaker
+	// has tripped.
+	deadline := time.Now().Add(5 * time.Second)
+	tripped := func() bool {
+		for _, n := range gwMetrics(t, front.URL).Nodes {
+			if n.URL == badSrv.URL && n.Breaker == "open" {
+				return true
+			}
+		}
+		return false
+	}
+	for !tripped() {
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never opened against an always-500 node")
+		}
+		if got := infer(); got != http.StatusOK {
+			t.Fatalf("infer = %d with a healthy peer available", got)
+		}
+	}
+	// While open, requests must not land on the broken node.
+	before := bad.hits.Load()
+	for i := 0; i < 20; i++ {
+		if got := infer(); got != http.StatusOK {
+			t.Fatalf("infer = %d while breaker open", got)
+		}
+	}
+	// The health probe loop may still touch the node; the request path
+	// (20 infers × up to 3 attempts) must not.
+	if after := bad.hits.Load(); after-before > 10 {
+		t.Errorf("broken node saw %d hits while its breaker was open", after-before)
+	}
+
+	// Heal, wait out the cooldown, and check the half-open probe readmits.
+	bad.broken.Store(false)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		infer()
+		var st string
+		for _, n := range gwMetrics(t, front.URL).Nodes {
+			if n.URL == badSrv.URL {
+				st = n.Breaker
+			}
+		}
+		if st == "closed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker stuck %q after the node healed", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeadlineStopsRetries points the gateway at a fleet where every
+// node just sleeps past the caller's budget: the answer must be a prompt
+// 408 shortly after the deadline, not a late 502 after the full retry
+// ladder, and gw_metrics must count it as deadline_stopped.
+func TestDeadlineStopsRetries(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(300 * time.Millisecond)
+		http.Error(w, "eventually failing anyway", http.StatusInternalServerError)
+	}))
+	defer slow.Close()
+	gw, err := gateway.New(gateway.Config{
+		Nodes:          []string{slow.URL},
+		HealthInterval: 20 * time.Millisecond,
+		Retries:        8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Close()
+	front := httptest.NewServer(gw)
+	defer front.Close()
+
+	start := time.Now()
+	resp, err := http.Get(front.URL + "/ei_algorithms/serving/infer?model=ident&input=1,0,0,0&deadline_ms=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status = %d, want 408", resp.StatusCode)
+	}
+	// One 300 ms attempt straddles the 100 ms deadline; eight retries
+	// would take ~2.4 s. Prompt means well under two attempt durations.
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("deadline answer took %v; retries were not cut short", elapsed)
+	}
+	if m := gwMetrics(t, front.URL); m.DeadlineStopped == 0 {
+		t.Error("deadline_stopped counter not incremented")
+	}
+}
+
+// TestDeadlineRewrittenPerAttempt checks a forwarded retry carries the
+// remaining budget, not the original: a first node that burns time and
+// fails must leave the second node a visibly smaller deadline_ms.
+func TestDeadlineRewrittenPerAttempt(t *testing.T) {
+	// The gateway can answer the client while a timed-out attempt is
+	// still in flight, so the handler's bookkeeping needs its own lock.
+	var mu sync.Mutex
+	var budgets []float64
+	mkNode := func(fail bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/ei_status" || r.URL.Path == "/ei_metrics" {
+				w.Header().Set("Content-Type", "application/json")
+				w.Write([]byte(`{"ok":true,"result":{}}`))
+				return
+			}
+			if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+				ms, _ := strconv.ParseFloat(raw, 64)
+				mu.Lock()
+				budgets = append(budgets, ms)
+				mu.Unlock()
+			}
+			if fail {
+				time.Sleep(120 * time.Millisecond)
+				http.Error(w, "burned the budget", http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"ok":true,"result":{"model":"ident","class":0}}`))
+		}))
+	}
+	// Single node that fails once then succeeds would race; instead use
+	// one always-fail node and rely on the fresh-pass retry hitting it
+	// again — every attempt logs its handed-down budget.
+	n := mkNode(true)
+	defer n.Close()
+	gw, err := gateway.New(gateway.Config{
+		Nodes:          []string{n.URL},
+		HealthInterval: 20 * time.Millisecond,
+		Retries:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	defer gw.Close()
+	front := httptest.NewServer(gw)
+	defer front.Close()
+
+	q := url.Values{}
+	q.Set("model", "ident")
+	q.Set("input", "1,0,0,0")
+	q.Set("deadline_ms", "400")
+	resp, err := http.Get(front.URL + "/ei_algorithms/serving/infer?" + q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	mu.Lock()
+	got := append([]float64(nil), budgets...)
+	mu.Unlock()
+	if len(got) < 2 {
+		t.Fatalf("want ≥2 attempts carrying deadline_ms, got %v", got)
+	}
+	if got[0] > 400 {
+		t.Errorf("first attempt budget %v exceeds the original 400ms", got[0])
+	}
+	// Each failed attempt burns ~120ms; the next hop's budget must shrink.
+	if got[1] >= got[0]-50 {
+		t.Errorf("retry budget %vms not rewritten down from %vms", got[1], got[0])
+	}
+}

@@ -46,6 +46,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -111,6 +112,19 @@ type Config struct {
 	// CacheTTL bounds a cached entry's life (default 1s when the cache is
 	// enabled).
 	CacheTTL time.Duration
+	// BreakerThreshold is the consecutive request failures (transport or
+	// 5xx) that trip a node's circuit breaker: while open the node is
+	// skipped by routing without waiting for the slower health-probe
+	// verdict. 0 means the default (5); negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before
+	// admitting one half-open probe request (default 2×HealthInterval).
+	BreakerCooldown time.Duration
+	// Transport, when non-nil, carries all gateway→node HTTP traffic
+	// (probes and proxied requests). The chaos harness injects
+	// netsim-backed round-trippers here so partitions and flaky links hit
+	// the real request path.
+	Transport http.RoundTripper
 }
 
 func (c Config) withDefaults() Config {
@@ -130,6 +144,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize > 0 && c.CacheTTL <= 0 {
 		c.CacheTTL = time.Second
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * c.HealthInterval
 	}
 	if len(c.ClusterSeeds) > 0 {
 		if c.Replication <= 0 {
@@ -165,6 +185,7 @@ type node struct {
 
 	routed atomic.Uint64 // responses delivered from this node
 	fails  atomic.Uint64 // transport failures + 5xx answers
+	br     breaker
 
 	mu       sync.Mutex
 	nodeID   string
@@ -251,6 +272,7 @@ type counters struct {
 	hedged           atomic.Uint64 // hedge clones launched
 	upstreamOverload atomic.Uint64 // 429 verdicts surfaced from nodes
 	upstreamDeadline atomic.Uint64 // 408 verdicts surfaced from nodes
+	deadlineStopped  atomic.Uint64 // requests 408'd at the gateway: budget lapsed mid-failover
 	scaleEvents      atomic.Uint64 // owner-set replication changes issued
 }
 
@@ -304,6 +326,11 @@ func New(cfg Config) (*Gateway, error) {
 // New time, exclusive ownership).
 func (g *Gateway) addNodeLocked(u string) *node {
 	n := &node{url: u, client: libei.NewClient(u)}
+	n.br.threshold = g.cfg.BreakerThreshold
+	n.br.cooldown = g.cfg.BreakerCooldown
+	if g.cfg.Transport != nil {
+		n.client.HTTPClient = &http.Client{Timeout: 10 * time.Second, Transport: g.cfg.Transport}
+	}
 	g.nodes = append(g.nodes, n)
 	g.byURL[u] = n
 	return n
@@ -593,16 +620,19 @@ func (g *Gateway) routeGroups(model string) [][]*node {
 // the high-accuracy model), but once the top-tier node is tierPenalty
 // requests busier than a degraded peer, load wins again — the preference
 // cannot pile the whole fleet's traffic onto the last top-tier node. A
-// first pass considers only healthy nodes across all tiers; when that
-// yields nothing — probing can black out under host overload — a second
-// pass takes any untried node: an unhealthy node that might still answer
-// beats a guaranteed refusal, and failover covers the truly dead.
+// first pass considers only healthy nodes whose circuit breaker is not
+// open, across all tiers; when that yields nothing — probing can black
+// out under host overload — a second pass takes any untried node: an
+// unhealthy node that might still answer beats a guaranteed refusal, and
+// failover covers the truly dead. (launch still consults the breaker on
+// the pass-two pick, so a hard-open node is skipped, not re-hammered.)
 func (g *Gateway) pick(tried map[*node]bool, groups [][]*node) *node {
+	now := time.Now()
 	for pass := 0; pass < 2; pass++ {
 		for _, group := range groups {
 			var cands []*node
 			for _, n := range group {
-				if tried[n] || (pass == 0 && !n.healthy.Load()) {
+				if tried[n] || (pass == 0 && (!n.healthy.Load() || !n.br.available(now))) {
 					continue
 				}
 				cands = append(cands, n)
@@ -658,13 +688,18 @@ func (g *Gateway) attempt(ctx context.Context, n *node, uri string) upstream {
 		if ctx.Err() == nil {
 			// Real transport failure, not a hedge-loser cancellation.
 			n.fails.Add(1)
+			n.br.failure(time.Now())
 		}
 		return upstream{node: n, err: err}
 	}
 	if res.Status >= 500 {
 		n.fails.Add(1)
+		n.br.failure(time.Now())
 	} else {
+		// Any real HTTP answer below 5xx — including a 429/408 admission
+		// verdict — proves the node's request path works.
 		n.routed.Add(1)
+		n.br.success()
 	}
 	return upstream{node: n, res: res}
 }
@@ -678,6 +713,12 @@ func (g *Gateway) attempt(ctx context.Context, n *node, uri string) upstream {
 // sharded model the request targets ("" when not applicable): it selects
 // the owner-first tiers and makes 404 retryable, since a rebalancing
 // fleet can answer "not here" from a node the plan only just left.
+//
+// Every attempt is budgeted against the caller's context deadline, not
+// just the retry count: a carried deadline_ms parameter is rewritten to
+// the remaining budget on each launch (so a node never works a stale
+// budget), and once the deadline has lapsed no retry or hedge launches —
+// the caller gets a prompt deadline error instead of a late 5xx.
 func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -687,26 +728,47 @@ func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 	results := make(chan upstream, g.cfg.Retries+2)
 	pending := 0
 	launch := func() bool {
-		n := g.pick(tried, groups)
-		if n == nil && len(tried) > 0 {
-			// Every distinct healthy node has been tried; spend remaining
-			// budget on a fresh pass — transient link failures recover
-			// between attempts.
-			clear(tried)
-			n = g.pick(tried, groups)
+		attemptURI := uri
+		if dl, ok := ctx.Deadline(); ok {
+			rem := time.Until(dl)
+			if rem <= 0 {
+				return false
+			}
+			attemptURI = rewriteDeadline(uri, rem)
 		}
-		if n == nil {
-			return false
+		// The breaker check happens after pick so the probe slot is only
+		// claimed by the node actually chosen; a node refused by admit
+		// (open, or probe slot taken) stays in tried and the loop moves on.
+		cleared := false
+		for {
+			n := g.pick(tried, groups)
+			if n == nil {
+				if cleared || len(tried) == 0 {
+					return false
+				}
+				// Every distinct healthy node has been tried; spend
+				// remaining budget on a fresh pass — transient link
+				// failures recover between attempts.
+				clear(tried)
+				cleared = true
+				continue
+			}
+			tried[n] = true
+			if !n.br.admit(time.Now()) {
+				continue
+			}
+			pending++
+			go func() { results <- g.attempt(ctx, n, attemptURI) }()
+			return true
 		}
-		tried[n] = true
-		pending++
-		go func() { results <- g.attempt(ctx, n, uri) }()
-		return true
 	}
 	if !launch() {
-		// Reachable only with an empty dynamic fleet (cluster mode before
-		// the first member answers); also a closed loop beats a hung
-		// select.
+		if ctx.Err() != nil {
+			return upstream{err: ctx.Err()}
+		}
+		// Reachable with an empty dynamic fleet (cluster mode before the
+		// first member answers) or a fleet of open breakers; a prompt
+		// refusal beats a hung select either way.
 		return upstream{err: errors.New("gateway: no node to try")}
 	}
 	var hedge <-chan time.Time
@@ -721,9 +783,13 @@ func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 		select {
 		case u := <-results:
 			pending--
-			if !u.retryable(retry404) || ctx.Err() != nil {
-				// Done — or the caller is gone, which no relaunch can fix.
+			if !u.retryable(retry404) {
 				return u
+			}
+			if err := ctx.Err(); err != nil {
+				// The caller's deadline lapsed (or it hung up) while this
+				// attempt failed; surface that, not a late upstream error.
+				return upstream{err: err}
 			}
 			last = u
 			if budget > 0 && launch() {
@@ -745,6 +811,24 @@ func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 			return upstream{err: ctx.Err()}
 		}
 	}
+}
+
+// rewriteDeadline re-expresses a request's deadline_ms query parameter as
+// the caller's remaining budget, so a retry attempt hands the node only
+// the time actually left instead of the original full budget. Requests
+// without a deadline_ms parameter pass through untouched.
+func rewriteDeadline(uri string, rem time.Duration) string {
+	u, err := url.ParseRequestURI(uri)
+	if err != nil {
+		return uri
+	}
+	q := u.Query()
+	if q.Get("deadline_ms") == "" {
+		return uri
+	}
+	q.Set("deadline_ms", fmt.Sprintf("%g", float64(rem)/float64(time.Millisecond)))
+	u.RawQuery = q.Encode()
+	return u.RequestURI()
 }
 
 // envelope mirrors libei's uniform JSON response wrapper so gateway-origin
@@ -806,8 +890,26 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	u := g.do(r.Context(), uri, model)
+	// A carried deadline_ms becomes this hop's context deadline: do()
+	// budgets every retry and hedge against it and each forwarded attempt
+	// carries only the remaining time.
+	ctx := r.Context()
+	if rawMS := r.URL.Query().Get("deadline_ms"); rawMS != "" {
+		if ms, err := strconv.ParseFloat(rawMS, 64); err == nil && ms > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Now().Add(time.Duration(ms*float64(time.Millisecond))))
+			defer cancel()
+		}
+	}
+	u := g.do(ctx, uri, model)
 	if u.err != nil {
+		if errors.Is(u.err, context.DeadlineExceeded) {
+			g.met.deadlineStopped.Add(1)
+			writeJSON(w, http.StatusRequestTimeout, envelope{
+				OK: false, Error: "gateway: deadline expired before a node answered",
+			})
+			return
+		}
 		g.met.failed.Add(1)
 		writeJSON(w, http.StatusBadGateway, envelope{
 			OK: false, Error: fmt.Sprintf("gateway: all attempts failed: %v", u.err),

@@ -31,6 +31,12 @@ type NodeMetrics struct {
 	Routed uint64 `json:"routed"`
 	Fails  uint64 `json:"fails"`
 
+	// Breaker is the node's circuit-breaker state ("closed", "open",
+	// "half_open"; empty when the breaker is disabled); BreakerTrips
+	// counts closed→open transitions.
+	Breaker      string `json:"breaker,omitempty"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
+
 	// Transport-level client counters (every probe and proxied request).
 	Requests        uint64  `json:"requests"`
 	TransportErrors uint64  `json:"transport_errors"`
@@ -74,6 +80,10 @@ type Metrics struct {
 
 	UpstreamOverloaded uint64 `json:"upstream_overloaded"`
 	UpstreamDeadline   uint64 `json:"upstream_deadline"`
+	// DeadlineStopped counts requests the gateway itself answered 408:
+	// the carried deadline lapsed before any node produced an answer, so
+	// retries and hedges were cut short.
+	DeadlineStopped uint64 `json:"deadline_stopped"`
 
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
@@ -96,6 +106,7 @@ func (g *Gateway) Metrics() Metrics {
 		Hedged:             g.met.hedged.Load(),
 		UpstreamOverloaded: g.met.upstreamOverload.Load(),
 		UpstreamDeadline:   g.met.upstreamDeadline.Load(),
+		DeadlineStopped:    g.met.deadlineStopped.Load(),
 	}
 	if g.cache != nil {
 		m.CacheHits = g.cache.hits.Load()
@@ -138,6 +149,8 @@ func (g *Gateway) Metrics() Metrics {
 			TierRank:           n.tierRank.Load(),
 			Routed:             n.routed.Load(),
 			Fails:              n.fails.Load(),
+			Breaker:            n.br.state(now),
+			BreakerTrips:       n.br.trips.Load(),
 			Requests:           cs.Requests,
 			TransportErrors:    cs.TransportErrors,
 			AvgLatencyMS:       cs.AvgLatencyMS,

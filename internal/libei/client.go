@@ -236,6 +236,14 @@ func (c *Client) Infer(model string, input []float32, deadline time.Duration) (I
 
 // InferCtx is Infer bounded by ctx.
 func (c *Client) InferCtx(ctx context.Context, model string, input []float32, deadline time.Duration) (InferResult, error) {
+	return c.InferAs(ctx, "", model, input, deadline)
+}
+
+// InferAs is InferCtx submitting as the named tenant: the node admits and
+// schedules the request under that tenant's class (token-bucket rate,
+// priority tier, fair-share weight). An empty tenant rides the node's
+// default class, as does a name the node has not declared.
+func (c *Client) InferAs(ctx context.Context, tenant, model string, input []float32, deadline time.Duration) (InferResult, error) {
 	parts := make([]string, len(input))
 	for i, v := range input {
 		parts[i] = fmt.Sprintf("%g", v)
@@ -243,6 +251,9 @@ func (c *Client) InferCtx(ctx context.Context, model string, input []float32, de
 	q := url.Values{}
 	q.Set("model", model)
 	q.Set("input", strings.Join(parts, ","))
+	if tenant != "" {
+		q.Set("tenant", tenant)
+	}
 	if deadline > 0 {
 		q.Set("deadline_ms", fmt.Sprintf("%g", float64(deadline)/float64(time.Millisecond)))
 	}

@@ -26,6 +26,7 @@
 package libei
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -156,7 +157,10 @@ func writeErr(w http.ResponseWriter, err error) {
 		// Admission control shed the request; clients should back off and
 		// retry (the serving engine's bounded queue is full).
 		status = http.StatusTooManyRequests
-	case errors.Is(err, serving.ErrDeadline):
+	case errors.Is(err, serving.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		// Both faces of the same event: ErrDeadline when the pipeline shed
+		// the expired request, DeadlineExceeded when the request context
+		// lapsed first. The client sees one status either way.
 		status = http.StatusRequestTimeout
 	case errors.Is(err, serving.ErrClosed):
 		status = http.StatusServiceUnavailable

@@ -27,12 +27,14 @@ type Inferer interface {
 // SetEngine attaches the serving engine: the high-throughput inference
 // path. It registers the built-in algorithm
 //
-//	GET /ei_algorithms/serving/infer?model={name}&input={csv}[&deadline_ms=N]
+//	GET /ei_algorithms/serving/infer?model={name}&input={csv}[&deadline_ms=N][&tenant=name]
 //
 // which coalesces concurrent callers into micro-batches, and enables
 // GET /ei_metrics, the queue/batch/latency counters. Under overload the
 // infer route rejects with HTTP 429; a request whose deadline lapses in the
-// queue gets HTTP 408.
+// queue gets HTTP 408. The tenant parameter selects the admission and
+// scheduling class configured in serving.Config.Tenants; unknown or
+// missing tenants ride the default class.
 func (s *Server) SetEngine(e *serving.Engine) {
 	s.mu.Lock()
 	s.engine = e
@@ -130,21 +132,22 @@ func (s *Server) servingInfer(args url.Values) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	var res serving.Result
+	// Tenant and deadline both travel on the context so they survive any
+	// dispatch path — raw engine or autopilot pilot — without widening the
+	// Inferer interface.
+	ctx := serving.WithTenant(context.Background(), args.Get("tenant"))
 	if rawMS := args.Get("deadline_ms"); rawMS != "" {
 		ms, err := strconv.ParseFloat(rawMS, 64)
 		if err != nil || ms <= 0 {
 			return nil, fmt.Errorf("%w: deadline_ms=%q", ErrBadRequest, rawMS)
 		}
-		res, err = e.InferWithDeadline(model, x, time.Duration(ms*float64(time.Millisecond)))
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		res, err = e.Infer(context.Background(), model, x)
-		if err != nil {
-			return nil, err
-		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Now().Add(time.Duration(ms*float64(time.Millisecond))))
+		defer cancel()
+	}
+	res, err := e.Infer(ctx, model, x)
+	if err != nil {
+		return nil, err
 	}
 	return InferResult{
 		Model:      model,
@@ -189,6 +192,11 @@ type Metrics struct {
 	// Serving is per-model queue/batch/latency counters; empty when no
 	// model has been served yet, null when no engine is attached.
 	Serving []serving.ModelStats `json:"serving"`
+	// Tenants is the per-tenant admission/scheduling counter set
+	// (admitted, shed, expired, served, latency quantiles), highest
+	// priority first; omitted when no engine is attached. The chaos
+	// harness asserts SLO attainment and shed confinement against it.
+	Tenants []serving.TenantStats `json:"tenants,omitempty"`
 	// QueueDepth and QueueCap are the serving engine's aggregate queue
 	// fill across models — the cheap signal a gateway reads for
 	// least-loaded routing without walking the per-model stats.
@@ -217,6 +225,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 			m.Serving = []serving.ModelStats{}
 		}
 		m.QueueDepth, m.QueueCap = e.QueueDepth()
+		m.Tenants = e.TenantStats()
 	}
 	s.mu.RLock()
 	pilot := s.pilot

@@ -3,6 +3,7 @@ package pkgmgr
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -116,6 +117,91 @@ func TestLoadWithAdmissionReplaceSameName(t *testing.T) {
 	}
 	if got := mgr.Models(); len(got) != 1 {
 		t.Errorf("models = %v", got)
+	}
+}
+
+// TestLoadWithAdmissionColdEvictionUnderPressure keeps one model hot
+// with traffic while a stream of new loads overflows the device round
+// after round: every admission must evict the coldest model, never the
+// hot one, and the modelled memory must stay within the device budget
+// throughout.
+func TestLoadWithAdmissionColdEvictionUnderPressure(t *testing.T) {
+	// Runtime 2 MiB + room for roughly three small models.
+	mgr := admissionManager(t, 2<<20+4<<20)
+	x := tensor.New(1, 8)
+	touch := func(name string) {
+		t.Helper()
+		if _, err := mgr.Infer(name, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mgr.LoadWithAdmission(denseModel("hot", 32, 0), LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cold := []string{"c1", "c2", "c3", "c4", "c5"}
+	for i, name := range cold {
+		touch("hot") // hot stays the most recently used before every load
+		time.Sleep(time.Millisecond)
+		evicted, err := mgr.LoadWithAdmission(denseModel(name, 32, int64(i+1)), LoadOptions{})
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		for _, v := range evicted {
+			if v == "hot" {
+				t.Fatalf("load %s evicted the hot model", name)
+			}
+		}
+		// Once the device is full, each round must shed the coldest
+		// earlier arrival in FIFO-of-coldness order.
+		if i >= 2 {
+			want := cold[i-2]
+			if len(evicted) != 1 || evicted[0] != want {
+				t.Errorf("load %s evicted %v, want [%s]", name, evicted, want)
+			}
+		}
+		if used := mgr.MemoryInUse(); used > mgr.Device().MemBytes {
+			t.Errorf("after %s: MemoryInUse %d exceeds device %d", name, used, mgr.Device().MemBytes)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	touch("hot") // survived every round
+}
+
+// TestLoadWithAdmissionConcurrentPressure hammers admission from several
+// goroutines on a device that holds only a couple of models, with
+// concurrent inference mixed in. Evicted-model inferences may fail; the
+// invariants are no data races, no admission errors, and a final
+// footprint within the device budget.
+func TestLoadWithAdmissionConcurrentPressure(t *testing.T) {
+	mgr := admissionManager(t, 2<<20+3<<20)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			model := denseModel(name, 64, int64(g))
+			x := tensor.New(1, 8)
+			for i := 0; i < 15; i++ {
+				if _, err := mgr.LoadWithAdmission(model, LoadOptions{}); err != nil {
+					errCh <- err
+					return
+				}
+				mgr.Infer(name, x) // may race an eviction; error is fine
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	if used := mgr.MemoryInUse(); used > mgr.Device().MemBytes {
+		t.Errorf("MemoryInUse %d exceeds device %d", used, mgr.Device().MemBytes)
+	}
+	if got := mgr.Models(); len(got) == 0 {
+		t.Error("no models survived the churn")
 	}
 }
 

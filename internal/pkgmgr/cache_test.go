@@ -184,6 +184,70 @@ func TestResultCacheConcurrentInfer(t *testing.T) {
 	}
 }
 
+// TestResultCacheStampedeSameKey releases every goroutine at once
+// against a single cold key — the thundering-herd shape. The cache has
+// no single-flight, so several goroutines may each run the inference,
+// but they must all get the same answer, the stats must add up, and
+// exactly one entry may remain.
+func TestResultCacheStampedeSameKey(t *testing.T) {
+	m, x := cachedFixture(t)
+	c := NewResultCache(8, 0)
+
+	const herd = 16
+	start := make(chan struct{})
+	results := make(chan InferenceResult, herd)
+	errCh := make(chan error, herd)
+	var wg sync.WaitGroup
+	for g := 0; g < herd; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			res, _, err := c.Infer(m, "power-net", x)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			results <- res
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errCh)
+	close(results)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	var first *InferenceResult
+	for res := range results {
+		if first == nil {
+			r := res
+			first = &r
+			continue
+		}
+		if res.Classes[0] != first.Classes[0] || res.Confidences[0] != first.Confidences[0] {
+			t.Fatalf("stampede answers diverge: %+v vs %+v", res, *first)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (one key)", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != herd {
+		t.Fatalf("hits %d + misses %d != %d", st.Hits, st.Misses, herd)
+	}
+	if st.Misses < 1 {
+		t.Fatalf("misses = %d, want ≥1 for a cold key", st.Misses)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("evictions = %d on a same-key stampede", st.Evictions)
+	}
+	// The herd warmed the cache: the next caller must hit.
+	if _, hit, err := c.Infer(m, "power-net", x); err != nil || !hit {
+		t.Fatalf("post-stampede lookup hit=%v err=%v", hit, err)
+	}
+}
+
 func TestHashTensorShapeSensitive(t *testing.T) {
 	a := tensor.MustFrom([]float32{1, 2, 3, 4}, 2, 2)
 	b := tensor.MustFrom([]float32{1, 2, 3, 4}, 1, 4)

@@ -12,6 +12,7 @@ import (
 // request is one enqueued single-sample inference.
 type request struct {
 	x        *tensor.Tensor
+	tenant   *tenantState
 	deadline time.Time // zero means none
 	enq      time.Time
 	resp     chan response // buffered(1): workers never block on it
@@ -28,7 +29,7 @@ type pipeline struct {
 	cfg        Config
 	inputShape []int
 
-	queue   chan *request
+	q       *schedQueue
 	batches chan []*request
 	quit    chan struct{}
 	met     modelMetrics
@@ -42,12 +43,12 @@ type pipeline struct {
 	closed bool
 }
 
-func newPipeline(model string, cfg Config, reps []*pkgmgr.Replica) *pipeline {
+func newPipeline(model string, cfg Config, tenants *tenantTable, reps []*pkgmgr.Replica) *pipeline {
 	p := &pipeline{
 		model:      model,
 		cfg:        cfg,
 		inputShape: reps[0].InputShape(),
-		queue:      make(chan *request, cfg.QueueDepth),
+		q:          newSchedQueue(cfg.QueueDepth, tenants),
 		batches:    make(chan []*request),
 		quit:       make(chan struct{}),
 	}
@@ -96,25 +97,29 @@ func shapeEq(a, b []int) bool {
 	return true
 }
 
-// submit applies admission control: non-blocking enqueue, immediate
-// ErrOverloaded when the bounded queue is full.
+// submit applies admission control: non-blocking enqueue under the
+// tenant scheduler, immediate ErrOverloaded when the bounded queue is
+// full. Per-tenant rate admission (the token bucket) has already run in
+// Engine.infer; this is the shared-capacity gate.
 func (p *pipeline) submit(req *request) error {
 	p.sendMu.RLock()
 	defer p.sendMu.RUnlock()
 	if p.closed {
 		return ErrClosed
 	}
-	select {
-	case p.queue <- req:
+	if p.q.push(req) {
 		p.met.enqueued.Add(1)
+		req.tenant.met.admitted.Add(1)
 		return nil
-	default:
-		p.met.rejected.Add(1)
-		return fmt.Errorf("%w: model %s queue full (depth %d)", ErrOverloaded, p.model, cap(p.queue))
 	}
+	p.met.rejected.Add(1)
+	req.tenant.met.rejected.Add(1)
+	return fmt.Errorf("%w: model %s queue full (depth %d)", ErrOverloaded, p.model, p.cfg.QueueDepth)
 }
 
-// dispatch coalesces queued requests into micro-batches.
+// dispatch coalesces queued requests into micro-batches, receiving them
+// in the scheduler's order: strict priority tiers first, weighted-fair
+// within a tier.
 func (p *pipeline) dispatch() {
 	defer p.wg.Done()
 	defer close(p.batches)
@@ -124,7 +129,11 @@ func (p *pipeline) dispatch() {
 		case <-p.quit:
 			p.sweep()
 			return
-		case first = <-p.queue:
+		case <-p.q.ready:
+			first = p.q.take()
+		}
+		if first == nil {
+			continue
 		}
 		batch := p.expireStale(p.fill(first))
 		if len(batch) == 0 {
@@ -146,8 +155,10 @@ func (p *pipeline) fill(first *request) []*request {
 	defer timer.Stop()
 	for len(batch) < p.cfg.MaxBatch {
 		select {
-		case r := <-p.queue:
-			batch = append(batch, r)
+		case <-p.q.ready:
+			if r := p.q.take(); r != nil {
+				batch = append(batch, r)
+			}
 		case <-timer.C:
 			return batch
 		case <-p.quit:
@@ -163,8 +174,7 @@ func (p *pipeline) expireStale(batch []*request) []*request {
 	live := batch[:0]
 	for _, r := range batch {
 		if !r.deadline.IsZero() && now.After(r.deadline) {
-			p.met.expired.Add(1)
-			r.resp <- response{err: fmt.Errorf("%w: model %s: waited %v", ErrDeadline, p.model, now.Sub(r.enq))}
+			p.expire(r, now)
 			continue
 		}
 		live = append(live, r)
@@ -172,16 +182,18 @@ func (p *pipeline) expireStale(batch []*request) []*request {
 	return live
 }
 
+// expire answers one request with ErrDeadline and accounts it.
+func (p *pipeline) expire(r *request, now time.Time) {
+	p.met.expired.Add(1)
+	r.tenant.met.expired.Add(1)
+	r.resp <- response{err: fmt.Errorf("%w: model %s: waited %v", ErrDeadline, p.model, now.Sub(r.enq))}
+}
+
 // sweep rejects everything still queued at shutdown. submit cannot add more
 // once pipeline.close has flipped closed, so this sees the final queue.
 func (p *pipeline) sweep() {
-	for {
-		select {
-		case r := <-p.queue:
-			r.resp <- response{err: ErrClosed}
-		default:
-			return
-		}
+	for _, r := range p.q.drainAll() {
+		r.resp <- response{err: ErrClosed}
 	}
 }
 
@@ -191,29 +203,52 @@ func (p *pipeline) sweep() {
 func (p *pipeline) work(rep *pkgmgr.Replica) {
 	defer p.wg.Done()
 	var xs []*tensor.Tensor
+	live := make([]*request, 0, p.cfg.MaxBatch)
 	for batch := range p.batches {
-		xs = xs[:0]
+		// Deadline hygiene at the last gate: a request can expire between
+		// dequeue (where expireStale last checked) and this execution
+		// start — e.g. while the batch sat behind a slow predecessor in
+		// the batches channel. Running it anyway would burn kernel time on
+		// an answer nobody is waiting for; drop it with ErrDeadline now.
+		now := time.Now()
+		live = live[:0]
 		for _, r := range batch {
+			if !r.deadline.IsZero() && now.After(r.deadline) {
+				p.expire(r, now)
+				continue
+			}
+			live = append(live, r)
+		}
+		if len(live) == 0 {
+			continue
+		}
+		xs = xs[:0]
+		for _, r := range live {
 			xs = append(xs, r.x)
 		}
 		start := time.Now()
 		res, err := rep.InferBatch(xs)
 		if err != nil {
-			p.met.errored.Add(uint64(len(batch)))
-			for _, r := range batch {
+			p.met.errored.Add(uint64(len(live)))
+			for _, r := range live {
+				r.tenant.met.errored.Add(1)
 				r.resp <- response{err: err}
 			}
 			continue
 		}
 		done := time.Now()
-		for i, r := range batch {
+		for i, r := range live {
 			queued := start.Sub(r.enq)
-			p.met.observeDone(queued, done.Sub(r.enq))
+			total := done.Sub(r.enq)
+			p.met.observeDone(queued, total)
+			r.tenant.met.served.Add(1)
+			r.tenant.met.hist.Observe(total)
 			r.resp <- response{res: Result{
 				Model:        p.model,
+				Tenant:       r.tenant.cfg.Name,
 				Class:        res.Classes[i],
 				Confidence:   res.Confidences[i],
-				BatchSize:    len(batch),
+				BatchSize:    len(live),
 				Queued:       queued,
 				ModelLatency: res.ModelLatency,
 				ModelEnergy:  res.ModelEnergy,
@@ -224,7 +259,7 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 
 // stats snapshots this pipeline's counters.
 func (p *pipeline) stats() ModelStats {
-	return p.met.snapshot(p.model, len(p.queue))
+	return p.met.snapshot(p.model, p.q.len())
 }
 
 // drain retires the pipeline without dropping anything: new submits are
@@ -242,7 +277,7 @@ func (p *pipeline) drain() {
 	p.sendMu.Unlock()
 	// No submit can enter past this point, so the queue only shrinks; once
 	// it is empty the shutdown sweep has nothing to reject.
-	for len(p.queue) > 0 {
+	for p.q.len() > 0 {
 		time.Sleep(200 * time.Microsecond)
 	}
 	close(p.quit)

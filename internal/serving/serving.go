@@ -74,6 +74,16 @@ type Config struct {
 	// units; kernels below it run on the submitting goroutine. 0 keeps
 	// the current grain (parallel.DefaultGrainWork by default).
 	ParallelGrain int
+	// Tenants declares the admission and scheduling classes requests may
+	// carry (WithTenant): per-tenant token-bucket admission, strict
+	// priority tiers at dispatch, weighted-fair sharing within a tier.
+	// Empty means single-tenant behavior (every request rides the
+	// default class, unlimited, FIFO).
+	Tenants []TenantConfig
+	// DefaultTenant names the class unattributed or undeclared tenants
+	// are accounted to (default "default"). Declaring a tenant with this
+	// name in Tenants lets the operator rate-limit the catch-all class.
+	DefaultTenant string
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +108,8 @@ type Result struct {
 	// Swap route this is the active tier, not the name the client asked
 	// for.
 	Model string
+	// Tenant is the admission class the request was accounted to.
+	Tenant string
 	// Class and Confidence are this sample's prediction.
 	Class      int
 	Confidence float64
@@ -117,8 +129,9 @@ type Result struct {
 // changes — call Reset after reloading or retraining a model. Close must be
 // called; it drains and stops every pipeline.
 type Engine struct {
-	mgr *pkgmgr.Manager
-	cfg Config
+	mgr     *pkgmgr.Manager
+	cfg     Config
+	tenants *tenantTable
 
 	mu     sync.RWMutex
 	pipes  map[string]*pipeline
@@ -137,7 +150,11 @@ func NewEngine(mgr *pkgmgr.Manager, cfg Config) *Engine {
 	if cfg.ParallelGrain > 0 {
 		parallel.SetGrainWork(cfg.ParallelGrain)
 	}
-	return &Engine{mgr: mgr, cfg: cfg, pipes: map[string]*pipeline{}, routes: map[string]string{}}
+	return &Engine{
+		mgr: mgr, cfg: cfg,
+		tenants: newTenantTable(cfg.Tenants, cfg.DefaultTenant),
+		pipes:   map[string]*pipeline{}, routes: map[string]string{},
+	}
 }
 
 // Config returns the engine's effective (defaulted) configuration.
@@ -145,7 +162,9 @@ func (e *Engine) Config() Config { return e.cfg }
 
 // Infer enqueues one single-sample request for the named model and blocks
 // until a replica answers, the context is done, or admission rejects it.
-// A context deadline becomes the request's queue deadline.
+// A context deadline becomes the request's queue deadline; a context
+// tenant (WithTenant) selects the request's admission and scheduling
+// class.
 func (e *Engine) Infer(ctx context.Context, model string, x *tensor.Tensor) (Result, error) {
 	var deadline time.Time
 	if d, ok := ctx.Deadline(); ok {
@@ -165,6 +184,15 @@ func (e *Engine) InferWithDeadline(model string, x *tensor.Tensor, d time.Durati
 }
 
 func (e *Engine) infer(ctx context.Context, model string, x *tensor.Tensor, deadline time.Time) (Result, error) {
+	tenant := e.tenants.resolve(TenantFrom(ctx))
+	// Per-tenant rate admission runs before any queue is touched: a
+	// tenant past its token bucket is shed here, so a hot client's
+	// excess never competes for shared queue capacity.
+	if tenant.bucket != nil && !tenant.bucket.allow(time.Now()) {
+		tenant.met.throttled.Add(1)
+		return Result{}, fmt.Errorf("%w: tenant %q over admission rate (%.3g/s, burst %d)",
+			ErrOverloaded, tenant.cfg.Name, tenant.cfg.RatePerSec, tenant.cfg.Burst)
+	}
 	var req *request
 	// A Swap or Reset can retire the pipeline between lookup and submit;
 	// ErrClosed from a live engine means "re-resolve the route and try the
@@ -180,9 +208,10 @@ func (e *Engine) infer(ctx context.Context, model string, x *tensor.Tensor, dead
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			p.met.expired.Add(1)
+			tenant.met.expired.Add(1)
 			return Result{}, fmt.Errorf("%w: model %s: expired before enqueue", ErrDeadline, model)
 		}
-		req = &request{x: sample, deadline: deadline, enq: time.Now(), resp: make(chan response, 1)}
+		req = &request{x: sample, tenant: tenant, deadline: deadline, enq: time.Now(), resp: make(chan response, 1)}
 		if err := p.submit(req); err != nil {
 			if errors.Is(err, ErrClosed) && attempt < 8 {
 				continue
@@ -277,7 +306,7 @@ func (e *Engine) ensureActual(actual string) (*pipeline, error) {
 		// Lost the build race; the extra clones are garbage-collected.
 		return p, nil
 	}
-	p = newPipeline(actual, e.cfg, reps)
+	p = newPipeline(actual, e.cfg, e.tenants, reps)
 	e.pipes[actual] = p
 	return p, nil
 }
@@ -391,7 +420,7 @@ func (e *Engine) SetReplicas(model string, n int) error {
 		e.mu.Unlock()
 		return nil
 	}
-	e.pipes[actual] = newPipeline(actual, cfg, reps)
+	e.pipes[actual] = newPipeline(actual, cfg, e.tenants, reps)
 	e.mu.Unlock()
 	if old != nil {
 		go old.drain()
@@ -437,8 +466,8 @@ func (e *Engine) QueueDepth() (depth, capacity int) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, p := range e.pipes {
-		depth += len(p.queue)
-		capacity += cap(p.queue)
+		depth += p.q.len()
+		capacity += p.met.queueCap
 	}
 	return depth, capacity
 }

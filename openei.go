@@ -37,10 +37,16 @@
 //     across (0 = all cores);
 //   - ParallelGrain — the pool's serial cutoff in fused-op units; kernels
 //     below it run on the submitting goroutine so tiny tensors skip
-//     dispatch overhead (0 = library default).
+//     dispatch overhead (0 = library default);
+//   - Tenants / DefaultTenant — multi-tenant admission and scheduling:
+//     each TenantConfig declares a strict priority tier, a weighted fair
+//     share within the tier, and an optional token-bucket rate; requests
+//     carry their class via the infer route's &tenant= parameter (or
+//     WithTenant in-process) and shed with HTTP 429 when their bucket or
+//     the queue is exhausted, never starving a higher tier.
 //
-// Queue depth, batch sizes, latency counters, and kernel-pool utilization
-// are exposed at GET /ei_metrics. Serving replicas additionally run a
+// Queue depth, batch sizes, latency counters, per-tenant counters, and
+// kernel-pool utilization are exposed at GET /ei_metrics. Serving replicas additionally run a
 // zero-allocation inference path: activations live in per-replica arena
 // allocators, so steady-state request handling does not touch the GC.
 package openei
@@ -130,6 +136,14 @@ type (
 	ServingResult = serving.Result
 	// ServingStats is the per-model counter snapshot behind /ei_metrics.
 	ServingStats = serving.ModelStats
+	// TenantConfig declares one admission/scheduling class of the
+	// multi-tenant serving engine (ServingConfig.Tenants): a strict
+	// priority tier, a weighted fair share within the tier, and an
+	// optional token-bucket admission rate.
+	TenantConfig = serving.TenantConfig
+	// TenantStats is one tenant's serving counter snapshot (admitted,
+	// shed, expired, served, latency percentiles) behind /ei_metrics.
+	TenantStats = serving.TenantStats
 	// AutopilotPolicy is the operator-declared SLO (p95 latency target,
 	// accuracy floor, memory cap) plus the control loop's hysteresis
 	// knobs; a zero P95 leaves the autopilot disabled.
@@ -511,6 +525,13 @@ func (n *Node) ServeInfer(modelName string, x *Tensor) (ServingResult, error) {
 // ServeInferWithin is ServeInfer with a per-request deadline.
 func (n *Node) ServeInferWithin(modelName string, x *Tensor, d time.Duration) (ServingResult, error) {
 	return n.Serving.InferWithDeadline(modelName, x, d)
+}
+
+// WithTenant attributes serving requests made with the returned context
+// to the named tenant class (see ServingConfig.Tenants); unattributed
+// requests ride the default class.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return serving.WithTenant(ctx, tenant)
 }
 
 // NewTensor builds an input tensor from raw values (copied) and a shape;

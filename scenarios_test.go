@@ -4,13 +4,18 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"openei/internal/chaos"
 	"openei/internal/dataset"
+	"openei/internal/gateway"
 	"openei/internal/nn"
 	"openei/internal/sensors"
+	"openei/internal/serving"
 	"openei/internal/zoo"
 )
 
@@ -166,4 +171,142 @@ func splitOnce(s string) [2]string {
 		}
 	}
 	return [2]string{s, ""}
+}
+
+// TestScenarioChaosSoak is the robustness acceptance scenario: a 4-node
+// fleet behind the gateway, three tenants with distinct priorities
+// mapped to the paper's example verticals, diurnal/bursty traffic over
+// netsim links, and a fault schedule that kills a node, partitions a
+// second, and makes a third flaky and slow — all mid-run.
+//
+// The contract asserted at the end:
+//
+//   - the high-priority tenant (safety_video) meets its SLO and is never
+//     shed by admission,
+//   - shedding is confined to the rate-limited low-priority tenant
+//     (smart_home), confirmed by the per-tenant serving counters on the
+//     nodes themselves,
+//   - no request fails with anything but an admission 429 or deadline
+//     408 — zero protocol-level failures,
+//   - the gateway's failover machinery visibly absorbed the faults.
+//
+// The run shortens under -short (the CI race leg) and stretches to
+// CHAOS_SOAK_SECONDS for the scheduled long soak; CHAOS_REPORT, when
+// set, receives the JSON report as a CI artifact.
+func TestScenarioChaosSoak(t *testing.T) {
+	dur := 4 * time.Second
+	if testing.Short() {
+		dur = 2 * time.Second
+	}
+	if raw := os.Getenv("CHAOS_SOAK_SECONDS"); raw != "" {
+		secs, err := strconv.Atoi(raw)
+		if err != nil || secs <= 0 {
+			t.Fatalf("bad CHAOS_SOAK_SECONDS=%q", raw)
+		}
+		dur = time.Duration(secs) * time.Second
+	}
+
+	fleet, err := chaos.NewFleet(chaos.FleetConfig{
+		Nodes: 4,
+		Seed:  20190707, // ICDCS'19 — any seed replays the same run
+		Tenants: []serving.TenantConfig{
+			// The §V verticals as admission classes: connected-vehicle
+			// safety video outranks public-health analytics outranks
+			// smart-home telemetry, and only the telemetry firehose is
+			// rate-limited.
+			{Name: "safety_video", Priority: 10, Weight: 4},
+			{Name: "health", Priority: 5, Weight: 2},
+			{Name: "smart_home", Priority: 0, Weight: 1, RatePerSec: 25, Burst: 10},
+		},
+		QueueDepth: 256,
+		Gateway: gateway.Config{
+			Retries:          6,
+			Hedge:            150 * time.Millisecond,
+			BreakerThreshold: 4,
+			BreakerCooldown:  300 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	h := &chaos.Harness{
+		Fleet:    fleet,
+		Duration: dur,
+		Traffic: []chaos.TenantTraffic{
+			{Tenant: "safety_video", Model: "ident", RPS: 25, BurstFactor: 2,
+				Deadline: time.Second, SLO: time.Second},
+			{Tenant: "health", Model: "ident", RPS: 15, BurstFactor: 3,
+				Deadline: time.Second},
+			// The telemetry firehose offers ~3× its admitted rate at peak.
+			{Tenant: "smart_home", Model: "ident", RPS: 50, BurstFactor: 2,
+				Deadline: time.Second},
+		},
+		Events: []chaos.Event{
+			{At: dur / 8, Node: 3, Action: chaos.Flaky, Rate: 0.15},
+			{At: dur / 4, Node: 2, Action: chaos.Partition},
+			{At: dur / 2, Node: 2, Action: chaos.Heal},
+			{At: dur / 2, Node: 1, Action: chaos.Kill},
+			{At: dur * 5 / 8, Node: 3, Action: chaos.Slow},
+			{At: dur * 7 / 8, Node: 3, Action: chaos.Restore},
+		},
+	}
+	rep, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteEnv(); err != nil {
+		t.Errorf("write CHAOS_REPORT: %v", err)
+	}
+
+	for _, to := range rep.Tenants {
+		if to.Sent == 0 {
+			t.Errorf("tenant %s sent no traffic", to.Tenant)
+		}
+		if to.Other != 0 {
+			t.Errorf("tenant %s: %d protocol-level failures (want only 429/408): %v",
+				to.Tenant, to.Other, to.OtherSamples)
+		}
+	}
+	safety := rep.Tenant("safety_video")
+	smart := rep.Tenant("smart_home")
+	if safety == nil || smart == nil {
+		t.Fatal("missing tenant outcomes")
+	}
+	if safety.Overloaded != 0 {
+		t.Errorf("safety_video shed %d times; admission must never touch the high-priority class", safety.Overloaded)
+	}
+	if safety.SLOAttainment < 0.90 {
+		t.Errorf("safety_video SLO attainment %.3f < 0.90 (p95 %.1fms)", safety.SLOAttainment, safety.P95MS)
+	}
+	if smart.Overloaded == 0 {
+		t.Error("smart_home firehose was never shed; the token bucket did not engage")
+	}
+
+	// Shed confinement, asserted from the nodes' own per-tenant counters
+	// (the /ei_metrics payload), not just the client's view.
+	shedBy := map[string]uint64{}
+	for _, stats := range rep.NodeTenants {
+		for _, ts := range stats {
+			shedBy[ts.Tenant] += ts.ShedThrottle + ts.ShedQueue
+		}
+	}
+	if shedBy["safety_video"] != 0 || shedBy["health"] != 0 {
+		t.Errorf("shed leaked to high tenants: %v", shedBy)
+	}
+	if shedBy["smart_home"] == 0 {
+		t.Error("node counters show no smart_home shed")
+	}
+
+	// The faults must have actually exercised the failover machinery.
+	if rep.Gateway.Retried == 0 {
+		t.Error("gateway never retried through kill+partition+flaky faults")
+	}
+	if rep.Gateway.HealthyNodes >= 4 {
+		t.Errorf("healthy_nodes = %d after a node kill", rep.Gateway.HealthyNodes)
+	}
+	t.Logf("soak %s: safety slo=%.3f p95=%.1fms; smart shed=%d/%d; gw retried=%d hedged=%d",
+		dur, safety.SLOAttainment, safety.P95MS, smart.Overloaded, smart.Sent,
+		rep.Gateway.Retried, rep.Gateway.Hedged)
 }
