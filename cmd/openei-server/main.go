@@ -30,7 +30,11 @@
 // 408. Per-tenant counters appear under "tenants" in GET /ei_metrics. Serving replicas execute compiled inference plans;
 // -backend picks the demo model's kernel set (auto/float32/int8 — "auto"
 // takes int8 when the package supports it), and each pipeline reports its
-// backend in GET /ei_metrics. The parallel kernel pool that dense kernels
+// backend in GET /ei_metrics. Recurrent models compile with early-exit
+// support: -exit-threshold sets the confidence at which a sample retires
+// before consuming the full recurrent window (0 disables), and capable
+// pipelines report per-exit-head counts and latency quantiles in the
+// "exits" block of GET /ei_metrics. The parallel kernel pool that dense kernels
 // shard across is tuned with -procs (width, default all cores) and
 // -parallel-grain (serial cutoff in fused ops); its utilization shows up
 // under "parallel" in GET /ei_metrics.
@@ -134,6 +138,11 @@ func main() {
 		// kernels, else float32).
 		backendName = flag.String("backend", "auto", "serving backend for the detection model: auto, float32, or int8")
 
+		// Early-exit knob: recurrent models whose plans carry an exit
+		// graph retire samples once the per-step classifier reaches this
+		// confidence. Feed-forward pipelines ignore it.
+		exitThr = flag.Float64("exit-threshold", 0, "early-exit confidence threshold in (0,1] for recurrent serving plans; 0 disables")
+
 		// Autopilot SLO knobs: with -slo-p95 set the node profiles a tier
 		// ladder for the detection model at startup and switches tiers /
 		// offloads to the cloud at runtime to hold the SLO.
@@ -164,6 +173,7 @@ func main() {
 		Replicas: *replicas, QueueDepth: *queueDepth,
 		Procs: *procs, ParallelGrain: *grain,
 		Tenants: tenantCfgs, DefaultTenant: *defaultTenant,
+		ExitThreshold: *exitThr,
 	}
 	slo := openei.AutopilotPolicy{
 		P95:             *sloP95,

@@ -1,0 +1,83 @@
+package openei
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The documentation set the repo ships: every markdown file here is
+// link-checked so a moved file or renamed doc fails CI instead of
+// leaving a dead reference.
+var docFiles = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"ROADMAP.md",
+	"docs/METRICS.md",
+	"examples/health/README.md",
+	"examples/smart_home/README.md",
+	"examples/vehicles/README.md",
+	"examples/safety_video/README.md",
+	"examples/pipeline/README.md",
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinks is the docs lint: every relative markdown link in the
+// doc set must resolve to a file that exists in the repo.
+func TestDocsLinks(t *testing.T) {
+	for _, f := range docFiles {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Errorf("doc file missing: %v", err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			// Strip a #fragment; a bare fragment links within the file.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(f), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", f, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestDocsCurrent pins the claims most likely to rot: the README must
+// not resurrect the removed layer-walk fallback, and the docs the
+// README links as its companions must mention the subsystems this
+// repo actually ships.
+func TestDocsCurrent(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(readme), "the fallback for") && strings.Contains(string(readme), `"layer-walk"`) {
+		t.Error("README still documents the layer-walk fallback backend; recurrent stacks compile now")
+	}
+	for _, want := range []string{"-exit-threshold", "mean_steps_used", "fastgrnn-m"} {
+		if !strings.Contains(string(readme), want) {
+			t.Errorf("README does not mention %q", want)
+		}
+	}
+	metrics, err := os.ReadFile("docs/METRICS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"exit_threshold", "mean_steps_used", "tenants", "cluster", "deadline_stopped"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("docs/METRICS.md does not document %q", want)
+		}
+	}
+}

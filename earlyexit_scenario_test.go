@@ -1,0 +1,213 @@
+package openei
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// skewModel hand-crafts a FastGRNN classifier whose per-step confidence
+// tracks input difficulty: feature 0 of each time step routes into every
+// hidden unit, the update gate is biased open (Bz=−8) so the state
+// saturates within one step of signal, and the dense head reads the
+// saturated state as class 0 with softmax confidence ≈0.95. An "easy"
+// input carries signal from step 1 and crosses a 0.9 exit threshold
+// immediately; a "hard" input stays silent until T/2 and cannot exit
+// before then. Both difficulties predict class 0 either way, so early
+// exit trades steps for latency at identical accuracy.
+func skewModel(t *testing.T, name string, T, D, H, C int) *Model {
+	t.Helper()
+	m, err := nn.NewModel(name, []int{T * D}, []nn.LayerSpec{
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{T: T, D: D, H: H}},
+		{Type: "dense", In: H, Out: C},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnn := m.Layers[0].(*nn.FastGRNN)
+	for i := 0; i < H; i++ {
+		rnn.W.Data()[i*D] = 1.5 // route feature 0 into every unit
+		rnn.U.Data()[i*H+i] = 0.5
+		rnn.Bz.Data()[i] = -8 // z≈0: the update gate passes h̃ straight through
+	}
+	head := m.Layers[1].(*nn.Dense)
+	for j := 0; j < H; j++ {
+		head.W.Data()[0*H+j] = 4.0 / float32(H) // class 0 collects the saturated state
+	}
+	return m
+}
+
+// skewSample builds one input for skewModel: signal (feature 0 = 3) on
+// every step from `from` onward, silence before.
+func skewSample(t *testing.T, T, D, from int) *Tensor {
+	t.Helper()
+	data := make([]float32, T*D)
+	for step := from; step < T; step++ {
+		data[step*D] = 3
+	}
+	x, err := tensor.NewFrom(data, T*D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// The tentpole scenario: an input-difficulty-skewed workload (the
+// easy/hard mix shifts over time) served by the same recurrent weights
+// with and without confidence-routed early exit. The exit plan must win
+// on mean steps used and p95 latency while predicting the same class on
+// every sample, and the per-exit histograms must be visible over
+// GET /ei_metrics.
+func TestEarlyExitSkewedWorkload(t *testing.T) {
+	const (
+		T, D, H, C = 32, 8, 192, 4
+		threshold  = 0.9
+	)
+	node, err := New(Config{
+		NodeID: "exit-demo", Device: "jetson-tx2",
+		Serving: ServingConfig{MaxBatch: 1, Replicas: 1, QueueDepth: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	if err := node.LoadModel(skewModel(t, "skew-net", T, D, H, C), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.LoadModel(skewModel(t, "skew-net-exit", T, D, H, C), false); err != nil {
+		t.Fatal(err)
+	}
+	capable, err := node.SetExitThreshold("skew-net-exit", threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capable {
+		t.Fatal("recurrent plan does not support early exit")
+	}
+
+	// Two phases with a shifting difficulty mix: mostly easy traffic
+	// first, then the hard fraction ramps up (the regime where adaptive
+	// computation matters most).
+	rng := rand.New(rand.NewSource(77))
+	easy := skewSample(t, T, D, 0)
+	hard := skewSample(t, T, D, T/2)
+	var workload []*Tensor
+	for i := 0; i < 40; i++ { // phase 1: 90% easy
+		if rng.Float64() < 0.9 {
+			workload = append(workload, easy)
+		} else {
+			workload = append(workload, hard)
+		}
+	}
+	for i := 0; i < 80; i++ { // phase 2: 40% easy
+		if rng.Float64() < 0.4 {
+			workload = append(workload, easy)
+		} else {
+			workload = append(workload, hard)
+		}
+	}
+
+	var exitSteps, fullSteps int
+	for i, x := range workload {
+		full, err := node.ServeInfer("skew-net", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ee, err := node.ServeInfer("skew-net-exit", x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Equal accuracy floor: identical weights must predict the same
+		// class whether or not the sample retired early.
+		if ee.Class != full.Class {
+			t.Fatalf("sample %d: exit plan class %d, full plan class %d", i, ee.Class, full.Class)
+		}
+		if full.TotalSteps != T || ee.TotalSteps != T {
+			t.Fatalf("sample %d: total steps %d/%d, want %d", i, full.TotalSteps, ee.TotalSteps, T)
+		}
+		if full.StepsUsed != T {
+			t.Fatalf("sample %d: no-exit plan used %d steps, want %d", i, full.StepsUsed, T)
+		}
+		if ee.StepsUsed > full.StepsUsed {
+			t.Fatalf("sample %d: exit plan used more steps (%d) than the full window", i, ee.StepsUsed)
+		}
+		exitSteps += ee.StepsUsed
+		fullSteps += full.StepsUsed
+	}
+	meanExit := float64(exitSteps) / float64(len(workload))
+	if meanExit >= float64(T)*0.75 {
+		t.Errorf("mean steps used with early exit = %.1f of %d; expected a clear drop", meanExit, T)
+	}
+
+	// The serving histograms must show the latency win: the exit
+	// pipeline's p95 sits at the hard samples' mid-window retirement,
+	// well under the no-exit plan's full sweep.
+	stats := map[string]ServingStats{}
+	for _, s := range node.Serving.Stats() {
+		stats[s.Model] = s
+	}
+	full, ee := stats["skew-net"], stats["skew-net-exit"]
+	if !ee.EarlyExit || ee.ExitThreshold != threshold || ee.TotalSteps != T {
+		t.Fatalf("exit pipeline stats = %+v, want early_exit at %.2f over %d steps", ee, threshold, T)
+	}
+	if ee.EarlyExit && full.EarlyExit {
+		// Both plans are exit-capable; only one has the knob enabled.
+		if full.ExitThreshold != 0 {
+			t.Fatalf("no-exit pipeline reports threshold %v", full.ExitThreshold)
+		}
+	}
+	if ee.MeanStepsUsed >= float64(T)*0.75 {
+		t.Errorf("reported mean_steps_used = %.1f of %d", ee.MeanStepsUsed, T)
+	}
+	if len(ee.Exits) < 2 {
+		t.Fatalf("exits block = %+v, want at least the easy and hard exit heads", ee.Exits)
+	}
+	if ee.Exits[0].Step != 1 {
+		t.Errorf("first exit head at step %d, want 1 (easy samples)", ee.Exits[0].Step)
+	}
+	var counted uint64
+	for _, ex := range ee.Exits {
+		counted += ex.Count
+		if ex.Step > T/2+2 {
+			t.Errorf("exit head at step %d: hard samples should retire just past T/2", ex.Step)
+		}
+	}
+	if counted != uint64(len(workload)) {
+		t.Errorf("exit head counts sum to %d, want %d", counted, len(workload))
+	}
+	if full.P95MS <= 0 || ee.P95MS <= 0 {
+		t.Fatalf("missing latency quantiles: full %.3f, exit %.3f", full.P95MS, ee.P95MS)
+	}
+	if ee.P95MS >= full.P95MS {
+		t.Errorf("exit plan p95 %.3fms did not beat the no-exit plan's %.3fms", ee.P95MS, full.P95MS)
+	}
+	if full.Backend == "layer-walk" || ee.Backend == "layer-walk" {
+		t.Fatalf("recurrent pipelines report backends %q/%q; layer-walk should be gone", full.Backend, ee.Backend)
+	}
+
+	// The same per-exit block is visible to operators over the REST API.
+	ts := httptest.NewServer(node.Handler())
+	defer ts.Close()
+	m, err := Dial(ts.URL).Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range m.Serving {
+		if s.Model != "skew-net-exit" {
+			continue
+		}
+		found = true
+		if !s.EarlyExit || len(s.Exits) < 2 || s.Exits[0].Count == 0 {
+			t.Errorf("/ei_metrics exits block = %+v", s.Exits)
+		}
+	}
+	if !found {
+		t.Error("/ei_metrics has no entry for skew-net-exit")
+	}
+	t.Logf("mean steps %.1f/%d, p95 %.3fms vs %.3fms (no exit)", meanExit, T, ee.P95MS, full.P95MS)
+}

@@ -11,6 +11,13 @@
 //     the next tier of the ladder: a cheaper Pareto-frontier variant
 //     (quantized, or a smaller architecture) that still satisfies the
 //     operator's accuracy floor and memory cap.
+//   - Exit-threshold tuning: when the active tier's compiled plan
+//     supports early exit, the confidence threshold is a *continuous*
+//     knob between ladder rungs. Under SLO pressure the pilot first
+//     lowers the threshold (samples retire after fewer recurrent steps)
+//     down to a policy floor before paying a tier swap; with headroom it
+//     restores the threshold back to its resting value before climbing
+//     the ladder. Each nudge is recorded in the switch history.
 //   - Edge→cloud offload: when even the cheapest local tier misses the
 //     SLO, a fraction of requests is marked for offload and executed by a
 //     cloud-backed fallback (an Offloader, typically a libei client
@@ -105,6 +112,22 @@ type Policy struct {
 	OffloadFraction float64
 	// HistorySize bounds the switch-history ring in Status (default 32).
 	HistorySize int
+
+	// ExitThreshold enables the continuous early-exit knob for tiers
+	// whose compiled plans support it: a capable tier rests at this
+	// confidence threshold, and the pilot tunes the threshold *between*
+	// ladder rungs — lowering it under SLO pressure (samples exit after
+	// fewer recurrent steps) before paying a tier swap, and restoring it
+	// before climbing back up. Must be in (0, 1]; 0 (the default)
+	// disables the knob and leaves each pipeline's own threshold alone.
+	ExitThreshold float64
+	// ExitThresholdFloor bounds how far down the knob may be driven
+	// (default 0.5). Once the active tier sits at the floor, the next
+	// sustained SLO miss downgrades the tier instead.
+	ExitThresholdFloor float64
+	// ExitThresholdStep is the per-actuation knob adjustment
+	// (default 0.1).
+	ExitThresholdStep float64
 }
 
 func (p Policy) withDefaults() Policy {
@@ -128,6 +151,20 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.HistorySize <= 0 {
 		p.HistorySize = 32
+	}
+	if p.ExitThreshold > 1 {
+		p.ExitThreshold = 1
+	}
+	if p.ExitThreshold > 0 {
+		if p.ExitThresholdStep <= 0 {
+			p.ExitThresholdStep = 0.1
+		}
+		if p.ExitThresholdFloor <= 0 {
+			p.ExitThresholdFloor = 0.5
+		}
+		if p.ExitThresholdFloor > p.ExitThreshold {
+			p.ExitThresholdFloor = p.ExitThreshold
+		}
 	}
 	return p
 }
@@ -159,6 +196,13 @@ type Pilot struct {
 	prev      map[string]serving.LatencySnapshot
 	history   []SwitchEvent
 	lastP95   time.Duration
+
+	// exitThr is the knob's current value on the active tier;
+	// exitCapable records whether the active tier's pipeline accepted it
+	// (false when the policy knob is disabled or the tier's plan has no
+	// exit graph). Both are re-armed on every tier switch.
+	exitThr     float64
+	exitCapable bool
 
 	offloading atomic.Bool
 	offSeq     atomic.Uint64
@@ -233,7 +277,44 @@ func New(eng *serving.Engine, alias string, tiers []TierSpec, pol Policy, off Of
 		done:    make(chan struct{}),
 		measure: eng.LatencyOf,
 	}
+	p.armExit(ladder[0].Model)
 	return p, nil
+}
+
+// armExit resets the early-exit knob for a newly active tier: a capable
+// tier starts at the policy's resting threshold. Called under p.mu
+// (or from New, before the control loop exists).
+func (p *Pilot) armExit(model string) {
+	p.exitCapable = false
+	if p.pol.ExitThreshold <= 0 {
+		return
+	}
+	p.exitThr = p.pol.ExitThreshold
+	capable, err := p.eng.SetExitThreshold(model, p.exitThr)
+	p.exitCapable = capable && err == nil
+}
+
+// nudgeExit moves the early-exit knob by delta on the active tier,
+// clamped to [ExitThresholdFloor, ExitThreshold], and records the
+// actuation in the switch history. Called under p.mu.
+func (p *Pilot) nudgeExit(delta float64, now time.Time, p95 time.Duration, reason string) {
+	// Snap to the exact bounds so repeated float steps terminate: the
+	// knob must land *on* the floor (or resting value), not drift an ulp
+	// above it and nudge forever.
+	next := p.exitThr + delta
+	if next < p.pol.ExitThresholdFloor+1e-9 {
+		next = p.pol.ExitThresholdFloor
+	}
+	if next > p.pol.ExitThreshold-1e-9 {
+		next = p.pol.ExitThreshold
+	}
+	model := p.tiers[p.cur].Model
+	if _, err := p.eng.SetExitThreshold(model, next); err != nil {
+		p.record(now, model, model, "exit-threshold-error: "+err.Error(), p95)
+		return
+	}
+	p.exitThr = next
+	p.record(now, model, model, fmt.Sprintf("%s: %.2f", reason, next), p95)
 }
 
 // Alias returns the public model name under control.
@@ -300,7 +381,11 @@ func (p *Pilot) Step(now time.Time) {
 			return
 		}
 		p.badTicks = 0
-		if p.cur < len(p.tiers)-1 {
+		// The exit threshold is a continuous knob between ladder rungs:
+		// spend its range before paying a tier swap.
+		if p.exitCapable && p.exitThr > p.pol.ExitThresholdFloor {
+			p.nudgeExit(-p.pol.ExitThresholdStep, now, p95, "exit-threshold-down")
+		} else if p.cur < len(p.tiers)-1 {
 			p.switchTo(p.cur+1, now, p95, "slo-miss")
 		} else if p.off != nil && !p.offloading.Load() {
 			p.offloading.Store(true)
@@ -316,6 +401,9 @@ func (p *Pilot) Step(now time.Time) {
 		if p.offloading.Load() {
 			p.offloading.Store(false)
 			p.record(now, "cloud", model, "offload-stop", p95)
+		} else if p.exitCapable && p.exitThr < p.pol.ExitThreshold {
+			// Restore the knob to its resting value before climbing.
+			p.nudgeExit(p.pol.ExitThresholdStep, now, p95, "exit-threshold-up")
 		} else if p.cur > 0 {
 			p.switchTo(p.cur-1, now, p95, "slo-headroom")
 		}
@@ -341,6 +429,10 @@ func (p *Pilot) switchTo(to int, now time.Time, p95 time.Duration, reason string
 		p.upgrades.Add(1)
 	}
 	p.cur = to
+	// The new tier starts at the resting exit threshold (if capable): a
+	// cheaper rung does not inherit the pressure-lowered knob of the one
+	// it replaced.
+	p.armExit(target)
 	// The target pipeline may be freshly built; rebase its interval so the
 	// next Step judges only post-switch traffic.
 	if snap, ok := p.measure(target); ok {

@@ -1,0 +1,134 @@
+package autopilot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"openei/internal/nn"
+	"openei/internal/serving"
+)
+
+func rnnTierModel(name string, T, D, H, classes int) *nn.Model {
+	m := nn.MustModel(name, []int{T * D}, []nn.LayerSpec{
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{T: T, D: D, H: H}},
+		{Type: "dense", In: H, Out: classes},
+	})
+	m.InitParams(rand.New(rand.NewSource(31)))
+	return m
+}
+
+func lastReason(t *testing.T, p *Pilot) string {
+	t.Helper()
+	st := p.Status()
+	if len(st.History) == 0 {
+		t.Fatal("no history events recorded")
+	}
+	return st.History[len(st.History)-1].Reason
+}
+
+// The exit threshold is a continuous knob between ladder rungs: under
+// SLO pressure the pilot walks it down to the floor before swapping
+// tiers, and with headroom it restores the knob before climbing back.
+func TestExitThresholdKnobMovesBeforeTierSwaps(t *testing.T) {
+	e := testEngine(t, serving.Config{Replicas: 1, MaxBatch: 4}, rnnTierModel("rnn-big", 6, 4, 8, 3),
+		denseModel("tier-small", 24, 8, 3))
+	tiers := []TierSpec{
+		{Model: "rnn-big", Accuracy: 0.95, Latency: 5 * time.Millisecond, Memory: 64 << 20},
+		{Model: "tier-small", Accuracy: 0.90, Latency: time.Millisecond, Memory: 8 << 20},
+	}
+	p, err := New(e, "rnn-big", tiers, Policy{
+		P95:                10 * time.Millisecond,
+		DowngradeAfter:     1,
+		UpgradeAfter:       1,
+		MinSamples:         1,
+		ExitThreshold:      0.9,
+		ExitThresholdFloor: 0.7,
+		ExitThresholdStep:  0.1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f := &feed{}
+	p.measure = f.measure
+
+	// New arms the top tier at the resting threshold.
+	if st := p.Status(); st.ExitThreshold != 0.9 {
+		t.Fatalf("armed threshold = %v, want 0.9", st.ExitThreshold)
+	}
+	if thr, ok := e.ExitThresholdOf("rnn-big"); !ok || thr != 0.9 {
+		t.Fatalf("engine threshold = (%v, %v), want (0.9, true)", thr, ok)
+	}
+
+	now := time.Now()
+	bad := func() {
+		f.add(10, 20*time.Millisecond)
+		now = now.Add(time.Second)
+		p.Step(now)
+	}
+	quiet := func() {
+		now = now.Add(time.Second)
+		p.Step(now)
+	}
+
+	// First SLO miss lowers the knob instead of swapping tiers.
+	bad()
+	st := p.Status()
+	if st.TierIndex != 0 {
+		t.Fatalf("tier swapped on first miss: index %d", st.TierIndex)
+	}
+	if !strings.HasPrefix(lastReason(t, p), "exit-threshold-down") {
+		t.Fatalf("first actuation = %q, want exit-threshold-down", lastReason(t, p))
+	}
+	if thr, _ := e.ExitThresholdOf("rnn-big"); thr <= 0.79 || thr > 0.81 {
+		t.Fatalf("engine threshold after one nudge = %v, want ~0.8", thr)
+	}
+
+	// Headroom restores the knob before any tier climb.
+	quiet()
+	if !strings.HasPrefix(lastReason(t, p), "exit-threshold-up") {
+		t.Fatalf("recovery actuation = %q, want exit-threshold-up", lastReason(t, p))
+	}
+	if st := p.Status(); st.ExitThreshold != 0.9 || st.TierIndex != 0 {
+		t.Fatalf("after recovery: thr %v tier %d, want 0.9 on tier 0", st.ExitThreshold, st.TierIndex)
+	}
+
+	// Sustained pressure drains the knob's range (0.9→0.8→0.7), and only
+	// then does the pilot pay a tier swap.
+	bad()
+	bad()
+	if st := p.Status(); st.TierIndex != 0 {
+		t.Fatalf("tier swapped before the knob hit its floor: index %d", st.TierIndex)
+	}
+	bad()
+	st = p.Status()
+	if st.TierIndex != 1 {
+		t.Fatalf("floor exhausted but tier not swapped: index %d", st.TierIndex)
+	}
+	if st.ExitThreshold != 0 {
+		t.Fatalf("dense tier reports a knob: %v", st.ExitThreshold)
+	}
+	if !strings.HasPrefix(lastReason(t, p), "slo-miss") {
+		t.Fatalf("swap reason = %q, want slo-miss", lastReason(t, p))
+	}
+
+	// Climbing back re-arms the recurrent tier at the resting threshold.
+	quiet()
+	st = p.Status()
+	if st.TierIndex != 0 || st.ExitThreshold != 0.9 {
+		t.Fatalf("after climb: tier %d thr %v, want tier 0 at 0.9", st.TierIndex, st.ExitThreshold)
+	}
+	if thr, ok := e.ExitThresholdOf("rnn-big"); !ok || thr != 0.9 {
+		t.Fatalf("engine threshold after climb = (%v, %v), want (0.9, true)", thr, ok)
+	}
+	for _, ts := range st.Tiers {
+		if ts.Model == "rnn-big" && (!ts.EarlyExit || ts.ExitThreshold != 0.9) {
+			t.Fatalf("tier status = %+v, want early-exit at 0.9", ts)
+		}
+		if ts.Model == "tier-small" && ts.EarlyExit {
+			t.Fatalf("dense tier advertises early exit: %+v", ts)
+		}
+	}
+}

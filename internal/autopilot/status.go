@@ -28,6 +28,12 @@ type TierStatus struct {
 	Quantized bool    `json:"quantized"`
 	Backend   string  `json:"backend,omitempty"`
 	Active    bool    `json:"active"`
+	// EarlyExit marks tiers whose compiled plan supports the early-exit
+	// knob; ExitThreshold is that tier's live confidence threshold
+	// (0 when early exit is disabled). Only reported once the tier's
+	// pipeline has been built.
+	EarlyExit     bool    `json:"early_exit,omitempty"`
+	ExitThreshold float64 `json:"exit_threshold,omitempty"`
 }
 
 // Status is the autopilot's /ei_metrics view: current tier, ladder,
@@ -39,6 +45,13 @@ type Status struct {
 	Tiers     []TierStatus `json:"tiers"`
 
 	Offloading bool `json:"offloading"`
+
+	// ExitThreshold is the pilot's continuous early-exit knob on the
+	// active tier: the confidence threshold currently applied, 0 when the
+	// policy knob is disabled or the active tier cannot early-exit. It
+	// moves between Policy.ExitThresholdFloor and Policy.ExitThreshold as
+	// the control loop trades accuracy headroom against tail latency.
+	ExitThreshold float64 `json:"exit_threshold,omitempty"`
 
 	SLOP95MS      float64 `json:"slo_p95_ms"`
 	AccuracyFloor float64 `json:"accuracy_floor"`
@@ -67,6 +80,8 @@ func (p *Pilot) Status() Status {
 	cur := p.cur
 	lastP95 := p.lastP95
 	history := append([]SwitchEvent(nil), p.history...)
+	exitThr := p.exitThr
+	exitCapable := p.exitCapable
 	p.mu.Unlock()
 	s := Status{
 		Alias:         p.alias,
@@ -86,8 +101,11 @@ func (p *Pilot) Status() Status {
 		Spilled:       p.spilled.Load(),
 		History:       history,
 	}
+	if exitCapable {
+		s.ExitThreshold = exitThr
+	}
 	for i, t := range p.tiers {
-		s.Tiers = append(s.Tiers, TierStatus{
+		ts := TierStatus{
 			Model:     t.Model,
 			Accuracy:  t.Accuracy,
 			LatencyMS: float64(t.Latency) / float64(time.Millisecond),
@@ -95,7 +113,12 @@ func (p *Pilot) Status() Status {
 			Quantized: t.Quantized,
 			Backend:   t.Backend,
 			Active:    i == cur,
-		})
+		}
+		if thr, ok := p.eng.ExitThresholdOf(t.Model); ok {
+			ts.EarlyExit = true
+			ts.ExitThreshold = thr
+		}
+		s.Tiers = append(s.Tiers, ts)
 	}
 	if s.Ticks > 0 {
 		s.SLOAttainment = 1 - float64(s.TicksOverSLO)/float64(s.Ticks)

@@ -97,6 +97,13 @@ type InferResult struct {
 	BatchSize  int     `json:"batch_size"`
 	QueuedMS   float64 `json:"queued_ms"`
 	LatencyMS  float64 `json:"model_latency_ms"`
+	// StepsUsed/TotalSteps report adaptive computation on early-exit
+	// plans: the recurrent steps this sample actually consumed out of the
+	// compiled window. Both are 0 for feed-forward models; StepsUsed ==
+	// TotalSteps when early exit is disabled or the sample never crossed
+	// the confidence threshold.
+	StepsUsed  int `json:"steps_used,omitempty"`
+	TotalSteps int `json:"total_steps,omitempty"`
 	// ServedBy is the model that actually answered: the active autopilot
 	// tier under a Swap route, or "cloud:{model}" when the request was
 	// offloaded.
@@ -156,6 +163,8 @@ func (s *Server) servingInfer(args url.Values) (any, error) {
 		BatchSize:  res.BatchSize,
 		QueuedMS:   float64(res.Queued) / float64(time.Millisecond),
 		LatencyMS:  float64(res.ModelLatency) / float64(time.Millisecond),
+		StepsUsed:  res.StepsUsed,
+		TotalSteps: res.TotalSteps,
 		ServedBy:   res.Model,
 		Offloaded:  strings.HasPrefix(res.Model, "cloud:"),
 	}, nil

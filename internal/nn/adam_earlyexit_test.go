@@ -2,6 +2,7 @@ package nn
 
 import (
 	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -183,8 +184,16 @@ func TestRNNEarlyExitSavesStepsAndKeepsAccuracy(t *testing.T) {
 
 func TestRNNEarlyExitValidation(t *testing.T) {
 	m, data := earlyExitFixture(t)
-	if _, err := RNNEarlyExit(m, data.X, 1.5); !errors.Is(err, ErrBadSpec) {
-		t.Errorf("bad threshold: err = %v", err)
+	// Thresholds above 1 (incl. +Inf) are the valid no-exit reference;
+	// negative or NaN thresholds are rejected.
+	if _, err := RNNEarlyExit(m, data.X, -0.1); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("negative threshold: err = %v", err)
+	}
+	if _, err := RNNEarlyExit(m, data.X, math.NaN()); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("NaN threshold: err = %v", err)
+	}
+	if _, err := RNNEarlyExit(m, data.X, 1.5); err != nil {
+		t.Errorf("threshold above 1 is the no-exit reference: err = %v", err)
 	}
 	if _, err := RNNEarlyExit(m, tensor.New(2, 7), 0.9); !errors.Is(err, ErrShape) {
 		t.Errorf("bad input: err = %v", err)

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"openei/internal/tensor"
@@ -26,7 +27,9 @@ type EarlyExitResult struct {
 // must accept a (batch, H) input, e.g. Dense/ReLU stacks). x is time-major
 // (batch, T*D) as for FastGRNN.Forward. Inference exits per sample at the
 // first step whose head confidence reaches threshold; samples that never
-// reach it use all T steps.
+// reach it use all T steps. A threshold above 1 (e.g. +Inf) is the no-exit
+// reference: every sample consumes the full window — the semantics the
+// compiled plan reproduces when its exit threshold is disabled.
 func RNNEarlyExit(model *Model, x *tensor.Tensor, threshold float64) ([]EarlyExitResult, error) {
 	if len(model.Layers) < 2 {
 		return nil, fmt.Errorf("%w: early exit needs [fastgrnn, head...]", ErrBadSpec)
@@ -35,8 +38,8 @@ func RNNEarlyExit(model *Model, x *tensor.Tensor, threshold float64) ([]EarlyExi
 	if !ok {
 		return nil, fmt.Errorf("%w: first layer is %s, want fastgrnn", ErrBadSpec, model.Layers[0].Kind())
 	}
-	if threshold < 0 || threshold > 1 {
-		return nil, fmt.Errorf("%w: threshold %v outside [0,1]", ErrBadSpec, threshold)
+	if threshold < 0 || math.IsNaN(threshold) {
+		return nil, fmt.Errorf("%w: threshold %v must be non-negative", ErrBadSpec, threshold)
 	}
 	s := rnn.SpecV
 	if x.Dims() != 2 || x.Dim(1) != s.T*s.D {

@@ -80,6 +80,15 @@ func tanh32(x float32) float32 {
 	return float32(math.Tanh(float64(x)))
 }
 
+// Sigmoid32 and Tanh32 expose the exact float32 gate nonlinearities of the
+// FastGRNN cell. The compiled plan's RNN op uses them so its step-by-step
+// execution stays bitwise identical to this layer's Forward — the parity
+// the early-exit property tests assert.
+func Sigmoid32(x float32) float32 { return sigmoid32(x) }
+
+// Tanh32 is the candidate-state nonlinearity; see Sigmoid32.
+func Tanh32(x float32) float32 { return tanh32(x) }
+
 // Forward implements Layer. Input (batch, T*D), time-major: features of
 // step t occupy columns [t*D, (t+1)*D).
 func (r *FastGRNN) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {

@@ -32,6 +32,13 @@ var (
 type InferenceResult struct {
 	Classes     []int
 	Confidences []float64
+	// Steps holds the per-sample RNN steps consumed and TotalSteps the
+	// full window length T when the serving replica runs an
+	// early-exit-capable plan; TotalSteps is 0 (and Steps meaningless)
+	// for feed-forward models. Steps[i] < TotalSteps means sample i
+	// retired early at the confidence threshold.
+	Steps      []int
+	TotalSteps int
 	// ModelLatency and ModelEnergy come from the hardware cost model (the
 	// numbers the paper's ALEM tuple reports); Wall is this process's
 	// actual compute time, reported for transparency.

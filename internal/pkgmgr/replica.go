@@ -1,12 +1,10 @@
 package pkgmgr
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
 	"openei/internal/hardware"
-	"openei/internal/nn"
 	"openei/internal/plan"
 	"openei/internal/tensor"
 )
@@ -22,8 +20,9 @@ import (
 // A replica executes a compiled inference plan (internal/plan): the model
 // is lowered once into a fused op graph and run through the replica's
 // backend — float32, or genuine int8 kernels for models loaded quantized.
-// Models the plan IR cannot lower (recurrent stacks) fall back to the
-// frozen layer walk.
+// Every built-in layer lowers, including recurrent FastGRNN stacks (a
+// first-class RNN op since the early-exit revision); there is no
+// layer-walk fallback left.
 //
 // Int8 replicas created without calibration data self-calibrate: each
 // replica's activation scales widen over the first batches it happens to
@@ -34,19 +33,16 @@ import (
 type Replica struct {
 	name      string
 	plan      *plan.Plan
-	model     *nn.Model // layer-walk fallback; nil when plan is set
 	quantized bool
 	mgr       *Manager
 
-	// arena backs every activation of a request; after the first request
-	// sizes it, steady-state inference allocates nothing. (Plan-backed
-	// replicas use the plan's own arena; this one serves the fallback.)
-	arena *tensor.Arena
 	// inputShape is the model's declared per-sample input shape.
 	inputShape []int
-	// cls/conf are the recycled result buffers behind InferenceResult.
-	cls  []int
-	conf []float64
+	// cls/conf/steps are the recycled result buffers behind
+	// InferenceResult.
+	cls   []int
+	conf  []float64
+	steps []int
 	// wproto caches the batch-independent parts of the cost-model
 	// workload; the per-batch fields are linear in batch size, so scaling
 	// flopsPerSample/actBytesPerSample reproduces workload() exactly
@@ -92,29 +88,16 @@ func (m *Manager) NewReplicaBackend(name string, backend plan.Backend) (*Replica
 	// Lower the private clone into a compiled plan. The clone never
 	// changes again, so compilation costs (weight transposes, batchnorm
 	// folds, int8 artifacts) are paid once here instead of per request.
-	switch p, err := plan.Compile(clone, plan.Options{Backend: backend}); {
-	case err == nil:
-		r.plan = p
-		// The cost model sees the deployed representation: the plan's
-		// actual weight bytes, and int8 kernels only when the plan runs
-		// them.
-		r.wproto.WeightBytes = p.WeightBytes()
-		r.wproto.Int8 = backend == plan.Int8 && m.pkg.SupportsInt8
-	case errors.Is(err, plan.ErrUnsupported):
-		// The plan IR cannot express this model (recurrent stack): keep
-		// the frozen layer walk of earlier revisions. Only this error is
-		// a fallback — anything else (unknown backend, malformed model)
-		// must not silently serve a different backend than requested.
-		clone.FreezeInference()
-		r.model = clone
-		r.arena = tensor.NewArena(0)
-		// Freezing expanded any int8 artifact back to float, and the
-		// walk runs float kernels — recost the workload so the replica's
-		// latency/energy/memory numbers describe what actually executes.
-		r.wproto = m.workload(clone, false, 1)
-	default:
+	p, err := plan.Compile(clone, plan.Options{Backend: backend})
+	if err != nil {
 		return nil, fmt.Errorf("pkgmgr: replica of %s: %w", name, err)
 	}
+	r.plan = p
+	// The cost model sees the deployed representation: the plan's
+	// actual weight bytes, and int8 kernels only when the plan runs
+	// them.
+	r.wproto.WeightBytes = p.WeightBytes()
+	r.wproto.Int8 = backend == plan.Int8 && m.pkg.SupportsInt8
 	r.flopsPerSample = r.wproto.FLOPs
 	r.actBytesPerSample = r.wproto.ActivationBytes
 	return r, nil
@@ -123,56 +106,64 @@ func (m *Manager) NewReplicaBackend(name string, backend plan.Backend) (*Replica
 // Name returns the model name the replica was cloned from.
 func (r *Replica) Name() string { return r.name }
 
-// Backend reports the execution backend serving this replica: a compiled
-// plan's backend, or "layer-walk" for the fallback path. Surfaced per
-// pipeline in /ei_metrics.
-func (r *Replica) Backend() string {
-	if r.plan != nil {
-		return string(r.plan.Backend())
-	}
-	return "layer-walk"
-}
+// Backend reports the execution backend serving this replica — the
+// compiled plan's backend name. Surfaced per pipeline in /ei_metrics.
+func (r *Replica) Backend() string { return string(r.plan.Backend()) }
 
 // InputShape returns the model's declared per-sample input shape.
 func (r *Replica) InputShape() []int {
 	return append([]int(nil), r.inputShape...)
 }
 
+// SupportsEarlyExit reports whether the replica's compiled graph admits
+// the confidence-threshold early exit ([view…, fastgrnn, head…]).
+func (r *Replica) SupportsEarlyExit() bool { return r.plan.SupportsEarlyExit() }
+
+// RNNSteps returns the recurrent window length T of an early-exit-capable
+// replica (0 otherwise) — the denominator of the mean-steps-used metric.
+func (r *Replica) RNNSteps() int { return r.plan.RNNSteps() }
+
+// SetExitThreshold installs the live confidence threshold on the
+// replica's plan; values outside (0, 1] disable early exit. Safe to call
+// concurrently with the replica's worker (the knob is the plan's one
+// atomic field).
+func (r *Replica) SetExitThreshold(thr float64) { r.plan.SetExitThreshold(thr) }
+
+// ExitThreshold returns the live threshold (+Inf when disabled or
+// unsupported).
+func (r *Replica) ExitThreshold() float64 { return r.plan.ExitThreshold() }
+
 // InferBatch stacks same-shaped single-sample inputs into one batch tensor
 // and runs a single forward pass on the replica's private weights. The
 // result slices are indexed like xs.
 //
 // Activations live in the replica's (plan's) arena and the
-// Classes/Confidences slices are recycled buffers: both are valid only
-// until the replica's next InferBatch call. Callers that retain results
-// across calls (none of the serving pipeline does — it fans values out
-// immediately) must copy.
+// Classes/Confidences/Steps slices are recycled buffers: both are valid
+// only until the replica's next InferBatch call. Callers that retain
+// results across calls (none of the serving pipeline does — it fans
+// values out immediately) must copy.
 func (r *Replica) InferBatch(xs []*tensor.Tensor) (InferenceResult, error) {
 	start := time.Now()
-	var (
-		cls  []int
-		conf []float64
-		err  error
-	)
-	if r.plan != nil {
-		cls, conf, err = r.plan.InferBatch(xs, r.cls, r.conf)
-	} else {
-		r.arena.Reset()
-		var x *tensor.Tensor
-		x, err = r.arena.StackArena(xs)
-		if err != nil {
-			return InferenceResult{}, fmt.Errorf("pkgmgr: replica %s: %w", r.name, err)
-		}
-		cls, conf, err = nn.TopConfidenceArena(r.model, x, r.arena, r.cls, r.conf)
-	}
+	cls, conf, steps, err := r.plan.InferBatchSteps(xs, r.cls, r.conf, r.steps)
 	if err != nil {
 		return InferenceResult{}, fmt.Errorf("pkgmgr: replica infer %s: %w", r.name, err)
 	}
-	r.cls, r.conf = cls, conf
-	res := InferenceResult{Classes: cls, Confidences: conf, Wall: time.Since(start)}
+	r.cls, r.conf, r.steps = cls, conf, steps
+	total := r.plan.RNNSteps()
+	res := InferenceResult{Classes: cls, Confidences: conf, Steps: steps, TotalSteps: total, Wall: time.Since(start)}
 	w := r.wproto
 	w.FLOPs = r.flopsPerSample * int64(len(xs))
 	w.ActivationBytes = r.actBytesPerSample * int64(len(xs))
+	if total > 0 {
+		// Early exit makes the forward cost input-dependent: scale the
+		// recurrent window's share of the FLOPs by the steps actually
+		// consumed, so latency/energy estimates track the adaptive win.
+		var used int64
+		for _, s := range steps {
+			used += int64(s)
+		}
+		w.FLOPs = r.flopsPerSample * used / int64(total)
+	}
 	if res.ModelLatency, err = r.mgr.dev.Latency(w); err != nil {
 		return InferenceResult{}, err
 	}

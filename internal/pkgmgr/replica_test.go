@@ -158,11 +158,11 @@ func TestTrainingInvalidatesInt8Artifacts(t *testing.T) {
 	}
 }
 
-// Models the plan IR cannot lower fall back to the frozen layer walk —
-// and, since freezing expands int8 artifacts back to float, the fallback
-// replica's cost model must describe float execution, not the quantized
-// representation it no longer holds.
-func TestUnsupportedModelFallsBackToLayerWalk(t *testing.T) {
+// Recurrent stacks compile to a first-class plan (the layer-walk fallback
+// is gone): the replica reports a real backend, supports the early-exit
+// knob, and surfaces per-sample step counts. With early exit enabled, the
+// modelled cost scales with the steps actually consumed.
+func TestRecurrentReplicaRunsCompiledPlan(t *testing.T) {
 	m := testManager(t, "eipkg", "rpi4")
 	model, err := nn.NewModel("rnn-net", []int{24}, []nn.LayerSpec{
 		{Type: "fastgrnn", RNN: &nn.RNNSpec{D: 6, H: 8, T: 4}},
@@ -179,8 +179,11 @@ func TestUnsupportedModelFallsBackToLayerWalk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Backend() != "layer-walk" {
-		t.Fatalf("unsupported model backend = %q, want layer-walk", rep.Backend())
+	if rep.Backend() == "layer-walk" {
+		t.Fatalf("recurrent replica still reports the layer-walk fallback")
+	}
+	if !rep.SupportsEarlyExit() || rep.RNNSteps() != 4 {
+		t.Fatalf("early-exit capability: supports=%v steps=%d, want true/4", rep.SupportsEarlyExit(), rep.RNNSteps())
 	}
 	res, err := rep.InferBatch(samples(3, 24, 22))
 	if err != nil {
@@ -189,18 +192,34 @@ func TestUnsupportedModelFallsBackToLayerWalk(t *testing.T) {
 	if len(res.Classes) != 3 {
 		t.Fatalf("got %d classes, want 3", len(res.Classes))
 	}
-	// The frozen walk executes float kernels on expanded weights: its
-	// modelled latency must match a float workload of the frozen clone,
-	// not an int8 one.
-	w := m.workload(rep.model, false, 1)
-	w.FLOPs *= 3
-	w.ActivationBytes *= 3
-	wantLat, err := m.dev.Latency(w)
+	if res.TotalSteps != 4 {
+		t.Fatalf("TotalSteps = %d, want 4", res.TotalSteps)
+	}
+	fullLat := res.ModelLatency
+	for i, s := range res.Steps {
+		if s != 4 {
+			t.Fatalf("sample %d used %d steps with early exit disabled, want 4", i, s)
+		}
+	}
+
+	// Enable an always-exit threshold: untrained logits hover near
+	// uniform (1/3), so every sample retires at step 1 and the modelled
+	// latency drops below the full-window cost.
+	rep.SetExitThreshold(0.2)
+	if rep.ExitThreshold() != 0.2 {
+		t.Fatalf("ExitThreshold = %v, want 0.2", rep.ExitThreshold())
+	}
+	res, err = rep.InferBatch(samples(3, 24, 22))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.ModelLatency != wantLat {
-		t.Errorf("fallback modelled latency %v, want float-costed %v", res.ModelLatency, wantLat)
+	for i, s := range res.Steps {
+		if s != 1 {
+			t.Fatalf("sample %d used %d steps at threshold 0.2, want 1", i, s)
+		}
+	}
+	if res.ModelLatency >= fullLat {
+		t.Errorf("early-exit modelled latency %v did not drop below full-window %v", res.ModelLatency, fullLat)
 	}
 }
 

@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// rnnModel builds a frozen [fastgrnn, head…] model with random weights.
+// withReLU inserts a dense+relu hidden head layer so fusion and the
+// multi-op epilogue are exercised too.
+func rnnModel(t testing.TB, T, D, H, C int, withReLU bool, seed int64) *nn.Model {
+	t.Helper()
+	specs := []nn.LayerSpec{{Type: "fastgrnn", RNN: &nn.RNNSpec{T: T, D: D, H: H}}}
+	if withReLU {
+		specs = append(specs,
+			nn.LayerSpec{Type: "dense", In: H, Out: H + 3},
+			nn.LayerSpec{Type: "relu"},
+			nn.LayerSpec{Type: "dense", In: H + 3, Out: C},
+		)
+	} else {
+		specs = append(specs, nn.LayerSpec{Type: "dense", In: H, Out: C})
+	}
+	m, err := nn.NewModel("rnn-exit", []int{T * D}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InitParams(rand.New(rand.NewSource(seed)))
+	m.FreezeInference()
+	return m
+}
+
+func sampleRows(rng *rand.Rand, batch, width int) []*tensor.Tensor {
+	xs := make([]*tensor.Tensor, batch)
+	for b := range xs {
+		x := tensor.New(width)
+		for i := range x.Data() {
+			x.Data()[i] = rng.Float32()*4 - 2
+		}
+		xs[b] = x
+	}
+	return xs
+}
+
+func stackRows(t testing.TB, xs []*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	x, err := tensor.Stack(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// The early-exit parity property (satellite): per sample, the compiled
+// early-exit path is bitwise identical to nn.RNNEarlyExit on the frozen
+// model — class, confidence, and steps used — across random shapes,
+// batch sizes, and thresholds; and with the threshold disabled (+Inf)
+// the plan is identical to the plain no-exit plan.
+func TestEarlyExitPlanBitwiseMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cases := []struct {
+		T, D, H, C int
+		relu       bool
+	}{
+		{T: 4, D: 3, H: 8, C: 3, relu: false},
+		{T: 6, D: 5, H: 10, C: 4, relu: true},
+		{T: 9, D: 2, H: 6, C: 5, relu: false},
+	}
+	thresholds := []float64{0.15, 0.34, 0.6, 0.92, 1.0}
+	for ci, tc := range cases {
+		m := rnnModel(t, tc.T, tc.D, tc.H, tc.C, tc.relu, int64(100+ci))
+		for _, batch := range []int{1, 2, 7, 12} {
+			xs := sampleRows(rng, batch, tc.T*tc.D)
+			x := stackRows(t, xs)
+			for _, thr := range thresholds {
+				p, err := Compile(m, Options{ExitThreshold: thr})
+				if err != nil {
+					t.Fatalf("case %d: %v", ci, err)
+				}
+				if !p.SupportsEarlyExit() {
+					t.Fatalf("case %d: plan not exit-capable: %+v", ci, p.Ops())
+				}
+				want, err := nn.RNNEarlyExit(m, x, thr)
+				if err != nil {
+					t.Fatalf("case %d thr %v: reference: %v", ci, thr, err)
+				}
+				cls, conf, steps, err := p.InferBatchSteps(xs, nil, nil, nil)
+				if err != nil {
+					t.Fatalf("case %d thr %v: plan: %v", ci, thr, err)
+				}
+				for b := 0; b < batch; b++ {
+					if cls[b] != want[b].Class || conf[b] != want[b].Confidence || steps[b] != want[b].StepsUsed {
+						t.Fatalf("case %d thr %v batch %d sample %d: plan (class %d, conf %v, steps %d) vs reference (%d, %v, %d)",
+							ci, thr, batch, b, cls[b], conf[b], steps[b],
+							want[b].Class, want[b].Confidence, want[b].StepsUsed)
+					}
+				}
+			}
+
+			// Threshold +Inf (and the zero value) disable the epilogue:
+			// identical to the no-exit plan, full window for every sample.
+			off, err := Compile(m, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			offCls, offConf, offSteps, err := off.InferBatchSteps(xs, nil, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inf, err := Compile(m, Options{ExitThreshold: math.Inf(1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			infCls, infConf, infSteps, err := inf.InferBatchSteps(xs, nil, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := nn.RNNEarlyExit(m, x, math.Inf(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < batch; b++ {
+				if offSteps[b] != tc.T || infSteps[b] != tc.T {
+					t.Fatalf("disabled thresholds must use the full window: %d/%d of %d", offSteps[b], infSteps[b], tc.T)
+				}
+				if offCls[b] != infCls[b] || offConf[b] != infConf[b] {
+					t.Fatalf("sample %d: zero-value vs +Inf threshold disagree: (%d, %v) vs (%d, %v)",
+						b, offCls[b], offConf[b], infCls[b], infConf[b])
+				}
+				if infCls[b] != ref[b].Class || infConf[b] != ref[b].Confidence {
+					t.Fatalf("sample %d: no-exit plan (class %d, conf %v) vs full-window reference (%d, %v)",
+						b, infCls[b], infConf[b], ref[b].Class, ref[b].Confidence)
+				}
+			}
+		}
+	}
+}
+
+// The threshold is a live knob: flipping it on an existing plan changes
+// behaviour without recompilation, and out-of-range values disable.
+func TestExitThresholdIsALiveKnob(t *testing.T) {
+	m := rnnModel(t, 6, 4, 8, 3, false, 9)
+	p, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{0, -1, 1.5, math.Inf(1), math.NaN()} {
+		p.SetExitThreshold(bad)
+		if !math.IsInf(p.ExitThreshold(), 1) {
+			t.Fatalf("SetExitThreshold(%v) should disable, got %v", bad, p.ExitThreshold())
+		}
+	}
+	p.SetExitThreshold(0.34)
+	if p.ExitThreshold() != 0.34 {
+		t.Fatalf("threshold = %v, want 0.34", p.ExitThreshold())
+	}
+	xs := sampleRows(rand.New(rand.NewSource(10)), 9, 24)
+	_, _, steps, err := p.InferBatchSteps(xs, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exited := false
+	for _, s := range steps {
+		if s < 6 {
+			exited = true
+		}
+	}
+	if !exited {
+		t.Fatalf("threshold 0.34 over 3 classes should retire samples early; steps = %v", steps)
+	}
+}
+
+// Mid-batch repack keeps the zero-allocation steady state (satellite):
+// after warm-up, early-exit inference with samples retiring at different
+// steps performs no heap allocations per batch.
+func TestEarlyExitSteadyStateAllocFree(t *testing.T) {
+	m := rnnModel(t, 8, 4, 8, 3, true, 21)
+	p, err := Compile(m, Options{ExitThreshold: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := sampleRows(rand.New(rand.NewSource(22)), 11, 32)
+	var cls []int
+	var conf []float64
+	var steps []int
+	for i := 0; i < 3; i++ { // warm the arena slab, header cache, scratch
+		if cls, conf, steps, err = p.InferBatchSteps(xs, cls, conf, steps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spread := false
+	for _, s := range steps[1:] {
+		if s != steps[0] {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Logf("note: all samples exited at step %d; repack path not spread (still measuring)", steps[0])
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		cls, conf, steps, err = p.InferBatchSteps(xs, cls, conf, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("early-exit steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// benchExitModel builds a model with handcrafted weights whose early-exit
+// behaviour is input-controlled: samples with a strong feature-0 signal
+// saturate the head within a couple of steps ("easy"), zero inputs keep
+// the head at uniform confidence forever ("hard").
+func benchExitModel(b *testing.B, T, D, H, C int) *nn.Model {
+	b.Helper()
+	m, err := nn.NewModel("bench-exit", []int{T * D}, []nn.LayerSpec{
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{T: T, D: D, H: H}},
+		{Type: "dense", In: H, Out: C},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rnn := m.Layers[0].(*nn.FastGRNN)
+	for i := 0; i < H; i++ {
+		rnn.W.Data()[i*D] = 1.5 // route feature 0 into every unit
+		rnn.U.Data()[i*H+i] = 0.5
+		rnn.Bz.Data()[i] = -8 // z≈0: the update gate passes h̃ straight through
+	}
+	head := m.Layers[1].(*nn.Dense)
+	for j := 0; j < H; j++ {
+		head.W.Data()[0*H+j] = 4.0 / float32(H) // class 0 collects the saturated state
+	}
+	m.FreezeInference()
+	return m
+}
+
+// BenchmarkPlanExecuteEarlyExit measures the input-adaptive win: easy
+// inputs retire within the first steps and skip most of the window's
+// GEMMs; hard inputs pay the full window, like the no-exit plan.
+func BenchmarkPlanExecuteEarlyExit(b *testing.B) {
+	const T, D, H, C, batch = 24, 8, 96, 4, 16
+	m := benchExitModel(b, T, D, H, C)
+	for _, mode := range []string{"easy", "hard"} {
+		b.Run(mode, func(b *testing.B) {
+			p, err := Compile(m, Options{ExitThreshold: 0.9})
+			if err != nil {
+				b.Fatal(err)
+			}
+			xs := make([]*tensor.Tensor, batch)
+			for i := range xs {
+				x := tensor.New(T * D)
+				if mode == "easy" {
+					for t := 0; t < T; t++ {
+						x.Data()[t*D] = 3
+					}
+				}
+				xs[i] = x
+			}
+			var cls []int
+			var conf []float64
+			var steps []int
+			if cls, conf, steps, err = p.InferBatchSteps(xs, cls, conf, steps); err != nil {
+				b.Fatal(err)
+			}
+			want := T
+			if mode == "easy" {
+				want = T / 4 // sanity: easy traffic must actually exit early
+				if steps[0] > want {
+					b.Fatalf("easy input used %d of %d steps", steps[0], T)
+				}
+			} else if steps[0] != T {
+				b.Fatalf("hard input exited at step %d", steps[0])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if cls, conf, steps, err = p.InferBatchSteps(xs, cls, conf, steps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

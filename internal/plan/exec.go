@@ -3,7 +3,6 @@ package plan
 import (
 	"fmt"
 
-	"openei/internal/nn"
 	"openei/internal/parallel"
 	"openei/internal/tensor"
 )
@@ -48,6 +47,14 @@ func (p *Plan) Calibrate(x *tensor.Tensor) error {
 func (p *Plan) calibrateFrom(x *tensor.Tensor) error {
 	if _, err := p.run(x, true); err != nil {
 		return err
+	}
+	if p.exitAt >= 0 {
+		// Early-exit-capable graphs feed the head every step's hidden
+		// state, not just h_T — sweep them all so the scales cover what
+		// the exit path will actually quantize.
+		if err := p.calibrateRecurrent(x); err != nil {
+			return err
+		}
 	}
 	for i := range p.ops {
 		o := &p.ops[i]
@@ -148,6 +155,9 @@ func (p *Plan) runFloat(o *op, x *tensor.Tensor) (*tensor.Tensor, error) {
 		return y, nil
 	case opView:
 		return a.View(x, batch, prod(o.outShape))
+	case opRNN:
+		// Full-window recurrent step loop (ReLU never fuses into it).
+		return p.runRNNFull(o.rnn, x, nil)
 	default:
 		return nil, fmt.Errorf("unknown op kind %v", o.kind)
 	}
@@ -266,54 +276,13 @@ func qDenseRowsRange(dst []float32, qx []int8, qacc []int32, o *op, in, out, lo,
 // returned slices reuse the caller's buffers (pass the previous call's
 // slices back in), and all activations live in the plan's arena: both are
 // valid only until the plan's next call — the replica InferBatch contract.
+// On an early-exit-capable plan with the threshold enabled, confident
+// samples retire before the window ends (see InferBatchSteps for the
+// per-sample step counts).
 func (p *Plan) InferBatch(xs []*tensor.Tensor, cls []int, conf []float64) ([]int, []float64, error) {
-	p.arena.Reset()
-	x, err := p.arena.StackArena(xs)
-	if err != nil {
-		return nil, nil, err
-	}
-	if p.backend == Int8 && !p.released {
-		// Widen the activation ranges over the first served batches,
-		// then serve each of them from the int8 kernels like every
-		// later batch. The calibration float pass allocates past the
-		// staged batch, so this stays on the zero-allocation path.
-		if err := p.calibrateFrom(x); err != nil {
-			return nil, nil, err
-		}
-		p.noteCalibration()
-	}
-	logits, err := p.run(x, false)
-	if err != nil {
-		return nil, nil, err
-	}
-	if logits.Dims() != 2 {
-		return nil, nil, fmt.Errorf("%w: plan output %v is not 2-D logits", ErrShape, logits.Shape())
-	}
-	probs := p.arena.NewUninitLike(logits)
-	if err := nn.SoftmaxInto(probs, logits); err != nil {
-		return nil, nil, err
-	}
-	batch, classes := probs.Dim(0), probs.Dim(1)
-	if cap(cls) < batch {
-		cls = make([]int, batch)
-	}
-	cls = cls[:batch]
-	if cap(conf) < batch {
-		conf = make([]float64, batch)
-	}
-	conf = conf[:batch]
-	for b := 0; b < batch; b++ {
-		row := probs.Data()[b*classes : (b+1)*classes]
-		arg := 0
-		for j, v := range row {
-			if v > row[arg] {
-				arg = j
-			}
-		}
-		cls[b] = arg
-		conf[b] = float64(row[arg])
-	}
-	return cls, conf, nil
+	var err error
+	cls, conf, p.stepsBuf, err = p.InferBatchSteps(xs, cls, conf, p.stepsBuf)
+	return cls, conf, err
 }
 
 // reluInto writes max(0, src) into dst, sharding large activations. The

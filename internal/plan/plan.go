@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"openei/internal/nn"
 	"openei/internal/tensor"
@@ -59,8 +60,10 @@ const (
 
 // Package errors.
 var (
-	// ErrUnsupported is returned by Compile for layers the IR cannot
-	// lower (recurrent stacks); callers fall back to the layer walk.
+	// ErrUnsupported is returned by Compile for layer types outside the
+	// IR. Every built-in layer — including recurrent FastGRNN stacks,
+	// which compile to first-class RNN step ops since the early-exit
+	// revision — lowers; only custom Layer implementations hit this.
 	ErrUnsupported = errors.New("plan: unsupported layer")
 	// ErrBadBackend is returned for an unknown backend name.
 	ErrBadBackend = errors.New("plan: unknown backend")
@@ -92,6 +95,7 @@ const (
 	opBatchNorm
 	opReLU
 	opView
+	opRNN
 )
 
 func (k opKind) String() string {
@@ -112,9 +116,22 @@ func (k opKind) String() string {
 		return "relu"
 	case opView:
 		return "view"
+	case opRNN:
+		return "fastgrnn"
 	default:
 		return fmt.Sprintf("op(%d)", int(k))
 	}
+}
+
+// rnnStep is the compiled form of one FastGRNN layer: pre-transposed
+// weights in the streaming GEMM layout plus the gate constants, so the
+// per-step cell is two MatMulInto calls and one fused elementwise pass —
+// bitwise identical to FastGRNN.Forward.
+type rnnStep struct {
+	t, d, h  int
+	wt, ut   *tensor.Tensor // (D, H) and (H, H): W and U transposed once
+	bz, bh   []float32
+	zeta, nu float32
 }
 
 // op is one node of the flat IR. Weight fields reference (or, when an
@@ -151,6 +168,9 @@ type op struct {
 	qw       *tensor.QTensor
 	inScale  float32
 	calibMax float32
+
+	// rnn holds the compiled FastGRNN cell of an opRNN node.
+	rnn *rnnStep
 }
 
 // Options configure compilation.
@@ -165,6 +185,15 @@ type Options struct {
 	// elimination always runs); used by tests that isolate kernel
 	// behavior from graph rewrites.
 	NoFusion bool
+	// ExitThreshold sets the initial confidence threshold of an
+	// early-exit-capable plan (a [view…, fastgrnn, head…] graph): during
+	// InferBatch the classification head runs after every RNN step and a
+	// sample retires from the batch at the first step whose softmax
+	// confidence reaches the threshold. Values outside (0, 1] — including
+	// the zero value and +Inf — disable early exit: every sample consumes
+	// the full window, identically to the no-exit plan. The threshold is
+	// a live knob; see SetExitThreshold.
+	ExitThreshold float64
 }
 
 // Plan is a compiled model: the IR, its backend, and the execution state
@@ -188,6 +217,18 @@ type Plan struct {
 	qin   []int8  // int8 dense input scratch, grown once
 	qacc  []int32 // int8 dense accumulator rows, grown once
 
+	// Early-exit state. exitAt is the op index of the RNN op when the
+	// graph has the [view…, fastgrnn, head…] shape early exit requires
+	// (-1 otherwise); exitThrBits holds the live confidence threshold as
+	// float64 bits — the one Plan field that may be written from another
+	// goroutine (the autopilot's knob), hence atomic. liveIdx/liveRows
+	// are the mid-batch repack scratch, grown once.
+	exitAt      int
+	exitThrBits atomic.Uint64
+	liveIdx     []int
+	liveRows    []int
+	stepsBuf    []int // InferBatch's recycled steps buffer
+
 	// softmax/argmax recycled output buffers (InferBatch contract).
 	flops    int64 // per-sample forward cost, for cost-model consumers
 	actBytes int64
@@ -197,8 +238,9 @@ type Plan struct {
 // mutated; weights rewritten by optimization (batchnorm folds) are
 // private copies, everything else is referenced — so the model must stay
 // unmutated while the plan is live (compile from a private clone, as the
-// serving replicas do). Layers outside the IR (recurrent stacks) return
-// ErrUnsupported.
+// serving replicas do). Every built-in layer lowers — including FastGRNN,
+// whose steps compile to a first-class RNN op; only custom Layer
+// implementations return ErrUnsupported.
 func Compile(m *nn.Model, opts Options) (*Plan, error) {
 	backend := opts.Backend
 	if backend == "" {
@@ -214,6 +256,7 @@ func Compile(m *nn.Model, opts Options) (*Plan, error) {
 		arena:      tensor.NewArena(0),
 		flops:      m.FLOPs(1),
 		actBytes:   m.ActivationBytes(),
+		exitAt:     -1,
 	}
 	if err := p.lower(m); err != nil {
 		return nil, err
@@ -231,6 +274,8 @@ func Compile(m *nn.Model, opts Options) (*Plan, error) {
 	} else {
 		p.classes = prod(p.inputShape)
 	}
+	p.detectExitGraph()
+	p.SetExitThreshold(opts.ExitThreshold)
 	if backend == Int8 && opts.Calibration != nil {
 		// An explicit calibration batch is authoritative: freeze the
 		// scales and release the float reference weights immediately.
@@ -284,6 +329,24 @@ func (p *Plan) lower(m *nn.Model) error {
 			o.std = make([]float32, t.Features)
 			for f := 0; f < t.Features; f++ {
 				o.std[f] = float32(math.Sqrt(float64(t.RunVar.Data()[f] + t.Eps)))
+			}
+		case *nn.FastGRNN:
+			o.kind = opRNN
+			s := t.SpecV
+			wt, err := tensor.Transpose(t.W)
+			if err != nil {
+				return fmt.Errorf("plan: %s layer %d (fastgrnn): %w", m.Name, i, err)
+			}
+			ut, err := tensor.Transpose(t.U)
+			if err != nil {
+				return fmt.Errorf("plan: %s layer %d (fastgrnn): %w", m.Name, i, err)
+			}
+			o.rnn = &rnnStep{
+				t: s.T, d: s.D, h: s.H,
+				wt: wt, ut: ut,
+				bz: t.Bz.Data(), bh: t.Bh.Data(),
+				zeta: nn.Sigmoid32(t.ZetaRaw.At(0)),
+				nu:   nn.Sigmoid32(t.NuRaw.At(0)),
 			}
 		case *nn.ReLU:
 			o.kind = opReLU
@@ -433,6 +496,65 @@ func (p *Plan) materialize() error {
 	return nil
 }
 
+// detectExitGraph marks the plan early-exit-capable when the compiled op
+// list has the EMI-RNN shape: optional leading views, exactly one RNN op,
+// and a non-empty classification head producing a flat class vector. Only
+// that shape admits the confidence epilogue — the head must consume h_t
+// directly so it can be evaluated after every step.
+func (p *Plan) detectExitGraph() {
+	i := 0
+	for i < len(p.ops) && p.ops[i].kind == opView {
+		i++
+	}
+	if i >= len(p.ops) || p.ops[i].kind != opRNN {
+		return
+	}
+	for j := i + 1; j < len(p.ops); j++ {
+		if p.ops[j].kind == opRNN {
+			return // a second recurrent stage breaks the per-step head
+		}
+	}
+	last := p.ops[len(p.ops)-1]
+	if i == len(p.ops)-1 || len(last.outShape) != 1 {
+		return
+	}
+	p.exitAt = i
+}
+
+// SupportsEarlyExit reports whether the compiled graph admits the
+// confidence-threshold epilogue (see detectExitGraph). Plans without the
+// shape ignore SetExitThreshold.
+func (p *Plan) SupportsEarlyExit() bool { return p.exitAt >= 0 }
+
+// RNNSteps returns the window length T of an early-exit-capable plan, 0
+// otherwise — the denominator of the mean-steps-used metric.
+func (p *Plan) RNNSteps() int {
+	if p.exitAt < 0 {
+		return 0
+	}
+	return p.ops[p.exitAt].rnn.t
+}
+
+// SetExitThreshold installs a new live confidence threshold. Values in
+// (0, 1] enable early exit at that confidence; anything else (zero, +Inf,
+// NaN, negatives) disables it. Safe to call concurrently with inference —
+// this is the autopilot's continuous knob between ladder rungs.
+func (p *Plan) SetExitThreshold(thr float64) {
+	if !(thr > 0 && thr <= 1) {
+		thr = math.Inf(1)
+	}
+	p.exitThrBits.Store(math.Float64bits(thr))
+}
+
+// ExitThreshold returns the live threshold, or +Inf when early exit is
+// disabled (or unsupported by the graph).
+func (p *Plan) ExitThreshold() float64 {
+	if p.exitAt < 0 {
+		return math.Inf(1)
+	}
+	return math.Float64frombits(p.exitThrBits.Load())
+}
+
 // freezeCalibration ends an int8 plan's calibration life: activation
 // scales become frozen constants and the quantized ops' float reference
 // weights (kept only for the calibration passes) are released, so the
@@ -502,6 +624,9 @@ func (p *Plan) WeightBytes() int64 {
 			}
 		case opBatchNorm:
 			n += 4 * int64(len(o.gamma)+len(o.beta)+len(o.mean)+len(o.std))
+		case opRNN:
+			r := o.rnn
+			n += 4 * int64(r.wt.Len()+r.ut.Len()+len(r.bz)+len(r.bh)+2)
 		}
 	}
 	return n

@@ -209,9 +209,10 @@ func TestNoFusionKeepsBatchNormBitwise(t *testing.T) {
 	}
 }
 
-// Unsupported layers (recurrent stacks) must be rejected, not silently
-// mis-lowered — callers fall back to the layer walk.
-func TestCompileRejectsRecurrentStacks(t *testing.T) {
+// Recurrent stacks compile to first-class RNN step ops (no layer-walk
+// fallback remains), and the [rnn, head…] shape is detected as
+// early-exit-capable.
+func TestCompileLowersRecurrentStacks(t *testing.T) {
 	m, err := nn.NewModel("rnn", []int{24}, []nn.LayerSpec{
 		{Type: "fastgrnn", RNN: &nn.RNNSpec{D: 6, H: 8, T: 4}},
 		{Type: "dense", In: 8, Out: 3},
@@ -219,10 +220,48 @@ func TestCompileRejectsRecurrentStacks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	p, err := Compile(m, Options{})
+	if err != nil {
+		t.Fatalf("compile recurrent stack: %v", err)
+	}
+	ops := p.Ops()
+	if len(ops) != 2 || ops[0].Kind != "fastgrnn" || ops[1].Kind != "dense" {
+		t.Fatalf("ops = %+v, want [fastgrnn dense]", ops)
+	}
+	if !p.SupportsEarlyExit() {
+		t.Fatal("[fastgrnn, dense] plan should be early-exit-capable")
+	}
+	if p.RNNSteps() != 4 {
+		t.Fatalf("RNNSteps = %d, want 4", p.RNNSteps())
+	}
+	if !math.IsInf(p.ExitThreshold(), 1) {
+		t.Fatalf("default threshold = %v, want +Inf (disabled)", p.ExitThreshold())
+	}
+	if p.WeightBytes() == 0 {
+		t.Fatal("recurrent plan reports zero weight bytes")
+	}
+}
+
+// Custom layer types outside the IR must still be rejected, not silently
+// mis-lowered.
+func TestCompileRejectsUnknownLayers(t *testing.T) {
+	m := &nn.Model{Name: "custom", InputShape: []int{4}, Layers: []nn.Layer{opaqueLayer{}}}
 	if _, err := Compile(m, Options{}); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("compile = %v, want ErrUnsupported", err)
 	}
 }
+
+// opaqueLayer is a Layer implementation the plan IR has never heard of.
+type opaqueLayer struct{}
+
+func (opaqueLayer) Kind() string                                             { return "opaque" }
+func (opaqueLayer) Forward(x *tensor.Tensor, _ bool) (*tensor.Tensor, error) { return x, nil }
+func (opaqueLayer) Backward(g *tensor.Tensor) (*tensor.Tensor, error)        { return g, nil }
+func (opaqueLayer) Params() []*tensor.Tensor                                 { return nil }
+func (opaqueLayer) Grads() []*tensor.Tensor                                  { return nil }
+func (opaqueLayer) FLOPs(int) int64                                          { return 0 }
+func (opaqueLayer) OutShape(in []int) ([]int, error)                         { return in, nil }
+func (opaqueLayer) Spec() nn.LayerSpec                                       { return nn.LayerSpec{Type: "opaque"} }
 
 // Int8 plans: the quantized backend stays within quantization tolerance
 // of the float plan on the same inputs, and its weight footprint is about

@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"fmt"
+
+	"openei/internal/nn"
+	"openei/internal/tensor"
+)
+
+// This file is the recurrent half of the executor: the compiled FastGRNN
+// step loop (bitwise identical to the layer walk) and the early-exit
+// epilogue that retires confident samples mid-batch, repacking the live
+// rows so every later GEMM shrinks with the surviving set (EMI-RNN [42],
+// §IV.A.2 of the paper).
+
+// rnnCell applies one FastGRNN step elementwise:
+//
+//	z = σ(pre+b_z), h̃ = tanh(pre+b_h), h' = (ζ(1−z)+ν)·h̃ + z·h
+//
+// in the exact expression order of FastGRNN.Forward, so compiled results
+// stay bitwise identical to the reference layer.
+func rnnCell(dst, wx, uh, hPrev []float32, r *rnnStep) {
+	for i := range dst {
+		pre := wx[i] + uh[i]
+		zi := nn.Sigmoid32(pre + r.bz[i%r.h])
+		ci := nn.Tanh32(pre + r.bh[i%r.h])
+		dst[i] = (r.zeta*(1-zi)+r.nu)*ci + zi*hPrev[i]
+	}
+}
+
+// runRNNFull consumes the whole window on the full batch — the compiled
+// form of FastGRNN.Forward. visit, when non-nil, observes every step's
+// hidden state (the int8 calibration sweep runs the head over each of
+// them, since early exit can feed the head any h_t).
+func (p *Plan) runRNNFull(r *rnnStep, x *tensor.Tensor, visit func(h *tensor.Tensor) error) (*tensor.Tensor, error) {
+	if x.Dims() != 2 || x.Dim(1) != r.t*r.d {
+		return nil, fmt.Errorf("%w: fastgrnn (T=%d,D=%d) input %v", ErrShape, r.t, r.d, x.Shape())
+	}
+	batch := x.Dim(0)
+	a := p.arena
+	h := a.New(batch, r.h)
+	src := x.Data()
+	td := r.t * r.d
+	for t := 0; t < r.t; t++ {
+		xt := a.NewUninit(batch, r.d)
+		for b := 0; b < batch; b++ {
+			copy(xt.Data()[b*r.d:(b+1)*r.d], src[b*td+t*r.d:b*td+(t+1)*r.d])
+		}
+		wx := a.NewUninit(batch, r.h)
+		if err := tensor.MatMulInto(wx, xt, r.wt); err != nil {
+			return nil, err
+		}
+		uh := a.NewUninit(batch, r.h)
+		if err := tensor.MatMulInto(uh, h, r.ut); err != nil {
+			return nil, err
+		}
+		hn := a.NewUninit(batch, r.h)
+		rnnCell(hn.Data(), wx.Data(), uh.Data(), h.Data(), r)
+		h = hn
+		if visit != nil {
+			if err := visit(h); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// runHead executes the classification head (the ops after the RNN) on a
+// hidden state — run's dispatch restricted to the epilogue, so it can be
+// re-entered once per step during early exit and during the per-step
+// calibration sweep.
+func (p *Plan) runHead(x *tensor.Tensor, calibrating bool) (*tensor.Tensor, error) {
+	var err error
+	for i := p.exitAt + 1; i < len(p.ops); i++ {
+		o := &p.ops[i]
+		if calibrating && o.int8 {
+			if m := x.AbsMax(); m > o.calibMax {
+				o.calibMax = m
+			}
+		}
+		if o.int8 && !calibrating {
+			x, err = p.runInt8(o, x)
+		} else {
+			x, err = p.runFloat(o, x)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plan: %s op %d (%s): %w", p.name, i, o.kind, err)
+		}
+	}
+	return x, nil
+}
+
+// calibrateRecurrent widens the head ops' activation ranges over every
+// step's hidden state. The standard calibration pass only sees h_T; with
+// early exit enabled the head consumes h_t for any t, so the scales must
+// cover them all or early steps would clip.
+func (p *Plan) calibrateRecurrent(x *tensor.Tensor) error {
+	var err error
+	for i := 0; i < p.exitAt; i++ {
+		if x, err = p.runFloat(&p.ops[i], x); err != nil {
+			return fmt.Errorf("plan: %s op %d (%s): %w", p.name, i, p.ops[i].kind, err)
+		}
+	}
+	_, err = p.runRNNFull(p.ops[p.exitAt].rnn, x, func(h *tensor.Tensor) error {
+		_, herr := p.runHead(h, true)
+		return herr
+	})
+	return err
+}
+
+// runEarlyExit is the confidence-threshold epilogue: after every RNN step
+// the head classifies the live rows; a sample whose softmax confidence
+// reaches thr retires at that step (recording class, confidence, and
+// steps used at its original batch index), and the survivors are gathered
+// into a smaller hidden-state tensor so the next step's GEMMs shrink.
+// Per-sample results are bitwise identical to nn.RNNEarlyExit on a frozen
+// model: every kernel in the loop (ikj GEMM, cell, head dense, softmax,
+// argmax) is row-independent, so repacking cannot change a row's value.
+func (p *Plan) runEarlyExit(x *tensor.Tensor, thr float64, cls []int, conf []float64, steps []int) error {
+	var err error
+	for i := 0; i < p.exitAt; i++ {
+		if x, err = p.runFloat(&p.ops[i], x); err != nil {
+			return fmt.Errorf("plan: %s op %d (%s): %w", p.name, i, p.ops[i].kind, err)
+		}
+	}
+	r := p.ops[p.exitAt].rnn
+	if x.Dims() != 2 || x.Dim(1) != r.t*r.d {
+		return fmt.Errorf("%w: fastgrnn (T=%d,D=%d) input %v", ErrShape, r.t, r.d, x.Shape())
+	}
+	batch := x.Dim(0)
+	if cap(p.liveIdx) < batch {
+		p.liveIdx = make([]int, batch)
+		p.liveRows = make([]int, batch)
+	}
+	// live maps current row → original batch index; rows is the per-step
+	// survivor repack list (row indices within the current hidden state).
+	live := p.liveIdx[:batch]
+	rows := p.liveRows[:batch]
+	for i := range live {
+		live[i] = i
+	}
+	a := p.arena
+	src := x.Data()
+	td := r.t * r.d
+	w := batch
+	h := a.New(w, r.h)
+	for t := 0; t < r.t && w > 0; t++ {
+		xt := a.NewUninit(w, r.d)
+		for li := 0; li < w; li++ {
+			b := live[li]
+			copy(xt.Data()[li*r.d:(li+1)*r.d], src[b*td+t*r.d:b*td+(t+1)*r.d])
+		}
+		wx := a.NewUninit(w, r.h)
+		if err := tensor.MatMulInto(wx, xt, r.wt); err != nil {
+			return err
+		}
+		uh := a.NewUninit(w, r.h)
+		if err := tensor.MatMulInto(uh, h, r.ut); err != nil {
+			return err
+		}
+		hn := a.NewUninit(w, r.h)
+		rnnCell(hn.Data(), wx.Data(), uh.Data(), h.Data(), r)
+		h = hn
+
+		logits, err := p.runHead(h, false)
+		if err != nil {
+			return err
+		}
+		if logits.Dims() != 2 {
+			return fmt.Errorf("%w: early-exit head output %v is not 2-D logits", ErrShape, logits.Shape())
+		}
+		probs := a.NewUninitLike(logits)
+		if err := nn.SoftmaxInto(probs, logits); err != nil {
+			return err
+		}
+		classes := probs.Dim(1)
+		last := t == r.t-1
+		keep := 0
+		for li := 0; li < w; li++ {
+			row := probs.Data()[li*classes : (li+1)*classes]
+			arg := 0
+			for j, v := range row {
+				if v > row[arg] {
+					arg = j
+				}
+			}
+			c := float64(row[arg])
+			if c >= thr || last {
+				b := live[li]
+				cls[b], conf[b], steps[b] = arg, c, t+1
+			} else {
+				live[keep] = live[li]
+				rows[keep] = li
+				keep++
+			}
+		}
+		if keep < w && keep > 0 {
+			// Mid-batch repack: gather the survivors' hidden rows so the
+			// next step's GEMMs run at the shrunken width.
+			if h, err = a.GatherRows(h, rows[:keep]); err != nil {
+				return err
+			}
+		}
+		w = keep
+	}
+	return nil
+}
+
+// InferBatchSteps is InferBatch plus the per-sample step count: steps[b]
+// reports how many RNN steps sample b consumed (T when early exit is
+// disabled or the sample never reached the threshold; 0 for plans without
+// a recurrent stage). Like cls and conf, steps reuses the caller's buffer
+// and is valid until the plan's next call.
+func (p *Plan) InferBatchSteps(xs []*tensor.Tensor, cls []int, conf []float64, steps []int) ([]int, []float64, []int, error) {
+	p.arena.Reset()
+	x, err := p.arena.StackArena(xs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if p.backend == Int8 && !p.released {
+		if err := p.calibrateFrom(x); err != nil {
+			return nil, nil, nil, err
+		}
+		p.noteCalibration()
+	}
+	batch := len(xs)
+	if cap(cls) < batch {
+		cls = make([]int, batch)
+	}
+	cls = cls[:batch]
+	if cap(conf) < batch {
+		conf = make([]float64, batch)
+	}
+	conf = conf[:batch]
+	if cap(steps) < batch {
+		steps = make([]int, batch)
+	}
+	steps = steps[:batch]
+
+	if thr := p.ExitThreshold(); p.exitAt >= 0 && thr <= 1 {
+		if err := p.runEarlyExit(x, thr, cls, conf, steps); err != nil {
+			return nil, nil, nil, err
+		}
+		return cls, conf, steps, nil
+	}
+
+	logits, err := p.run(x, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if logits.Dims() != 2 {
+		return nil, nil, nil, fmt.Errorf("%w: plan output %v is not 2-D logits", ErrShape, logits.Shape())
+	}
+	probs := p.arena.NewUninitLike(logits)
+	if err := nn.SoftmaxInto(probs, logits); err != nil {
+		return nil, nil, nil, err
+	}
+	classes := probs.Dim(1)
+	full := p.RNNSteps()
+	for b := 0; b < batch; b++ {
+		row := probs.Data()[b*classes : (b+1)*classes]
+		arg := 0
+		for j, v := range row {
+			if v > row[arg] {
+				arg = j
+			}
+		}
+		cls[b] = arg
+		conf[b] = float64(row[arg])
+		steps[b] = full
+	}
+	return cls, conf, steps, nil
+}

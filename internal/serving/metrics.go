@@ -29,6 +29,34 @@ type modelMetrics struct {
 	// rolling p50/p95/p99 in /ei_metrics and the autopilot's per-tick
 	// quantile deltas.
 	hist latencyHistogram
+
+	// Early-exit accounting (earlyExit pipelines only). totalSteps is
+	// the recurrent window length T; stepsSum accumulates per-sample
+	// steps consumed; exitStats[s-1] is exit head s's counter and
+	// latency distribution — the `exits` block of /ei_metrics.
+	earlyExit  bool
+	totalSteps int
+	stepsSum   atomic.Uint64
+	exitStats  []exitStat
+}
+
+// exitStat is one exit head's counters: how many samples retired at this
+// step and their enqueue→response latency distribution.
+type exitStat struct {
+	count atomic.Uint64
+	hist  latencyHistogram
+}
+
+// observeExit records one sample retiring after `steps` RNN steps with
+// the given end-to-end latency.
+func (m *modelMetrics) observeExit(steps int, total time.Duration) {
+	if steps < 1 || steps > len(m.exitStats) {
+		return
+	}
+	m.stepsSum.Add(uint64(steps))
+	s := &m.exitStats[steps-1]
+	s.count.Add(1)
+	s.hist.Observe(total)
 }
 
 func (m *modelMetrics) observeBatch(n int) {
@@ -81,9 +109,32 @@ type ModelStats struct {
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
+
+	// Early-exit block (early-exit-capable pipelines only). ExitThreshold
+	// is the live confidence knob (0 when early exit is disabled);
+	// TotalSteps is the recurrent window length T; MeanStepsUsed averages
+	// per-sample steps over completed requests (== TotalSteps when
+	// disabled); Exits lists the per-exit-head distributions.
+	EarlyExit     bool        `json:"early_exit,omitempty"`
+	ExitThreshold float64     `json:"exit_threshold,omitempty"`
+	TotalSteps    int         `json:"total_steps,omitempty"`
+	MeanStepsUsed float64     `json:"mean_steps_used,omitempty"`
+	Exits         []ExitStats `json:"exits,omitempty"`
 }
 
-func (m *modelMetrics) snapshot(model string, depth int) ModelStats {
+// ExitStats is one exit head's share of the `exits` block in
+// /ei_metrics: how many completed samples retired at this RNN step
+// (Step == TotalSteps is the no-exit tail) and their enqueue→response
+// latency quantiles. Count is a monotone counter; the quantiles are
+// gauges derived from the cumulative distribution.
+type ExitStats struct {
+	Step  int     `json:"step"`
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+}
+
+func (m *modelMetrics) snapshot(model string, depth int, exitThr float64) ModelStats {
 	s := ModelStats{
 		Model:            model,
 		Replicas:         m.replicas,
@@ -108,6 +159,30 @@ func (m *modelMetrics) snapshot(model string, depth int) ModelStats {
 		s.P50MS = float64(h.Quantile(0.50)) / 1e6
 		s.P95MS = float64(h.Quantile(0.95)) / 1e6
 		s.P99MS = float64(h.Quantile(0.99)) / 1e6
+	}
+	if m.earlyExit {
+		s.EarlyExit = true
+		s.ExitThreshold = exitThr
+		s.TotalSteps = m.totalSteps
+		var exited uint64
+		for i := range m.exitStats {
+			es := &m.exitStats[i]
+			c := es.count.Load()
+			if c == 0 {
+				continue
+			}
+			exited += c
+			eh := es.hist.Snapshot()
+			s.Exits = append(s.Exits, ExitStats{
+				Step:  i + 1,
+				Count: c,
+				P50MS: float64(eh.Quantile(0.50)) / 1e6,
+				P95MS: float64(eh.Quantile(0.95)) / 1e6,
+			})
+		}
+		if exited > 0 {
+			s.MeanStepsUsed = float64(m.stepsSum.Load()) / float64(exited)
+		}
 	}
 	return s
 }

@@ -2,6 +2,7 @@ package serving
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -34,6 +35,10 @@ type pipeline struct {
 	quit    chan struct{}
 	met     modelMetrics
 	wg      sync.WaitGroup
+	// reps is the replica pool. Each replica is confined to its worker
+	// goroutine except for the early-exit threshold knob, which is the
+	// plan's one atomic field and may be flipped from the engine.
+	reps []*pkgmgr.Replica
 
 	// sendMu makes close() a barrier against in-flight submits: once
 	// closed is set under the write lock, no request can enter the queue,
@@ -51,10 +56,16 @@ func newPipeline(model string, cfg Config, tenants *tenantTable, reps []*pkgmgr.
 		q:          newSchedQueue(cfg.QueueDepth, tenants),
 		batches:    make(chan []*request),
 		quit:       make(chan struct{}),
+		reps:       reps,
 	}
 	p.met.replicas = len(reps)
 	p.met.queueCap = cfg.QueueDepth
 	p.met.backend = reps[0].Backend()
+	if reps[0].SupportsEarlyExit() {
+		p.met.earlyExit = true
+		p.met.totalSteps = reps[0].RNNSteps()
+		p.met.exitStats = make([]exitStat, p.met.totalSteps)
+	}
 	p.wg.Add(1 + len(reps))
 	go p.dispatch()
 	for _, r := range reps {
@@ -241,6 +252,11 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 			queued := start.Sub(r.enq)
 			total := done.Sub(r.enq)
 			p.met.observeDone(queued, total)
+			var stepsUsed int
+			if res.TotalSteps > 0 {
+				stepsUsed = res.Steps[i]
+				p.met.observeExit(stepsUsed, total)
+			}
 			r.tenant.met.served.Add(1)
 			r.tenant.met.hist.Observe(total)
 			r.resp <- response{res: Result{
@@ -250,6 +266,8 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 				Confidence:   res.Confidences[i],
 				BatchSize:    len(live),
 				Queued:       queued,
+				StepsUsed:    stepsUsed,
+				TotalSteps:   res.TotalSteps,
 				ModelLatency: res.ModelLatency,
 				ModelEnergy:  res.ModelEnergy,
 			}}
@@ -259,7 +277,30 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 
 // stats snapshots this pipeline's counters.
 func (p *pipeline) stats() ModelStats {
-	return p.met.snapshot(p.model, p.q.len())
+	return p.met.snapshot(p.model, p.q.len(), p.exitThreshold())
+}
+
+// exitThreshold reads the live knob off the first replica's plan (every
+// replica carries the same value), mapping the disabled sentinel (+Inf)
+// to 0 so the value is JSON-representable.
+func (p *pipeline) exitThreshold() float64 {
+	if !p.met.earlyExit {
+		return 0
+	}
+	thr := p.reps[0].ExitThreshold()
+	if math.IsInf(thr, 1) {
+		return 0
+	}
+	return thr
+}
+
+// setExitThreshold flips the live early-exit knob on every replica;
+// reports whether the pipeline's plans support early exit at all.
+func (p *pipeline) setExitThreshold(thr float64) bool {
+	for _, r := range p.reps {
+		r.SetExitThreshold(thr)
+	}
+	return p.met.earlyExit
 }
 
 // drain retires the pipeline without dropping anything: new submits are

@@ -84,6 +84,14 @@ type Config struct {
 	// are accounted to (default "default"). Declaring a tenant with this
 	// name in Tenants lets the operator rate-limit the catch-all class.
 	DefaultTenant string
+	// ExitThreshold is the initial early-exit confidence threshold
+	// applied to every pipeline whose compiled plan supports it (a
+	// recurrent model with a classification head): a sample retires from
+	// its batch at the first RNN step whose head confidence reaches the
+	// threshold. Values outside (0, 1] — including the zero value —
+	// disable early exit. Tune per model at runtime with
+	// Engine.SetExitThreshold.
+	ExitThreshold float64
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +125,12 @@ type Result struct {
 	BatchSize int
 	// Queued is the time spent waiting before a replica started the batch.
 	Queued time.Duration
+	// StepsUsed and TotalSteps report early-exit consumption when the
+	// serving plan is early-exit-capable: the sample used StepsUsed of
+	// TotalSteps RNN steps (StepsUsed < TotalSteps means it retired at
+	// the confidence threshold). Both are 0 for feed-forward models.
+	StepsUsed  int
+	TotalSteps int
 	// ModelLatency and ModelEnergy are the hardware cost model's numbers
 	// for the whole batch (the ALEM view of the run).
 	ModelLatency time.Duration
@@ -133,10 +147,11 @@ type Engine struct {
 	cfg     Config
 	tenants *tenantTable
 
-	mu     sync.RWMutex
-	pipes  map[string]*pipeline
-	routes map[string]string // public name → serving model (Swap)
-	closed bool
+	mu      sync.RWMutex
+	pipes   map[string]*pipeline
+	routes  map[string]string  // public name → serving model (Swap)
+	exitThr map[string]float64 // per-model threshold overrides (SetExitThreshold)
+	closed  bool
 }
 
 // NewEngine returns an engine over the manager's loaded models. A
@@ -154,6 +169,7 @@ func NewEngine(mgr *pkgmgr.Manager, cfg Config) *Engine {
 		mgr: mgr, cfg: cfg,
 		tenants: newTenantTable(cfg.Tenants, cfg.DefaultTenant),
 		pipes:   map[string]*pipeline{}, routes: map[string]string{},
+		exitThr: map[string]float64{},
 	}
 }
 
@@ -297,6 +313,7 @@ func (e *Engine) ensureActual(actual string) (*pipeline, error) {
 		}
 		reps[i] = r
 	}
+	e.applyExitThreshold(actual, reps)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -407,6 +424,7 @@ func (e *Engine) SetReplicas(model string, n int) error {
 		}
 		reps[i] = r
 	}
+	e.applyExitThreshold(actual, reps)
 	cfg := e.cfg
 	cfg.Replicas = n
 	e.mu.Lock()
@@ -426,6 +444,61 @@ func (e *Engine) SetReplicas(model string, n int) error {
 		go old.drain()
 	}
 	return nil
+}
+
+// applyExitThreshold installs the model's early-exit threshold on a
+// freshly built replica set: the runtime override when SetExitThreshold
+// recorded one, the engine-wide Config.ExitThreshold otherwise. No-op on
+// plans without early-exit support.
+func (e *Engine) applyExitThreshold(actual string, reps []*pkgmgr.Replica) {
+	e.mu.RLock()
+	thr, ok := e.exitThr[actual]
+	e.mu.RUnlock()
+	if !ok {
+		thr = e.cfg.ExitThreshold
+	}
+	for _, r := range reps {
+		r.SetExitThreshold(thr)
+	}
+}
+
+// SetExitThreshold installs the live early-exit confidence threshold on
+// the pipeline serving the named model (routes resolved; the pipeline is
+// built if it does not exist yet) and records it so later rebuilds —
+// Swap, SetReplicas, Reset — inherit it. Values outside (0, 1] disable
+// early exit. Returns whether the serving plan supports early exit at
+// all; the knob is a no-op (but still recorded) when it does not.
+//
+// This is the autopilot's continuous actuator between ladder rungs: the
+// threshold trades accuracy for latency within a tier, cheaper than
+// swapping tiers.
+func (e *Engine) SetExitThreshold(model string, thr float64) (bool, error) {
+	actual := e.Route(model)
+	p, err := e.ensureActual(actual)
+	if err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false, ErrClosed
+	}
+	e.exitThr[actual] = thr
+	e.mu.Unlock()
+	return p.setExitThreshold(thr), nil
+}
+
+// ExitThresholdOf reports the live early-exit threshold of the pipeline
+// serving the named model (0 when early exit is disabled) and whether
+// that pipeline exists and supports early exit.
+func (e *Engine) ExitThresholdOf(model string) (float64, bool) {
+	e.mu.RLock()
+	p, ok := e.pipes[e.resolveLocked(model)]
+	e.mu.RUnlock()
+	if !ok || !p.met.earlyExit {
+		return 0, false
+	}
+	return p.exitThreshold(), true
 }
 
 // LatencyOf returns the cumulative latency histogram of the pipeline

@@ -165,5 +165,30 @@ func (a *Arena) StackArena(ts []*Tensor) (*Tensor, error) {
 	return &h.t, nil
 }
 
+// GatherRows packs the selected rows of a 2-D tensor into a fresh arena
+// tensor of shape (len(rows), cols). It is the mid-batch repack primitive
+// of early-exit plans: after samples retire from a batch, the survivors
+// are gathered into a smaller tensor so every later GEMM shrinks with the
+// live set. Row indices must be in range; like every arena method it
+// performs no heap allocation once the slab and header cache are warm.
+func (a *Arena) GatherRows(src *Tensor, rows []int) (*Tensor, error) {
+	if len(src.shape) != 2 {
+		return nil, fmt.Errorf("%w: GatherRows needs a 2-D source, got %v", ErrShape, src.shape)
+	}
+	cols := src.shape[1]
+	h := a.hdr()
+	shape := h.shapeArr[:2]
+	shape[0], shape[1] = len(rows), cols
+	h.t.shape = shape
+	h.t.data = a.alloc(len(rows) * cols)
+	for i, r := range rows {
+		if r < 0 || r >= src.shape[0] {
+			return nil, fmt.Errorf("%w: GatherRows row %d outside [0,%d)", ErrShape, r, src.shape[0])
+		}
+		copy(h.t.data[i*cols:(i+1)*cols], src.data[r*cols:(r+1)*cols])
+	}
+	return &h.t, nil
+}
+
 // CapElems reports the slab capacity in float32 elements (diagnostics).
 func (a *Arena) CapElems() int { return len(a.slab) }

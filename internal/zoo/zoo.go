@@ -80,6 +80,11 @@ func Catalog() []Entry {
 			Desc:  "ProtoNN-style kilobyte model: learned projection to a prototype space [41]",
 			Build: buildProtoNNM,
 		},
+		{
+			Name: "fastgrnn-m", Kind: "rnn",
+			Desc:  "FastGRNN-style recurrent classifier: pixel rows as a time series through one gated cell; the compiled plan carries an EMI-RNN-style early-exit graph",
+			Build: buildFastGRNNM,
+		},
 	}
 	sort.Slice(es, func(i, j int) bool { return es[i].Name < es[j].Name })
 	return es
@@ -267,6 +272,19 @@ func buildProtoNNM(size, classes int) (*nn.Model, error) {
 		relu(),
 		{Type: "dense", In: 12, Out: 16},
 		relu(),
+		{Type: "dense", In: 16, Out: classes},
+	})
+}
+
+func buildFastGRNNM(size, classes int) (*nn.Model, error) {
+	// The image is read as a time series — one pixel row per step —
+	// through a single FastGRNN cell, with a dense head on the hidden
+	// state. Because the head applies to *any* step's state, the compiled
+	// plan supports confidence-thresholded early exit: easy inputs retire
+	// after a few rows instead of sweeping the full window.
+	return nn.NewModel("fastgrnn-m", []int{1, size, size}, []nn.LayerSpec{
+		{Type: "flatten"},
+		{Type: "fastgrnn", RNN: &nn.RNNSpec{T: size, D: size, H: 16}},
 		{Type: "dense", In: 16, Out: classes},
 	})
 }

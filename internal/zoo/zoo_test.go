@@ -11,7 +11,7 @@ import (
 )
 
 func TestCatalogComplete(t *testing.T) {
-	want := []string{"alexnet-m", "bonsai-m", "lenet", "mlp", "mobilenet-m", "protonn-m", "squeezenet-m", "vgg-m"}
+	want := []string{"alexnet-m", "bonsai-m", "fastgrnn-m", "lenet", "mlp", "mobilenet-m", "protonn-m", "squeezenet-m", "vgg-m"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("catalog = %v, want %v", got, want)

@@ -527,6 +527,17 @@ func (n *Node) ServeInferWithin(modelName string, x *Tensor, d time.Duration) (S
 	return n.Serving.InferWithDeadline(modelName, x, d)
 }
 
+// SetExitThreshold flips the live early-exit confidence knob on a served
+// model: samples whose per-step classifier confidence reaches thr retire
+// before consuming the full recurrent window. Values outside (0, 1]
+// disable early exit. Reports whether the model's compiled plan supports
+// the knob at all (always false for feed-forward models). The serving
+// result's StepsUsed/TotalSteps and the per-exit histograms in
+// /ei_metrics show the effect.
+func (n *Node) SetExitThreshold(modelName string, thr float64) (bool, error) {
+	return n.Serving.SetExitThreshold(modelName, thr)
+}
+
 // WithTenant attributes serving requests made with the returned context
 // to the named tenant class (see ServingConfig.Tenants); unattributed
 // requests ride the default class.
