@@ -57,6 +57,7 @@ import (
 	"time"
 
 	"openei/internal/gateway"
+	"openei/internal/obs"
 )
 
 // nodeList collects repeated -node flags, each possibly comma-separated.
@@ -89,10 +90,23 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 0, "how long an open breaker rests before a half-open probe (0 = default 2×health-interval)")
 		replication = flag.Int("replication", 0, "cluster mode: owner-set size per sharded zoo model (0 = default 2)")
 		maxZooFrac  = flag.Float64("max-zoo-fraction", 0, "cluster mode: cap on one node's share of the zoo catalog (0 = default 0.5)")
+		traceRate   = flag.Float64("trace-sample", 0, "head-sampling rate for request traces in [0,1]; errors and p99-tail requests are kept regardless")
+		traceRing   = flag.Int("trace-ring", 0, "stored traces retained for /gw_trace (0 = default 256)")
+		debugAddr   = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = off)")
+		blockRate   = flag.Int("block-profile-rate", -1, "runtime.SetBlockProfileRate value (-1 = leave default)")
+		mutexFrac   = flag.Int("mutex-profile-fraction", -1, "runtime.SetMutexProfileFraction value (-1 = leave default)")
 	)
 	flag.Var(&nodes, "node", "edge node base URL (repeatable, or comma-separated)")
 	flag.Var(&seeds, "cluster-seeds", "gossip seed base URL; enables cluster mode with membership-discovered nodes and shard-aware routing (repeatable, or comma-separated)")
 	flag.Parse()
+	obs.SetProfileRates(*blockRate, *mutexFrac)
+	if *debugAddr != "" {
+		if _, got, err := obs.StartDebugServer(*debugAddr); err != nil {
+			log.Fatalf("debug server: %v", err)
+		} else {
+			log.Printf("pprof debug server on %s", got)
+		}
+	}
 	if err := run(*addr, gateway.Config{
 		Nodes:            nodes,
 		Hedge:            *hedge,
@@ -106,6 +120,8 @@ func main() {
 		ClusterSeeds:     seeds,
 		Replication:      *replication,
 		MaxZooFraction:   *maxZooFrac,
+		TraceSampleRate:  *traceRate,
+		TraceRing:        *traceRing,
 	}); err != nil {
 		log.Fatal(err)
 	}

@@ -89,6 +89,7 @@ import (
 	"openei/internal/dataset"
 	"openei/internal/libei"
 	"openei/internal/nn"
+	"openei/internal/obs"
 	"openei/internal/parallel"
 	"openei/internal/runenv"
 	"openei/internal/sensors"
@@ -162,8 +163,24 @@ func main() {
 		clusterSeeds = flag.String("cluster-seeds", "", "comma-separated peer base URLs to rendezvous with")
 		replication  = flag.Int("replication", 0, "owner-set size per sharded zoo model (0 = default 2)")
 		maxZooFrac   = flag.Float64("max-zoo-fraction", 0, "cap on this node's share of the zoo catalog (0 = default 0.5)")
+
+		// Observability knobs: request tracing (GET /ei_trace) and the
+		// pprof debug listener. /metrics (Prometheus) is always on.
+		traceRate = flag.Float64("trace-sample", 0, "head-sampling rate for request traces in [0,1]; errors and p99-tail requests are kept regardless")
+		traceRing = flag.Int("trace-ring", 0, "stored traces retained for /ei_trace (0 = default 256)")
+		debugAddr = flag.String("debug-addr", "", "listen address for the pprof debug server (empty = off)")
+		blockRate = flag.Int("block-profile-rate", -1, "runtime.SetBlockProfileRate value (-1 = leave default)")
+		mutexFrac = flag.Int("mutex-profile-fraction", -1, "runtime.SetMutexProfileFraction value (-1 = leave default)")
 	)
 	flag.Parse()
+	obs.SetProfileRates(*blockRate, *mutexFrac)
+	if *debugAddr != "" {
+		if _, got, err := obs.StartDebugServer(*debugAddr); err != nil {
+			log.Fatalf("debug server: %v", err)
+		} else {
+			log.Printf("pprof debug server on %s", got)
+		}
+	}
 	tenantCfgs, err := parseTenants(*tenants)
 	if err != nil {
 		log.Fatal(err)
@@ -199,7 +216,7 @@ func main() {
 			clu.Seeds = append(clu.Seeds, u)
 		}
 	}
-	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *backendName, *seed, servingCfg, slo, clu); err != nil {
+	if err := run(*addr, *nodeID, *device, *pkgName, *cloudURL, *peers, fallback, *backendName, *seed, servingCfg, slo, clu, *traceRate, *traceRing); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -242,12 +259,13 @@ func parseTenants(spec string) ([]openei.TenantConfig, error) {
 	return out, nil
 }
 
-func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL, backendName string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy, clu clusterOpts) error {
+func run(addr, nodeID, device, pkgName, cloudURL, peers, offloadURL, backendName string, seed int64, servingCfg openei.ServingConfig, slo openei.AutopilotPolicy, clu clusterOpts, traceRate float64, traceRing int) error {
 	node, err := openei.New(openei.Config{NodeID: nodeID, Device: device, Package: pkgName, Serving: servingCfg, Autopilot: slo})
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	node.Server.SetTracer(obs.NewTracer(obs.Config{SampleRate: traceRate, Ring: traceRing, Source: nodeID}))
 	eff := node.Serving.Config()
 	pool := parallel.Snapshot()
 	log.Printf("serving engine: max-batch %d, batch-wait %v, replicas %d, queue-depth %d; kernel pool: %d workers, grain %d",

@@ -16,6 +16,7 @@ var docFiles = []string{
 	"ARCHITECTURE.md",
 	"ROADMAP.md",
 	"docs/METRICS.md",
+	"docs/TRACING.md",
 	"examples/health/README.md",
 	"examples/smart_home/README.md",
 	"examples/vehicles/README.md",
@@ -66,7 +67,7 @@ func TestDocsCurrent(t *testing.T) {
 	if strings.Contains(string(readme), "the fallback for") && strings.Contains(string(readme), `"layer-walk"`) {
 		t.Error("README still documents the layer-walk fallback backend; recurrent stacks compile now")
 	}
-	for _, want := range []string{"-exit-threshold", "mean_steps_used", "fastgrnn-m"} {
+	for _, want := range []string{"-exit-threshold", "mean_steps_used", "fastgrnn-m", "-trace-sample", "/gw_trace", "-debug-addr"} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README does not mention %q", want)
 		}
@@ -75,9 +76,27 @@ func TestDocsCurrent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"exit_threshold", "mean_steps_used", "tenants", "cluster", "deadline_stopped"} {
+	for _, want := range []string{
+		"exit_threshold", "mean_steps_used", "tenants", "cluster", "deadline_stopped",
+		// The observability layer: stage histograms and the Prometheus view.
+		"queue_wait_ms", "batch_wait_ms", "exec_ms",
+		"GET /metrics", "version=0.0.4", "openei_serving_exec_ms", "tail_threshold_ms",
+	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("docs/METRICS.md does not document %q", want)
+		}
+	}
+	tracing, err := os.ReadFile("docs/TRACING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"X-Openei-Trace", "queue_wait", "batch_wait", "exec",
+		"-trace-sample", "-trace-ring", "/ei_trace", "/gw_trace",
+		"winner", "p99", "-debug-addr", "-block-profile-rate", "-mutex-profile-fraction",
+	} {
+		if !strings.Contains(string(tracing), want) {
+			t.Errorf("docs/TRACING.md does not document %q", want)
 		}
 	}
 }

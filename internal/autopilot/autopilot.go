@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"openei/internal/obs"
 	"openei/internal/serving"
 	"openei/internal/tensor"
 )
@@ -515,7 +516,15 @@ func (p *Pilot) remote(ctx context.Context, model string, x *tensor.Tensor, d ti
 			}
 		}
 	}
+	// The offload hop gets its own span (under the request's root) so a
+	// stitched trace shows edge→cloud time separately from local serving.
+	tb := obs.FromContext(ctx)
+	start := time.Now()
 	cls, conf, err := p.off.Offload(ctx, model, x.Data(), d)
+	if tb != nil {
+		tb.Add(obs.StageOffload, tb.Root(), start, time.Since(start),
+			obs.Str("model", model))
+	}
 	if err != nil {
 		p.offloadErrs.Add(1)
 		return serving.Result{}, err

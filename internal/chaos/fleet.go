@@ -15,6 +15,7 @@ import (
 	"openei/internal/libei"
 	"openei/internal/netsim"
 	"openei/internal/nn"
+	"openei/internal/obs"
 	"openei/internal/pkgmgr"
 	"openei/internal/serving"
 )
@@ -155,6 +156,10 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		})
 		lib := libei.NewServer(id, nil, mgr)
 		lib.SetEngine(eng)
+		// Rate-0 tracing still keeps errors and p99-tail requests, and
+		// every infer answer reports its trace_id — what the report's
+		// worst-traces and failure-trace stamps resolve against.
+		lib.SetTracer(obs.NewTracer(obs.Config{Source: id}))
 		srv := httptest.NewServer(lib)
 		n := &Node{
 			ID:   id,

@@ -79,6 +79,10 @@ type TenantOutcome struct {
 	// Other counts everything else — the chaos contract demands zero.
 	Other        int      `json:"other"`
 	OtherSamples []string `json:"other_samples,omitempty"`
+	// FailureTraces are trace IDs stamped on failed or shed requests (the
+	// X-Openei-Trace the gateway echoes even on errors), capped at 10 —
+	// each resolvable at /gw_trace?id= while the fleet is up.
+	FailureTraces []string `json:"failure_traces,omitempty"`
 
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
@@ -97,6 +101,17 @@ type Report struct {
 	Gateway    gateway.Metrics `json:"gateway"`
 	// NodeTenants maps node ID → that node's per-tenant serving counters.
 	NodeTenants map[string][]serving.TenantStats `json:"node_tenants"`
+	// WorstTraces are the run's 10 slowest answered requests with their
+	// trace IDs — the p99-tail the tracer keeps even unsampled, so each
+	// can be decomposed at /gw_trace?id= into queue/batch/exec time.
+	WorstTraces []WorstTrace `json:"worst_traces,omitempty"`
+}
+
+// WorstTrace is one of the run's slowest answered requests.
+type WorstTrace struct {
+	Tenant    string  `json:"tenant"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 // Tenant returns the named tenant's outcome (nil when absent).
@@ -144,6 +159,32 @@ type tally struct {
 	out       TenantOutcome
 	latencies []time.Duration
 	sloOK     int
+	worst     []WorstTrace // slowest answered requests, kept to worstKeep
+}
+
+// worstKeep bounds the slowest-request list (per tenant during the run,
+// and the merged report list).
+const worstKeep = 10
+
+// stampFailure records a failed/shed request's trace ID (when the
+// responder echoed one); callers hold tl.mu.
+func (tl *tally) stampFailure(traceID string) {
+	if traceID != "" && len(tl.out.FailureTraces) < worstKeep {
+		tl.out.FailureTraces = append(tl.out.FailureTraces, traceID)
+	}
+}
+
+// observeWorst records an answered request into the tenant's
+// slowest-request list; callers hold tl.mu.
+func (tl *tally) observeWorst(traceID string, elapsed time.Duration) {
+	tl.worst = append(tl.worst, WorstTrace{
+		Tenant: tl.out.Tenant, TraceID: traceID,
+		LatencyMS: float64(elapsed) / 1e6,
+	})
+	if len(tl.worst) > 4*worstKeep {
+		sort.Slice(tl.worst, func(a, b int) bool { return tl.worst[a].LatencyMS > tl.worst[b].LatencyMS })
+		tl.worst = tl.worst[:worstKeep]
+	}
 }
 
 // Run executes the soak: one goroutine per tenant generates open-loop
@@ -193,6 +234,7 @@ func (h *Harness) Run() (*Report, error) {
 	for _, n := range h.Fleet.Nodes {
 		rep.NodeTenants[n.ID] = n.TenantStats()
 	}
+	var worst []WorstTrace
 	for _, tl := range tallies {
 		tl.mu.Lock()
 		o := tl.out
@@ -204,10 +246,16 @@ func (h *Harness) Run() (*Report, error) {
 			o.P50MS = float64(tl.latencies[len(tl.latencies)/2]) / 1e6
 			o.P95MS = float64(tl.latencies[len(tl.latencies)*95/100]) / 1e6
 		}
+		worst = append(worst, tl.worst...)
 		tl.mu.Unlock()
 		rep.Tenants = append(rep.Tenants, o)
 	}
 	sort.Slice(rep.Tenants, func(a, b int) bool { return rep.Tenants[a].Tenant < rep.Tenants[b].Tenant })
+	sort.Slice(worst, func(a, b int) bool { return worst[a].LatencyMS > worst[b].LatencyMS })
+	if len(worst) > worstKeep {
+		worst = worst[:worstKeep]
+	}
+	rep.WorstTraces = worst
 	return rep, nil
 }
 
@@ -288,10 +336,18 @@ func (h *Harness) generate(ctx context.Context, start time.Time, client *libei.C
 			tl.mu.Lock()
 			defer tl.mu.Unlock()
 			tl.out.Sent++
+			traceID := res.TraceID
+			if err != nil {
+				var se *libei.StatusError
+				if errors.As(err, &se) {
+					traceID = se.TraceID
+				}
+			}
 			switch {
 			case err == nil:
 				tl.out.OK++
 				tl.latencies = append(tl.latencies, elapsed)
+				tl.observeWorst(traceID, elapsed)
 				if elapsed <= slo {
 					tl.sloOK++
 				}
@@ -307,10 +363,13 @@ func (h *Harness) generate(ctx context.Context, start time.Time, client *libei.C
 				}
 			case errors.Is(err, libei.ErrOverloaded):
 				tl.out.Overloaded++
+				tl.stampFailure(traceID)
 			case errors.Is(err, libei.ErrDeadline):
 				tl.out.Deadline++
+				tl.stampFailure(traceID)
 			default:
 				tl.out.Other++
+				tl.stampFailure(traceID)
 				if len(tl.out.OtherSamples) < 5 {
 					tl.out.OtherSamples = append(tl.out.OtherSamples, err.Error())
 				}

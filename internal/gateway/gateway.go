@@ -55,6 +55,7 @@ import (
 	"openei/internal/cluster"
 	"openei/internal/collab"
 	"openei/internal/libei"
+	"openei/internal/obs"
 	"openei/internal/runenv"
 	"openei/internal/zoo"
 )
@@ -125,6 +126,15 @@ type Config struct {
 	// netsim-backed round-trippers here so partitions and flaky links hit
 	// the real request path.
 	Transport http.RoundTripper
+
+	// TraceSampleRate is the head-sampling probability for request
+	// traces in [0, 1]. Errors and p99-tail requests are kept regardless,
+	// so 0 (the default) still stores failure and outlier traces; the
+	// sampling verdict propagates to the serving node in the
+	// X-Openei-Trace header so both sides keep the same traces.
+	TraceSampleRate float64
+	// TraceRing bounds the stored traces (default 256).
+	TraceRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -252,6 +262,7 @@ type Gateway struct {
 
 	inflight atomic.Int64
 	met      counters
+	tracer   *obs.Tracer
 
 	pickMu sync.Mutex
 	rng    *rand.Rand
@@ -289,6 +300,7 @@ func New(cfg Config) (*Gateway, error) {
 		byURL:  map[string]*node{},
 		static: map[string]bool{},
 		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+		tracer: obs.NewTracer(obs.Config{SampleRate: cfg.TraceSampleRate, Ring: cfg.TraceRing, Source: "gateway"}),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -626,10 +638,12 @@ func (g *Gateway) routeGroups(model string) [][]*node {
 // unhealthy node that might still answer beats a guaranteed refusal, and
 // failover covers the truly dead. (launch still consults the breaker on
 // the pass-two pick, so a hard-open node is skipped, not re-hammered.)
-func (g *Gateway) pick(tried map[*node]bool, groups [][]*node) *node {
+// The second return is the index of the preference tier the node came
+// from, for the attempt span's route_tier attribute.
+func (g *Gateway) pick(tried map[*node]bool, groups [][]*node) (*node, int) {
 	now := time.Now()
 	for pass := 0; pass < 2; pass++ {
-		for _, group := range groups {
+		for tier, group := range groups {
 			var cands []*node
 			for _, n := range group {
 				if tried[n] || (pass == 0 && (!n.healthy.Load() || !n.br.available(now))) {
@@ -641,7 +655,7 @@ func (g *Gateway) pick(tried map[*node]bool, groups [][]*node) *node {
 			case 0:
 				continue
 			case 1:
-				return cands[0]
+				return cands[0], tier
 			}
 			g.pickMu.Lock()
 			i := g.rng.Intn(len(cands))
@@ -652,12 +666,21 @@ func (g *Gateway) pick(tried map[*node]bool, groups [][]*node) *node {
 			}
 			a, b := cands[i], cands[j]
 			if b.effectiveLoad() < a.effectiveLoad() {
-				return b
+				return b, tier
 			}
-			return a
+			return a, tier
 		}
 	}
-	return nil
+	return nil, 0
+}
+
+// tierNames mirrors routeGroups' preference ordering, by group count:
+// cluster mode routes over four tiers, classic mode over the whole fleet.
+func tierNames(groups int) []string {
+	if groups > 1 {
+		return []string{"advertising", "holdouts", "owners", "fleet"}
+	}
+	return []string{"fleet"}
 }
 
 // upstream is one attempt's outcome.
@@ -665,6 +688,9 @@ type upstream struct {
 	node *node
 	res  libei.ForwardResult
 	err  error
+	// spanID is the attempt's trace span (0 when the request is untraced);
+	// do marks the winning attempt's span once the race resolves.
+	spanID uint64
 }
 
 // retryable reports whether the outcome should trigger failover: the node
@@ -679,11 +705,13 @@ func (u upstream) retryable(retry404 bool) bool {
 }
 
 // attempt proxies the request to one node, tracking its in-flight count
-// and per-node counters.
-func (g *Gateway) attempt(ctx context.Context, n *node, uri string) upstream {
+// and per-node counters. trace, when non-empty, is the X-Openei-Trace
+// context propagated to the node: same trace ID, this attempt's span as
+// parent, the gateway's sampling verdict.
+func (g *Gateway) attempt(ctx context.Context, n *node, uri, trace string) upstream {
 	n.inflight.Add(1)
 	defer n.inflight.Add(-1)
-	res, err := n.client.Forward(ctx, uri)
+	res, err := n.client.ForwardTrace(ctx, uri, trace)
 	if err != nil {
 		if ctx.Err() == nil {
 			// Real transport failure, not a hedge-loser cancellation.
@@ -719,10 +747,15 @@ func (g *Gateway) attempt(ctx context.Context, n *node, uri string) upstream {
 // the remaining budget on each launch (so a node never works a stale
 // budget), and once the deadline has lapsed no retry or hedge launches —
 // the caller gets a prompt deadline error instead of a late 5xx.
-func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
+// When tb is non-nil every pick and every attempt records a child span
+// under the gateway root; the winning attempt's span is marked once the
+// race resolves, so retries and hedges are distinguishable in the stored
+// trace.
+func (g *Gateway) do(ctx context.Context, uri, model string, tb *obs.TraceBuf) upstream {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	groups := g.routeGroups(model)
+	names := tierNames(len(groups))
 	retry404 := g.mem != nil && model != ""
 	tried := map[*node]bool{}
 	results := make(chan upstream, g.cfg.Retries+2)
@@ -741,7 +774,8 @@ func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 		// (open, or probe slot taken) stays in tried and the loop moves on.
 		cleared := false
 		for {
-			n := g.pick(tried, groups)
+			pickStart := time.Now()
+			n, tier := g.pick(tried, groups)
 			if n == nil {
 				if cleared || len(tried) == 0 {
 					return false
@@ -758,7 +792,35 @@ func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 				continue
 			}
 			pending++
-			go func() { results <- g.attempt(ctx, n, attemptURI) }()
+			var trace string
+			var spanID uint64
+			tierName := names[tier]
+			if tb != nil {
+				tb.Add(obs.StagePick, tb.Root(), pickStart, time.Since(pickStart),
+					obs.Str("node", n.url), obs.Str("route_tier", tierName))
+				// The attempt's span ID is allocated before launch so it can
+				// cross to the node as the parent while still in flight.
+				spanID = g.tracer.NextID()
+				trace = obs.TraceContext{TraceID: tb.ID(), Parent: spanID, Sampled: tb.Sampled()}.String()
+				// A hedge loser outlives do (and the caller's Finish); its
+				// reference keeps the buffer alive until its span lands.
+				tb.Ref()
+			}
+			go func() {
+				st := time.Now()
+				u := g.attempt(ctx, n, attemptURI, trace)
+				if tb != nil {
+					u.spanID = spanID
+					status := int64(u.res.Status)
+					if u.err != nil {
+						status = -1
+					}
+					tb.AddWithID(spanID, obs.StageAttempt, tb.Root(), st, time.Since(st),
+						obs.Str("node", n.url), obs.Int("status", status), obs.Str("route_tier", tierName))
+					tb.Unref()
+				}
+				results <- u
+			}()
 			return true
 		}
 	}
@@ -784,6 +846,9 @@ func (g *Gateway) do(ctx context.Context, uri, model string) upstream {
 		case u := <-results:
 			pending--
 			if !u.retryable(retry404) {
+				if tb != nil && u.spanID != 0 {
+					tb.SetAttr(u.spanID, obs.Str("winner", "1"))
+				}
 				return u
 			}
 			if err := ctx.Err(); err != nil {
@@ -852,16 +917,43 @@ func cacheable(path string) bool {
 	return path == "/ei_algorithms/serving/infer"
 }
 
-// ServeHTTP implements http.Handler: /gw_metrics locally, everything else
-// proxied to the fleet.
+// Tracer returns the gateway's request tracer.
+func (g *Gateway) Tracer() *obs.Tracer { return g.tracer }
+
+// ServeHTTP implements http.Handler: /gw_metrics, /gw_trace, and /metrics
+// locally, everything else proxied to the fleet. Every proxied request is
+// traced (kept per the sampling policy) and its trace ID echoed in the
+// X-Openei-Trace response header — on errors and sheds too, so a failure
+// report can always point at its trace.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, envelope{OK: false, Error: "only GET is supported"})
 		return
 	}
-	if r.URL.Path == "/gw_metrics" {
+	switch r.URL.Path {
+	case "/gw_metrics":
 		writeJSON(w, http.StatusOK, envelope{OK: true, Result: g.Metrics()})
 		return
+	case "/gw_trace":
+		g.handleGwTrace(w, r)
+		return
+	case "/metrics":
+		g.handleProm(w)
+		return
+	}
+	// The gateway originates the trace: fresh ID, head-sampling verdict
+	// propagated to whichever nodes the attempts reach. The root span is
+	// recorded at respond time under the ID allocated here.
+	tb := g.tracer.Begin(obs.TraceContext{})
+	root := g.tracer.NextID()
+	tb.SetRoot(root)
+	w.Header().Set(obs.TraceHeader, tb.IDString())
+	start := time.Now()
+	finish := func(status int, failed bool, extra ...obs.Attr) {
+		total := time.Since(start)
+		attrs := append([]obs.Attr{obs.Str("path", r.URL.Path), obs.Int("status", int64(status))}, extra...)
+		tb.AddWithID(root, obs.StageGateway, 0, start, total, attrs...)
+		g.tracer.Finish(tb, failed, total)
 	}
 	// Fleet-wide admission control: shed at the front door instead of
 	// letting the request time out deep in some node's queue.
@@ -869,6 +961,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer g.inflight.Add(-1)
 	if g.cfg.MaxInflight > 0 && cur > int64(g.cfg.MaxInflight) {
 		g.met.shed.Add(1)
+		finish(http.StatusTooManyRequests, true, obs.Str("outcome", "shed"))
 		writeJSON(w, http.StatusTooManyRequests, envelope{
 			OK:    false,
 			Error: fmt.Sprintf("gateway: fleet saturated (%d in flight, cap %d)", cur-1, g.cfg.MaxInflight),
@@ -883,6 +976,7 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if g.cache != nil && cacheable(r.URL.Path) {
 		if ent, ok := g.cache.get(uri); ok {
+			finish(ent.status, false, obs.Str("cache", "hit"))
 			w.Header().Set("Content-Type", ent.contentType)
 			w.Header().Set("X-Gateway-Cache", "hit")
 			w.WriteHeader(ent.status)
@@ -901,22 +995,25 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			defer cancel()
 		}
 	}
-	u := g.do(ctx, uri, model)
+	u := g.do(ctx, uri, model, tb)
 	if u.err != nil {
 		if errors.Is(u.err, context.DeadlineExceeded) {
 			g.met.deadlineStopped.Add(1)
+			finish(http.StatusRequestTimeout, true)
 			writeJSON(w, http.StatusRequestTimeout, envelope{
 				OK: false, Error: "gateway: deadline expired before a node answered",
 			})
 			return
 		}
 		g.met.failed.Add(1)
+		finish(http.StatusBadGateway, true)
 		writeJSON(w, http.StatusBadGateway, envelope{
 			OK: false, Error: fmt.Sprintf("gateway: all attempts failed: %v", u.err),
 		})
 		return
 	}
 	g.met.routed.Add(1)
+	finish(u.res.Status, u.res.Status >= 500)
 	switch u.res.Status {
 	case http.StatusTooManyRequests:
 		g.met.upstreamOverload.Add(1)
@@ -934,4 +1031,56 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Gateway-Node", u.node.url)
 	w.WriteHeader(u.res.Status)
 	_, _ = w.Write(u.res.Body)
+}
+
+// handleGwTrace serves GET /gw_trace: without an id, the recently kept
+// trace IDs; with ?id=, the stitched cross-process trace — the gateway's
+// own spans plus, for every node an attempt span touched, that node's
+// spans for the same trace fetched live over /ei_trace. Stitching works
+// because the sampling verdict propagates: a trace the gateway kept was
+// kept by the serving node too.
+func (g *Gateway) handleGwTrace(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("id")
+	if raw == "" {
+		writeJSON(w, http.StatusOK, envelope{OK: true, Result: g.tracer.RecentIDs(32)})
+		return
+	}
+	id, ok := obs.ParseID(raw)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, envelope{OK: false, Error: fmt.Sprintf("bad trace id %q", raw)})
+		return
+	}
+	spans, ok := g.tracer.Trace(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, envelope{OK: false, Error: fmt.Sprintf("trace %s not stored (unsampled or evicted)", raw)})
+		return
+	}
+	doc := libei.TraceDoc{TraceID: obs.IDString(id), Spans: spans}
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	fetched := map[string]bool{}
+	for _, sp := range spans {
+		nodeURL, _ := sp.Attrs["node"].(string)
+		if nodeURL == "" || fetched[nodeURL] {
+			continue
+		}
+		fetched[nodeURL] = true
+		n := g.nodeByURL(nodeURL)
+		if n == nil {
+			continue
+		}
+		if nd, err := n.client.TraceCtx(ctx, doc.TraceID); err == nil {
+			doc.Spans = append(doc.Spans, nd.Spans...)
+		}
+	}
+	doc.SortSpans()
+	writeJSON(w, http.StatusOK, envelope{OK: true, Result: doc})
+}
+
+// handleProm renders the /gw_metrics snapshot — same struct, same code
+// path — in Prometheus exposition format under the openei_gateway
+// namespace.
+func (g *Gateway) handleProm(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteProm(w, "openei_gateway", g.Metrics())
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"openei/internal/cluster"
+	"openei/internal/obs"
 )
 
 // NodeMetrics is one fleet member's view in /gw_metrics.
@@ -91,6 +92,9 @@ type Metrics struct {
 
 	// Cluster is present only in cluster mode.
 	Cluster *ClusterMetrics `json:"cluster,omitempty"`
+
+	// Trace is the gateway tracer's sampling/retention counters.
+	Trace *obs.Stats `json:"trace,omitempty"`
 }
 
 // Metrics snapshots the gateway's counters and per-node health, nodes
@@ -107,6 +111,10 @@ func (g *Gateway) Metrics() Metrics {
 		UpstreamOverloaded: g.met.upstreamOverload.Load(),
 		UpstreamDeadline:   g.met.upstreamDeadline.Load(),
 		DeadlineStopped:    g.met.deadlineStopped.Load(),
+	}
+	if g.tracer != nil {
+		st := g.tracer.Stats()
+		m.Trace = &st
 	}
 	if g.cache != nil {
 		m.CacheHits = g.cache.hits.Load()

@@ -1,0 +1,285 @@
+package gateway_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openei/internal/gateway"
+	"openei/internal/libei"
+	"openei/internal/obs"
+)
+
+// traceStub extends the routing stub with the node half of tracing: it
+// captures the X-Openei-Trace header off infer requests and serves a
+// one-span /ei_trace document for that trace, like a real node would.
+type traceStub struct {
+	*stubNode
+	mu        sync.Mutex
+	lastTrace string
+}
+
+func newTraceStub(t *testing.T, id string, infer http.HandlerFunc) *traceStub {
+	t.Helper()
+	ts := &traceStub{}
+	ts.stubNode = newStub(t, id, func(w http.ResponseWriter, r *http.Request) {
+		ts.mu.Lock()
+		ts.lastTrace = r.Header.Get(obs.TraceHeader)
+		ts.mu.Unlock()
+		infer(w, r)
+	})
+	// Wrap the stub's mux to add /ei_trace.
+	inner := ts.stubNode.ts.Config.Handler
+	ts.stubNode.ts.Config.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/ei_trace" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		ts.mu.Lock()
+		last := ts.lastTrace
+		ts.mu.Unlock()
+		tid := r.URL.Query().Get("id")
+		if last == "" || !strings.HasPrefix(last, tid) {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"ok":false,"error":"trace not stored"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"ok":true,"result":{"trace_id":%q,"spans":[`+
+			`{"trace_id":%q,"span_id":"00000000000000aa","stage":"infer","source":%q,"start_unix_ns":1,"duration_ms":0.5}]}}`,
+			tid, tid, id)
+	})
+	return ts
+}
+
+// fetchTrace polls /gw_trace?id= until the trace commits (a hedge loser
+// holds the buffer open briefly after the response).
+func fetchTrace(t *testing.T, front, id string) libei.TraceDoc {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		status, body := get(t, front+"/gw_trace?id="+id)
+		if status == http.StatusOK {
+			var env struct {
+				OK     bool           `json:"ok"`
+				Result libei.TraceDoc `json:"result"`
+			}
+			if err := json.Unmarshal([]byte(body), &env); err != nil {
+				t.Fatalf("decode trace: %v\n%s", err, body)
+			}
+			return env.Result
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never stored: status %d, %s", id, status, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func attemptSpans(doc libei.TraceDoc) []obs.WireSpan {
+	var out []obs.WireSpan
+	for _, sp := range doc.Spans {
+		if sp.Stage == obs.StageAttempt {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// TestRetrySpansDistinctChildren: a 500-answering node forces a retry;
+// the stored trace shows both attempts as distinct children of the
+// gateway root, statuses visible, the successful one marked winner.
+func TestRetrySpansDistinctChildren(t *testing.T) {
+	bad := newStub(t, "bad", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"ok":false,"error":"boom"}`)
+	})
+	good := newStub(t, "good", okInfer)
+	// Load-bias the p2c pick so the failing node is always tried first.
+	good.queueDepth.Store(100)
+	_, front := startGateway(t, gateway.Config{
+		TraceSampleRate: 1,
+		Retries:         1,
+		HealthInterval:  time.Hour, // freeze the initial health view
+	}, bad, good)
+
+	resp, err := http.Get(front.URL + inferURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get(obs.TraceHeader)
+	if id == "" {
+		t.Fatal("no X-Openei-Trace response header")
+	}
+
+	doc := fetchTrace(t, front.URL, id)
+	var root string
+	for _, sp := range doc.Spans {
+		if sp.Stage == obs.StageGateway {
+			root = sp.SpanID
+		}
+	}
+	if root == "" {
+		t.Fatalf("no gateway root span: %+v", doc.Spans)
+	}
+	atts := attemptSpans(doc)
+	if len(atts) != 2 {
+		t.Fatalf("got %d attempt spans, want 2: %+v", len(atts), atts)
+	}
+	if atts[0].SpanID == atts[1].SpanID {
+		t.Fatalf("attempts share span ID %s", atts[0].SpanID)
+	}
+	var failed, winner int
+	for _, sp := range atts {
+		if sp.ParentID != root {
+			t.Fatalf("attempt parented to %s, want gateway root %s", sp.ParentID, root)
+		}
+		if sp.Attrs["route_tier"] != "fleet" {
+			t.Fatalf("attempt route_tier = %v", sp.Attrs["route_tier"])
+		}
+		switch st := sp.Attrs["status"].(type) {
+		case float64:
+			if st == 500 {
+				failed++
+			}
+			if st == 200 {
+				if sp.Attrs["winner"] != "1" {
+					t.Fatalf("200 attempt not marked winner: %v", sp.Attrs)
+				}
+				winner++
+			}
+		default:
+			t.Fatalf("attempt status attr = %v (%T)", sp.Attrs["status"], sp.Attrs["status"])
+		}
+	}
+	if failed != 1 || winner != 1 {
+		t.Fatalf("failed=%d winner=%d, want 1/1: %+v", failed, winner, atts)
+	}
+}
+
+// TestHedgeSpansWinnerMarked: a stalled first node triggers the hedge;
+// both attempts appear, only the fast one is the winner.
+func TestHedgeSpansWinnerMarked(t *testing.T) {
+	slow := newStub(t, "slow", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(400 * time.Millisecond)
+		okInfer(w, r)
+	})
+	fast := newStub(t, "fast", okInfer)
+	fast.queueDepth.Store(100) // bias the first pick onto the stalled node
+	gw, front := startGateway(t, gateway.Config{
+		TraceSampleRate: 1,
+		Hedge:           30 * time.Millisecond,
+		HealthInterval:  time.Hour,
+	}, slow, fast)
+
+	resp, err := http.Get(front.URL + inferURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := gw.Metrics().Hedged; got != 1 {
+		t.Fatalf("hedged = %d, want 1", got)
+	}
+	doc := fetchTrace(t, front.URL, resp.Header.Get(obs.TraceHeader))
+	atts := attemptSpans(doc)
+	if len(atts) != 2 {
+		t.Fatalf("got %d attempt spans, want 2: %+v", len(atts), atts)
+	}
+	winners := 0
+	for _, sp := range atts {
+		if sp.Attrs["winner"] == "1" {
+			winners++
+			if sp.Attrs["status"] != float64(200) {
+				t.Fatalf("winner status = %v", sp.Attrs["status"])
+			}
+		}
+	}
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1: %+v", winners, atts)
+	}
+}
+
+// TestKilledNodeFailoverStitchedTrace: the first node dies mid-fleet; the
+// stitched /gw_trace shows the dead-node attempt (transport error,
+// status -1) plus the surviving node's own span fetched over /ei_trace.
+func TestKilledNodeFailoverStitchedTrace(t *testing.T) {
+	dying := newTraceStub(t, "dying", okInfer)
+	survivor := newTraceStub(t, "survivor", okInfer)
+	survivor.queueDepth.Store(100) // first pick lands on the node about to die
+	_, front := startGateway(t, gateway.Config{
+		TraceSampleRate: 1,
+		Retries:         1,
+		HealthInterval:  time.Hour,
+	}, dying.stubNode, survivor.stubNode)
+
+	dying.stubNode.ts.CloseClientConnections()
+	dying.stubNode.ts.Close()
+
+	resp, err := http.Get(front.URL + inferURI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after failover", resp.StatusCode)
+	}
+	doc := fetchTrace(t, front.URL, resp.Header.Get(obs.TraceHeader))
+	atts := attemptSpans(doc)
+	if len(atts) != 2 {
+		t.Fatalf("got %d attempt spans, want 2: %+v", len(atts), atts)
+	}
+	var sawDead bool
+	for _, sp := range atts {
+		if sp.Attrs["status"] == float64(-1) {
+			sawDead = true
+		}
+	}
+	if !sawDead {
+		t.Fatalf("failed attempt not visible: %+v", atts)
+	}
+	// Stitching pulled the survivor's node-side span into the document.
+	var stitched bool
+	for _, sp := range doc.Spans {
+		if sp.Source == "survivor" && sp.Stage == obs.StageInfer {
+			stitched = true
+		}
+	}
+	if !stitched {
+		t.Fatalf("no node-side span stitched in: %+v", doc.Spans)
+	}
+}
+
+// TestGatewayPromEndpoint: /metrics renders the /gw_metrics snapshot as
+// parseable Prometheus exposition.
+func TestGatewayPromEndpoint(t *testing.T) {
+	a := newStub(t, "a", okInfer)
+	_, front := startGateway(t, gateway.Config{}, a)
+	if status, _ := get(t, front.URL+inferURI); status != http.StatusOK {
+		t.Fatalf("infer status %d", status)
+	}
+	status, body := get(t, front.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	obs.CheckPromFormat(t, body)
+	for _, want := range []string{
+		"openei_gateway_routed 1",
+		"openei_gateway_healthy_nodes 1",
+		"openei_gateway_trace_started",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}

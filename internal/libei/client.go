@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"openei/internal/obs"
 )
 
 // Typed client-side errors: callers branch on the node's admission verdict
@@ -39,6 +41,10 @@ type StatusError struct {
 	Code int
 	// Message is the node's error text (envelope error or raw body).
 	Message string
+	// TraceID is the failed request's trace ID when the responder echoed
+	// one (X-Openei-Trace) — a gateway always does. Resolve it at
+	// /gw_trace?id= to see exactly where the request died.
+	TraceID string
 }
 
 // Error implements error.
@@ -138,12 +144,24 @@ const maxForwardBody = 32 << 20
 // any HTTP status — including 4xx/5xx — comes back in the result for the
 // caller to interpret.
 func (c *Client) Forward(ctx context.Context, pathAndQuery string) (ForwardResult, error) {
+	return c.ForwardTrace(ctx, pathAndQuery, "")
+}
+
+// ForwardTrace is Forward with trace context attached: a non-empty trace
+// (an encoded obs.TraceContext) rides the X-Openei-Trace request header,
+// so the receiving node adopts the caller's trace ID and sampling
+// verdict. The gateway uses it to give each retry/hedge attempt its own
+// parent span.
+func (c *Client) ForwardTrace(ctx context.Context, pathAndQuery, trace string) (ForwardResult, error) {
 	if !strings.HasPrefix(pathAndQuery, "/") {
 		pathAndQuery = "/" + pathAndQuery
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+pathAndQuery, nil)
 	if err != nil {
 		return ForwardResult{}, fmt.Errorf("libei client: forward %s: %w", pathAndQuery, err)
+	}
+	if trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
 	}
 	start := time.Now()
 	resp, err := c.httpClient().Do(req)
@@ -195,7 +213,8 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, result 
 		if json.Unmarshal(body, &env) == nil && env.Error != "" {
 			msg = env.Error
 		}
-		return &StatusError{Path: path, Code: resp.StatusCode, Message: msg}
+		return &StatusError{Path: path, Code: resp.StatusCode, Message: msg,
+			TraceID: resp.Header.Get(obs.TraceHeader)}
 	}
 	var env struct {
 		OK     bool            `json:"ok"`
@@ -352,6 +371,18 @@ func (c *Client) ResourcesCtx(ctx context.Context) (ResourceStatus, error) {
 	var out ResourceStatus
 	if err := c.get(ctx, "/ei_resources", nil, &out); err != nil {
 		return ResourceStatus{}, err
+	}
+	return out, nil
+}
+
+// TraceCtx fetches one stored trace from the node (/ei_trace?id=). A
+// 404 means the trace was unsampled or already evicted from the ring.
+func (c *Client) TraceCtx(ctx context.Context, id string) (TraceDoc, error) {
+	q := url.Values{}
+	q.Set("id", id)
+	var out TraceDoc
+	if err := c.get(ctx, "/ei_trace", q, &out); err != nil {
+		return TraceDoc{}, err
 	}
 	return out, nil
 }

@@ -40,6 +40,7 @@ import (
 
 	"openei/internal/autopilot"
 	"openei/internal/datastore"
+	"openei/internal/obs"
 	"openei/internal/pkgmgr"
 	"openei/internal/serving"
 )
@@ -78,6 +79,7 @@ type Server struct {
 	engine  *serving.Engine
 	inferer Inferer
 	pilot   func() autopilot.Status
+	tracer  *obs.Tracer
 
 	vcu vcuHolder
 }
@@ -192,6 +194,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleResources(w)
 	case len(parts) == 1 && parts[0] == "ei_metrics":
 		s.handleMetrics(w)
+	case len(parts) == 1 && parts[0] == "ei_trace":
+		s.handleTrace(w, r)
+	case len(parts) == 1 && parts[0] == "metrics":
+		s.handleProm(w)
 	default:
 		writeErr(w, fmt.Errorf("%w: %s", ErrNotFound, r.URL.Path))
 	}
@@ -215,10 +221,20 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request, scenari
 		writeErr(w, fmt.Errorf("%w: algorithm %s/%s", ErrNotFound, scenario, name))
 		return
 	}
-	res, err := fn(r.URL.Query())
+	args := r.URL.Query()
+	// AlgorithmFunc deliberately sees only url.Values; propagated trace
+	// context rides in under a reserved key so the infer route can adopt
+	// the caller's trace without widening the signature.
+	if h := r.Header.Get(obs.TraceHeader); h != "" {
+		args.Set(obs.TraceArg, h)
+	}
+	res, err := fn(args)
 	if err != nil {
 		writeErr(w, err)
 		return
+	}
+	if ir, ok := res.(InferResult); ok && ir.TraceID != "" {
+		w.Header().Set(obs.TraceHeader, ir.TraceID)
 	}
 	writeJSON(w, http.StatusOK, envelope{OK: true, Result: res})
 }

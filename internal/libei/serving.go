@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"openei/internal/autopilot"
+	"openei/internal/obs"
 	"openei/internal/parallel"
 	"openei/internal/serving"
 	"openei/internal/tensor"
@@ -110,6 +111,12 @@ type InferResult struct {
 	ServedBy string `json:"served_by,omitempty"`
 	// Offloaded marks answers executed on the cloud fallback.
 	Offloaded bool `json:"offloaded,omitempty"`
+	// TraceID is the request's trace ID (present when the node has a
+	// tracer attached); resolve it at /ei_trace?id= — or /gw_trace?id=
+	// for the stitched cross-process view when the request came through a
+	// gateway. Sampling decides whether the trace was *stored*; the ID is
+	// always reported so a slow answer can at least be looked up.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // servingInfer backs /ei_algorithms/serving/infer.
@@ -152,7 +159,25 @@ func (s *Server) servingInfer(args url.Values) (any, error) {
 		ctx, cancel = context.WithDeadline(ctx, time.Now().Add(time.Duration(ms*float64(time.Millisecond))))
 		defer cancel()
 	}
+	// The node-side trace: adopt gateway-propagated context (same trace
+	// ID, same sampling verdict) or start a fresh trace for direct
+	// clients. The trace buffer rides the same context as the tenant, so
+	// serving-pipeline and autopilot-offload spans land without interface
+	// changes. All obs calls are nil-safe no-ops when no tracer is set.
+	tracer := s.Tracer()
+	tc, _ := obs.ParseTraceContext(args.Get(obs.TraceArg))
+	tb := tracer.Begin(tc)
+	// The root span ID is allocated up front so pipeline-stage spans can
+	// parent to it; the completed span is recorded once the infer returns.
+	root := tracer.NextID()
+	tb.SetRoot(root)
+	ctx = obs.NewContext(ctx, tb)
+	start := time.Now()
 	res, err := e.Infer(ctx, model, x)
+	total := time.Since(start)
+	tb.AddWithID(root, obs.StageInfer, tb.Parent(), start, total,
+		obs.Str("model", model), obs.Str("node", s.NodeID))
+	tracer.Finish(tb, err != nil, total)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +192,7 @@ func (s *Server) servingInfer(args url.Values) (any, error) {
 		TotalSteps: res.TotalSteps,
 		ServedBy:   res.Model,
 		Offloaded:  strings.HasPrefix(res.Model, "cloud:"),
+		TraceID:    tb.IDString(),
 	}, nil
 }
 
@@ -221,9 +247,15 @@ type Metrics struct {
 	// attached. A gateway reads tier_index from it to prefer nodes still
 	// serving their high-accuracy tier.
 	Autopilot *autopilot.Status `json:"autopilot,omitempty"`
+	// Trace is the request tracer's sampling/retention counters; absent
+	// when no tracer is attached.
+	Trace *obs.Stats `json:"trace,omitempty"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter) {
+// metricsSnapshot builds the one metrics document both views serve:
+// /ei_metrics marshals it as JSON and /metrics renders the same value in
+// Prometheus exposition format — a field added here appears in both.
+func (s *Server) metricsSnapshot() Metrics {
 	m := Metrics{NodeID: s.NodeID, Parallel: parallel.Snapshot()}
 	if s.Manager != nil {
 		m.SchedulerPending = s.Manager.PendingJobs()
@@ -238,10 +270,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter) {
 	}
 	s.mu.RLock()
 	pilot := s.pilot
+	tracer := s.tracer
 	s.mu.RUnlock()
 	if pilot != nil {
 		st := pilot()
 		m.Autopilot = &st
 	}
-	writeJSON(w, http.StatusOK, envelope{OK: true, Result: m})
+	if tracer != nil {
+		st := tracer.Stats()
+		m.Trace = &st
+	}
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, envelope{OK: true, Result: s.metricsSnapshot()})
 }

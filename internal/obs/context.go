@@ -1,0 +1,21 @@
+package obs
+
+import "context"
+
+type ctxKey struct{}
+
+// NewContext attaches a trace buffer to ctx so layers below the HTTP
+// handler (serving engine, autopilot offload) can record spans without
+// widening their interfaces. A nil buffer returns ctx unchanged.
+func NewContext(ctx context.Context, b *TraceBuf) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, b)
+}
+
+// FromContext returns the attached trace buffer, or nil.
+func FromContext(ctx context.Context) *TraceBuf {
+	b, _ := ctx.Value(ctxKey{}).(*TraceBuf)
+	return b
+}

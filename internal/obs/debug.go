@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+)
+
+// DebugMux builds the pprof mux mounted on -debug-addr. A dedicated mux
+// (rather than http.DefaultServeMux) keeps the profiling surface off the
+// serving listener entirely.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// SetProfileRates applies the runtime block/mutex profiling knobs.
+// blockRate is the runtime.SetBlockProfileRate argument (ns between
+// sampled blocking events; 0 disables); mutexFrac is the
+// runtime.SetMutexProfileFraction argument (1/n mutex contention events
+// sampled; 0 disables). Negative values leave the current setting.
+func SetProfileRates(blockRate, mutexFrac int) {
+	if blockRate >= 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+	if mutexFrac >= 0 {
+		runtime.SetMutexProfileFraction(mutexFrac)
+	}
+}
+
+// StartDebugServer serves DebugMux on addr (goroutine; caller closes the
+// returned server). It returns the bound listener address so ":0" works
+// in tests and logs.
+func StartDebugServer(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: DebugMux()}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// TB is the sliver of *testing.T the format checker needs; an interface
+// so this file carries no testing import into the binaries.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// CheckPromFormat asserts s is well-formed Prometheus text exposition
+// (format 0.0.4): every non-comment line is `name{labels} value` with a
+// parseable value and a preceding TYPE header, histogram series resolve
+// to their family name, metric names use only legal characters. Used by
+// this package's tests and the root scenario tests against the live
+// /metrics endpoints.
+func CheckPromFormat(t TB, s string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(s, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("prom line %d: bad comment %q", ln+1, line)
+			}
+			if parts[1] == "TYPE" {
+				typed[parts[2]] = true
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("prom line %d: no value separator in %q", ln+1, line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("prom line %d: bad value %q in %q", ln+1, value, line)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("prom line %d: unbalanced labels in %q", ln+1, line)
+			}
+			name = series[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && typed[strings.TrimSuffix(name, suf)] {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if !typed[base] {
+			t.Fatalf("prom line %d: sample %q has no TYPE header", ln+1, name)
+		}
+		for _, r := range name {
+			if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+				t.Fatalf("prom line %d: invalid metric name %q", ln+1, name)
+			}
+		}
+	}
+}

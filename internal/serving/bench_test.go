@@ -9,6 +9,7 @@ import (
 
 	"openei/internal/alem"
 	"openei/internal/hardware"
+	"openei/internal/obs"
 	"openei/internal/pkgmgr"
 	"openei/internal/tensor"
 	"openei/internal/zoo"
@@ -189,4 +190,41 @@ func TestReplicaInferenceSteadyStateAllocs(t *testing.T) {
 	if avg != 0 {
 		t.Errorf("steady-state replica inference allocates %v objects/op, want 0", avg)
 	}
+}
+
+// BenchmarkTracedInfer measures the tracer's overhead on the engine's
+// request path: the same micro-batched infer loop with tracing off, and
+// with every request traced at sample rate 1.0. The off case is the
+// guard — compiled-in tracing must cost nothing when no trace buffer
+// rides the context.
+//
+//	go test ./internal/serving -bench TracedInfer -benchtime 2s
+func BenchmarkTracedInfer(b *testing.B) {
+	run := func(b *testing.B, tr *obs.Tracer) {
+		mgr, sample := benchManager(b)
+		e := NewEngine(mgr, Config{MaxBatch: 16, MaxWait: 2 * time.Millisecond, Replicas: 4, QueueDepth: 1024})
+		b.Cleanup(e.Close)
+		runClients(b, func() error {
+			ctx := context.Background()
+			var tb *obs.TraceBuf
+			if tr != nil {
+				tb = tr.Begin(obs.TraceContext{})
+				root := tr.NextID()
+				tb.SetRoot(root)
+				ctx = obs.NewContext(ctx, tb)
+			}
+			start := time.Now()
+			_, err := e.Infer(ctx, benchModel, sample)
+			if tr != nil {
+				total := time.Since(start)
+				tb.AddWithID(tb.Root(), obs.StageInfer, 0, start, total)
+				tr.Finish(tb, err != nil, total)
+			}
+			return err
+		})
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("sampled-1.0", func(b *testing.B) {
+		run(b, obs.NewTracer(obs.Config{SampleRate: 1}))
+	})
 }

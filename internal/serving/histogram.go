@@ -134,3 +134,23 @@ func (s LatencySnapshot) Quantile(q float64) time.Duration {
 	}
 	return 0
 }
+
+// CumBuckets collapses the log-linear distribution to its octave
+// boundaries — one cumulative count per power-of-two upper bound, ~28
+// buckets — the granularity the Prometheus histogram exposition uses.
+// Returned slices are parallel: uppersMS[i] is the bucket bound in
+// milliseconds, cums[i] the cumulative count at or under it.
+func (s LatencySnapshot) CumBuckets() (uppersMS []float64, cums []uint64) {
+	n := histBuckets / histSub
+	uppersMS = make([]float64, n)
+	cums = make([]uint64, n)
+	var cum uint64
+	for o := 0; o < n; o++ {
+		for i := o * histSub; i < (o+1)*histSub; i++ {
+			cum += s.Buckets[i]
+		}
+		uppersMS[o] = float64(histUpperBound((o+1)*histSub-1)) / float64(time.Millisecond)
+		cums[o] = cum
+	}
+	return uppersMS, cums
+}

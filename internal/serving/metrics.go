@@ -30,6 +30,17 @@ type modelMetrics struct {
 	// quantile deltas.
 	hist latencyHistogram
 
+	// Stage decomposition of every completed request: scheduler backlog
+	// (enqueue → scheduler pick), batch assembly (pick → replica start),
+	// and plan execution (InferBatch). Permanent HDR histograms plus
+	// duration sums for the Prometheus histogram export.
+	qwHist latencyHistogram
+	bwHist latencyHistogram
+	exHist latencyHistogram
+	qwNS   atomic.Uint64
+	bwNS   atomic.Uint64
+	exNS   atomic.Uint64
+
 	// Early-exit accounting (earlyExit pipelines only). totalSteps is
 	// the recurrent window length T; stepsSum accumulates per-sample
 	// steps consumed; exitStats[s-1] is exit head s's counter and
@@ -77,6 +88,40 @@ func (m *modelMetrics) observeDone(queued, total time.Duration) {
 	m.hist.Observe(total)
 }
 
+// observeStages records one completed request's stage decomposition.
+func (m *modelMetrics) observeStages(qw, bw, ex time.Duration) {
+	m.qwHist.Observe(qw)
+	m.bwHist.Observe(bw)
+	m.exHist.Observe(ex)
+	m.qwNS.Add(uint64(qw))
+	m.bwNS.Add(uint64(bw))
+	m.exNS.Add(uint64(ex))
+}
+
+// StageLatency is one stage's latency summary inside the per-model and
+// per-tenant blocks of /ei_metrics. (Quantiles are HDR bucket estimates,
+// like the top-level p50/p95/p99; the raw buckets feed the Prometheus
+// histogram families instead of the JSON view.)
+type StageLatency struct {
+	AvgMS float64 `json:"avg_ms"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+func stageLatency(h *latencyHistogram, sumNS uint64, n uint64) *StageLatency {
+	if n == 0 {
+		return nil
+	}
+	s := h.Snapshot()
+	return &StageLatency{
+		AvgMS: float64(sumNS) / float64(n) / 1e6,
+		P50MS: float64(s.Quantile(0.50)) / 1e6,
+		P95MS: float64(s.Quantile(0.95)) / 1e6,
+		P99MS: float64(s.Quantile(0.99)) / 1e6,
+	}
+}
+
 // ModelStats is the JSON-friendly snapshot of one model's serving counters,
 // exposed at GET /ei_metrics.
 type ModelStats struct {
@@ -110,6 +155,13 @@ type ModelStats struct {
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
 
+	// Stage decomposition of completed requests (present once any have
+	// completed): scheduler backlog, batch assembly wait, and plan
+	// execution. The three sum to ≈ avg_latency_ms.
+	QueueWait *StageLatency `json:"queue_wait_ms,omitempty"`
+	BatchWait *StageLatency `json:"batch_wait_ms,omitempty"`
+	Exec      *StageLatency `json:"exec_ms,omitempty"`
+
 	// Early-exit block (early-exit-capable pipelines only). ExitThreshold
 	// is the live confidence knob (0 when early exit is disabled);
 	// TotalSteps is the recurrent window length T; MeanStepsUsed averages
@@ -132,6 +184,51 @@ type ExitStats struct {
 	Count uint64  `json:"count"`
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
+}
+
+// HistogramExport hands one raw HDR histogram to the Prometheus
+// exposition layer (which renders real bucket series; the JSON view only
+// carries quantile summaries).
+type HistogramExport struct {
+	Stage string // "latency", "queue_wait", "batch_wait", or "exec"
+	Label string // identifying label key: "model" or "tenant"
+	Value string // label value
+	Snap  LatencySnapshot
+	SumNS uint64 // total observed duration, the histogram _sum
+}
+
+// HistogramExports snapshots every per-model and per-tenant histogram
+// (end-to-end latency plus the three stage histograms) for /metrics.
+func (e *Engine) HistogramExports() []HistogramExport {
+	e.mu.RLock()
+	pipes := make([]*pipeline, 0, len(e.pipes))
+	for _, p := range e.pipes {
+		pipes = append(pipes, p)
+	}
+	e.mu.RUnlock()
+	var out []HistogramExport
+	for _, p := range pipes {
+		m := &p.met
+		out = append(out,
+			HistogramExport{"latency", "model", p.model, m.hist.Snapshot(), m.latencyNS.Load()},
+			HistogramExport{"queue_wait", "model", p.model, m.qwHist.Snapshot(), m.qwNS.Load()},
+			HistogramExport{"batch_wait", "model", p.model, m.bwHist.Snapshot(), m.bwNS.Load()},
+			HistogramExport{"exec", "model", p.model, m.exHist.Snapshot(), m.exNS.Load()},
+		)
+	}
+	for _, ts := range e.tenants.all {
+		m := &ts.met
+		// The tenant latency _sum is reconstructed from the stage sums
+		// (qw + bw + ex spans enqueue → response exactly).
+		latSum := m.qwNS.Load() + m.bwNS.Load() + m.exNS.Load()
+		out = append(out,
+			HistogramExport{"latency", "tenant", ts.cfg.Name, m.hist.Snapshot(), latSum},
+			HistogramExport{"queue_wait", "tenant", ts.cfg.Name, m.qwHist.Snapshot(), m.qwNS.Load()},
+			HistogramExport{"batch_wait", "tenant", ts.cfg.Name, m.bwHist.Snapshot(), m.bwNS.Load()},
+			HistogramExport{"exec", "tenant", ts.cfg.Name, m.exHist.Snapshot(), m.exNS.Load()},
+		)
+	}
+	return out
 }
 
 func (m *modelMetrics) snapshot(model string, depth int, exitThr float64) ModelStats {
@@ -159,6 +256,9 @@ func (m *modelMetrics) snapshot(model string, depth int, exitThr float64) ModelS
 		s.P50MS = float64(h.Quantile(0.50)) / 1e6
 		s.P95MS = float64(h.Quantile(0.95)) / 1e6
 		s.P99MS = float64(h.Quantile(0.99)) / 1e6
+		s.QueueWait = stageLatency(&m.qwHist, m.qwNS.Load(), s.Completed)
+		s.BatchWait = stageLatency(&m.bwHist, m.bwNS.Load(), s.Completed)
+		s.Exec = stageLatency(&m.exHist, m.exNS.Load(), s.Completed)
 	}
 	if m.earlyExit {
 		s.EarlyExit = true

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"openei/internal/obs"
 	"openei/internal/pkgmgr"
 	"openei/internal/tensor"
 )
@@ -16,7 +17,26 @@ type request struct {
 	tenant   *tenantState
 	deadline time.Time // zero means none
 	enq      time.Time
+	deq      time.Time     // scheduler pick time (stamped at q.take)
 	resp     chan response // buffered(1): workers never block on it
+
+	// tb is the request's trace buffer (nil when untraced). The engine
+	// takes a reference before submit; finishTrace releases it on every
+	// path that answers the request, so a worker landing spans after the
+	// caller gave up cannot race the buffer's recycle.
+	tb *obs.TraceBuf
+}
+
+// finishTrace releases the request's hold on its trace, optionally
+// flagging the trace as failed (which forces it to be kept).
+func (r *request) finishTrace(failed bool) {
+	if r.tb == nil {
+		return
+	}
+	if failed {
+		r.tb.MarkErr()
+	}
+	r.tb.Unref()
 }
 
 type response struct {
@@ -146,6 +166,7 @@ func (p *pipeline) dispatch() {
 		if first == nil {
 			continue
 		}
+		first.deq = time.Now()
 		batch := p.expireStale(p.fill(first))
 		if len(batch) == 0 {
 			continue
@@ -168,6 +189,7 @@ func (p *pipeline) fill(first *request) []*request {
 		select {
 		case <-p.q.ready:
 			if r := p.q.take(); r != nil {
+				r.deq = time.Now()
 				batch = append(batch, r)
 			}
 		case <-timer.C:
@@ -197,6 +219,7 @@ func (p *pipeline) expireStale(batch []*request) []*request {
 func (p *pipeline) expire(r *request, now time.Time) {
 	p.met.expired.Add(1)
 	r.tenant.met.expired.Add(1)
+	r.finishTrace(true)
 	r.resp <- response{err: fmt.Errorf("%w: model %s: waited %v", ErrDeadline, p.model, now.Sub(r.enq))}
 }
 
@@ -204,6 +227,7 @@ func (p *pipeline) expire(r *request, now time.Time) {
 // once pipeline.close has flipped closed, so this sees the final queue.
 func (p *pipeline) sweep() {
 	for _, r := range p.q.drainAll() {
+		r.finishTrace(true)
 		r.resp <- response{err: ErrClosed}
 	}
 }
@@ -243,6 +267,7 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 			p.met.errored.Add(uint64(len(live)))
 			for _, r := range live {
 				r.tenant.met.errored.Add(1)
+				r.finishTrace(true)
 				r.resp <- response{err: err}
 			}
 			continue
@@ -251,7 +276,11 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 		for i, r := range live {
 			queued := start.Sub(r.enq)
 			total := done.Sub(r.enq)
+			qw := r.deq.Sub(r.enq)
+			bw := start.Sub(r.deq)
+			ex := done.Sub(start)
 			p.met.observeDone(queued, total)
+			p.met.observeStages(qw, bw, ex)
 			var stepsUsed int
 			if res.TotalSteps > 0 {
 				stepsUsed = res.Steps[i]
@@ -259,6 +288,17 @@ func (p *pipeline) work(rep *pkgmgr.Replica) {
 			}
 			r.tenant.met.served.Add(1)
 			r.tenant.met.hist.Observe(total)
+			r.tenant.met.observeStages(qw, bw, ex)
+			if r.tb != nil {
+				root := r.tb.Root()
+				r.tb.Add(obs.StageQueueWait, root, r.enq, qw)
+				r.tb.Add(obs.StageBatchWait, root, r.deq, bw)
+				r.tb.Add(obs.StageExec, root, start, ex,
+					obs.Str("model", p.model),
+					obs.Int("batch", int64(len(live))),
+					obs.Int("steps_used", int64(stepsUsed)))
+				r.finishTrace(false)
+			}
 			r.resp <- response{res: Result{
 				Model:        p.model,
 				Tenant:       r.tenant.cfg.Name,

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"openei/internal/obs"
 	"openei/internal/parallel"
 	"openei/internal/pkgmgr"
 	"openei/internal/tensor"
@@ -228,7 +229,16 @@ func (e *Engine) infer(ctx context.Context, model string, x *tensor.Tensor, dead
 			return Result{}, fmt.Errorf("%w: model %s: expired before enqueue", ErrDeadline, model)
 		}
 		req = &request{x: sample, tenant: tenant, deadline: deadline, enq: time.Now(), resp: make(chan response, 1)}
+		// A traced request holds a reference on its trace buffer for the
+		// pipeline's lifetime of it: the worker (or expiry sweep) releases
+		// it on the answering path, so spans recorded after the caller's
+		// context is cancelled still land before the buffer recycles.
+		if tb := obs.FromContext(ctx); tb != nil {
+			tb.Ref()
+			req.tb = tb
+		}
 		if err := p.submit(req); err != nil {
+			req.finishTrace(true)
 			if errors.Is(err, ErrClosed) && attempt < 8 {
 				continue
 			}

@@ -183,6 +183,27 @@ type tenantMetrics struct {
 	errored   atomic.Uint64 // inference errors
 	served    atomic.Uint64 // successful responses
 	hist      latencyHistogram
+
+	// Per-tenant stage decomposition, the tenant-axis twin of the
+	// per-model histograms in modelMetrics: where does this tenant's
+	// latency go — scheduler backlog (its priority/weight at work), batch
+	// assembly, or execution.
+	qwHist latencyHistogram
+	bwHist latencyHistogram
+	exHist latencyHistogram
+	qwNS   atomic.Uint64
+	bwNS   atomic.Uint64
+	exNS   atomic.Uint64
+}
+
+// observeStages records one served request's stage decomposition.
+func (m *tenantMetrics) observeStages(qw, bw, ex time.Duration) {
+	m.qwHist.Observe(qw)
+	m.bwHist.Observe(bw)
+	m.exHist.Observe(ex)
+	m.qwNS.Add(uint64(qw))
+	m.bwNS.Add(uint64(bw))
+	m.exNS.Add(uint64(ex))
 }
 
 // TenantStats is the JSON-friendly per-tenant snapshot in /ei_metrics —
@@ -211,6 +232,12 @@ type TenantStats struct {
 	P50MS float64 `json:"p50_ms"`
 	P95MS float64 `json:"p95_ms"`
 	P99MS float64 `json:"p99_ms"`
+
+	// Stage decomposition of this tenant's served requests (present once
+	// any have been served), mirroring the per-model blocks.
+	QueueWait *StageLatency `json:"queue_wait_ms,omitempty"`
+	BatchWait *StageLatency `json:"batch_wait_ms,omitempty"`
+	Exec      *StageLatency `json:"exec_ms,omitempty"`
 }
 
 func (ts *tenantState) snapshot() TenantStats {
@@ -235,6 +262,9 @@ func (ts *tenantState) snapshot() TenantStats {
 		s.P50MS = float64(h.Quantile(0.50)) / 1e6
 		s.P95MS = float64(h.Quantile(0.95)) / 1e6
 		s.P99MS = float64(h.Quantile(0.99)) / 1e6
+		s.QueueWait = stageLatency(&ts.met.qwHist, ts.met.qwNS.Load(), s.Served)
+		s.BatchWait = stageLatency(&ts.met.bwHist, ts.met.bwNS.Load(), s.Served)
+		s.Exec = stageLatency(&ts.met.exHist, ts.met.exNS.Load(), s.Served)
 	}
 	return s
 }

@@ -1,0 +1,142 @@
+package serving
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"openei/internal/obs"
+)
+
+// TestPipelineStageSpans drives one traced request through the engine and
+// asserts the pipeline decomposes it into queue-wait, batch-wait, and
+// exec spans under the caller's root — and that the three stage durations
+// sum to the request's wall time (the stamps partition enqueue→done).
+func TestPipelineStageSpans(t *testing.T) {
+	const classes = 8
+	_, e := newTestEngine(t, identModel(classes), Config{Replicas: 1, MaxBatch: 4})
+	tr := obs.NewTracer(obs.Config{SampleRate: 1, Source: "test-node"})
+
+	tb := tr.Begin(obs.TraceContext{})
+	root := tr.NextID()
+	tb.SetRoot(root)
+	ctx := obs.NewContext(context.Background(), tb)
+	start := time.Now()
+	if _, err := e.Infer(ctx, "ident", oneHot(classes, 3)); err != nil {
+		t.Fatal(err)
+	}
+	total := time.Since(start)
+	tb.AddWithID(root, obs.StageInfer, 0, start, total)
+	tr.Finish(tb, false, total)
+
+	spans, ok := tr.Trace(tb.ID())
+	if !ok {
+		t.Fatal("sampled trace not stored")
+	}
+	var stageSum float64
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		switch sp.Stage {
+		case obs.StageQueueWait, obs.StageBatchWait, obs.StageExec:
+			seen[sp.Stage] = true
+			stageSum += sp.DurationMS
+			if sp.ParentID != obs.IDString(root) {
+				t.Fatalf("%s span parented to %s, want root %s", sp.Stage, sp.ParentID, obs.IDString(root))
+			}
+		}
+	}
+	for _, stage := range []string{obs.StageQueueWait, obs.StageBatchWait, obs.StageExec} {
+		if !seen[stage] {
+			t.Fatalf("missing %s span; got %+v", stage, spans)
+		}
+	}
+	totalMS := float64(total) / 1e6
+	if stageSum > totalMS+0.5 {
+		t.Fatalf("stage sum %.3fms exceeds wall %.3fms", stageSum, totalMS)
+	}
+	// The three stamps partition enqueue→done, so the stage sum accounts
+	// for nearly all of the wall time (anything missing is pre-queue work
+	// in Infer itself: tensor prep, submit).
+	if stageSum < totalMS/2 {
+		t.Fatalf("stage sum %.3fms explains under half of wall %.3fms", stageSum, totalMS)
+	}
+	// Exec attrs identify the model and batch.
+	for _, sp := range spans {
+		if sp.Stage == obs.StageExec {
+			if sp.Attrs["model"] != "ident" {
+				t.Fatalf("exec attrs = %v", sp.Attrs)
+			}
+		}
+	}
+}
+
+// TestStageHistogramsInStats asserts the permanent per-model and
+// per-tenant stage histograms appear in the JSON stats and the raw
+// histogram exports once requests complete.
+func TestStageHistogramsInStats(t *testing.T) {
+	const classes = 8
+	_, e := newTestEngine(t, identModel(classes), Config{Replicas: 1, MaxBatch: 4})
+	for i := 0; i < 5; i++ {
+		if _, err := e.Infer(context.Background(), "ident", oneHot(classes, i%classes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ms *ModelStats
+	for _, s := range e.Stats() {
+		if s.Model == "ident" {
+			ms = &s
+			break
+		}
+	}
+	if ms == nil {
+		t.Fatal("no stats for ident")
+	}
+	for name, sl := range map[string]*StageLatency{
+		"queue_wait": ms.QueueWait, "batch_wait": ms.BatchWait, "exec": ms.Exec,
+	} {
+		if sl == nil {
+			t.Fatalf("model stats missing %s stage latency", name)
+		}
+		if math.IsNaN(sl.P95MS) || sl.P95MS < 0 {
+			t.Fatalf("%s p95 = %v", name, sl.P95MS)
+		}
+	}
+	if ms.Exec.AvgMS <= 0 {
+		t.Fatalf("exec avg = %v, want > 0", ms.Exec.AvgMS)
+	}
+	var ts *TenantStats
+	for _, s := range e.TenantStats() {
+		if s.Served > 0 {
+			ts = &s
+			break
+		}
+	}
+	if ts == nil || ts.Exec == nil || ts.QueueWait == nil || ts.BatchWait == nil {
+		t.Fatalf("tenant stage latencies missing: %+v", ts)
+	}
+	// Raw exports: per-model latency + 3 stages, per-tenant the same.
+	stages := map[string]int{}
+	for _, ex := range e.HistogramExports() {
+		stages[ex.Label+"/"+ex.Stage]++
+	}
+	for _, want := range []string{
+		"model/latency", "model/queue_wait", "model/batch_wait", "model/exec",
+		"tenant/latency", "tenant/queue_wait", "tenant/batch_wait", "tenant/exec",
+	} {
+		if stages[want] == 0 {
+			t.Fatalf("histogram exports missing %s; got %v", want, stages)
+		}
+	}
+}
+
+// TestUntracedRequestUnaffected pins the no-tracer path: a context with
+// no trace buffer serves normally and records no spans anywhere.
+func TestUntracedRequestUnaffected(t *testing.T) {
+	const classes = 4
+	_, e := newTestEngine(t, identModel(classes), Config{Replicas: 1})
+	res, err := e.Infer(context.Background(), "ident", oneHot(classes, 2))
+	if err != nil || res.Class != 2 {
+		t.Fatalf("res=%+v err=%v", res, err)
+	}
+}

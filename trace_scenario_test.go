@@ -1,0 +1,301 @@
+package openei_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"openei/internal/alem"
+	"openei/internal/gateway"
+	"openei/internal/hardware"
+	"openei/internal/libei"
+	"openei/internal/nn"
+	"openei/internal/obs"
+	"openei/internal/pkgmgr"
+	"openei/internal/serving"
+)
+
+// traceFleet is the smallest real deployment tracing spans: one node
+// running the full pkgmgr → serving → libei stack with a rate-1 tracer,
+// fronted by a gateway that also traces at rate 1.
+type traceFleet struct {
+	node  *httptest.Server
+	front *httptest.Server
+}
+
+func newTraceFleet(t *testing.T) *traceFleet {
+	t.Helper()
+	pkg, err := alem.PackageByName("eipkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hardware.ByName("rpi4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ident, err := nn.NewModel("ident", []int{4}, []nn.LayerSpec{{Type: "flatten"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := pkgmgr.New(pkg, dev)
+	t.Cleanup(mgr.Close)
+	if err := mgr.Load(ident, pkgmgr.LoadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	eng := serving.NewEngine(mgr, serving.Config{Replicas: 1, MaxBatch: 4})
+	t.Cleanup(eng.Close)
+	lib := libei.NewServer("edge-1", nil, mgr)
+	lib.SetEngine(eng)
+	lib.SetTracer(obs.NewTracer(obs.Config{SampleRate: 1, Source: "edge-1"}))
+	node := httptest.NewServer(lib)
+	t.Cleanup(node.Close)
+
+	gw, err := gateway.New(gateway.Config{
+		Nodes:           []string{node.URL},
+		TraceSampleRate: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Start()
+	t.Cleanup(gw.Close)
+	front := httptest.NewServer(gw)
+	t.Cleanup(front.Close)
+	return &traceFleet{node: node, front: front}
+}
+
+func httpGet(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestScenarioEndToEndTrace is the observability acceptance scenario:
+// one traced infer through gateway → node, then the stitched /gw_trace
+// document must decompose the request into gateway, pick, attempt, and
+// the node's queue-wait / batch-wait / exec spans, with the stage
+// durations consistent with the measured wall latency.
+func TestScenarioEndToEndTrace(t *testing.T) {
+	f := newTraceFleet(t)
+
+	start := time.Now()
+	resp, body := httpGet(t, f.front.URL+"/ei_algorithms/serving/infer?model=ident&input=0,0,1,0")
+	wallMS := float64(time.Since(start)) / 1e6
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer status %d: %s", resp.StatusCode, body)
+	}
+	id := resp.Header.Get(obs.TraceHeader)
+	if id == "" {
+		t.Fatal("infer response missing X-Openei-Trace header")
+	}
+	// The JSON result reports the same trace ID.
+	var env struct {
+		OK     bool              `json:"ok"`
+		Result libei.InferResult `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Fatalf("decode infer: %v\n%s", err, body)
+	}
+	if env.Result.TraceID != id {
+		t.Fatalf("result trace_id %q != header %q", env.Result.TraceID, id)
+	}
+	if env.Result.Class != 2 {
+		t.Fatalf("class = %d, want 2", env.Result.Class)
+	}
+
+	// The gateway trace commits when the last attempt reference drops;
+	// poll briefly.
+	var doc libei.TraceDoc
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, body := httpGet(t, f.front.URL+"/gw_trace?id="+id)
+		if resp.StatusCode == http.StatusOK {
+			var tenv struct {
+				Result libei.TraceDoc `json:"result"`
+			}
+			if err := json.Unmarshal([]byte(body), &tenv); err != nil {
+				t.Fatalf("decode trace: %v\n%s", err, body)
+			}
+			doc = tenv.Result
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never stored: %d %s", id, resp.StatusCode, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	bySrc := map[string][]obs.WireSpan{}
+	var stageSum float64
+	seen := map[string]bool{}
+	for _, sp := range doc.Spans {
+		if sp.TraceID != id {
+			t.Fatalf("foreign span in document: %+v", sp)
+		}
+		bySrc[sp.Source] = append(bySrc[sp.Source], sp)
+		seen[sp.Stage] = true
+		switch sp.Stage {
+		case obs.StageQueueWait, obs.StageBatchWait, obs.StageExec:
+			stageSum += sp.DurationMS
+		}
+	}
+	// The stitched document mixes both recorders: the gateway's own spans
+	// plus the node's, fetched live over /ei_trace.
+	for _, want := range []string{
+		obs.StageGateway, obs.StagePick, obs.StageAttempt, obs.StageInfer,
+		obs.StageQueueWait, obs.StageBatchWait, obs.StageExec,
+	} {
+		if !seen[want] {
+			t.Fatalf("stitched trace missing %s span; stages = %v", want, seen)
+		}
+	}
+	if len(bySrc["gateway"]) < 3 || len(bySrc["edge-1"]) < 4 {
+		t.Fatalf("span sources = gateway:%d edge-1:%d, want >=3/>=4",
+			len(bySrc["gateway"]), len(bySrc["edge-1"]))
+	}
+	// Stage decomposition accounts for the serving time without
+	// exceeding the wall clock measured at the client.
+	if stageSum <= 0 || stageSum > wallMS {
+		t.Fatalf("stage sum %.3fms vs wall %.3fms", stageSum, wallMS)
+	}
+	// Spans arrive time-ordered, IDs are unique across both recorders
+	// (the gateway's and the node's independently seeded streams), and
+	// parent links resolve within the doc.
+	ids := map[string]bool{"": true, "0000000000000000": true}
+	for _, sp := range doc.Spans {
+		if ids[sp.SpanID] {
+			t.Fatalf("duplicate span ID %s in stitched doc: %+v", sp.SpanID, doc.Spans)
+		}
+		ids[sp.SpanID] = true
+	}
+	for i, sp := range doc.Spans {
+		if i > 0 && sp.StartUnixNS < doc.Spans[i-1].StartUnixNS {
+			t.Fatalf("spans not time-ordered at %d: %+v", i, doc.Spans)
+		}
+		if !ids[sp.ParentID] {
+			t.Fatalf("span %s has dangling parent %s", sp.SpanID, sp.ParentID)
+		}
+	}
+
+	// Both /metrics endpoints serve valid Prometheus text exposition and
+	// carry the tracing + stage-histogram families.
+	resp, prom := httpGet(t, f.front.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("gateway /metrics content-type %q", ct)
+	}
+	obs.CheckPromFormat(t, prom)
+	if !strings.Contains(prom, "openei_gateway_trace_kept") {
+		t.Fatalf("gateway exposition missing trace counters:\n%s", prom)
+	}
+	resp, prom = httpGet(t, f.node.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("node /metrics content-type %q", ct)
+	}
+	obs.CheckPromFormat(t, prom)
+	for _, want := range []string{
+		`openei_serving_exec_ms_bucket{model="ident"`,
+		`openei_serving_queue_wait_ms_sum{model="ident"}`,
+		`openei_serving_batch_wait_ms_count{model="ident"}`,
+		"openei_trace_kept",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("node exposition missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// promLabelKeys mirrors the renderer's label set: JSON fields with these
+// names become Prometheus labels, not samples.
+var promLabelKeys = map[string]bool{
+	"model": true, "tenant": true, "url": true,
+	"node_id": true, "step": true, "key": true,
+}
+
+// jsonLeaves walks a decoded JSON document the same way the Prometheus
+// renderer walks the live struct, emitting the metric name every
+// numeric/bool/string leaf must appear under.
+func jsonLeaves(prefix string, v any, emit func(name string)) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, sub := range x {
+			if promLabelKeys[k] {
+				if _, isStr := sub.(string); isStr {
+					continue // rendered as a label on sibling samples
+				}
+			}
+			jsonLeaves(prefix+"_"+k, sub, emit)
+		}
+	case []any:
+		if len(x) == 0 {
+			return
+		}
+		if _, isStr := x[0].(string); isStr {
+			emit(prefix + "_count") // []string renders as a count
+			return
+		}
+		for _, el := range x {
+			jsonLeaves(prefix, el, emit)
+		}
+	case string:
+		emit(prefix + "_info")
+	case bool, float64:
+		emit(prefix)
+	}
+}
+
+// TestMetricsParity pins the no-drift contract between the JSON and
+// Prometheus views: both are rendered from the same snapshot struct, so
+// every leaf of /ei_metrics and /gw_metrics must have a Prometheus
+// counterpart under /metrics. Adding a JSON-only counter fails here.
+func TestMetricsParity(t *testing.T) {
+	f := newTraceFleet(t)
+	if resp, body := httpGet(t, f.front.URL+"/ei_algorithms/serving/infer?model=ident&input=0,1,0,0"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("infer: %d %s", resp.StatusCode, body)
+	}
+
+	check := func(name, jsonURL, promURL, prefix string) {
+		_, body := httpGet(t, jsonURL)
+		var env struct {
+			Result any `json:"result"`
+		}
+		if err := json.Unmarshal([]byte(body), &env); err != nil {
+			t.Fatalf("%s: decode %v", name, err)
+		}
+		v := env.Result
+		_, prom := httpGet(t, promURL)
+		names := map[string]bool{}
+		for _, line := range strings.Split(prom, "\n") {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			n := line
+			if i := strings.IndexAny(n, "{ "); i >= 0 {
+				n = n[:i]
+			}
+			names[n] = true
+		}
+		var missing []string
+		jsonLeaves(prefix, v, func(want string) {
+			if !names[want] {
+				missing = append(missing, want)
+			}
+		})
+		if len(missing) > 0 {
+			t.Errorf("%s: JSON leaves missing from Prometheus view: %v", name, missing)
+		}
+	}
+	check("node", f.node.URL+"/ei_metrics", f.node.URL+"/metrics", "openei")
+	check("gateway", f.front.URL+"/gw_metrics", f.front.URL+"/metrics", "openei_gateway")
+}
