@@ -1,0 +1,309 @@
+// Command benchdiff compares two bench-smoke snapshots and prints
+// per-benchmark deltas, so the BENCH_*.json files committed at the repo
+// root form a readable performance trajectory instead of two blobs to
+// eyeball.
+//
+// Each input is either a BENCH_*.json snapshot (the schema committed at
+// the repo root) or the raw text a `go test -bench` run prints (the
+// bench-output.txt the CI bench-smoke job tees) — the format is sniffed,
+// so CI can diff its fresh run against the committed baseline without a
+// conversion step:
+//
+//	go run ./cmd/benchdiff BENCH_2026-08-08.json bench-output.txt
+//
+// With -emit, benchdiff takes ONE input and prints it as a snapshot
+// JSON document to stdout — how the committed snapshots are produced:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./internal/... | \
+//	  go run ./cmd/benchdiff -emit -note "post-kernel" - > BENCH_$(date +%F).json
+//
+// Benchmarks are matched on (pkg, name). Output is one line per
+// benchmark: old and new ns/op and the signed delta (negative = faster),
+// with benchmarks present on only one side flagged as added/removed.
+// -max-regress N makes the exit status fail when any common benchmark
+// regressed by more than N percent; by default benchdiff only reports,
+// since smoke numbers on shared CI runners are trajectory data, not a
+// gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the on-disk schema of the committed BENCH_*.json files.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	Go        string   `json:"go"`
+	Goos      string   `json:"goos"`
+	Goarch    string   `json:"goarch"`
+	CPU       string   `json:"cpu"`
+	Benchtime string   `json:"benchtime"`
+	Note      string   `json:"note,omitempty"`
+	Command   string   `json:"command,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one benchmark line: the ns/op plus whatever extra
+// value/unit pairs the benchmark reported (MB/s, allocs/op, ...).
+type Result struct {
+	PkgName    string             `json:"pkg"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	emit := flag.Bool("emit", false, "parse one input and print it as snapshot JSON on stdout")
+	note := flag.String("note", "", "note to embed in the emitted snapshot")
+	benchtime := flag.String("benchtime", "1x", "benchtime to record in the emitted snapshot")
+	command := flag.String("command", "", "command line to record in the emitted snapshot")
+	maxRegress := flag.Float64("max-regress", 0, "exit non-zero if any benchmark slowed by more than this percent (0 = report only)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] OLD NEW\n       benchdiff -emit [flags] INPUT\n\nInputs are BENCH_*.json snapshots or raw `go test -bench` output; \"-\" reads stdin.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *emit {
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		snap, err := load(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if *note != "" {
+			snap.Note = *note
+		}
+		snap.Benchtime = *benchtime
+		if *command != "" {
+			snap.Command = *command
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldSnap, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newSnap, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	worst := diff(os.Stdout, oldSnap, newSnap)
+	if *maxRegress > 0 && worst > *maxRegress {
+		fmt.Fprintf(os.Stderr, "benchdiff: worst regression %+.1f%% exceeds -max-regress %.1f%%\n", worst, *maxRegress)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}
+
+// load reads a snapshot from path ("-" = stdin), sniffing JSON vs raw
+// `go test -bench` text by the first non-space byte.
+func load(path string) (*Snapshot, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("%s: empty input", path)
+	}
+	if trimmed[0] == '{' {
+		var s Snapshot
+		if err := json.Unmarshal(trimmed, &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &s, nil
+	}
+	return parseBenchText(data)
+}
+
+// parseBenchText converts raw `go test -bench` output into a Snapshot.
+// The goos/goarch/cpu/pkg header lines the test binary prints scope the
+// benchmark lines that follow them.
+func parseBenchText(data []byte) (*Snapshot, error) {
+	s := &Snapshot{
+		Date: time.Now().UTC().Format("2006-01-02"),
+		Go:   runtime.Version(),
+	}
+	pkg := ""
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			s.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			s.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			s.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok := parseBenchLine(pkg, line)
+			if ok {
+				s.Results = append(s.Results, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found (is this `go test -bench` output?)")
+	}
+	return s, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName/sub-1   123   4567 ns/op   89.1 MB/s   0 allocs/op
+func parseBenchLine(pkg, line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{PkgName: pkg, Name: f[0], Iterations: iters}
+	// The remainder is value/unit pairs; ns/op is promoted to its own
+	// field, everything else lands in extra.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		if f[i+1] == "ns/op" {
+			r.NsPerOp = v
+			continue
+		}
+		if r.Extra == nil {
+			r.Extra = map[string]float64{}
+		}
+		r.Extra[f[i+1]] = v
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// diff prints the per-benchmark comparison and returns the worst
+// regression percentage among benchmarks present on both sides.
+func diff(w io.Writer, oldSnap, newSnap *Snapshot) float64 {
+	type key struct{ pkg, name string }
+	oldBy := map[key]Result{}
+	for _, r := range oldSnap.Results {
+		oldBy[key{r.PkgName, r.Name}] = r
+	}
+	newBy := map[key]Result{}
+	for _, r := range newSnap.Results {
+		newBy[key{r.PkgName, r.Name}] = r
+	}
+	keys := make([]key, 0, len(oldBy)+len(newBy))
+	for k := range oldBy {
+		keys = append(keys, k)
+	}
+	for k := range newBy {
+		if _, dup := oldBy[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pkg != keys[j].pkg {
+			return keys[i].pkg < keys[j].pkg
+		}
+		return keys[i].name < keys[j].name
+	})
+
+	fmt.Fprintf(w, "benchdiff: %s (%s) -> %s (%s), %d vs %d benchmarks\n\n",
+		orDash(oldSnap.Date), orDash(oldSnap.Go), orDash(newSnap.Date), orDash(newSnap.Go),
+		len(oldSnap.Results), len(newSnap.Results))
+	fmt.Fprintf(w, "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+
+	worst := 0.0
+	var added, removed int
+	lastPkg := ""
+	for _, k := range keys {
+		if k.pkg != lastPkg {
+			fmt.Fprintf(w, "\n%s\n", k.pkg)
+			lastPkg = k.pkg
+		}
+		o, hasOld := oldBy[k]
+		n, hasNew := newBy[k]
+		name := strings.TrimPrefix(k.name, "Benchmark")
+		switch {
+		case hasOld && hasNew:
+			pct := (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			if pct > worst {
+				worst = pct
+			}
+			fmt.Fprintf(w, "  %-50s %14s %14s %+8.1f%%\n", name, fmtNs(o.NsPerOp), fmtNs(n.NsPerOp), pct)
+		case hasNew:
+			added++
+			fmt.Fprintf(w, "  %-50s %14s %14s %9s\n", name, "-", fmtNs(n.NsPerOp), "added")
+		default:
+			removed++
+			fmt.Fprintf(w, "  %-50s %14s %14s %9s\n", name, fmtNs(o.NsPerOp), "-", "removed")
+		}
+	}
+	fmt.Fprintf(w, "\n%d common, %d added, %d removed; worst regression %+.1f%%\n",
+		len(keys)-added-removed, added, removed, worst)
+	return worst
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func fmtNs(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fs", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fms", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fµs", v/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", v)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const rawBench = `goos: linux
+goarch: amd64
+pkg: openei/internal/tensor
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkMatMul/256-1         	       1	   1000000 ns/op	 100.00 MB/s
+BenchmarkConvDirect-1         	       1	    500000 ns/op
+PASS
+ok  	openei/internal/tensor	0.1s
+pkg: openei/internal/plan
+BenchmarkPlanExecute-1        	       2	    250000 ns/op	       0 allocs/op
+PASS
+ok  	openei/internal/plan	0.1s
+`
+
+func TestParseBenchText(t *testing.T) {
+	s, err := parseBenchText([]byte(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || !strings.Contains(s.CPU, "Xeon") {
+		t.Errorf("header not parsed: %+v", s)
+	}
+	if len(s.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(s.Results), s.Results)
+	}
+	r := s.Results[0]
+	if r.PkgName != "openei/internal/tensor" || r.Name != "BenchmarkMatMul/256-1" ||
+		r.Iterations != 1 || r.NsPerOp != 1e6 || r.Extra["MB/s"] != 100 {
+		t.Errorf("first result mis-parsed: %+v", r)
+	}
+	// The pkg: header re-scopes the lines that follow it.
+	if s.Results[2].PkgName != "openei/internal/plan" || s.Results[2].Extra["allocs/op"] != 0 {
+		t.Errorf("second package mis-scoped: %+v", s.Results[2])
+	}
+}
+
+func TestParseBenchTextRejectsNonBench(t *testing.T) {
+	if _, err := parseBenchText([]byte("hello\nworld\n")); err == nil {
+		t.Fatal("want error for input with no benchmark lines")
+	}
+}
+
+func TestDiffMatchesOnPkgAndName(t *testing.T) {
+	oldSnap := &Snapshot{Date: "2026-01-01", Results: []Result{
+		{PkgName: "a", Name: "BenchmarkX-1", NsPerOp: 1000},
+		{PkgName: "a", Name: "BenchmarkGone-1", NsPerOp: 5},
+		{PkgName: "b", Name: "BenchmarkX-1", NsPerOp: 2000}, // same name, different pkg
+	}}
+	newSnap := &Snapshot{Date: "2026-02-01", Results: []Result{
+		{PkgName: "a", Name: "BenchmarkX-1", NsPerOp: 500},  // 2× faster
+		{PkgName: "b", Name: "BenchmarkX-1", NsPerOp: 2500}, // 25% slower
+		{PkgName: "b", Name: "BenchmarkNew-1", NsPerOp: 7},
+	}}
+	var sb strings.Builder
+	worst := diff(&sb, oldSnap, newSnap)
+	out := sb.String()
+	if worst < 24.9 || worst > 25.1 {
+		t.Errorf("worst regression %v, want ~25", worst)
+	}
+	for _, want := range []string{"-50.0%", "+25.0%", "added", "removed", "1 added, 1 removed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmitRoundTrip(t *testing.T) {
+	s, err := parseBenchText([]byte(rawBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A parsed-then-diffed snapshot against itself has zero regressions
+	// and no added/removed rows — the identity every emit must satisfy.
+	var sb strings.Builder
+	if worst := diff(&sb, s, s); worst != 0 {
+		t.Errorf("self-diff worst regression %v, want 0", worst)
+	}
+	if !strings.Contains(sb.String(), "3 common, 0 added, 0 removed") {
+		t.Errorf("self-diff not clean:\n%s", sb.String())
+	}
+}

@@ -28,9 +28,9 @@
 // bucket) and -default-tenant; requests pick their class with &tenant=
 // and a request whose &deadline_ms= budget lapses in the queue answers
 // 408. Per-tenant counters appear under "tenants" in GET /ei_metrics. Serving replicas execute compiled inference plans;
-// -backend picks the demo model's kernel set (auto/float32/int8 — "auto"
-// takes int8 when the package supports it), and each pipeline reports its
-// backend in GET /ei_metrics. Recurrent models compile with early-exit
+// -backend picks the demo model's kernel set (auto/float32/int8/int4 —
+// "auto" takes int8 when the package supports it), and each pipeline
+// reports its backend and kernel dispatch in GET /ei_metrics. Recurrent models compile with early-exit
 // support: -exit-threshold sets the confidence at which a sample retires
 // before consuming the full recurrent window (0 disables), and capable
 // pipelines report per-exit-head counts and latency quantiles in the
@@ -137,7 +137,7 @@ func main() {
 		// replicas compile loaded models into execution plans, and this
 		// picks the kernel set ("auto" = int8 when the package has int8
 		// kernels, else float32).
-		backendName = flag.String("backend", "auto", "serving backend for the detection model: auto, float32, or int8")
+		backendName = flag.String("backend", "auto", "serving backend for the detection model: auto, float32, int8, or int4")
 
 		// Early-exit knob: recurrent models whose plans carry an exit
 		// graph retire samples once the per-step classifier reaches this

@@ -17,6 +17,7 @@ var docFiles = []string{
 	"ROADMAP.md",
 	"docs/METRICS.md",
 	"docs/TRACING.md",
+	"docs/KERNELS.md",
 	"examples/health/README.md",
 	"examples/smart_home/README.md",
 	"examples/vehicles/README.md",
@@ -67,9 +68,29 @@ func TestDocsCurrent(t *testing.T) {
 	if strings.Contains(string(readme), "the fallback for") && strings.Contains(string(readme), `"layer-walk"`) {
 		t.Error("README still documents the layer-walk fallback backend; recurrent stacks compile now")
 	}
-	for _, want := range []string{"-exit-threshold", "mean_steps_used", "fastgrnn-m", "-trace-sample", "/gw_trace", "-debug-addr"} {
+	for _, want := range []string{
+		"-exit-threshold", "mean_steps_used", "fastgrnn-m", "-trace-sample", "/gw_trace", "-debug-addr",
+		// The kernel arsenal: the backend list includes int4, kernel
+		// dispatch is documented as observable, and the bench
+		// trajectory tooling is discoverable.
+		"int4", "packed-fma", "OPENEI_FORCE_SCALAR", "benchdiff", "docs/KERNELS.md",
+	} {
 		if !strings.Contains(string(readme), want) {
 			t.Errorf("README does not mention %q", want)
+		}
+	}
+	kernels, err := os.ReadFile("docs/KERNELS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		// The dispatch names the metrics surface, the scalar override,
+		// the contracts callers must not break, and the snapshot flow.
+		"packed-fma", "qgemm-avx2", "direct-conv", "scalar", "OPENEI_FORCE_SCALAR",
+		"QRound8", "slack", "per-output-channel scales", "benchdiff", "BENCH_",
+	} {
+		if !strings.Contains(string(kernels), want) {
+			t.Errorf("docs/KERNELS.md does not document %q", want)
 		}
 	}
 	metrics, err := os.ReadFile("docs/METRICS.md")

@@ -98,10 +98,31 @@ func PackageByName(name string) (Package, error) {
 	return Package{}, fmt.Errorf("alem: unknown package %q", name)
 }
 
-// Variant identifies the model artifact being profiled: the float model or
-// its int8-quantized form (only meaningful on packages with int8 support).
+// Variant identifies the model artifact being profiled: the float model,
+// its int8-quantized form, or its int4 nibble-packed form (both only
+// meaningful on packages with int8 support — int4 executes on the same
+// quantized kernels, it is a weight storage format).
 type Variant struct {
 	Quantized bool
+	// Int4 selects the nibble-packed backend; implies Quantized
+	// semantics (callers set both or just Int4 — either reads as the
+	// int4 artifact).
+	Int4 bool
+}
+
+// quantized reports whether the variant serves on the quantized kernels.
+func (v Variant) quantized() bool { return v.Quantized || v.Int4 }
+
+// backend returns the plan backend this variant deploys.
+func (v Variant) backend() plan.Backend {
+	switch {
+	case v.Int4:
+		return plan.Int4
+	case v.Quantized:
+		return plan.Int8
+	default:
+		return plan.Float32
+	}
 }
 
 // Profiler measures ALEM tuples and caches them. It is safe for concurrent
@@ -117,15 +138,15 @@ type Profiler struct {
 }
 
 type accKey struct {
-	model     string
-	quantized bool
+	model   string
+	backend plan.Backend
 }
 
 type profKey struct {
-	model     string
-	pkg       string
-	device    string
-	quantized bool
+	model   string
+	pkg     string
+	device  string
+	backend plan.Backend
 }
 
 // NewProfiler returns a profiler that measures accuracy on eval.
@@ -145,7 +166,7 @@ func (p *Profiler) Profile(m *nn.Model, pkg Package, dev hardware.Device, v Vari
 	if p.eval.Samples() == 0 {
 		return ALEM{}, ErrNoEvalData
 	}
-	key := profKey{model: m.Name, pkg: pkg.Name, device: dev.Name, quantized: v.Quantized}
+	key := profKey{model: m.Name, pkg: pkg.Name, device: dev.Name, backend: v.backend()}
 	p.mu.Lock()
 	if a, ok := p.cache[key]; ok {
 		p.mu.Unlock()
@@ -194,11 +215,16 @@ func (p *Profiler) workload(m *nn.Model, pkg Package, v Variant) hardware.Worklo
 		DispatchScale:   pkg.DispatchScale,
 		LayerCount:      len(m.Layers),
 	}
-	if v.Quantized && pkg.SupportsInt8 {
+	if v.quantized() && pkg.SupportsInt8 {
 		w.Int8 = true
-		// Cost the representation the int8 backend actually deploys:
-		// dense and conv weights at one byte per parameter.
-		w.WeightBytes = m.Int8WeightBytes()
+		// Cost the representation the quantized backend actually
+		// deploys: dense and conv weights at one byte per parameter for
+		// int8, nibble-packed with per-row scales for int4.
+		if v.Int4 {
+			w.WeightBytes = m.Int4WeightBytes()
+		} else {
+			w.WeightBytes = m.Int8WeightBytes()
+		}
 	}
 	if pkg.SupportsFusion && w.LayerCount > 1 {
 		w.LayerCount = (w.LayerCount + 1) / 2
@@ -209,7 +235,7 @@ func (p *Profiler) workload(m *nn.Model, pkg Package, v Variant) hardware.Worklo
 // accuracy measures (and caches) eval accuracy for the model or its int8
 // round-tripped variant.
 func (p *Profiler) accuracy(m *nn.Model, v Variant) (float64, error) {
-	k := accKey{model: m.Name, quantized: v.Quantized}
+	k := accKey{model: m.Name, backend: v.backend()}
 	p.mu.Lock()
 	if a, ok := p.accCache[k]; ok {
 		p.mu.Unlock()
@@ -219,20 +245,25 @@ func (p *Profiler) accuracy(m *nn.Model, v Variant) (float64, error) {
 
 	var acc float64
 	var err error
-	if v.Quantized {
-		// Measure the backend that would actually serve this variant: the
-		// compiled int8 plan, calibrated on the evaluation batch. Only
-		// models the IR cannot lower (recurrent stacks) fall back to the
-		// weight round-trip approximation — any other failure is a real
-		// int8-backend defect and must surface, not hide behind a float
-		// approximation in the frontier's numbers.
-		acc, err = p.int8PlanAccuracy(m)
+	if v.quantized() {
+		// Measure the backend that would actually serve this variant:
+		// the compiled int8 (or int4) plan, calibrated on the evaluation
+		// batch. Only models the IR cannot lower (recurrent stacks) fall
+		// back to the weight round-trip approximation — any other
+		// failure is a real quantized-backend defect and must surface,
+		// not hide behind a float approximation in the frontier's
+		// numbers.
+		acc, err = p.planAccuracy(m, v.backend())
 		if errors.Is(err, plan.ErrUnsupported) {
 			clone, cerr := m.Clone()
 			if cerr != nil {
 				return 0, cerr
 			}
-			if cerr := quantizeWeights(clone); cerr != nil {
+			levels := float32(127)
+			if v.Int4 {
+				levels = 7
+			}
+			if cerr := quantizeWeights(clone, levels); cerr != nil {
 				return 0, cerr
 			}
 			acc, err = nn.Accuracy(clone, p.eval.X, p.eval.Y)
@@ -249,16 +280,16 @@ func (p *Profiler) accuracy(m *nn.Model, v Variant) (float64, error) {
 	return acc, nil
 }
 
-// int8PlanAccuracy compiles the model to the int8 backend and measures
-// eval accuracy through it — the number the Pareto frontier and tier
-// ladders should carry for "-int8" variants, since that backend is what
-// a quantized serving tier executes.
-func (p *Profiler) int8PlanAccuracy(m *nn.Model) (float64, error) {
+// planAccuracy compiles the model to the given quantized backend and
+// measures eval accuracy through it — the number the Pareto frontier and
+// tier ladders should carry for "-int8"/"-int4" variants, since that
+// backend is what a quantized serving tier executes.
+func (p *Profiler) planAccuracy(m *nn.Model, backend plan.Backend) (float64, error) {
 	clone, err := m.Clone()
 	if err != nil {
 		return 0, err
 	}
-	pl, err := plan.Compile(clone, plan.Options{Backend: plan.Int8, Calibration: p.eval.X})
+	pl, err := plan.Compile(clone, plan.Options{Backend: backend, Calibration: p.eval.X})
 	if err != nil {
 		return 0, err
 	}
@@ -269,25 +300,26 @@ func (p *Profiler) int8PlanAccuracy(m *nn.Model) (float64, error) {
 	return nn.AccuracyLogits(logits, p.eval.Y)
 }
 
-// quantizeWeights rounds every weight tensor through int8, reproducing the
+// quantizeWeights rounds every weight tensor through the symmetric grid
+// with the given level count (127 for int8, 7 for int4), reproducing the
 // accuracy effect of post-training quantization without importing
 // internal/compress (which depends on nn only, but keeping alem independent
 // of compress avoids a layering cycle when compress later wants ALEM
 // reports).
-func quantizeWeights(m *nn.Model) error {
+func quantizeWeights(m *nn.Model, levels float32) error {
 	for _, l := range m.Layers {
 		for _, w := range l.Params() {
 			if w.Dims() < 2 {
 				continue // leave biases in float, as real int8 schemes do
 			}
-			q := quantizeRoundTrip(w.Data())
+			q := quantizeRoundTrip(w.Data(), levels)
 			copy(w.Data(), q)
 		}
 	}
 	return nil
 }
 
-func quantizeRoundTrip(d []float32) []float32 {
+func quantizeRoundTrip(d []float32, levels float32) []float32 {
 	var m float32
 	for _, v := range d {
 		if v < 0 {
@@ -297,20 +329,21 @@ func quantizeRoundTrip(d []float32) []float32 {
 			m = v
 		}
 	}
-	scale := m / 127
+	scale := m / levels
 	if scale == 0 {
 		scale = 1
 	}
+	lim := int(levels)
 	out := make([]float32, len(d))
 	for i, v := range d {
 		q := int(v/scale + 0.5)
 		if v < 0 {
 			q = int(v/scale - 0.5)
 		}
-		if q > 127 {
-			q = 127
-		} else if q < -127 {
-			q = -127
+		if q > lim {
+			q = lim
+		} else if q < -lim {
+			q = -lim
 		}
 		out[i] = float32(q) * scale
 	}

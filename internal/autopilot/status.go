@@ -130,10 +130,13 @@ func (p *Pilot) Status() Status {
 }
 
 // TierName is the default mapping from a selector choice to the loaded
-// model name serving it: the model's own name, with "-int8" appended for
-// quantized variants (matching how DeployTiers loads them).
+// model name serving it: the model's own name, with "-int8" or "-int4"
+// appended for quantized variants (matching how DeployTiers loads them).
 func TierName(c selector.Choice) string {
-	if c.Quantized {
+	switch {
+	case c.Int4:
+		return c.ModelName + "-int4"
+	case c.Quantized:
 		return c.ModelName + "-int8"
 	}
 	return c.ModelName
@@ -165,7 +168,10 @@ func PlanTiers(front []selector.Choice, name func(selector.Choice) string, pol P
 		}
 		seen[n] = true
 		backend := string(plan.Float32)
-		if c.Quantized {
+		switch {
+		case c.Int4:
+			backend = string(plan.Int4)
+		case c.Quantized:
 			backend = string(plan.Int8)
 		}
 		tiers = append(tiers, TierSpec{

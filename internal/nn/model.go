@@ -357,6 +357,33 @@ func (m *Model) Int8WeightBytes() int64 {
 	return n
 }
 
+// Int4WeightBytes returns what WeightBytes would report under the int4
+// plan backend: dense and conv weight matrices stored nibble-packed —
+// two weights per byte, rounded up per output row — plus a 4-byte
+// per-output-channel scale, with biases and normalization parameters
+// kept in float. The profiler uses it to cost the int4 variant without
+// materializing the packed artifact.
+func (m *Model) Int4WeightBytes() int64 {
+	var n int64
+	for _, l := range m.Layers {
+		quantizable := false
+		switch l.(type) {
+		case *Dense, *Conv2D:
+			quantizable = true
+		}
+		for i, p := range l.Params() {
+			if i == 0 && quantizable {
+				rows := int64(p.Dim(0))
+				cols := int64(p.Len()) / rows
+				n += rows*((cols+1)/2) + 4*rows
+				continue
+			}
+			n += 4 * int64(p.Len())
+		}
+	}
+	return n
+}
+
 // InvalidateInt8Artifacts drops every installed int8 weight artifact
 // (QW) and its cached dequantized expansion. Call after training mutates
 // the float weights the artifacts were quantized from — consumers (plan

@@ -12,6 +12,7 @@ import (
 	"openei/internal/compress"
 	"openei/internal/hardware"
 	"openei/internal/nn"
+	"openei/internal/plan"
 	"openei/internal/tensor"
 )
 
@@ -52,11 +53,19 @@ type LoadOptions struct {
 	// Quantize converts the model to its int8 artifact at load time when
 	// the package supports int8 kernels (TF-Lite-style conversion).
 	Quantize bool
+	// Backend pins the compiled-plan backend this model's replicas
+	// default to. Empty derives it from Quantize (int8 when the package
+	// supports it, float32 otherwise). plan.Int4 keeps the float weights
+	// resident at load — the nibble-packed artifact is produced at plan
+	// compile time, where the per-row scales are computed — and serves
+	// replicas on the int4 backend.
+	Backend plan.Backend
 }
 
 type loaded struct {
 	model     *nn.Model
 	quantized bool
+	backend   plan.Backend // replica default; "" = derive from quantized
 	lastUsed  time.Time
 }
 
@@ -111,7 +120,7 @@ func (m *Manager) Load(model *nn.Model, opts LoadOptions) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.models[model.Name] = &loaded{model: clone, quantized: quantized, lastUsed: time.Now()}
+	m.models[model.Name] = &loaded{model: clone, quantized: quantized, backend: opts.Backend, lastUsed: time.Now()}
 	return nil
 }
 
@@ -122,7 +131,14 @@ func (m *Manager) prepare(model *nn.Model, opts LoadOptions) (*nn.Model, bool, e
 		return nil, false, fmt.Errorf("pkgmgr: clone %s: %w", model.Name, err)
 	}
 	quantized := false
-	if opts.Quantize && m.pkg.SupportsInt8 {
+	switch {
+	case opts.Backend == plan.Int4 && m.pkg.SupportsInt8:
+		// The int4 artifact quantizes from the float weights at plan
+		// compile time (per-row scales need the originals) — no
+		// load-time weight mutation, but the model is deployed
+		// quantized for placement and cost purposes.
+		quantized = true
+	case (opts.Quantize || opts.Backend == plan.Int8) && m.pkg.SupportsInt8:
 		if _, err := compress.QuantizeInt8(clone); err != nil {
 			return nil, false, fmt.Errorf("pkgmgr: quantize %s: %w", model.Name, err)
 		}

@@ -75,6 +75,9 @@ func (m *Manager) NewReplicaBackend(name string, backend plan.Backend) (*Replica
 		return nil, fmt.Errorf("pkgmgr: replica of %s: %w", name, err)
 	}
 	if backend == "" {
+		backend = l.backend
+	}
+	if backend == "" {
 		backend = plan.Float32
 		if l.quantized && m.pkg.SupportsInt8 {
 			backend = plan.Int8
@@ -97,7 +100,7 @@ func (m *Manager) NewReplicaBackend(name string, backend plan.Backend) (*Replica
 	// actual weight bytes, and int8 kernels only when the plan runs
 	// them.
 	r.wproto.WeightBytes = p.WeightBytes()
-	r.wproto.Int8 = backend == plan.Int8 && m.pkg.SupportsInt8
+	r.wproto.Int8 = (backend == plan.Int8 || backend == plan.Int4) && m.pkg.SupportsInt8
 	r.flopsPerSample = r.wproto.FLOPs
 	r.actBytesPerSample = r.wproto.ActivationBytes
 	return r, nil
@@ -105,6 +108,10 @@ func (m *Manager) NewReplicaBackend(name string, backend plan.Backend) (*Replica
 
 // Name returns the model name the replica was cloned from.
 func (r *Replica) Name() string { return r.name }
+
+// Kernels reports the compute-kernel dispatch of the replica's compiled
+// plan (see plan.Kernels) — surfaced per pipeline in /ei_metrics.
+func (r *Replica) Kernels() string { return r.plan.Kernels() }
 
 // Backend reports the execution backend serving this replica — the
 // compiled plan's backend name. Surfaced per pipeline in /ei_metrics.

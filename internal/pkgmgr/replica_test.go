@@ -118,7 +118,7 @@ func TestQuantizedReplicaRunsInt8Backend(t *testing.T) {
 func TestNewReplicaBackendRejectsUnknown(t *testing.T) {
 	m := testManager(t, "eipkg", "rpi4")
 	loadedQuantizedModel(t, m)
-	if _, err := m.NewReplicaBackend("q-net", "int4"); !errors.Is(err, plan.ErrBadBackend) {
+	if _, err := m.NewReplicaBackend("q-net", "int2"); !errors.Is(err, plan.ErrBadBackend) {
 		t.Fatalf("bogus backend err = %v, want plan.ErrBadBackend", err)
 	}
 }

@@ -15,7 +15,7 @@ import (
 // freeze), then executes on the int8 kernels — so every answer the plan
 // ever returns comes from its advertised backend.
 func (p *Plan) Execute(x *tensor.Tensor) (*tensor.Tensor, error) {
-	if p.backend == Int8 && !p.released {
+	if p.quantized() && !p.released {
 		if err := p.Calibrate(x); err != nil {
 			return nil, err
 		}
@@ -31,7 +31,7 @@ func (p *Plan) Execute(x *tensor.Tensor) (*tensor.Tensor, error) {
 // widen) until the calibration freezes — after that the float reference
 // weights are gone and Calibrate fails with ErrCalibrationFrozen.
 func (p *Plan) Calibrate(x *tensor.Tensor) error {
-	if p.backend != Int8 {
+	if !p.quantized() {
 		return nil
 	}
 	if p.released {
@@ -80,11 +80,16 @@ func (p *Plan) noteCalibration() {
 }
 
 // run executes the op list. calibrating forces the float32 reference
-// kernels and records int8-op input ranges.
+// kernels and records int8-op input ranges. Between fused quantized ops
+// the activation travels as a raw int8 buffer (qx) rather than a float
+// tensor; view ops on that buffer are pure shape bookkeeping.
 func (p *Plan) run(x *tensor.Tensor, calibrating bool) (*tensor.Tensor, error) {
 	if x.Dims() != len(p.inputShape)+1 {
 		return nil, fmt.Errorf("%w: %s wants batched %v input, got %v", ErrShape, p.name, p.inputShape, x.Shape())
 	}
+	batch := x.Dim(0)
+	var qx []int8
+	qslot := 0
 	var err error
 	for i := range p.ops {
 		o := &p.ops[i]
@@ -93,9 +98,15 @@ func (p *Plan) run(x *tensor.Tensor, calibrating bool) (*tensor.Tensor, error) {
 				o.calibMax = m
 			}
 		}
-		if o.int8 && !calibrating {
-			x, err = p.runInt8(o, x)
-		} else {
+		switch {
+		case o.int8 && !calibrating:
+			x, qx, err = p.runInt8(o, x, qx, &qslot, batch)
+		case qx != nil && o.kind == opView:
+			// The int8 activation is already flat; its consumer carries
+			// the compiled shape.
+		case qx != nil && o.kind == opMaxPool:
+			qx = p.runQPool(o, qx, &qslot, batch)
+		default:
 			x, err = p.runFloat(o, x)
 		}
 		if err != nil {
@@ -199,70 +210,172 @@ func (p *Plan) runBatchNorm(o *op, x *tensor.Tensor) (*tensor.Tensor, error) {
 	return y, nil
 }
 
-// runInt8 executes a quantized op: the input is requantized with the
-// op's calibrated scale, reduced on the int8 kernel, and rescaled (plus
-// bias and fused clamp) into the float output the next op consumes.
-func (p *Plan) runInt8(o *op, x *tensor.Tensor) (*tensor.Tensor, error) {
+// runInt8 executes a quantized op. The input arrives either as the float
+// tensor x (requantized here with the op's calibrated scale) or as the
+// int8 buffer qx a fused producer emitted; the output likewise is a
+// float tensor, or — when o.emitQ — an int8 buffer already quantized
+// with the consumer's scale, written by the kernel epilogue in the same
+// pass as the rescale/bias/clamp. Fused requantization applies exactly
+// QuantizeCalibratedInto's arithmetic to exactly the float the unfused
+// epilogue produces, so fused and unfused execution are bitwise
+// identical.
+func (p *Plan) runInt8(o *op, x *tensor.Tensor, qx []int8, qslot *int, batch int) (*tensor.Tensor, []int8, error) {
 	a := p.arena
-	batch := x.Dim(0)
+	var qout []int8
+	var outScale float32
+	if o.emitQ {
+		outScale = p.ops[o.qNext].inScale
+		n := batch * prod(o.outShape)
+		if cap(p.qact[*qslot]) < n {
+			p.qact[*qslot] = make([]int8, n)
+		}
+		qout = p.qact[*qslot][:n]
+		*qslot ^= 1
+	}
 	switch o.kind {
 	case opConv:
 		s := o.conv
-		y := a.NewUninit(batch, s.OutC, s.OutH(), s.OutW())
-		if err := tensor.QConv2DInto(y, x, o.qw, o.b, s, o.inScale, o.fusedReLU); err != nil {
-			return nil, err
+		var xd []float32
+		if qx == nil {
+			if x.Dims() != 4 || x.Dim(1) != s.InC || x.Dim(2) != s.InH || x.Dim(3) != s.InW {
+				return nil, nil, fmt.Errorf("%w: QConv2D input %v does not match spec %+v", ErrShape, x.Shape(), s)
+			}
+			xd = x.Data()
 		}
-		return y, nil
+		var bias []float32
+		if o.b != nil {
+			bias = o.b.Data()
+		}
+		if qout != nil {
+			if o.q4 != nil {
+				tensor.QConv2DExec4(nil, qout, xd, qx, o.q4, bias, s, batch, o.inScale, outScale, o.fusedReLU)
+			} else {
+				tensor.QConv2DExec(nil, qout, xd, qx, o.qw, bias, s, batch, o.inScale, outScale, o.fusedReLU)
+			}
+			return nil, qout, nil
+		}
+		y := a.NewUninit(batch, s.OutC, s.OutH(), s.OutW())
+		if o.q4 != nil {
+			tensor.QConv2DExec4(y.Data(), nil, xd, qx, o.q4, bias, s, batch, o.inScale, 0, o.fusedReLU)
+		} else {
+			tensor.QConv2DExec(y.Data(), nil, xd, qx, o.qw, bias, s, batch, o.inScale, 0, o.fusedReLU)
+		}
+		return y, nil, nil
 	case opDense:
 		in, out := o.denseIn, o.denseOut
-		if x.Dims() != 2 || x.Dim(1) != in {
-			return nil, fmt.Errorf("%w: dense(%d→%d) got input %v", ErrShape, in, out, x.Shape())
+		if qx == nil {
+			if x.Dims() != 2 || x.Dim(1) != in {
+				return nil, nil, fmt.Errorf("%w: dense(%d→%d) got input %v", ErrShape, in, out, x.Shape())
+			}
+			if cap(p.qin) < batch*in {
+				p.qin = make([]int8, batch*in)
+			}
+			qx = p.qin[:batch*in]
+			tensor.QuantizeCalibratedInto(qx, x.Data(), o.inScale)
 		}
-		if cap(p.qin) < batch*in {
-			p.qin = make([]int8, batch*in)
-		}
-		qx := p.qin[:batch*in]
-		tensor.QuantizeCalibratedInto(qx, x.Data(), o.inScale)
 		if cap(p.qacc) < batch*out {
 			p.qacc = make([]int32, batch*out)
 		}
+		qw, scales := p.denseWeights(o, in, out)
+		if qout != nil {
+			qDenseRows(nil, qout, qx, p.qacc[:batch*out], o, qw, scales, batch, in, out, 1/outScale)
+			return nil, qout, nil
+		}
 		y := a.NewUninit(batch, out)
-		qDenseRows(y.Data(), qx, p.qacc[:batch*out], o, batch, in, out)
-		return y, nil
+		qDenseRows(y.Data(), nil, qx, p.qacc[:batch*out], o, qw, scales, batch, in, out, 0)
+		return y, nil, nil
 	default:
-		return nil, fmt.Errorf("int8 kernel for op %v does not exist", o.kind)
+		return nil, nil, fmt.Errorf("int8 kernel for op %v does not exist", o.kind)
 	}
+}
+
+// runQPool pools an in-flight int8 activation without leaving the fused
+// chain. Quantization (round, rescale, clamp) and the fused ReLU are
+// monotone nondecreasing maps, and max commutes with any monotone map,
+// so the result is bitwise identical to the unfused float pool followed
+// by the consumer's quantize. Output goes to the idle ping-pong slot.
+func (p *Plan) runQPool(o *op, qx []int8, qslot *int, batch int) []int8 {
+	s := o.pool
+	n := batch * s.C * s.OutH() * s.OutW()
+	if cap(p.qact[*qslot]) < n {
+		p.qact[*qslot] = make([]int8, n)
+	}
+	dst := p.qact[*qslot][:n]
+	*qslot ^= 1
+	tensor.QMaxPool2DInto(dst, qx, s, batch, o.fusedReLU)
+	return dst
+}
+
+// denseWeights resolves a quantized dense op's int8 weight bytes and
+// per-output-channel effective scales (inScale·rowScale). The int8
+// backend streams the resident artifact with its uniform scale; int4
+// unpacks the nibbles into the plan's q4w scratch — grown once, so the
+// serving steady state stays allocation-free — and applies the
+// per-row scales the packed format carries.
+func (p *Plan) denseWeights(o *op, in, out int) ([]int8, []float32) {
+	if cap(p.qscales) < out {
+		p.qscales = make([]float32, out)
+	}
+	scales := p.qscales[:out]
+	if o.q4 == nil {
+		u := o.inScale * o.qw.Scale
+		for j := range scales {
+			scales[j] = u
+		}
+		return o.qw.Data, scales
+	}
+	if cap(p.q4w) < in*out {
+		p.q4w = make([]int8, in*out)
+	}
+	qw := p.q4w[:in*out]
+	o.q4.UnpackInto(qw)
+	for j := range scales {
+		scales[j] = o.inScale * o.q4.Scales[j]
+	}
+	return qw, scales
 }
 
 // qDenseRows is the int8 dense kernel: each sample row reduces against
 // the (out, in) weight artifact — already the transposed-B layout the
-// dot-form QGemmRowT streams — then the epilogue rescales, adds bias,
-// and applies the fused clamp. Batch rows shard across the parallel
-// runtime with disjoint accumulator rows, so results are exact
-// regardless of pool width.
-func qDenseRows(dst []float32, qx []int8, qacc []int32, o *op, batch, in, out int) {
+// dot-form QGemmRowT streams — then the epilogue rescales per output
+// channel, adds bias, and applies the fused clamp, into float dst or
+// (fused chain) int8 qdst requantized with invOut. Batch rows shard
+// across the parallel runtime with disjoint accumulator rows, so
+// results are exact regardless of pool width.
+func qDenseRows(dst []float32, qdst []int8, qx []int8, qacc []int32, o *op, qw []int8, scales []float32, batch, in, out int, invOut float32) {
 	// The parallel closure is built only on the sharded branch — serial
 	// execution must stay allocation-free for the serving steady state.
 	if batch > 1 && parallel.Worth(batch*in*out) {
 		parallel.Do(batch, parallel.GrainItems(in*out), func(lo, hi int) {
-			qDenseRowsRange(dst, qx, qacc, o, in, out, lo, hi)
+			qDenseRowsRange(dst, qdst, qx, qacc, o, qw, scales, in, out, invOut, lo, hi)
 		})
 		return
 	}
-	qDenseRowsRange(dst, qx, qacc, o, in, out, 0, batch)
+	qDenseRowsRange(dst, qdst, qx, qacc, o, qw, scales, in, out, invOut, 0, batch)
 }
 
-func qDenseRowsRange(dst []float32, qx []int8, qacc []int32, o *op, in, out, lo, hi int) {
-	scale := o.inScale * o.qw.Scale
+func qDenseRowsRange(dst []float32, qdst []int8, qx []int8, qacc []int32, o *op, qw []int8, scales []float32, in, out int, invOut float32, lo, hi int) {
 	bias := o.b.Data()
-	qw := o.qw.Data
 	relu := o.fusedReLU
 	for i := lo; i < hi; i++ {
 		acc := qacc[i*out : (i+1)*out]
 		tensor.QGemmRowT(acc, qx[i*in:(i+1)*in], qw, in, out)
+		if qdst != nil {
+			// Fused requant epilogue: the same float each unfused step
+			// would write, then QuantizeCalibratedInto's exact rounding.
+			qi := qdst[i*out : (i+1)*out]
+			for j, v := range acc {
+				f := float32(v)*scales[j] + bias[j]
+				if relu && f < 0 {
+					f = 0
+				}
+				qi[j] = tensor.QRound8(f * invOut)
+			}
+			continue
+		}
 		di := dst[i*out : (i+1)*out]
 		for j, v := range acc {
-			f := float32(v)*scale + bias[j]
+			f := float32(v)*scales[j] + bias[j]
 			if relu && f < 0 {
 				f = 0
 			}

@@ -56,6 +56,13 @@ const (
 	// calibrated activation quantization; the remaining (cheap) ops stay
 	// in float.
 	Int8 Backend = "int8"
+	// Int4 stores dense and convolution weights nibble-packed with
+	// per-output-channel scales (≈⅛ the float bytes resident) and
+	// executes them on the int8 kernels after an unpack into pooled
+	// scratch — int4 is a weight storage format riding the int8
+	// execution path, including its calibration life cycle and fused
+	// requantization chains.
+	Int4 Backend = "int4"
 )
 
 // Package errors.
@@ -143,6 +150,14 @@ type op struct {
 	fusedReLU bool
 	int8      bool // execute on the int8 kernel (dense/conv, Int8 backend)
 
+	// emitQ marks an int8 op whose consumer (through any views) is also
+	// int8: its epilogue requantizes straight into an int8 activation
+	// buffer with the consumer's scale (ops[qNext].inScale, read at run
+	// time so calibration widening is honored), skipping the float
+	// materialize-then-requantize round trip between quantized ops.
+	emitQ bool
+	qNext int
+
 	outShape []int // per-sample output shape
 
 	// dense: w is the lowered float weight matrix (out, in); wt its
@@ -164,8 +179,11 @@ type op struct {
 	gamma, beta, mean, std []float32
 
 	// int8 artifacts: the quantized weights and the calibrated activation
-	// scale this op quantizes its input with.
+	// scale this op quantizes its input with. On the Int4 backend q4
+	// replaces qw: the nibble-packed per-row-scaled artifact, unpacked to
+	// int8 scratch at execution time.
 	qw       *tensor.QTensor
+	q4       *tensor.Q4Tensor
 	inScale  float32
 	calibMax float32
 
@@ -216,6 +234,15 @@ type Plan struct {
 	arena *tensor.Arena
 	qin   []int8  // int8 dense input scratch, grown once
 	qacc  []int32 // int8 dense accumulator rows, grown once
+	// Int4 execution scratch, grown once to the largest dense layer:
+	// q4w receives the nibble-unpacked int8 weights, qscales the
+	// per-output-channel effective scales (inScale·rowScale).
+	q4w     []int8
+	qscales []float32
+	// qact is the fused-chain activation ping-pong: emitQ producers write
+	// int8 activations into one slot while consuming the other, grown
+	// once per plan so the steady state stays allocation-free.
+	qact [2][]int8
 
 	// Early-exit state. exitAt is the op index of the RNN op when the
 	// graph has the [view…, fastgrnn, head…] shape early exit requires
@@ -246,7 +273,7 @@ func Compile(m *nn.Model, opts Options) (*Plan, error) {
 	if backend == "" {
 		backend = Float32
 	}
-	if backend != Float32 && backend != Int8 {
+	if backend != Float32 && backend != Int8 && backend != Int4 {
 		return nil, fmt.Errorf("%w: %q", ErrBadBackend, backend)
 	}
 	p := &Plan{
@@ -269,6 +296,7 @@ func Compile(m *nn.Model, opts Options) (*Plan, error) {
 	if err := p.materialize(); err != nil {
 		return nil, err
 	}
+	p.linkQuantChain()
 	if len(p.ops) > 0 {
 		p.classes = prod(p.ops[len(p.ops)-1].outShape)
 	} else {
@@ -276,7 +304,7 @@ func Compile(m *nn.Model, opts Options) (*Plan, error) {
 	}
 	p.detectExitGraph()
 	p.SetExitThreshold(opts.ExitThreshold)
-	if backend == Int8 && opts.Calibration != nil {
+	if p.quantized() && opts.Calibration != nil {
 		// An explicit calibration batch is authoritative: freeze the
 		// scales and release the float reference weights immediately.
 		if err := p.Calibrate(opts.Calibration); err != nil {
@@ -476,24 +504,56 @@ func (p *Plan) materialize() error {
 			}
 			o.wt = wt
 			o.denseOut, o.denseIn = o.w.Dim(0), o.w.Dim(1)
-			if p.backend == Int8 {
+			switch p.backend {
+			case Int8:
 				o.int8 = true
 				// The (out, in) artifact is already the transposed-B
 				// layout the dot-form GEMM streams: run it directly.
 				if o.qw == nil || o.qw.Len() != o.w.Len() {
 					o.qw = tensor.Quantize(o.w)
 				}
+			case Int4:
+				o.int8 = true
+				o.qw = nil
+				o.q4 = tensor.Quantize4(o.w, o.denseOut)
 			}
 		case opConv:
-			if p.backend == Int8 {
+			switch p.backend {
+			case Int8:
 				o.int8 = true
 				if o.qw == nil || o.qw.Len() != o.w.Len() {
 					o.qw = tensor.Quantize(o.w)
 				}
+			case Int4:
+				o.int8 = true
+				o.qw = nil
+				o.q4 = tensor.Quantize4(o.w, o.conv.OutC)
 			}
 		}
 	}
 	return nil
+}
+
+// linkQuantChain marks each int8 op whose consumer — looking through
+// view ops (pure shape bookkeeping) and max pools (max commutes with the
+// monotone quantization map, so pooling runs on the int8 buffer bitwise
+// identically) — is also int8. Those ops fuse the consumer's
+// requantization into their epilogue (see op.emitQ); the intervening ops
+// operate on the int8 activation directly.
+func (p *Plan) linkQuantChain() {
+	for i := range p.ops {
+		if !p.ops[i].int8 {
+			continue
+		}
+		j := i + 1
+		for j < len(p.ops) && (p.ops[j].kind == opView || p.ops[j].kind == opMaxPool) {
+			j++
+		}
+		if j < len(p.ops) && p.ops[j].int8 {
+			p.ops[i].emitQ = true
+			p.ops[i].qNext = j
+		}
+	}
 }
 
 // detectExitGraph marks the plan early-exit-capable when the compiled op
@@ -555,12 +615,41 @@ func (p *Plan) ExitThreshold() float64 {
 	return math.Float64frombits(p.exitThrBits.Load())
 }
 
+// Kernels names the compute kernels this plan's ops dispatch to on this
+// process — the string /ei_metrics surfaces per model. The base GEMM
+// kernel ("packed-fma", "qgemm-avx2", or "scalar" under
+// OPENEI_FORCE_SCALAR / missing CPU features) is joined with
+// "direct-conv" when any convolution qualifies for the im2col-free
+// stencil path.
+func (p *Plan) Kernels() string {
+	base := tensor.KernelGEMM()
+	if p.quantized() {
+		base = tensor.KernelQGEMM()
+	}
+	direct := false
+	for i := range p.ops {
+		if p.ops[i].kind == opConv && tensor.DirectConv3x3(p.ops[i].conv) {
+			direct = true
+			break
+		}
+	}
+	if direct {
+		return base + "+direct-conv"
+	}
+	return base
+}
+
+// quantized reports whether the plan's backend runs the quantized
+// execution path (int8 kernels — which the int4 storage format also
+// rides) and therefore carries calibration state.
+func (p *Plan) quantized() bool { return p.backend == Int8 || p.backend == Int4 }
+
 // freezeCalibration ends an int8 plan's calibration life: activation
 // scales become frozen constants and the quantized ops' float reference
 // weights (kept only for the calibration passes) are released, so the
 // deployed residency matches WeightBytes' ≈¼ claim.
 func (p *Plan) freezeCalibration() {
-	if p.backend != Int8 || p.released {
+	if !p.quantized() || p.released {
 		return
 	}
 	for i := range p.ops {
@@ -586,12 +675,12 @@ func (p *Plan) Classes() int { return p.classes }
 
 // Calibrated reports whether an int8 plan's activation scales are set
 // (float32 plans are always calibrated).
-func (p *Plan) Calibrated() bool { return p.backend != Int8 || p.calibrated }
+func (p *Plan) Calibrated() bool { return !p.quantized() || p.calibrated }
 
 // CalibrationFrozen reports whether an int8 plan's scales are frozen and
 // its calibration-only float weights released (always true for float32
 // plans, which never hold calibration state).
-func (p *Plan) CalibrationFrozen() bool { return p.backend != Int8 || p.released }
+func (p *Plan) CalibrationFrozen() bool { return !p.quantized() || p.released }
 
 // FLOPs returns the per-sample forward cost of the source model at the
 // given batch size (the cost-model view; graph optimization does not
@@ -614,7 +703,9 @@ func (p *Plan) WeightBytes() int64 {
 		o := &p.ops[i]
 		switch o.kind {
 		case opDense, opConv, opDwConv:
-			if o.int8 {
+			if o.q4 != nil {
+				n += int64(o.q4.SizeBytes())
+			} else if o.int8 {
 				n += int64(o.qw.SizeBytes())
 			} else {
 				n += 4 * int64(o.w.Len())
@@ -633,18 +724,28 @@ func (p *Plan) WeightBytes() int64 {
 }
 
 // OpInfo is the inspectable form of one compiled op, for tests and
-// diagnostics.
+// diagnostics. FusedRequant marks an int8 op that writes its output
+// directly as the next quantized op's int8 input (fused requantization
+// epilogue).
 type OpInfo struct {
-	Kind      string
-	FusedReLU bool
-	Int8      bool
+	Kind         string
+	FusedReLU    bool
+	Int8         bool
+	Int4         bool
+	FusedRequant bool
 }
 
 // Ops returns the compiled op list.
 func (p *Plan) Ops() []OpInfo {
 	out := make([]OpInfo, len(p.ops))
 	for i := range p.ops {
-		out[i] = OpInfo{Kind: p.ops[i].kind.String(), FusedReLU: p.ops[i].fusedReLU, Int8: p.ops[i].int8}
+		out[i] = OpInfo{
+			Kind:         p.ops[i].kind.String(),
+			FusedReLU:    p.ops[i].fusedReLU,
+			Int8:         p.ops[i].int8,
+			Int4:         p.ops[i].q4 != nil,
+			FusedRequant: p.ops[i].emitQ,
+		}
 	}
 	return out
 }

@@ -500,3 +500,183 @@ func TestPlanWeightBytesQuarterForInt8(t *testing.T) {
 		t.Errorf("int8/float32 weight bytes = %.3f, want ≈ 0.25 (biases stay float)", ratio)
 	}
 }
+
+// TestFusedInt8ChainBitwiseMatchesUnfused pins the fusion guarantee: a
+// calibrated int8 plan executed with its fused requant epilogues and the
+// int8 max-pool passthrough produces bit-identical logits to the same
+// plan with every chain link severed — each op dequantizing to float32
+// and its consumer requantizing, the pools running on float. Fusion may
+// only move where the quantization happens, never change its value.
+func TestFusedInt8ChainBitwiseMatchesUnfused(t *testing.T) {
+	for _, name := range []string{"lenet", "alexnet-m", "vgg-m"} {
+		m, err := zoo.Build(name, 16, 5, rand.New(rand.NewSource(77)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cal := randBatch(rand.New(rand.NewSource(78)), 8, m.InputShape)
+		p, err := Compile(m, Options{Backend: Int8, Calibration: cal})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randBatch(rand.New(rand.NewSource(79)), 4, m.InputShape)
+		fused, err := p.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append([]float32(nil), fused.Data()...)
+
+		links := 0
+		for i := range p.ops {
+			if p.ops[i].emitQ {
+				links++
+				p.ops[i].emitQ = false
+			}
+		}
+		if links == 0 {
+			t.Fatalf("%s: plan compiled no fused quant links", name)
+		}
+		unfused, err := p.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range unfused.Data() {
+			if v != want[i] {
+				t.Fatalf("%s: logit %d: fused %v vs unfused %v — fusion must be bitwise invisible",
+					name, i, want[i], v)
+			}
+		}
+	}
+}
+
+// TestInt4PlanTracksInt8AcrossZoo is the golden equivalence sweep for
+// the nibble-packed backend: for every catalog model, an int4 plan and
+// an int8 plan calibrated on the same batch must produce logits within
+// quantization tolerance of the float32 reference — int4's per-row
+// scales spend a 15-value grid per output channel, so its band is wider
+// than int8's but still bounded — and must agree with int8 on most
+// argmax predictions.
+func TestInt4PlanTracksInt8AcrossZoo(t *testing.T) {
+	for _, e := range zoo.Catalog() {
+		m, err := zoo.Build(e.Name, 16, 5, rand.New(rand.NewSource(51)))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		cal := randBatch(rand.New(rand.NewSource(52)), 16, m.InputShape)
+		f32, err := Compile(m, Options{Backend: Float32})
+		if err != nil {
+			t.Fatalf("%s: float compile: %v", e.Name, err)
+		}
+		i8, err := Compile(m, Options{Backend: Int8, Calibration: cal})
+		if err != nil {
+			t.Fatalf("%s: int8 compile: %v", e.Name, err)
+		}
+		i4, err := Compile(m, Options{Backend: Int4, Calibration: cal})
+		if err != nil {
+			t.Fatalf("%s: int4 compile: %v", e.Name, err)
+		}
+		if !i4.Calibrated() || !i4.CalibrationFrozen() {
+			t.Fatalf("%s: int4 compile-time calibration did not stick/freeze", e.Name)
+		}
+
+		x := randBatch(rand.New(rand.NewSource(53)), 8, m.InputShape)
+		want, err := f32.Execute(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCopy := append([]float32(nil), want.Data()...)
+		got8, err := i8.Execute(x)
+		if err != nil {
+			t.Fatalf("%s: int8 execute: %v", e.Name, err)
+		}
+		got8Copy := append([]float32(nil), got8.Data()...)
+		got4, err := i4.Execute(x)
+		if err != nil {
+			t.Fatalf("%s: int4 execute: %v", e.Name, err)
+		}
+		var scaleRef, worst4, worst84 float64
+		for i := range wantCopy {
+			if d := math.Abs(float64(wantCopy[i])); d > scaleRef {
+				scaleRef = d
+			}
+		}
+		for i := range wantCopy {
+			if d := math.Abs(float64(got4.Data()[i] - wantCopy[i])); d > worst4 {
+				worst4 = d
+			}
+			if d := math.Abs(float64(got4.Data()[i] - got8Copy[i])); d > worst84 {
+				worst84 = d
+			}
+		}
+		// int4's grid is 8× coarser per weight than int8's; per-row
+		// scales claw most of that back. The band below is wide enough
+		// for stacked per-layer error on every catalog architecture and
+		// narrow enough that a sign flip, nibble-order bug, or scale
+		// mix-up fails immediately.
+		// vs-float absorbs int8's own calibration deviation on top of
+		// the nibble grid; vs-int8 isolates just what int4 adds.
+		if worst4 > 0.5*scaleRef+0.1 {
+			t.Errorf("%s: worst int4-vs-float deviation %v (logit scale %v)", e.Name, worst4, scaleRef)
+		}
+		if worst84 > 0.35*scaleRef+0.1 {
+			t.Errorf("%s: worst int4-vs-int8 deviation %v (logit scale %v)", e.Name, worst84, scaleRef)
+		}
+		t.Logf("%s: logit scale %.3f, int4 worst dev %.4f, int4-vs-int8 %.4f", e.Name, scaleRef, worst4, worst84)
+	}
+}
+
+// TestPlanWeightBytesEighthForInt4 pins the storage claim: two weights
+// per byte plus per-row scales lands near ⅛ of the float bytes on a
+// conv-heavy model (biases and norm parameters stay float).
+func TestPlanWeightBytesEighthForInt4(t *testing.T) {
+	for _, name := range []string{"vgg-m", "alexnet-m"} {
+		m, err := zoo.Build(name, 16, 5, rand.New(rand.NewSource(41)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f32, err := Compile(m, Options{Backend: Float32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		i4, err := Compile(m, Options{Backend: Int4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(i4.WeightBytes()) / float64(f32.WeightBytes())
+		if ratio < 0.1 || ratio > 0.2 {
+			t.Errorf("%s: int4/float32 weight bytes = %.3f, want ≈ 0.125", name, ratio)
+		}
+	}
+}
+
+// TestInt4PlanSelfCalibratesAndFreezes: the int4 backend rides the int8
+// calibration life cycle — lazy self-calibration on early batches, then
+// the scales freeze, the float reference weights release, and Calibrate
+// reports ErrCalibrationFrozen.
+func TestInt4PlanSelfCalibratesAndFreezes(t *testing.T) {
+	m, err := zoo.Build("mlp", 12, 4, rand.New(rand.NewSource(61)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(m, Options{Backend: Int4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Calibrated() {
+		t.Fatal("uncalibrated int4 plan claims calibration")
+	}
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < selfCalibrationBatches; i++ {
+		if _, err := p.Execute(randBatch(rng, 4, m.InputShape)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !p.CalibrationFrozen() {
+		t.Fatalf("int4 plan not frozen after %d batches", selfCalibrationBatches)
+	}
+	if err := p.Calibrate(randBatch(rng, 4, m.InputShape)); !errors.Is(err, ErrCalibrationFrozen) {
+		t.Fatalf("post-freeze Calibrate error = %v, want ErrCalibrationFrozen", err)
+	}
+	if _, err := p.Execute(randBatch(rng, 4, m.InputShape)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -71,6 +71,9 @@ func (p *Plan) runRNNFull(r *rnnStep, x *tensor.Tensor, visit func(h *tensor.Ten
 // re-entered once per step during early exit and during the per-step
 // calibration sweep.
 func (p *Plan) runHead(x *tensor.Tensor, calibrating bool) (*tensor.Tensor, error) {
+	batch := x.Dim(0)
+	var qx []int8
+	qslot := 0
 	var err error
 	for i := p.exitAt + 1; i < len(p.ops); i++ {
 		o := &p.ops[i]
@@ -79,9 +82,14 @@ func (p *Plan) runHead(x *tensor.Tensor, calibrating bool) (*tensor.Tensor, erro
 				o.calibMax = m
 			}
 		}
-		if o.int8 && !calibrating {
-			x, err = p.runInt8(o, x)
-		} else {
+		switch {
+		case o.int8 && !calibrating:
+			x, qx, err = p.runInt8(o, x, qx, &qslot, batch)
+		case qx != nil && o.kind == opView:
+			// int8 activation in flight; views are shape bookkeeping.
+		case qx != nil && o.kind == opMaxPool:
+			qx = p.runQPool(o, qx, &qslot, batch)
+		default:
 			x, err = p.runFloat(o, x)
 		}
 		if err != nil {
@@ -218,7 +226,7 @@ func (p *Plan) InferBatchSteps(xs []*tensor.Tensor, cls []int, conf []float64, s
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if p.backend == Int8 && !p.released {
+	if p.quantized() && !p.released {
 		if err := p.calibrateFrom(x); err != nil {
 			return nil, nil, nil, err
 		}

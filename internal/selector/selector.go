@@ -71,22 +71,32 @@ type Requirements struct {
 	MaxMemory   int64         // Mpro, bytes; 0 = the device's capacity
 }
 
-// Candidate is one model artifact to consider: a trained model and whether
-// to evaluate its int8-quantized variant.
+// Candidate is one model artifact to consider: a trained model and
+// whether to evaluate its int8-quantized or int4 nibble-packed variant.
 type Candidate struct {
 	Name      string
 	Model     *nn.Model
 	Quantized bool
+	Int4      bool
+}
+
+// variant maps the candidate's flags to the profiler's variant.
+func (c Candidate) variant() alem.Variant {
+	return alem.Variant{Quantized: c.Quantized, Int4: c.Int4}
 }
 
 // Variants expands trained models into float and (optionally) quantized
-// candidates.
+// candidates — the int8 artifact and the ⅛-weight-bytes int4 artifact
+// both enter the search space when the package stack supports quantized
+// kernels, so the tier ladder can trade a little more accuracy for
+// another halving of resident weight bytes.
 func Variants(models map[string]*nn.Model, includeQuantized bool) []Candidate {
 	var out []Candidate
 	for name, m := range models {
 		out = append(out, Candidate{Name: name, Model: m})
 		if includeQuantized {
 			out = append(out, Candidate{Name: name, Model: m, Quantized: true})
+			out = append(out, Candidate{Name: name, Model: m, Quantized: true, Int4: true})
 		}
 	}
 	return out
@@ -96,6 +106,7 @@ func Variants(models map[string]*nn.Model, includeQuantized bool) []Candidate {
 type Choice struct {
 	ModelName string
 	Quantized bool
+	Int4      bool
 	Package   alem.Package
 	Device    hardware.Device
 	ALEM      alem.ALEM
@@ -104,7 +115,10 @@ type Choice struct {
 // String implements fmt.Stringer.
 func (c Choice) String() string {
 	q := ""
-	if c.Quantized {
+	switch {
+	case c.Int4:
+		q = "+int4"
+	case c.Quantized:
 		q = "+int8"
 	}
 	return fmt.Sprintf("%s%s on %s/%s %v", c.ModelName, q, c.Package.Name, c.Device.Name, c.ALEM)
@@ -156,7 +170,7 @@ func enumerate(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, r
 	for _, c := range cands {
 		for _, p := range pkgs {
 			for _, d := range devs {
-				v := alem.Variant{Quantized: c.Quantized}
+				v := c.variant()
 				if !prof.Fits(c.Model, p, d, v) {
 					continue
 				}
@@ -168,7 +182,7 @@ func enumerate(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, r
 					continue
 				}
 				out = append(out, Choice{
-					ModelName: c.Name, Quantized: c.Quantized,
+					ModelName: c.Name, Quantized: c.Quantized, Int4: c.Int4,
 					Package: p, Device: d, ALEM: a,
 				})
 			}
@@ -207,7 +221,7 @@ func Greedy(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, req 
 	for _, c := range cands {
 		for _, p := range pkgs {
 			for _, d := range devs {
-				v := alem.Variant{Quantized: c.Quantized}
+				v := c.variant()
 				if !prof.Fits(c.Model, p, d, v) {
 					continue
 				}
@@ -220,7 +234,7 @@ func Greedy(cands []Candidate, pkgs []alem.Package, devs []hardware.Device, req 
 				}
 				if a.Accuracy > bestAcc {
 					bestAcc = a.Accuracy
-					best = &Choice{ModelName: c.Name, Quantized: c.Quantized, Package: p, Device: d, ALEM: a}
+					best = &Choice{ModelName: c.Name, Quantized: c.Quantized, Int4: c.Int4, Package: p, Device: d, ALEM: a}
 				}
 			}
 		}
@@ -276,7 +290,7 @@ func (q *QLearner) Select(cands []Candidate, pkgs []alem.Package, devs []hardwar
 	n := make([]int, len(arms))
 	pull := func(i int) (float64, *Choice, error) {
 		a := arms[i]
-		v := alem.Variant{Quantized: a.c.Quantized}
+		v := a.c.variant()
 		if !prof.Fits(a.c.Model, a.p, a.d, v) {
 			return -1, nil, nil
 		}
@@ -287,7 +301,7 @@ func (q *QLearner) Select(cands []Candidate, pkgs []alem.Package, devs []hardwar
 		if !feasible(al, a.d, req) {
 			return -1, nil, nil
 		}
-		ch := Choice{ModelName: a.c.Name, Quantized: a.c.Quantized, Package: a.p, Device: a.d, ALEM: al}
+		ch := Choice{ModelName: a.c.Name, Quantized: a.c.Quantized, Int4: a.c.Int4, Package: a.p, Device: a.d, ALEM: al}
 		return reward(al, req.Objective), &ch, nil
 	}
 	var best *Choice

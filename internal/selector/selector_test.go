@@ -256,8 +256,20 @@ func TestQLearnerInfeasible(t *testing.T) {
 func TestVariantsExpansion(t *testing.T) {
 	m := nn.MustModel("x", []int{2}, []nn.LayerSpec{{Type: "dense", In: 2, Out: 2}})
 	vs := Variants(map[string]*nn.Model{"x": m}, true)
-	if len(vs) != 2 {
-		t.Fatalf("Variants with quantized = %d entries, want 2", len(vs))
+	if len(vs) != 3 {
+		t.Fatalf("Variants with quantized = %d entries, want 3 (float, int8, int4)", len(vs))
+	}
+	var sawInt8, sawInt4 bool
+	for _, v := range vs {
+		if v.Quantized && !v.Int4 {
+			sawInt8 = true
+		}
+		if v.Int4 {
+			sawInt4 = true
+		}
+	}
+	if !sawInt8 || !sawInt4 {
+		t.Fatalf("Variants missing a quantized form: int8=%v int4=%v", sawInt8, sawInt4)
 	}
 	vs = Variants(map[string]*nn.Model{"x": m}, false)
 	if len(vs) != 1 {

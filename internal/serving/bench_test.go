@@ -11,6 +11,7 @@ import (
 	"openei/internal/hardware"
 	"openei/internal/obs"
 	"openei/internal/pkgmgr"
+	"openei/internal/plan"
 	"openei/internal/tensor"
 	"openei/internal/zoo"
 )
@@ -150,45 +151,65 @@ func BenchmarkReplicaInferMLP(b *testing.B) {
 }
 
 // The steady-state guarantee is load-bearing for GC-free serving, so it is
-// asserted as a test too, not just visible in benchmark output.
+// asserted as a test too, not just visible in benchmark output. The int4
+// backend must hold it too: its per-call weight unpack and effective-scale
+// fills run entirely in plan scratch grown during warmup.
 func TestReplicaInferenceSteadyStateAllocs(t *testing.T) {
-	pkg, err := alem.PackageByName("eipkg")
-	if err != nil {
-		t.Fatal(err)
-	}
-	dev, err := hardware.ByName("jetson-tx2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	mgr := pkgmgr.New(pkg, dev)
-	t.Cleanup(mgr.Close)
-	rng := rand.New(rand.NewSource(1))
-	m, err := zoo.Build("mlp", 16, 6, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	m.InitParams(rng)
-	if err := mgr.Load(m, pkgmgr.LoadOptions{Quantize: true}); err != nil {
-		t.Fatal(err)
-	}
-	rep, err := mgr.NewReplica("mlp")
-	if err != nil {
-		t.Fatal(err)
-	}
-	sample := tensor.New(1, 16, 16)
-	xs := []*tensor.Tensor{sample, sample, sample, sample}
-	for i := 0; i < 3; i++ { // warm arena, result buffers, scratch pools
-		if _, err := rep.InferBatch(xs); err != nil {
-			t.Fatal(err)
-		}
-	}
-	avg := testing.AllocsPerRun(50, func() {
-		if _, err := rep.InferBatch(xs); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if avg != 0 {
-		t.Errorf("steady-state replica inference allocates %v objects/op, want 0", avg)
+	for _, tc := range []struct {
+		name string
+		opts pkgmgr.LoadOptions
+	}{
+		{"int8", pkgmgr.LoadOptions{Quantize: true}},
+		{"int4", pkgmgr.LoadOptions{Backend: plan.Int4}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg, err := alem.PackageByName("eipkg")
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, err := hardware.ByName("jetson-tx2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mgr := pkgmgr.New(pkg, dev)
+			t.Cleanup(mgr.Close)
+			rng := rand.New(rand.NewSource(1))
+			m, err := zoo.Build("mlp", 16, 6, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.InitParams(rng)
+			if err := mgr.Load(m, tc.opts); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := mgr.NewReplica("mlp")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := string(plan.Int8); tc.name == "int8" && rep.Backend() != want {
+				t.Fatalf("backend %q, want %q", rep.Backend(), want)
+			}
+			if want := string(plan.Int4); tc.name == "int4" && rep.Backend() != want {
+				t.Fatalf("backend %q, want %q", rep.Backend(), want)
+			}
+			sample := tensor.New(1, 16, 16)
+			xs := []*tensor.Tensor{sample, sample, sample, sample}
+			// Warm past the lazy-calibration window so the scales freeze
+			// and every subsequent batch is the pure serving path.
+			for i := 0; i < 10; i++ {
+				if _, err := rep.InferBatch(xs); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(50, func() {
+				if _, err := rep.InferBatch(xs); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state %s replica inference allocates %v objects/op, want 0", tc.name, avg)
+			}
+		})
 	}
 }
 

@@ -11,6 +11,7 @@ type modelMetrics struct {
 	replicas int
 	queueCap int
 	backend  string
+	kernels  string
 
 	enqueued atomic.Uint64 // admitted into the queue
 	rejected atomic.Uint64 // ErrOverloaded at admission
@@ -128,9 +129,15 @@ type ModelStats struct {
 	Model    string `json:"model"`
 	Replicas int    `json:"replicas"`
 	// Backend is the execution backend of the pipeline's compiled plans
-	// ("float32", "int8", or "layer-walk" for the fallback path) — tier
-	// names imply backends, and this is where that claim is observable.
+	// ("float32", "int8", "int4", or "layer-walk" for the fallback path)
+	// — tier names imply backends, and this is where that claim is
+	// observable.
 	Backend string `json:"backend"`
+	// Kernels is the compute-kernel dispatch of those plans on this
+	// process: the base GEMM kernel ("packed-fma" float / "qgemm-avx2"
+	// quantized / "scalar" fallback), "+direct-conv" when a convolution
+	// runs the im2col-free stencil. Empty on the layer-walk path.
+	Kernels string `json:"kernels,omitempty"`
 
 	QueueDepth int `json:"queue_depth"`
 	QueueCap   int `json:"queue_cap"`
@@ -236,6 +243,7 @@ func (m *modelMetrics) snapshot(model string, depth int, exitThr float64) ModelS
 		Model:            model,
 		Replicas:         m.replicas,
 		Backend:          m.backend,
+		Kernels:          m.kernels,
 		QueueDepth:       depth,
 		QueueCap:         m.queueCap,
 		Enqueued:         m.enqueued.Load(),

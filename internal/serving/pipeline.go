@@ -81,6 +81,7 @@ func newPipeline(model string, cfg Config, tenants *tenantTable, reps []*pkgmgr.
 	p.met.replicas = len(reps)
 	p.met.queueCap = cfg.QueueDepth
 	p.met.backend = reps[0].Backend()
+	p.met.kernels = reps[0].Kernels()
 	if reps[0].SupportsEarlyExit() {
 		p.met.earlyExit = true
 		p.met.totalSteps = reps[0].RNNSteps()

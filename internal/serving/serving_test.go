@@ -98,6 +98,9 @@ func TestBatchCoalescing(t *testing.T) {
 	if len(st) != 1 || st[0].Model != "ident" {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st[0].Kernels == "" {
+		t.Error("model stats missing kernel dispatch (want e.g. \"packed-fma\" or \"scalar\")")
+	}
 	if st[0].Batches != 1 || st[0].LargestBatch != n {
 		t.Errorf("expected one micro-batch of %d, got %d batches (largest %d)",
 			n, st[0].Batches, st[0].LargestBatch)

@@ -175,19 +175,38 @@ func conv2DForward(out, x, w, bias []float32, s Conv2DSpec, batch int) {
 	outH, outW := s.OutH(), s.OutW()
 	colRows := s.InC * s.KH * s.KW
 	colW := outH * outW
+	imgLen := s.InC * s.InH * s.InW
+	outLen := s.OutC * colW
 	perImage := s.OutC * colRows * colW // fused ops of one image's GEMM
+	direct := directConv3x3OK(s)
 	image := func(b int, cols []float32, gemmRowParallel bool) {
-		imgLen := s.InC * s.InH * s.InW
-		outLen := s.OutC * colW
-		Im2Col(x[b*imgLen:(b+1)*imgLen], s, cols)
 		dst := out[b*outLen : (b+1)*outLen]
+		if direct {
+			// Pad once per image into the im2col scratch (the padded copy
+			// is far smaller than the 9× column matrix would be), then
+			// every microkernel call is a full 9-tap interior stencil.
+			pimg := padImage3x3(cols, x[b*imgLen:(b+1)*imgLen], s)
+			if gemmRowParallel && s.OutC > 1 && parallel.Worth(perImage) {
+				parallel.Do(s.OutC, parallel.GrainItems(colRows*colW), func(lo, hi int) {
+					convDirect3x3(dst, pimg, w, bias, s, lo, hi)
+				})
+			} else {
+				convDirect3x3(dst, pimg, w, bias, s, 0, s.OutC)
+			}
+			return
+		}
+		if conv1x1OK(s) {
+			cols = x[b*imgLen : (b+1)*imgLen] // identity lowering
+		} else {
+			Im2Col(x[b*imgLen:(b+1)*imgLen], s, cols)
+		}
 		for i := range dst {
 			dst[i] = 0
 		}
 		if gemmRowParallel {
 			matmulInto(dst, w, cols, s.OutC, colRows, colW)
 		} else {
-			matmulRows(dst, w, cols, 0, s.OutC, colRows, colW)
+			gemmSerial(dst, w, cols, s.OutC, colRows, colW)
 		}
 		if bias != nil {
 			for oc := 0; oc < s.OutC; oc++ {
@@ -321,17 +340,15 @@ func Conv2DBackward(x, grad, wt, dx, dW, dB []float32, s Conv2DSpec, batch int) 
 	gradLen := s.OutC * colW
 	var mu sync.Mutex
 	images := func(lo, hi int) {
-		colsP := f32Scratch(colRows * colW)
 		colsTP := f32Scratch(colW * colRows)
 		dcolsP := f32Scratch(colRows * colW)
 		dwP := f32Scratch(s.OutC * colRows)
 		dbP := f32Scratch(s.OutC)
-		defer f32Release(colsP)
 		defer f32Release(colsTP)
 		defer f32Release(dcolsP)
 		defer f32Release(dwP)
 		defer f32Release(dbP)
-		cols, colsT, dcols, dw, db := *colsP, *colsTP, *dcolsP, *dwP, *dbP
+		colsT, dcols, dw, db := *colsTP, *dcolsP, *dwP, *dbP
 		for i := range dw {
 			dw[i] = 0
 		}
@@ -339,13 +356,17 @@ func Conv2DBackward(x, grad, wt, dx, dW, dB []float32, s Conv2DSpec, batch int) 
 			db[i] = 0
 		}
 		for b := lo; b < hi; b++ {
-			Im2Col(x[b*imgLen:(b+1)*imgLen], s, cols)
+			// Lower straight into patch-row layout: the dW GEMM's
+			// right-hand side. The old path materialized the column
+			// matrix and transposed it per image; Im2ColT writes the
+			// transposed form once, through the same pooled scratch.
+			Im2ColT(x[b*imgLen:(b+1)*imgLen], s, colsT)
 			gb := grad[b*gradLen : (b+1)*gradLen]
 
-			// dW += grad_b · colsᵀ (matmulRows accumulates, so the whole
-			// shard's contribution lands in dw without an intermediate).
-			transposeInto(colsT, cols, colRows, colW)
-			matmulRows(dw, gb, colsT, 0, s.OutC, colW, colRows)
+			// dW += grad_b · colsᵀ (the packed driver accumulates, so the
+			// whole shard's contribution lands in dw without an
+			// intermediate).
+			gemmSerial(dw, gb, colsT, s.OutC, colW, colRows)
 
 			// dB += per-channel sums of grad_b.
 			for oc := 0; oc < s.OutC; oc++ {
@@ -360,7 +381,7 @@ func Conv2DBackward(x, grad, wt, dx, dW, dB []float32, s Conv2DSpec, batch int) 
 			for i := range dcols {
 				dcols[i] = 0
 			}
-			matmulRows(dcols, wt, gb, 0, colRows, s.OutC, colW)
+			gemmSerial(dcols, wt, gb, colRows, s.OutC, colW)
 			Col2Im(dcols, s, dx[b*imgLen:(b+1)*imgLen])
 		}
 		mu.Lock()

@@ -1,0 +1,339 @@
+package tensor
+
+// Direct convolution for the 3×3/stride-1 shapes that dominate the zoo
+// (every alexnet-m/vgg-m/squeezenet-m expand layer). Instead of
+// materializing the im2col column matrix — 9× the input bytes for a 3×3
+// kernel — the image is copied once into a zero-padded buffer (a small
+// fraction of the im2col bytes) and the microkernel computes 8 or 16
+// complete outputs per call, folding the entire inC×9-tap reduction into
+// one pass so nothing is read-modified-written. Other shapes keep the
+// im2col+GEMM lowering; 1×1/stride-1/pad-0 convolutions skip the
+// lowering too, since their column matrix IS the image.
+
+// directConv3x3OK reports whether the direct kernel handles the spec:
+// 3×3, stride 1, and output rows of at least 8 columns so the 8-wide
+// vector body has work to do (padding counts — an 8×8 image with pad 1
+// produces 8-column output rows).
+func directConv3x3OK(s Conv2DSpec) bool {
+	return s.KH == 3 && s.KW == 3 && s.Stride == 1 && s.InW+2*s.Pad >= 10
+}
+
+// conv1x1OK reports the identity-lowering shapes: a 1×1/stride-1/pad-0
+// convolution's im2col output equals its input, so the GEMM runs on the
+// image directly.
+func conv1x1OK(s Conv2DSpec) bool {
+	return s.KH == 1 && s.KW == 1 && s.Stride == 1 && s.Pad == 0
+}
+
+// padImage3x3 materializes one image with its zero border (inC,
+// inH+2·pad, inW+2·pad) into buf, or returns src unchanged for pad 0.
+// The copy costs a fraction of the input bytes — versus 9× for im2col —
+// and buys the microkernel a world with no edge cases: every output is
+// a full 9-tap stencil over in-range rows.
+func padImage3x3(buf, src []float32, s Conv2DSpec) []float32 {
+	if s.Pad == 0 {
+		return src
+	}
+	pH, pW := s.InH+2*s.Pad, s.InW+2*s.Pad
+	p := buf[:s.InC*pH*pW]
+	for i := range p {
+		p[i] = 0
+	}
+	for ic := 0; ic < s.InC; ic++ {
+		for ih := 0; ih < s.InH; ih++ {
+			row := src[(ic*s.InH+ih)*s.InW : (ic*s.InH+ih+1)*s.InW]
+			copy(p[ic*pH*pW+(ih+s.Pad)*pW+s.Pad:], row)
+		}
+	}
+	return p
+}
+
+// convDirect3x3RowGo is the pure-Go row kernel behind the same padded
+// layout: each output is a complete bias + inC·9-tap sum, taps in the
+// same (ic, kh, kw) order as the assembly.
+func convDirect3x3RowGo(drow, srow, ker []float32, inC, chanStride, pW int) {
+	for ow := range drow {
+		acc := drow[ow]
+		for ic := 0; ic < inC; ic++ {
+			k := ker[ic*9 : ic*9+9]
+			base := ic*chanStride + ow
+			r0 := srow[base : base+3]
+			r1 := srow[base+pW : base+pW+3]
+			r2 := srow[base+2*pW : base+2*pW+3]
+			acc += k[0]*r0[0] + k[1]*r0[1] + k[2]*r0[2] +
+				k[3]*r1[0] + k[4]*r1[1] + k[5]*r1[2] +
+				k[6]*r2[0] + k[7]*r2[1] + k[8]*r2[2]
+		}
+		drow[ow] = acc
+	}
+}
+
+// convDirect3x3 computes output channels [ocLo, ocHi) of one image from
+// its padded layout pimg (see padImage3x3). Rows are covered by 16-wide
+// (then 8-wide) microkernel calls; because each call writes complete
+// sums, the final call of a row simply overlaps the previous span
+// instead of needing a scalar tail. Per-output tap order is fixed by
+// shape alone, and overlapped recomputation is bit-identical, so results
+// are bitwise pool-width-independent however the caller shards images or
+// channel ranges.
+func convDirect3x3(dst, pimg, w, bias []float32, s Conv2DSpec, ocLo, ocHi int) {
+	outH, outW := s.OutH(), s.OutW()
+	pW := s.InW + 2*s.Pad
+	chanStride := (s.InH + 2*s.Pad) * pW
+	planeLen := outH * outW
+	for oc := ocLo; oc < ocHi; oc++ {
+		ker := w[oc*s.InC*9 : (oc+1)*s.InC*9]
+		var bv float32
+		if bias != nil {
+			bv = bias[oc]
+		}
+		plane := dst[oc*planeLen : (oc+1)*planeLen]
+		for oh := 0; oh < outH; oh++ {
+			drow := plane[oh*outW : (oh+1)*outW]
+			srow := pimg[oh*pW:]
+			if !useFMA {
+				for i := range drow {
+					drow[i] = bv
+				}
+				convDirect3x3RowGo(drow, srow, ker, s.InC, chanStride, pW)
+				continue
+			}
+			ow := 0
+			for ; ow+16 <= outW; ow += 16 {
+				fconv3x3Asm16(&drow[ow], &srow[ow], s.InC, chanStride, pW, &ker[0], bv)
+			}
+			if ow < outW {
+				switch {
+				case outW >= 16:
+					fconv3x3Asm16(&drow[outW-16], &srow[outW-16], s.InC, chanStride, pW, &ker[0], bv)
+				default:
+					for ; ow+8 <= outW; ow += 8 {
+						fconv3x3Asm8(&drow[ow], &srow[ow], s.InC, chanStride, pW, &ker[0], bv)
+					}
+					if ow < outW {
+						fconv3x3Asm8(&drow[outW-8], &srow[outW-8], s.InC, chanStride, pW, &ker[0], bv)
+					}
+				}
+			}
+		}
+	}
+}
+
+// qpackWeights3x3 packs each (oc, ic, kernel-row) weight triple into the
+// two dwords of adjacent int16 the VPMADDWD stencil kernels broadcast:
+// (w0,w1) and (w2,0). Layout: wp[(oc*inC+ic)*6 + kh*2 + {0,1}].
+func qpackWeights3x3(wp []int32, wq []int8, outC, inC int) {
+	for oc := 0; oc < outC; oc++ {
+		for ic := 0; ic < inC; ic++ {
+			k := wq[(oc*inC+ic)*9 : (oc*inC+ic)*9+9]
+			base := (oc*inC + ic) * 6
+			for kh := 0; kh < 3; kh++ {
+				w0 := uint32(uint16(int16(k[kh*3])))
+				w1 := uint32(uint16(int16(k[kh*3+1])))
+				wp[base+kh*2] = int32(w0 | w1<<16)
+				wp[base+kh*2+1] = int32(uint32(uint16(int16(k[kh*3+2]))))
+			}
+		}
+	}
+}
+
+// quantizePad3x3 quantizes one float image straight into the zero-padded
+// int8 layout the direct kernels walk — one pass instead of
+// quantize-then-pad. The buffer carries one byte of slack past the
+// padded image: the kernels' shifted pair loads read (and multiply by a
+// zero weight) one byte beyond the final row.
+func quantizePad3x3(buf []int8, x []float32, s Conv2DSpec, xScale float32) []int8 {
+	pH, pW := s.InH+2*s.Pad, s.InW+2*s.Pad
+	n := s.InC * pH * pW
+	p := buf[: n+1 : n+1]
+	if s.Pad == 0 {
+		QuantizeCalibratedInto(p[:n], x, xScale)
+		p[n] = 0
+		return p
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	for ic := 0; ic < s.InC; ic++ {
+		for ih := 0; ih < s.InH; ih++ {
+			off := ic*pH*pW + (ih+s.Pad)*pW + s.Pad
+			QuantizeCalibratedInto(p[off:off+s.InW], x[(ic*s.InH+ih)*s.InW:(ic*s.InH+ih+1)*s.InW], xScale)
+		}
+	}
+	return p
+}
+
+// qpadImage3x3 is quantizePad3x3 for an already-quantized image (the
+// fused int8 chain hands the op its producer's int8 output directly).
+func qpadImage3x3(buf, qimg []int8, s Conv2DSpec) []int8 {
+	pH, pW := s.InH+2*s.Pad, s.InW+2*s.Pad
+	n := s.InC * pH * pW
+	p := buf[: n+1 : n+1]
+	if s.Pad == 0 {
+		copy(p[:n], qimg)
+		p[n] = 0
+		return p
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	for ic := 0; ic < s.InC; ic++ {
+		for ih := 0; ih < s.InH; ih++ {
+			copy(p[ic*pH*pW+(ih+s.Pad)*pW+s.Pad:], qimg[(ic*s.InH+ih)*s.InW:(ic*s.InH+ih+1)*s.InW])
+		}
+	}
+	return p
+}
+
+// qconvDirect3x3AVX2 computes output channels [ocLo, ocHi) of one image
+// from its padded quantized layout with the VPMADDWD stencil kernels,
+// then the shared requant epilogue (float into dst, or int8 into qdst).
+// Integer accumulation is associative, so the result is bitwise
+// identical to both the scalar stencil and the im2col+QGemmRowT path.
+func qconvDirect3x3AVX2(dst []float32, qdst []int8, pimg []int8, wp []int32, bias []float32, s Conv2DSpec, scales []float32, invOut float32, relu bool, acc []int32, ocLo, ocHi int) {
+	outH, outW := s.OutH(), s.OutW()
+	pW := s.InW + 2*s.Pad
+	chanStride := (s.InH + 2*s.Pad) * pW
+	planeLen := outH * outW
+	for oc := ocLo; oc < ocHi; oc++ {
+		wo := wp[oc*s.InC*6 : (oc+1)*s.InC*6]
+		a := acc[:planeLen]
+		for oh := 0; oh < outH; oh++ {
+			arow := a[oh*outW : (oh+1)*outW]
+			srow := pimg[oh*pW:]
+			ow := 0
+			for ; ow+16 <= outW; ow += 16 {
+				qconv3x3Asm16(&arow[ow], &srow[ow], s.InC, chanStride, pW, &wo[0])
+			}
+			if ow < outW {
+				switch {
+				case outW >= 16:
+					qconv3x3Asm16(&arow[outW-16], &srow[outW-16], s.InC, chanStride, pW, &wo[0])
+				default:
+					for ; ow+8 <= outW; ow += 8 {
+						qconv3x3Asm8(&arow[ow], &srow[ow], s.InC, chanStride, pW, &wo[0])
+					}
+					if ow < outW {
+						qconv3x3Asm8(&arow[outW-8], &srow[outW-8], s.InC, chanStride, pW, &wo[0])
+					}
+				}
+			}
+		}
+		var bv float32
+		if bias != nil {
+			bv = bias[oc]
+		}
+		if qdst != nil {
+			qRequantRow(qdst[oc*planeLen:(oc+1)*planeLen], a, scales[oc], bv, invOut, relu)
+		} else {
+			qDequantRow(dst[oc*planeLen:(oc+1)*planeLen], a, scales[oc], bv, relu)
+		}
+	}
+}
+
+// qconvDirect3x3 is the int8 twin: the same stencil walk with int32
+// accumulation into acc (≥ outH·outW), then the requant epilogue —
+// float into dst, or int8 into qdst (requantized with invOut) when the
+// consumer is also quantized. Integer addition is associative, so this
+// is bitwise identical to the im2col+QGemmRowT path — the dispatcher
+// picks purely on speed.
+func qconvDirect3x3(dst []float32, qdst []int8, qimg []int8, wq []int8, bias []float32, s Conv2DSpec, scales []float32, invOut float32, relu bool, acc []int32, ocLo, ocHi int) {
+	outH, outW := s.OutH(), s.OutW()
+	inHW := s.InH * s.InW
+	planeLen := outH * outW
+	owLo := s.Pad
+	owHi := min(s.InW-2+s.Pad, outW)
+	for oc := ocLo; oc < ocHi; oc++ {
+		a := acc[:planeLen]
+		for i := range a {
+			a[i] = 0
+		}
+		for ic := 0; ic < s.InC; ic++ {
+			ch := qimg[ic*inHW : (ic+1)*inHW]
+			ker := wq[(oc*s.InC+ic)*9 : (oc*s.InC+ic)*9+9]
+			for kh := 0; kh < 3; kh++ {
+				w0, w1, w2 := int32(ker[kh*3]), int32(ker[kh*3+1]), int32(ker[kh*3+2])
+				for oh := 0; oh < outH; oh++ {
+					ih := oh - s.Pad + kh
+					if ih < 0 || ih >= s.InH {
+						continue
+					}
+					arow := a[oh*outW : (oh+1)*outW]
+					srow := ch[ih*s.InW : (ih+1)*s.InW]
+					for ow := owLo; ow < owHi; ow++ {
+						iw := ow - s.Pad
+						arow[ow] += w0*int32(srow[iw]) + w1*int32(srow[iw+1]) + w2*int32(srow[iw+2])
+					}
+					for ow := 0; ow < owLo; ow++ {
+						acc := arow[ow]
+						for t := 0; t < 3; t++ {
+							if iw := ow - s.Pad + t; iw >= 0 && iw < s.InW {
+								acc += int32(ker[kh*3+t]) * int32(srow[iw])
+							}
+						}
+						arow[ow] = acc
+					}
+					for ow := owHi; ow < outW; ow++ {
+						acc := arow[ow]
+						for t := 0; t < 3; t++ {
+							if iw := ow - s.Pad + t; iw >= 0 && iw < s.InW {
+								acc += int32(ker[kh*3+t]) * int32(srow[iw])
+							}
+						}
+						arow[ow] = acc
+					}
+				}
+			}
+		}
+		var bv float32
+		if bias != nil {
+			bv = bias[oc]
+		}
+		if qdst != nil {
+			qRequantRow(qdst[oc*planeLen:(oc+1)*planeLen], a, scales[oc], bv, invOut, relu)
+		} else {
+			qDequantRow(dst[oc*planeLen:(oc+1)*planeLen], a, scales[oc], bv, relu)
+		}
+	}
+}
+
+// Im2ColT lowers an image into the TRANSPOSED column matrix (the float
+// twin of QIm2ColT): colsT has shape (outH·outW, inC·kH·kW), one
+// contiguous receptive-field patch per output position — the layout the
+// backward pass's dW GEMM consumes, removing its per-image
+// materialize-then-transpose round trip.
+func Im2ColT(x []float32, s Conv2DSpec, colsT []float32) {
+	outH, outW := s.OutH(), s.OutW()
+	colRows := s.InC * s.KH * s.KW
+	p := 0
+	for oh := 0; oh < outH; oh++ {
+		for ow := 0; ow < outW; ow++ {
+			row := colsT[p*colRows : (p+1)*colRows]
+			p++
+			idx := 0
+			for c := 0; c < s.InC; c++ {
+				chanBase := c * s.InH * s.InW
+				for kh := 0; kh < s.KH; kh++ {
+					ih := oh*s.Stride - s.Pad + kh
+					if ih < 0 || ih >= s.InH {
+						for kw := 0; kw < s.KW; kw++ {
+							row[idx] = 0
+							idx++
+						}
+						continue
+					}
+					rowBase := chanBase + ih*s.InW
+					for kw := 0; kw < s.KW; kw++ {
+						iw := ow*s.Stride - s.Pad + kw
+						if iw < 0 || iw >= s.InW {
+							row[idx] = 0
+						} else {
+							row[idx] = x[rowBase+iw]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+//go:build amd64
+
+package tensor
+
+import "os"
+
+// forceScalar disables every assembly kernel in the package when the
+// OPENEI_FORCE_SCALAR environment variable is set. CI runs one test leg
+// with it on so the pure-Go fallbacks of the FMA GEMM, the direct
+// convolutions, and the int8/int4 kernels are exercised on every push,
+// not only on machines without AVX2.
+var forceScalar = os.Getenv("OPENEI_FORCE_SCALAR") != ""
+
+// useFMA gates the float32 FMA kernels: AVX2+FMA3 present, YMM state
+// OS-enabled, and no scalar override. The packed GEMM wins because a
+// 4×16 tile issues eight VFMADD231PS per k step from registers, not
+// because the blocking alone is faster — without FMA the pure-Go
+// microkernel still runs behind the same packed driver.
+var useFMA = cpuHasFMA() && !forceScalar
+
+// cpuHasFMA reports FMA3+AVX2 support: OSXSAVE+AVX+FMA (CPUID.1:ECX),
+// YMM state enabled in XCR0 (XGETBV), and AVX2 (CPUID.7.0:EBX bit 5).
+func cpuHasFMA() bool
+
+// fgemmKernelAsm is the 4×16 float32 FMA microkernel: it accumulates
+// pa (kc×4, k-major) times pb (kc×16, k-major) into the 4×16 tile of C
+// at c with row stride ldc floats. C is updated, not overwritten
+// (C += A·B), so the driver's KC blocks chain without an intermediate
+// buffer. kc ≥ 1; no alignment requirements.
+//
+//go:noescape
+func fgemmKernelAsm(pa, pb, c *float32, kc, ldc int)
+
+// fdotAsm computes the float32 dot product a[0:k]·b[0:k] with four YMM
+// FMA accumulators. k must be a multiple of 32 and ≥ 32; callers handle
+// the tail in Go.
+//
+//go:noescape
+func fdotAsm(a, b *float32, k int) float32
+
+// fconv3x3Asm8 computes 8 complete 3×3 convolution outputs from a
+// padded image:
+//
+//	dst[j] = bias + Σ_{ic<inC} Σ_{r<3} Σ_{t<3} w[ic*9+r*3+t] · src[ic*chanStride + r*rowStride + t + j]
+//
+// The whole input-channel reduction runs inside one call — a single YMM
+// accumulator, two instructions per tap — so call overhead amortizes
+// over inC·9 FMAs instead of 3. Writes are complete sums (not
+// accumulations), so row tails may overlap a previous call's span.
+//
+//go:noescape
+func fconv3x3Asm8(dst, src *float32, inC, chanStride, rowStride int, w *float32, bias float32)
+
+// fconv3x3Asm16 is the 16-output variant (two YMM accumulators): the
+// nine weight broadcasts per input channel amortize over twice the
+// outputs, cutting load-port pressure by a third on full-width rows.
+//
+//go:noescape
+func fconv3x3Asm16(dst, src *float32, inC, chanStride, rowStride int, w *float32, bias float32)

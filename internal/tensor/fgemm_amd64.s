@@ -1,0 +1,270 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasFMA() bool
+//
+// FMA kernels need OSXSAVE+AVX+FMA3 (CPUID.1:ECX), OS-enabled YMM state
+// (XGETBV), and AVX2 (CPUID.7.0:EBX bit 5) for the register broadcasts.
+TEXT ·cpuHasFMA(SB), NOSPLIT, $0-1
+	// CPUID.1: ECX bit 12 = FMA, bit 27 = OSXSAVE, bit 28 = AVX.
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<12 | 1<<27 | 1<<28), DX
+	CMPL DX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+
+	// XGETBV(0): XCR0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	// CPUID.7.0: EBX bit 5 = AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	TESTL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func fgemmKernelAsm(pa, pb, c *float32, kc, ldc int)
+//
+// 4×16 FMA microkernel. pa is a packed A panel (kc steps × 4 rows,
+// k-major), pb a packed B panel (kc steps × 16 cols, k-major). The 4×16
+// accumulator lives in Y0–Y7 (two YMM per row); each k step loads one
+// 16-wide B vector pair and broadcasts the four A values, issuing eight
+// VFMADD231PS. The epilogue adds the accumulator into C (C += A·B).
+TEXT ·fgemmKernelAsm(SB), NOSPLIT, $0-40
+	MOVQ pa+0(FP), SI
+	MOVQ pb+8(FP), DI
+	MOVQ c+16(FP), DX
+	MOVQ kc+24(FP), CX
+	MOVQ ldc+32(FP), R8
+	SHLQ $2, R8               // row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+loopk:
+	VMOVUPS      (DI), Y8     // b[0:8]
+	VMOVUPS      32(DI), Y9   // b[8:16]
+	VBROADCASTSS (SI), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS 4(SI), Y10
+	VFMADD231PS  Y8, Y10, Y2
+	VFMADD231PS  Y9, Y10, Y3
+	VBROADCASTSS 8(SI), Y10
+	VFMADD231PS  Y8, Y10, Y4
+	VFMADD231PS  Y9, Y10, Y5
+	VBROADCASTSS 12(SI), Y10
+	VFMADD231PS  Y8, Y10, Y6
+	VFMADD231PS  Y9, Y10, Y7
+	ADDQ         $16, SI
+	ADDQ         $64, DI
+	DECQ         CX
+	JNZ          loopk
+
+	// C += accumulator, row by row (row stride R8 bytes).
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y0, Y0
+	VMOVUPS Y0, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y1, Y1
+	VMOVUPS Y1, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y2, Y2
+	VMOVUPS Y2, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y3, Y3
+	VMOVUPS Y3, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y4, Y4
+	VMOVUPS Y4, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y5, Y5
+	VMOVUPS Y5, 32(DX)
+	ADDQ    R8, DX
+	VMOVUPS (DX), Y8
+	VADDPS  Y8, Y6, Y6
+	VMOVUPS Y6, (DX)
+	VMOVUPS 32(DX), Y9
+	VADDPS  Y9, Y7, Y7
+	VMOVUPS Y7, 32(DX)
+
+	VZEROUPPER
+	RET
+
+// func fdotAsm(a, b *float32, k int) float32
+//
+// Float32 dot product over k elements (k a multiple of 32, ≥ 32): four
+// independent YMM accumulators break the FMA latency chain, then a
+// horizontal reduction folds 8 lanes to one.
+TEXT ·fdotAsm(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ k+16(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	SHRQ   $5, CX             // 32-element blocks
+
+loop32:
+	VMOVUPS     (SI), Y4
+	VFMADD231PS (DI), Y4, Y0
+	VMOVUPS     32(SI), Y5
+	VFMADD231PS 32(DI), Y5, Y1
+	VMOVUPS     64(SI), Y6
+	VFMADD231PS 64(DI), Y6, Y2
+	VMOVUPS     96(SI), Y7
+	VFMADD231PS 96(DI), Y7, Y3
+	ADDQ        $128, SI
+	ADDQ        $128, DI
+	DECQ        CX
+	JNZ         loop32
+
+	VADDPS       Y1, Y0, Y0
+	VADDPS       Y3, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VZEROUPPER
+	MOVSS        X0, ret+24(FP)
+	RET
+
+// func fconv3x3Asm8(dst, src *float32, inC, chanStride, rowStride int, w *float32, bias float32)
+//
+// Eight complete 3×3 outputs from a padded image: the accumulator
+// starts at the broadcast bias and folds all inC channels × 9 taps in
+// one call (each tap: one weight broadcast + one FMA with a memory
+// operand). Taps walk three image rows per channel (stride rowStride
+// floats), channels advance by chanStride floats and 9 weights.
+TEXT ·fconv3x3Asm8(SB), NOSPLIT, $0-52
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         inC+16(FP), CX
+	MOVQ         chanStride+24(FP), R8
+	SHLQ         $2, R8
+	MOVQ         rowStride+32(FP), R9
+	SHLQ         $2, R9
+	MOVQ         w+40(FP), DX
+	VBROADCASTSS bias+48(FP), Y0
+
+chan8:
+	MOVQ SI, AX               // kernel-row pointer within this channel
+
+	VBROADCASTSS (DX), Y10
+	VFMADD231PS  (AX), Y10, Y0
+	VBROADCASTSS 4(DX), Y10
+	VFMADD231PS  4(AX), Y10, Y0
+	VBROADCASTSS 8(DX), Y10
+	VFMADD231PS  8(AX), Y10, Y0
+	ADDQ         R9, AX
+
+	VBROADCASTSS 12(DX), Y10
+	VFMADD231PS  (AX), Y10, Y0
+	VBROADCASTSS 16(DX), Y10
+	VFMADD231PS  4(AX), Y10, Y0
+	VBROADCASTSS 20(DX), Y10
+	VFMADD231PS  8(AX), Y10, Y0
+	ADDQ         R9, AX
+
+	VBROADCASTSS 24(DX), Y10
+	VFMADD231PS  (AX), Y10, Y0
+	VBROADCASTSS 28(DX), Y10
+	VFMADD231PS  4(AX), Y10, Y0
+	VBROADCASTSS 32(DX), Y10
+	VFMADD231PS  8(AX), Y10, Y0
+
+	ADDQ R8, SI
+	ADDQ $36, DX
+	DECQ CX
+	JNZ  chan8
+
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func fconv3x3Asm16(dst, src *float32, inC, chanStride, rowStride int, w *float32, bias float32)
+//
+// Sixteen-output variant: two YMM accumulators share each weight
+// broadcast, so the load ports see 3 loads per 2 taps instead of 2 per
+// tap.
+TEXT ·fconv3x3Asm16(SB), NOSPLIT, $0-52
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	MOVQ         inC+16(FP), CX
+	MOVQ         chanStride+24(FP), R8
+	SHLQ         $2, R8
+	MOVQ         rowStride+32(FP), R9
+	SHLQ         $2, R9
+	MOVQ         w+40(FP), DX
+	VBROADCASTSS bias+48(FP), Y0
+	VMOVAPS      Y0, Y1
+
+chan16:
+	MOVQ SI, AX               // kernel-row pointer within this channel
+
+	VBROADCASTSS (DX), Y10
+	VFMADD231PS  (AX), Y10, Y0
+	VFMADD231PS  32(AX), Y10, Y1
+	VBROADCASTSS 4(DX), Y10
+	VFMADD231PS  4(AX), Y10, Y0
+	VFMADD231PS  36(AX), Y10, Y1
+	VBROADCASTSS 8(DX), Y10
+	VFMADD231PS  8(AX), Y10, Y0
+	VFMADD231PS  40(AX), Y10, Y1
+	ADDQ         R9, AX
+
+	VBROADCASTSS 12(DX), Y10
+	VFMADD231PS  (AX), Y10, Y0
+	VFMADD231PS  32(AX), Y10, Y1
+	VBROADCASTSS 16(DX), Y10
+	VFMADD231PS  4(AX), Y10, Y0
+	VFMADD231PS  36(AX), Y10, Y1
+	VBROADCASTSS 20(DX), Y10
+	VFMADD231PS  8(AX), Y10, Y0
+	VFMADD231PS  40(AX), Y10, Y1
+	ADDQ         R9, AX
+
+	VBROADCASTSS 24(DX), Y10
+	VFMADD231PS  (AX), Y10, Y0
+	VFMADD231PS  32(AX), Y10, Y1
+	VBROADCASTSS 28(DX), Y10
+	VFMADD231PS  4(AX), Y10, Y0
+	VFMADD231PS  36(AX), Y10, Y1
+	VBROADCASTSS 32(DX), Y10
+	VFMADD231PS  8(AX), Y10, Y0
+	VFMADD231PS  40(AX), Y10, Y1
+
+	ADDQ R8, SI
+	ADDQ $36, DX
+	DECQ CX
+	JNZ  chan16
+
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,26 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds run the pure-Go kernels unconditionally; the consts
+// let the compiler drop the assembly dispatch branches entirely.
+const (
+	forceScalar = false
+	useFMA      = false
+)
+
+func fgemmKernelAsm(pa, pb, c *float32, kc, ldc int) {
+	panic("tensor: fgemmKernelAsm without FMA support")
+}
+
+func fdotAsm(a, b *float32, k int) float32 {
+	panic("tensor: fdotAsm without FMA support")
+}
+
+func fconv3x3Asm8(dst, src *float32, inC, chanStride, rowStride int, w *float32, bias float32) {
+	panic("tensor: fconv3x3Asm8 without FMA support")
+}
+
+func fconv3x3Asm16(dst, src *float32, inC, chanStride, rowStride int, w *float32, bias float32) {
+	panic("tensor: fconv3x3Asm16 without FMA support")
+}

@@ -1,0 +1,214 @@
+package tensor
+
+import "openei/internal/parallel"
+
+// BLIS-style packed, cache-blocked float32 GEMM. The driver walks
+// NC×KC×MC blocks, packing each operand block once into contiguous
+// k-major panels (A in fMR-row panels, B in fNR-column panels) so the
+// 4×16 microkernel streams both from L1/L2 with unit stride and spends
+// its cycles in FMAs instead of TLB walks. Edge tiles are zero-padded
+// into the same panel layout and run the same microkernel into a stack
+// tile, so accumulation order per element — k ascending within each KC
+// block, KC blocks ascending — never depends on where a tile falls or
+// which worker runs it: results are bitwise independent of pool width.
+const (
+	fMR = 4   // microkernel rows (broadcast operand)
+	fNR = 16  // microkernel cols (two YMM vectors)
+	fKC = 256 // k block: one A panel (fKC×fMR floats) stays L1-resident
+	fMC = 64  // m block: A panels packed per pass, fMC×fKC×4B = 64 KiB
+	fNC = 512 // n block: B panel footprint fKC×fNC×4B = 512 KiB (L2)
+)
+
+// packedWorth reports whether the packed driver beats the register-blocked
+// loops: packing costs O(mk + kn) and pays off once each packed element is
+// reused across a tile dimension. Small or skinny products stay on the
+// streaming kernels (which also keep the sparsity shortcut).
+func packedWorth(m, k, n int) bool {
+	return m >= fMR && n >= fNR && k >= 16 && m*k*n >= 1<<14
+}
+
+// packA writes the mc×kc block of a at (ic, pc) into pa as consecutive
+// k-major fMR-row panels: panel[p*fMR+i] = a[(ic+ir+i)*lda + pc+p]. The
+// last panel zero-pads rows past mc so the microkernel never branches on
+// tile height.
+func packA(pa, a []float32, ic, pc, mc, kc, lda int) {
+	np := 0
+	for ir := 0; ir < mc; ir += fMR {
+		mr := min(fMR, mc-ir)
+		panel := pa[np : np+kc*fMR]
+		for i := 0; i < mr; i++ {
+			row := a[(ic+ir+i)*lda+pc : (ic+ir+i)*lda+pc+kc]
+			for p, v := range row {
+				panel[p*fMR+i] = v
+			}
+		}
+		for i := mr; i < fMR; i++ {
+			for p := 0; p < kc; p++ {
+				panel[p*fMR+i] = 0
+			}
+		}
+		np += kc * fMR
+	}
+}
+
+// packB writes the kc×nc block of row-major b (k×n) at (pc, jc) into pb
+// as consecutive k-major fNR-column panels, zero-padding columns past nc.
+func packB(pb, b []float32, pc, jc, kc, nc, ldb int) {
+	np := 0
+	for jr := 0; jr < nc; jr += fNR {
+		nr := min(fNR, nc-jr)
+		panel := pb[np : np+kc*fNR]
+		if nr == fNR {
+			for p := 0; p < kc; p++ {
+				copy(panel[p*fNR:p*fNR+fNR], b[(pc+p)*ldb+jc+jr:])
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				base := p * fNR
+				off := (pc+p)*ldb + jc + jr
+				copy(panel[base:base+nr], b[off:off+nr])
+				for j := nr; j < fNR; j++ {
+					panel[base+j] = 0
+				}
+			}
+		}
+		np += kc * fNR
+	}
+}
+
+// packBT is packB for a transpose-stored B: b holds Bᵀ row-major (n×k),
+// so B[p][j] = b[(jc+jr+j)*ldb + pc+p]. Dense layers store weights
+// (out, in); this packs them without materializing the transpose.
+func packBT(pb, b []float32, pc, jc, kc, nc, ldb int) {
+	np := 0
+	for jr := 0; jr < nc; jr += fNR {
+		nr := min(fNR, nc-jr)
+		panel := pb[np : np+kc*fNR]
+		for j := 0; j < nr; j++ {
+			row := b[(jc+jr+j)*ldb+pc : (jc+jr+j)*ldb+pc+kc]
+			for p, v := range row {
+				panel[p*fNR+j] = v
+			}
+		}
+		for j := nr; j < fNR; j++ {
+			for p := 0; p < kc; p++ {
+				panel[p*fNR+j] = 0
+			}
+		}
+		np += kc * fNR
+	}
+}
+
+// fgemmKernelGo is the pure-Go microkernel behind the same packed
+// panels: a 4×16 stack accumulator over kc steps, added into C at the
+// end — the exact contract of fgemmKernelAsm, so the driver above it is
+// identical on every architecture.
+func fgemmKernelGo(pa, pb, c []float32, kc, ldc int) {
+	var acc [fMR * fNR]float32
+	for p := 0; p < kc; p++ {
+		bp := pb[p*fNR : p*fNR+fNR]
+		ap := pa[p*fMR : p*fMR+fMR]
+		for i, av := range ap {
+			row := acc[i*fNR : i*fNR+fNR]
+			for j, bv := range bp {
+				row[j] += av * bv
+			}
+		}
+	}
+	for i := 0; i < fMR; i++ {
+		crow := c[i*ldc : i*ldc+fNR]
+		arow := acc[i*fNR : i*fNR+fNR]
+		for j, v := range arow {
+			crow[j] += v
+		}
+	}
+}
+
+// fgemmTile runs one microtile: full tiles update C in place; edge tiles
+// run the same kernel into a zeroed stack tile (panels are zero-padded,
+// so real elements accumulate identically) and add the live sub-block.
+func fgemmTile(pa, pb, c []float32, kc, ldc, mr, nr int) {
+	if mr == fMR && nr == fNR {
+		if useFMA {
+			fgemmKernelAsm(&pa[0], &pb[0], &c[0], kc, ldc)
+		} else {
+			fgemmKernelGo(pa, pb, c, kc, ldc)
+		}
+		return
+	}
+	var tile [fMR * fNR]float32
+	if useFMA {
+		fgemmKernelAsm(&pa[0], &pb[0], &tile[0], kc, fNR)
+	} else {
+		fgemmKernelGo(pa, pb, tile[:], kc, fNR)
+	}
+	for i := 0; i < mr; i++ {
+		crow := c[i*ldc : i*ldc+nr]
+		trow := tile[i*fNR : i*fNR+nr]
+		for j, v := range trow {
+			crow[j] += v
+		}
+	}
+}
+
+// fgemmRows accumulates a·b (or a·bᵀ when bt) into rows [rlo, rhi) of c.
+// c must hold prior values to accumulate onto (callers zero it for plain
+// assignment). Pack buffers come from the scratch pool, so steady-state
+// serving allocates nothing here.
+func fgemmRows(c, a, b []float32, rlo, rhi, k, n int, bt bool) {
+	pa := f32Scratch(fMC * fKC)
+	pb := f32Scratch(fKC * fNC)
+	for jc := 0; jc < n; jc += fNC {
+		nc := min(fNC, n-jc)
+		for pc := 0; pc < k; pc += fKC {
+			kc := min(fKC, k-pc)
+			if bt {
+				packBT(*pb, b, pc, jc, kc, nc, k)
+			} else {
+				packB(*pb, b, pc, jc, kc, nc, n)
+			}
+			for ic := rlo; ic < rhi; ic += fMC {
+				mc := min(fMC, rhi-ic)
+				packA(*pa, a, ic, pc, mc, kc, k)
+				for jr := 0; jr < nc; jr += fNR {
+					nr := min(fNR, nc-jr)
+					pbp := (*pb)[(jr/fNR)*kc*fNR:]
+					for ir := 0; ir < mc; ir += fMR {
+						mr := min(fMR, mc-ir)
+						pap := (*pa)[(ir/fMR)*kc*fMR:]
+						coff := (ic+ir)*n + jc + jr
+						fgemmTile(pap, pbp, c[coff:], kc, n, mr, nr)
+					}
+				}
+			}
+		}
+	}
+	f32Release(pa)
+	f32Release(pb)
+}
+
+// fgemmParallel shards the packed driver across the pool by row tiles,
+// so shard boundaries always fall on fMR multiples and every worker runs
+// the identical serial driver over its rows. Each shard packs its own
+// panels from the pool — no cross-worker coordination.
+func fgemmParallel(c, a, b []float32, m, k, n int, bt bool) {
+	mb := (m + fMR - 1) / fMR
+	if mb > 1 && parallel.Worth(m*k*n) {
+		parallel.Do(mb, parallel.GrainItems(fMR*k*n), func(lo, hi int) {
+			fgemmRows(c, a, b, lo*fMR, min(hi*fMR, m), k, n, bt)
+		})
+		return
+	}
+	fgemmRows(c, a, b, 0, m, k, n, bt)
+}
+
+// gemmSerial accumulates a·b into c without touching the parallel
+// runtime — for call sites already running inside a parallel shard
+// (per-image convolution lowering, backward passes).
+func gemmSerial(c, a, b []float32, m, k, n int) {
+	if packedWorth(m, k, n) {
+		fgemmRows(c, a, b, 0, m, k, n, false)
+		return
+	}
+	matmulRows(c, a, b, 0, m, k, n)
+}

@@ -1,0 +1,127 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// On amd64 the assembly gates are variables, so the suite can flip them
+// in-process and prove the pure-Go fallbacks agree with the vector
+// kernels on the same machine — the same property the CI leg with
+// OPENEI_FORCE_SCALAR=1 checks across the whole module.
+
+func withScalarKernels(t *testing.T, f func()) {
+	t.Helper()
+	fma, avx2 := useFMA, useAVX2
+	useFMA, useAVX2 = false, false
+	defer func() { useFMA, useAVX2 = fma, avx2 }()
+	f()
+}
+
+func TestScalarFallbackGemmParity(t *testing.T) {
+	if !cpuHasFMA() {
+		t.Skip("no FMA hardware; nothing to compare against")
+	}
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 12; trial++ {
+		m, k, n := 1+rng.Intn(60), 1+rng.Intn(200), 1+rng.Intn(60)
+		a := randSlice(rng, m*k)
+		b := randSlice(rng, k*n)
+		vec := make([]float32, m*n)
+		fgemmRows(vec, a, b, 0, m, k, n, false)
+		scalar := make([]float32, m*n)
+		withScalarKernels(t, func() {
+			fgemmRows(scalar, a, b, 0, m, k, n, false)
+		})
+		// FMA keeps the infinitely-precise product before each add, so
+		// the two paths differ only by rounding — never by structure.
+		for i := range vec {
+			if d := math.Abs(float64(vec[i]) - float64(scalar[i])); d > 1e-4*float64(k+1) {
+				t.Fatalf("element %d: asm %v vs go %v", i, vec[i], scalar[i])
+			}
+		}
+	}
+}
+
+func TestScalarFallbackDotParity(t *testing.T) {
+	if !cpuHasFMA() {
+		t.Skip("no FMA hardware; nothing to compare against")
+	}
+	rng := rand.New(rand.NewSource(302))
+	for _, n := range []int{32, 33, 64, 100, 257} {
+		a := randSlice(rng, n)
+		b := randSlice(rng, n)
+		vec := dot(a, b)
+		var scalar float32
+		withScalarKernels(t, func() { scalar = dot(a, b) })
+		if d := math.Abs(float64(vec) - float64(scalar)); d > 1e-4*float64(n+1) {
+			t.Fatalf("dot(%d): asm %v vs go %v", n, vec, scalar)
+		}
+	}
+}
+
+// TestFconv3x3AsmParity checks the 8- and 16-output stencil microkernels
+// against the Go row kernel on a padded image: same complete-sum layout,
+// same tap order, so they may differ only by FMA rounding.
+func TestFconv3x3AsmParity(t *testing.T) {
+	if !cpuHasFMA() {
+		t.Skip("no FMA hardware; nothing to compare against")
+	}
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 8; trial++ {
+		inC := 1 + rng.Intn(8)
+		pW := 18 + rng.Intn(10)
+		chanStride := pW * (4 + rng.Intn(4))
+		src := randSlice(rng, inC*chanStride)
+		ker := randSlice(rng, inC*9)
+		bias := rng.Float32()
+
+		want := make([]float32, 16)
+		for i := range want {
+			want[i] = bias
+		}
+		convDirect3x3RowGo(want, src, ker, inC, chanStride, pW)
+
+		got8 := make([]float32, 16)
+		fconv3x3Asm8(&got8[0], &src[0], inC, chanStride, pW, &ker[0], bias)
+		fconv3x3Asm8(&got8[8], &src[8], inC, chanStride, pW, &ker[0], bias)
+		got16 := make([]float32, 16)
+		fconv3x3Asm16(&got16[0], &src[0], inC, chanStride, pW, &ker[0], bias)
+
+		tol := 1e-4 * float64(inC*9+1)
+		for i := range want {
+			if d := math.Abs(float64(got8[i]) - float64(want[i])); d > tol {
+				t.Fatalf("fconv3x3Asm8 element %d: asm %v vs go %v", i, got8[i], want[i])
+			}
+			if d := math.Abs(float64(got16[i]) - float64(want[i])); d > tol {
+				t.Fatalf("fconv3x3Asm16 element %d: asm %v vs go %v", i, got16[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScalarFallbackQDotParity: the integer kernels must agree bitwise —
+// int32 accumulation has no rounding, so any difference is a bug.
+func TestScalarFallbackQDotParity(t *testing.T) {
+	if !cpuHasAVX2() {
+		t.Skip("no AVX2 hardware; nothing to compare against")
+	}
+	rng := rand.New(rand.NewSource(304))
+	for _, n := range []int{32, 64, 96, 131, 257} {
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		vec := QDot(a, b)
+		var scalar int32
+		withScalarKernels(t, func() { scalar = QDot(a, b) })
+		if vec != scalar {
+			t.Fatalf("QDot(%d): asm %d vs go %d", n, vec, scalar)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package tensor
+
+// Kernel-dispatch introspection: the names the serving metrics surface
+// per model, so an operator can see from /ei_metrics which code path a
+// deployment actually executes (and in particular whether the
+// OPENEI_FORCE_SCALAR override or missing CPU features demoted it).
+
+// KernelGEMM names the float32 GEMM kernel this process dispatches to:
+// "packed-fma" for the packed cache-blocked FMA microkernel, "scalar"
+// when the hardware lacks AVX2+FMA3 or OPENEI_FORCE_SCALAR is set.
+func KernelGEMM() string {
+	if useFMA {
+		return "packed-fma"
+	}
+	return "scalar"
+}
+
+// KernelQGEMM names the int8 GEMM/conv kernel: "qgemm-avx2" for the
+// VPMADDWD paths, "scalar" otherwise.
+func KernelQGEMM() string {
+	if useAVX2 {
+		return "qgemm-avx2"
+	}
+	return "scalar"
+}
+
+// DirectConv3x3 reports whether the given conv shape dispatches to the
+// direct stencil kernels (skipping im2col materialization) — true for
+// the 3×3/stride-1 shapes with at least one full vector of output
+// columns, on both the float32 and quantized paths.
+func DirectConv3x3(s Conv2DSpec) bool { return directConv3x3OK(s) }

@@ -48,6 +48,10 @@ func MatMulInto(dst, a, b *Tensor) error {
 // each row's accumulation order is identical to the serial kernel, so
 // results are bitwise independent of the pool width.
 func matmulInto(c, a, b []float32, m, k, n int) {
+	if packedWorth(m, k, n) {
+		fgemmParallel(c, a, b, m, k, n, false)
+		return
+	}
 	if m > 1 && parallel.Worth(m*k*n) {
 		parallel.Do(m, grainRows(k*n), func(lo, hi int) {
 			matmulRows(c, a, b, lo, hi, k, n)
@@ -115,6 +119,14 @@ func MatMulBT(a, b *Tensor) (*Tensor, error) {
 // matMulBTInto computes c = a·bᵀ, sharding rows of c across the parallel
 // runtime when the product is large enough to be worth dispatching.
 func matMulBTInto(c, a, b []float32, m, k, n int) {
+	if packedWorth(m, k, n) {
+		// The packed driver accumulates; this entry point assigns.
+		for i := range c[:m*n] {
+			c[i] = 0
+		}
+		fgemmParallel(c, a, b, m, k, n, true)
+		return
+	}
 	if m > 1 && parallel.Worth(m*k*n) {
 		parallel.Do(m, grainRows(k*n), func(lo, hi int) {
 			matMulBTRows(c, a, b, lo, hi, k, n)
@@ -135,11 +147,21 @@ func matMulBTRows(c, a, b []float32, lo, hi, k, n int) {
 }
 
 // dot is an unrolled dot product with four accumulators, breaking the
-// loop-carried dependency a single running sum would impose.
+// loop-carried dependency a single running sum would impose. On FMA
+// hardware the bulk runs in fdotAsm (the same four-accumulator shape,
+// eight lanes wide); the tail stays in Go.
 func dot(a, b []float32) float32 {
-	var s0, s1, s2, s3 float32
 	n := len(a)
 	b = b[:n]
+	if useFMA && n >= 32 {
+		nb := n &^ 31
+		s := fdotAsm(&a[0], &b[0], nb)
+		for i := nb; i < n; i++ {
+			s += a[i] * b[i]
+		}
+		return s
+	}
+	var s0, s1, s2, s3 float32
 	i := 0
 	for ; i+3 < n; i += 4 {
 		s0 += a[i] * b[i]

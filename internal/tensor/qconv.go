@@ -55,6 +55,77 @@ func QIm2ColT(qimg []int8, s Conv2DSpec, colsT []int8) {
 	}
 }
 
+// QMaxPool2DInto max-pools a batched int8 activation (batch, C, H, W as
+// flat slices) into dst, applying the fused ReLU clamp when relu is set.
+// The int8 quantization map — round, scale, clamp, and the zero-clamp of
+// ReLU — is monotone nondecreasing, and max commutes with any monotone
+// map, so pooling quantized activations is bitwise identical to pooling
+// the float activations and quantizing the result. That passthrough is
+// what lets a conv→pool→conv chain stay int8 end to end.
+func QMaxPool2DInto(dst, src []int8, p PoolSpec, batch int, relu bool) {
+	outH, outW := p.OutH(), p.OutW()
+	imgLen := p.C * p.H * p.W
+	planeLen := outH * outW
+	planes := func(lo, hi int) {
+		for plane := lo; plane < hi; plane++ {
+			b, c := plane/p.C, plane%p.C
+			ch := src[b*imgLen+c*p.H*p.W : b*imgLen+(c+1)*p.H*p.W]
+			i := plane * planeLen
+			if p.K == 2 && p.Stride == 2 {
+				// The ubiquitous 2×2/stride-2 window: flat pair-max walk
+				// over two rows at a time, no inner kernel loops.
+				for oh := 0; oh < outH; oh++ {
+					r0 := ch[(2*oh)*p.W : (2*oh)*p.W+2*outW]
+					r1 := ch[(2*oh+1)*p.W : (2*oh+1)*p.W+2*outW]
+					for ow := 0; ow < outW; ow++ {
+						best := r0[2*ow]
+						if v := r0[2*ow+1]; v > best {
+							best = v
+						}
+						if v := r1[2*ow]; v > best {
+							best = v
+						}
+						if v := r1[2*ow+1]; v > best {
+							best = v
+						}
+						if relu && best < 0 {
+							best = 0
+						}
+						dst[i] = best
+						i++
+					}
+				}
+				continue
+			}
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					best := ch[(oh*p.Stride)*p.W+ow*p.Stride]
+					for kh := 0; kh < p.K; kh++ {
+						row := ch[(oh*p.Stride+kh)*p.W+ow*p.Stride:]
+						for kw := 0; kw < p.K; kw++ {
+							if row[kw] > best {
+								best = row[kw]
+							}
+						}
+					}
+					if relu && best < 0 {
+						best = 0
+					}
+					dst[i] = best
+					i++
+				}
+			}
+		}
+	}
+	n := batch * p.C
+	perPlane := planeLen * p.K * p.K
+	if n > 1 && parallel.Worth(n*perPlane) {
+		parallel.Do(n, parallel.GrainItems(perPlane), planes)
+	} else {
+		planes(0, n)
+	}
+}
+
 // QConv2D applies the convolution described by s to a batched float input
 // (batch, inC, inH, inW) using int8 arithmetic: activations are quantized
 // with the calibrated scale xScale, the kernel qw is the int8 weight
@@ -99,15 +170,49 @@ func QConv2DInto(dst, x *Tensor, qw *QTensor, bias *Tensor, s Conv2DSpec, xScale
 	if bias != nil {
 		biasData = bias.data
 	}
-	qconv2DForward(dst.data, x.data, qw, biasData, s, batch, xScale, relu)
+	qconv2DForward(dst.data, nil, x.data, nil, qw, biasData, s, batch, xScale, 0, relu, nil)
 	return nil
 }
 
+// QConv2DExec is the compiled-plan entry to the int8 convolution with
+// fusion on both sides: the input is either the float image x (quantized
+// per image with xScale) or the pre-quantized qin a producing op's fused
+// epilogue emitted, and the output is either float dst or int8 qout
+// requantized with the consuming op's activation scale outScale — so a
+// chain of quantized ops passes int8 activations end to end,
+// materializing float only where a float consumer needs it. The fused
+// requantization applies exactly QuantizeCalibratedInto's arithmetic to
+// exactly the float the unfused epilogue would have written, so fused
+// and unfused plans are bitwise identical. Shapes are the caller's
+// contract (the plan validated them at compile time).
+func QConv2DExec(dst []float32, qout []int8, x []float32, qin []int8, qw *QTensor, bias []float32, s Conv2DSpec, batch int, xScale, outScale float32, relu bool) {
+	qconv2DForward(dst, qout, x, qin, qw, bias, s, batch, xScale, outScale, relu, nil)
+}
+
+// QConv2DExec4 is QConv2DExec for a nibble-packed int4 weight artifact:
+// the kernel is unpacked to int8 in pooled scratch once per call (conv
+// kernels are small — the packed form is what stays resident) and runs
+// through the identical int8 convolution with q4's per-row scales in the
+// epilogue. Everything else — fused input/output quantization, direct
+// kernels, batch sharding — is shared.
+func QConv2DExec4(dst []float32, qout []int8, x []float32, qin []int8, q4 *Q4Tensor, bias []float32, s Conv2DSpec, batch int, xScale, outScale float32, relu bool) {
+	wp := i8Scratch(q4.Len())
+	defer i8Release(wp)
+	w := (*wp)[:q4.Len()]
+	q4.UnpackInto(w)
+	qconv2DForward(dst, qout, x, qin, &QTensor{Scale: 1, Data: w}, bias, s, batch, xScale, outScale, relu, q4.Scales)
+}
+
 // qconv2DForward is the shared int8 convolution core. Output memory need
-// not be zeroed. Multi-image batches shard across the parallel runtime
-// with per-shard quantized-image and column scratch; each image's integer
-// arithmetic is exact, so results are bitwise pool-width-independent.
-func qconv2DForward(out, x []float32, qw *QTensor, bias []float32, s Conv2DSpec, batch int, xScale float32, relu bool) {
+// not be zeroed. qin, when non-nil, is the already-quantized input (the
+// upstream op's fused epilogue); qout, when non-nil, receives int8
+// activations requantized with outScale instead of float into out.
+// Multi-image batches shard across the parallel runtime with per-shard
+// quantized-image and column scratch; each image's integer arithmetic is
+// exact, so results are bitwise pool-width-independent. rowScales, when
+// non-nil, supplies per-output-channel weight scales (the int4 artifact's
+// per-row quantization) in place of the uniform qw.Scale.
+func qconv2DForward(out []float32, qout []int8, x []float32, qin []int8, qw *QTensor, bias []float32, s Conv2DSpec, batch int, xScale, outScale float32, relu bool, rowScales []float32) {
 	if xScale <= 0 {
 		xScale = 1
 	}
@@ -116,38 +221,107 @@ func qconv2DForward(out, x []float32, qw *QTensor, bias []float32, s Conv2DSpec,
 	colW := outH * outW
 	imgLen := s.InC * s.InH * s.InW
 	outLen := s.OutC * colW
-	scale := xScale * qw.Scale
+	// Per-channel effective rescale factors, computed once: the epilogue
+	// multiplies accumulator oc by scales[oc].
+	scalesP := f32Scratch(s.OutC)
+	defer f32Release(scalesP)
+	scales := (*scalesP)[:s.OutC]
+	for oc := range scales {
+		if rowScales != nil {
+			scales[oc] = xScale * rowScales[oc]
+		} else {
+			scales[oc] = xScale * qw.Scale
+		}
+	}
+	var invOut float32
+	if qout != nil {
+		invOut = 1 / outScale
+	}
 	perImage := s.OutC * colRows * colW
-	gemmRows := func(dst []float32, colsT []int8, acc []int32, lo, hi int) {
+	gemmRows := func(dst []float32, qdst []int8, colsT []int8, acc []int32, lo, hi int) {
 		for oc := lo; oc < hi; oc++ {
 			QGemmRowT(acc, qw.Data[oc*colRows:(oc+1)*colRows], colsT, colRows, colW)
 			var bv float32
 			if bias != nil {
 				bv = bias[oc]
 			}
-			ch := dst[oc*colW : (oc+1)*colW]
-			for p, v := range acc[:colW] {
-				f := float32(v)*scale + bv
-				if relu && f < 0 {
-					f = 0
-				}
-				ch[p] = f
+			if qdst != nil {
+				qRequantRow(qdst[oc*colW:(oc+1)*colW], acc[:colW], scales[oc], bv, invOut, relu)
+			} else {
+				qDequantRow(dst[oc*colW:(oc+1)*colW], acc[:colW], scales[oc], bv, relu)
 			}
 		}
 	}
+	// The direct stencil walk reads 1/9th of the bytes im2col
+	// materializes and is bitwise identical (integer accumulation is
+	// associative), so the dispatcher picks purely on speed: with AVX2
+	// the VPMADDWD stencil kernels run on the padded image directly;
+	// without it the scalar stencil still beats scalar im2col+GEMM.
+	directAsm := useAVX2 && directConv3x3OK(s)
+	direct := !useAVX2 && directConv3x3OK(s)
+	var wp []int32
+	if directAsm {
+		wpP := i32Scratch(s.OutC * s.InC * 6)
+		defer i32Release(wpP)
+		wp = (*wpP)[:s.OutC*s.InC*6]
+		qpackWeights3x3(wp, qw.Data, s.OutC, s.InC)
+	}
 	image := func(b int, qimg, colsT []int8, acc []int32, rowParallel bool) {
-		QuantizeCalibratedInto(qimg, x[b*imgLen:(b+1)*imgLen], xScale)
+		if qin != nil {
+			qimg = qin[b*imgLen : (b+1)*imgLen]
+		} else if !directAsm {
+			QuantizeCalibratedInto(qimg, x[b*imgLen:(b+1)*imgLen], xScale)
+		}
+		var dst []float32
+		var qdst []int8
+		if qout != nil {
+			qdst = qout[b*outLen : (b+1)*outLen]
+		} else {
+			dst = out[b*outLen : (b+1)*outLen]
+		}
+		if directAsm {
+			// The column scratch doubles as the padded-image buffer: for
+			// every directConv3x3OK shape 9·InC·outH·outW exceeds
+			// InC·(InH+2P)·(InW+2P)+1 (the +1 is the kernels' slack byte).
+			var pimg []int8
+			if qin != nil {
+				pimg = qpadImage3x3(colsT, qimg, s)
+			} else {
+				pimg = quantizePad3x3(colsT, x[b*imgLen:(b+1)*imgLen], s, xScale)
+			}
+			if rowParallel && s.OutC > 1 && parallel.Worth(perImage) {
+				parallel.Do(s.OutC, parallel.GrainItems(colRows*colW), func(lo, hi int) {
+					accP := i32Scratch(colW)
+					defer i32Release(accP)
+					qconvDirect3x3AVX2(dst, qdst, pimg, wp, bias, s, scales, invOut, relu, *accP, lo, hi)
+				})
+				return
+			}
+			qconvDirect3x3AVX2(dst, qdst, pimg, wp, bias, s, scales, invOut, relu, acc, 0, s.OutC)
+			return
+		}
+		if direct {
+			if rowParallel && s.OutC > 1 && parallel.Worth(perImage) {
+				parallel.Do(s.OutC, parallel.GrainItems(colRows*colW), func(lo, hi int) {
+					accP := i32Scratch(colW)
+					defer i32Release(accP)
+					qconvDirect3x3(dst, qdst, qimg, qw.Data, bias, s, scales, invOut, relu, *accP, lo, hi)
+				})
+				return
+			}
+			qconvDirect3x3(dst, qdst, qimg, qw.Data, bias, s, scales, invOut, relu, acc, 0, s.OutC)
+			return
+		}
 		QIm2ColT(qimg, s, colsT)
-		dst := out[b*outLen : (b+1)*outLen]
 		if rowParallel && s.OutC > 1 && parallel.Worth(perImage) {
 			parallel.Do(s.OutC, parallel.GrainItems(colRows*colW), func(lo, hi int) {
 				accP := i32Scratch(colW)
 				defer i32Release(accP)
-				gemmRows(dst, colsT, *accP, lo, hi)
+				gemmRows(dst, qdst, colsT, *accP, lo, hi)
 			})
 			return
 		}
-		gemmRows(dst, colsT, acc, 0, s.OutC)
+		gemmRows(dst, qdst, colsT, acc, 0, s.OutC)
 	}
 	if batch > 1 && parallel.Worth(batch*perImage) {
 		parallel.Do(batch, parallel.GrainItems(perImage), func(lo, hi int) {

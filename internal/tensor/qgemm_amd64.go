@@ -7,7 +7,7 @@ package tensor
 // hardware story is exactly this — quantized kernels win because eight
 // 16-bit multiply-adds issue per VPMADDWD, not because int8 arithmetic
 // is cheaper scalar-for-scalar.
-var useAVX2 = cpuHasAVX2()
+var useAVX2 = cpuHasAVX2() && !forceScalar
 
 // cpuHasAVX2 reports AVX2 support: OSXSAVE+AVX (CPUID.1:ECX), YMM state
 // enabled in XCR0 (XGETBV), and AVX2 (CPUID.7.0:EBX bit 5).
@@ -20,3 +20,26 @@ func cpuHasAVX2() bool
 //
 //go:noescape
 func qdotAsm(a, b *int8, k int) int32
+
+// qconv3x3Asm16 computes 16 complete 3×3 int8 convolution outputs from a
+// padded quantized image, writing the int32 sums
+//
+//	acc[j] = Σ_{ic<inC} Σ_{r<3} Σ_{t<3} w[ic*9+r*3+t] · src[ic*chanStride + r*rowStride + t + j]
+//
+// into acc. wp is the packed weight layout of qpackWeights3x3: per
+// (ic, kernel-row) the dword pairs (w0,w1) and (w2,0) VPMADDWD consumes.
+// Stride-1 outputs need overlapping pairs, so even and odd outputs
+// accumulate in separate registers (source shifted one byte) and
+// interleave once at the end. The shifted pair loads read one byte past
+// the last image row — multiplied by the zero weight, but the buffer
+// must carry one byte of slack. Complete sums: overlapping tail calls
+// are idempotent.
+//
+//go:noescape
+func qconv3x3Asm16(acc *int32, src *int8, inC, chanStride, rowStride int, wp *int32)
+
+// qconv3x3Asm8 is the 8-output variant for narrow rows (XMM registers,
+// same layout and slack contract).
+//
+//go:noescape
+func qconv3x3Asm8(acc *int32, src *int8, inC, chanStride, rowStride int, wp *int32)

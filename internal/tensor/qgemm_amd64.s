@@ -77,3 +77,165 @@ loop32:
 	VZEROUPPER
 	MOVL         AX, ret+24(FP)
 	RET
+
+// func qconv3x3Asm16(acc *int32, src *int8, inC, chanStride, rowStride int, wp *int32)
+//
+// Sixteen complete 3×3 int8 stencil outputs. VPMADDWD reduces adjacent
+// word pairs, so one load covers taps (kw=0, kw=1) of every second
+// output: even outputs accumulate from the row at +0 (pairs with weight
+// dword (w0,w1)) and +2 (pair (w2,0)), odd outputs from the same rows
+// shifted one byte. The two accumulators interleave back to output
+// order once, after the whole inC×3-row reduction.
+TEXT ·qconv3x3Asm16(SB), NOSPLIT, $0-48
+	MOVQ acc+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ inC+16(FP), CX
+	MOVQ chanStride+24(FP), R8
+	MOVQ rowStride+32(FP), R9
+	MOVQ wp+40(FP), DX
+
+	VPXOR Y0, Y0, Y0          // even outputs 0,2,…,14
+	VPXOR Y1, Y1, Y1          // odd outputs 1,3,…,15
+
+qchan16:
+	MOVQ SI, AX               // kernel-row pointer within this channel
+
+	VPBROADCASTD (DX), Y12    // (w0,w1) as adjacent int16
+	VPBROADCASTD 4(DX), Y13   // (w2, 0)
+	VPMOVSXBW    (AX), Y8
+	VPMOVSXBW    1(AX), Y9
+	VPMOVSXBW    2(AX), Y10
+	VPMOVSXBW    3(AX), Y11
+	VPMADDWD     Y12, Y8, Y8
+	VPMADDWD     Y12, Y9, Y9
+	VPMADDWD     Y13, Y10, Y10
+	VPMADDWD     Y13, Y11, Y11
+	VPADDD       Y8, Y0, Y0
+	VPADDD       Y10, Y0, Y0
+	VPADDD       Y9, Y1, Y1
+	VPADDD       Y11, Y1, Y1
+	ADDQ         R9, AX
+
+	VPBROADCASTD 8(DX), Y12
+	VPBROADCASTD 12(DX), Y13
+	VPMOVSXBW    (AX), Y8
+	VPMOVSXBW    1(AX), Y9
+	VPMOVSXBW    2(AX), Y10
+	VPMOVSXBW    3(AX), Y11
+	VPMADDWD     Y12, Y8, Y8
+	VPMADDWD     Y12, Y9, Y9
+	VPMADDWD     Y13, Y10, Y10
+	VPMADDWD     Y13, Y11, Y11
+	VPADDD       Y8, Y0, Y0
+	VPADDD       Y10, Y0, Y0
+	VPADDD       Y9, Y1, Y1
+	VPADDD       Y11, Y1, Y1
+	ADDQ         R9, AX
+
+	VPBROADCASTD 16(DX), Y12
+	VPBROADCASTD 20(DX), Y13
+	VPMOVSXBW    (AX), Y8
+	VPMOVSXBW    1(AX), Y9
+	VPMOVSXBW    2(AX), Y10
+	VPMOVSXBW    3(AX), Y11
+	VPMADDWD     Y12, Y8, Y8
+	VPMADDWD     Y12, Y9, Y9
+	VPMADDWD     Y13, Y10, Y10
+	VPMADDWD     Y13, Y11, Y11
+	VPADDD       Y8, Y0, Y0
+	VPADDD       Y10, Y0, Y0
+	VPADDD       Y9, Y1, Y1
+	VPADDD       Y11, Y1, Y1
+
+	ADDQ R8, SI
+	ADDQ $24, DX
+	DECQ CX
+	JNZ  qchan16
+
+	// Interleave evens/odds back to output order: Y0 holds outputs
+	// [0 2 4 6 | 8 10 12 14], Y1 [1 3 5 7 | 9 11 13 15].
+	VPUNPCKLDQ Y1, Y0, Y2     // [0 1 2 3 | 8 9 10 11]
+	VPUNPCKHDQ Y1, Y0, Y3     // [4 5 6 7 | 12 13 14 15]
+	VPERM2I128 $0x20, Y3, Y2, Y4
+	VPERM2I128 $0x31, Y3, Y2, Y5
+	VMOVDQU    Y4, (DI)
+	VMOVDQU    Y5, 32(DI)
+	VZEROUPPER
+	RET
+
+// func qconv3x3Asm8(acc *int32, src *int8, inC, chanStride, rowStride int, wp *int32)
+//
+// Eight-output variant of qconv3x3Asm16 on XMM registers, for rows too
+// narrow for the 16-wide kernel.
+TEXT ·qconv3x3Asm8(SB), NOSPLIT, $0-48
+	MOVQ acc+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ inC+16(FP), CX
+	MOVQ chanStride+24(FP), R8
+	MOVQ rowStride+32(FP), R9
+	MOVQ wp+40(FP), DX
+
+	VPXOR X0, X0, X0          // even outputs 0,2,4,6
+	VPXOR X1, X1, X1          // odd outputs 1,3,5,7
+
+qchan8:
+	MOVQ SI, AX
+
+	VPBROADCASTD (DX), X12
+	VPBROADCASTD 4(DX), X13
+	VPMOVSXBW    (AX), X8
+	VPMOVSXBW    1(AX), X9
+	VPMOVSXBW    2(AX), X10
+	VPMOVSXBW    3(AX), X11
+	VPMADDWD     X12, X8, X8
+	VPMADDWD     X12, X9, X9
+	VPMADDWD     X13, X10, X10
+	VPMADDWD     X13, X11, X11
+	VPADDD       X8, X0, X0
+	VPADDD       X10, X0, X0
+	VPADDD       X9, X1, X1
+	VPADDD       X11, X1, X1
+	ADDQ         R9, AX
+
+	VPBROADCASTD 8(DX), X12
+	VPBROADCASTD 12(DX), X13
+	VPMOVSXBW    (AX), X8
+	VPMOVSXBW    1(AX), X9
+	VPMOVSXBW    2(AX), X10
+	VPMOVSXBW    3(AX), X11
+	VPMADDWD     X12, X8, X8
+	VPMADDWD     X12, X9, X9
+	VPMADDWD     X13, X10, X10
+	VPMADDWD     X13, X11, X11
+	VPADDD       X8, X0, X0
+	VPADDD       X10, X0, X0
+	VPADDD       X9, X1, X1
+	VPADDD       X11, X1, X1
+	ADDQ         R9, AX
+
+	VPBROADCASTD 16(DX), X12
+	VPBROADCASTD 20(DX), X13
+	VPMOVSXBW    (AX), X8
+	VPMOVSXBW    1(AX), X9
+	VPMOVSXBW    2(AX), X10
+	VPMOVSXBW    3(AX), X11
+	VPMADDWD     X12, X8, X8
+	VPMADDWD     X12, X9, X9
+	VPMADDWD     X13, X10, X10
+	VPMADDWD     X13, X11, X11
+	VPADDD       X8, X0, X0
+	VPADDD       X10, X0, X0
+	VPADDD       X9, X1, X1
+	VPADDD       X11, X1, X1
+
+	ADDQ R8, SI
+	ADDQ $24, DX
+	DECQ CX
+	JNZ  qchan8
+
+	// X0 = outputs [0 2 4 6], X1 = [1 3 5 7].
+	VPUNPCKLDQ X1, X0, X2     // [0 1 2 3]
+	VPUNPCKHDQ X1, X0, X3     // [4 5 6 7]
+	VMOVDQU    X2, (DI)
+	VMOVDQU    X3, 16(DI)
+	RET

@@ -8,3 +8,11 @@ package tensor
 const useAVX2 = false
 
 func qdotAsm(a, b *int8, k int) int32 { panic("tensor: qdotAsm without SIMD support") }
+
+func qconv3x3Asm16(acc *int32, src *int8, inC, chanStride, rowStride int, wp *int32) {
+	panic("tensor: qconv3x3Asm16 without SIMD support")
+}
+
+func qconv3x3Asm8(acc *int32, src *int8, inC, chanStride, rowStride int, wp *int32) {
+	panic("tensor: qconv3x3Asm8 without SIMD support")
+}

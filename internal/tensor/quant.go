@@ -40,6 +40,31 @@ func QuantizeCalibrated(t *Tensor, scale float32) *QTensor {
 	return q
 }
 
+// QRound8 maps one prepared float to the saturating int8 grid, rounding
+// half away from zero — math.Round's semantics without its cost: amd64
+// has no half-away rounding instruction and math.Round is not
+// intrinsified there, so the hot requant epilogues spend their time in
+// its bit-twiddling. A truncating convert of the sign-matched t±½ is
+// bitwise identical for every float32-derived input: below the ±126.5
+// clamp guards the sum spans at most 24 significand bits across
+// exponents [2⁻¹,2⁷), exact in float64, and truncation toward zero of
+// the shifted value IS round-half-away. Every quantization site must go through
+// this one function — the fused-epilogue bitwise guarantee depends on
+// all paths sharing one rounding expression.
+func QRound8(v float32) int8 {
+	t := float64(v)
+	if t >= 0 {
+		if t >= 126.5 {
+			return 127
+		}
+		return int8(int32(t + 0.5))
+	}
+	if t <= -126.5 {
+		return -127
+	}
+	return int8(int32(t - 0.5))
+}
+
 // QuantizeCalibratedInto quantizes src into dst (len(dst) ≥ len(src))
 // with the given scale, saturating at ±127. It is the allocation-free
 // core the compiled int8 execution plans use to requantize activations
@@ -47,13 +72,35 @@ func QuantizeCalibrated(t *Tensor, scale float32) *QTensor {
 func QuantizeCalibratedInto(dst []int8, src []float32, scale float32) {
 	inv := 1 / scale
 	for i, v := range src {
-		x := math.Round(float64(v * inv))
-		if x > 127 {
-			x = 127
-		} else if x < -127 {
-			x = -127
+		dst[i] = QRound8(v * inv)
+	}
+}
+
+// qDequantRow is the int8 kernel epilogue: rescale the int32
+// accumulators, add the (per-channel) bias, clamp negatives when the
+// producer fused a ReLU.
+func qDequantRow(dst []float32, acc []int32, scale, bv float32, relu bool) {
+	for i, v := range acc {
+		f := float32(v)*scale + bv
+		if relu && f < 0 {
+			f = 0
 		}
-		dst[i] = int8(x)
+		dst[i] = f
+	}
+}
+
+// qRequantRow is the fused form: the identical float expression followed
+// immediately by the consumer's requantization — QuantizeCalibratedInto's
+// exact arithmetic with invOut = 1/consumerScale — so a quantized op
+// writes final int8 activations in one pass, bitwise identical to
+// dequantize-then-requantize.
+func qRequantRow(qdst []int8, acc []int32, scale, bv, invOut float32, relu bool) {
+	for i, v := range acc {
+		f := float32(v)*scale + bv
+		if relu && f < 0 {
+			f = 0
+		}
+		qdst[i] = QRound8(f * invOut)
 	}
 }
 

@@ -1,0 +1,133 @@
+package tensor
+
+// Int4 weight representation: two weights per byte with per-row scales.
+// Values live on the symmetric [-7, 7] grid (the int8 grid shrunk to one
+// nibble, keeping 0 exactly representable), each row of the logical
+// (rows, cols) matrix carries its own scale — per-output-channel
+// quantization, which int4 needs to stay within tolerance where a single
+// per-tensor scale would spend the 15-value grid on the widest channel.
+// The execution path unpacks rows back to int8 in pooled scratch and
+// reuses the int8 kernels: int4 is a weight *storage* format (≈⅛ the
+// float bytes), not a distinct arithmetic.
+
+// Q4Tensor is a nibble-packed int4 weight matrix. Data is row-major with
+// (cols+1)/2 bytes per row: the low nibble of each byte holds the even
+// column, the high nibble the odd column (sign-extended two's
+// complement). Scales[r] is row r's dequantization scale.
+type Q4Tensor struct {
+	shape  []int
+	rows   int
+	cols   int
+	Scales []float32
+	Data   []byte
+}
+
+// Quantize4 packs t into int4 with per-row symmetric quantization. rows
+// is the logical row count (output channels); t's elements are taken
+// row-major with cols = t.Len()/rows. A zero row quantizes with scale 1.
+func Quantize4(t *Tensor, rows int) *Q4Tensor {
+	cols := t.Len() / rows
+	q := &Q4Tensor{
+		shape:  t.Shape(),
+		rows:   rows,
+		cols:   cols,
+		Scales: make([]float32, rows),
+		Data:   make([]byte, rows*((cols+1)/2)),
+	}
+	rowBytes := (cols + 1) / 2
+	src := t.Data()
+	for r := 0; r < rows; r++ {
+		row := src[r*cols : (r+1)*cols]
+		var m float32
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > m {
+				m = v
+			}
+		}
+		scale := m / 7
+		if scale == 0 {
+			scale = 1
+		}
+		q.Scales[r] = scale
+		inv := 1 / scale
+		dst := q.Data[r*rowBytes : (r+1)*rowBytes]
+		for c := 0; c < cols; c += 2 {
+			lo := qRound4(row[c] * inv)
+			var hi int8
+			if c+1 < cols {
+				hi = qRound4(row[c+1] * inv)
+			}
+			dst[c/2] = byte(lo)&0x0f | byte(hi)<<4
+		}
+	}
+	return q
+}
+
+// qRound4 rounds to the int4 grid with the package's one rounding
+// expression (QRound8) and the ±7 saturation.
+func qRound4(v float32) int8 {
+	x := QRound8(v)
+	if x > 7 {
+		return 7
+	}
+	if x < -7 {
+		return -7
+	}
+	return x
+}
+
+// Rows returns the logical row (output-channel) count.
+func (q *Q4Tensor) Rows() int { return q.rows }
+
+// Cols returns the logical row width.
+func (q *Q4Tensor) Cols() int { return q.cols }
+
+// Len returns the logical element count.
+func (q *Q4Tensor) Len() int { return q.rows * q.cols }
+
+// SizeBytes returns the artifact's resident size: the packed nibbles
+// plus one float32 scale per row.
+func (q *Q4Tensor) SizeBytes() int { return len(q.Data) + 4*len(q.Scales) }
+
+// UnpackRowInto sign-extends row r into dst (len ≥ cols) as int8 — the
+// layout every int8 kernel streams. The shifts are the two's-complement
+// nibble extension: int8(b<<4)>>4 for the low nibble, int8(b)>>4 for the
+// high.
+func (q *Q4Tensor) UnpackRowInto(dst []int8, r int) {
+	rowBytes := (q.cols + 1) / 2
+	src := q.Data[r*rowBytes : (r+1)*rowBytes]
+	for i, b := range src {
+		dst[2*i] = int8(b<<4) >> 4
+		if 2*i+1 < q.cols {
+			dst[2*i+1] = int8(b) >> 4
+		}
+	}
+}
+
+// UnpackInto unpacks the whole matrix into dst (len ≥ rows*cols),
+// row-major — the transposed-B layout QGemmRowT streams, recovered into
+// pooled scratch once per inference call.
+func (q *Q4Tensor) UnpackInto(dst []int8) {
+	for r := 0; r < q.rows; r++ {
+		q.UnpackRowInto(dst[r*q.cols:(r+1)*q.cols], r)
+	}
+}
+
+// Dequantize expands the artifact back to float32 (tests and calibration
+// only — serving never materializes this).
+func (q *Q4Tensor) Dequantize() *Tensor {
+	t := New(q.shape...)
+	d := t.Data()
+	rowScratch := make([]int8, q.cols)
+	for r := 0; r < q.rows; r++ {
+		q.UnpackRowInto(rowScratch, r)
+		s := q.Scales[r]
+		for c, v := range rowScratch {
+			d[r*q.cols+c] = float32(v) * s
+		}
+	}
+	return t
+}

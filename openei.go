@@ -161,8 +161,10 @@ type (
 	// compile loaded models into execution plans (fused op graphs); the
 	// backend decides the kernel set: BackendFloat32 reproduces the
 	// full-precision path, BackendInt8 runs genuine int8 dense/conv
-	// kernels with calibrated activation quantization. Tier names imply
-	// backends: a "{model}-int8" tier is an int8 plan.
+	// kernels with calibrated activation quantization, and BackendInt4
+	// serves nibble-packed weights (≈⅛ the float bytes, per-channel
+	// scales) on the same int8 kernels. Tier names imply backends: a
+	// "{model}-int8" tier is an int8 plan, "{model}-int4" an int4 plan.
 	Backend = plan.Backend
 )
 
@@ -170,6 +172,7 @@ type (
 const (
 	BackendFloat32 = plan.Float32
 	BackendInt8    = plan.Int8
+	BackendInt4    = plan.Int4
 )
 
 // Serving engine errors, surfaced by Node.ServeInfer and mapped by libei to
@@ -308,15 +311,20 @@ func (n *Node) LoadModel(m *Model, quantize bool) error {
 
 // LoadModelBackend is LoadModel with the serving backend named
 // explicitly: BackendInt8 quantizes at load (the int8 artifact is what
-// the backend executes), BackendFloat32 keeps full precision. It is the
-// façade's backend knob; openei-server exposes it as -backend.
+// the backend executes), BackendInt4 keeps the float weights until plan
+// compilation nibble-packs them, BackendFloat32 keeps full precision.
+// It is the façade's backend knob; openei-server exposes it as -backend.
 func (n *Node) LoadModelBackend(m *Model, backend Backend) error {
 	switch backend {
-	case BackendInt8:
+	case BackendInt8, BackendInt4:
 		if !n.pkg.SupportsInt8 {
 			return fmt.Errorf("%w: package %s has no int8 kernels", ErrBadConfig, n.pkg.Name)
 		}
-		return n.LoadModel(m, true)
+		if err := n.Manager.Load(m, pkgmgr.LoadOptions{Backend: backend}); err != nil {
+			return err
+		}
+		n.Serving.Reset(m.Name)
+		return nil
 	case BackendFloat32, "":
 		return n.LoadModel(m, false)
 	default:
@@ -342,8 +350,9 @@ func (n *Node) SelectModel(models map[string]*Model, eval Dataset, req Requireme
 // this node's device, the Pareto frontier is computed, rungs violating the
 // SLO policy's accuracy floor or memory cap are dropped, and each
 // surviving variant is loaded into the package manager under its tier name
-// ("{model}" or "{model}-int8"). The returned ladder (best accuracy first)
-// is what EnableAutopilot switches across at runtime.
+// ("{model}", "{model}-int8", or "{model}-int4"). The returned ladder
+// (best accuracy first) is what EnableAutopilot switches across at
+// runtime.
 func (n *Node) DeployTiers(models map[string]*Model, eval Dataset, pol AutopilotPolicy) ([]AutopilotTier, error) {
 	prof := alem.NewProfiler(eval)
 	cands := selector.Variants(models, n.pkg.SupportsInt8)
@@ -357,7 +366,7 @@ func (n *Node) DeployTiers(models map[string]*Model, eval Dataset, pol Autopilot
 			len(models), pol.AccuracyFloor)
 	}
 	for _, t := range tiers {
-		base := strings.TrimSuffix(t.Model, "-int8")
+		base := strings.TrimSuffix(strings.TrimSuffix(t.Model, "-int8"), "-int4")
 		src, ok := models[base]
 		if !ok {
 			return nil, fmt.Errorf("openei: tier %q has no source model %q", t.Model, base)
@@ -367,7 +376,7 @@ func (n *Node) DeployTiers(models map[string]*Model, eval Dataset, pol Autopilot
 			return nil, err
 		}
 		clone.Name = t.Model
-		if err := n.LoadModel(clone, t.Quantized); err != nil {
+		if err := n.LoadModelBackend(clone, Backend(t.Backend)); err != nil {
 			return nil, err
 		}
 	}

@@ -8,9 +8,12 @@ import (
 	"testing"
 	"time"
 
+	"strings"
+
 	"openei/internal/dataset"
 	"openei/internal/nn"
 	"openei/internal/sensors"
+	"openei/internal/tensor"
 	"openei/internal/zoo"
 )
 
@@ -278,5 +281,80 @@ func TestAutopilotWalkThrough(t *testing.T) {
 	}
 	if m.Autopilot == nil || m.Autopilot.Alias != alias || len(m.Autopilot.Tiers) != len(tiers) {
 		t.Errorf("metrics autopilot block = %+v", m.Autopilot)
+	}
+}
+
+// TestInt4TierLadderScenario: the deploy-time Equation-1 machinery must
+// offer nibble-packed rungs — a "{model}-int4" tier whose artifact costs
+// ≈⅛ the float weight bytes — and the node must actually serve inference
+// through the int4 backend when that tier is requested.
+func TestInt4TierLadderScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains candidate models")
+	}
+	node, err := New(Config{NodeID: "int4-ladder", Device: "jetson-tx2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	train, test, err := dataset.Shapes(dataset.ShapesConfig{Samples: 400, Size: 16, Classes: 4, Noise: 0.2, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	m, err := zoo.Build("lenet", 16, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nn.Train(m, train, nn.TrainConfig{Epochs: 4, BatchSize: 32, LR: 0.02, Momentum: 0.9, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]*Model{"lenet": m}
+
+	// No accuracy floor: every variant that makes the Pareto frontier
+	// becomes a rung, so the int4 tier's presence is a statement about
+	// the selector offering it, not about this run's training luck.
+	tiers, err := node.DeployTiers(models, test, AutopilotPolicy{P95: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var int4Tier *AutopilotTier
+	for i := range tiers {
+		if strings.HasSuffix(tiers[i].Model, "-int4") {
+			int4Tier = &tiers[i]
+		}
+	}
+	if int4Tier == nil {
+		t.Fatalf("no -int4 rung in ladder %+v", tiers)
+	}
+	if int4Tier.Backend != string(BackendInt4) {
+		t.Fatalf("int4 tier backend = %q, want %q", int4Tier.Backend, BackendInt4)
+	}
+
+	// The storage claim behind the rung: the int4 artifact the profiler
+	// costed is ≈⅛ the float weight bytes (per-row scales and float
+	// biases keep it just above 1/8).
+	ratio := float64(m.Int4WeightBytes()) / float64(m.WeightBytes())
+	if ratio < 0.115 || ratio > 0.2 {
+		t.Fatalf("int4/float weight bytes = %.3f, want ≈ 0.125", ratio)
+	}
+
+	// And the rung must serve: an inference against the int4 tier name
+	// answers from a replica compiled to the int4 backend.
+	x := tensor.New(1, 1, 16, 16)
+	res, err := node.Manager.Infer(int4Tier.Model, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 1 {
+		t.Fatalf("int4 tier inference returned %d classes", len(res.Classes))
+	}
+	rep, err := node.Manager.NewReplica(int4Tier.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend() != string(BackendInt4) {
+		t.Fatalf("int4 tier replica backend = %q, want %q", rep.Backend(), BackendInt4)
 	}
 }
